@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Ablation of the key Pipelined-design question (paper section 4.1.3):
+ * how much of the POLB's 3-cycle access latency may be exposed per hit
+ * on the in-order core before Pipelined loses its edge over Parallel?
+ *
+ * Sweeps MachineConfig::polb_inorder_hit_charge over {0, 1, 2, 3} on
+ * the RANDOM and EACH patterns and prints the Pipelined speedup next to
+ * the (unaffected) Parallel speedup. The paper's conclusion —
+ * "Pipelined performs better than Parallel in all benchmarks" — holds
+ * as long as the per-hit exposure stays below Parallel's per-access
+ * expected miss cost (miss rate x 60 cycles).
+ */
+#include "bench/bench_util.h"
+
+using namespace poat;
+using namespace poat::bench;
+using driver::runExperiment;
+using driver::speedup;
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+
+    for (const auto &[pattern, pname] :
+         {std::pair{workloads::PoolPattern::Random, "RANDOM"},
+          std::pair{workloads::PoolPattern::Each, "EACH"}}) {
+        std::printf("Ablation: exposed POLB hit cycles (in-order, %s)\n",
+                    pname);
+        hr(80);
+        std::printf("%-5s %9s %8s %8s %8s %10s\n", "Bench", "charge=0",
+                    "1", "2", "3", "Parallel");
+        hr(80);
+        for (const auto &wl : workloads::microbenchNames()) {
+            const auto base =
+                runExperiment(microBase(args, wl, pattern));
+            std::printf("%-5s", wl.c_str());
+            for (uint32_t charge = 0; charge <= 3; ++charge) {
+                auto cfg = asOpt(microBase(args, wl, pattern));
+                cfg.machine.polb_inorder_hit_charge = charge;
+                const auto opt = runExperiment(cfg);
+                std::printf(" %7.2fx", speedup(base, opt));
+                std::fflush(stdout);
+            }
+            const auto par = runExperiment(asOpt(
+                microBase(args, wl, pattern), sim::PolbDesign::Parallel));
+            std::printf("  %8.2fx\n", speedup(base, par));
+        }
+        hr(80);
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablation: POLB organization. The paper assumes a fully associative,
+ * true-LRU CAM; a cheaper set-associative SRAM with simpler replacement
+ * is the obvious implementation question for a structure on the load
+ * path. Sweeps associativity {1, 2, 4, 8, full} at the default 32
+ * entries (Pipelined, EACH pattern — the contented case) and
+ * replacement policies {LRU, FIFO, random} at full associativity.
+ */
+#include "bench/bench_util.h"
+
+using namespace poat;
+using namespace poat::bench;
+using driver::runExperiment;
+using driver::speedup;
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+
+    std::printf("Ablation: POLB associativity "
+                "(32 entries, EACH pattern, in-order, Pipelined)\n");
+    hr(86);
+    std::printf("%-5s %8s %8s %8s %8s %8s   (speedup | miss rate)\n",
+                "Bench", "1-way", "2-way", "4-way", "8-way", "full");
+    hr(86);
+    for (const auto &wl : workloads::microbenchNames()) {
+        const auto base = runExperiment(
+            microBase(args, wl, workloads::PoolPattern::Each));
+        std::printf("%-5s", wl.c_str());
+        std::string miss_row = "     ";
+        for (const uint32_t assoc : {1u, 2u, 4u, 8u, 0u}) {
+            auto cfg = asOpt(
+                microBase(args, wl, workloads::PoolPattern::Each));
+            cfg.machine.polb_assoc = assoc;
+            const auto opt = runExperiment(cfg);
+            std::printf(" %7.2fx", speedup(base, opt));
+            char buf[16];
+            std::snprintf(buf, sizeof(buf), " %7.1f%%",
+                          100.0 * opt.metrics.polbMissRate());
+            miss_row += buf;
+            std::fflush(stdout);
+        }
+        std::printf("\n%s\n", miss_row.c_str());
+    }
+    hr(86);
+
+    std::printf("\nAblation: POLB replacement policy "
+                "(full associativity, EACH)\n");
+    hr(60);
+    std::printf("%-5s %10s %10s %10s\n", "Bench", "LRU", "FIFO",
+                "Random");
+    hr(60);
+    for (const auto &wl : workloads::microbenchNames()) {
+        const auto base = runExperiment(
+            microBase(args, wl, workloads::PoolPattern::Each));
+        std::printf("%-5s", wl.c_str());
+        for (const auto repl :
+             {sim::PolbReplacement::Lru, sim::PolbReplacement::Fifo,
+              sim::PolbReplacement::Random}) {
+            auto cfg = asOpt(
+                microBase(args, wl, workloads::PoolPattern::Each));
+            cfg.machine.polb_replacement = repl;
+            const auto opt = runExperiment(cfg);
+            std::printf(" %9.2fx", speedup(base, opt));
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+    hr(60);
+    std::printf("takeaway: at 32 entries the POLB tolerates modest "
+                "associativity, so a CAM is a convenience rather than a "
+                "requirement; replacement policy is second-order\n");
+    return 0;
+}

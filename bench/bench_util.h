@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Shared plumbing for the paper-reproduction bench binaries: argument
+ * parsing (--quick / --scale=N / --txns=N), configuration builders, and
+ * fixed-width table printing that mirrors the paper's rows.
+ */
+#ifndef POAT_BENCH_BENCH_UTIL_H
+#define POAT_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "driver/experiment.h"
+
+namespace poat {
+namespace bench {
+
+/** Run sizing shared by all bench binaries. */
+struct BenchArgs
+{
+    uint32_t scale_pct = 100;     ///< microbenchmark op-count scale
+    uint32_t tpcc_scale_pct = 10; ///< TPC-C cardinality scale
+    uint64_t tpcc_txns = 1000;
+    bool include_tpcc = true;
+
+    static BenchArgs
+    parse(int argc, char **argv)
+    {
+        BenchArgs a;
+        for (int i = 1; i < argc; ++i) {
+            const std::string s = argv[i];
+            if (s == "--quick") {
+                // CI-sized runs: same shapes, ~10x faster.
+                a.scale_pct = 20;
+                a.tpcc_scale_pct = 2;
+                a.tpcc_txns = 150;
+            } else if (s.rfind("--scale=", 0) == 0) {
+                a.scale_pct = std::stoul(s.substr(8));
+            } else if (s.rfind("--tpcc-scale=", 0) == 0) {
+                a.tpcc_scale_pct = std::stoul(s.substr(13));
+            } else if (s.rfind("--txns=", 0) == 0) {
+                a.tpcc_txns = std::stoull(s.substr(7));
+            } else if (s == "--no-tpcc") {
+                a.include_tpcc = false;
+            } else if (s == "--help") {
+                std::printf("options: --quick --scale=N "
+                            "--tpcc-scale=N --txns=N --no-tpcc\n");
+                std::exit(0);
+            }
+        }
+        return a;
+    }
+};
+
+/** Baseline (BASE) experiment for a microbenchmark. */
+inline driver::ExperimentConfig
+microBase(const BenchArgs &a, const std::string &wl,
+          workloads::PoolPattern pattern,
+          sim::CoreType core = sim::CoreType::InOrder,
+          bool transactions = true)
+{
+    driver::ExperimentConfig c;
+    c.workload = wl;
+    c.pattern = pattern;
+    c.scale_pct = a.scale_pct;
+    c.transactions = transactions;
+    c.mode = TranslationMode::Software;
+    c.machine.core = core;
+    return c;
+}
+
+/** Baseline (BASE) experiment for TPC-C. */
+inline driver::ExperimentConfig
+tpccBase(const BenchArgs &a, workloads::tpcc::Placement placement,
+         sim::CoreType core = sim::CoreType::InOrder)
+{
+    driver::ExperimentConfig c;
+    c.workload = "TPCC";
+    c.placement = placement;
+    c.tpcc_scale_pct = a.tpcc_scale_pct;
+    c.tpcc_txns = a.tpcc_txns;
+    c.mode = TranslationMode::Software;
+    c.machine.core = core;
+    return c;
+}
+
+/** The OPT twin of a BASE config. */
+inline driver::ExperimentConfig
+asOpt(driver::ExperimentConfig c,
+      sim::PolbDesign design = sim::PolbDesign::Pipelined,
+      bool ideal = false)
+{
+    c.mode = TranslationMode::Hardware;
+    c.machine.polb_design = design;
+    c.machine.ideal_translation = ideal;
+    return c;
+}
+
+/** All pattern values with their paper names. */
+inline const std::vector<std::pair<workloads::PoolPattern, const char *>> &
+patterns()
+{
+    static const std::vector<std::pair<workloads::PoolPattern, const char *>>
+        p = {
+            {workloads::PoolPattern::All, "ALL"},
+            {workloads::PoolPattern::Each, "EACH"},
+            {workloads::PoolPattern::Random, "RANDOM"},
+        };
+    return p;
+}
+
+inline void
+hr(int width = 78)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+} // namespace bench
+} // namespace poat
+
+#endif // POAT_BENCH_BENCH_UTIL_H

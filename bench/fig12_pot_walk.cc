@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces paper Figure 12: sensitivity to the hardware POT-walk
+ * penalty — OPT/BASE speedup on the in-order Pipelined design for the
+ * EACH pattern, with the POLB-miss penalty swept over {ideal(0), 10,
+ * 30, 100, 300, 500} cycles. Workloads with high POLB miss rates (LL)
+ * are the most sensitive.
+ */
+#include "bench/bench_util.h"
+
+using namespace poat;
+using namespace poat::bench;
+using driver::runExperiment;
+using driver::speedup;
+
+namespace {
+
+const uint32_t kPenalties[] = {0, 10, 30, 100, 300, 500};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+
+    std::printf("Figure 12: speedup vs POT-walk penalty "
+                "(EACH pattern, in-order, Pipelined)\n");
+    hr(92);
+    std::printf("%-5s %9s %8s %8s %8s %8s %8s\n", "Bench", "ideal", "10",
+                "30", "100", "300", "500");
+    hr(92);
+
+    for (const auto &wl : workloads::microbenchNames()) {
+        const auto base = runExperiment(
+            microBase(args, wl, workloads::PoolPattern::Each));
+        std::printf("%-5s", wl.c_str());
+        for (const uint32_t penalty : kPenalties) {
+            auto cfg = asOpt(
+                microBase(args, wl, workloads::PoolPattern::Each));
+            cfg.machine.pot_walk_pipelined = penalty;
+            if (penalty == 0) {
+                // "Ideal" also removes the POLB access itself.
+                cfg.machine.ideal_translation = true;
+            }
+            const auto opt = runExperiment(cfg);
+            std::printf(" %7.2fx", speedup(base, opt));
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+    hr(92);
+    std::printf("paper reference: a ~30-cycle walk costs little; longer "
+                "walks hurt workloads with high POLB miss rates (LL "
+                "most, then BST), and barely move the others\n");
+    return 0;
+}

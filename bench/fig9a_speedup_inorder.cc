@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Reproduces paper Figure 9(a): speedup of OPT over BASE on the
+ * in-order core, for every microbenchmark x pool pattern, with both
+ * POLB designs plus the ideal (free-translation) red dot, and the two
+ * TPC-C placements. Also prints the headline dynamic-instruction
+ * reduction (paper section 1: 43.9% on average).
+ */
+#include "bench/bench_util.h"
+
+using namespace poat;
+using namespace poat::bench;
+using driver::runExperiment;
+using driver::speedup;
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+
+    std::printf("Figure 9(a): OPT/BASE speedup, in-order core\n");
+    hr(86);
+    std::printf("%-5s %-7s %12s %10s %10s %8s %12s\n", "Bench", "Pattern",
+                "BASE cycles", "Pipelined", "Parallel", "Ideal",
+                "InsnReduct");
+    hr(86);
+
+    std::vector<double> pipe_by_pattern[3], par_by_pattern[3];
+    std::vector<double> insn_reduction;
+    for (const auto &wl : workloads::microbenchNames()) {
+        int pi = 0;
+        for (const auto &[pattern, pname] : patterns()) {
+            const auto base = runExperiment(microBase(args, wl, pattern));
+            const auto pipe = runExperiment(asOpt(
+                microBase(args, wl, pattern), sim::PolbDesign::Pipelined));
+            const auto par = runExperiment(asOpt(
+                microBase(args, wl, pattern), sim::PolbDesign::Parallel));
+            const auto ideal = runExperiment(
+                asOpt(microBase(args, wl, pattern),
+                      sim::PolbDesign::Pipelined, /*ideal=*/true));
+
+            const double reduct = 1.0 -
+                static_cast<double>(pipe.metrics.instructions) /
+                    static_cast<double>(base.metrics.instructions);
+            std::printf("%-5s %-7s %12lu %9.2fx %9.2fx %7.2fx %11.1f%%\n",
+                        wl.c_str(), pname,
+                        static_cast<unsigned long>(base.metrics.cycles),
+                        speedup(base, pipe), speedup(base, par),
+                        speedup(base, ideal), 100.0 * reduct);
+            std::fflush(stdout);
+            pipe_by_pattern[pi].push_back(speedup(base, pipe));
+            par_by_pattern[pi].push_back(speedup(base, par));
+            insn_reduction.push_back(reduct);
+            ++pi;
+        }
+    }
+    hr(86);
+    const char *pnames[3] = {"ALL", "EACH", "RANDOM"};
+    for (int pi = 0; pi < 3; ++pi) {
+        std::printf("GeoMean %-7s %20s %9.2fx %9.2fx\n", pnames[pi], "",
+                    driver::geomean(pipe_by_pattern[pi]),
+                    driver::geomean(par_by_pattern[pi]));
+    }
+    double mean_reduct = 0;
+    for (double r : insn_reduction)
+        mean_reduct += r;
+    mean_reduct /= static_cast<double>(insn_reduction.size());
+    std::printf("Avg dynamic-instruction reduction: %.1f%% "
+                "(paper: 43.9%%)\n",
+                100.0 * mean_reduct);
+
+    if (args.include_tpcc) {
+        hr(86);
+        std::printf("TPC-C (1 warehouse at %u%% cardinality, %lu txns)\n",
+                    args.tpcc_scale_pct,
+                    static_cast<unsigned long>(args.tpcc_txns));
+        for (const auto pl : {workloads::tpcc::Placement::All,
+                              workloads::tpcc::Placement::Each}) {
+            const char *pname =
+                pl == workloads::tpcc::Placement::All ? "TPCC_ALL"
+                                                      : "TPCC_EACH";
+            const auto base = runExperiment(tpccBase(args, pl));
+            const auto pipe =
+                runExperiment(asOpt(tpccBase(args, pl)));
+            const auto par = runExperiment(
+                asOpt(tpccBase(args, pl), sim::PolbDesign::Parallel));
+            const auto ideal = runExperiment(asOpt(
+                tpccBase(args, pl), sim::PolbDesign::Pipelined, true));
+            std::printf("%-13s %12lu %9.2fx %9.2fx %7.2fx\n", pname,
+                        static_cast<unsigned long>(base.metrics.cycles),
+                        speedup(base, pipe), speedup(base, par),
+                        speedup(base, ideal));
+            std::fflush(stdout);
+        }
+        std::printf("paper reference: TPCC_ALL 1.10x, TPCC_EACH 1.17x "
+                    "(in-order, Pipelined)\n");
+    }
+    std::printf("\npaper reference: RANDOM avg 1.96x (Pipelined), "
+                "1.92x (Parallel)\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reproduces paper Figure 9(b): speedup of OPT over BASE on the
+ * out-of-order core (Pipelined design only — the paper drops Parallel
+ * for OoO because a physical-address POLB breaks LSQ disambiguation,
+ * section 4.3), with ideal dots, plus TPC-C.
+ */
+#include "bench/bench_util.h"
+
+using namespace poat;
+using namespace poat::bench;
+using driver::runExperiment;
+using driver::speedup;
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+
+    std::printf("Figure 9(b): OPT/BASE speedup, out-of-order core "
+                "(Pipelined)\n");
+    hr();
+    std::printf("%-5s %-7s %12s %10s %8s\n", "Bench", "Pattern",
+                "BASE cycles", "Pipelined", "Ideal");
+    hr();
+
+    std::vector<double> by_pattern[3];
+    for (const auto &wl : workloads::microbenchNames()) {
+        int pi = 0;
+        for (const auto &[pattern, pname] : patterns()) {
+            const auto base = runExperiment(
+                microBase(args, wl, pattern, sim::CoreType::OutOfOrder));
+            const auto pipe = runExperiment(asOpt(
+                microBase(args, wl, pattern, sim::CoreType::OutOfOrder)));
+            const auto ideal = runExperiment(asOpt(
+                microBase(args, wl, pattern, sim::CoreType::OutOfOrder),
+                sim::PolbDesign::Pipelined, /*ideal=*/true));
+            std::printf("%-5s %-7s %12lu %9.2fx %7.2fx\n", wl.c_str(),
+                        pname,
+                        static_cast<unsigned long>(base.metrics.cycles),
+                        speedup(base, pipe), speedup(base, ideal));
+            std::fflush(stdout);
+            by_pattern[pi++].push_back(speedup(base, pipe));
+        }
+    }
+    hr();
+    const char *pnames[3] = {"ALL", "EACH", "RANDOM"};
+    for (int pi = 0; pi < 3; ++pi) {
+        std::printf("GeoMean %-7s %20s %9.2fx\n", pnames[pi], "",
+                    driver::geomean(by_pattern[pi]));
+    }
+
+    if (args.include_tpcc) {
+        hr();
+        for (const auto pl : {workloads::tpcc::Placement::All,
+                              workloads::tpcc::Placement::Each}) {
+            const char *pname =
+                pl == workloads::tpcc::Placement::All ? "TPCC_ALL"
+                                                      : "TPCC_EACH";
+            const auto base = runExperiment(
+                tpccBase(args, pl, sim::CoreType::OutOfOrder));
+            const auto pipe = runExperiment(
+                asOpt(tpccBase(args, pl, sim::CoreType::OutOfOrder)));
+            std::printf("%-13s %12lu %9.2fx\n", pname,
+                        static_cast<unsigned long>(base.metrics.cycles),
+                        speedup(base, pipe));
+            std::fflush(stdout);
+        }
+        std::printf("paper reference: TPCC_EACH 1.12x (OoO)\n");
+    }
+    std::printf("\npaper reference: RANDOM avg 1.58x; OoO speedups are "
+                "lower than in-order because ILP hides part of the "
+                "software-translation cost\n");
+    return 0;
+}

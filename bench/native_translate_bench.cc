@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Host-native google-benchmark microbenchmarks of the library
+ * primitives themselves (not the simulated machine): the software
+ * translation fast/slow paths whose instruction counts Table 2 models,
+ * allocation, transactional updates, and B+ tree operations. These give
+ * context for why a 17-vs-97-instruction translation matters: the same
+ * ratio shows up in host nanoseconds.
+ */
+#include <benchmark/benchmark.h>
+
+#include "pmem/runtime.h"
+#include "workloads/bplustree.h"
+#include "workloads/harness.h"
+
+namespace {
+
+using namespace poat;
+
+void
+BM_TranslatePredictorHit(benchmark::State &state)
+{
+    AddressSpace space(1);
+    SoftwareTranslator tr(space);
+    tr.addPool(1, 0x10000000);
+    NullTraceSink sink;
+    tr.translate(ObjectID(1, 0), sink); // warm the predictor
+    uint32_t off = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            tr.translate(ObjectID(1, off += 8), sink));
+    }
+}
+BENCHMARK(BM_TranslatePredictorHit);
+
+void
+BM_TranslateFullLookup(benchmark::State &state)
+{
+    AddressSpace space(1);
+    SoftwareTranslator tr(space);
+    const uint32_t pools = static_cast<uint32_t>(state.range(0));
+    for (uint32_t p = 1; p <= pools; ++p)
+        tr.addPool(p, 0x10000000ull * p);
+    NullTraceSink sink;
+    uint32_t p = 0;
+    for (auto _ : state) {
+        // Alternate pools so the last-value predictor always misses.
+        p = p % pools + 1;
+        benchmark::DoNotOptimize(tr.translate(ObjectID(p, 0), sink));
+    }
+}
+BENCHMARK(BM_TranslateFullLookup)->Arg(2)->Arg(32)->Arg(1024);
+
+void
+BM_PmallocPfree(benchmark::State &state)
+{
+    RuntimeOptions o;
+    PmemRuntime rt(o);
+    const uint32_t pool = rt.poolCreate("p", 8 << 20);
+    for (auto _ : state) {
+        const ObjectID oid = rt.pmalloc(pool, 64);
+        rt.pfree(oid);
+    }
+}
+BENCHMARK(BM_PmallocPfree);
+
+void
+BM_TransactionalUpdate(benchmark::State &state)
+{
+    RuntimeOptions o;
+    PmemRuntime rt(o);
+    const uint32_t pool = rt.poolCreate("p", 8 << 20);
+    const ObjectID obj = rt.pmalloc(pool, 64);
+    uint64_t v = 0;
+    for (auto _ : state) {
+        rt.txBegin(pool);
+        rt.txAddRange(obj, 64);
+        rt.write<uint64_t>(rt.deref(obj), 0, ++v);
+        rt.txEnd();
+    }
+}
+BENCHMARK(BM_TransactionalUpdate);
+
+void
+BM_PersistLine(benchmark::State &state)
+{
+    RuntimeOptions o;
+    PmemRuntime rt(o);
+    const uint32_t pool = rt.poolCreate("p", 8 << 20);
+    const ObjectID obj = rt.pmalloc(pool, 64);
+    uint64_t v = 0;
+    for (auto _ : state) {
+        rt.write<uint64_t>(rt.deref(obj), 0, ++v);
+        rt.persist(obj, 8);
+    }
+}
+BENCHMARK(BM_PersistLine);
+
+void
+BM_BPlusTreeInsertFind(benchmark::State &state)
+{
+    RuntimeOptions o;
+    PmemRuntime rt(o);
+    const uint32_t pool = rt.poolCreate("p", 64 << 20);
+    const ObjectID anchor = rt.poolRoot(pool, 16);
+    workloads::BPlusTree tree(rt, anchor,
+                              [pool](uint64_t) { return pool; });
+    uint64_t k = 0;
+    for (auto _ : state) {
+        workloads::TxScope tx(rt, false);
+        ++k;
+        tree.insert(tx, k, k);
+        benchmark::DoNotOptimize(tree.find(k / 2 + 1));
+    }
+}
+BENCHMARK(BM_BPlusTreeInsertFind);
+
+void
+BM_UndoRollback(benchmark::State &state)
+{
+    // Cost of rolling back a transaction touching N 64-byte ranges.
+    const int ranges = static_cast<int>(state.range(0));
+    RuntimeOptions o;
+    PmemRuntime rt(o);
+    const uint32_t pool = rt.poolCreate("p", 32 << 20);
+    std::vector<ObjectID> objs;
+    for (int i = 0; i < ranges; ++i)
+        objs.push_back(rt.pmalloc(pool, 64));
+    for (auto _ : state) {
+        rt.txBegin(pool);
+        for (const ObjectID &o2 : objs) {
+            rt.txAddRange(o2, 64);
+            rt.write<uint64_t>(rt.deref(o2), 0, 1);
+        }
+        rt.txAbort();
+    }
+    state.SetItemsProcessed(state.iterations() * ranges);
+}
+BENCHMARK(BM_UndoRollback)->Arg(1)->Arg(16)->Arg(128);
+
+void
+BM_CrashRecovery(benchmark::State &state)
+{
+    // Full power-failure recovery of a pool with a mid-flight
+    // transaction of N logged ranges.
+    const int ranges = static_cast<int>(state.range(0));
+    RuntimeOptions o;
+    PmemRuntime rt(o);
+    const uint32_t pool = rt.poolCreate("p", 32 << 20);
+    std::vector<ObjectID> objs;
+    for (int i = 0; i < ranges; ++i)
+        objs.push_back(rt.pmalloc(pool, 64));
+    for (auto _ : state) {
+        rt.txBegin(pool);
+        for (const ObjectID &o2 : objs) {
+            rt.txAddRange(o2, 64);
+            rt.write<uint64_t>(rt.deref(o2), 0, 1);
+        }
+        rt.crashAndRecover();
+    }
+    state.SetItemsProcessed(state.iterations() * ranges);
+}
+BENCHMARK(BM_CrashRecovery)->Arg(1)->Arg(16)->Arg(128);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Reproduces paper Table 8: POLB miss rates of the OPT configurations
+ * (32-entry POLB) — Parallel on ALL/RANDOM/EACH, Pipelined on EACH
+ * (Pipelined only misses during warm-up on ALL and RANDOM: 1 and 32
+ * misses respectively, which is also checked here), plus TPC-C.
+ */
+#include "bench/bench_util.h"
+
+using namespace poat;
+using namespace poat::bench;
+using driver::runExperiment;
+
+namespace {
+
+double
+missRate(const driver::ExperimentResult &r)
+{
+    return r.metrics.polbMissRate();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+
+    std::printf("Table 8: POLB miss rate of OPT (32-entry POLB)\n");
+    hr(88);
+    std::printf("%-6s | %28s | %10s | %22s\n", "",
+                "Parallel", "Pipelined", "Pipelined warm-up");
+    std::printf("%-6s %9s %9s %9s %10s %11s %10s\n", "Bench.", "ALL",
+                "RANDOM", "EACH", "EACH", "ALL miss#", "RND miss#");
+    hr(88);
+
+    for (const auto &wl : workloads::microbenchNames()) {
+        const auto par_all = runExperiment(
+            asOpt(microBase(args, wl, workloads::PoolPattern::All),
+                  sim::PolbDesign::Parallel));
+        const auto par_rnd = runExperiment(
+            asOpt(microBase(args, wl, workloads::PoolPattern::Random),
+                  sim::PolbDesign::Parallel));
+        const auto par_each = runExperiment(
+            asOpt(microBase(args, wl, workloads::PoolPattern::Each),
+                  sim::PolbDesign::Parallel));
+        const auto pipe_each = runExperiment(
+            asOpt(microBase(args, wl, workloads::PoolPattern::Each),
+                  sim::PolbDesign::Pipelined));
+        const auto pipe_all = runExperiment(
+            asOpt(microBase(args, wl, workloads::PoolPattern::All),
+                  sim::PolbDesign::Pipelined));
+        const auto pipe_rnd = runExperiment(
+            asOpt(microBase(args, wl, workloads::PoolPattern::Random),
+                  sim::PolbDesign::Pipelined));
+
+        std::printf("%-6s %8.1f%% %8.1f%% %8.1f%% %9.1f%% %11lu %10lu\n",
+                    wl.c_str(), 100 * missRate(par_all),
+                    100 * missRate(par_rnd), 100 * missRate(par_each),
+                    100 * missRate(pipe_each),
+                    static_cast<unsigned long>(
+                        pipe_all.metrics.polb_misses),
+                    static_cast<unsigned long>(
+                        pipe_rnd.metrics.polb_misses));
+        std::fflush(stdout);
+    }
+
+    if (args.include_tpcc) {
+        const auto all = runExperiment(
+            asOpt(tpccBase(args, workloads::tpcc::Placement::All),
+                  sim::PolbDesign::Pipelined));
+        const auto each = runExperiment(
+            asOpt(tpccBase(args, workloads::tpcc::Placement::Each),
+                  sim::PolbDesign::Pipelined));
+        const auto each_par = runExperiment(
+            asOpt(tpccBase(args, workloads::tpcc::Placement::Each),
+                  sim::PolbDesign::Parallel));
+        std::printf("%-6s %9s %9s %8.1f%% %9.1f%%   (Pipelined ALL "
+                    "%.1f%%)\n",
+                    "TPCC", "-", "-", 100 * missRate(each_par),
+                    100 * missRate(each), 100 * missRate(all));
+    }
+    hr(88);
+    std::printf("paper reference: Parallel EACH: LL 32.4%%, BST 7.3%%, "
+                "RBT 3.1%%, BT 1.7%%, B+T 1.5%%, SPS 1.2%%;\n"
+                "Pipelined EACH: LL 32.5%%, BST 8.1%%; Pipelined "
+                "ALL/RANDOM: only 1/32 warm-up misses\n");
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Small bit-manipulation and alignment helpers shared across poat.
+ */
+#ifndef POAT_COMMON_BITS_H
+#define POAT_COMMON_BITS_H
+
+#include <cstdint>
+
+namespace poat {
+
+/** Round @p v up to the next multiple of @p align (a power of two). */
+constexpr uint64_t
+alignUp(uint64_t v, uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Round @p v down to a multiple of @p align (a power of two). */
+constexpr uint64_t
+alignDown(uint64_t v, uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** True iff @p v is a power of two (and nonzero). */
+constexpr bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2; undefined for 0. */
+constexpr unsigned
+floorLog2(uint64_t v)
+{
+    unsigned r = 0;
+    while (v >>= 1)
+        ++r;
+    return r;
+}
+
+/** Extract bits [lo, hi] (inclusive) of @p v. */
+constexpr uint64_t
+bitsOf(uint64_t v, unsigned hi, unsigned lo)
+{
+    const unsigned width = hi - lo + 1;
+    const uint64_t mask = width >= 64 ? ~0ull : ((1ull << width) - 1);
+    return (v >> lo) & mask;
+}
+
+} // namespace poat
+
+#endif // POAT_COMMON_BITS_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic() is for conditions that indicate a bug in poat itself; it aborts.
+ * fatal() is for user-caused conditions (bad configuration, illegal API
+ * use); it exits with an error code. warn()/inform() print status without
+ * stopping the program.
+ */
+#ifndef POAT_COMMON_LOGGING_H
+#define POAT_COMMON_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace poat {
+
+/** Print a message and abort; use for internal invariant violations. */
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg, file, line);
+    std::abort();
+}
+
+/** Print a message and exit(1); use for user/configuration errors. */
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg, file, line);
+    std::exit(1);
+}
+
+} // namespace poat
+
+#define POAT_PANIC(msg) ::poat::panicImpl(__FILE__, __LINE__, (msg))
+#define POAT_FATAL(msg) ::poat::fatalImpl(__FILE__, __LINE__, (msg))
+
+/** Assert an internal invariant; always enabled (not tied to NDEBUG). */
+#define POAT_ASSERT(cond, msg)                                             \
+    do {                                                                   \
+        if (!(cond))                                                       \
+            POAT_PANIC(msg);                                               \
+    } while (0)
+
+#endif // POAT_COMMON_LOGGING_H

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic choices in poat (workload keys, ASLR-style pool
+ * placement, crash-injection points) draw from this generator so that a
+ * given seed reproduces a run bit-for-bit. The implementation is
+ * xoshiro256** which is fast, has a 2^256-1 period, and passes BigCrush.
+ */
+#ifndef POAT_COMMON_RNG_H
+#define POAT_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace poat {
+
+/** Deterministic xoshiro256** generator with splitmix64 seeding. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; identical seeds replay identically. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // splitmix64 expansion of the seed into the four state words.
+        uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound); bound must be nonzero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        // Multiply-shift range reduction (Lemire); bias is negligible for
+        // the bounds used in workloads and tests.
+        return static_cast<uint64_t>(
+            (static_cast<__uint128_t>(next()) * bound) >> 64);
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    uint64_t
+    range(uint64_t lo, uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli draw with probability num/den. */
+    bool
+    chance(uint64_t num, uint64_t den)
+    {
+        return below(den) < num;
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4];
+};
+
+} // namespace poat
+
+#endif // POAT_COMMON_RNG_H

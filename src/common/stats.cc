@@ -1,0 +1,41 @@
+#include "common/stats.h"
+
+namespace poat {
+
+uint64_t &
+StatsRegistry::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+uint64_t
+StatsRegistry::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+void
+StatsRegistry::resetAll()
+{
+    for (auto &kv : counters_)
+        kv.second = 0;
+}
+
+double
+StatsRegistry::ratio(const std::string &num, const std::string &den) const
+{
+    const uint64_t d = get(den);
+    if (d == 0)
+        return 0.0;
+    return static_cast<double>(get(num)) / static_cast<double>(d);
+}
+
+void
+StatsRegistry::dump(std::ostream &os) const
+{
+    for (const auto &kv : counters_)
+        os << kv.first << " " << kv.second << "\n";
+}
+
+} // namespace poat

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Lightweight named-counter statistics registry.
+ *
+ * Simulator components register scalar counters by name; the registry can
+ * dump them, reset them between experiment phases, and expose derived
+ * ratios (e.g., miss rates) uniformly. Deliberately simple compared to
+ * gem5's stats package: experiments in poat read counters directly.
+ */
+#ifndef POAT_COMMON_STATS_H
+#define POAT_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace poat {
+
+/** A registry of named 64-bit counters. */
+class StatsRegistry
+{
+  public:
+    /** Get (creating if absent) a counter reference by name. */
+    uint64_t &counter(const std::string &name);
+
+    /** Read a counter; returns 0 if it was never created. */
+    uint64_t get(const std::string &name) const;
+
+    /** Set every registered counter back to zero. */
+    void resetAll();
+
+    /** Ratio of two counters; returns 0 when the denominator is zero. */
+    double ratio(const std::string &num, const std::string &den) const;
+
+    /** Print all counters, one "name value" line each, sorted by name. */
+    void dump(std::ostream &os) const;
+
+    /** Number of registered counters. */
+    size_t size() const { return counters_.size(); }
+
+  private:
+    std::map<std::string, uint64_t> counters_;
+};
+
+} // namespace poat
+
+#endif // POAT_COMMON_STATS_H

@@ -1,0 +1,63 @@
+#include "driver/experiment.h"
+
+#include <cmath>
+
+#include "pmem/runtime.h"
+
+namespace poat {
+namespace driver {
+
+ExperimentResult
+runExperiment(const ExperimentConfig &cfg)
+{
+    sim::Machine machine(cfg.machine);
+
+    RuntimeOptions ro;
+    ro.mode = cfg.mode;
+    ro.durability = cfg.transactions;
+    ro.aslr_seed = cfg.seed ^ 0x517cc1b727220a95ull;
+    ro.base_predictor = cfg.base_predictor;
+    PmemRuntime rt(ro, &machine);
+
+    ExperimentResult res;
+    if (cfg.workload == "TPCC") {
+        workloads::tpcc::TpccWorkload w(cfg.placement,
+                                        cfg.tpcc_scale_pct, cfg.seed,
+                                        cfg.tpcc_txns,
+                                        cfg.transactions);
+        const auto r = w.run(rt);
+        res.workload_checksum = r.checksum;
+        res.workload_operations = r.transactions;
+    } else {
+        workloads::WorkloadConfig wc;
+        wc.pattern = cfg.pattern;
+        wc.transactions = cfg.transactions;
+        wc.seed = cfg.seed;
+        wc.scale_pct = cfg.scale_pct;
+        const auto r = workloads::makeWorkload(cfg.workload, wc)->run(rt);
+        res.workload_checksum = r.checksum;
+        res.workload_operations = r.operations;
+    }
+
+    res.metrics = machine.metrics();
+    res.breakdown = machine.breakdown();
+    res.translate_calls = rt.translator().calls();
+    res.translate_misses = rt.translator().predictorMisses();
+    res.translate_insns_per_call =
+        rt.translator().avgInstructionsPerCall();
+    return res;
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+} // namespace driver
+} // namespace poat

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Experiment driver: runs one (workload, pattern, configuration,
+ * machine) combination end to end and returns its metrics.
+ *
+ * This is the engine behind every bench binary. A run executes the
+ * workload natively against a fresh PmemRuntime whose TraceSink is a
+ * fresh sim::Machine, so BASE and OPT runs of the same seed perform
+ * identical logical work and differ only in the translation machinery —
+ * exactly the paper's Table 7 comparison.
+ */
+#ifndef POAT_DRIVER_EXPERIMENT_H
+#define POAT_DRIVER_EXPERIMENT_H
+
+#include <string>
+
+#include "sim/machine.h"
+#include "workloads/harness.h"
+#include "workloads/tpcc/tpcc.h"
+
+namespace poat {
+namespace driver {
+
+/** Everything one simulated run needs. */
+struct ExperimentConfig
+{
+    /** "LL", "BST", "SPS", "RBT", "BT", "B+T", or "TPCC". */
+    std::string workload = "LL";
+
+    /// @name Microbenchmark knobs
+    /// @{
+    workloads::PoolPattern pattern = workloads::PoolPattern::All;
+    uint32_t scale_pct = 100; ///< 100 = the paper's op counts
+    /// @}
+
+    /// @name TPC-C knobs
+    /// @{
+    workloads::tpcc::Placement placement =
+        workloads::tpcc::Placement::All;
+    uint32_t tpcc_scale_pct = 10; ///< table cardinality scale
+    uint64_t tpcc_txns = 1000;    ///< paper: 1000 transactions
+    /// @}
+
+    /** Failure-safety + durability on (BASE/OPT) or off (*_NTX). */
+    bool transactions = true;
+
+    /** BASE (Software) or OPT (Hardware). */
+    TranslationMode mode = TranslationMode::Software;
+
+    /** BASE ablation: disable the software last-value predictor. */
+    bool base_predictor = true;
+
+    sim::MachineConfig machine;
+    uint64_t seed = 42;
+};
+
+/** Metrics of one finished run. */
+struct ExperimentResult
+{
+    sim::MachineMetrics metrics;
+    sim::CycleBreakdown breakdown; ///< CPI stack (in-order core only)
+    uint64_t workload_checksum = 0;
+    uint64_t workload_operations = 0;
+
+    /** Software-translation profile (BASE runs; Table 2). */
+    uint64_t translate_calls = 0;
+    uint64_t translate_misses = 0;
+    double translate_insns_per_call = 0.0;
+};
+
+/** Execute one experiment. */
+ExperimentResult runExperiment(const ExperimentConfig &cfg);
+
+/** Speedup of OPT over BASE: cycles(base) / cycles(opt). */
+inline double
+speedup(const ExperimentResult &base, const ExperimentResult &opt)
+{
+    return opt.metrics.cycles == 0
+               ? 0.0
+               : static_cast<double>(base.metrics.cycles) /
+                     static_cast<double>(opt.metrics.cycles);
+}
+
+/** Geometric mean of a vector of positive values. */
+double geomean(const std::vector<double> &xs);
+
+} // namespace driver
+} // namespace poat
+
+#endif // POAT_DRIVER_EXPERIMENT_H

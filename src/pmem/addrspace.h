@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Simulated process virtual address space with ASLR-style placement.
+ *
+ * The paper's motivation for ObjectIDs is that pools are relocatable:
+ * each pool is mmapped at an arbitrary (randomized) virtual base, so
+ * persistent data cannot hold raw pointers. This class hands out
+ * randomized, page-aligned, non-overlapping virtual regions for pools and
+ * for the runtime's own data (translation hash table, volatile heap,
+ * stack), mirroring mmap under ASLR. Addresses are *simulated*: they feed
+ * the timing model's TLB/caches; host storage is separate.
+ */
+#ifndef POAT_PMEM_ADDRSPACE_H
+#define POAT_PMEM_ADDRSPACE_H
+
+#include <cstdint>
+#include <map>
+
+#include "common/bits.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace poat {
+
+/** Page size assumed throughout (paper Table 4). */
+inline constexpr uint64_t kPageSize = 4096;
+/** Cache line size assumed throughout (paper Table 4). */
+inline constexpr uint64_t kLineSize = 64;
+
+/** Allocator of randomized virtual address regions for one process. */
+class AddressSpace
+{
+  public:
+    /**
+     * @param seed Determines the (reproducible) random placement.
+     */
+    explicit AddressSpace(uint64_t seed = 1) : rng_(seed ^ 0xa5a5a5a5ull) {}
+
+    /**
+     * Reserve a region of @p size bytes at a random page-aligned base
+     * within the mmap range. Never overlaps a live region.
+     */
+    uint64_t
+    mapRandom(uint64_t size)
+    {
+        size = alignUp(size, kPageSize);
+        for (int attempt = 0; attempt < 4096; ++attempt) {
+            uint64_t base = kMmapLo +
+                rng_.below((kMmapHi - kMmapLo - size) / kPageSize) *
+                    kPageSize;
+            if (insertIfFree(base, size))
+                return base;
+        }
+        POAT_PANIC("address space exhausted (random placement failed)");
+    }
+
+    /** Release a previously mapped region starting at @p base. */
+    void
+    unmap(uint64_t base)
+    {
+        auto it = regions_.find(base);
+        POAT_ASSERT(it != regions_.end(), "unmap of unknown region");
+        regions_.erase(it);
+    }
+
+    /** True iff @p vaddr falls inside some live region. */
+    bool
+    contains(uint64_t vaddr) const
+    {
+        auto it = regions_.upper_bound(vaddr);
+        if (it == regions_.begin())
+            return false;
+        --it;
+        return vaddr < it->first + it->second;
+    }
+
+    size_t regionCount() const { return regions_.size(); }
+
+  private:
+    bool
+    insertIfFree(uint64_t base, uint64_t size)
+    {
+        auto next = regions_.lower_bound(base);
+        if (next != regions_.end() && base + size > next->first)
+            return false;
+        if (next != regions_.begin()) {
+            auto prev = std::prev(next);
+            if (prev->first + prev->second > base)
+                return false;
+        }
+        regions_.emplace(base, size);
+        return true;
+    }
+
+    // Placement range mimics the Linux x86-64 mmap area.
+    static constexpr uint64_t kMmapLo = 0x0000'1000'0000'0000ull;
+    static constexpr uint64_t kMmapHi = 0x0000'7000'0000'0000ull;
+
+    Rng rng_;
+    std::map<uint64_t, uint64_t> regions_; ///< base -> size
+};
+
+} // namespace poat
+
+#endif // POAT_PMEM_ADDRSPACE_H

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * In-pool persistent heap allocator (pmalloc/pfree substrate).
+ *
+ * Block headers live inside the pool so the heap survives reopen and
+ * crash; the free list is volatile and rebuilt by a header scan when the
+ * allocator is attached, mirroring how NVML reconstructs runtime state
+ * on pool open. Blocks are 16-byte aligned, carry boundary information
+ * (prev_size) for O(1) physical coalescing, and are first-fit allocated.
+ *
+ * Crash-atomicity of an individual allocation is the transaction layer's
+ * job: tx_pmalloc writes an ALLOC undo record before the allocation is
+ * made durable, so recovery can return a half-visible block. A non-
+ * transactional pmalloc interrupted by a crash may leak its block, the
+ * same contract NVML's non-transactional allocations have.
+ */
+#ifndef POAT_PMEM_ALLOC_H
+#define POAT_PMEM_ALLOC_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "pmem/pool.h"
+
+namespace poat {
+
+/** On-media header preceding every heap block. */
+struct BlockHeader
+{
+    static constexpr uint32_t kMagic = 0xb10cb10c;
+    static constexpr uint32_t kAllocated = 1u << 0;
+
+    uint32_t size;      ///< total block bytes including this header
+    uint32_t prev_size; ///< total bytes of the physically previous block
+    uint32_t flags;
+    uint32_t magic;
+
+    bool allocated() const { return flags & kAllocated; }
+};
+
+static_assert(sizeof(BlockHeader) == 16);
+
+/** First-fit allocator over one pool's heap region. */
+class PoolAllocator
+{
+  public:
+    static constexpr uint32_t kAlign = 16;
+    static constexpr uint32_t kMinBlock = sizeof(BlockHeader) + kAlign;
+
+    /** Attach to @p pool, scanning headers to rebuild the free list. */
+    explicit PoolAllocator(Pool &pool);
+
+    /**
+     * Allocate @p size payload bytes.
+     * @return payload offset within the pool, or 0 on exhaustion.
+     */
+    uint32_t alloc(uint32_t size);
+
+    /** Free the block whose payload begins at @p payload_off. */
+    void free(uint32_t payload_off);
+
+    /** Total payload capacity of the block at @p payload_off. */
+    uint32_t blockPayloadSize(uint32_t payload_off) const;
+
+    /** True iff @p payload_off names a live allocated block. */
+    bool isAllocated(uint32_t payload_off) const;
+
+    /// @name Introspection for tests and the runtime cost model
+    /// @{
+    uint64_t freeBytes() const;
+    uint64_t usedBytes() const;
+    size_t freeBlockCount() const { return freeList_.size(); }
+
+    /**
+     * Pool offsets whose headers the last alloc/free wrote; the runtime
+     * replays these as persistent stores in the instruction trace.
+     */
+    const std::vector<uint32_t> &lastTouched() const { return touched_; }
+
+    /**
+     * Re-scan headers and rebuild the volatile free list; required after
+     * a simulated crash reverted the working image.
+     */
+    void rescan() { rebuildFreeList(); }
+
+    /**
+     * Walk the whole heap checking header-chain invariants (magic
+     * values, size chaining, no two adjacent free blocks).
+     * @return true iff the heap is consistent.
+     */
+    bool validate() const;
+    /// @}
+
+  private:
+    BlockHeader readHeader(uint32_t block_off) const;
+    void writeHeader(uint32_t block_off, const BlockHeader &h);
+    void rebuildFreeList();
+    uint32_t heapEnd() const;
+
+    Pool &pool_;
+    uint32_t heapOff_;
+    uint32_t heapSize_;
+    std::map<uint32_t, uint32_t> freeList_; ///< block off -> total size
+    std::vector<uint32_t> touched_;
+};
+
+} // namespace poat
+
+#endif // POAT_PMEM_ALLOC_H

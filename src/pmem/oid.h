@@ -1,0 +1,67 @@
+/**
+ * @file
+ * ObjectID: the persistent object address space (paper Figure 1).
+ *
+ * An ObjectID is a 64-bit value: the upper 32 bits hold a system-wide
+ * unique pool identifier, the lower 32 bits a byte offset within that
+ * pool. Pool id 0 is reserved for the null ObjectID, so every pool's 4 GB
+ * segment begins at a nonzero pool id. The space of all ObjectIDs can be
+ * read either as a segmented address space (one 4 GB segment per pool) or
+ * as a flat 64-bit space, since an object in one pool may hold a
+ * legitimate ObjectID referencing any other pool.
+ */
+#ifndef POAT_PMEM_OID_H
+#define POAT_PMEM_OID_H
+
+#include <cstdint>
+#include <functional>
+
+namespace poat {
+
+/** 64-bit persistent object identifier: (pool id << 32) | offset. */
+struct ObjectID
+{
+    uint64_t raw = 0;
+
+    constexpr ObjectID() = default;
+    constexpr explicit ObjectID(uint64_t r) : raw(r) {}
+    constexpr ObjectID(uint32_t pool_id, uint32_t offset)
+        : raw((static_cast<uint64_t>(pool_id) << 32) | offset)
+    {}
+
+    /** System-wide unique identifier of the containing pool. */
+    constexpr uint32_t poolId() const { return raw >> 32; }
+
+    /** Byte offset of the object within its pool. */
+    constexpr uint32_t offset() const { return raw & 0xffffffffu; }
+
+    /** True for the distinguished null ObjectID (pool id 0). */
+    constexpr bool isNull() const { return poolId() == 0; }
+
+    /** ObjectID @p delta bytes further into the same pool. */
+    constexpr ObjectID
+    plus(uint32_t delta) const
+    {
+        return ObjectID(poolId(), offset() + delta);
+    }
+
+    constexpr bool operator==(const ObjectID &o) const { return raw == o.raw; }
+    constexpr bool operator!=(const ObjectID &o) const { return raw != o.raw; }
+};
+
+/** The null ObjectID: pool id 0 can never exist. */
+inline constexpr ObjectID OID_NULL{};
+
+} // namespace poat
+
+template <>
+struct std::hash<poat::ObjectID>
+{
+    size_t
+    operator()(const poat::ObjectID &oid) const noexcept
+    {
+        return std::hash<uint64_t>{}(oid.raw);
+    }
+};
+
+#endif // POAT_PMEM_OID_H

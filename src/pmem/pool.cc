@@ -1,0 +1,160 @@
+#include "pmem/pool.h"
+
+#include <algorithm>
+
+namespace poat {
+
+Pool::Pool(std::string name, uint32_t pool_id, uint64_t size,
+           uint32_t log_size)
+    : name_(std::move(name)), id_(pool_id)
+{
+    POAT_ASSERT(pool_id != 0, "pool id 0 is reserved for OID_NULL");
+    // Leave room for the header, at least a page of heap, and the log.
+    size = std::max<uint64_t>(size, kHeaderSize + 4096 + log_size);
+    size = std::min<uint64_t>(size, 1ull << 32);
+    size = alignUp(size, kLineSize);
+    POAT_ASSERT(log_size + kHeaderSize + kLineSize <= size,
+                "log region does not fit in pool");
+
+    data_.assign(size, 0);
+
+    PoolHeader h{};
+    h.magic = PoolHeader::kMagic;
+    h.version = PoolHeader::kVersion;
+    h.pool_id = pool_id;
+    h.pool_size = size;
+    h.root_off = 0;
+    h.root_size = 0;
+    h.heap_off = kHeaderSize;
+    h.log_size = log_size;
+    h.log_off = static_cast<uint32_t>(size - log_size);
+    h.heap_size = h.log_off - h.heap_off;
+    std::memcpy(data_.data(), &h, sizeof(h));
+    cachedHeader_ = h;
+
+    // A fresh pool is fully durable from the start, like a newly created
+    // and synced file.
+    durable_ = data_;
+}
+
+Pool::Pool(std::string name, uint32_t pool_id,
+           std::vector<uint8_t> durable_image)
+    : name_(std::move(name)), id_(pool_id), data_(std::move(durable_image))
+{
+    POAT_ASSERT(data_.size() >= kHeaderSize, "pool image too small");
+    std::memcpy(&cachedHeader_, data_.data(), sizeof(cachedHeader_));
+    POAT_ASSERT(cachedHeader_.magic == PoolHeader::kMagic,
+                "pool image has bad magic");
+    POAT_ASSERT(cachedHeader_.pool_size == data_.size(),
+                "pool image size mismatch");
+    durable_ = data_;
+}
+
+void
+Pool::writeRaw(uint32_t off, const void *src, size_t n)
+{
+    POAT_ASSERT(static_cast<uint64_t>(off) + n <= data_.size(),
+                "pool write out of range");
+    std::memcpy(data_.data() + off, src, n);
+    const uint32_t first = off / kLineSize;
+    const uint32_t last = (off + static_cast<uint32_t>(n) - 1) / kLineSize;
+    for (uint32_t line = first; line <= last; ++line) {
+        dirty_.insert(line);
+        staged_.erase(line); // a new store re-dirties a staged line
+    }
+}
+
+void
+Pool::readRaw(uint32_t off, void *dst, size_t n) const
+{
+    POAT_ASSERT(static_cast<uint64_t>(off) + n <= data_.size(),
+                "pool read out of range");
+    std::memcpy(dst, data_.data() + off, n);
+}
+
+void
+Pool::writeBackLine(uint32_t line)
+{
+    const uint64_t base = static_cast<uint64_t>(line) * kLineSize;
+    const uint64_t n = std::min<uint64_t>(kLineSize, data_.size() - base);
+    std::memcpy(durable_.data() + base, data_.data() + base, n);
+}
+
+void
+Pool::clwb(uint32_t off)
+{
+    const uint32_t line = off / kLineSize;
+    if (!dirty_.count(line))
+        return; // clean line: CLWB is a no-op
+    if (policy_ == DurabilityPolicy::Eager) {
+        writeBackLine(line);
+        dirty_.erase(line);
+    } else {
+        staged_.insert(line);
+    }
+}
+
+void
+Pool::fence()
+{
+    for (uint32_t line : staged_) {
+        writeBackLine(line);
+        dirty_.erase(line);
+    }
+    staged_.clear();
+}
+
+void
+Pool::persist(uint32_t off, size_t n)
+{
+    if (n == 0)
+        return;
+    const uint32_t first = off / kLineSize;
+    const uint32_t last = (off + static_cast<uint32_t>(n) - 1) / kLineSize;
+    for (uint32_t line = first; line <= last; ++line)
+        clwb(line * kLineSize);
+    fence();
+}
+
+uint32_t
+Pool::lineSpan(uint32_t off, size_t n)
+{
+    if (n == 0)
+        return 0;
+    const uint32_t first = off / kLineSize;
+    const uint32_t last = (off + static_cast<uint32_t>(n) - 1) / kLineSize;
+    return last - first + 1;
+}
+
+void
+Pool::evictRandomLines(Rng &rng, uint64_t num, uint64_t den)
+{
+    std::vector<uint32_t> evicted;
+    for (uint32_t line : dirty_) {
+        if (staged_.count(line))
+            continue;
+        if (rng.chance(num, den)) {
+            writeBackLine(line);
+            evicted.push_back(line);
+        }
+    }
+    for (uint32_t line : evicted)
+        dirty_.erase(line);
+}
+
+void
+Pool::crash()
+{
+    data_ = durable_;
+    dirty_.clear();
+    staged_.clear();
+    refreshHeader();
+}
+
+void
+Pool::refreshHeader()
+{
+    std::memcpy(&cachedHeader_, data_.data(), sizeof(cachedHeader_));
+}
+
+} // namespace poat

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Persistent pool: storage, on-media layout, and the NVM durability model.
+ *
+ * A pool is the file-like unit of persistence (paper section 2.1.1). Its
+ * on-media layout is self-describing so a pool can be reopened (or
+ * recovered after a crash) from its durable image alone:
+ *
+ *   [ PoolHeader | heap (allocator blocks) ... | undo-log region ]
+ *
+ * Durability model. The pool keeps two images: `data` (what the program
+ * reads/writes — memory + caches) and `durable` (what is actually on
+ * NVM). Stores touch only `data` and mark 64-byte lines dirty; CLWB plus
+ * a fence makes lines durable. A simulated crash discards `data` in
+ * favor of `durable`. Because a real cache may write back a dirty line
+ * at any moment, tests can also force random early evictions; correct
+ * failure-safe code (the undo log) must tolerate both extremes, which is
+ * exactly what the recovery property tests check.
+ */
+#ifndef POAT_PMEM_POOL_H
+#define POAT_PMEM_POOL_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "pmem/addrspace.h"
+#include "pmem/oid.h"
+
+namespace poat {
+
+/** On-media header at offset 0 of every pool. */
+struct PoolHeader
+{
+    static constexpr uint64_t kMagic = 0x504f41545f504f4cull; // "POAT_POL"
+    static constexpr uint32_t kVersion = 1;
+
+    uint64_t magic;
+    uint32_t version;
+    uint32_t pool_id;   ///< system-wide id; informational on media
+    uint64_t pool_size; ///< total bytes including header and log
+    uint32_t root_off;  ///< offset of root object payload; 0 = unset
+    uint32_t root_size;
+    uint32_t heap_off;  ///< first allocator block
+    uint32_t heap_size;
+    uint32_t log_off;   ///< undo-log region
+    uint32_t log_size;
+};
+
+/** How CLWB interacts with the durable image (see file comment). */
+enum class DurabilityPolicy : uint8_t
+{
+    Eager,  ///< CLWB writes the line back immediately (fence is ordering)
+    Strict, ///< lines become durable only when a fence retires the CLWB
+};
+
+/**
+ * A persistent memory pool.
+ *
+ * Pool does storage and durability only; it emits no trace events and
+ * applies no policy. Allocation lives in PoolAllocator, transactions in
+ * UndoLog, and instruction accounting in PmemRuntime.
+ */
+class Pool
+{
+  public:
+    /** Fraction of a fresh pool reserved for the undo log. */
+    static constexpr uint32_t kDefaultLogSize = 64 * 1024;
+    static constexpr uint32_t kHeaderSize = 256;
+    /** Minimum total size that leaves room for header, heap, and log. */
+    static constexpr uint64_t kMinSize = kHeaderSize + 4096 + kDefaultLogSize;
+
+    /**
+     * Create a fresh pool image.
+     *
+     * @param name User-visible pool name (like a file name).
+     * @param pool_id System-wide id assigned by the registry; nonzero.
+     * @param size Total pool bytes; clamped to [kMinSize, 4 GB].
+     * @param log_size Bytes reserved for the undo-log region.
+     */
+    Pool(std::string name, uint32_t pool_id, uint64_t size,
+         uint32_t log_size = kDefaultLogSize);
+
+    /**
+     * Reopen a pool from a durable image (recovery path). The image
+     * becomes both the durable and the working copy.
+     */
+    Pool(std::string name, uint32_t pool_id,
+         std::vector<uint8_t> durable_image);
+
+    const std::string &name() const { return name_; }
+    uint32_t id() const { return id_; }
+    uint64_t size() const { return data_.size(); }
+    const PoolHeader &header() const { return cachedHeader_; }
+
+    /** Virtual base address where this pool is currently mapped. */
+    uint64_t vbase() const { return vbase_; }
+    void setVbase(uint64_t vbase) { vbase_ = vbase; }
+
+    /** Simulated virtual address of byte @p off within the pool. */
+    uint64_t vaddrOf(uint32_t off) const { return vbase_ + off; }
+
+    /** ObjectID of byte @p off within the pool. */
+    ObjectID oidOf(uint32_t off) const { return ObjectID(id_, off); }
+
+    /// @name Raw access (volatile image; marks dirty lines)
+    /// @{
+    void writeRaw(uint32_t off, const void *src, size_t n);
+    void readRaw(uint32_t off, void *dst, size_t n) const;
+
+    template <typename T>
+    T
+    readAs(uint32_t off) const
+    {
+        T v;
+        readRaw(off, &v, sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    writeAs(uint32_t off, const T &v)
+    {
+        writeRaw(off, &v, sizeof(T));
+    }
+    /// @}
+
+    /// @name Durability (CLWB / SFENCE semantics)
+    /// @{
+    /** CLWB the line containing @p off. */
+    void clwb(uint32_t off);
+
+    /** SFENCE: all CLWB'd lines are durable after this returns. */
+    void fence();
+
+    /** Convenience: CLWB every line in [off, off+n) then fence. */
+    void persist(uint32_t off, size_t n);
+
+    /** Number of lines spanned by [off, off+n): the CLWB count. */
+    static uint32_t lineSpan(uint32_t off, size_t n);
+
+    /**
+     * Simulate cache pressure: each currently dirty, un-flushed line is
+     * independently written back with probability @p num/@p den.
+     * Failure-safe code must remain correct under any such schedule.
+     */
+    void evictRandomLines(Rng &rng, uint64_t num, uint64_t den);
+
+    /** Simulate power failure: the working image reverts to durable. */
+    void crash();
+
+    /** Copy of the durable image (for offline recovery testing). */
+    std::vector<uint8_t> durableImage() const { return durable_; }
+
+    void setDurabilityPolicy(DurabilityPolicy p) { policy_ = p; }
+    DurabilityPolicy durabilityPolicy() const { return policy_; }
+
+    /** Count of lines dirty in cache and not yet written back. */
+    size_t dirtyLineCount() const { return dirty_.size(); }
+    /// @}
+
+    /** Re-read the cached header copy from the working image. */
+    void refreshHeader();
+
+  private:
+    void writeBackLine(uint32_t line);
+
+    std::string name_;
+    uint32_t id_;
+    uint64_t vbase_ = 0;
+    std::vector<uint8_t> data_;    ///< working image (memory + caches)
+    std::vector<uint8_t> durable_; ///< NVM image
+    std::unordered_set<uint32_t> dirty_;  ///< lines modified, not flushed
+    std::unordered_set<uint32_t> staged_; ///< lines CLWB'd, fence pending
+    DurabilityPolicy policy_ = DurabilityPolicy::Eager;
+    PoolHeader cachedHeader_{};
+};
+
+} // namespace poat
+
+#endif // POAT_PMEM_POOL_H

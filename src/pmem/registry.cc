@@ -1,0 +1,176 @@
+#include "pmem/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace poat {
+
+OpenPool &
+PoolRegistry::create(const std::string &name, uint64_t size,
+                     uint32_t log_size)
+{
+    if (idByName_.count(name))
+        POAT_FATAL("pool_create: name already exists");
+    const uint32_t id = nextId_++;
+    auto op = std::make_unique<OpenPool>(name, id, size, log_size);
+    op->pool.setVbase(space_.mapRandom(op->pool.size()));
+    idByName_[name] = id;
+    auto &ref = *op;
+    open_[id] = std::move(op);
+    return ref;
+}
+
+OpenPool &
+PoolRegistry::open(const std::string &name)
+{
+    auto it = idByName_.find(name);
+    if (it == idByName_.end())
+        POAT_FATAL("pool_open: unknown pool name");
+    const uint32_t id = it->second;
+    if (open_.count(id))
+        POAT_FATAL("pool_open: pool is already open");
+    auto disk_it = disk_.find(name);
+    POAT_ASSERT(disk_it != disk_.end(), "pool known but image missing");
+
+    auto op = std::make_unique<OpenPool>(name, id, disk_it->second);
+    op->pool.setVbase(space_.mapRandom(op->pool.size()));
+    op->log.recover();
+    disk_.erase(disk_it);
+    auto &ref = *op;
+    open_[id] = std::move(op);
+    return ref;
+}
+
+void
+PoolRegistry::close(uint32_t pool_id)
+{
+    auto it = open_.find(pool_id);
+    if (it == open_.end())
+        POAT_FATAL("pool_close: pool is not open");
+    OpenPool &op = *it->second;
+    POAT_ASSERT(!op.log.active(), "pool_close with a live transaction");
+    // Close semantics mirror closing a file: dirty cache lines are
+    // written back before the mapping goes away.
+    disk_[op.pool.name()] = [&] {
+        // Flush everything still dirty, then take the durable image.
+        Pool &p = op.pool;
+        for (uint64_t off = 0; off < p.size(); off += kLineSize)
+            p.clwb(static_cast<uint32_t>(off));
+        p.fence();
+        return p.durableImage();
+    }();
+    space_.unmap(op.pool.vbase());
+    open_.erase(it);
+}
+
+OpenPool *
+PoolRegistry::find(uint32_t pool_id)
+{
+    auto it = open_.find(pool_id);
+    return it == open_.end() ? nullptr : it->second.get();
+}
+
+const OpenPool *
+PoolRegistry::find(uint32_t pool_id) const
+{
+    auto it = open_.find(pool_id);
+    return it == open_.end() ? nullptr : it->second.get();
+}
+
+OpenPool &
+PoolRegistry::get(uint32_t pool_id)
+{
+    OpenPool *op = find(pool_id);
+    if (!op)
+        POAT_FATAL("access to a pool that is not open");
+    return *op;
+}
+
+void
+PoolRegistry::exportPool(const std::string &name, const std::string &path)
+{
+    std::vector<uint8_t> image;
+    auto id_it = idByName_.find(name);
+    if (id_it != idByName_.end() && open_.count(id_it->second)) {
+        image = open_.at(id_it->second)->pool.durableImage();
+    } else if (auto it = disk_.find(name); it != disk_.end()) {
+        image = it->second;
+    } else {
+        POAT_FATAL("exportPool: unknown pool name");
+    }
+
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        POAT_FATAL("exportPool: cannot open output file");
+    const size_t written = std::fwrite(image.data(), 1, image.size(), f);
+    std::fclose(f);
+    if (written != image.size())
+        POAT_FATAL("exportPool: short write");
+}
+
+void
+PoolRegistry::importPool(const std::string &name, const std::string &path)
+{
+    if (idByName_.count(name))
+        POAT_FATAL("importPool: name already exists");
+
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        POAT_FATAL("importPool: cannot open input file");
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    if (size < static_cast<long>(sizeof(PoolHeader))) {
+        std::fclose(f);
+        POAT_FATAL("importPool: file too small to be a pool image");
+    }
+    std::vector<uint8_t> image(static_cast<size_t>(size));
+    const size_t got = std::fread(image.data(), 1, image.size(), f);
+    std::fclose(f);
+    if (got != image.size())
+        POAT_FATAL("importPool: short read");
+
+    PoolHeader h{};
+    std::memcpy(&h, image.data(), sizeof(h));
+    if (h.magic != PoolHeader::kMagic || h.pool_size != image.size())
+        POAT_FATAL("importPool: not a valid pool image");
+
+    // Assign a fresh system-wide id on import: the image may come from
+    // a different process whose ids collide with ours. ObjectIDs inside
+    // the pool are offsets relative to *its own* id, which external
+    // references must re-derive anyway (same contract as NVML pools
+    // moved between systems).
+    idByName_[name] = nextId_++;
+    disk_[name] = std::move(image);
+}
+
+void
+PoolRegistry::crashAll()
+{
+    for (auto &kv : open_) {
+        kv.second->pool.crash();
+        kv.second->alloc.rescan();
+        kv.second->log.markCrashed();
+    }
+}
+
+void
+PoolRegistry::recoverAll()
+{
+    for (auto &kv : open_)
+        kv.second->log.recover();
+}
+
+std::vector<uint32_t>
+PoolRegistry::openIds() const
+{
+    std::vector<uint32_t> ids;
+    ids.reserve(open_.size());
+    for (const auto &kv : open_)
+        ids.push_back(kv.first);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+} // namespace poat

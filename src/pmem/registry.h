@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Process-level pool registry: pool_create / pool_open / pool_close.
+ *
+ * The registry plays the role of the OS plus filesystem for pools: it
+ * assigns system-wide pool ids at creation, keeps durable images of
+ * closed pools (the "disk"), maps open pools at randomized virtual bases
+ * through the AddressSpace, and attaches each open pool's allocator and
+ * undo log. Reopening a pool runs the allocator's self-healing scan and
+ * undo-log recovery, so a crash-then-open cycle lands on a consistent
+ * image.
+ */
+#ifndef POAT_PMEM_REGISTRY_H
+#define POAT_PMEM_REGISTRY_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pmem/addrspace.h"
+#include "pmem/alloc.h"
+#include "pmem/pool.h"
+#include "pmem/tx.h"
+
+namespace poat {
+
+/** An open pool bundled with its runtime helpers. */
+struct OpenPool
+{
+    /** Create-fresh constructor. */
+    OpenPool(std::string name, uint32_t id, uint64_t size, uint32_t log_size)
+        : pool(std::move(name), id, size, log_size), alloc(pool),
+          log(pool, alloc)
+    {}
+
+    /** Reopen-from-image constructor (runs the allocator scan). */
+    OpenPool(std::string name, uint32_t id, std::vector<uint8_t> image)
+        : pool(std::move(name), id, std::move(image)), alloc(pool),
+          log(pool, alloc)
+    {}
+
+    Pool pool;
+    PoolAllocator alloc;
+    UndoLog log;
+};
+
+/** Registry of pools for one simulated process. */
+class PoolRegistry
+{
+  public:
+    explicit PoolRegistry(uint64_t aslr_seed = 1) : space_(aslr_seed) {}
+
+    /**
+     * Create a pool named @p name of @p size total bytes, map it, and
+     * return it. Fails fatally if the name already exists.
+     */
+    OpenPool &create(const std::string &name, uint64_t size,
+                     uint32_t log_size = Pool::kDefaultLogSize);
+
+    /**
+     * Reopen a previously created (and closed) pool by name, running
+     * recovery. Fails fatally if the name is unknown or already open.
+     */
+    OpenPool &open(const std::string &name);
+
+    /** Close a pool: unmap it and keep its durable image on "disk". */
+    void close(uint32_t pool_id);
+
+    /** Look up an open pool by id; nullptr if not open. */
+    OpenPool *find(uint32_t pool_id);
+    const OpenPool *find(uint32_t pool_id) const;
+
+    /** Look up an open pool by id; fatal if not open. */
+    OpenPool &get(uint32_t pool_id);
+
+    /**
+     * Write a pool's durable image to @p path (the pool may be open or
+     * closed). The format is the on-media pool layout itself, so the
+     * file can be inspected offline (tools/pool_inspect) and imported
+     * into another registry or process run.
+     */
+    void exportPool(const std::string &name, const std::string &path);
+
+    /**
+     * Load a pool image from @p path onto this registry's "disk" under
+     * @p name; open it with open(name) afterwards (which runs
+     * recovery). Fatal if the name already exists or the image is not
+     * a valid pool.
+     */
+    void importPool(const std::string &name, const std::string &path);
+
+    /** Simulate a machine-wide power failure across all open pools. */
+    void crashAll();
+
+    /** Run recovery on every open pool (after crashAll). */
+    void recoverAll();
+
+    size_t openCount() const { return open_.size(); }
+    AddressSpace &addressSpace() { return space_; }
+
+    /** Ids of all currently open pools (sorted). */
+    std::vector<uint32_t> openIds() const;
+
+  private:
+    AddressSpace space_;
+    uint32_t nextId_ = 1;
+    std::unordered_map<uint32_t, std::unique_ptr<OpenPool>> open_;
+    std::unordered_map<std::string, uint32_t> idByName_;
+    std::unordered_map<std::string, std::vector<uint8_t>> disk_;
+};
+
+} // namespace poat
+
+#endif // POAT_PMEM_REGISTRY_H

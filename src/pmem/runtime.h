@@ -1,0 +1,244 @@
+/**
+ * @file
+ * PmemRuntime: the programmer-facing persistent memory API (paper
+ * Table 1) in both evaluated flavors.
+ *
+ * TranslationMode::Software is the BASE system: every object dereference
+ * calls the software oid_direct (SoftwareTranslator), and data accesses
+ * are ordinary loads/stores at the translated virtual address.
+ * TranslationMode::Hardware is the OPT system: dereferences are free and
+ * data accesses are nvld/nvst events carrying the ObjectID, translated
+ * by the simulated POLB/POT.
+ *
+ * Durability emission can be disabled (the *_NTX configurations): library
+ * paths then skip CLWB/fence events. Host-side semantics (the real undo
+ * log, the real durable image) are unaffected by the mode — BASE and OPT
+ * runs of the same workload produce byte-identical persistent state,
+ * which the integration tests assert.
+ */
+#ifndef POAT_PMEM_RUNTIME_H
+#define POAT_PMEM_RUNTIME_H
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "pmem/costs.h"
+#include "pmem/registry.h"
+#include "pmem/trace.h"
+#include "pmem/translate.h"
+
+namespace poat {
+
+/** Which translation machinery dereferences pay for (paper Table 7). */
+enum class TranslationMode : uint8_t
+{
+    Software, ///< BASE: oid_direct in software
+    Hardware, ///< OPT: nvld/nvst with POLB/POT translation
+};
+
+/** Construction options for a runtime instance. */
+struct RuntimeOptions
+{
+    TranslationMode mode = TranslationMode::Software;
+    /** Emit CLWB/fence events in library paths (off for *_NTX). */
+    bool durability = true;
+    /** Seed for ASLR-style placement; fixed seed => replayable layout. */
+    uint64_t aslr_seed = 1;
+    /**
+     * BASE-side ablation: disable oid_direct's most-recent-translation
+     * predictor so every software translation pays the full lookup.
+     */
+    bool base_predictor = true;
+};
+
+/**
+ * A dereferenced object: what the paper's programmer juggles manually.
+ *
+ * In Software mode it carries the translated virtual address plus the
+ * value tag of the translation's base-address load; in Hardware mode
+ * only the ObjectID (plus the tag of whatever load produced it, for
+ * pointer-chase dependence tracking).
+ */
+struct ObjectRef
+{
+    ObjectID oid{};
+    uint64_t vaddr = 0; ///< Software mode only
+    uint64_t dep_a = kNoDep; ///< translation result tag (Software)
+    uint64_t dep_b = kNoDep; ///< tag of the load that produced the oid
+
+    bool isNull() const { return oid.isNull(); }
+};
+
+/** The persistent-memory programming interface. */
+class PmemRuntime
+{
+  public:
+    explicit PmemRuntime(const RuntimeOptions &opts = {},
+                         TraceSink *sink = nullptr);
+
+    /// @name Pool management
+    /// @{
+    /** pool_create: create, map, and register a pool. @return pool id */
+    uint32_t poolCreate(const std::string &name, uint64_t size,
+                        uint32_t log_size = Pool::kDefaultLogSize);
+
+    /** pool_open: reopen a closed pool (with recovery). @return id */
+    uint32_t poolOpen(const std::string &name);
+
+    /** pool_close: unmap and deregister. */
+    void poolClose(uint32_t pool_id);
+
+    /**
+     * pool_root: ObjectID of the pool's root object, allocating it (and
+     * zeroing it) with @p size bytes on first use.
+     */
+    ObjectID poolRoot(uint32_t pool_id, uint32_t size);
+    /// @}
+
+    /// @name Object management
+    /// @{
+    /** pmalloc: allocate @p size bytes in @p pool_id. Fatal if full. */
+    ObjectID pmalloc(uint32_t pool_id, uint32_t size);
+
+    /** pfree: release the object at @p oid. */
+    void pfree(ObjectID oid);
+    /// @}
+
+    /// @name Translation and data access
+    /// @{
+    /**
+     * Dereference an ObjectID: the BASE system's oid_direct call (with
+     * its full instruction cost) or a free operation under OPT.
+     * @param oid_tag value tag of the load that produced @p oid, when it
+     *        was read out of another persistent object (pointer chase).
+     */
+    ObjectRef deref(ObjectID oid, uint64_t oid_tag = kNoDep);
+
+    /** Read a scalar field at @p ref.oid + @p off. */
+    template <typename T>
+    T
+    read(const ObjectRef &ref, uint32_t off = 0)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        emitRead(ref, off, sizeof(T));
+        return poolOf(ref).pool.readAs<T>(ref.oid.offset() + off);
+    }
+
+    /** Write a scalar field at @p ref.oid + @p off. */
+    template <typename T>
+    void
+    write(const ObjectRef &ref, uint32_t off, const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        emitWrite(ref, off, sizeof(T));
+        poolOf(ref).pool.writeAs<T>(ref.oid.offset() + off, v);
+    }
+
+    /** Bulk read of @p n bytes starting at @p ref.oid + @p off. */
+    void readBytes(const ObjectRef &ref, uint32_t off, void *dst, size_t n);
+
+    /** Bulk write of @p n bytes starting at @p ref.oid + @p off. */
+    void writeBytes(const ObjectRef &ref, uint32_t off, const void *src,
+                    size_t n);
+
+    /** Value tag of the most recent data load (for chase chains). */
+    uint64_t lastLoadTag() const { return lastLoadTag_; }
+    /// @}
+
+    /// @name Durability
+    /// @{
+    /** persist(oid, size): CLWB the range, then fence. */
+    void persist(ObjectID oid, uint32_t size);
+    /// @}
+
+    /// @name Failure safety
+    ///
+    /// Each pool has its own undo log (as in NVML); a logical operation
+    /// that spans pools opens one transaction per pool, and txEnd()
+    /// commits them in pool-id order. Atomicity is per pool: this is
+    /// the same contract NVML's single-pool transactions give a
+    /// multi-pool data structure.
+    /// @{
+    void txBegin(uint32_t pool_id);
+    void txAddRange(ObjectID oid, uint32_t size);
+    ObjectID txPmalloc(uint32_t pool_id, uint32_t size);
+    void txPfree(ObjectID oid);
+    void txEnd();
+    void txAbort();
+    bool txActive() const { return !txPools_.empty(); }
+    bool txActiveOn(uint32_t pool_id) const
+    {
+        return txPools_.count(pool_id) != 0;
+    }
+    /// @}
+
+    /// @name Workload support
+    /// @{
+    /** Reserve @p size bytes of volatile address space (buffers). */
+    uint64_t mapVolatile(uint64_t size);
+
+    /** Emit @p count generic ALU instructions (workload compute). */
+    void
+    compute(uint32_t count, uint64_t dep = kNoDep)
+    {
+        sink_->alu(count, dep);
+    }
+
+    /** Emit a conditional branch (workload control flow). */
+    void
+    branchEvent(bool taken, uint64_t pc, uint64_t dep = kNoDep)
+    {
+        sink_->branch(taken, pc, dep);
+    }
+    /// @}
+
+    /// @name Substrate access (tests, experiments, recovery flows)
+    /// @{
+    PoolRegistry &registry() { return registry_; }
+    SoftwareTranslator &translator() { return translator_; }
+    TraceSink &sink() { return *sink_; }
+    void setSink(TraceSink *sink) { sink_ = sink ? sink : &nullSink_; }
+    TranslationMode mode() const { return opts_.mode; }
+    bool durability() const { return opts_.durability; }
+
+    /** Power-failure simulation: crash all pools, then recover them. */
+    void crashAndRecover();
+    /// @}
+
+  private:
+    OpenPool &poolOf(const ObjectRef &ref);
+    OpenPool &poolOf(ObjectID oid);
+
+    /** Emit the instruction(s) for a data read of @p size bytes. */
+    void emitRead(const ObjectRef &ref, uint32_t off, size_t size);
+    /** Emit the instruction(s) for a data write of @p size bytes. */
+    void emitWrite(const ObjectRef &ref, uint32_t off, size_t size);
+
+    /** Emit flush events for [oid, oid+size) if durability is on. */
+    void emitPersist(ObjectID oid, uint32_t size, uint64_t vaddr);
+
+    /** Emit direct (library-internal) stores for allocator headers. */
+    void emitAllocatorTouches(OpenPool &op);
+
+    /** Emit the store+flush pair publishing a log append. */
+    void emitLogAppend(OpenPool &op);
+
+    /** Commit one pool's transaction (host already committed). */
+    void emitCommit(OpenPool &op,
+                    const std::vector<UndoLog::Record> &records);
+
+    RuntimeOptions opts_;
+    NullTraceSink nullSink_;
+    TraceSink *sink_;
+    PoolRegistry registry_;
+    SoftwareTranslator translator_;
+    std::set<uint32_t> txPools_; ///< pools with an open transaction
+    uint64_t lastLoadTag_ = kNoDep;
+};
+
+} // namespace poat
+
+#endif // POAT_PMEM_RUNTIME_H

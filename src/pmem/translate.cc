@@ -1,0 +1,176 @@
+#include "pmem/translate.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "pmem/costs.h"
+
+namespace poat {
+
+namespace {
+
+// Synthetic branch-site ids for the predictor (stable per static site).
+constexpr uint64_t kPcValidCheck = 0x4000;
+constexpr uint64_t kPcIdCheck = 0x4008;
+constexpr uint64_t kPcProbeLoop = 0x4010;
+constexpr uint64_t kPcReturn = 0x4018;
+
+// Layout of the translator's own data segment.
+constexpr uint64_t kOffGlobValid = 0;
+constexpr uint64_t kOffGlobId = 8;
+constexpr uint64_t kOffGlobBase = 16;
+constexpr uint64_t kOffBuckets = 64;
+constexpr uint64_t kOffNodes = 64 + 8 * SoftwareTranslator::kBuckets;
+constexpr uint64_t kNodeStride = 32;
+constexpr uint64_t kSegmentSize = 4 * 1024 * 1024;
+
+} // namespace
+
+SoftwareTranslator::SoftwareTranslator(AddressSpace &space)
+    : space_(space), chains_(kBuckets)
+{
+    rtBase_ = space_.mapRandom(kSegmentSize);
+    nodeBump_ = rtBase_ + kOffNodes;
+}
+
+uint32_t
+SoftwareTranslator::bucketOf(uint32_t pool_id)
+{
+    // Fibonacci multiplicative hash; what the emitted kTranslateHash ALU
+    // block stands for.
+    return (pool_id * 2654435761u) >> (32 - 10);
+}
+
+void
+SoftwareTranslator::addPool(uint32_t pool_id, uint64_t vbase)
+{
+    POAT_ASSERT(!pools_.count(pool_id), "translator: pool already added");
+    PoolInfo info{vbase, nodeBump_};
+    nodeBump_ += kNodeStride;
+    POAT_ASSERT(nodeBump_ <= rtBase_ + kSegmentSize,
+                "translator node arena exhausted");
+    pools_.emplace(pool_id, info);
+    chains_[bucketOf(pool_id)].push_back(pool_id);
+}
+
+void
+SoftwareTranslator::removePool(uint32_t pool_id)
+{
+    auto it = pools_.find(pool_id);
+    POAT_ASSERT(it != pools_.end(), "translator: removing unknown pool");
+    pools_.erase(it);
+    auto &chain = chains_[bucketOf(pool_id)];
+    chain.erase(std::remove(chain.begin(), chain.end(), pool_id),
+                chain.end());
+    if (recentValid_ && recentId_ == pool_id)
+        recentValid_ = false;
+}
+
+uint64_t
+SoftwareTranslator::translateQuiet(ObjectID oid) const
+{
+    auto it = pools_.find(oid.poolId());
+    if (it == pools_.end())
+        POAT_FATAL("oid_direct: pool is not open");
+    return it->second.base + oid.offset();
+}
+
+uint64_t
+SoftwareTranslator::translate(ObjectID oid, TraceSink &sink,
+                              uint64_t *value_tag)
+{
+    ++calls_;
+    if (value_tag)
+        *value_tag = kNoDep;
+
+    // Local emit helpers that also count for Table 2.
+    auto alu = [&](uint32_t n, uint64_t dep = kNoDep) {
+        sink.alu(n, dep);
+        insns_ += n;
+    };
+    auto lod = [&](uint64_t vaddr, uint64_t dep = kNoDep) {
+        ++insns_;
+        return sink.load(vaddr, dep);
+    };
+    auto sto = [&](uint64_t vaddr) {
+        sink.store(vaddr);
+        ++insns_;
+    };
+    auto brn = [&](bool taken, uint64_t pc, uint64_t dep = kNoDep) {
+        sink.branch(taken, pc, dep);
+        ++insns_;
+    };
+
+    // --- shared prefix: call, entry, predictor checks -----------------
+    alu(costs::kTranslateCall);
+    alu(costs::kTranslateEntry);
+    uint64_t t_valid = lod(rtBase_ + kOffGlobValid);
+    alu(costs::kTranslateCmp, t_valid);
+    const bool valid = recentValid_ && predictorEnabled_;
+    brn(!valid, kPcValidCheck, t_valid); // taken = jump to slow path
+
+    bool hit = false;
+    if (valid) {
+        uint64_t t_id = lod(rtBase_ + kOffGlobId);
+        alu(costs::kTranslateCmp, t_id);
+        hit = (recentId_ == oid.poolId());
+        brn(!hit, kPcIdCheck, t_id);
+    }
+
+    if (hit) {
+        // --- fast path: 17 instructions total -------------------------
+        uint64_t t_base = lod(rtBase_ + kOffGlobBase);
+        alu(costs::kTranslateAdd, t_base);
+        alu(costs::kTranslateRet);
+        brn(true, kPcReturn);
+        if (value_tag)
+            *value_tag = t_base;
+        return recentBase_ + oid.offset();
+    }
+
+    // --- slow path: hash-map lookup ------------------------------------
+    ++misses_;
+    auto it = pools_.find(oid.poolId());
+    if (it == pools_.end())
+        POAT_FATAL("oid_direct: pool is not open");
+
+    alu(costs::kTranslateHash);
+    const uint32_t bucket = bucketOf(oid.poolId());
+    uint64_t t_chain = lod(rtBase_ + kOffBuckets + 8ull * bucket);
+
+    // Walk the chain; each probe is a dependent (pointer-chasing) load.
+    const auto &chain = chains_[bucket];
+    for (uint32_t probed : chain) {
+        ++probes_;
+        t_chain = lod(pools_.at(probed).nodeVaddr, t_chain);
+        alu(costs::kTranslateProbe, t_chain);
+        const bool match = (probed == oid.poolId());
+        brn(match, kPcProbeLoop, t_chain);
+        if (match)
+            break;
+    }
+
+    // The matched node's base field; feeds the final address add.
+    uint64_t t_base = lod(it->second.nodeVaddr + 8, t_chain);
+    alu(costs::kTranslateUpdate);
+    sto(rtBase_ + kOffGlobId);
+    sto(rtBase_ + kOffGlobBase);
+    alu(costs::kTranslateAdd, t_base);
+    alu(costs::kTranslateRet);
+    brn(true, kPcReturn);
+    if (value_tag)
+        *value_tag = t_base;
+
+    recentValid_ = predictorEnabled_;
+    recentId_ = oid.poolId();
+    recentBase_ = it->second.base;
+    return it->second.base + oid.offset();
+}
+
+void
+SoftwareTranslator::resetStats()
+{
+    calls_ = misses_ = insns_ = probes_ = 0;
+}
+
+} // namespace poat

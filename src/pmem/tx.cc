@@ -1,0 +1,258 @@
+#include "pmem/tx.h"
+
+#include <vector>
+
+#include "common/bits.h"
+
+namespace poat {
+
+UndoLog::UndoLog(Pool &pool, PoolAllocator &alloc)
+    : pool_(pool), alloc_(alloc),
+      logOff_(pool.header().log_off), logSize_(pool.header().log_size)
+{
+    POAT_ASSERT(logSize_ >= sizeof(LogHeader) + sizeof(LogEntryHeader),
+                "log region too small");
+}
+
+LogHeader
+UndoLog::readHeader() const
+{
+    LogHeader h{};
+    pool_.readRaw(logOff_, &h, sizeof(h));
+    return h;
+}
+
+void
+UndoLog::writeState(uint32_t state, uint32_t num, uint32_t used)
+{
+    LogHeader h{state, num, used, 0};
+    pool_.writeRaw(logOff_, &h, sizeof(h));
+    pool_.persist(logOff_, sizeof(h));
+}
+
+uint32_t
+UndoLog::entriesBase() const
+{
+    return logOff_ + sizeof(LogHeader);
+}
+
+LogEntryHeader
+UndoLog::readEntryHeader(uint32_t entry_off) const
+{
+    LogEntryHeader eh{};
+    pool_.readRaw(entry_off, &eh, sizeof(eh));
+    return eh;
+}
+
+template <typename Fn>
+void
+UndoLog::forEachEntry(Fn &&fn) const
+{
+    const LogHeader h = readHeader();
+    uint32_t off = entriesBase();
+    for (uint32_t i = 0; i < h.num_entries; ++i) {
+        const LogEntryHeader eh = readEntryHeader(off);
+        fn(off, eh);
+        off += sizeof(LogEntryHeader) +
+            static_cast<uint32_t>(alignUp(eh.payload_size, 16));
+    }
+}
+
+void
+UndoLog::begin()
+{
+    POAT_ASSERT(!active_, "nested transactions are not supported");
+    writeState(LogHeader::kActive, 0, 0);
+    active_ = true;
+}
+
+void
+UndoLog::addRange(uint32_t off, uint32_t size)
+{
+    POAT_ASSERT(active_, "tx_add_range outside a transaction");
+    POAT_ASSERT(size > 0, "tx_add_range of empty range");
+
+    const LogHeader h = readHeader();
+    const uint32_t entry_bytes = sizeof(LogEntryHeader) +
+        static_cast<uint32_t>(alignUp(size, 16));
+    const uint32_t entry_off = entriesBase() + h.used;
+    if (entry_off + entry_bytes > logOff_ + logSize_)
+        POAT_FATAL("undo log exhausted: transaction too large");
+
+    // Write the snapshot entry and make it durable *before* publishing
+    // it via the entry count; a torn entry is then never observed.
+    LogEntryHeader eh{LogEntryHeader::kData, size, off, 0};
+    pool_.writeRaw(entry_off, &eh, sizeof(eh));
+    std::vector<uint8_t> snap(size);
+    pool_.readRaw(off, snap.data(), size);
+    pool_.writeRaw(entry_off + sizeof(eh), snap.data(), size);
+    pool_.persist(entry_off, entry_bytes);
+    lastEntryOff_ = entry_off;
+    lastEntryBytes_ = entry_bytes;
+
+    writeState(LogHeader::kActive, h.num_entries + 1, h.used + entry_bytes);
+}
+
+void
+UndoLog::logAlloc(uint32_t payload_off)
+{
+    POAT_ASSERT(active_, "tx_pmalloc outside a transaction");
+    const LogHeader h = readHeader();
+    const uint32_t entry_bytes = sizeof(LogEntryHeader);
+    const uint32_t entry_off = entriesBase() + h.used;
+    if (entry_off + entry_bytes > logOff_ + logSize_)
+        POAT_FATAL("undo log exhausted: transaction too large");
+
+    LogEntryHeader eh{LogEntryHeader::kAlloc, 0, payload_off, 0};
+    pool_.writeRaw(entry_off, &eh, sizeof(eh));
+    pool_.persist(entry_off, entry_bytes);
+    lastEntryOff_ = entry_off;
+    lastEntryBytes_ = entry_bytes;
+    writeState(LogHeader::kActive, h.num_entries + 1, h.used + entry_bytes);
+}
+
+void
+UndoLog::logFree(uint32_t payload_off)
+{
+    POAT_ASSERT(active_, "tx_pfree outside a transaction");
+    const LogHeader h = readHeader();
+    const uint32_t entry_bytes = sizeof(LogEntryHeader);
+    const uint32_t entry_off = entriesBase() + h.used;
+    if (entry_off + entry_bytes > logOff_ + logSize_)
+        POAT_FATAL("undo log exhausted: transaction too large");
+
+    LogEntryHeader eh{LogEntryHeader::kFree, 0, payload_off, 0};
+    pool_.writeRaw(entry_off, &eh, sizeof(eh));
+    pool_.persist(entry_off, entry_bytes);
+    lastEntryOff_ = entry_off;
+    lastEntryBytes_ = entry_bytes;
+    writeState(LogHeader::kActive, h.num_entries + 1, h.used + entry_bytes);
+}
+
+std::vector<UndoLog::Record>
+UndoLog::records() const
+{
+    std::vector<Record> out;
+    forEachEntry([&out](uint32_t off, const LogEntryHeader &eh) {
+        out.push_back({eh.type, eh.payload_size, eh.target_off, off});
+    });
+    return out;
+}
+
+void
+UndoLog::persistDataRanges()
+{
+    forEachEntry([this](uint32_t, const LogEntryHeader &eh) {
+        if (eh.type == LogEntryHeader::kData)
+            pool_.persist(eh.target_off, eh.payload_size);
+    });
+}
+
+void
+UndoLog::applyDeferredFrees()
+{
+    forEachEntry([this](uint32_t, const LogEntryHeader &eh) {
+        if (eh.type == LogEntryHeader::kFree &&
+            alloc_.isAllocated(eh.target_off)) {
+            alloc_.free(eh.target_off);
+        }
+    });
+}
+
+void
+UndoLog::applyUndo()
+{
+    // Collect entry offsets so snapshots restore in reverse order: the
+    // oldest snapshot of a twice-logged range must win.
+    std::vector<std::pair<uint32_t, LogEntryHeader>> entries;
+    forEachEntry([&entries](uint32_t off, const LogEntryHeader &eh) {
+        entries.emplace_back(off, eh);
+    });
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+        const auto &[off, eh] = *it;
+        switch (eh.type) {
+          case LogEntryHeader::kData: {
+            std::vector<uint8_t> snap(eh.payload_size);
+            pool_.readRaw(off + sizeof(LogEntryHeader), snap.data(),
+                          eh.payload_size);
+            pool_.writeRaw(eh.target_off, snap.data(), eh.payload_size);
+            pool_.persist(eh.target_off, eh.payload_size);
+            break;
+          }
+          case LogEntryHeader::kAlloc:
+            if (alloc_.isAllocated(eh.target_off))
+                alloc_.free(eh.target_off);
+            break;
+          case LogEntryHeader::kFree:
+            break; // the free was deferred and never happened
+          default:
+            POAT_PANIC("corrupt undo log entry type");
+        }
+    }
+}
+
+void
+UndoLog::commit()
+{
+    POAT_ASSERT(active_, "tx_end outside a transaction");
+    const LogHeader h = readHeader();
+
+    // Phase 1: make every modified range durable while the undo log is
+    // still valid; a crash here rolls the whole transaction back.
+    persistDataRanges();
+
+    // Commit point: after this is durable the transaction has happened.
+    writeState(LogHeader::kCommitting, h.num_entries, h.used);
+
+    // Phase 2: deferred frees; idempotent, so recovery can redo them.
+    applyDeferredFrees();
+
+    writeState(LogHeader::kIdle, 0, 0);
+    active_ = false;
+}
+
+void
+UndoLog::abort()
+{
+    POAT_ASSERT(active_, "abort outside a transaction");
+    applyUndo();
+    writeState(LogHeader::kIdle, 0, 0);
+    active_ = false;
+}
+
+bool
+UndoLog::recover()
+{
+    POAT_ASSERT(!active_, "recover while a transaction is active");
+    const LogHeader h = readHeader();
+    switch (h.state) {
+      case LogHeader::kIdle:
+        return false;
+      case LogHeader::kActive:
+        applyUndo();
+        writeState(LogHeader::kIdle, 0, 0);
+        return true;
+      case LogHeader::kCommitting:
+        applyDeferredFrees();
+        writeState(LogHeader::kIdle, 0, 0);
+        return true;
+      default:
+        POAT_PANIC("corrupt undo log state");
+    }
+}
+
+uint32_t
+UndoLog::entryCount() const
+{
+    return readHeader().num_entries;
+}
+
+uint32_t
+UndoLog::remainingCapacity() const
+{
+    const LogHeader h = readHeader();
+    const uint32_t used_total = sizeof(LogHeader) + h.used;
+    return logSize_ > used_total ? logSize_ - used_total : 0;
+}
+
+} // namespace poat

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Write-ahead undo log: the failure-safety substrate (paper section
+ * 2.1.4).
+ *
+ * Each pool reserves a log region. A transaction snapshots every range
+ * it is about to modify (tx_add_range) into the log and makes the
+ * snapshot durable *before* the caller mutates the range; allocations
+ * and frees inside a transaction are logged so they can be reverted or
+ * completed.
+ *
+ * Commit is two-phase so that deferred frees survive a crash:
+ *
+ *   active (1)      — undo on recovery: restore data snapshots in
+ *                     reverse order, free blocks from ALLOC records.
+ *   committing (2)  — the transaction's effects are durable; redo on
+ *                     recovery: perform any FREE records not yet done.
+ *   idle (0)        — nothing to do.
+ *
+ * A non-transactional pmalloc interrupted by a crash may leak its block
+ * (same contract as NVML non-transactional allocation); everything else
+ * is exactly-once.
+ */
+#ifndef POAT_PMEM_TX_H
+#define POAT_PMEM_TX_H
+
+#include <cstdint>
+
+#include "pmem/alloc.h"
+#include "pmem/pool.h"
+
+namespace poat {
+
+/** On-media header at the start of a pool's log region. */
+struct LogHeader
+{
+    static constexpr uint32_t kIdle = 0;
+    static constexpr uint32_t kActive = 1;
+    static constexpr uint32_t kCommitting = 2;
+
+    uint32_t state;
+    uint32_t num_entries;
+    uint32_t used; ///< bytes of entries written after this header
+    uint32_t pad;
+};
+
+/** On-media header of one log entry, followed by its payload. */
+struct LogEntryHeader
+{
+    static constexpr uint32_t kData = 1;  ///< payload = old bytes
+    static constexpr uint32_t kAlloc = 2; ///< target = allocated payload
+    static constexpr uint32_t kFree = 3;  ///< target = deferred free
+
+    uint32_t type;
+    uint32_t payload_size;
+    uint32_t target_off;
+    uint32_t pad;
+};
+
+/** Undo-log manager bound to one pool and its allocator. */
+class UndoLog
+{
+  public:
+    UndoLog(Pool &pool, PoolAllocator &alloc);
+
+    /** Begin a transaction; nesting is not supported. */
+    void begin();
+
+    /**
+     * Snapshot [off, off+size) into the log and persist the snapshot.
+     * Must be called before the range is modified.
+     */
+    void addRange(uint32_t off, uint32_t size);
+
+    /** Record that @p payload_off was allocated inside this tx. */
+    void logAlloc(uint32_t payload_off);
+
+    /**
+     * Record a deferred free of @p payload_off; the block is actually
+     * freed during commit, after the commit point is durable.
+     */
+    void logFree(uint32_t payload_off);
+
+    /** Commit: persist modified ranges, run deferred frees, clear log. */
+    void commit();
+
+    /** Abort: roll every logged change back, then clear the log. */
+    void abort();
+
+    /**
+     * Post-crash recovery; call once after reopening the pool. Applies
+     * undo (active) or redo of deferred frees (committing) as needed.
+     * @return true if any recovery action was taken.
+     */
+    bool recover();
+
+    /**
+     * Reset the volatile notion of an in-flight transaction after a
+     * simulated crash; the on-media state drives recovery from here.
+     */
+    void markCrashed() { active_ = false; }
+
+    bool active() const { return active_; }
+    uint32_t entryCount() const;
+
+    /** Snapshot of one log entry for introspection. */
+    struct Record
+    {
+        uint32_t type;
+        uint32_t size;
+        uint32_t target_off;
+        uint32_t entry_off; ///< pool offset of the entry itself
+    };
+
+    /** All current log entries (oldest first). */
+    std::vector<Record> records() const;
+
+    /** Pool offset of the most recently appended entry. */
+    uint32_t lastEntryOff() const { return lastEntryOff_; }
+    /** Total bytes (header + payload) of the most recent entry. */
+    uint32_t lastEntryBytes() const { return lastEntryBytes_; }
+    /** Pool offset of the log header (for trace emission). */
+    uint32_t headerOff() const { return logOff_; }
+
+    /** Bytes still available for log entries. */
+    uint32_t remainingCapacity() const;
+
+  private:
+    LogHeader readHeader() const;
+    void writeState(uint32_t state, uint32_t num, uint32_t used);
+    LogEntryHeader readEntryHeader(uint32_t entry_off) const;
+    uint32_t entriesBase() const;
+
+    /** Walk entries forward, invoking fn(entry_off, header). */
+    template <typename Fn> void forEachEntry(Fn &&fn) const;
+
+    /** Restore snapshots in reverse; free ALLOC blocks. */
+    void applyUndo();
+
+    /** Execute deferred frees (idempotent per block). */
+    void applyDeferredFrees();
+
+    /** Persist every kData target range (commit step one). */
+    void persistDataRanges();
+
+    Pool &pool_;
+    PoolAllocator &alloc_;
+    uint32_t logOff_;
+    uint32_t logSize_;
+    bool active_ = false;
+    uint32_t lastEntryOff_ = 0;
+    uint32_t lastEntryBytes_ = 0;
+};
+
+} // namespace poat
+
+#endif // POAT_PMEM_TX_H

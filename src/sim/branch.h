@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Branch predictor: a Pentium M-class hybrid, as configured in the
+ * paper's Sniper setup (Table 4: "Branch predictor: Pentium M").
+ *
+ * The Pentium M combines a local bimodal table with a global-history
+ * predictor; we model that as a bimodal table plus a gshare table with
+ * a per-entry chooser. Branch sites are identified by the synthetic
+ * `pc` values workloads attach to branch events.
+ */
+#ifndef POAT_SIM_BRANCH_H
+#define POAT_SIM_BRANCH_H
+
+#include <cstdint>
+#include <vector>
+
+namespace poat {
+namespace sim {
+
+/** Hybrid bimodal/gshare predictor with a chooser. */
+class BranchPredictor
+{
+  public:
+    static constexpr uint32_t kTableBits = 12;
+    static constexpr uint32_t kTableSize = 1u << kTableBits;
+
+    BranchPredictor()
+        : bimodal_(kTableSize, 2), gshare_(kTableSize, 2),
+          chooser_(kTableSize, 2)
+    {
+    }
+
+    /**
+     * Predict, then update with the actual outcome.
+     * @return true iff the prediction was wrong (mispredict).
+     */
+    bool
+    predictAndUpdate(uint64_t pc, bool taken)
+    {
+        const uint32_t bi = indexOf(pc);
+        const uint32_t gi = indexOf(pc ^ (history_ << 2));
+
+        const bool bim_pred = bimodal_[bi] >= 2;
+        const bool gsh_pred = gshare_[gi] >= 2;
+        const bool use_gshare = chooser_[bi] >= 2;
+        const bool pred = use_gshare ? gsh_pred : bim_pred;
+
+        // Chooser trains toward whichever component was right.
+        if (bim_pred != gsh_pred) {
+            if (gsh_pred == taken)
+                bump(chooser_[bi], true);
+            else
+                bump(chooser_[bi], false);
+        }
+        bump(bimodal_[bi], taken);
+        bump(gshare_[gi], taken);
+        history_ = ((history_ << 1) | (taken ? 1 : 0)) &
+            (kTableSize - 1);
+
+        ++branches_;
+        if (pred != taken)
+            ++mispredicts_;
+        return pred != taken;
+    }
+
+    uint64_t branches() const { return branches_; }
+    uint64_t mispredicts() const { return mispredicts_; }
+
+    double
+    mispredictRate() const
+    {
+        return branches_ ? static_cast<double>(mispredicts_) / branches_
+                         : 0.0;
+    }
+
+  private:
+    static uint32_t
+    indexOf(uint64_t pc)
+    {
+        return static_cast<uint32_t>((pc >> 2) ^ (pc >> 14)) &
+            (kTableSize - 1);
+    }
+
+    static void
+    bump(uint8_t &ctr, bool up)
+    {
+        if (up && ctr < 3)
+            ++ctr;
+        else if (!up && ctr > 0)
+            --ctr;
+    }
+
+    std::vector<uint8_t> bimodal_;
+    std::vector<uint8_t> gshare_;
+    std::vector<uint8_t> chooser_;
+    uint32_t history_ = 0;
+    uint64_t branches_ = 0;
+    uint64_t mispredicts_ = 0;
+};
+
+} // namespace sim
+} // namespace poat
+
+#endif // POAT_SIM_BRANCH_H

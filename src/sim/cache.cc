@@ -1,0 +1,140 @@
+#include "sim/cache.h"
+
+#include "common/bits.h"
+
+namespace poat {
+namespace sim {
+
+Cache::Cache(std::string name, const CacheConfig &cfg)
+    : name_(std::move(name)), assoc_(cfg.assoc), latency_(cfg.latency)
+{
+    const uint32_t lines = cfg.size_bytes / kLineBytes;
+    POAT_ASSERT(lines % cfg.assoc == 0, "cache geometry mismatch");
+    sets_ = lines / cfg.assoc;
+    POAT_ASSERT(isPow2(sets_), "cache set count must be a power of two");
+    lines_.resize(lines);
+}
+
+uint32_t
+Cache::setOf(uint64_t paddr) const
+{
+    return static_cast<uint32_t>((paddr / kLineBytes) & (sets_ - 1));
+}
+
+uint64_t
+Cache::tagOf(uint64_t paddr) const
+{
+    return paddr / kLineBytes / sets_;
+}
+
+bool
+Cache::access(uint64_t paddr, bool is_write)
+{
+    const uint32_t set = setOf(paddr);
+    const uint64_t tag = tagOf(paddr);
+    Line *base = &lines_[static_cast<size_t>(set) * assoc_];
+    ++tick_;
+
+    Line *victim = base;
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lru = tick_;
+            line.dirty |= is_write;
+            ++hits_;
+            return true;
+        }
+        if (!line.valid) {
+            victim = &line; // prefer an invalid way
+        } else if (victim->valid && line.lru < victim->lru) {
+            victim = &line;
+        }
+    }
+
+    ++misses_;
+    if (victim->valid && victim->dirty)
+        ++writebacks_;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = tick_;
+    victim->dirty = is_write;
+    return false;
+}
+
+bool
+Cache::contains(uint64_t paddr) const
+{
+    const uint32_t set = setOf(paddr);
+    const uint64_t tag = tagOf(paddr);
+    const Line *base = &lines_[static_cast<size_t>(set) * assoc_];
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+bool
+Cache::flushLine(uint64_t paddr)
+{
+    const uint32_t set = setOf(paddr);
+    const uint64_t tag = tagOf(paddr);
+    Line *base = &lines_[static_cast<size_t>(set) * assoc_];
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag && line.dirty) {
+            line.dirty = false;
+            ++writebacks_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (Line &line : lines_)
+        line = Line{};
+    tick_ = 0;
+}
+
+CacheHierarchy::CacheHierarchy(const MachineConfig &cfg)
+    : l1_("L1D", cfg.l1d), l2_("L2", cfg.l2), l3_("L3", cfg.l3),
+      memLatency_(cfg.mem_latency)
+{
+}
+
+uint32_t
+CacheHierarchy::access(uint64_t paddr, bool is_write)
+{
+    // Lower levels are filled (and LRU-touched) only when the upper
+    // level misses, mimicking a mostly-inclusive hierarchy.
+    if (l1_.access(paddr, is_write))
+        return l1_.latency();
+    if (l2_.access(paddr, false))
+        return l2_.latency();
+    if (l3_.access(paddr, false))
+        return l3_.latency();
+    ++memAccesses_;
+    return memLatency_;
+}
+
+void
+CacheHierarchy::flushLine(uint64_t paddr)
+{
+    l1_.flushLine(paddr);
+    l2_.flushLine(paddr);
+    l3_.flushLine(paddr);
+}
+
+void
+CacheHierarchy::reset()
+{
+    l1_.reset();
+    l2_.reset();
+    l3_.reset();
+}
+
+} // namespace sim
+} // namespace poat

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Set-associative cache model and the three-level hierarchy of the
+ * paper's Table 4 (L1D 32 KB/8-way/3cy, L2 256 KB/8-way/8cy, L3
+ * 8 MB/16-way/27cy, 64 B lines, write-back write-allocate, LRU).
+ *
+ * The model tracks tag state only (no data): enough for hit/miss timing
+ * and dirty-line bookkeeping. Caches are indexed and tagged with
+ * physical addresses; writeback traffic is tracked statistically but
+ * charged no extra latency, matching the paper's fixed per-level hit
+ * costs.
+ */
+#ifndef POAT_SIM_CACHE_H
+#define POAT_SIM_CACHE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "sim/config.h"
+
+namespace poat {
+namespace sim {
+
+/** One set-associative, write-back, true-LRU cache. */
+class Cache
+{
+  public:
+    static constexpr uint32_t kLineBytes = 64;
+
+    Cache(std::string name, const CacheConfig &cfg);
+
+    /**
+     * Look up (and on miss, fill) the line containing @p paddr.
+     * @param is_write marks the line dirty on hit/fill.
+     * @return true on hit.
+     */
+    bool access(uint64_t paddr, bool is_write);
+
+    /** Probe without fill or LRU update. */
+    bool contains(uint64_t paddr) const;
+
+    /**
+     * CLWB semantics: if present and dirty, write the line back (clean
+     * it) but keep it resident.
+     * @return true iff a writeback happened.
+     */
+    bool flushLine(uint64_t paddr);
+
+    /** Invalidate everything (between experiment phases). */
+    void reset();
+
+    const std::string &name() const { return name_; }
+    uint32_t latency() const { return latency_; }
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t writebacks() const { return writebacks_; }
+
+    double
+    missRate() const
+    {
+        const uint64_t n = hits_ + misses_;
+        return n ? static_cast<double>(misses_) / n : 0.0;
+    }
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        uint64_t lru = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    uint32_t setOf(uint64_t paddr) const;
+    uint64_t tagOf(uint64_t paddr) const;
+
+    std::string name_;
+    uint32_t sets_;
+    uint32_t assoc_;
+    uint32_t latency_;
+    std::vector<Line> lines_; ///< sets_ * assoc_, set-major
+    uint64_t tick_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t writebacks_ = 0;
+};
+
+/** The L1D/L2/L3 + memory stack; returns end-to-end access latency. */
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const MachineConfig &cfg);
+
+    /**
+     * Perform a data access.
+     * @return total latency in cycles: the hit latency of the first
+     *         level that hits, or memory latency on a full miss.
+     */
+    uint32_t access(uint64_t paddr, bool is_write);
+
+    /** CLWB the line in every level (clean, keep resident). */
+    void flushLine(uint64_t paddr);
+
+    void reset();
+
+    Cache &l1() { return l1_; }
+    Cache &l2() { return l2_; }
+    Cache &l3() { return l3_; }
+    const Cache &l1() const { return l1_; }
+    const Cache &l2() const { return l2_; }
+    const Cache &l3() const { return l3_; }
+    uint64_t memAccesses() const { return memAccesses_; }
+
+  private:
+    Cache l1_;
+    Cache l2_;
+    Cache l3_;
+    uint32_t memLatency_;
+    uint64_t memAccesses_ = 0;
+};
+
+} // namespace sim
+} // namespace poat
+
+#endif // POAT_SIM_CACHE_H

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Machine configuration: the paper's Table 4 plus the POLB/POT knobs
+ * swept in the evaluation (Figures 11 and 12).
+ *
+ * Defaults model the QuadCore Intel Xeon X5550 Gainestown (Nehalem-EP)
+ * configuration the paper simulates with Sniper 6.1, at 2.66 GHz (so
+ * 1 ns = ~3 cycles). One core is modeled: every workload in the paper
+ * is single-threaded.
+ */
+#ifndef POAT_SIM_CONFIG_H
+#define POAT_SIM_CONFIG_H
+
+#include <cstdint>
+
+namespace poat {
+namespace sim {
+
+/** Which pipeline timing model runs the trace. */
+enum class CoreType : uint8_t
+{
+    InOrder,    ///< five-stage scalar pipeline
+    OutOfOrder, ///< ROB-based superscalar (paper's ROB core model)
+};
+
+/** Which POLB organization translates nv accesses (paper section 4.1). */
+enum class PolbDesign : uint8_t
+{
+    Pipelined, ///< pool id -> virtual base; before TLB/L1
+    Parallel,  ///< (pool id, page) -> physical frame; beside L1
+};
+
+/** Replacement policy within a POLB set (see polb.h). */
+enum class PolbReplacement : uint8_t
+{
+    Lru,
+    Fifo,
+    Random,
+};
+
+/** Parameters of one cache level. */
+struct CacheConfig
+{
+    uint32_t size_bytes;
+    uint32_t assoc;
+    uint32_t latency; ///< total hit latency in cycles
+};
+
+/** Full machine configuration. */
+struct MachineConfig
+{
+    CoreType core = CoreType::InOrder;
+
+    /// @name Out-of-order core (paper Table 4)
+    /// @{
+    uint32_t issue_width = 4;
+    uint32_t rob_size = 128;
+    uint32_t lq_size = 48;
+    uint32_t sq_size = 32;
+    /// @}
+
+    /// @name Branches
+    /// @{
+    uint32_t mispredict_penalty = 8;
+    /// @}
+
+    /// @name Memory hierarchy (paper Table 4); line size 64 B
+    /// @{
+    CacheConfig l1d{32 * 1024, 8, 3};
+    CacheConfig l2{256 * 1024, 8, 8};
+    CacheConfig l3{8 * 1024 * 1024, 16, 27};
+    uint32_t mem_latency = 120; ///< DRAM and NVM (battery-backed DRAM)
+    uint32_t dtlb_entries = 64;
+    uint32_t tlb_miss_penalty = 30;
+    uint32_t store_buffer_entries = 8; ///< in-order core store buffer
+    /// @}
+
+    /// @name Proposed hardware
+    /// @{
+    PolbDesign polb_design = PolbDesign::Pipelined;
+    uint32_t polb_entries = 32;   ///< 0 = no POLB (every access walks)
+    uint32_t polb_latency = 3;    ///< tag lookup + translate (Pipelined)
+    /**
+     * Visible per-hit cost of the Pipelined POLB on the in-order core.
+     * The POLB is a pipelined stage in front of the TLB/L1 access:
+     * back-to-back accesses stream through it, so a hit exposes no
+     * extra latency on the scalar pipeline (matching the paper's
+     * evaluation, where the Pipelined design tracks the ideal closely
+     * and beats Parallel via its lower miss rate and penalty). The
+     * out-of-order core instead adds the full polb_latency to address
+     * generation and hides it with ILP (paper section 4.4). The
+     * ablation bench sweeps this knob.
+     */
+    uint32_t polb_inorder_hit_charge = 0;
+    uint32_t pot_walk_pipelined = 30; ///< POLB-miss penalty (Pipelined)
+    uint32_t pot_walk_parallel = 60;  ///< POT walk + page walk (Parallel)
+    uint32_t pot_entries = 16384;
+    /** POLB ways per set; 0 = fully associative (the paper's CAM). */
+    uint32_t polb_assoc = 0;
+    PolbReplacement polb_replacement = PolbReplacement::Lru;
+    /**
+     * Model the POT walk as real memory accesses instead of a fixed
+     * charge: each probe reads its POT slot through the cache
+     * hierarchy (the POT lives in cacheable memory, so hot walks cost
+     * an L1 hit and cold ones a memory round trip). This answers the
+     * paper's section 6.4 expectation that "caching [would] reduce the
+     * penalty of POT accesses". Parallel additionally pays
+     * page_walk_cycles for the page-table walk that follows.
+     */
+    bool pot_walk_in_memory = false;
+    uint32_t pot_probe_logic_cycles = 2; ///< compare/advance per probe
+    uint32_t page_walk_cycles = 30; ///< Parallel's follow-on page walk
+    /**
+     * Ideal translation (the red dots in Figure 9): POLB access and POT
+     * walks cost zero cycles.
+     */
+    bool ideal_translation = false;
+    /// @}
+
+    uint32_t clwb_latency = 100; ///< pessimistic fixed CLWB cost
+
+    /** Convenience: the ideal-hardware variant of this config. */
+    MachineConfig
+    ideal() const
+    {
+        MachineConfig c = *this;
+        c.ideal_translation = true;
+        return c;
+    }
+};
+
+} // namespace sim
+} // namespace poat
+
+#endif // POAT_SIM_CONFIG_H

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Core timing-model interface.
+ *
+ * The Machine (the TraceSink) resolves all address translation and
+ * memory-system latencies, then presents each dynamic instruction to a
+ * CoreModel in terms of two latency components:
+ *
+ *  - @p pre_stall: cycles spent *before* the cache access can start
+ *    (POLB lookup, POT walk, TLB-miss walk). The in-order pipeline
+ *    stalls for these; the out-of-order core adds them to the
+ *    instruction's address-generation latency (paper section 4.4: the
+ *    POLB sits in AGEN, and the AGU stalls for a POT walk).
+ *  - @p mem_latency: end-to-end latency of the cache/memory access.
+ *
+ * Load-like operations return monotonically increasing value tags;
+ * later operations name their producers by tag (see pmem/trace.h).
+ */
+#ifndef POAT_SIM_CORE_H
+#define POAT_SIM_CORE_H
+
+#include <cstdint>
+
+namespace poat {
+namespace sim {
+
+/**
+ * Where the cycles went: a CPI-stack-style breakdown maintained by the
+ * in-order core (the out-of-order core overlaps components, so only
+ * the total is meaningful there and the breakdown stays zero).
+ */
+struct CycleBreakdown
+{
+    uint64_t alu = 0;        ///< issue cycles of ALU ops and branches
+    uint64_t branch = 0;     ///< mispredict flush cycles
+    uint64_t memory = 0;     ///< cache/memory access cycles
+    uint64_t translation = 0; ///< POLB/POT/TLB walk stalls (pre-stall)
+    uint64_t flush = 0;      ///< CLWB latencies
+    uint64_t fence = 0;      ///< store-buffer drain waits
+
+    uint64_t
+    total() const
+    {
+        return alu + branch + memory + translation + flush + fence;
+    }
+};
+
+/** Abstract pipeline timing model. */
+class CoreModel
+{
+  public:
+    virtual ~CoreModel() = default;
+
+    /** @p count single-cycle ALU ops; first consumes tag @p dep. */
+    virtual void alu(uint32_t count, uint64_t dep) = 0;
+
+    /** A conditional branch; @p mispredict charges the redirect. */
+    virtual void branch(bool mispredict, uint64_t dep) = 0;
+
+    /**
+     * A load: @p pre_stall cycles of translation work, then a
+     * @p mem_latency -cycle access. @return the value tag.
+     */
+    virtual uint64_t load(uint32_t pre_stall, uint32_t mem_latency,
+                          uint64_t dep, uint64_t dep2) = 0;
+
+    /** A store (retires through a store buffer / the SQ). */
+    virtual void store(uint32_t pre_stall, uint32_t mem_latency,
+                       uint64_t dep) = 0;
+
+    /** A CLWB with fixed @p latency (paper: 100 cycles). */
+    virtual void clwb(uint32_t latency) = 0;
+
+    /** SFENCE: later work waits for outstanding stores/flushes. */
+    virtual void fence() = 0;
+
+    /** Cycles elapsed so far (time of the last committed uop). */
+    virtual uint64_t cycles() const = 0;
+
+    /** Dynamic uops processed. */
+    virtual uint64_t uopCount() const = 0;
+
+    /** CPI-stack breakdown; all-zero for models that overlap work. */
+    virtual CycleBreakdown breakdown() const { return {}; }
+};
+
+} // namespace sim
+} // namespace poat
+
+#endif // POAT_SIM_CORE_H

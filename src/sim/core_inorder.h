@@ -1,0 +1,124 @@
+/**
+ * @file
+ * In-order five-stage pipeline timing model (paper section 4.5).
+ *
+ * The model assumes a classic IF/ID/EX/MEM/WB scalar pipeline:
+ *
+ *  - every instruction occupies one cycle of issue;
+ *  - loads are blocking and charge the full access latency (an L1 hit
+ *    costs its 3-cycle hit time), as in Sniper's in-order model;
+ *  - translation work (POLB/POT/TLB walks) stalls the pipeline for its
+ *    full duration, per section 4.5 ("the in-order pipeline stalls
+ *    until the POT walk is completed");
+ *  - stores retire into a small store buffer that drains one entry per
+ *    memory access time; a full buffer stalls;
+ *  - mispredicted branches flush (8-cycle penalty);
+ *  - CLWB costs its fixed latency; SFENCE drains the store buffer.
+ */
+#ifndef POAT_SIM_CORE_INORDER_H
+#define POAT_SIM_CORE_INORDER_H
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/core.h"
+
+namespace poat {
+namespace sim {
+
+/** Scalar in-order pipeline. */
+class InOrderCore : public CoreModel
+{
+  public:
+    explicit InOrderCore(const MachineConfig &cfg)
+        : mispredictPenalty_(cfg.mispredict_penalty),
+          storeBuf_(cfg.store_buffer_entries, 0)
+    {
+    }
+
+    void
+    alu(uint32_t count, uint64_t) override
+    {
+        cycle_ += count;
+        breakdown_.alu += count;
+        uops_ += count;
+    }
+
+    void
+    branch(bool mispredict, uint64_t) override
+    {
+        cycle_ += 1 + (mispredict ? mispredictPenalty_ : 0);
+        breakdown_.alu += 1;
+        if (mispredict)
+            breakdown_.branch += mispredictPenalty_;
+        ++uops_;
+    }
+
+    uint64_t
+    load(uint32_t pre_stall, uint32_t mem_latency, uint64_t,
+         uint64_t) override
+    {
+        cycle_ += pre_stall + mem_latency;
+        breakdown_.translation += pre_stall;
+        breakdown_.memory += mem_latency;
+        ++uops_;
+        return ++tag_;
+    }
+
+    void
+    store(uint32_t pre_stall, uint32_t mem_latency, uint64_t) override
+    {
+        cycle_ += 1 + pre_stall;
+        breakdown_.memory += 1;
+        breakdown_.translation += pre_stall;
+        ++uops_;
+        // Claim the store-buffer slot that frees the earliest; if it is
+        // still draining, stall until it is free.
+        auto slot = std::min_element(storeBuf_.begin(), storeBuf_.end());
+        if (*slot > cycle_) {
+            breakdown_.memory += *slot - cycle_;
+            cycle_ = *slot;
+        }
+        *slot = cycle_ + mem_latency;
+    }
+
+    void
+    clwb(uint32_t latency) override
+    {
+        cycle_ += latency;
+        breakdown_.flush += latency;
+        ++uops_;
+    }
+
+    void
+    fence() override
+    {
+        for (uint64_t &slot : storeBuf_) {
+            if (slot > cycle_) {
+                breakdown_.fence += slot - cycle_;
+                cycle_ = slot;
+            }
+        }
+        ++cycle_;
+        breakdown_.fence += 1;
+        ++uops_;
+    }
+
+    uint64_t cycles() const override { return cycle_; }
+    uint64_t uopCount() const override { return uops_; }
+    CycleBreakdown breakdown() const override { return breakdown_; }
+
+  private:
+    uint32_t mispredictPenalty_;
+    std::vector<uint64_t> storeBuf_; ///< per-slot drain-complete time
+    CycleBreakdown breakdown_;
+    uint64_t cycle_ = 0;
+    uint64_t uops_ = 0;
+    uint64_t tag_ = 0;
+};
+
+} // namespace sim
+} // namespace poat
+
+#endif // POAT_SIM_CORE_INORDER_H

@@ -1,0 +1,275 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+#include "sim/core_inorder.h"
+#include "sim/core_ooo.h"
+
+namespace poat {
+namespace sim {
+
+Machine::Machine(const MachineConfig &cfg)
+    : cfg_(cfg), caches_(cfg), tlb_(cfg.dtlb_entries),
+      polb_(cfg.polb_entries, cfg.polb_assoc, cfg.polb_replacement),
+      pot_(cfg.pot_entries)
+{
+    if (cfg.core == CoreType::InOrder)
+        core_ = std::make_unique<InOrderCore>(cfg);
+    else
+        core_ = std::make_unique<OooCore>(cfg);
+}
+
+uint32_t
+Machine::tlbPenalty(uint64_t vaddr)
+{
+    return tlb_.access(vaddr) ? 0 : cfg_.tlb_miss_penalty;
+}
+
+void
+Machine::alu(uint32_t count, uint64_t dep)
+{
+    instructions_ += count;
+    core_->alu(count, dep);
+}
+
+void
+Machine::branch(bool taken, uint64_t pc, uint64_t dep)
+{
+    ++instructions_;
+    const bool mispredict = bp_.predictAndUpdate(pc, taken);
+    core_->branch(mispredict, dep);
+}
+
+uint64_t
+Machine::load(uint64_t vaddr, uint64_t dep, uint64_t dep2)
+{
+    ++instructions_;
+    ++loads_;
+    const uint32_t pre = tlbPenalty(vaddr);
+    const uint64_t pa = pageTable_.translate(vaddr);
+    const uint32_t lat = caches_.access(pa, false);
+    return core_->load(pre, lat, dep, dep2);
+}
+
+void
+Machine::store(uint64_t vaddr, uint64_t dep)
+{
+    ++instructions_;
+    ++stores_;
+    const uint32_t pre = tlbPenalty(vaddr);
+    const uint64_t pa = pageTable_.translate(vaddr);
+    const uint32_t lat = caches_.access(pa, true);
+    core_->store(pre, lat, dep);
+}
+
+uint32_t
+Machine::potWalkCharge(const PotWalk &walk, bool parallel)
+{
+    if (!cfg_.pot_walk_in_memory)
+        return parallel ? cfg_.pot_walk_parallel
+                        : cfg_.pot_walk_pipelined;
+    // Memory-mode walk: each probe reads its 16-byte POT slot through
+    // the cache hierarchy (the POT is ordinary cacheable memory at a
+    // dedicated physical region), plus per-probe compare logic.
+    uint32_t cycles = 0;
+    const uint32_t recorded =
+        std::min(walk.probes, PotWalk::kMaxRecorded);
+    for (uint32_t i = 0; i < recorded; ++i) {
+        const uint64_t pa = kPotPhysBase + 16ull * walk.slots[i];
+        cycles += caches_.access(pa, false) +
+            cfg_.pot_probe_logic_cycles;
+    }
+    if (parallel)
+        cycles += cfg_.page_walk_cycles;
+    return cycles;
+}
+
+Machine::NvXlat
+Machine::translateNv(ObjectID oid)
+{
+    const bool ideal = cfg_.ideal_translation;
+    NvXlat x{0, 0};
+
+    if (cfg_.polb_design == PolbDesign::Pipelined) {
+        // POLB lookup happens in AGEN, before the TLB/L1 access. The
+        // in-order pipeline sees only the residual bubble of this
+        // extra (pipelined) stage; the OoO core adds the full latency
+        // to address generation.
+        x.pre_stall = ideal ? 0
+                      : cfg_.core == CoreType::InOrder
+                          ? cfg_.polb_inorder_hit_charge
+                          : cfg_.polb_latency;
+        uint64_t base;
+        if (auto hit = polb_.lookup(oid.poolId())) {
+            base = *hit;
+        } else {
+            const PotWalk w = pot_.walk(oid.poolId());
+            if (!w.found)
+                POAT_PANIC("POT miss: nv access to an unmapped pool");
+            if (!ideal)
+                x.pre_stall += potWalkCharge(w, /*parallel=*/false);
+            base = w.base;
+            polb_.insert(oid.poolId(), base);
+        }
+        const uint64_t vaddr = base + oid.offset();
+        x.pre_stall += tlbPenalty(vaddr);
+        x.paddr = pageTable_.translate(vaddr);
+        return x;
+    }
+
+    // Parallel: the POLB maps the upper 52 ObjectID bits straight to a
+    // physical frame; the low 12 bits index the VIPT L1 in parallel, so
+    // a hit costs nothing extra and the TLB is not consulted.
+    const uint64_t key = oid.raw >> 12;
+    if (auto hit = polb_.lookup(key)) {
+        x.paddr = (*hit) * kPageSize + oid.offset() % kPageSize;
+        return x;
+    }
+    const PotWalk w = pot_.walk(oid.poolId());
+    if (!w.found)
+        POAT_PANIC("POT miss: nv access to an unmapped pool");
+    if (!ideal)
+        x.pre_stall = potWalkCharge(w, /*parallel=*/true);
+    const uint64_t vaddr = w.base + oid.offset();
+    const uint64_t pfn = pageTable_.frameOf(vaddr);
+    polb_.insert(key, pfn);
+    x.paddr = pfn * kPageSize + oid.offset() % kPageSize;
+    return x;
+}
+
+uint64_t
+Machine::nvLoad(ObjectID oid, uint64_t dep, uint64_t dep2)
+{
+    ++instructions_;
+    ++nvLoads_;
+    const NvXlat x = translateNv(oid);
+    const uint32_t lat = caches_.access(x.paddr, false);
+    return core_->load(x.pre_stall, lat, dep, dep2);
+}
+
+void
+Machine::nvStore(ObjectID oid, uint64_t dep)
+{
+    ++instructions_;
+    ++nvStores_;
+    const NvXlat x = translateNv(oid);
+    const uint32_t lat = caches_.access(x.paddr, true);
+    core_->store(x.pre_stall, lat, dep);
+}
+
+void
+Machine::clwb(uint64_t vaddr)
+{
+    ++instructions_;
+    ++clwbs_;
+    const uint32_t pre = tlbPenalty(vaddr);
+    const uint64_t pa = pageTable_.translate(vaddr);
+    caches_.flushLine(pa);
+    core_->clwb(cfg_.clwb_latency + pre);
+}
+
+void
+Machine::nvClwb(ObjectID oid)
+{
+    ++instructions_;
+    ++clwbs_;
+    const NvXlat x = translateNv(oid);
+    caches_.flushLine(x.paddr);
+    core_->clwb(cfg_.clwb_latency + x.pre_stall);
+}
+
+void
+Machine::fence()
+{
+    ++instructions_;
+    ++fences_;
+    core_->fence();
+}
+
+void
+Machine::poolMapped(uint32_t pool_id, uint64_t vbase, uint64_t)
+{
+    pot_.insert(pool_id, vbase);
+}
+
+void
+Machine::poolUnmapped(uint32_t pool_id)
+{
+    pot_.remove(pool_id);
+    if (cfg_.polb_design == PolbDesign::Pipelined) {
+        polb_.invalidateIf(
+            [pool_id](uint64_t key) { return key == pool_id; });
+    } else {
+        polb_.invalidateIf([pool_id](uint64_t key) {
+            return (key >> 20) == pool_id;
+        });
+    }
+}
+
+void
+Machine::dumpStats(std::ostream &os) const
+{
+    StatsRegistry reg;
+    const MachineMetrics m = metrics();
+    reg.counter("core.cycles") = m.cycles;
+    reg.counter("core.instructions") = m.instructions;
+    reg.counter("core.uops") = core_->uopCount();
+    const CycleBreakdown b = core_->breakdown();
+    reg.counter("core.cycles.alu") = b.alu;
+    reg.counter("core.cycles.branch") = b.branch;
+    reg.counter("core.cycles.memory") = b.memory;
+    reg.counter("core.cycles.translation") = b.translation;
+    reg.counter("core.cycles.flush") = b.flush;
+    reg.counter("core.cycles.fence") = b.fence;
+    reg.counter("mem.loads") = m.loads;
+    reg.counter("mem.stores") = m.stores;
+    reg.counter("mem.nv_loads") = m.nv_loads;
+    reg.counter("mem.nv_stores") = m.nv_stores;
+    reg.counter("mem.clwbs") = m.clwbs;
+    reg.counter("mem.fences") = m.fences;
+    reg.counter("cache.l1d.hits") = caches_.l1().hits();
+    reg.counter("cache.l1d.misses") = caches_.l1().misses();
+    reg.counter("cache.l1d.writebacks") = caches_.l1().writebacks();
+    reg.counter("cache.l2.hits") = caches_.l2().hits();
+    reg.counter("cache.l2.misses") = caches_.l2().misses();
+    reg.counter("cache.l3.hits") = caches_.l3().hits();
+    reg.counter("cache.l3.misses") = caches_.l3().misses();
+    reg.counter("cache.mem_accesses") = caches_.memAccesses();
+    reg.counter("tlb.hits") = tlb_.hits();
+    reg.counter("tlb.misses") = m.tlb_misses;
+    reg.counter("polb.hits") = m.polb_hits;
+    reg.counter("polb.misses") = m.polb_misses;
+    reg.counter("polb.capacity") = polb_.capacity();
+    reg.counter("pot.walks") = m.pot_walks;
+    reg.counter("pot.live_entries") = pot_.liveEntries();
+    reg.counter("branch.lookups") = bp_.branches();
+    reg.counter("branch.mispredicts") = m.branch_mispredicts;
+    reg.counter("vm.mapped_pages") = pageTable_.mappedPages();
+    reg.dump(os);
+}
+
+MachineMetrics
+Machine::metrics() const
+{
+    MachineMetrics m;
+    m.cycles = core_->cycles();
+    m.instructions = instructions_;
+    m.loads = loads_;
+    m.stores = stores_;
+    m.nv_loads = nvLoads_;
+    m.nv_stores = nvStores_;
+    m.clwbs = clwbs_;
+    m.fences = fences_;
+    m.polb_hits = polb_.hits();
+    m.polb_misses = polb_.misses();
+    m.tlb_misses = tlb_.misses();
+    m.l1d_misses = caches_.l1().misses();
+    m.branch_mispredicts = bp_.mispredicts();
+    m.pot_walks = pot_.walks();
+    return m;
+}
+
+} // namespace sim
+} // namespace poat

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Machine: the full simulated system (paper Figure 5).
+ *
+ * Machine implements TraceSink and simulates the dynamic instruction
+ * stream online as the workload executes: it resolves every address
+ * through the POLB/POT (nv accesses), TLB + page table (virtual
+ * addresses), and the cache hierarchy, then hands each instruction with
+ * its latency components to the configured core timing model.
+ *
+ * A POT miss on an nv access corresponds to the paper's trap to the
+ * OS; since every pool a workload touches is mapped via poolMapped(),
+ * hitting one here means a bug, so it panics.
+ */
+#ifndef POAT_SIM_MACHINE_H
+#define POAT_SIM_MACHINE_H
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+
+#include "pmem/trace.h"
+#include "sim/branch.h"
+#include "sim/cache.h"
+#include "sim/config.h"
+#include "sim/core.h"
+#include "sim/polb.h"
+#include "sim/pot.h"
+#include "sim/vm.h"
+
+namespace poat {
+namespace sim {
+
+/** Aggregate run metrics exported after simulation. */
+struct MachineMetrics
+{
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t nv_loads = 0;
+    uint64_t nv_stores = 0;
+    uint64_t clwbs = 0;
+    uint64_t fences = 0;
+    uint64_t polb_hits = 0;
+    uint64_t polb_misses = 0;
+    uint64_t tlb_misses = 0;
+    uint64_t l1d_misses = 0;
+    uint64_t branch_mispredicts = 0;
+    uint64_t pot_walks = 0;
+
+    double
+    polbMissRate() const
+    {
+        const uint64_t n = polb_hits + polb_misses;
+        return n ? static_cast<double>(polb_misses) / n : 0.0;
+    }
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) / cycles : 0.0;
+    }
+};
+
+/** One simulated core plus its memory system and translation hardware. */
+class Machine : public TraceSink
+{
+  public:
+    explicit Machine(const MachineConfig &cfg);
+
+    /// @name TraceSink interface
+    /// @{
+    void alu(uint32_t count, uint64_t dep) override;
+    void branch(bool taken, uint64_t pc, uint64_t dep) override;
+    uint64_t load(uint64_t vaddr, uint64_t dep, uint64_t dep2) override;
+    void store(uint64_t vaddr, uint64_t dep) override;
+    uint64_t nvLoad(ObjectID oid, uint64_t dep, uint64_t dep2) override;
+    void nvStore(ObjectID oid, uint64_t dep) override;
+    void clwb(uint64_t vaddr) override;
+    void nvClwb(ObjectID oid) override;
+    void fence() override;
+    void poolMapped(uint32_t pool_id, uint64_t vbase,
+                    uint64_t size) override;
+    void poolUnmapped(uint32_t pool_id) override;
+    /// @}
+
+    /** Collected metrics for the run so far. */
+    MachineMetrics metrics() const;
+
+    /** Cycles elapsed on the core. */
+    uint64_t cycles() const { return core_->cycles(); }
+
+    /** Dynamic instructions observed. */
+    uint64_t instructions() const { return instructions_; }
+
+    /** CPI-stack breakdown (in-order core; zeros for OoO). */
+    CycleBreakdown breakdown() const { return core_->breakdown(); }
+
+    /**
+     * Write every counter the machine tracks as "name value" lines
+     * (Sniper sim.out style), via a StatsRegistry.
+     */
+    void dumpStats(std::ostream &os) const;
+
+    const MachineConfig &config() const { return cfg_; }
+    Polb &polb() { return polb_; }
+    Pot &pot() { return pot_; }
+    Tlb &tlb() { return tlb_; }
+    CacheHierarchy &caches() { return caches_; }
+    BranchPredictor &branchPredictor() { return bp_; }
+
+  private:
+    /** Resolved translation of one nv access. */
+    struct NvXlat
+    {
+        uint32_t pre_stall; ///< cycles before the cache access starts
+        uint64_t paddr;
+    };
+
+    /** Physical region where the in-memory POT walk reads its slots. */
+    static constexpr uint64_t kPotPhysBase = 1ull << 46;
+
+    /** TLB charge for a virtual access (0 on hit). */
+    uint32_t tlbPenalty(uint64_t vaddr);
+
+    /** Cycles a resolved POT walk costs under the configured model. */
+    uint32_t potWalkCharge(const PotWalk &walk, bool parallel);
+
+    /** Run @p oid through the configured POLB/POT design. */
+    NvXlat translateNv(ObjectID oid);
+
+    MachineConfig cfg_;
+    std::unique_ptr<CoreModel> core_;
+    CacheHierarchy caches_;
+    PageTable pageTable_;
+    Tlb tlb_;
+    Polb polb_;
+    Pot pot_;
+    BranchPredictor bp_;
+
+    uint64_t instructions_ = 0;
+    uint64_t loads_ = 0;
+    uint64_t stores_ = 0;
+    uint64_t nvLoads_ = 0;
+    uint64_t nvStores_ = 0;
+    uint64_t clwbs_ = 0;
+    uint64_t fences_ = 0;
+};
+
+} // namespace sim
+} // namespace poat
+
+#endif // POAT_SIM_MACHINE_H

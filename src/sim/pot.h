@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Persistent Object Table (paper sections 3.2 and 4.2).
+ *
+ * The per-process, in-memory table backing the POLB, walked by hardware
+ * the way x86 walks page tables (Figure 7): hash the pool id to an
+ * index, then linearly probe until the entry's pool id matches (legal
+ * translation) or an invalid entry is reached (missing translation ->
+ * trap). Pool id 0 marks an invalid entry, which is why pool id 0 can
+ * never exist. The paper sizes the POT at 16384 entries (256 KB).
+ */
+#ifndef POAT_SIM_POT_H
+#define POAT_SIM_POT_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace poat {
+namespace sim {
+
+/** Result of a POT walk. */
+struct PotWalk
+{
+    static constexpr uint32_t kMaxRecorded = 16;
+
+    bool found = false;
+    uint64_t base = 0;   ///< virtual base address of the pool
+    uint32_t probes = 0; ///< slots inspected (>=1)
+    /** Indices of the first probed slots (for memory-walk modeling). */
+    uint32_t slots[kMaxRecorded] = {};
+};
+
+/** Hash table with linear probing, walked on POLB misses. */
+class Pot
+{
+  public:
+    explicit Pot(uint32_t entries) : slots_(entries)
+    {
+        POAT_ASSERT(entries != 0 && (entries & (entries - 1)) == 0,
+                    "POT size must be a power of two");
+    }
+
+    /** Install a pool's translation (pool_create / pool_open). */
+    void
+    insert(uint32_t pool_id, uint64_t base)
+    {
+        POAT_ASSERT(pool_id != 0, "pool id 0 is the invalid marker");
+        uint32_t idx = hash(pool_id);
+        Slot *reusable = nullptr;
+        for (uint32_t i = 0; i < slots_.size(); ++i) {
+            Slot &s = slots_[idx];
+            if (s.pool_id == pool_id) { // refresh in place
+                s.base = base;
+                return;
+            }
+            if (s.pool_id == kTombstone && !reusable) {
+                reusable = &s;
+            } else if (s.pool_id == 0) {
+                Slot &dst = reusable ? *reusable : s;
+                dst.pool_id = pool_id;
+                dst.base = base;
+                ++live_;
+                return;
+            }
+            idx = (idx + 1) & (slots_.size() - 1);
+        }
+        if (reusable) {
+            reusable->pool_id = pool_id;
+            reusable->base = base;
+            ++live_;
+            return;
+        }
+        POAT_FATAL("POT is full");
+    }
+
+    /**
+     * Remove a pool (pool_close). Uses tombstones so linear-probe
+     * chains through the removed slot stay intact.
+     */
+    void
+    remove(uint32_t pool_id)
+    {
+        uint32_t idx = hash(pool_id);
+        for (uint32_t i = 0; i < slots_.size(); ++i) {
+            Slot &s = slots_[idx];
+            if (s.pool_id == pool_id) {
+                s.pool_id = kTombstone;
+                --live_;
+                return;
+            }
+            if (s.pool_id == 0)
+                return; // never present
+            idx = (idx + 1) & (slots_.size() - 1);
+        }
+    }
+
+    /** Hardware walk: probe until match or invalid entry. */
+    PotWalk
+    walk(uint32_t pool_id)
+    {
+        PotWalk r;
+        uint32_t idx = hash(pool_id);
+        for (uint32_t i = 0; i < slots_.size(); ++i) {
+            if (r.probes < PotWalk::kMaxRecorded)
+                r.slots[r.probes] = idx;
+            ++r.probes;
+            const Slot &s = slots_[idx];
+            if (s.pool_id == pool_id) {
+                r.found = true;
+                r.base = s.base;
+                ++walks_;
+                probesTotal_ += r.probes;
+                return r;
+            }
+            if (s.pool_id == 0)
+                break; // invalid entry: translation missing -> trap
+            idx = (idx + 1) & (slots_.size() - 1);
+        }
+        ++walks_;
+        probesTotal_ += r.probes;
+        return r;
+    }
+
+    size_t liveEntries() const { return live_; }
+    uint64_t walks() const { return walks_; }
+
+    double
+    avgProbes() const
+    {
+        return walks_ ? static_cast<double>(probesTotal_) / walks_ : 0.0;
+    }
+
+  private:
+    // Tombstone: probing continues through it, but it never matches a
+    // real pool id (real ids are 32-bit nonzero; slot ids are 64-bit).
+    static constexpr uint64_t kTombstone = 1ull << 40;
+
+    struct Slot
+    {
+        uint64_t pool_id = 0;
+        uint64_t base = 0;
+    };
+
+    uint32_t
+    hash(uint32_t pool_id) const
+    {
+        // Fibonacci hash onto the table (power-of-two size).
+        const uint32_t h = pool_id * 2654435761u;
+        return h & (slots_.size() - 1);
+    }
+
+    std::vector<Slot> slots_;
+    size_t live_ = 0;
+    uint64_t walks_ = 0;
+    uint64_t probesTotal_ = 0;
+};
+
+} // namespace sim
+} // namespace poat
+
+#endif // POAT_SIM_POT_H

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * B+T microbenchmark (paper Table 5): search 5000 random integers in a
+ * B+ tree of order 7; remove on hit, insert on miss — both rebalance.
+ * This structure is derived from TPC-C's core B+ tree, as in the paper.
+ */
+#include "workloads/bplustree.h"
+#include "workloads/workloads.h"
+
+namespace poat {
+namespace workloads {
+
+BplusWorkload::BplusWorkload(const WorkloadConfig &cfg) : cfg_(cfg) {}
+
+WorkloadResult
+BplusWorkload::run(PmemRuntime &rt)
+{
+    Rng rng(cfg_.seed);
+    PoolSet pools(rt, cfg_.pattern, "bpt");
+    const ObjectID anchor = rt.poolRoot(pools.homePool(), 16);
+    BPlusTree tree(rt, anchor,
+                   [&pools](uint64_t key) { return pools.poolForNew(key); });
+
+    WorkloadResult res;
+    const uint64_t ops = 5000ull * cfg_.scale_pct / 100;
+    const uint64_t key_range = ops;
+
+    for (uint64_t op = 0; op < ops; ++op) {
+        // Keys are offset by 1: key 0 is reserved as the scan floor.
+        const uint64_t key = 1 + rng.below(key_range);
+        ++res.operations;
+
+        const auto hit = tree.find(key);
+        rt.branchEvent(hit.has_value(), kPcFound);
+        TxScope tx(rt, cfg_.transactions);
+        if (hit) {
+            const bool erased = tree.erase(tx, key);
+            POAT_ASSERT(erased, "B+T erase of a found key failed");
+            ++res.found;
+            res.checksum += key * 31 + 1;
+        } else {
+            const bool inserted = tree.insert(tx, key, key * 1000 + 7);
+            POAT_ASSERT(inserted, "B+T insert of a missing key failed");
+            res.checksum += key * 7 + 3;
+        }
+    }
+
+    POAT_ASSERT(tree.validate(), "B+ tree invariants violated");
+    tree.scan(0, ~0ull, [&](uint64_t k, uint64_t v) {
+        res.checksum = res.checksum * 131 + k + v;
+        return true;
+    });
+    return res;
+}
+
+} // namespace workloads
+} // namespace poat

@@ -1,0 +1,583 @@
+#include "workloads/bplustree.h"
+
+namespace poat {
+namespace workloads {
+
+namespace {
+
+constexpr uint32_t kOffN = 0;
+constexpr uint32_t kOffLeaf = 8;
+constexpr uint32_t kOffKeys = 16;
+constexpr uint32_t kOffVals = 64;     // leaves
+constexpr uint32_t kOffChildren = 64; // internal nodes
+constexpr uint32_t kOffNext = 112;    // leaves
+
+/**
+ * Host-side staging image of one node (one extra slot so overflowing
+ * inserts can be staged before a split distributes the entries).
+ */
+struct NodeImage
+{
+    bool leaf = false;
+    uint32_t n = 0;
+    uint64_t keys[BPlusTree::kMaxKeys + 1] = {};
+    uint64_t vals[BPlusTree::kMaxKeys + 1] = {};
+    uint64_t children[BPlusTree::kMaxKeys + 2] = {};
+    uint64_t next = 0;
+
+    /** Insert (key, val-or-child-after) at @p pos. */
+    void
+    insertAt(uint32_t pos, uint64_t key, uint64_t payload)
+    {
+        for (uint32_t i = n; i > pos; --i) {
+            keys[i] = keys[i - 1];
+            if (leaf)
+                vals[i] = vals[i - 1];
+            else
+                children[i + 1] = children[i];
+        }
+        keys[pos] = key;
+        if (leaf)
+            vals[pos] = payload;
+        else
+            children[pos + 1] = payload;
+        ++n;
+    }
+
+    /** Remove the entry at @p pos (and child pos+1 when internal). */
+    void
+    removeAt(uint32_t pos)
+    {
+        for (uint32_t i = pos; i + 1 < n; ++i) {
+            keys[i] = keys[i + 1];
+            if (leaf)
+                vals[i] = vals[i + 1];
+            else
+                children[i + 1] = children[i + 2];
+        }
+        --n;
+    }
+};
+
+} // namespace
+
+BPlusTree::BPlusTree(PmemRuntime &rt, ObjectID anchor, PoolChooser chooser)
+    : rt_(rt), anchor_(anchor), chooser_(std::move(chooser))
+{
+}
+
+ObjectID
+BPlusTree::rootOid()
+{
+    return ObjectID(rt_.read<uint64_t>(rt_.deref(anchor_), 0));
+}
+
+void
+BPlusTree::setRoot(TxScope &tx, ObjectID node)
+{
+    tx.addRange(anchor_, 8);
+    rt_.write<uint64_t>(rt_.deref(anchor_), 0, node.raw);
+}
+
+ObjectID
+BPlusTree::allocNode(TxScope &tx, uint64_t key, bool leaf)
+{
+    const ObjectID n = tx.pmalloc(chooser_(key), kNodeSize);
+    tx.addRange(n, kNodeSize);
+    ObjectRef r = rt_.deref(n);
+    rt_.write<uint64_t>(r, kOffN, 0);
+    rt_.write<uint64_t>(r, kOffLeaf, leaf ? 1 : 0);
+    if (leaf)
+        rt_.write<uint64_t>(r, kOffNext, 0);
+    return n;
+}
+
+namespace {
+
+/** Read a node into a staging image, emitting its loads. */
+NodeImage
+readNode(PmemRuntime &rt, ObjectID node, uint64_t chase_tag = kNoDep)
+{
+    NodeImage img;
+    ObjectRef r = rt.deref(node, chase_tag);
+    img.n = static_cast<uint32_t>(rt.read<uint64_t>(r, kOffN));
+    img.leaf = rt.read<uint64_t>(r, kOffLeaf) != 0;
+    rt.compute(kVisitCost);
+    for (uint32_t i = 0; i < img.n; ++i)
+        img.keys[i] = rt.read<uint64_t>(r, kOffKeys + 8 * i);
+    if (img.leaf) {
+        for (uint32_t i = 0; i < img.n; ++i)
+            img.vals[i] = rt.read<uint64_t>(r, kOffVals + 8 * i);
+        img.next = rt.read<uint64_t>(r, kOffNext);
+    } else {
+        for (uint32_t i = 0; i <= img.n; ++i)
+            img.children[i] = rt.read<uint64_t>(r, kOffChildren + 8 * i);
+    }
+    return img;
+}
+
+/** Write a staging image back, logging the node first. */
+void
+writeNode(PmemRuntime &rt, NodeLogger &log, ObjectID node,
+          const NodeImage &img)
+{
+    log.log(node, BPlusTree::kNodeSize);
+    ObjectRef r = rt.deref(node);
+    rt.write<uint64_t>(r, kOffN, img.n);
+    rt.write<uint64_t>(r, kOffLeaf, img.leaf ? 1 : 0);
+    rt.compute(kUpdateCost);
+    for (uint32_t i = 0; i < img.n; ++i)
+        rt.write<uint64_t>(r, kOffKeys + 8 * i, img.keys[i]);
+    if (img.leaf) {
+        for (uint32_t i = 0; i < img.n; ++i)
+            rt.write<uint64_t>(r, kOffVals + 8 * i, img.vals[i]);
+        rt.write<uint64_t>(r, kOffNext, img.next);
+    } else {
+        for (uint32_t i = 0; i <= img.n; ++i)
+            rt.write<uint64_t>(r, kOffChildren + 8 * i, img.children[i]);
+    }
+}
+
+} // namespace
+
+ObjectID
+BPlusTree::descend(uint64_t key, std::vector<PathEntry> *path)
+{
+    ObjectID cur = rootOid();
+    uint64_t chase = rt_.lastLoadTag();
+    if (cur.isNull())
+        return OID_NULL;
+    while (true) {
+        ObjectRef r = rt_.deref(cur, chase);
+        const uint32_t n =
+            static_cast<uint32_t>(rt_.read<uint64_t>(r, kOffN));
+        const bool leaf = rt_.read<uint64_t>(r, kOffLeaf) != 0;
+        rt_.compute(kVisitCost);
+        if (leaf)
+            return cur;
+        uint32_t i = 0;
+        while (i < n) {
+            const uint64_t k = rt_.read<uint64_t>(r, kOffKeys + 8 * i);
+            rt_.branchEvent(key >= k, kPcSearch);
+            if (key < k)
+                break;
+            ++i;
+        }
+        const uint64_t child =
+            rt_.read<uint64_t>(r, kOffChildren + 8 * i);
+        chase = rt_.lastLoadTag();
+        if (path)
+            path->push_back({cur, i});
+        cur = ObjectID(child);
+    }
+}
+
+std::optional<uint64_t>
+BPlusTree::find(uint64_t key)
+{
+    const ObjectID leaf = descend(key, nullptr);
+    if (leaf.isNull())
+        return std::nullopt;
+    ObjectRef r = rt_.deref(leaf);
+    const uint32_t n = static_cast<uint32_t>(rt_.read<uint64_t>(r, kOffN));
+    for (uint32_t i = 0; i < n; ++i) {
+        const uint64_t k = rt_.read<uint64_t>(r, kOffKeys + 8 * i);
+        rt_.branchEvent(k == key, kPcFound);
+        if (k == key)
+            return rt_.read<uint64_t>(r, kOffVals + 8 * i);
+        if (k > key)
+            return std::nullopt;
+    }
+    return std::nullopt;
+}
+
+void
+BPlusTree::insertInternal(TxScope &tx, NodeLogger &log,
+                          std::vector<PathEntry> &path, uint64_t sep,
+                          ObjectID right, uint64_t opkey)
+{
+    while (!path.empty()) {
+        const PathEntry pe = path.back();
+        path.pop_back();
+        NodeImage img = readNode(rt_, pe.node);
+        img.insertAt(pe.child, sep, right.raw);
+        if (img.n <= kMaxKeys) {
+            writeNode(rt_, log, pe.node, img);
+            return;
+        }
+        // Split the internal node: 7 staged keys -> 3 | median | 3.
+        NodeImage left{}, rightimg{};
+        left.leaf = rightimg.leaf = false;
+        left.n = 3;
+        rightimg.n = 3;
+        for (uint32_t i = 0; i < 3; ++i) {
+            left.keys[i] = img.keys[i];
+            rightimg.keys[i] = img.keys[4 + i];
+        }
+        for (uint32_t i = 0; i < 4; ++i) {
+            left.children[i] = img.children[i];
+            rightimg.children[i] = img.children[4 + i];
+        }
+        const uint64_t median = img.keys[3];
+        const ObjectID sibling = allocNode(tx, opkey, false);
+        writeNode(rt_, log, pe.node, left);
+        writeNode(rt_, log, sibling, rightimg);
+        sep = median;
+        right = sibling;
+    }
+    // Split reached the root: grow the tree by one level.
+    const ObjectID old_root = rootOid();
+    const ObjectID new_root = allocNode(tx, opkey, false);
+    NodeImage img{};
+    img.leaf = false;
+    img.n = 1;
+    img.keys[0] = sep;
+    img.children[0] = old_root.raw;
+    img.children[1] = right.raw;
+    writeNode(rt_, log, new_root, img);
+    setRoot(tx, new_root);
+}
+
+bool
+BPlusTree::insert(TxScope &tx, uint64_t key, uint64_t value)
+{
+    NodeLogger log(tx);
+    std::vector<PathEntry> path;
+    const ObjectID leaf = descend(key, &path);
+    if (leaf.isNull()) {
+        const ObjectID n = allocNode(tx, key, true);
+        NodeImage img{};
+        img.leaf = true;
+        img.n = 1;
+        img.keys[0] = key;
+        img.vals[0] = value;
+        writeNode(rt_, log, n, img);
+        setRoot(tx, n);
+        return true;
+    }
+
+    NodeImage img = readNode(rt_, leaf);
+    uint32_t pos = 0;
+    while (pos < img.n && img.keys[pos] < key)
+        ++pos;
+    if (pos < img.n && img.keys[pos] == key)
+        return false; // duplicate
+
+    img.insertAt(pos, key, value);
+    if (img.n <= kMaxKeys) {
+        writeNode(rt_, log, leaf, img);
+        return true;
+    }
+
+    // Split the leaf: 7 staged entries -> 4 | 3; separator is the
+    // right half's first key.
+    NodeImage left{}, right{};
+    left.leaf = right.leaf = true;
+    left.n = 4;
+    right.n = 3;
+    for (uint32_t i = 0; i < 4; ++i) {
+        left.keys[i] = img.keys[i];
+        left.vals[i] = img.vals[i];
+    }
+    for (uint32_t i = 0; i < 3; ++i) {
+        right.keys[i] = img.keys[4 + i];
+        right.vals[i] = img.vals[4 + i];
+    }
+    const ObjectID sibling = allocNode(tx, key, true);
+    right.next = img.next;
+    left.next = sibling.raw;
+    writeNode(rt_, log, leaf, left);
+    writeNode(rt_, log, sibling, right);
+    insertInternal(tx, log, path, right.keys[0], sibling, key);
+    return true;
+}
+
+bool
+BPlusTree::update(TxScope &tx, uint64_t key, uint64_t value)
+{
+    const ObjectID leaf = descend(key, nullptr);
+    if (leaf.isNull())
+        return false;
+    NodeLogger log(tx);
+    ObjectRef r = rt_.deref(leaf);
+    const uint32_t n = static_cast<uint32_t>(rt_.read<uint64_t>(r, kOffN));
+    for (uint32_t i = 0; i < n; ++i) {
+        const uint64_t k = rt_.read<uint64_t>(r, kOffKeys + 8 * i);
+        if (k == key) {
+            // Log just the value slot: a field-granular tx_add_range.
+            tx.addRange(leaf.plus(kOffVals + 8 * i), 8);
+            rt_.write<uint64_t>(rt_.deref(leaf), kOffVals + 8 * i, value);
+            return true;
+        }
+        if (k > key)
+            break;
+    }
+    return false;
+}
+
+void
+BPlusTree::fixUnderflow(TxScope &tx, NodeLogger &log,
+                        std::vector<PathEntry> &path, ObjectID node)
+{
+    while (true) {
+        NodeImage img = readNode(rt_, node);
+        if (path.empty()) {
+            // Root: an internal root with zero keys shrinks the tree.
+            if (!img.leaf && img.n == 0) {
+                setRoot(tx, ObjectID(img.children[0]));
+                tx.pfree(node);
+            } else if (img.leaf && img.n == 0) {
+                setRoot(tx, OID_NULL);
+                tx.pfree(node);
+            }
+            return;
+        }
+        if (img.n >= kMinKeys)
+            return;
+
+        const PathEntry pe = path.back();
+        path.pop_back();
+        NodeImage parent = readNode(rt_, pe.node);
+        const uint32_t idx = pe.child;
+
+        // ---- try borrowing from the left sibling -------------------
+        if (idx > 0) {
+            const ObjectID lsib(parent.children[idx - 1]);
+            NodeImage limg = readNode(rt_, lsib);
+            if (limg.n > kMinKeys) {
+                if (img.leaf) {
+                    img.insertAt(0, limg.keys[limg.n - 1],
+                                 limg.vals[limg.n - 1]);
+                    --limg.n;
+                    parent.keys[idx - 1] = img.keys[0];
+                } else {
+                    // Rotate through the separator.
+                    for (uint32_t i = img.n; i > 0; --i)
+                        img.keys[i] = img.keys[i - 1];
+                    for (uint32_t i = img.n + 1; i > 0; --i)
+                        img.children[i] = img.children[i - 1];
+                    img.keys[0] = parent.keys[idx - 1];
+                    img.children[0] = limg.children[limg.n];
+                    ++img.n;
+                    parent.keys[idx - 1] = limg.keys[limg.n - 1];
+                    --limg.n;
+                }
+                writeNode(rt_, log, lsib, limg);
+                writeNode(rt_, log, node, img);
+                writeNode(rt_, log, pe.node, parent);
+                return;
+            }
+        }
+
+        // ---- try borrowing from the right sibling ------------------
+        if (idx < parent.n) {
+            const ObjectID rsib(parent.children[idx + 1]);
+            NodeImage rimg = readNode(rt_, rsib);
+            if (rimg.n > kMinKeys) {
+                if (img.leaf) {
+                    img.insertAt(img.n, rimg.keys[0], rimg.vals[0]);
+                    rimg.removeAt(0);
+                    parent.keys[idx] = rimg.keys[0];
+                } else {
+                    img.keys[img.n] = parent.keys[idx];
+                    img.children[img.n + 1] = rimg.children[0];
+                    ++img.n;
+                    parent.keys[idx] = rimg.keys[0];
+                    for (uint32_t i = 0; i + 1 < rimg.n; ++i)
+                        rimg.keys[i] = rimg.keys[i + 1];
+                    for (uint32_t i = 0; i < rimg.n; ++i)
+                        rimg.children[i] = rimg.children[i + 1];
+                    --rimg.n;
+                }
+                writeNode(rt_, log, rsib, rimg);
+                writeNode(rt_, log, node, img);
+                writeNode(rt_, log, pe.node, parent);
+                return;
+            }
+        }
+
+        // ---- merge -------------------------------------------------
+        ObjectID into, from;
+        uint32_t sep_idx;
+        if (idx > 0) {
+            into = ObjectID(parent.children[idx - 1]);
+            from = node;
+            sep_idx = idx - 1;
+        } else {
+            into = node;
+            from = ObjectID(parent.children[idx + 1]);
+            sep_idx = idx;
+        }
+        NodeImage a = readNode(rt_, into);
+        NodeImage b = readNode(rt_, from);
+        if (a.leaf) {
+            for (uint32_t i = 0; i < b.n; ++i) {
+                a.keys[a.n + i] = b.keys[i];
+                a.vals[a.n + i] = b.vals[i];
+            }
+            a.n += b.n;
+            a.next = b.next;
+        } else {
+            a.keys[a.n] = parent.keys[sep_idx];
+            for (uint32_t i = 0; i < b.n; ++i)
+                a.keys[a.n + 1 + i] = b.keys[i];
+            for (uint32_t i = 0; i <= b.n; ++i)
+                a.children[a.n + 1 + i] = b.children[i];
+            a.n += b.n + 1;
+        }
+        writeNode(rt_, log, into, a);
+        tx.pfree(from);
+
+        // Drop the separator and the right-hand child of the merge.
+        parent.removeAt(sep_idx);
+        writeNode(rt_, log, pe.node, parent);
+        node = pe.node;
+    }
+}
+
+bool
+BPlusTree::erase(TxScope &tx, uint64_t key)
+{
+    NodeLogger log(tx);
+    std::vector<PathEntry> path;
+    const ObjectID leaf = descend(key, &path);
+    if (leaf.isNull())
+        return false;
+
+    NodeImage img = readNode(rt_, leaf);
+    uint32_t pos = 0;
+    while (pos < img.n && img.keys[pos] < key)
+        ++pos;
+    if (pos >= img.n || img.keys[pos] != key)
+        return false;
+
+    img.removeAt(pos);
+    writeNode(rt_, log, leaf, img);
+    if (img.n < kMinKeys)
+        fixUnderflow(tx, log, path, leaf);
+    return true;
+}
+
+uint64_t
+BPlusTree::scan(uint64_t lo, uint64_t hi,
+                const std::function<bool(uint64_t, uint64_t)> &fn)
+{
+    ObjectID leaf = descend(lo, nullptr);
+    uint64_t visited = 0;
+    while (!leaf.isNull()) {
+        ObjectRef r = rt_.deref(leaf);
+        const uint32_t n =
+            static_cast<uint32_t>(rt_.read<uint64_t>(r, kOffN));
+        for (uint32_t i = 0; i < n; ++i) {
+            const uint64_t k = rt_.read<uint64_t>(r, kOffKeys + 8 * i);
+            if (k < lo)
+                continue;
+            if (k > hi)
+                return visited;
+            const uint64_t v = rt_.read<uint64_t>(r, kOffVals + 8 * i);
+            ++visited;
+            if (!fn(k, v))
+                return visited;
+        }
+        leaf = ObjectID(rt_.read<uint64_t>(r, kOffNext));
+        rt_.branchEvent(!leaf.isNull(), kPcSearch, rt_.lastLoadTag());
+    }
+    return visited;
+}
+
+std::optional<std::pair<uint64_t, uint64_t>>
+BPlusTree::findFirst(uint64_t lo, uint64_t hi)
+{
+    std::optional<std::pair<uint64_t, uint64_t>> first;
+    scan(lo, hi, [&](uint64_t k, uint64_t v) {
+        first = {k, v};
+        return false; // stop at the first hit
+    });
+    return first;
+}
+
+std::optional<std::pair<uint64_t, uint64_t>>
+BPlusTree::findLast(uint64_t lo, uint64_t hi)
+{
+    std::optional<std::pair<uint64_t, uint64_t>> best;
+    scan(lo, hi, [&](uint64_t k, uint64_t v) {
+        best = {k, v};
+        return true;
+    });
+    return best;
+}
+
+uint64_t
+BPlusTree::size()
+{
+    uint64_t count = 0;
+    scan(0, ~0ull, [&](uint64_t, uint64_t) {
+        ++count;
+        return true;
+    });
+    return count;
+}
+
+bool
+BPlusTree::validateNode(ObjectID node, uint64_t lo, uint64_t hi,
+                        int depth, int &leaf_depth)
+{
+    const NodeImage img = readNode(rt_, node);
+    uint64_t prev = lo;
+    for (uint32_t i = 0; i < img.n; ++i) {
+        if (img.keys[i] < prev || img.keys[i] > hi)
+            return false;
+        prev = img.keys[i];
+    }
+    if (img.leaf) {
+        if (leaf_depth < 0)
+            leaf_depth = depth;
+        return depth == leaf_depth;
+    }
+    if (img.n == 0)
+        return false;
+    uint64_t sub_lo = lo;
+    for (uint32_t i = 0; i <= img.n; ++i) {
+        const uint64_t sub_hi = (i < img.n) ? img.keys[i] : hi;
+        if (!validateNode(ObjectID(img.children[i]), sub_lo, sub_hi,
+                          depth + 1, leaf_depth)) {
+            return false;
+        }
+        sub_lo = sub_hi;
+    }
+    return true;
+}
+
+bool
+BPlusTree::validate()
+{
+    const ObjectID root = rootOid();
+    if (root.isNull())
+        return true;
+    int leaf_depth = -1;
+    if (!validateNode(root, 0, ~0ull, 0, leaf_depth))
+        return false;
+    // The leaf chain must be sorted and cover exactly the tree's keys.
+    uint64_t prev = 0;
+    bool first = true;
+    uint64_t chain = 0;
+    ObjectID leaf = descend(0, nullptr);
+    while (!leaf.isNull()) {
+        ObjectRef r = rt_.deref(leaf);
+        const uint32_t n =
+            static_cast<uint32_t>(rt_.read<uint64_t>(r, kOffN));
+        for (uint32_t i = 0; i < n; ++i) {
+            const uint64_t k = rt_.read<uint64_t>(r, kOffKeys + 8 * i);
+            if (!first && k <= prev)
+                return false;
+            prev = k;
+            first = false;
+            ++chain;
+        }
+        leaf = ObjectID(rt_.read<uint64_t>(r, kOffNext));
+    }
+    return true;
+}
+
+} // namespace workloads
+} // namespace poat

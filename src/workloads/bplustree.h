@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Persistent B+ tree of order 7 over the pmem API.
+ *
+ * This is both the B+T microbenchmark's structure and the storage
+ * engine for every TPC-C table (the paper derives its B+T benchmark
+ * from TPC-C's core structure and moves those trees into persistent
+ * pools). Keys and values are u64 — TPC-C packs composite keys and
+ * stores tuple ObjectIDs as values.
+ *
+ * Node layout (120 bytes, order 7 => at most 6 keys / 7 children):
+ *   leaf:     u64 n @0 | u64 1 @8 | keys[6] @16 | values[6] @64 | next @112
+ *   internal: u64 n @0 | u64 0 @8 | keys[6] @16 | children[7] @64
+ *
+ * Invariants (checked by validate()): keys sorted within nodes, all
+ * leaves at equal depth, every non-root node holds >= 3 keys, internal
+ * separators bound their subtrees, and the leaf chain is ordered.
+ */
+#ifndef POAT_WORKLOADS_BPLUSTREE_H
+#define POAT_WORKLOADS_BPLUSTREE_H
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "workloads/harness.h"
+
+namespace poat {
+namespace workloads {
+
+/** Persistent B+ tree (order 7). */
+class BPlusTree
+{
+  public:
+    static constexpr uint32_t kMaxKeys = 6;
+    static constexpr uint32_t kMinKeys = 3;
+    static constexpr uint32_t kNodeSize = 120;
+
+    /** Chooses the pool a new node (created for @p key) goes to. */
+    using PoolChooser = std::function<uint32_t(uint64_t key)>;
+
+    /**
+     * @param anchor ObjectID of an 8-byte slot holding the root's raw
+     *        ObjectID (0 while the tree is empty). The caller owns it,
+     *        typically inside a pool root object.
+     */
+    BPlusTree(PmemRuntime &rt, ObjectID anchor, PoolChooser chooser);
+
+    /** Insert; @return false (and do nothing) if the key exists. */
+    bool insert(TxScope &tx, uint64_t key, uint64_t value);
+
+    /** Update an existing key's value. @return false if absent. */
+    bool update(TxScope &tx, uint64_t key, uint64_t value);
+
+    /** Remove a key. @return false if absent. */
+    bool erase(TxScope &tx, uint64_t key);
+
+    /** Point lookup. */
+    std::optional<uint64_t> find(uint64_t key);
+
+    /**
+     * In-order scan of [lo, hi]; stops early when @p fn returns false.
+     * @return number of entries visited.
+     */
+    uint64_t scan(uint64_t lo, uint64_t hi,
+                  const std::function<bool(uint64_t, uint64_t)> &fn);
+
+    /** Greatest key <= @p hi within [lo, hi], with its value. */
+    std::optional<std::pair<uint64_t, uint64_t>>
+    findLast(uint64_t lo, uint64_t hi);
+
+    /** Smallest key >= @p lo within [lo, hi], with its value. */
+    std::optional<std::pair<uint64_t, uint64_t>>
+    findFirst(uint64_t lo, uint64_t hi);
+
+    /** Number of keys (full leaf-chain walk; for tests). */
+    uint64_t size();
+
+    /** Check all structural invariants (tests). */
+    bool validate();
+
+  private:
+    struct PathEntry
+    {
+        ObjectID node;
+        uint32_t child; ///< index taken while descending
+    };
+
+    ObjectID rootOid();
+    void setRoot(TxScope &tx, ObjectID node);
+    ObjectID allocNode(TxScope &tx, uint64_t key, bool leaf);
+
+    /** Descend to the leaf for @p key, recording the path. */
+    ObjectID descend(uint64_t key, std::vector<PathEntry> *path);
+
+    /** Insert a separator+child into an internal node (may split up). */
+    void insertInternal(TxScope &tx, NodeLogger &log,
+                        std::vector<PathEntry> &path, uint64_t sep,
+                        ObjectID right, uint64_t opkey);
+
+    /** Fix an underflowing node after a leaf/internal removal. */
+    void fixUnderflow(TxScope &tx, NodeLogger &log,
+                      std::vector<PathEntry> &path, ObjectID node);
+
+    bool validateNode(ObjectID node, uint64_t lo, uint64_t hi,
+                      int depth, int &leaf_depth);
+
+    PmemRuntime &rt_;
+    ObjectID anchor_;
+    PoolChooser chooser_;
+};
+
+} // namespace workloads
+} // namespace poat
+
+#endif // POAT_WORKLOADS_BPLUSTREE_H

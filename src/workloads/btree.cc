@@ -1,0 +1,273 @@
+/**
+ * @file
+ * BT microbenchmark (paper Table 5): search 5000 random integers in a
+ * B-tree of order 7; insert any key that is missing (splits rebalance
+ * the tree; the paper's BT performs no deletions).
+ *
+ * Node layout (120 bytes):
+ *   u64 n_keys @0 | u64 leaf @8 | int64 keys[6] @16 | OID children[7] @64
+ */
+#include "workloads/workloads.h"
+
+#include <functional>
+
+namespace poat {
+namespace workloads {
+
+namespace {
+
+constexpr uint32_t kMaxKeys = 6; // order 7: up to 7 children
+constexpr uint32_t kNodeSize = 120;
+constexpr uint32_t kOffN = 0;
+constexpr uint32_t kOffLeaf = 8;
+constexpr uint32_t kOffKeys = 16;
+constexpr uint32_t kOffChildren = 64;
+
+constexpr uint32_t
+keyOff(uint32_t i)
+{
+    return kOffKeys + 8 * i;
+}
+
+constexpr uint32_t
+childOff(uint32_t i)
+{
+    return kOffChildren + 8 * i;
+}
+
+/** Mutating B-tree walker bound to one logical operation. */
+struct BtOps
+{
+    PmemRuntime &rt;
+    PoolSet &pools;
+    TxScope &tx;
+    NodeLogger &log;
+
+    ObjectID
+    allocNode(int64_t key, bool leaf)
+    {
+        const ObjectID n = tx.pmalloc(pools.poolForNew(key), kNodeSize);
+        tx.addRange(n, kNodeSize);
+        ObjectRef r = rt.deref(n);
+        rt.write<uint64_t>(r, kOffN, 0);
+        rt.write<uint64_t>(r, kOffLeaf, leaf ? 1 : 0);
+        return n;
+    }
+
+    /** Split the full child at index @p ci of @p parent. */
+    void
+    splitChild(ObjectID parent, uint32_t ci, int64_t opkey)
+    {
+        ObjectRef pr = rt.deref(parent);
+        const ObjectID child(rt.read<uint64_t>(pr, childOff(ci)));
+        ObjectRef cr = rt.deref(child);
+        const bool leaf = rt.read<uint64_t>(cr, kOffLeaf) != 0;
+
+        const ObjectID sib = allocNode(opkey, leaf);
+        ObjectRef sr = rt.deref(sib);
+        log.log(child, kNodeSize);
+        log.log(parent, kNodeSize);
+
+        // Keys 4..5 move to the sibling; key 3 moves up.
+        for (uint32_t i = 0; i < 2; ++i) {
+            const int64_t k = rt.read<int64_t>(cr, keyOff(4 + i));
+            rt.write<int64_t>(sr, keyOff(i), k);
+        }
+        if (!leaf) {
+            for (uint32_t i = 0; i < 3; ++i) {
+                const uint64_t c = rt.read<uint64_t>(cr, childOff(4 + i));
+                rt.write<uint64_t>(sr, childOff(i), c);
+            }
+        }
+        rt.write<uint64_t>(sr, kOffN, 2);
+        const int64_t median = rt.read<int64_t>(cr, keyOff(3));
+        rt.write<uint64_t>(cr, kOffN, 3);
+
+        // Shift the parent's keys/children right of ci.
+        const uint32_t pn =
+            static_cast<uint32_t>(rt.read<uint64_t>(pr, kOffN));
+        for (uint32_t i = pn; i > ci; --i) {
+            const int64_t k = rt.read<int64_t>(pr, keyOff(i - 1));
+            rt.write<int64_t>(pr, keyOff(i), k);
+        }
+        for (uint32_t i = pn + 1; i > ci + 1; --i) {
+            const uint64_t c = rt.read<uint64_t>(pr, childOff(i - 1));
+            rt.write<uint64_t>(pr, childOff(i), c);
+        }
+        rt.write<int64_t>(pr, keyOff(ci), median);
+        rt.write<uint64_t>(pr, childOff(ci + 1), sib.raw);
+        rt.write<uint64_t>(pr, kOffN, pn + 1);
+        rt.compute(kUpdateCost);
+    }
+
+    void
+    insertNonFull(ObjectID node, int64_t key)
+    {
+        while (true) {
+            ObjectRef r = rt.deref(node);
+            const uint32_t n =
+                static_cast<uint32_t>(rt.read<uint64_t>(r, kOffN));
+            const bool leaf = rt.read<uint64_t>(r, kOffLeaf) != 0;
+            rt.compute(kVisitCost);
+
+            if (leaf) {
+                log.log(node, kNodeSize);
+                uint32_t i = n;
+                while (i > 0) {
+                    const int64_t k = rt.read<int64_t>(r, keyOff(i - 1));
+                    rt.branchEvent(k > key, kPcUpdate);
+                    if (k <= key)
+                        break;
+                    rt.write<int64_t>(r, keyOff(i), k);
+                    --i;
+                }
+                rt.write<int64_t>(r, keyOff(i), key);
+                rt.write<uint64_t>(r, kOffN, n + 1);
+                return;
+            }
+
+            // Find the child to descend into.
+            uint32_t ci = 0;
+            while (ci < n) {
+                const int64_t k = rt.read<int64_t>(r, keyOff(ci));
+                rt.branchEvent(key > k, kPcSearch);
+                if (key <= k)
+                    break;
+                ++ci;
+            }
+            ObjectID child(rt.read<uint64_t>(r, childOff(ci)));
+            const uint32_t cn = static_cast<uint32_t>(
+                rt.read<uint64_t>(rt.deref(child), kOffN));
+            if (cn == kMaxKeys) {
+                splitChild(node, ci, key);
+                r = rt.deref(node);
+                const int64_t up = rt.read<int64_t>(r, keyOff(ci));
+                if (key > up)
+                    ++ci;
+                child = ObjectID(rt.read<uint64_t>(r, childOff(ci)));
+            }
+            node = child;
+        }
+    }
+};
+
+} // namespace
+
+BtreeWorkload::BtreeWorkload(const WorkloadConfig &cfg) : cfg_(cfg) {}
+
+WorkloadResult
+BtreeWorkload::run(PmemRuntime &rt)
+{
+    Rng rng(cfg_.seed);
+    PoolSet pools(rt, cfg_.pattern, "bt");
+    const ObjectID anchor = rt.poolRoot(pools.homePool(), 16);
+
+    WorkloadResult res;
+    const uint64_t ops = 5000ull * cfg_.scale_pct / 100;
+    const uint64_t key_range = ops;
+
+    for (uint64_t op = 0; op < ops; ++op) {
+        const int64_t key = static_cast<int64_t>(rng.below(key_range));
+        ++res.operations;
+
+        // ---- search -------------------------------------------------
+        ObjectID cur(rt.read<uint64_t>(rt.deref(anchor), 0));
+        uint64_t chase = rt.lastLoadTag();
+        bool found = false;
+        while (!cur.isNull() && !found) {
+            rt.compute(kVisitCost);
+            ObjectRef r = rt.deref(cur, chase);
+            const uint32_t n =
+                static_cast<uint32_t>(rt.read<uint64_t>(r, kOffN));
+            const bool leaf = rt.read<uint64_t>(r, kOffLeaf) != 0;
+            uint32_t i = 0;
+            while (i < n) {
+                const int64_t k = rt.read<int64_t>(r, keyOff(i));
+                if (k == key) {
+                    found = true;
+                    rt.branchEvent(true, kPcFound);
+                    break;
+                }
+                rt.branchEvent(key > k, kPcSearch);
+                if (key < k)
+                    break;
+                ++i;
+            }
+            if (found)
+                break;
+            if (leaf)
+                break;
+            cur = ObjectID(rt.read<uint64_t>(r, childOff(i)));
+            chase = rt.lastLoadTag();
+        }
+
+        if (found) {
+            ++res.found;
+            res.checksum += static_cast<uint64_t>(key) * 31 + 1;
+            continue;
+        }
+
+        // ---- insert ---------------------------------------------------
+        TxScope tx(rt, cfg_.transactions);
+        NodeLogger log(tx);
+        BtOps bt{rt, pools, tx, log};
+
+        ObjectID root(rt.read<uint64_t>(rt.deref(anchor), 0));
+        if (root.isNull()) {
+            const ObjectID n = bt.allocNode(key, true);
+            ObjectRef r = rt.deref(n);
+            rt.write<int64_t>(r, keyOff(0), key);
+            rt.write<uint64_t>(r, kOffN, 1);
+            tx.addRange(anchor, 8);
+            rt.write<uint64_t>(rt.deref(anchor), 0, n.raw);
+        } else {
+            const uint32_t rn = static_cast<uint32_t>(
+                rt.read<uint64_t>(rt.deref(root), kOffN));
+            if (rn == kMaxKeys) {
+                const ObjectID nr = bt.allocNode(key, false);
+                rt.write<uint64_t>(rt.deref(nr), childOff(0), root.raw);
+                bt.splitChild(nr, 0, key);
+                tx.addRange(anchor, 8);
+                rt.write<uint64_t>(rt.deref(anchor), 0, nr.raw);
+                root = nr;
+            }
+            bt.insertNonFull(root, key);
+        }
+        res.checksum += static_cast<uint64_t>(key) * 7 + 3;
+    }
+
+    // Fold an in-order walk into the checksum; validates ordering.
+    // Depth is O(log n): recursion is safe.
+    int64_t prev = INT64_MIN;
+    auto emit = [&](int64_t k) {
+        POAT_ASSERT(k > prev, "B-tree ordering violated");
+        prev = k;
+        res.checksum = res.checksum * 131 + static_cast<uint64_t>(k);
+    };
+    std::function<void(ObjectID)> walk = [&](ObjectID node) {
+        ObjectRef r = rt.deref(node);
+        const uint32_t n =
+            static_cast<uint32_t>(rt.read<uint64_t>(r, kOffN));
+        const bool leaf = rt.read<uint64_t>(r, kOffLeaf) != 0;
+        if (leaf) {
+            for (uint32_t i = 0; i < n; ++i)
+                emit(rt.read<int64_t>(r, keyOff(i)));
+            return;
+        }
+        for (uint32_t i = 0; i < n; ++i) {
+            walk(ObjectID(rt.read<uint64_t>(r, childOff(i))));
+            // Re-dereference: the recursive walk moved the handle's
+            // translation state along (BASE-mode predictor realism).
+            r = rt.deref(node);
+            emit(rt.read<int64_t>(r, keyOff(i)));
+        }
+        walk(ObjectID(rt.read<uint64_t>(r, childOff(n))));
+    };
+    const ObjectID root(rt.read<uint64_t>(rt.deref(anchor), 0));
+    if (!root.isNull())
+        walk(root);
+    return res;
+}
+
+} // namespace workloads
+} // namespace poat

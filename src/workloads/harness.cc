@@ -1,0 +1,100 @@
+#include "workloads/harness.h"
+
+#include "common/logging.h"
+#include "workloads/workloads.h"
+
+namespace poat {
+namespace workloads {
+
+const char *
+patternName(PoolPattern p)
+{
+    switch (p) {
+      case PoolPattern::All:
+        return "ALL";
+      case PoolPattern::Each:
+        return "EACH";
+      case PoolPattern::Random:
+        return "RANDOM";
+    }
+    return "?";
+}
+
+PoolSet::PoolSet(PmemRuntime &rt, PoolPattern pattern,
+                 const std::string &tag, uint64_t all_pool_size,
+                 uint64_t random_pool_size, uint64_t each_pool_size)
+    : rt_(rt), pattern_(pattern), tag_(tag),
+      eachPoolSize_(each_pool_size)
+{
+    switch (pattern_) {
+      case PoolPattern::All:
+        home_ = rt_.poolCreate(tag_ + ".all", all_pool_size);
+        created_ = 1;
+        break;
+      case PoolPattern::Random:
+        randomPools_.reserve(kRandomPools);
+        for (uint32_t i = 0; i < kRandomPools; ++i) {
+            randomPools_.push_back(rt_.poolCreate(
+                tag_ + ".r" + std::to_string(i), random_pool_size));
+        }
+        home_ = randomPools_[0];
+        created_ = kRandomPools;
+        break;
+      case PoolPattern::Each:
+        // A small dedicated pool for the root object; per-structure
+        // pools are created on demand. Small logs: an EACH pool only
+        // ever logs one structure's snapshot at a time.
+        home_ = rt_.poolCreate(tag_ + ".home", 64 * 1024, 16 * 1024);
+        created_ = 1;
+        break;
+    }
+}
+
+uint32_t
+PoolSet::poolForNew(uint64_t key)
+{
+    switch (pattern_) {
+      case PoolPattern::All:
+        return home_;
+      case PoolPattern::Random:
+        return randomPools_[key % kRandomPools];
+      case PoolPattern::Each: {
+        const uint32_t id = rt_.poolCreate(
+            tag_ + ".e" + std::to_string(created_), eachPoolSize_,
+            8 * 1024);
+        ++created_;
+        return id;
+      }
+    }
+    POAT_PANIC("unreachable pool pattern");
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &abbr, const WorkloadConfig &cfg)
+{
+    if (abbr == "LL")
+        return std::make_unique<LinkedListWorkload>(cfg);
+    if (abbr == "BST")
+        return std::make_unique<BstWorkload>(cfg);
+    if (abbr == "SPS")
+        return std::make_unique<SpsWorkload>(cfg);
+    if (abbr == "RBT")
+        return std::make_unique<RbtWorkload>(cfg);
+    if (abbr == "BT")
+        return std::make_unique<BtreeWorkload>(cfg);
+    if (abbr == "B+T")
+        return std::make_unique<BplusWorkload>(cfg);
+    POAT_FATAL("unknown workload abbreviation");
+}
+
+const std::vector<std::string> &
+microbenchNames()
+{
+    static const std::vector<std::string> names = {
+        "LL", "BST", "SPS", "RBT", "BT", "B+T",
+    };
+    return names;
+}
+
+} // namespace workloads
+} // namespace poat

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * LL microbenchmark (paper Table 5): search 700 random integers in a
+ * persistent singly linked list; remove on hit, insert at head on miss
+ * (the running example of the paper's Figure 4).
+ *
+ * Node layout: { int64 value @0, OID next @8 } — 16 bytes.
+ */
+#include "workloads/workloads.h"
+
+namespace poat {
+namespace workloads {
+
+namespace {
+
+constexpr uint32_t kNodeSize = 16;
+constexpr uint32_t kOffValue = 0;
+constexpr uint32_t kOffNext = 8;
+
+} // namespace
+
+LinkedListWorkload::LinkedListWorkload(const WorkloadConfig &cfg)
+    : cfg_(cfg)
+{
+}
+
+WorkloadResult
+LinkedListWorkload::run(PmemRuntime &rt)
+{
+    Rng rng(cfg_.seed);
+    PoolSet pools(rt, cfg_.pattern, "ll");
+    // The root object holds the head ObjectID at offset 0.
+    const ObjectID root = rt.poolRoot(pools.homePool(), kNodeSize);
+
+    WorkloadResult res;
+    const uint64_t ops = 700ull * cfg_.scale_pct / 100;
+    const uint64_t key_range = ops;
+
+    for (uint64_t op = 0; op < ops; ++op) {
+        const int64_t key = static_cast<int64_t>(rng.below(key_range));
+        ++res.operations;
+
+        // ---- find: traverse from the head (paper Figure 4) ----------
+        ObjectRef rootRef = rt.deref(root);
+        ObjectID prev = OID_NULL;
+        ObjectID cur(rt.read<uint64_t>(rootRef, 0));
+        uint64_t chase_tag = rt.lastLoadTag();
+        bool found = false;
+        while (!cur.isNull()) {
+            rt.compute(kVisitCost);
+            ObjectRef c = rt.deref(cur, chase_tag);
+            const int64_t v = rt.read<int64_t>(c, kOffValue);
+            found = (v == key);
+            rt.branchEvent(found, kPcFound, rt.lastLoadTag());
+            if (found)
+                break;
+            const uint64_t next_raw = rt.read<uint64_t>(c, kOffNext);
+            chase_tag = rt.lastLoadTag();
+            prev = cur;
+            cur = ObjectID(next_raw);
+            rt.branchEvent(true, kPcSearch);
+        }
+
+        if (found) {
+            // ---- remove cur: relink, then free --------------------
+            TxScope tx(rt, cfg_.transactions);
+            ObjectRef c = rt.deref(cur);
+            const uint64_t next_raw = rt.read<uint64_t>(c, kOffNext);
+            if (prev.isNull()) {
+                tx.addRange(root, 8);
+                rt.write<uint64_t>(rt.deref(root), 0, next_raw);
+            } else {
+                tx.addRange(prev.plus(kOffNext), 8);
+                rt.write<uint64_t>(rt.deref(prev), kOffNext, next_raw);
+            }
+            tx.pfree(cur);
+            rt.compute(kUpdateCost);
+            res.checksum += static_cast<uint64_t>(key) * 31 + 1;
+            ++res.found;
+        } else {
+            // ---- insert a new head node ----------------------------
+            TxScope tx(rt, cfg_.transactions);
+            const uint32_t pool = pools.poolForNew(key);
+            const ObjectID n = tx.pmalloc(pool, kNodeSize);
+            // Snapshot the fresh node so commit flushes its contents
+            // (tx_pmalloc'd data is flushed at tx_end, as in NVML).
+            tx.addRange(n, kNodeSize);
+            ObjectRef nr = rt.deref(n);
+            ObjectRef rr = rt.deref(root);
+            const uint64_t head_raw = rt.read<uint64_t>(rr, 0);
+            rt.write<int64_t>(nr, kOffValue, key);
+            rt.write<uint64_t>(nr, kOffNext, head_raw);
+            tx.addRange(root, 8);
+            rt.write<uint64_t>(rt.deref(root), 0, n.raw);
+            rt.compute(kUpdateCost);
+            res.checksum += static_cast<uint64_t>(key) * 7 + 3;
+        }
+    }
+
+    // Fold the surviving list into the checksum.
+    ObjectID cur(rt.read<uint64_t>(rt.deref(root), 0));
+    while (!cur.isNull()) {
+        ObjectRef c = rt.deref(cur);
+        res.checksum = res.checksum * 131 +
+            static_cast<uint64_t>(rt.read<int64_t>(c, kOffValue));
+        cur = ObjectID(rt.read<uint64_t>(c, kOffNext));
+    }
+    return res;
+}
+
+} // namespace workloads
+} // namespace poat

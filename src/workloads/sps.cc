@@ -1,0 +1,94 @@
+/**
+ * @file
+ * SPS microbenchmark (paper Table 5): randomly swap pairs of strings in
+ * a 32 KB persistent string array, 10000 times.
+ *
+ * The array is 512 strings of 64 bytes. An index table of ObjectIDs
+ * lives in the root object of the home pool; the strings themselves are
+ * placed per the pool pattern (so EACH gives every string its own pool,
+ * and a swap touches three pools: index, string A, string B — which is
+ * why the paper measures a 99.9% most-recent-predictor miss rate).
+ */
+#include "workloads/workloads.h"
+
+namespace poat {
+namespace workloads {
+
+namespace {
+
+constexpr uint32_t kStringBytes = 64;
+constexpr uint32_t kStrings = 512; // 512 * 64 B = 32 KB
+
+} // namespace
+
+SpsWorkload::SpsWorkload(const WorkloadConfig &cfg) : cfg_(cfg) {}
+
+WorkloadResult
+SpsWorkload::run(PmemRuntime &rt)
+{
+    Rng rng(cfg_.seed);
+    PoolSet pools(rt, cfg_.pattern, "sps");
+    const ObjectID index = rt.poolRoot(pools.homePool(), kStrings * 8);
+
+    // ---- build the array -------------------------------------------
+    ObjectRef idx = rt.deref(index);
+    for (uint32_t i = 0; i < kStrings; ++i) {
+        const ObjectID s =
+            rt.pmalloc(pools.poolForNew(i), kStringBytes);
+        uint8_t buf[kStringBytes];
+        for (uint32_t b = 0; b < kStringBytes; ++b)
+            buf[b] = static_cast<uint8_t>('a' + (i + b) % 26);
+        rt.writeBytes(rt.deref(s), 0, buf, kStringBytes);
+        if (cfg_.transactions)
+            rt.persist(s, kStringBytes);
+        rt.write<uint64_t>(idx, 8 * i, s.raw);
+    }
+    if (cfg_.transactions)
+        rt.persist(index, kStrings * 8);
+
+    // ---- swaps -------------------------------------------------------
+    WorkloadResult res;
+    const uint64_t swaps = 10000ull * cfg_.scale_pct / 100;
+    for (uint64_t op = 0; op < swaps; ++op) {
+        const uint32_t a = static_cast<uint32_t>(rng.below(kStrings));
+        uint32_t b = static_cast<uint32_t>(rng.below(kStrings));
+        if (b == a)
+            b = (b + 1) % kStrings;
+        ++res.operations;
+
+        TxScope tx(rt, cfg_.transactions);
+        ObjectRef idxr = rt.deref(index);
+        const ObjectID sa(rt.read<uint64_t>(idxr, 8 * a));
+        const uint64_t tag_a = rt.lastLoadTag();
+        const ObjectID sb(rt.read<uint64_t>(idxr, 8 * b));
+        const uint64_t tag_b = rt.lastLoadTag();
+
+        tx.addRange(sa, kStringBytes);
+        tx.addRange(sb, kStringBytes);
+
+        uint8_t bufa[kStringBytes], bufb[kStringBytes];
+        ObjectRef ra = rt.deref(sa, tag_a);
+        ObjectRef rb = rt.deref(sb, tag_b);
+        rt.readBytes(ra, 0, bufa, kStringBytes);
+        rt.readBytes(rb, 0, bufb, kStringBytes);
+        rt.writeBytes(ra, 0, bufb, kStringBytes);
+        rt.writeBytes(rb, 0, bufa, kStringBytes);
+        rt.compute(kUpdateCost);
+        res.checksum += a * 131 + b;
+    }
+
+    // Fold final contents into the checksum.
+    idx = rt.deref(index);
+    for (uint32_t i = 0; i < kStrings; ++i) {
+        const ObjectID s(rt.read<uint64_t>(idx, 8 * i));
+        uint8_t buf[kStringBytes];
+        rt.readBytes(rt.deref(s), 0, buf, kStringBytes);
+        for (uint32_t b = 0; b < kStringBytes; ++b)
+            res.checksum = res.checksum * 31 + buf[b];
+    }
+    res.found = swaps;
+    return res;
+}
+
+} // namespace workloads
+} // namespace poat

@@ -1,0 +1,867 @@
+#include "workloads/tpcc/tpcc.h"
+
+#include <unordered_set>
+
+namespace poat {
+namespace workloads {
+namespace tpcc {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Tuple layouts (offsets in bytes; all scalar fields are 8 bytes)
+// ---------------------------------------------------------------------
+
+// Warehouse (64 B)
+constexpr uint32_t kWhSize = 64;
+constexpr uint32_t kWhTax = 8;
+constexpr uint32_t kWhYtd = 16;
+
+// District (64 B)
+constexpr uint32_t kDiSize = 64;
+constexpr uint32_t kDiTax = 16;
+constexpr uint32_t kDiYtd = 24;
+constexpr uint32_t kDiNextOid = 32;
+
+// Customer (192 B)
+constexpr uint32_t kCuSize = 192;
+constexpr uint32_t kCuDiscount = 24;
+constexpr uint32_t kCuBalance = 32; // signed, cents
+constexpr uint32_t kCuYtdPayment = 40;
+constexpr uint32_t kCuPaymentCnt = 48;
+constexpr uint32_t kCuDeliveryCnt = 56;
+constexpr uint32_t kCuLastOrder = 64; // packed orders key, 0 = none
+constexpr uint32_t kCuName = 80;      // 32 bytes
+constexpr uint32_t kCuData = 112;     // 64 bytes
+
+// Item (96 B)
+constexpr uint32_t kItSize = 96;
+constexpr uint32_t kItPrice = 8;
+constexpr uint32_t kItName = 24; // 24 bytes
+
+// Stock (128 B)
+constexpr uint32_t kStSize = 128;
+constexpr uint32_t kStQuantity = 16;
+constexpr uint32_t kStYtd = 24;
+constexpr uint32_t kStOrderCnt = 32;
+constexpr uint32_t kStRemoteCnt = 40;
+constexpr uint32_t kStDist = 48; // 24-byte representative dist info
+
+// Order (64 B)
+constexpr uint32_t kOrSize = 64;
+constexpr uint32_t kOrCid = 24;
+constexpr uint32_t kOrEntryD = 32;
+constexpr uint32_t kOrCarrier = 40;
+constexpr uint32_t kOrOlCnt = 48;
+
+// Order line (96 B)
+constexpr uint32_t kOlSize = 96;
+constexpr uint32_t kOlIid = 32;
+constexpr uint32_t kOlDeliveryD = 48;
+constexpr uint32_t kOlQuantity = 56;
+constexpr uint32_t kOlAmount = 64;
+constexpr uint32_t kOlDistInfo = 72; // 24 bytes
+
+// History (64 B)
+constexpr uint32_t kHiSize = 64;
+constexpr uint32_t kHiAmount = 32;
+
+// WAL: 4 KB ring of 32-byte redo records after an 16-byte header.
+constexpr uint32_t kWalBytes = 4096;
+constexpr uint32_t kWalRecord = 32;
+
+// ---------------------------------------------------------------------
+// Key packing
+// ---------------------------------------------------------------------
+
+// Composite keys carry the warehouse in their top bits, so a tree
+// chooser can route a key to its warehouse's pool (PerWarehouse
+// placement) by shifting. Supports up to 255 warehouses.
+
+constexpr uint64_t
+districtKey(uint64_t w, uint64_t d)
+{
+    return (w << 8) | d;
+}
+
+constexpr uint64_t
+customerKey(uint64_t w, uint64_t d, uint64_t c)
+{
+    return (w << 28) | (d << 20) | c;
+}
+
+constexpr uint64_t
+orderKey(uint64_t w, uint64_t d, uint64_t o)
+{
+    return (w << 40) | (d << 32) | o;
+}
+
+constexpr uint64_t
+orderLineKey(uint64_t w, uint64_t d, uint64_t o, uint64_t ol)
+{
+    return (w << 56) | (d << 48) | (o << 8) | ol;
+}
+
+constexpr uint64_t
+stockKey(uint64_t w, uint64_t i)
+{
+    return (w << 32) | i;
+}
+
+/** Secondary-index key: (w, district, last-name number, customer). */
+constexpr uint64_t
+customerNameKey(uint64_t w, uint64_t d, uint64_t name_num, uint64_t c)
+{
+    return (w << 48) | (d << 40) | (name_num << 20) | c;
+}
+
+/** Warehouse id encoded in a key of table @p t (for pool routing). */
+constexpr uint64_t
+warehouseOfKey(uint32_t t, uint64_t key)
+{
+    switch (t) {
+      case kWarehouse:
+        return key;
+      case kDistrict:
+        return key >> 8;
+      case kCustomer:
+        return key >> 28;
+      case kCustomerName:
+        return key >> 48;
+      case kNewOrder:
+      case kOrder:
+        return key >> 40;
+      case kOrderLine:
+        return key >> 56;
+      case kStock:
+        return key >> 32;
+      default:
+        return 1; // item (shared) and history live with warehouse 1
+    }
+}
+
+} // namespace
+
+const char *
+tableName(Table t)
+{
+    static const char *names[kTableCount] = {
+        "warehouse", "district",   "customer", "customer_name",
+        "history",   "new_order",  "order",    "order_line",
+        "item",      "stock",
+    };
+    return names[t];
+}
+
+std::string
+lastNameOf(uint32_t num)
+{
+    // TPC-C v5.11 section 4.3.2.3: concatenate three syllables indexed
+    // by the digits of a number in [0, 999].
+    static const char *syl[10] = {
+        "BAR", "OUGHT", "ABLE", "PRI",   "PRES",
+        "ESE", "ANTI",  "CALLY", "ATION", "EING",
+    };
+    return std::string(syl[num / 100 % 10]) + syl[num / 10 % 10] +
+        syl[num % 10];
+}
+
+// ---------------------------------------------------------------------
+// Construction and population
+// ---------------------------------------------------------------------
+
+TpccDb::TpccDb(PmemRuntime &rt, Placement placement, uint32_t scale_pct,
+               uint64_t seed, bool transactions, uint32_t warehouses)
+    : rt_(rt), placement_(placement),
+      cards_(Cardinalities::scaled(scale_pct, warehouses)), rng_(seed),
+      transactions_(transactions)
+{
+    // ---- pools ---------------------------------------------------
+    // Pools are sized from the scaled cardinalities (with headroom for
+    // the transaction phase) so host memory stays proportional to the
+    // populated data.
+    const uint64_t cust_total =
+        static_cast<uint64_t>(cards_.districts) *
+        cards_.customers_per_district;
+    auto table_bytes = [&](uint32_t t) -> uint64_t {
+        switch (t) {
+          case kOrderLine:
+            return (8ull << 20) + cust_total * 12 * 320;
+          case kOrder:
+          case kNewOrder:
+            return (4ull << 20) + cust_total * 2 * 220;
+          case kCustomer:
+            return (4ull << 20) + cust_total * 450;
+          case kCustomerName:
+            return (2ull << 20) + cust_total * 300;
+          case kStock:
+            return (4ull << 20) + uint64_t(cards_.stock) * 380;
+          case kItem:
+            return (4ull << 20) + uint64_t(cards_.items) * 320;
+          case kHistory:
+            return 8ull << 20;
+          default:
+            return 2ull << 20;
+        }
+    };
+    if (placement_ == Placement::All) {
+        uint64_t total = 4ull << 20;
+        for (uint32_t t = 0; t < kTableCount; ++t)
+            total += table_bytes(t) * cards_.warehouses;
+        const uint32_t pool =
+            rt_.poolCreate("tpcc.all", total, 1 << 20);
+        pools_.fill(pool);
+        homePool_ = pool;
+    } else if (placement_ == Placement::Each) {
+        for (uint32_t t = 0; t < kTableCount; ++t) {
+            pools_[t] = rt_.poolCreate(
+                std::string("tpcc.") + tableName(static_cast<Table>(t)),
+                table_bytes(t) * 2 * cards_.warehouses, 1 << 20);
+        }
+        homePool_ = pools_[kWarehouse];
+    } else {
+        // PerWarehouse: a pool per (table, warehouse) — the scaling
+        // regime the paper's future-work section asks about.
+        warehousePools_.resize(cards_.warehouses);
+        for (uint32_t w = 1; w <= cards_.warehouses; ++w) {
+            for (uint32_t t = 0; t < kTableCount; ++t) {
+                warehousePools_[w - 1][t] = rt_.poolCreate(
+                    std::string("tpcc.w") + std::to_string(w) + "." +
+                        tableName(static_cast<Table>(t)),
+                    table_bytes(t) * 2, 1 << 20);
+            }
+        }
+        homePool_ = warehousePools_[0][kWarehouse];
+    }
+
+    // ---- anchors: one 8-byte root slot per tree + WAL area --------
+    const ObjectID root = rt_.poolRoot(homePool_, 8 * kTableCount + 16);
+    for (uint32_t t = 0; t < kTableCount; ++t) {
+        trees_[t] = std::make_unique<BPlusTree>(
+            rt_, root.plus(8 * t), [this, t](uint64_t key) {
+                return poolOf(static_cast<Table>(t),
+                              warehouseOfKey(t, key));
+            });
+    }
+    walArea_ = rt_.pmalloc(homePool_, kWalBytes);
+    nuRandC_ = rng_.below(1024);
+    nuRandCLast_ = rng_.below(256);
+
+    // ---- population (TPC-C v5.11 section 4.3.3, scaled) -----------
+    // Items are shared across warehouses.
+    for (uint64_t i = 1; i <= cards_.items; ++i) {
+        TxScope itx(rt_, transactions_);
+        const ObjectID it = allocTuple(itx, kItem, 1, kItSize);
+        ObjectRef r = rt_.deref(it);
+        rt_.write<uint64_t>(r, 0, i);
+        rt_.write<uint64_t>(r, kItPrice, 100 + rng_.below(9901));
+        uint8_t name[24];
+        for (uint32_t b = 0; b < sizeof(name); ++b)
+            name[b] = static_cast<uint8_t>('a' + (i + b) % 26);
+        rt_.writeBytes(rt_.deref(it), kItName, name, sizeof(name));
+        trees_[kItem]->insert(itx, i, it.raw);
+    }
+
+    for (uint64_t w = 1; w <= cards_.warehouses; ++w)
+        populateWarehouse(w);
+}
+
+void
+TpccDb::populateWarehouse(uint64_t w)
+{
+    {
+        TxScope tx(rt_, transactions_);
+        const ObjectID wh = allocTuple(tx, kWarehouse, w, kWhSize);
+        ObjectRef r = rt_.deref(wh);
+        rt_.write<uint64_t>(r, 0, w);
+        rt_.write<uint64_t>(r, kWhTax, rng_.below(2001));  // 0..0.2
+        rt_.write<uint64_t>(r, kWhYtd, 30000000);          // 300,000.00
+        trees_[kWarehouse]->insert(tx, w, wh.raw);
+    }
+
+    // Stock, one row per item per warehouse.
+    for (uint64_t i = 1; i <= cards_.stock; ++i) {
+        TxScope stx(rt_, transactions_);
+        const ObjectID st = allocTuple(stx, kStock, w, kStSize);
+        ObjectRef r = rt_.deref(st);
+        rt_.write<uint64_t>(r, 0, i);
+        rt_.write<uint64_t>(r, 8, w);
+        rt_.write<uint64_t>(r, kStQuantity, 10 + rng_.below(91));
+        rt_.write<uint64_t>(r, kStYtd, 0);
+        rt_.write<uint64_t>(r, kStOrderCnt, 0);
+        rt_.write<uint64_t>(r, kStRemoteCnt, 0);
+        uint8_t dist[24];
+        for (uint32_t b = 0; b < sizeof(dist); ++b)
+            dist[b] = static_cast<uint8_t>('A' + (i + b) % 26);
+        rt_.writeBytes(rt_.deref(st), kStDist, dist, sizeof(dist));
+        trees_[kStock]->insert(stx, stockKey(w, i), st.raw);
+    }
+
+    // Districts, customers, and the initial order backlog.
+    for (uint64_t d = 1; d <= cards_.districts; ++d) {
+        const uint64_t orders = cards_.customers_per_district;
+        {
+            TxScope dtx(rt_, transactions_);
+            const ObjectID di = allocTuple(dtx, kDistrict, w, kDiSize);
+            ObjectRef r = rt_.deref(di);
+            rt_.write<uint64_t>(r, 0, d);
+            rt_.write<uint64_t>(r, 8, w);
+            rt_.write<uint64_t>(r, kDiTax, rng_.below(2001));
+            rt_.write<uint64_t>(r, kDiYtd, 3000000); // 30,000.00
+            rt_.write<uint64_t>(r, kDiNextOid, orders + 1);
+            trees_[kDistrict]->insert(dtx, districtKey(w, d), di.raw);
+        }
+
+        for (uint64_t c = 1; c <= cards_.customers_per_district; ++c) {
+            TxScope ctx(rt_, transactions_);
+            const ObjectID cu = allocTuple(ctx, kCustomer, w, kCuSize);
+            ObjectRef r = rt_.deref(cu);
+            rt_.write<uint64_t>(r, 0, c);
+            rt_.write<uint64_t>(r, 8, d);
+            rt_.write<uint64_t>(r, 16, w);
+            rt_.write<uint64_t>(r, kCuDiscount, rng_.below(5001));
+            rt_.write<int64_t>(r, kCuBalance, -1000); // -10.00
+            rt_.write<uint64_t>(r, kCuYtdPayment, 1000);
+            rt_.write<uint64_t>(r, kCuPaymentCnt, 1);
+            rt_.write<uint64_t>(r, kCuDeliveryCnt, 0);
+            rt_.write<uint64_t>(r, kCuLastOrder, 0);
+            // Last names per spec 4.3.2.3: customers 1..1000 sweep the
+            // name numbers; beyond that, NURand(255).
+            const uint32_t name_num = c <= 1000
+                ? static_cast<uint32_t>(c - 1)
+                : static_cast<uint32_t>(
+                      ((rng_.below(256) | rng_.below(1000)) +
+                       nuRandCLast_) %
+                      1000);
+            const std::string last = lastNameOf(name_num);
+            uint8_t name[32] = {};
+            std::memcpy(name, last.data(),
+                        std::min(last.size(), sizeof(name)));
+            rt_.writeBytes(rt_.deref(cu), kCuName, name, sizeof(name));
+            trees_[kCustomerName]->insert(
+                ctx, customerNameKey(w, d, name_num, c), c);
+            uint8_t data[64];
+            for (uint32_t b = 0; b < sizeof(data); ++b)
+                data[b] = static_cast<uint8_t>('a' + (c * 7 + b) % 26);
+            rt_.writeBytes(rt_.deref(cu), kCuData, data, sizeof(data));
+            trees_[kCustomer]->insert(ctx, customerKey(w, d, c), cu.raw);
+        }
+
+        // One initial order per customer, in a random permutation; the
+        // last 30% are undelivered (in NEW-ORDER), per the spec.
+        std::vector<uint64_t> perm(orders);
+        for (uint64_t i = 0; i < orders; ++i)
+            perm[i] = i + 1;
+        for (uint64_t i = orders; i > 1; --i)
+            std::swap(perm[i - 1], perm[rng_.below(i)]);
+
+        for (uint64_t o = 1; o <= orders; ++o) {
+            TxScope otx(rt_, transactions_);
+            const uint64_t c = perm[o - 1];
+            const uint64_t ol_cnt = 5 + rng_.below(11);
+            const bool undelivered = o > orders - orders * 3 / 10;
+
+            const ObjectID ord = allocTuple(otx, kOrder, w, kOrSize);
+            ObjectRef r = rt_.deref(ord);
+            rt_.write<uint64_t>(r, 0, o);
+            rt_.write<uint64_t>(r, 8, d);
+            rt_.write<uint64_t>(r, 16, w);
+            rt_.write<uint64_t>(r, kOrCid, c);
+            rt_.write<uint64_t>(r, kOrEntryD, o);
+            rt_.write<uint64_t>(r, kOrCarrier,
+                                undelivered ? 0 : 1 + rng_.below(10));
+            rt_.write<uint64_t>(r, kOrOlCnt, ol_cnt);
+            trees_[kOrder]->insert(otx, orderKey(w, d, o), ord.raw);
+            // Track the customer's last order in its tuple.
+            const ObjectID cu(
+                trees_[kCustomer]->find(customerKey(w, d, c)).value());
+            otx.addRange(cu.plus(kCuLastOrder), 8);
+            rt_.write<uint64_t>(rt_.deref(cu), kCuLastOrder,
+                                orderKey(w, d, o));
+
+            if (undelivered) {
+                trees_[kNewOrder]->insert(otx, orderKey(w, d, o),
+                                          ord.raw);
+            }
+
+            for (uint64_t ol = 1; ol <= ol_cnt; ++ol) {
+                const ObjectID line =
+                    allocTuple(otx, kOrderLine, w, kOlSize);
+                ObjectRef lr = rt_.deref(line);
+                rt_.write<uint64_t>(lr, 0, o);
+                rt_.write<uint64_t>(lr, 8, d);
+                rt_.write<uint64_t>(lr, 16, w);
+                rt_.write<uint64_t>(lr, 24, ol);
+                rt_.write<uint64_t>(lr, kOlIid,
+                                    1 + rng_.below(cards_.items));
+                rt_.write<uint64_t>(lr, 40, w);
+                rt_.write<uint64_t>(lr, kOlDeliveryD,
+                                    undelivered ? 0 : o);
+                rt_.write<uint64_t>(lr, kOlQuantity, 5);
+                rt_.write<uint64_t>(lr, kOlAmount,
+                                    undelivered ? rng_.below(999900)
+                                                : 0);
+                trees_[kOrderLine]->insert(
+                    otx, orderLineKey(w, d, o, ol), line.raw);
+            }
+        }
+    }
+}
+
+uint32_t
+TpccDb::poolOf(Table t, uint64_t w) const
+{
+    if (placement_ == Placement::PerWarehouse) {
+        POAT_ASSERT(w >= 1 && w <= warehousePools_.size(),
+                    "warehouse id out of range");
+        return warehousePools_[w - 1][t];
+    }
+    return pools_[t];
+}
+
+ObjectID
+TpccDb::allocTuple(TxScope &tx, Table t, uint64_t w, uint32_t size)
+{
+    return tx.pmalloc(poolOf(t, w), size);
+}
+
+void
+TpccDb::walAppend(uint32_t txn_type, uint64_t a, uint64_t b)
+{
+    // TPC-C's own failure-safe logging, kept as-is per the paper: an
+    // append-only redo ring the application persists before applying
+    // any update. This is *application* logging, on top of (not
+    // replacing) the library transactions protecting the B+ trees.
+    const uint64_t seq = historySeq_ + 0x10000; // distinct from history
+    const uint32_t slot =
+        16 + (static_cast<uint32_t>(seq) * kWalRecord) %
+                 (kWalBytes - 16 - kWalRecord);
+    ObjectRef w = rt_.deref(walArea_);
+    rt_.write<uint64_t>(w, slot, (static_cast<uint64_t>(txn_type) << 56) |
+                                     seq);
+    rt_.write<uint64_t>(w, slot + 8, a);
+    rt_.write<uint64_t>(w, slot + 16, b);
+    rt_.write<uint64_t>(w, slot + 24, seq ^ a ^ b); // checksum
+    rt_.persist(walArea_.plus(slot), kWalRecord);
+    rt_.write<uint64_t>(w, 0, seq); // publish
+    rt_.persist(walArea_, 8);
+}
+
+uint64_t
+TpccDb::nuRand(uint64_t a, uint64_t x, uint64_t y)
+{
+    // TPC-C v5.11 section 2.1.6.
+    return ((rng_.below(a + 1) | rng_.range(x, y)) + nuRandC_) %
+               (y - x + 1) +
+           x;
+}
+
+// ---------------------------------------------------------------------
+// Transactions (TPC-C v5.11 sections 2.4 - 2.8)
+// ---------------------------------------------------------------------
+
+bool
+TpccDb::newOrder(TpccResult &res)
+{
+    const uint64_t w = 1 + rng_.below(cards_.warehouses);
+    const uint64_t d = 1 + rng_.below(cards_.districts);
+    const uint64_t c =
+        nuRand(1023, 1, cards_.customers_per_district);
+    const uint64_t ol_cnt = 5 + rng_.below(11);
+    const bool rollback = rng_.below(100) == 0; // 1% invalid item
+
+    // Draw every input up front so the RNG stream is identical across
+    // the TX (execute-then-abort) and NTX (reject-first) rollback
+    // paths. With multiple warehouses, 1% of items are supplied by a
+    // remote warehouse (spec section 2.4.1.5).
+    std::vector<uint64_t> items(ol_cnt);
+    std::vector<uint64_t> quantities(ol_cnt);
+    std::vector<uint64_t> supply(ol_cnt);
+    for (uint64_t i = 0; i < ol_cnt; ++i) {
+        items[i] = nuRand(8191, 1, cards_.items);
+        quantities[i] = 1 + rng_.below(10);
+        supply[i] = w;
+        if (cards_.warehouses > 1 && rng_.below(100) == 0) {
+            supply[i] = 1 + rng_.below(cards_.warehouses);
+            if (supply[i] == w)
+                supply[i] = supply[i] % cards_.warehouses + 1;
+        }
+    }
+    if (rollback && !transactions_) {
+        // Without failure safety there is no undo machinery, so the
+        // invalid input is rejected before any update (same final
+        // state as the aborted transaction below).
+        ++res.rollbacks;
+        return false;
+    }
+
+    walAppend(1, (w << 32) | d, c);
+    TxScope tx(rt_, transactions_);
+
+    // District: allocate the order id.
+    const ObjectID di(
+        trees_[kDistrict]->find(districtKey(w, d)).value());
+    ObjectRef dref = rt_.deref(di);
+    const uint64_t o = rt_.read<uint64_t>(dref, kDiNextOid);
+    const uint64_t d_tax = rt_.read<uint64_t>(dref, kDiTax);
+    tx.addRange(di.plus(kDiNextOid), 8);
+    rt_.write<uint64_t>(rt_.deref(di), kDiNextOid, o + 1);
+
+    // Warehouse tax and customer discount.
+    const ObjectID wh(trees_[kWarehouse]->find(w).value());
+    const uint64_t w_tax = rt_.read<uint64_t>(rt_.deref(wh), kWhTax);
+    const ObjectID cu(
+        trees_[kCustomer]->find(customerKey(w, d, c)).value());
+    const uint64_t discount =
+        rt_.read<uint64_t>(rt_.deref(cu), kCuDiscount);
+
+    // Order + NEW-ORDER rows.
+    const ObjectID ord = allocTuple(tx, kOrder, w, kOrSize);
+    ObjectRef oref = rt_.deref(ord);
+    rt_.write<uint64_t>(oref, 0, o);
+    rt_.write<uint64_t>(oref, 8, d);
+    rt_.write<uint64_t>(oref, 16, w);
+    rt_.write<uint64_t>(oref, kOrCid, c);
+    rt_.write<uint64_t>(oref, kOrEntryD, res.transactions);
+    rt_.write<uint64_t>(oref, kOrCarrier, 0);
+    rt_.write<uint64_t>(oref, kOrOlCnt, ol_cnt);
+    trees_[kOrder]->insert(tx, orderKey(w, d, o), ord.raw);
+    trees_[kNewOrder]->insert(tx, orderKey(w, d, o), ord.raw);
+    tx.addRange(cu.plus(kCuLastOrder), 8);
+    rt_.write<uint64_t>(rt_.deref(cu), kCuLastOrder, orderKey(w, d, o));
+
+    // Order lines with stock updates.
+    uint64_t total = 0;
+    for (uint64_t ol = 1; ol <= ol_cnt; ++ol) {
+        const uint64_t i_id = items[ol - 1];
+        const uint64_t qty = quantities[ol - 1];
+        if (rollback && ol == ol_cnt) {
+            // The spec's 1% unused-item input: detected at the last
+            // order line, rolling the whole transaction back through
+            // the undo log (spec section 2.4.1.4).
+            tx.abort();
+            ++res.rollbacks;
+            return false;
+        }
+        const ObjectID it(trees_[kItem]->find(i_id).value());
+        const uint64_t price = rt_.read<uint64_t>(rt_.deref(it), kItPrice);
+
+        const uint64_t sw = supply[ol - 1];
+        const ObjectID st(
+            trees_[kStock]->find(stockKey(sw, i_id)).value());
+        ObjectRef sref = rt_.deref(st);
+        const uint64_t squant = rt_.read<uint64_t>(sref, kStQuantity);
+        tx.addRange(st.plus(kStQuantity), 32); // quantity..remote_cnt
+        ObjectRef swref = rt_.deref(st);
+        rt_.write<uint64_t>(swref, kStQuantity,
+                            squant >= qty + 10 ? squant - qty
+                                               : squant + 91 - qty);
+        rt_.write<uint64_t>(swref, kStYtd,
+                            rt_.read<uint64_t>(swref, kStYtd) + qty);
+        rt_.write<uint64_t>(swref, kStOrderCnt,
+                            rt_.read<uint64_t>(swref, kStOrderCnt) + 1);
+        if (sw != w) {
+            rt_.write<uint64_t>(
+                swref, kStRemoteCnt,
+                rt_.read<uint64_t>(swref, kStRemoteCnt) + 1);
+            ++res.remote_touches;
+        }
+
+        const uint64_t amount = qty * price;
+        total += amount;
+
+        const ObjectID line = allocTuple(tx, kOrderLine, w, kOlSize);
+        ObjectRef lr = rt_.deref(line);
+        rt_.write<uint64_t>(lr, 0, o);
+        rt_.write<uint64_t>(lr, 8, d);
+        rt_.write<uint64_t>(lr, 16, w);
+        rt_.write<uint64_t>(lr, 24, ol);
+        rt_.write<uint64_t>(lr, kOlIid, i_id);
+        rt_.write<uint64_t>(lr, 40, sw);
+        rt_.write<uint64_t>(lr, kOlDeliveryD, 0);
+        rt_.write<uint64_t>(lr, kOlQuantity, qty);
+        rt_.write<uint64_t>(lr, kOlAmount, amount);
+        uint8_t dist[24];
+        rt_.readBytes(rt_.deref(st), kStDist, dist, sizeof(dist));
+        rt_.writeBytes(rt_.deref(line), kOlDistInfo, dist, sizeof(dist));
+        trees_[kOrderLine]->insert(tx, orderLineKey(w, d, o, ol),
+                                   line.raw);
+        rt_.compute(kUpdateCost);
+    }
+
+    // total = sum(amount) * (1 - discount) * (1 + w_tax + d_tax)
+    total = total * (10000 - discount) / 10000 *
+            (10000 + w_tax + d_tax) / 10000;
+    res.checksum += total;
+    ++res.new_orders;
+    return true;
+}
+
+uint64_t
+TpccDb::customerByLastName(uint64_t w, uint64_t d, uint32_t name_num)
+{
+    // Spec section 2.5.2.2: collect all matching customers in name
+    // order and pick the one at position ceil(n/2).
+    std::vector<uint64_t> ids;
+    trees_[kCustomerName]->scan(
+        customerNameKey(w, d, name_num, 0),
+        customerNameKey(w, d, name_num, 0xfffff),
+        [&](uint64_t, uint64_t c_id) {
+            ids.push_back(c_id);
+            return true;
+        });
+    rt_.compute(kVisitCost);
+    if (ids.empty())
+        return 0;
+    return ids[(ids.size() + 1) / 2 - 1];
+}
+
+void
+TpccDb::payment(TpccResult &res)
+{
+    const uint64_t w = 1 + rng_.below(cards_.warehouses);
+    const uint64_t d = 1 + rng_.below(cards_.districts);
+    // Spec section 2.5.1.1: with multiple warehouses, 15% of payments
+    // are made by a customer of a *remote* warehouse/district.
+    uint64_t cw = w, cd = d;
+    if (cards_.warehouses > 1 && rng_.below(100) < 15) {
+        cw = 1 + rng_.below(cards_.warehouses);
+        if (cw == w)
+            cw = cw % cards_.warehouses + 1;
+        cd = 1 + rng_.below(cards_.districts);
+        ++res.remote_touches;
+    }
+    // Spec section 2.5.1.2: 60% of payments select the customer by
+    // last name through the secondary index, 40% by id.
+    const bool by_name = rng_.below(100) < 60;
+    uint64_t c = nuRand(1023, 1, cards_.customers_per_district);
+    if (by_name) {
+        const uint32_t name_num = static_cast<uint32_t>(
+            ((rng_.below(256) | rng_.below(1000)) + nuRandCLast_) %
+            1000);
+        const uint64_t by = customerByLastName(cw, cd, name_num);
+        if (by != 0)
+            c = by;
+    }
+    const uint64_t amount = 100 + rng_.below(500000 - 100 + 1);
+
+    walAppend(2, (w << 32) | d, (c << 32) | amount);
+    TxScope tx(rt_, transactions_);
+
+    const ObjectID wh(trees_[kWarehouse]->find(w).value());
+    tx.addRange(wh.plus(kWhYtd), 8);
+    ObjectRef wref = rt_.deref(wh);
+    rt_.write<uint64_t>(wref, kWhYtd,
+                        rt_.read<uint64_t>(wref, kWhYtd) + amount);
+
+    const ObjectID di(
+        trees_[kDistrict]->find(districtKey(w, d)).value());
+    tx.addRange(di.plus(kDiYtd), 8);
+    ObjectRef dref = rt_.deref(di);
+    rt_.write<uint64_t>(dref, kDiYtd,
+                        rt_.read<uint64_t>(dref, kDiYtd) + amount);
+
+    const ObjectID cu(
+        trees_[kCustomer]->find(customerKey(cw, cd, c)).value());
+    tx.addRange(cu.plus(kCuBalance), 24); // balance, ytd, payment_cnt
+    ObjectRef cref = rt_.deref(cu);
+    rt_.write<int64_t>(cref, kCuBalance,
+                       rt_.read<int64_t>(cref, kCuBalance) -
+                           static_cast<int64_t>(amount));
+    rt_.write<uint64_t>(cref, kCuYtdPayment,
+                        rt_.read<uint64_t>(cref, kCuYtdPayment) + amount);
+    rt_.write<uint64_t>(cref, kCuPaymentCnt,
+                        rt_.read<uint64_t>(cref, kCuPaymentCnt) + 1);
+
+    const ObjectID hi = allocTuple(tx, kHistory, 1, kHiSize);
+    ObjectRef href = rt_.deref(hi);
+    rt_.write<uint64_t>(href, 0, c);
+    rt_.write<uint64_t>(href, 8, (cw << 32) | cd);
+    rt_.write<uint64_t>(href, 16, w);
+    rt_.write<uint64_t>(href, 24, res.transactions);
+    rt_.write<uint64_t>(href, kHiAmount, amount);
+    trees_[kHistory]->insert(tx, ++historySeq_, hi.raw);
+
+    res.checksum += amount;
+    ++res.payments;
+}
+
+void
+TpccDb::orderStatus(TpccResult &res)
+{
+    const uint64_t w = 1 + rng_.below(cards_.warehouses);
+    const uint64_t d = 1 + rng_.below(cards_.districts);
+    const uint64_t c = nuRand(1023, 1, cards_.customers_per_district);
+
+    const ObjectID cu(
+        trees_[kCustomer]->find(customerKey(w, d, c)).value());
+    ObjectRef cref = rt_.deref(cu);
+    res.checksum +=
+        static_cast<uint64_t>(rt_.read<int64_t>(cref, kCuBalance));
+    const uint64_t last = rt_.read<uint64_t>(cref, kCuLastOrder);
+    if (last == 0) {
+        ++res.order_statuses;
+        return;
+    }
+
+    const auto ordv = trees_[kOrder]->find(last);
+    if (ordv) {
+        const ObjectID ord(*ordv);
+        ObjectRef oref = rt_.deref(ord);
+        const uint64_t o = rt_.read<uint64_t>(oref, 0);
+        res.checksum += rt_.read<uint64_t>(oref, kOrCarrier);
+        trees_[kOrderLine]->scan(
+            orderLineKey(w, d, o, 0), orderLineKey(w, d, o, 255),
+            [&](uint64_t, uint64_t v) {
+                res.checksum +=
+                    rt_.read<uint64_t>(rt_.deref(ObjectID(v)), kOlAmount);
+                return true;
+            });
+    }
+    ++res.order_statuses;
+}
+
+void
+TpccDb::delivery(TpccResult &res)
+{
+    const uint64_t w = 1 + rng_.below(cards_.warehouses);
+    const uint64_t carrier = 1 + rng_.below(10);
+    walAppend(4, (w << 32) | carrier, 0);
+
+    for (uint64_t d = 1; d <= cards_.districts; ++d) {
+        const auto oldest = trees_[kNewOrder]->findFirst(
+            orderKey(w, d, 0), orderKey(w, d, ~0u));
+        if (!oldest)
+            continue;
+        TxScope tx(rt_, transactions_);
+        trees_[kNewOrder]->erase(tx, oldest->first);
+
+        const ObjectID ord(oldest->second);
+        ObjectRef oref = rt_.deref(ord);
+        const uint64_t o = rt_.read<uint64_t>(oref, 0);
+        const uint64_t c = rt_.read<uint64_t>(oref, kOrCid);
+        tx.addRange(ord.plus(kOrCarrier), 8);
+        rt_.write<uint64_t>(rt_.deref(ord), kOrCarrier, carrier);
+
+        uint64_t total = 0;
+        trees_[kOrderLine]->scan(
+            orderLineKey(w, d, o, 0), orderLineKey(w, d, o, 255),
+            [&](uint64_t, uint64_t v) {
+                const ObjectID line(v);
+                total += rt_.read<uint64_t>(rt_.deref(line), kOlAmount);
+                tx.addRange(line.plus(kOlDeliveryD), 8);
+                rt_.write<uint64_t>(rt_.deref(line), kOlDeliveryD,
+                                    res.transactions);
+                return true;
+            });
+
+        const ObjectID cu(
+            trees_[kCustomer]->find(customerKey(w, d, c)).value());
+        tx.addRange(cu.plus(kCuBalance), 8);
+        tx.addRange(cu.plus(kCuDeliveryCnt), 8);
+        ObjectRef cref = rt_.deref(cu);
+        rt_.write<int64_t>(cref, kCuBalance,
+                           rt_.read<int64_t>(cref, kCuBalance) +
+                               static_cast<int64_t>(total));
+        rt_.write<uint64_t>(cref, kCuDeliveryCnt,
+                            rt_.read<uint64_t>(cref, kCuDeliveryCnt) + 1);
+        res.checksum += total;
+    }
+    ++res.deliveries;
+}
+
+void
+TpccDb::stockLevel(TpccResult &res)
+{
+    const uint64_t w = 1 + rng_.below(cards_.warehouses);
+    const uint64_t d = 1 + rng_.below(cards_.districts);
+    const uint64_t threshold = 10 + rng_.below(11);
+
+    const ObjectID di(
+        trees_[kDistrict]->find(districtKey(w, d)).value());
+    const uint64_t next_o =
+        rt_.read<uint64_t>(rt_.deref(di), kDiNextOid);
+    const uint64_t from = next_o > 20 ? next_o - 20 : 1;
+
+    std::unordered_set<uint64_t> seen;
+    uint64_t low = 0;
+    trees_[kOrderLine]->scan(
+        orderLineKey(w, d, from, 0), orderLineKey(w, d, next_o, 0),
+        [&](uint64_t, uint64_t v) {
+            const uint64_t i_id =
+                rt_.read<uint64_t>(rt_.deref(ObjectID(v)), kOlIid);
+            if (!seen.insert(i_id).second)
+                return true;
+            const auto st = trees_[kStock]->find(stockKey(w, i_id));
+            if (st) {
+                const uint64_t q = rt_.read<uint64_t>(
+                    rt_.deref(ObjectID(*st)), kStQuantity);
+                low += (q < threshold);
+            }
+            rt_.compute(kVisitCost);
+            return true;
+        });
+    res.checksum += low;
+    ++res.stock_levels;
+}
+
+TpccResult
+TpccDb::run(uint64_t count)
+{
+    TpccResult res;
+    for (uint64_t t = 0; t < count; ++t) {
+        ++res.transactions;
+        // Standard mix (TPC-C section 5.2.3 minimums): 45% NewOrder,
+        // 43% Payment, 4% each of the rest.
+        const uint64_t dice = rng_.below(100);
+        if (dice < 45)
+            newOrder(res);
+        else if (dice < 88)
+            payment(res);
+        else if (dice < 92)
+            orderStatus(res);
+        else if (dice < 96)
+            delivery(res);
+        else
+            stockLevel(res);
+    }
+    return res;
+}
+
+bool
+TpccDb::consistent()
+{
+    // Spec 3.3.2.1-ish subset: every tree valid; for each district,
+    // next_o_id - 1 equals the maximum order id, and no NEW-ORDER row
+    // references a missing order.
+    for (uint32_t t = 0; t < kTableCount; ++t) {
+        if (!trees_[t]->validate())
+            return false;
+    }
+    for (uint64_t w = 1; w <= cards_.warehouses; ++w) {
+        for (uint64_t d = 1; d <= cards_.districts; ++d) {
+            const auto div = trees_[kDistrict]->find(districtKey(w, d));
+            if (!div)
+                return false;
+            const uint64_t next_o = rt_.read<uint64_t>(
+                rt_.deref(ObjectID(*div)), kDiNextOid);
+            const auto last = trees_[kOrder]->findLast(
+                orderKey(w, d, 0), orderKey(w, d, ~0u));
+            if (!last)
+                return false;
+            const uint64_t max_o = last->first & 0xffffffffull;
+            if (max_o != next_o - 1)
+                return false;
+        }
+    }
+    bool ok = true;
+    trees_[kNewOrder]->scan(0, ~0ull, [&](uint64_t k, uint64_t) {
+        ok = ok && trees_[kOrder]->find(k).has_value();
+        return ok;
+    });
+    return ok;
+}
+
+} // namespace tpcc
+} // namespace workloads
+} // namespace poat

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The six microbenchmarks of paper Table 5, each a Workload.
+ *
+ * | Abbr | Structure            | Operations                          |
+ * |------|----------------------|-------------------------------------|
+ * | LL   | linked list          | 700 search-then-remove-or-insert    |
+ * | BST  | binary search tree   | 5000 search-then-remove-or-insert   |
+ * | SPS  | 32 KB string array   | 10000 random pair swaps             |
+ * | RBT  | red-black tree       | 3000 search-then-remove-or-insert   |
+ * | BT   | B-tree (order 7)     | 5000 search-then-insert-if-missing  |
+ * | B+T  | B+ tree (order 7)    | 5000 search-then-remove-or-insert   |
+ */
+#ifndef POAT_WORKLOADS_WORKLOADS_H
+#define POAT_WORKLOADS_WORKLOADS_H
+
+#include "workloads/harness.h"
+
+namespace poat {
+namespace workloads {
+
+/** LL: persistent singly linked list (paper Figure 4). */
+class LinkedListWorkload : public Workload
+{
+  public:
+    explicit LinkedListWorkload(const WorkloadConfig &cfg);
+    const char *name() const override { return "LL"; }
+    WorkloadResult run(PmemRuntime &rt) override;
+
+  private:
+    WorkloadConfig cfg_;
+};
+
+/** BST: unbalanced binary search tree; deletion by left-max swap. */
+class BstWorkload : public Workload
+{
+  public:
+    explicit BstWorkload(const WorkloadConfig &cfg);
+    const char *name() const override { return "BST"; }
+    WorkloadResult run(PmemRuntime &rt) override;
+
+  private:
+    WorkloadConfig cfg_;
+};
+
+/** SPS: random swaps of 64-byte strings in a 32 KB array. */
+class SpsWorkload : public Workload
+{
+  public:
+    explicit SpsWorkload(const WorkloadConfig &cfg);
+    const char *name() const override { return "SPS"; }
+    WorkloadResult run(PmemRuntime &rt) override;
+
+  private:
+    WorkloadConfig cfg_;
+};
+
+/** RBT: red-black tree with full insert/delete rebalancing. */
+class RbtWorkload : public Workload
+{
+  public:
+    explicit RbtWorkload(const WorkloadConfig &cfg);
+    const char *name() const override { return "RBT"; }
+    WorkloadResult run(PmemRuntime &rt) override;
+
+  private:
+    WorkloadConfig cfg_;
+};
+
+/** BT: B-tree of order 7 (insert-only rebalancing via splits). */
+class BtreeWorkload : public Workload
+{
+  public:
+    explicit BtreeWorkload(const WorkloadConfig &cfg);
+    const char *name() const override { return "BT"; }
+    WorkloadResult run(PmemRuntime &rt) override;
+
+  private:
+    WorkloadConfig cfg_;
+};
+
+/** B+T: B+ tree of order 7 (insert and delete rebalancing). */
+class BplusWorkload : public Workload
+{
+  public:
+    explicit BplusWorkload(const WorkloadConfig &cfg);
+    const char *name() const override { return "B+T"; }
+    WorkloadResult run(PmemRuntime &rt) override;
+
+  private:
+    WorkloadConfig cfg_;
+};
+
+} // namespace workloads
+} // namespace poat
+
+#endif // POAT_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,54 @@
+/** @file Unit tests for bit utilities. */
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+
+namespace poat {
+namespace {
+
+TEST(Bits, AlignUp)
+{
+    EXPECT_EQ(alignUp(0, 16), 0u);
+    EXPECT_EQ(alignUp(1, 16), 16u);
+    EXPECT_EQ(alignUp(16, 16), 16u);
+    EXPECT_EQ(alignUp(17, 16), 32u);
+    EXPECT_EQ(alignUp(4095, 4096), 4096u);
+}
+
+TEST(Bits, AlignDown)
+{
+    EXPECT_EQ(alignDown(0, 64), 0u);
+    EXPECT_EQ(alignDown(63, 64), 0u);
+    EXPECT_EQ(alignDown(64, 64), 64u);
+    EXPECT_EQ(alignDown(130, 64), 128u);
+}
+
+TEST(Bits, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(1ull << 40));
+    EXPECT_FALSE(isPow2((1ull << 40) + 1));
+}
+
+TEST(Bits, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2(~0ull), 63u);
+}
+
+TEST(Bits, BitsOf)
+{
+    EXPECT_EQ(bitsOf(0xdeadbeef, 7, 0), 0xefu);
+    EXPECT_EQ(bitsOf(0xdeadbeef, 31, 16), 0xdeadu);
+    EXPECT_EQ(bitsOf(~0ull, 63, 0), ~0ull);
+    EXPECT_EQ(bitsOf(0b1100, 3, 2), 0b11u);
+}
+
+} // namespace
+} // namespace poat

@@ -1,0 +1,82 @@
+/** @file Unit tests for the deterministic RNG. */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+
+namespace poat {
+namespace {
+
+TEST(Rng, SameSeedReplaysIdentically)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const uint64_t v = r.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 5);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng r(11);
+    constexpr int kBuckets = 8;
+    constexpr int kDraws = 80000;
+    int counts[kBuckets] = {};
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[r.below(kBuckets)];
+    for (int c : counts) {
+        EXPECT_GT(c, kDraws / kBuckets * 9 / 10);
+        EXPECT_LT(c, kDraws / kBuckets * 11 / 10);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0, 10));
+        EXPECT_TRUE(r.chance(10, 10));
+    }
+}
+
+TEST(Rng, NoShortCycle)
+{
+    Rng r(17);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 10000; ++i)
+        seen.insert(r.next());
+    EXPECT_EQ(seen.size(), 10000u);
+}
+
+} // namespace
+} // namespace poat

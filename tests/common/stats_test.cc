@@ -1,0 +1,57 @@
+/** @file Unit tests for the statistics registry. */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.h"
+
+namespace poat {
+namespace {
+
+TEST(Stats, CounterStartsAtZeroAndIncrements)
+{
+    StatsRegistry s;
+    EXPECT_EQ(s.get("x"), 0u);
+    s.counter("x") += 3;
+    EXPECT_EQ(s.get("x"), 3u);
+}
+
+TEST(Stats, GetOfUnknownIsZeroAndDoesNotCreate)
+{
+    StatsRegistry s;
+    EXPECT_EQ(s.get("nope"), 0u);
+    EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(Stats, ResetAllZeroesEverything)
+{
+    StatsRegistry s;
+    s.counter("a") = 5;
+    s.counter("b") = 7;
+    s.resetAll();
+    EXPECT_EQ(s.get("a"), 0u);
+    EXPECT_EQ(s.get("b"), 0u);
+    EXPECT_EQ(s.size(), 2u); // names survive reset
+}
+
+TEST(Stats, RatioHandlesZeroDenominator)
+{
+    StatsRegistry s;
+    s.counter("hits") = 10;
+    EXPECT_DOUBLE_EQ(s.ratio("hits", "accesses"), 0.0);
+    s.counter("accesses") = 40;
+    EXPECT_DOUBLE_EQ(s.ratio("hits", "accesses"), 0.25);
+}
+
+TEST(Stats, DumpIsSortedByName)
+{
+    StatsRegistry s;
+    s.counter("zeta") = 1;
+    s.counter("alpha") = 2;
+    std::ostringstream os;
+    s.dump(os);
+    EXPECT_EQ(os.str(), "alpha 2\nzeta 1\n");
+}
+
+} // namespace
+} // namespace poat

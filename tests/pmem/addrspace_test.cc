@@ -1,0 +1,74 @@
+/** @file Unit tests for the ASLR-style address space allocator. */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pmem/addrspace.h"
+
+namespace poat {
+namespace {
+
+TEST(AddressSpace, RegionsArePageAligned)
+{
+    AddressSpace as(1);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(as.mapRandom(12345) % kPageSize, 0u);
+}
+
+TEST(AddressSpace, RegionsNeverOverlap)
+{
+    AddressSpace as(2);
+    std::vector<std::pair<uint64_t, uint64_t>> regions;
+    for (int i = 0; i < 200; ++i) {
+        const uint64_t size = kPageSize * (1 + i % 7);
+        const uint64_t base = as.mapRandom(size);
+        for (const auto &[b, s] : regions) {
+            EXPECT_TRUE(base + size <= b || b + s <= base)
+                << "overlap at iteration " << i;
+        }
+        regions.emplace_back(base, size);
+    }
+    EXPECT_EQ(as.regionCount(), 200u);
+}
+
+TEST(AddressSpace, SameSeedSamePlacement)
+{
+    AddressSpace a(7), b(7);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(a.mapRandom(kPageSize), b.mapRandom(kPageSize));
+}
+
+TEST(AddressSpace, DifferentSeedsDifferentPlacement)
+{
+    AddressSpace a(7), b(8);
+    int same = 0;
+    for (int i = 0; i < 20; ++i)
+        same += (a.mapRandom(kPageSize) == b.mapRandom(kPageSize));
+    EXPECT_LT(same, 2);
+}
+
+TEST(AddressSpace, ContainsTracksLiveRegions)
+{
+    AddressSpace as(3);
+    const uint64_t base = as.mapRandom(2 * kPageSize);
+    EXPECT_TRUE(as.contains(base));
+    EXPECT_TRUE(as.contains(base + 2 * kPageSize - 1));
+    EXPECT_FALSE(as.contains(base + 2 * kPageSize));
+    as.unmap(base);
+    EXPECT_FALSE(as.contains(base));
+    EXPECT_EQ(as.regionCount(), 0u);
+}
+
+TEST(AddressSpace, UnmappedRangeCanBeReused)
+{
+    AddressSpace as(4);
+    // Unmap and re-map many times: the allocator must not leak ranges.
+    for (int i = 0; i < 1000; ++i) {
+        const uint64_t base = as.mapRandom(1 << 20);
+        as.unmap(base);
+    }
+    EXPECT_EQ(as.regionCount(), 0u);
+}
+
+} // namespace
+} // namespace poat

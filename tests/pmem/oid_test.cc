@@ -1,0 +1,63 @@
+/** @file Unit tests for ObjectID packing and arithmetic. */
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "pmem/oid.h"
+
+namespace poat {
+namespace {
+
+TEST(ObjectID, PacksPoolIdAndOffset)
+{
+    const ObjectID oid(0x12345678u, 0x9abcdef0u);
+    EXPECT_EQ(oid.poolId(), 0x12345678u);
+    EXPECT_EQ(oid.offset(), 0x9abcdef0u);
+    EXPECT_EQ(oid.raw, 0x123456789abcdef0ull);
+}
+
+TEST(ObjectID, NullHasPoolIdZero)
+{
+    EXPECT_TRUE(OID_NULL.isNull());
+    EXPECT_EQ(OID_NULL.raw, 0u);
+    // Pool id 0 with any offset is still null: pool 0 cannot exist.
+    EXPECT_TRUE(ObjectID(0u, 123u).isNull());
+    EXPECT_FALSE(ObjectID(1u, 0u).isNull());
+}
+
+TEST(ObjectID, PlusMovesWithinPool)
+{
+    const ObjectID oid(7u, 100u);
+    const ObjectID moved = oid.plus(28);
+    EXPECT_EQ(moved.poolId(), 7u);
+    EXPECT_EQ(moved.offset(), 128u);
+}
+
+TEST(ObjectID, EqualityComparesRawBits)
+{
+    EXPECT_EQ(ObjectID(1u, 2u), ObjectID(1u, 2u));
+    EXPECT_NE(ObjectID(1u, 2u), ObjectID(2u, 1u));
+    EXPECT_NE(ObjectID(1u, 2u), OID_NULL);
+}
+
+TEST(ObjectID, HashIsUsableInUnorderedContainers)
+{
+    std::unordered_set<ObjectID> set;
+    for (uint32_t p = 1; p <= 10; ++p)
+        for (uint32_t o = 0; o < 10; ++o)
+            set.insert(ObjectID(p, o * 16));
+    EXPECT_EQ(set.size(), 100u);
+    EXPECT_TRUE(set.count(ObjectID(3u, 48u)));
+    EXPECT_FALSE(set.count(ObjectID(11u, 0u)));
+}
+
+TEST(ObjectID, RoundTripsThroughRaw)
+{
+    const ObjectID oid(0xffffffffu, 0xffffffffu);
+    EXPECT_EQ(ObjectID(oid.raw), oid);
+    EXPECT_EQ(oid.poolId(), 0xffffffffu);
+    EXPECT_EQ(oid.offset(), 0xffffffffu);
+}
+
+} // namespace
+} // namespace poat

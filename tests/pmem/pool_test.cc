@@ -1,0 +1,200 @@
+/** @file Unit and property tests for Pool storage and durability. */
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.h"
+#include "pmem/pool.h"
+
+namespace poat {
+namespace {
+
+Pool
+makePool(uint64_t size = 1 << 20)
+{
+    return Pool("p", 1, size);
+}
+
+TEST(Pool, FreshPoolHasSaneHeader)
+{
+    Pool p = makePool();
+    const PoolHeader &h = p.header();
+    EXPECT_EQ(h.magic, PoolHeader::kMagic);
+    EXPECT_EQ(h.pool_id, 1u);
+    EXPECT_EQ(h.pool_size, p.size());
+    EXPECT_EQ(h.root_off, 0u);
+    EXPECT_EQ(h.heap_off, Pool::kHeaderSize);
+    EXPECT_EQ(h.heap_off + h.heap_size, h.log_off);
+    EXPECT_EQ(h.log_off + h.log_size, p.size());
+}
+
+TEST(Pool, SizeIsClampedToMinimum)
+{
+    Pool p("tiny", 2, 16);
+    EXPECT_GE(p.size(), Pool::kMinSize);
+}
+
+TEST(Pool, ReadBackWhatWasWritten)
+{
+    Pool p = makePool();
+    const uint64_t v = 0xfeedfacecafebeefull;
+    p.writeAs<uint64_t>(4096, v);
+    EXPECT_EQ(p.readAs<uint64_t>(4096), v);
+}
+
+TEST(Pool, WritesAreNotDurableUntilFlushed)
+{
+    Pool p = makePool();
+    p.writeAs<uint64_t>(4096, 77);
+    p.crash();
+    EXPECT_EQ(p.readAs<uint64_t>(4096), 0u);
+}
+
+TEST(Pool, PersistSurvivesCrash)
+{
+    Pool p = makePool();
+    p.writeAs<uint64_t>(4096, 77);
+    p.persist(4096, 8);
+    p.writeAs<uint64_t>(4096, 88); // dirty again, not persisted
+    p.crash();
+    EXPECT_EQ(p.readAs<uint64_t>(4096), 77u);
+}
+
+TEST(Pool, ClwbWithoutFenceUnderStrictPolicyIsNotDurable)
+{
+    Pool p = makePool();
+    p.setDurabilityPolicy(DurabilityPolicy::Strict);
+    p.writeAs<uint64_t>(4096, 55);
+    p.clwb(4096);
+    p.crash(); // no fence: line may not have reached media
+    EXPECT_EQ(p.readAs<uint64_t>(4096), 0u);
+}
+
+TEST(Pool, ClwbThenFenceUnderStrictPolicyIsDurable)
+{
+    Pool p = makePool();
+    p.setDurabilityPolicy(DurabilityPolicy::Strict);
+    p.writeAs<uint64_t>(4096, 55);
+    p.clwb(4096);
+    p.fence();
+    p.crash();
+    EXPECT_EQ(p.readAs<uint64_t>(4096), 55u);
+}
+
+TEST(Pool, StrictPolicyStoreAfterClwbReDirtiesLine)
+{
+    Pool p = makePool();
+    p.setDurabilityPolicy(DurabilityPolicy::Strict);
+    p.writeAs<uint64_t>(4096, 55);
+    p.clwb(4096);
+    p.writeAs<uint64_t>(4096, 66); // re-dirty before the fence
+    p.fence();
+    p.crash();
+    // The line was unstaged by the second store, so nothing is durable.
+    EXPECT_EQ(p.readAs<uint64_t>(4096), 0u);
+}
+
+TEST(Pool, EagerClwbIsImmediatelyDurable)
+{
+    Pool p = makePool();
+    p.writeAs<uint64_t>(4096, 99);
+    p.clwb(4096);
+    p.crash();
+    EXPECT_EQ(p.readAs<uint64_t>(4096), 99u);
+}
+
+TEST(Pool, PersistSpanningMultipleLines)
+{
+    Pool p = makePool();
+    std::vector<uint8_t> buf(300, 0xab);
+    p.writeRaw(4090, buf.data(), buf.size()); // straddles line boundaries
+    p.persist(4090, buf.size());
+    p.crash();
+    std::vector<uint8_t> out(300);
+    p.readRaw(4090, out.data(), out.size());
+    EXPECT_EQ(out, buf);
+}
+
+TEST(Pool, LineSpanCounts)
+{
+    EXPECT_EQ(Pool::lineSpan(0, 0), 0u);
+    EXPECT_EQ(Pool::lineSpan(0, 1), 1u);
+    EXPECT_EQ(Pool::lineSpan(0, 64), 1u);
+    EXPECT_EQ(Pool::lineSpan(0, 65), 2u);
+    EXPECT_EQ(Pool::lineSpan(63, 2), 2u);
+    EXPECT_EQ(Pool::lineSpan(60, 200), 5u);
+}
+
+TEST(Pool, DirtyLineTracking)
+{
+    Pool p = makePool();
+    const size_t base = p.dirtyLineCount();
+    p.writeAs<uint64_t>(8192, 1);
+    EXPECT_EQ(p.dirtyLineCount(), base + 1);
+    p.writeAs<uint64_t>(8192 + 8, 2); // same line
+    EXPECT_EQ(p.dirtyLineCount(), base + 1);
+    p.writeAs<uint64_t>(8192 + 64, 3); // next line
+    EXPECT_EQ(p.dirtyLineCount(), base + 2);
+    p.persist(8192, 128);
+    EXPECT_EQ(p.dirtyLineCount(), base);
+}
+
+TEST(Pool, RandomEvictionMakesSomeLinesDurable)
+{
+    Pool p = makePool();
+    Rng rng(3);
+    for (uint32_t i = 0; i < 64; ++i)
+        p.writeAs<uint64_t>(4096 + 64 * i, i + 1);
+    p.evictRandomLines(rng, 1, 2); // ~half evicted
+    p.crash();
+    int durable = 0;
+    for (uint32_t i = 0; i < 64; ++i)
+        durable += (p.readAs<uint64_t>(4096 + 64 * i) == i + 1);
+    EXPECT_GT(durable, 10);
+    EXPECT_LT(durable, 54);
+}
+
+TEST(Pool, ReopenFromDurableImage)
+{
+    Pool p = makePool();
+    p.writeAs<uint64_t>(5000, 1234);
+    p.persist(5000, 8);
+    Pool q("p", 1, p.durableImage());
+    EXPECT_EQ(q.readAs<uint64_t>(5000), 1234u);
+    EXPECT_EQ(q.header().pool_size, p.size());
+}
+
+TEST(Pool, VaddrAndOidHelpers)
+{
+    Pool p = makePool();
+    p.setVbase(0x7000000000ull);
+    EXPECT_EQ(p.vaddrOf(0x123), 0x7000000123ull);
+    EXPECT_EQ(p.oidOf(0x123), ObjectID(1u, 0x123u));
+}
+
+/** Property: any interleaving of writes/evictions/crashes only ever
+ *  exposes either the old or the new value of each 8-byte cell. */
+TEST(Pool, CrashExposesOnlyOldOrNewValues)
+{
+    Rng rng(99);
+    for (int trial = 0; trial < 20; ++trial) {
+        Pool p = makePool(1 << 16);
+        // Old values, fully persisted.
+        for (uint32_t i = 0; i < 32; ++i)
+            p.writeAs<uint64_t>(1024 + 8 * i, 1000 + i);
+        p.persist(1024, 8 * 32);
+        // New values, partially persisted via random eviction.
+        for (uint32_t i = 0; i < 32; ++i)
+            p.writeAs<uint64_t>(1024 + 8 * i, 2000 + i);
+        p.evictRandomLines(rng, 1, 3);
+        p.crash();
+        for (uint32_t i = 0; i < 32; ++i) {
+            const uint64_t v = p.readAs<uint64_t>(1024 + 8 * i);
+            EXPECT_TRUE(v == 1000 + i || v == 2000 + i)
+                << "cell " << i << " saw torn value " << v;
+        }
+    }
+}
+
+} // namespace
+} // namespace poat

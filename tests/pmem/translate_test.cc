@@ -1,0 +1,161 @@
+/** @file Tests pinning the software-translation cost model (Table 2). */
+#include <gtest/gtest.h>
+
+#include "pmem/addrspace.h"
+#include "pmem/translate.h"
+
+namespace poat {
+namespace {
+
+struct Fixture
+{
+    Fixture() : space(1), tr(space) {}
+    AddressSpace space;
+    SoftwareTranslator tr;
+};
+
+TEST(Translate, ReturnsBasePlusOffset)
+{
+    Fixture f;
+    NullTraceSink sink;
+    f.tr.addPool(5, 0x1000000);
+    EXPECT_EQ(f.tr.translate(ObjectID(5, 0x42), sink), 0x1000042u);
+    EXPECT_EQ(f.tr.translateQuiet(ObjectID(5, 0x100)), 0x1000100u);
+}
+
+TEST(Translate, PredictorHitCostsExactly17Instructions)
+{
+    // Paper Table 2: oid_direct costs 17.0 instructions when the most
+    // recent translation is reused.
+    Fixture f;
+    CountingTraceSink sink;
+    f.tr.addPool(5, 0x1000000);
+    f.tr.translate(ObjectID(5, 0), sink); // warm the predictor
+    sink.reset();
+    f.tr.resetStats();
+    f.tr.translate(ObjectID(5, 8), sink);
+    EXPECT_EQ(sink.instructions, 17u);
+    EXPECT_EQ(f.tr.instructionsEmitted(), 17u);
+    EXPECT_EQ(f.tr.predictorMisses(), 0u);
+}
+
+TEST(Translate, FullLookupCostsRoughly100Instructions)
+{
+    // Paper Table 2: ~95-110 instructions when the hash lookup runs.
+    Fixture f;
+    CountingTraceSink sink;
+    for (uint32_t p = 1; p <= 64; ++p)
+        f.tr.addPool(p, 0x1000000ull * p);
+    f.tr.translate(ObjectID(1, 0), sink); // predictor now holds pool 1
+    sink.reset();
+    f.tr.translate(ObjectID(2, 0), sink); // full lookup
+    EXPECT_GE(sink.instructions, 90u);
+    EXPECT_LE(sink.instructions, 115u);
+}
+
+TEST(Translate, AlternatingPoolsAlwaysMissPredictor)
+{
+    Fixture f;
+    NullTraceSink sink;
+    f.tr.addPool(1, 0x10000000);
+    f.tr.addPool(2, 0x20000000);
+    f.tr.translate(ObjectID(2, 0), sink); // predictor holds pool 2
+    f.tr.resetStats();
+    for (int i = 0; i < 100; ++i) {
+        // Stream 1,2,1,2,...: every access changes pool.
+        f.tr.translate(ObjectID(1 + (i % 2), 0), sink);
+    }
+    EXPECT_EQ(f.tr.predictorMissRate(), 1.0);
+    // And the average cost reflects the slow path.
+    EXPECT_GT(f.tr.avgInstructionsPerCall(), 90.0);
+}
+
+TEST(Translate, SamePoolStreamHitsPredictor)
+{
+    Fixture f;
+    NullTraceSink sink;
+    f.tr.addPool(1, 0x10000000);
+    f.tr.translate(ObjectID(1, 0), sink);
+    f.tr.resetStats();
+    for (int i = 0; i < 100; ++i)
+        f.tr.translate(ObjectID(1, 8 * i), sink);
+    EXPECT_EQ(f.tr.predictorMisses(), 0u);
+    EXPECT_DOUBLE_EQ(f.tr.avgInstructionsPerCall(), 17.0);
+}
+
+TEST(Translate, RemovePoolInvalidatesPredictor)
+{
+    Fixture f;
+    NullTraceSink sink;
+    f.tr.addPool(1, 0x10000000);
+    f.tr.addPool(2, 0x20000000);
+    f.tr.translate(ObjectID(1, 0), sink);
+    f.tr.removePool(1);
+    EXPECT_EQ(f.tr.poolCount(), 1u);
+    // Pool 2 still translates correctly after the removal.
+    EXPECT_EQ(f.tr.translate(ObjectID(2, 4), sink), 0x20000004u);
+}
+
+TEST(Translate, ReAddingAPoolIdAfterRemovalWorks)
+{
+    Fixture f;
+    NullTraceSink sink;
+    f.tr.addPool(9, 0x90000000);
+    f.tr.removePool(9);
+    f.tr.addPool(9, 0xa0000000);
+    EXPECT_EQ(f.tr.translate(ObjectID(9, 1), sink), 0xa0000001u);
+}
+
+TEST(Translate, ProbeCountGrowsWithCollisions)
+{
+    // Force many pools so some buckets chain; probes/misses must then
+    // exceed 1 on average.
+    Fixture f;
+    NullTraceSink sink;
+    for (uint32_t p = 1; p <= 4096; ++p)
+        f.tr.addPool(p, 0x1000000ull * p);
+    f.tr.resetStats();
+    for (uint32_t p = 1; p <= 4096; ++p)
+        f.tr.translate(ObjectID(p * 7 % 4096 + 1, 0), sink);
+    EXPECT_GT(f.tr.probesTotal(), f.tr.predictorMisses());
+}
+
+TEST(Translate, BlendedEachPatternAverageMatchesTable2Band)
+{
+    // Emulate an EACH-style stream over many pools with a ~90% miss
+    // rate; the blended average must fall in the paper's 77-110 band.
+    Fixture f;
+    NullTraceSink sink;
+    for (uint32_t p = 1; p <= 300; ++p)
+        f.tr.addPool(p, 0x1000000ull * p);
+    f.tr.resetStats();
+    for (int i = 0; i < 3000; ++i) {
+        const uint32_t pool = 1 + (i % 10 == 0 ? 1 : (i * 13) % 300);
+        f.tr.translate(ObjectID(pool, 0), sink);
+    }
+    EXPECT_GT(f.tr.avgInstructionsPerCall(), 70.0);
+    EXPECT_LT(f.tr.avgInstructionsPerCall(), 115.0);
+}
+
+TEST(Translate, DisabledPredictorAlwaysTakesSlowPath)
+{
+    Fixture f;
+    NullTraceSink sink;
+    f.tr.addPool(1, 0x10000000);
+    f.tr.setPredictorEnabled(false);
+    for (int i = 0; i < 50; ++i)
+        f.tr.translate(ObjectID(1, 8 * i), sink); // same pool every time
+    EXPECT_EQ(f.tr.predictorMissRate(), 1.0);
+    EXPECT_GT(f.tr.avgInstructionsPerCall(), 90.0);
+    // Results stay correct.
+    EXPECT_EQ(f.tr.translate(ObjectID(1, 4), sink), 0x10000004u);
+    // Re-enabling resumes fast-path behavior after one warm-up miss.
+    f.tr.setPredictorEnabled(true);
+    f.tr.resetStats();
+    f.tr.translate(ObjectID(1, 0), sink);
+    f.tr.translate(ObjectID(1, 8), sink);
+    EXPECT_EQ(f.tr.predictorMisses(), 1u);
+}
+
+} // namespace
+} // namespace poat

@@ -1,0 +1,83 @@
+/** @file Unit tests for the hybrid branch predictor. */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/branch.h"
+
+namespace poat {
+namespace sim {
+namespace {
+
+TEST(Branch, LearnsAlwaysTaken)
+{
+    BranchPredictor bp;
+    int misses = 0;
+    for (int i = 0; i < 100; ++i)
+        misses += bp.predictAndUpdate(0x100, true);
+    EXPECT_LE(misses, 3); // only warm-up mispredicts
+}
+
+TEST(Branch, LearnsAlwaysNotTaken)
+{
+    BranchPredictor bp;
+    int late_misses = 0;
+    for (int i = 0; i < 100; ++i) {
+        const bool m = bp.predictAndUpdate(0x200, false);
+        if (i >= 10)
+            late_misses += m;
+    }
+    EXPECT_EQ(late_misses, 0);
+}
+
+TEST(Branch, GlobalHistoryCatchesAlternation)
+{
+    // T,N,T,N... is hard for bimodal but trivial for gshare.
+    BranchPredictor bp;
+    int late_misses = 0;
+    for (int i = 0; i < 400; ++i) {
+        const bool m = bp.predictAndUpdate(0x300, i % 2 == 0);
+        if (i >= 200)
+            late_misses += m;
+    }
+    EXPECT_LT(late_misses, 20);
+}
+
+TEST(Branch, RandomBranchesMispredictRoughlyHalf)
+{
+    BranchPredictor bp;
+    Rng rng(77);
+    int misses = 0;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i)
+        misses += bp.predictAndUpdate(0x400, rng.chance(1, 2));
+    EXPECT_GT(misses, kN * 35 / 100);
+    EXPECT_LT(misses, kN * 65 / 100);
+}
+
+TEST(Branch, DistinctSitesDoNotDestructivelyAlias)
+{
+    BranchPredictor bp;
+    int late_misses = 0;
+    for (int i = 0; i < 400; ++i) {
+        bool m = bp.predictAndUpdate(0x500, true);
+        m |= bp.predictAndUpdate(0x508, false);
+        if (i >= 100)
+            late_misses += m;
+    }
+    EXPECT_LT(late_misses, 40);
+}
+
+TEST(Branch, StatsAccumulate)
+{
+    BranchPredictor bp;
+    for (int i = 0; i < 10; ++i)
+        bp.predictAndUpdate(0x600, true);
+    EXPECT_EQ(bp.branches(), 10u);
+    EXPECT_LE(bp.mispredicts(), 10u);
+    EXPECT_GE(bp.mispredictRate(), 0.0);
+    EXPECT_LE(bp.mispredictRate(), 1.0);
+}
+
+} // namespace
+} // namespace sim
+} // namespace poat

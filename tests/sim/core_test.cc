@@ -1,0 +1,219 @@
+/** @file Timing-model tests for the in-order and OoO cores. */
+#include <gtest/gtest.h>
+
+#include "sim/config.h"
+#include "sim/core_inorder.h"
+#include "sim/core_ooo.h"
+
+namespace poat {
+namespace sim {
+namespace {
+
+MachineConfig
+cfg()
+{
+    return MachineConfig{};
+}
+
+// ---------------------------------------------------------------- in-order
+
+TEST(InOrder, AluIsOneCyclePerInstruction)
+{
+    InOrderCore c(cfg());
+    c.alu(10, 0);
+    EXPECT_EQ(c.cycles(), 10u);
+    EXPECT_EQ(c.uopCount(), 10u);
+}
+
+TEST(InOrder, LoadsAreBlocking)
+{
+    InOrderCore c(cfg());
+    c.load(0, 3, 0, 0); // L1 hit: full 3-cycle blocking access
+    EXPECT_EQ(c.cycles(), 3u);
+}
+
+TEST(InOrder, MissLatencyStallsFully)
+{
+    InOrderCore c(cfg());
+    c.load(0, 120, 0, 0); // memory access
+    EXPECT_EQ(c.cycles(), 120u);
+}
+
+TEST(InOrder, PreStallChargesFully)
+{
+    InOrderCore c(cfg());
+    c.load(33, 3, 0, 0); // POLB residue + POT walk before an L1 hit
+    EXPECT_EQ(c.cycles(), 36u);
+}
+
+TEST(InOrder, BranchMispredictCostsEightExtra)
+{
+    InOrderCore c(cfg());
+    c.branch(false, 0);
+    EXPECT_EQ(c.cycles(), 1u);
+    c.branch(true, 0);
+    EXPECT_EQ(c.cycles(), 10u);
+}
+
+TEST(InOrder, StoresAbsorbedByStoreBuffer)
+{
+    InOrderCore c(cfg());
+    for (int i = 0; i < 8; ++i)
+        c.store(0, 120, 0);
+    // 8 entries absorb 8 stores at 1 cycle each.
+    EXPECT_EQ(c.cycles(), 8u);
+    // The 9th store stalls until the first slot drains.
+    c.store(0, 120, 0);
+    EXPECT_GT(c.cycles(), 100u);
+}
+
+TEST(InOrder, FenceDrainsStoreBuffer)
+{
+    InOrderCore c(cfg());
+    c.store(0, 120, 0); // drains at 1 + 120
+    c.fence();
+    EXPECT_GE(c.cycles(), 121u);
+}
+
+TEST(InOrder, ClwbChargesItsLatency)
+{
+    InOrderCore c(cfg());
+    c.clwb(100);
+    EXPECT_EQ(c.cycles(), 100u);
+}
+
+// ---------------------------------------------------------------- OoO
+
+TEST(Ooo, IndependentAluRunAtIssueWidth)
+{
+    OooCore c(cfg());
+    c.alu(400, 0);
+    // Width 4: ~100 cycles plus small pipeline slack.
+    EXPECT_GE(c.cycles(), 100u);
+    EXPECT_LE(c.cycles(), 110u);
+}
+
+TEST(Ooo, IndependentLoadsOverlap)
+{
+    OooCore c(cfg());
+    for (int i = 0; i < 8; ++i)
+        c.load(0, 120, 0, 0);
+    // All eight miss to memory in parallel: ~120 cycles, not ~960.
+    EXPECT_LT(c.cycles(), 160u);
+}
+
+TEST(Ooo, DependentLoadsSerialize)
+{
+    OooCore c(cfg());
+    uint64_t tag = 0;
+    for (int i = 0; i < 8; ++i)
+        tag = c.load(0, 120, tag, 0);
+    // A pointer chase: completion grows by ~120 per link.
+    EXPECT_GE(c.cycles(), 8u * 120u);
+}
+
+TEST(Ooo, DepThroughSecondOperand)
+{
+    OooCore c(cfg());
+    const uint64_t t = c.load(0, 120, 0, 0);
+    c.load(0, 3, 0, t); // address depends on the first load
+    EXPECT_GE(c.cycles(), 123u);
+}
+
+TEST(Ooo, RobLimitsMemoryLevelParallelism)
+{
+    // More independent misses than the ROB can hold: they can no
+    // longer all overlap.
+    OooCore c(cfg());
+    for (int i = 0; i < 256; ++i)
+        c.load(0, 120, 0, 0);
+    // 256 loads / min(ROB 128, LQ 48) -> several memory rounds, but far
+    // fewer than fully serial execution (256 * 120).
+    EXPECT_GE(c.cycles(), 2u * 120u);
+    EXPECT_LT(c.cycles(), 8u * 120u);
+}
+
+TEST(Ooo, LqLimitsOutstandingLoads)
+{
+    MachineConfig small = cfg();
+    small.lq_size = 2;
+    OooCore c(small);
+    for (int i = 0; i < 8; ++i)
+        c.load(0, 120, 0, 0);
+    // Two at a time: ~4 rounds of 120.
+    EXPECT_GE(c.cycles(), 4u * 120u);
+}
+
+TEST(Ooo, MispredictStallsFetch)
+{
+    OooCore a(cfg()), b(cfg());
+    for (int i = 0; i < 50; ++i) {
+        a.branch(false, 0);
+        a.alu(4, 0);
+        b.branch(true, 0);
+        b.alu(4, 0);
+    }
+    EXPECT_GT(b.cycles(), a.cycles() + 50 * 8 - 50);
+}
+
+TEST(Ooo, FenceSerializes)
+{
+    OooCore c(cfg());
+    c.clwb(100);
+    c.fence();
+    c.alu(1, 0);
+    // The ALU op dispatches only after the CLWB completed.
+    EXPECT_GE(c.cycles(), 100u);
+}
+
+TEST(Ooo, PreStallExtendsLoadLatency)
+{
+    OooCore a(cfg()), b(cfg());
+    uint64_t ta = 0, tb = 0;
+    for (int i = 0; i < 10; ++i) {
+        ta = a.load(0, 3, ta, 0);
+        tb = b.load(33, 3, tb, 0); // POLB+POT in AGEN
+    }
+    EXPECT_GE(b.cycles(), a.cycles() + 10 * 33 - 5);
+}
+
+TEST(Ooo, CyclesAreMonotonic)
+{
+    OooCore c(cfg());
+    uint64_t prev = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (i % 3 == 0)
+            c.load(0, i % 2 ? 120 : 3, 0, 0);
+        else if (i % 7 == 0)
+            c.branch(i % 2, 0);
+        else
+            c.alu(2, 0);
+        EXPECT_GE(c.cycles(), prev);
+        prev = c.cycles();
+    }
+}
+
+/** Property: OoO is never slower than in-order on the same stream, and
+ *  never faster than the dataflow bound would allow. */
+TEST(Ooo, BoundedByInOrderAboveAndCriticalPathBelow)
+{
+    MachineConfig conf = cfg();
+    InOrderCore io(conf);
+    OooCore oo(conf);
+    uint64_t tio = 0, too = 0;
+    uint64_t chain_latency = 0;
+    for (int i = 0; i < 500; ++i) {
+        const uint32_t lat = (i % 5 == 0) ? 120 : 3;
+        tio = io.load(0, lat, tio, 0);
+        too = oo.load(0, lat, too, 0);
+        chain_latency += lat;
+        io.alu(3, 0);
+        oo.alu(3, 0);
+    }
+    EXPECT_LE(oo.cycles(), io.cycles());
+    EXPECT_GE(oo.cycles(), chain_latency); // serial load chain bound
+}
+
+} // namespace
+} // namespace sim
+} // namespace poat

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Cross-cutting determinism and invariance tests: the properties every
+ * experiment in EXPERIMENTS.md silently depends on.
+ */
+#include <gtest/gtest.h>
+
+#include "driver/experiment.h"
+
+namespace poat {
+namespace driver {
+namespace {
+
+ExperimentConfig
+cfg(const std::string &wl, sim::CoreType core, TranslationMode mode)
+{
+    ExperimentConfig c;
+    c.workload = wl;
+    c.pattern = workloads::PoolPattern::Random;
+    c.scale_pct = 10;
+    c.mode = mode;
+    c.machine.core = core;
+    return c;
+}
+
+TEST(Determinism, IdenticalRunsProduceIdenticalCycles)
+{
+    for (const auto mode :
+         {TranslationMode::Software, TranslationMode::Hardware}) {
+        const auto a =
+            runExperiment(cfg("BST", sim::CoreType::InOrder, mode));
+        const auto b =
+            runExperiment(cfg("BST", sim::CoreType::InOrder, mode));
+        EXPECT_EQ(a.metrics.cycles, b.metrics.cycles);
+        EXPECT_EQ(a.metrics.instructions, b.metrics.instructions);
+        EXPECT_EQ(a.metrics.polb_misses, b.metrics.polb_misses);
+        EXPECT_EQ(a.workload_checksum, b.workload_checksum);
+    }
+}
+
+TEST(Determinism, CoreModelDoesNotChangeTheInstructionStream)
+{
+    // The in-order and OoO machines consume the same trace: identical
+    // dynamic instruction and event counts, different cycles.
+    for (const auto &wl : workloads::microbenchNames()) {
+        const auto io = runExperiment(
+            cfg(wl, sim::CoreType::InOrder, TranslationMode::Hardware));
+        const auto oo = runExperiment(cfg(
+            wl, sim::CoreType::OutOfOrder, TranslationMode::Hardware));
+        EXPECT_EQ(io.metrics.instructions, oo.metrics.instructions) << wl;
+        EXPECT_EQ(io.metrics.nv_loads, oo.metrics.nv_loads) << wl;
+        EXPECT_EQ(io.metrics.clwbs, oo.metrics.clwbs) << wl;
+        EXPECT_NE(io.metrics.cycles, oo.metrics.cycles) << wl;
+        EXPECT_EQ(io.workload_checksum, oo.workload_checksum) << wl;
+    }
+}
+
+TEST(Determinism, PolbDesignDoesNotChangeTheInstructionStream)
+{
+    // Pipelined vs Parallel differ only in translation *timing*.
+    auto pipe = cfg("B+T", sim::CoreType::InOrder,
+                    TranslationMode::Hardware);
+    auto par = pipe;
+    par.machine.polb_design = sim::PolbDesign::Parallel;
+    const auto a = runExperiment(pipe);
+    const auto b = runExperiment(par);
+    EXPECT_EQ(a.metrics.instructions, b.metrics.instructions);
+    EXPECT_EQ(a.workload_checksum, b.workload_checksum);
+}
+
+TEST(Determinism, SeedChangesWorkButNotValidity)
+{
+    ExperimentConfig a =
+        cfg("LL", sim::CoreType::InOrder, TranslationMode::Software);
+    ExperimentConfig b = a;
+    b.seed = a.seed + 1;
+    const auto ra = runExperiment(a);
+    const auto rb = runExperiment(b);
+    EXPECT_NE(ra.workload_checksum, rb.workload_checksum);
+    EXPECT_EQ(ra.workload_operations, rb.workload_operations);
+}
+
+TEST(Determinism, IdealNeverChangesInstructionsOnlyCycles)
+{
+    auto base = cfg("RBT", sim::CoreType::InOrder,
+                    TranslationMode::Hardware);
+    auto ideal = base;
+    ideal.machine.ideal_translation = true;
+    const auto r = runExperiment(base);
+    const auto ri = runExperiment(ideal);
+    EXPECT_EQ(r.metrics.instructions, ri.metrics.instructions);
+    EXPECT_LE(ri.metrics.cycles, r.metrics.cycles);
+}
+
+} // namespace
+} // namespace driver
+} // namespace poat

@@ -1,0 +1,93 @@
+/** @file Unit tests for the POLB (both key disciplines use it). */
+#include <gtest/gtest.h>
+
+#include "sim/polb.h"
+
+namespace poat {
+namespace sim {
+namespace {
+
+TEST(Polb, MissThenHit)
+{
+    Polb p(4);
+    EXPECT_FALSE(p.lookup(7).has_value());
+    p.insert(7, 0xabc);
+    auto v = p.lookup(7);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 0xabcu);
+    EXPECT_EQ(p.hits(), 1u);
+    EXPECT_EQ(p.misses(), 1u);
+}
+
+TEST(Polb, LruEvictionOrder)
+{
+    Polb p(2);
+    p.insert(1, 10);
+    p.insert(2, 20);
+    p.lookup(1);     // 2 becomes LRU
+    p.insert(3, 30); // evicts 2
+    EXPECT_TRUE(p.contains(1));
+    EXPECT_FALSE(p.contains(2));
+    EXPECT_TRUE(p.contains(3));
+}
+
+TEST(Polb, InsertRefreshesExistingKey)
+{
+    Polb p(2);
+    p.insert(1, 10);
+    p.insert(1, 11);
+    EXPECT_EQ(p.occupancy(), 1u);
+    EXPECT_EQ(*p.lookup(1), 11u);
+}
+
+TEST(Polb, ZeroEntriesAlwaysMisses)
+{
+    Polb p(0);
+    p.insert(1, 10);
+    EXPECT_FALSE(p.lookup(1).has_value());
+    EXPECT_EQ(p.occupancy(), 0u);
+    EXPECT_EQ(p.missRate(), 1.0);
+}
+
+TEST(Polb, InvalidateIfRemovesMatching)
+{
+    Polb p(8);
+    for (uint64_t k = 0; k < 8; ++k)
+        p.insert((k << 20) | 5, k); // Parallel-style keys, pools 0..7
+    p.invalidateIf([](uint64_t key) { return (key >> 20) == 3; });
+    EXPECT_EQ(p.occupancy(), 7u);
+    EXPECT_FALSE(p.contains((3ull << 20) | 5));
+    EXPECT_TRUE(p.contains((4ull << 20) | 5));
+}
+
+TEST(Polb, CyclicSweepLargerThanCapacityAlwaysMisses)
+{
+    // The LL-EACH pathology from the paper: a cyclic pool sequence
+    // longer than the POLB thrashes true-LRU completely.
+    Polb p(32);
+    for (int i = 0; i < 33; ++i)
+        if (!p.lookup(i % 33))
+            p.insert(i % 33, i);
+    const uint64_t warm_misses = p.misses();
+    for (int i = 33; i < 330; ++i)
+        if (!p.lookup(i % 33))
+            p.insert(i % 33, i);
+    EXPECT_EQ(p.misses() - warm_misses, 297u); // every access missed
+}
+
+TEST(Polb, WorkingSetWithinCapacityOnlyColdMisses)
+{
+    // The RANDOM pattern with 32 pools on a 32-entry POLB: only the 32
+    // warm-up misses (paper Table 8 footnote).
+    Polb p(32);
+    for (int i = 0; i < 10000; ++i) {
+        const uint64_t key = (i * 7) % 32;
+        if (!p.lookup(key))
+            p.insert(key, key);
+    }
+    EXPECT_EQ(p.misses(), 32u);
+}
+
+} // namespace
+} // namespace sim
+} // namespace poat

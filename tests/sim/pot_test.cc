@@ -1,0 +1,89 @@
+/** @file Unit tests for the POT hash table and hardware walk. */
+#include <gtest/gtest.h>
+
+#include "sim/pot.h"
+
+namespace poat {
+namespace sim {
+namespace {
+
+TEST(Pot, WalkFindsInsertedPool)
+{
+    Pot pot(1024);
+    pot.insert(42, 0xdead000);
+    const PotWalk w = pot.walk(42);
+    EXPECT_TRUE(w.found);
+    EXPECT_EQ(w.base, 0xdead000u);
+    EXPECT_GE(w.probes, 1u);
+}
+
+TEST(Pot, WalkOfUnknownPoolFails)
+{
+    Pot pot(1024);
+    pot.insert(42, 1);
+    EXPECT_FALSE(pot.walk(43).found);
+}
+
+TEST(Pot, LinearProbingResolvesCollisions)
+{
+    Pot pot(16); // small table to force collisions
+    for (uint32_t id = 1; id <= 12; ++id)
+        pot.insert(id, id * 100);
+    for (uint32_t id = 1; id <= 12; ++id) {
+        const PotWalk w = pot.walk(id);
+        ASSERT_TRUE(w.found) << "pool " << id;
+        EXPECT_EQ(w.base, id * 100u);
+    }
+    EXPECT_GE(pot.avgProbes(), 1.0);
+}
+
+TEST(Pot, RemoveLeavesChainsWalkable)
+{
+    Pot pot(16);
+    for (uint32_t id = 1; id <= 12; ++id)
+        pot.insert(id, id * 100);
+    pot.remove(5);
+    EXPECT_FALSE(pot.walk(5).found);
+    // Pools whose probe chains pass through the tombstone still work.
+    for (uint32_t id = 1; id <= 12; ++id) {
+        if (id == 5)
+            continue;
+        EXPECT_TRUE(pot.walk(id).found) << "pool " << id;
+    }
+    EXPECT_EQ(pot.liveEntries(), 11u);
+}
+
+TEST(Pot, ReinsertAfterRemoveReusesTombstone)
+{
+    Pot pot(16);
+    for (uint32_t id = 1; id <= 8; ++id)
+        pot.insert(id, id);
+    pot.remove(3);
+    pot.insert(3, 333);
+    EXPECT_EQ(pot.walk(3).base, 333u);
+    EXPECT_EQ(pot.liveEntries(), 8u);
+}
+
+TEST(Pot, InsertRefreshesExisting)
+{
+    Pot pot(16);
+    pot.insert(7, 1);
+    pot.insert(7, 2);
+    EXPECT_EQ(pot.liveEntries(), 1u);
+    EXPECT_EQ(pot.walk(7).base, 2u);
+}
+
+TEST(Pot, PaperSizeHoldsManyPools)
+{
+    Pot pot(16384); // 256 KB as in the paper
+    for (uint32_t id = 1; id <= 1024; ++id)
+        pot.insert(id, id * 4096);
+    for (uint32_t id = 1; id <= 1024; ++id)
+        EXPECT_TRUE(pot.walk(id).found);
+    // Load factor 1/16: probe chains stay short.
+    EXPECT_LT(pot.avgProbes(), 2.0);
+}
+
+} // namespace
+} // namespace sim
+} // namespace poat

@@ -1,0 +1,80 @@
+/** @file Unit tests for the page table and TLB. */
+#include <gtest/gtest.h>
+
+#include "sim/vm.h"
+
+namespace poat {
+namespace sim {
+namespace {
+
+TEST(PageTable, SamePageSameFrame)
+{
+    PageTable pt;
+    const uint64_t pa1 = pt.translate(0x7000'0000'0123ull);
+    const uint64_t pa2 = pt.translate(0x7000'0000'0456ull);
+    EXPECT_EQ(pa1 / kPageSize, pa2 / kPageSize);
+    EXPECT_EQ(pa1 % kPageSize, 0x123u);
+    EXPECT_EQ(pa2 % kPageSize, 0x456u);
+}
+
+TEST(PageTable, DistinctPagesDistinctFrames)
+{
+    PageTable pt;
+    const uint64_t a = pt.translate(0x1000);
+    const uint64_t b = pt.translate(0x2000);
+    EXPECT_NE(a / kPageSize, b / kPageSize);
+    EXPECT_EQ(pt.mappedPages(), 2u);
+}
+
+TEST(PageTable, FrameZeroIsNeverUsed)
+{
+    PageTable pt;
+    EXPECT_NE(pt.translate(0x0) / kPageSize, 0u);
+}
+
+TEST(PageTable, FrameOfMatchesTranslate)
+{
+    PageTable pt;
+    const uint64_t va = 0x5555'0000ull + 123;
+    EXPECT_EQ(pt.frameOf(va), pt.translate(va) / kPageSize);
+}
+
+TEST(Tlb, HitAfterFill)
+{
+    Tlb tlb(4);
+    EXPECT_FALSE(tlb.access(0x1000));
+    EXPECT_TRUE(tlb.access(0x1fff)); // same page
+    EXPECT_FALSE(tlb.access(0x2000));
+}
+
+TEST(Tlb, LruEviction)
+{
+    Tlb tlb(2);
+    tlb.access(0x1000);
+    tlb.access(0x2000);
+    tlb.access(0x1000);  // page 1 is MRU
+    tlb.access(0x3000);  // evicts page 2
+    EXPECT_TRUE(tlb.access(0x1000));
+    EXPECT_FALSE(tlb.access(0x2000));
+}
+
+TEST(Tlb, MissRateOnCyclicSweep)
+{
+    Tlb tlb(4);
+    // 5 pages cycled through a 4-entry LRU TLB: every access misses.
+    for (int i = 0; i < 50; ++i)
+        tlb.access(static_cast<uint64_t>(i % 5) * kPageSize);
+    EXPECT_DOUBLE_EQ(tlb.missRate(), 1.0);
+}
+
+TEST(Tlb, ResetClears)
+{
+    Tlb tlb(4);
+    tlb.access(0x1000);
+    tlb.reset();
+    EXPECT_FALSE(tlb.access(0x1000));
+}
+
+} // namespace
+} // namespace sim
+} // namespace poat

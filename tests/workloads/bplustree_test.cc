@@ -1,0 +1,238 @@
+/** @file Property tests for the persistent B+ tree (order 7). */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "workloads/bplustree.h"
+
+namespace poat {
+namespace workloads {
+namespace {
+
+struct Fixture
+{
+    explicit Fixture(bool transactions = true)
+        : rt(RuntimeOptions{}), tx_enabled(transactions)
+    {
+        pool = rt.poolCreate("bpt", 64 << 20);
+        anchor = rt.poolRoot(pool, 16);
+        tree = std::make_unique<BPlusTree>(
+            rt, anchor, [this](uint64_t) { return pool; });
+    }
+
+    bool
+    insert(uint64_t k, uint64_t v)
+    {
+        TxScope tx(rt, tx_enabled);
+        return tree->insert(tx, k, v);
+    }
+
+    bool
+    erase(uint64_t k)
+    {
+        TxScope tx(rt, tx_enabled);
+        return tree->erase(tx, k);
+    }
+
+    bool
+    update(uint64_t k, uint64_t v)
+    {
+        TxScope tx(rt, tx_enabled);
+        return tree->update(tx, k, v);
+    }
+
+    PmemRuntime rt;
+    bool tx_enabled;
+    uint32_t pool = 0;
+    ObjectID anchor;
+    std::unique_ptr<BPlusTree> tree;
+};
+
+TEST(BPlusTree, EmptyTreeBehaves)
+{
+    Fixture f;
+    EXPECT_FALSE(f.tree->find(1).has_value());
+    EXPECT_FALSE(f.erase(1));
+    EXPECT_EQ(f.tree->size(), 0u);
+    EXPECT_TRUE(f.tree->validate());
+}
+
+TEST(BPlusTree, InsertFindSingle)
+{
+    Fixture f;
+    EXPECT_TRUE(f.insert(5, 50));
+    EXPECT_EQ(f.tree->find(5).value(), 50u);
+    EXPECT_FALSE(f.tree->find(4).has_value());
+    EXPECT_TRUE(f.tree->validate());
+}
+
+TEST(BPlusTree, DuplicateInsertRejected)
+{
+    Fixture f;
+    EXPECT_TRUE(f.insert(5, 50));
+    EXPECT_FALSE(f.insert(5, 51));
+    EXPECT_EQ(f.tree->find(5).value(), 50u);
+}
+
+TEST(BPlusTree, UpdateChangesValue)
+{
+    Fixture f;
+    f.insert(5, 50);
+    EXPECT_TRUE(f.update(5, 99));
+    EXPECT_EQ(f.tree->find(5).value(), 99u);
+    EXPECT_FALSE(f.update(6, 1));
+}
+
+TEST(BPlusTree, SequentialInsertSplitsCorrectly)
+{
+    Fixture f;
+    for (uint64_t k = 1; k <= 100; ++k) {
+        ASSERT_TRUE(f.insert(k, k * 10));
+        ASSERT_TRUE(f.tree->validate()) << "after insert " << k;
+    }
+    for (uint64_t k = 1; k <= 100; ++k)
+        ASSERT_EQ(f.tree->find(k).value(), k * 10);
+    EXPECT_EQ(f.tree->size(), 100u);
+}
+
+TEST(BPlusTree, ReverseInsertSplitsCorrectly)
+{
+    Fixture f;
+    for (uint64_t k = 100; k >= 1; --k)
+        ASSERT_TRUE(f.insert(k, k));
+    EXPECT_TRUE(f.tree->validate());
+    EXPECT_EQ(f.tree->size(), 100u);
+}
+
+TEST(BPlusTree, EraseToEmpty)
+{
+    Fixture f;
+    for (uint64_t k = 1; k <= 50; ++k)
+        f.insert(k, k);
+    for (uint64_t k = 1; k <= 50; ++k) {
+        ASSERT_TRUE(f.erase(k)) << k;
+        ASSERT_TRUE(f.tree->validate()) << "after erase " << k;
+    }
+    EXPECT_EQ(f.tree->size(), 0u);
+    // The tree is reusable after draining.
+    EXPECT_TRUE(f.insert(7, 70));
+    EXPECT_EQ(f.tree->find(7).value(), 70u);
+}
+
+TEST(BPlusTree, ScanRange)
+{
+    Fixture f;
+    for (uint64_t k = 1; k <= 60; ++k)
+        f.insert(k * 2, k); // even keys 2..120
+    std::vector<uint64_t> seen;
+    f.tree->scan(10, 30, [&](uint64_t k, uint64_t) {
+        seen.push_back(k);
+        return true;
+    });
+    ASSERT_EQ(seen.size(), 11u); // 10,12,...,30
+    EXPECT_EQ(seen.front(), 10u);
+    EXPECT_EQ(seen.back(), 30u);
+}
+
+TEST(BPlusTree, ScanEarlyStop)
+{
+    Fixture f;
+    for (uint64_t k = 1; k <= 30; ++k)
+        f.insert(k, k);
+    uint64_t count = 0;
+    f.tree->scan(1, 30, [&](uint64_t, uint64_t) {
+        return ++count < 5;
+    });
+    EXPECT_EQ(count, 5u);
+}
+
+TEST(BPlusTree, FindLast)
+{
+    Fixture f;
+    for (uint64_t k = 10; k <= 100; k += 10)
+        f.insert(k, k + 1);
+    const auto last = f.tree->findLast(15, 75);
+    ASSERT_TRUE(last.has_value());
+    EXPECT_EQ(last->first, 70u);
+    EXPECT_EQ(last->second, 71u);
+    EXPECT_FALSE(f.tree->findLast(101, 200).has_value());
+}
+
+TEST(BPlusTree, TransactionalInsertSurvivesCrash)
+{
+    Fixture f(true);
+    for (uint64_t k = 1; k <= 40; ++k)
+        f.insert(k, k * 3);
+    f.rt.crashAndRecover();
+    EXPECT_TRUE(f.tree->validate());
+    for (uint64_t k = 1; k <= 40; ++k)
+        ASSERT_EQ(f.tree->find(k).value(), k * 3) << k;
+}
+
+TEST(BPlusTree, CrashMidOperationIsAtomic)
+{
+    // Insert enough to force splits, crash before the last op commits.
+    Fixture f(true);
+    for (uint64_t k = 1; k <= 20; ++k)
+        f.insert(k, k);
+    {
+        TxScope tx(f.rt, true);
+        f.tree->insert(tx, 21, 21);
+        f.rt.crashAndRecover(); // before tx commit
+    }
+    EXPECT_TRUE(f.tree->validate());
+    EXPECT_FALSE(f.tree->find(21).has_value());
+    EXPECT_EQ(f.tree->size(), 20u);
+}
+
+/** Parameterized property: random mixed ops track a std::map oracle. */
+class BPlusProperty : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(BPlusProperty, MatchesMapOracle)
+{
+    Fixture f;
+    Rng rng(GetParam());
+    std::map<uint64_t, uint64_t> oracle;
+    for (int step = 0; step < 3000; ++step) {
+        const uint64_t key = 1 + rng.below(500);
+        const int action = static_cast<int>(rng.below(3));
+        if (action == 0) {
+            const bool ins = f.insert(key, key * 7);
+            EXPECT_EQ(ins, oracle.emplace(key, key * 7).second);
+        } else if (action == 1) {
+            const bool erased = f.erase(key);
+            EXPECT_EQ(erased, oracle.erase(key) > 0);
+        } else {
+            const auto v = f.tree->find(key);
+            const auto it = oracle.find(key);
+            EXPECT_EQ(v.has_value(), it != oracle.end());
+            if (v && it != oracle.end()) {
+                EXPECT_EQ(*v, it->second);
+            }
+        }
+        if (step % 250 == 249) {
+            ASSERT_TRUE(f.tree->validate()) << "step " << step;
+            ASSERT_EQ(f.tree->size(), oracle.size());
+        }
+    }
+    // Full scan agrees with the oracle.
+    auto it = oracle.begin();
+    f.tree->scan(0, ~0ull, [&](uint64_t k, uint64_t v) {
+        EXPECT_NE(it, oracle.end());
+        EXPECT_EQ(k, it->first);
+        EXPECT_EQ(v, it->second);
+        ++it;
+        return true;
+    });
+    EXPECT_EQ(it, oracle.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BPlusProperty,
+                         ::testing::Values(3, 7, 11, 19, 42, 1001));
+
+} // namespace
+} // namespace workloads
+} // namespace poat

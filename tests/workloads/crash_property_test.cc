@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Workload-level crash-recovery property tests: a B+ tree driven by
+ * random operations with power failures and random cache-line
+ * evictions injected between (and effectively within, via eviction)
+ * transactions. After every recovery the tree must contain exactly the
+ * committed prefix of operations — nothing torn, nothing lost.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "workloads/bplustree.h"
+
+namespace poat {
+namespace workloads {
+namespace {
+
+class CrashProperty : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(CrashProperty, CommittedOperationsSurviveArbitraryCrashes)
+{
+    Rng rng(GetParam());
+    RuntimeOptions ro;
+    ro.mode = TranslationMode::Software;
+    PmemRuntime rt(ro);
+    const uint32_t pool = rt.poolCreate("crash", 16 << 20);
+    const ObjectID anchor = rt.poolRoot(pool, 16);
+    BPlusTree tree(rt, anchor, [pool](uint64_t) { return pool; });
+
+    // Oracle of *committed* state.
+    std::map<uint64_t, uint64_t> committed;
+
+    for (int step = 0; step < 1200; ++step) {
+        const uint64_t key = 1 + rng.below(300);
+        const bool do_insert = rng.chance(3, 5);
+        {
+            TxScope tx(rt, true);
+            if (do_insert) {
+                if (tree.insert(tx, key, key * 13))
+                    committed.emplace(key, key * 13);
+            } else {
+                if (tree.erase(tx, key))
+                    committed.erase(key);
+            }
+        } // commit point
+
+        // Random cache pressure makes arbitrary subsets of un-flushed
+        // lines durable.
+        if (rng.chance(1, 4)) {
+            rt.registry().get(pool).pool.evictRandomLines(rng, 1, 3);
+        }
+
+        if (rng.chance(1, 20)) {
+            rt.crashAndRecover();
+            // The recovered tree equals the committed oracle exactly.
+            ASSERT_TRUE(tree.validate()) << "step " << step;
+            auto it = committed.begin();
+            uint64_t seen = 0;
+            tree.scan(0, ~0ull, [&](uint64_t k, uint64_t v) {
+                EXPECT_NE(it, committed.end());
+                if (it == committed.end())
+                    return false;
+                EXPECT_EQ(k, it->first) << "step " << step;
+                EXPECT_EQ(v, it->second) << "step " << step;
+                ++it;
+                ++seen;
+                return true;
+            });
+            ASSERT_EQ(seen, committed.size()) << "step " << step;
+            ASSERT_EQ(it, committed.end());
+        }
+    }
+    EXPECT_TRUE(tree.validate());
+    EXPECT_EQ(tree.size(), committed.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashProperty,
+                         ::testing::Values(11, 23, 47, 83));
+
+/** The same property across a pool close/reopen cycle. */
+TEST(CrashProperty, SurvivesCloseReopenAfterCrash)
+{
+    RuntimeOptions ro;
+    PmemRuntime rt(ro);
+    uint32_t pool = rt.poolCreate("cr", 16 << 20);
+    ObjectID anchor = rt.poolRoot(pool, 16);
+    {
+        BPlusTree tree(rt, anchor, [pool](uint64_t) { return pool; });
+        for (uint64_t k = 1; k <= 100; ++k) {
+            TxScope tx(rt, true);
+            tree.insert(tx, k, k + 1000);
+        }
+    }
+    rt.crashAndRecover();
+    rt.poolClose(pool);
+
+    pool = rt.poolOpen("cr");
+    anchor = rt.poolRoot(pool, 16);
+    BPlusTree tree(rt, anchor, [pool](uint64_t) { return pool; });
+    EXPECT_TRUE(tree.validate());
+    EXPECT_EQ(tree.size(), 100u);
+    for (uint64_t k = 1; k <= 100; ++k)
+        ASSERT_EQ(tree.find(k).value(), k + 1000);
+}
+
+} // namespace
+} // namespace workloads
+} // namespace poat

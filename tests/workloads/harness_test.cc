@@ -1,0 +1,134 @@
+/** @file Unit tests for the workload harness (PoolSet/TxScope/etc). */
+#include <gtest/gtest.h>
+
+#include "workloads/harness.h"
+
+namespace poat {
+namespace workloads {
+namespace {
+
+PmemRuntime
+makeRt()
+{
+    RuntimeOptions o;
+    o.mode = TranslationMode::Hardware;
+    return PmemRuntime(o);
+}
+
+TEST(PoolSet, AllPatternUsesOnePool)
+{
+    PmemRuntime rt = makeRt();
+    PoolSet ps(rt, PoolPattern::All, "t");
+    const uint32_t home = ps.homePool();
+    for (uint64_t k = 0; k < 100; ++k)
+        EXPECT_EQ(ps.poolForNew(k), home);
+    EXPECT_EQ(ps.poolsCreated(), 1u);
+}
+
+TEST(PoolSet, RandomPatternUses32PoolsByKeyModulo)
+{
+    PmemRuntime rt = makeRt();
+    PoolSet ps(rt, PoolPattern::Random, "t");
+    EXPECT_EQ(ps.poolsCreated(), PoolSet::kRandomPools + 0u);
+    // Keys congruent mod 32 share a pool; others differ.
+    EXPECT_EQ(ps.poolForNew(5), ps.poolForNew(37));
+    EXPECT_NE(ps.poolForNew(5), ps.poolForNew(6));
+    // No new pools are created on demand.
+    EXPECT_EQ(rt.registry().openCount(), PoolSet::kRandomPools + 0u);
+}
+
+TEST(PoolSet, EachPatternCreatesAFreshPoolPerStructure)
+{
+    PmemRuntime rt = makeRt();
+    PoolSet ps(rt, PoolPattern::Each, "t");
+    const uint32_t a = ps.poolForNew(1);
+    const uint32_t b = ps.poolForNew(1);
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, ps.homePool());
+    EXPECT_EQ(ps.poolsCreated(), 3u); // home + two structures
+}
+
+TEST(TxScope, DisabledScopeIsPassThrough)
+{
+    PmemRuntime rt = makeRt();
+    const uint32_t pool = rt.poolCreate("p", 1 << 20);
+    TxScope tx(rt, false);
+    const ObjectID o = tx.pmalloc(pool, 32);
+    EXPECT_FALSE(rt.txActive());
+    tx.addRange(o, 8); // no-op
+    EXPECT_FALSE(rt.txActive());
+    tx.pfree(o); // immediate free
+    EXPECT_FALSE(rt.registry().get(pool).alloc.isAllocated(o.offset()));
+}
+
+TEST(TxScope, OpensOneTransactionPerTouchedPool)
+{
+    PmemRuntime rt = makeRt();
+    const uint32_t p1 = rt.poolCreate("p1", 1 << 20);
+    const uint32_t p2 = rt.poolCreate("p2", 1 << 20);
+    const ObjectID a = rt.pmalloc(p1, 32);
+    const ObjectID b = rt.pmalloc(p2, 32);
+    {
+        TxScope tx(rt, true);
+        tx.addRange(a, 8);
+        EXPECT_TRUE(rt.txActiveOn(p1));
+        EXPECT_FALSE(rt.txActiveOn(p2));
+        tx.addRange(b, 8);
+        EXPECT_TRUE(rt.txActiveOn(p2));
+    } // destructor commits both
+    EXPECT_FALSE(rt.txActive());
+}
+
+TEST(TxScope, DeferredFreeHappensAtScopeExit)
+{
+    PmemRuntime rt = makeRt();
+    const uint32_t pool = rt.poolCreate("p", 1 << 20);
+    const ObjectID o = rt.pmalloc(pool, 32);
+    {
+        TxScope tx(rt, true);
+        tx.pfree(o);
+        EXPECT_TRUE(
+            rt.registry().get(pool).alloc.isAllocated(o.offset()));
+    }
+    EXPECT_FALSE(rt.registry().get(pool).alloc.isAllocated(o.offset()));
+}
+
+TEST(NodeLogger, LogsEachNodeOnce)
+{
+    CountingTraceSink sink;
+    RuntimeOptions o;
+    o.mode = TranslationMode::Hardware;
+    PmemRuntime rt(o, &sink);
+    const uint32_t pool = rt.poolCreate("p", 1 << 20);
+    const ObjectID node = rt.pmalloc(pool, 64);
+
+    TxScope tx(rt, true);
+    NodeLogger log(tx);
+    log.log(node, 64);
+    const uint64_t after_first = sink.instructions;
+    log.log(node, 64); // duplicate: free
+    log.log(node, 64);
+    EXPECT_EQ(sink.instructions, after_first);
+    EXPECT_EQ(rt.registry().get(pool).log.entryCount(), 1u);
+}
+
+TEST(Harness, PatternNames)
+{
+    EXPECT_STREQ(patternName(PoolPattern::All), "ALL");
+    EXPECT_STREQ(patternName(PoolPattern::Each), "EACH");
+    EXPECT_STREQ(patternName(PoolPattern::Random), "RANDOM");
+}
+
+TEST(Harness, MicrobenchNamesMatchPaperTable5)
+{
+    const auto &names = microbenchNames();
+    ASSERT_EQ(names.size(), 6u);
+    EXPECT_EQ(names[0], "LL");
+    EXPECT_EQ(names[5], "B+T");
+    for (const auto &n : names)
+        EXPECT_NE(makeWorkload(n, {}), nullptr);
+}
+
+} // namespace
+} // namespace workloads
+} // namespace poat

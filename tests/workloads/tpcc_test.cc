@@ -1,0 +1,254 @@
+/** @file Tests for the TPC-C application workload. */
+#include <gtest/gtest.h>
+
+#include "workloads/tpcc/tpcc.h"
+
+namespace poat {
+namespace workloads {
+namespace tpcc {
+namespace {
+
+PmemRuntime
+makeRuntime(TranslationMode mode)
+{
+    RuntimeOptions o;
+    o.mode = mode;
+    o.aslr_seed = 7;
+    return PmemRuntime(o);
+}
+
+TEST(Tpcc, PopulationMatchesScaledCardinalities)
+{
+    PmemRuntime rt = makeRuntime(TranslationMode::Software);
+    TpccDb db(rt, Placement::All, 2, 1); // 2% scale
+    const auto &c = db.cards();
+    EXPECT_EQ(db.tree(kWarehouse).size(), 1u);
+    EXPECT_EQ(db.tree(kDistrict).size(), c.districts);
+    EXPECT_EQ(db.tree(kCustomer).size(),
+              uint64_t(c.districts) * c.customers_per_district);
+    EXPECT_EQ(db.tree(kItem).size(), c.items);
+    EXPECT_EQ(db.tree(kStock).size(), c.stock);
+    // One initial order per customer.
+    EXPECT_EQ(db.tree(kOrder).size(), db.tree(kCustomer).size());
+    // ~30% of initial orders are undelivered.
+    const uint64_t orders = db.tree(kOrder).size();
+    EXPECT_NEAR(double(db.tree(kNewOrder).size()), orders * 0.3,
+                orders * 0.02 + 1);
+    EXPECT_GT(db.tree(kOrderLine).size(), orders * 4);
+    EXPECT_TRUE(db.consistent());
+}
+
+TEST(Tpcc, TransactionsPreserveConsistency)
+{
+    PmemRuntime rt = makeRuntime(TranslationMode::Software);
+    TpccDb db(rt, Placement::All, 2, 3);
+    const TpccResult res = db.run(200);
+    EXPECT_EQ(res.transactions, 200u);
+    EXPECT_GT(res.new_orders, 50u);  // ~45% of 200 less rollbacks
+    EXPECT_GT(res.payments, 50u);    // ~43%
+    EXPECT_GT(res.order_statuses + res.deliveries + res.stock_levels,
+              5u);
+    EXPECT_TRUE(db.consistent());
+}
+
+TEST(Tpcc, NewOrderAdvancesDistrictAndInsertsRows)
+{
+    PmemRuntime rt = makeRuntime(TranslationMode::Software);
+    TpccDb db(rt, Placement::All, 2, 5);
+    const uint64_t orders_before = db.tree(kOrder).size();
+    const uint64_t lines_before = db.tree(kOrderLine).size();
+    TpccResult res;
+    int accepted = 0;
+    for (int i = 0; i < 20; ++i)
+        accepted += db.newOrder(res);
+    EXPECT_EQ(db.tree(kOrder).size(), orders_before + accepted);
+    EXPECT_GT(db.tree(kOrderLine).size(), lines_before + accepted * 4);
+    EXPECT_TRUE(db.consistent());
+}
+
+TEST(Tpcc, DeliveryDrainsNewOrders)
+{
+    PmemRuntime rt = makeRuntime(TranslationMode::Software);
+    TpccDb db(rt, Placement::All, 2, 7);
+    const uint64_t backlog = db.tree(kNewOrder).size();
+    TpccResult res;
+    db.delivery(res);
+    // One NEW-ORDER popped per district with a backlog.
+    EXPECT_EQ(db.tree(kNewOrder).size(),
+              backlog - db.cards().districts);
+    EXPECT_TRUE(db.consistent());
+}
+
+TEST(Tpcc, PaymentMovesMoney)
+{
+    PmemRuntime rt = makeRuntime(TranslationMode::Software);
+    TpccDb db(rt, Placement::All, 2, 9);
+    TpccResult res;
+    db.payment(res);
+    EXPECT_EQ(res.payments, 1u);
+    EXPECT_GT(res.checksum, 0u);
+    EXPECT_EQ(db.tree(kHistory).size(), 1u);
+}
+
+TEST(Tpcc, EachPlacementUsesOnePoolPerTable)
+{
+    PmemRuntime rt = makeRuntime(TranslationMode::Hardware);
+    TpccDb db(rt, Placement::Each, 2, 11);
+    EXPECT_EQ(rt.registry().openCount(), size_t(kTableCount));
+    db.run(50);
+    EXPECT_TRUE(db.consistent());
+}
+
+TEST(Tpcc, ChecksumsMatchAcrossBaseAndOpt)
+{
+    auto run = [](TranslationMode mode, Placement p) {
+        PmemRuntime rt = makeRuntime(mode);
+        TpccWorkload w(p, 2, 13, 150);
+        return w.run(rt);
+    };
+    for (const auto p : {Placement::All, Placement::Each}) {
+        const TpccResult base = run(TranslationMode::Software, p);
+        const TpccResult opt = run(TranslationMode::Hardware, p);
+        EXPECT_EQ(base.checksum, opt.checksum);
+        EXPECT_EQ(base.new_orders, opt.new_orders);
+        EXPECT_EQ(base.rollbacks, opt.rollbacks);
+    }
+}
+
+TEST(Tpcc, CrashAfterRunRecoversConsistent)
+{
+    PmemRuntime rt = makeRuntime(TranslationMode::Software);
+    TpccDb db(rt, Placement::Each, 2, 17);
+    db.run(100);
+    rt.crashAndRecover();
+    EXPECT_TRUE(db.consistent());
+}
+
+TEST(Tpcc, OptExecutesFewerInstructions)
+{
+    auto count = [](TranslationMode mode) {
+        CountingTraceSink sink;
+        RuntimeOptions o;
+        o.mode = mode;
+        o.aslr_seed = 7;
+        PmemRuntime rt(o, &sink);
+        TpccWorkload w(Placement::Each, 2, 19, 100);
+        w.run(rt);
+        return sink.instructions;
+    };
+    const uint64_t base = count(TranslationMode::Software);
+    const uint64_t opt = count(TranslationMode::Hardware);
+    EXPECT_LT(opt, base);
+}
+
+TEST(Tpcc, LastNameFollowsSpecSyllables)
+{
+    EXPECT_EQ(lastNameOf(0), "BARBARBAR");
+    EXPECT_EQ(lastNameOf(371), "PRICALLYOUGHT"); // 3-7-1
+    EXPECT_EQ(lastNameOf(999), "EINGEINGEING");
+    EXPECT_EQ(lastNameOf(123), "OUGHTABLEPRI");
+}
+
+TEST(Tpcc, NameIndexCoversAllCustomers)
+{
+    PmemRuntime rt = makeRuntime(TranslationMode::Software);
+    TpccDb db(rt, Placement::All, 2, 21);
+    EXPECT_EQ(db.tree(kCustomerName).size(), db.tree(kCustomer).size());
+    EXPECT_TRUE(db.tree(kCustomerName).validate());
+}
+
+TEST(Tpcc, NewOrderRollbackLeavesNoTrace)
+{
+    PmemRuntime rt = makeRuntime(TranslationMode::Software);
+    TpccDb db(rt, Placement::All, 2, 23);
+    const uint64_t orders = db.tree(kOrder).size();
+    const uint64_t lines = db.tree(kOrderLine).size();
+    // Run NewOrders until at least one rollback happens (1% each).
+    TpccResult res;
+    int accepted = 0;
+    for (int i = 0; i < 1500 && res.rollbacks == 0; ++i)
+        accepted += db.newOrder(res);
+    ASSERT_GT(res.rollbacks, 0u) << "no rollback in 1500 tries";
+    // Orders/lines grew only by the accepted transactions; the aborted
+    // one left nothing behind (tuples freed, trees restored).
+    EXPECT_EQ(db.tree(kOrder).size(), orders + accepted);
+    EXPECT_GT(db.tree(kOrderLine).size(), lines);
+    EXPECT_TRUE(db.consistent());
+}
+
+TEST(Tpcc, RollbackCountsMatchAcrossTxAndNtx)
+{
+    // The reject-first (NTX) and abort (TX) paths must agree on which
+    // transactions roll back and on the final logical state.
+    auto run = [](bool tx) {
+        PmemRuntime rt = makeRuntime(TranslationMode::Software);
+        TpccWorkload w(Placement::All, 2, 29, 400, tx);
+        return w.run(rt);
+    };
+    const TpccResult with_tx = run(true);
+    const TpccResult without = run(false);
+    EXPECT_EQ(with_tx.rollbacks, without.rollbacks);
+    EXPECT_EQ(with_tx.new_orders, without.new_orders);
+    EXPECT_EQ(with_tx.checksum, without.checksum);
+}
+
+TEST(TpccMultiWarehouse, PopulatesEveryWarehouse)
+{
+    PmemRuntime rt = makeRuntime(TranslationMode::Software);
+    TpccDb db(rt, Placement::All, 2, 31, true, /*warehouses=*/3);
+    const auto &c = db.cards();
+    EXPECT_EQ(db.tree(kWarehouse).size(), 3u);
+    EXPECT_EQ(db.tree(kDistrict).size(), 3u * c.districts);
+    EXPECT_EQ(db.tree(kCustomer).size(),
+              3ull * c.districts * c.customers_per_district);
+    EXPECT_EQ(db.tree(kStock).size(), 3ull * c.stock);
+    EXPECT_EQ(db.tree(kItem).size(), c.items); // items are shared
+    EXPECT_TRUE(db.consistent());
+}
+
+TEST(TpccMultiWarehouse, PerWarehousePlacementCreatesPoolGrid)
+{
+    PmemRuntime rt = makeRuntime(TranslationMode::Hardware);
+    TpccDb db(rt, Placement::PerWarehouse, 2, 33, true, 2);
+    EXPECT_EQ(rt.registry().openCount(), 2u * kTableCount);
+    const auto res = db.run(100);
+    EXPECT_GT(res.new_orders, 20u);
+    EXPECT_TRUE(db.consistent());
+}
+
+TEST(TpccMultiWarehouse, RemoteTransactionsHappen)
+{
+    PmemRuntime rt = makeRuntime(TranslationMode::Software);
+    TpccDb db(rt, Placement::All, 2, 35, true, 4);
+    const auto res = db.run(400);
+    // ~15% of payments are remote plus ~1% of order lines: with ~170
+    // payments expect a couple dozen remote touches.
+    EXPECT_GT(res.remote_touches, 5u);
+    EXPECT_TRUE(db.consistent());
+}
+
+TEST(TpccMultiWarehouse, SingleWarehouseHasNoRemoteTouches)
+{
+    PmemRuntime rt = makeRuntime(TranslationMode::Software);
+    TpccDb db(rt, Placement::All, 2, 37, true, 1);
+    const auto res = db.run(200);
+    EXPECT_EQ(res.remote_touches, 0u);
+}
+
+TEST(TpccMultiWarehouse, ChecksumsMatchAcrossModes)
+{
+    auto run = [](TranslationMode mode) {
+        PmemRuntime rt = makeRuntime(mode);
+        TpccWorkload w(Placement::PerWarehouse, 2, 39, 150, true, 2);
+        return w.run(rt);
+    };
+    const TpccResult base = run(TranslationMode::Software);
+    const TpccResult opt = run(TranslationMode::Hardware);
+    EXPECT_EQ(base.checksum, opt.checksum);
+    EXPECT_EQ(base.remote_touches, opt.remote_touches);
+}
+
+} // namespace
+} // namespace tpcc
+} // namespace workloads
+} // namespace poat

@@ -1,0 +1,191 @@
+/** @file Cross-configuration tests for the six microbenchmarks. */
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+#include "workloads/bplustree.h"
+#include "workloads/workloads.h"
+
+namespace poat {
+namespace workloads {
+namespace {
+
+WorkloadResult
+runOnce(const std::string &abbr, PoolPattern pattern, bool tx,
+        TranslationMode mode, uint32_t scale_pct = 10,
+        TraceSink *sink = nullptr)
+{
+    WorkloadConfig wc;
+    wc.pattern = pattern;
+    wc.transactions = tx;
+    wc.seed = 42;
+    wc.scale_pct = scale_pct;
+    RuntimeOptions ro;
+    ro.mode = mode;
+    ro.durability = tx;
+    ro.aslr_seed = 7;
+    PmemRuntime rt(ro, sink);
+    return makeWorkload(abbr, wc)->run(rt);
+}
+
+/** Every (workload, pattern) must produce identical results in all
+ *  four Table 7 configurations: BASE, OPT, BASE_NTX, OPT_NTX. */
+class CrossConfig
+    : public ::testing::TestWithParam<std::tuple<std::string, PoolPattern>>
+{
+};
+
+TEST_P(CrossConfig, ChecksumInvariantAcrossConfigurations)
+{
+    const auto [abbr, pattern] = GetParam();
+    const WorkloadResult base =
+        runOnce(abbr, pattern, true, TranslationMode::Software);
+    const WorkloadResult opt =
+        runOnce(abbr, pattern, true, TranslationMode::Hardware);
+    const WorkloadResult base_ntx =
+        runOnce(abbr, pattern, false, TranslationMode::Software);
+    const WorkloadResult opt_ntx =
+        runOnce(abbr, pattern, false, TranslationMode::Hardware);
+
+    EXPECT_GT(base.operations, 0u);
+    EXPECT_EQ(base.checksum, opt.checksum);
+    EXPECT_EQ(base.checksum, base_ntx.checksum);
+    EXPECT_EQ(base.checksum, opt_ntx.checksum);
+    EXPECT_EQ(base.found, opt.found);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchesAllPatterns, CrossConfig,
+    ::testing::Combine(::testing::Values("LL", "BST", "SPS", "RBT", "BT",
+                                         "B+T"),
+                       ::testing::Values(PoolPattern::All,
+                                         PoolPattern::Each,
+                                         PoolPattern::Random)),
+    [](const auto &info) {
+        std::string n = std::get<0>(info.param);
+        if (n == "B+T")
+            n = "BpT";
+        return n + "_" + patternName(std::get<1>(info.param));
+    });
+
+TEST(Workloads, SameSeedIsDeterministic)
+{
+    for (const auto &abbr : microbenchNames()) {
+        const auto a = runOnce(abbr, PoolPattern::All, true,
+                               TranslationMode::Software);
+        const auto b = runOnce(abbr, PoolPattern::All, true,
+                               TranslationMode::Software);
+        EXPECT_EQ(a.checksum, b.checksum) << abbr;
+    }
+}
+
+TEST(Workloads, OperationsFollowPaperCounts)
+{
+    // At scale 100 the op counts are the paper's Table 5 numbers.
+    EXPECT_EQ(runOnce("LL", PoolPattern::All, false,
+                      TranslationMode::Hardware, 100)
+                  .operations,
+              700u);
+    EXPECT_EQ(runOnce("RBT", PoolPattern::All, false,
+                      TranslationMode::Hardware, 20)
+                  .operations,
+              600u); // 3000 * 20%
+}
+
+TEST(Workloads, BaseEmitsNoNvInstructions)
+{
+    CountingTraceSink sink;
+    runOnce("BST", PoolPattern::Random, true, TranslationMode::Software,
+            5, &sink);
+    EXPECT_EQ(sink.nvLoads + sink.nvStores, 0u);
+    EXPECT_GT(sink.loads, 0u);
+}
+
+TEST(Workloads, OptEmitsNvInsteadOfTranslatedAccesses)
+{
+    CountingTraceSink base, opt;
+    runOnce("BST", PoolPattern::Random, true, TranslationMode::Software,
+            5, &base);
+    runOnce("BST", PoolPattern::Random, true, TranslationMode::Hardware,
+            5, &opt);
+    EXPECT_GT(opt.nvLoads, 0u);
+    EXPECT_GT(opt.nvStores, 0u);
+    // Hardware translation removes the oid_direct expansions: the OPT
+    // run must execute substantially fewer dynamic instructions.
+    EXPECT_LT(opt.instructions, base.instructions * 85 / 100);
+}
+
+TEST(Workloads, NtxEmitsNoFlushes)
+{
+    CountingTraceSink sink;
+    runOnce("LL", PoolPattern::All, false, TranslationMode::Hardware, 20,
+            &sink);
+    EXPECT_EQ(sink.clwbs, 0u);
+    EXPECT_EQ(sink.fences, 0u);
+}
+
+TEST(Workloads, TxEmitsFlushesAndFences)
+{
+    CountingTraceSink sink;
+    runOnce("LL", PoolPattern::All, true, TranslationMode::Hardware, 20,
+            &sink);
+    EXPECT_GT(sink.clwbs, 0u);
+    EXPECT_GT(sink.fences, 0u);
+}
+
+TEST(Workloads, EachPatternCreatesManyPools)
+{
+    RuntimeOptions ro;
+    ro.mode = TranslationMode::Hardware;
+    PmemRuntime rt(ro);
+    WorkloadConfig wc;
+    wc.pattern = PoolPattern::Each;
+    wc.scale_pct = 10;
+    LinkedListWorkload(wc).run(rt);
+    EXPECT_GT(rt.registry().openCount(), 20u);
+
+    PmemRuntime rt2(ro);
+    wc.pattern = PoolPattern::Random;
+    LinkedListWorkload(wc).run(rt2);
+    EXPECT_EQ(rt2.registry().openCount(), PoolSet::kRandomPools + 0u);
+}
+
+TEST(Workloads, FullRunUnderSimulationEndToEnd)
+{
+    // A small LL run on the full machine: sanity metrics only.
+    sim::MachineConfig mc;
+    mc.core = sim::CoreType::InOrder;
+    sim::Machine machine(mc);
+    const auto res = runOnce("LL", PoolPattern::Random, true,
+                             TranslationMode::Hardware, 10, &machine);
+    EXPECT_GT(res.operations, 0u);
+    const auto met = machine.metrics();
+    EXPECT_GT(met.cycles, met.instructions / 4);
+    EXPECT_GT(met.nv_loads, 0u);
+    EXPECT_GT(met.polb_hits, 0u);
+}
+
+/** Crash-recovery: a workload interrupted mid-run recovers to a state
+ *  where all structural invariants hold. */
+TEST(Workloads, CrashMidRunRecoversConsistently)
+{
+    RuntimeOptions ro;
+    ro.mode = TranslationMode::Software;
+    PmemRuntime rt(ro);
+    WorkloadConfig wc;
+    wc.pattern = PoolPattern::Random;
+    wc.scale_pct = 4;
+    // Run the B+T workload fully (its final validate() must pass), then
+    // crash and validate the recovered image still passes.
+    BplusWorkload(wc).run(rt);
+    rt.crashAndRecover();
+    // Re-attach a tree over the recovered anchor and validate.
+    const uint32_t home = 1; // first pool created by PoolSet(Random)
+    const ObjectID anchor = rt.poolRoot(home, 16);
+    BPlusTree tree(rt, anchor, [home](uint64_t) { return home; });
+    EXPECT_TRUE(tree.validate());
+    EXPECT_GT(tree.size(), 0u);
+}
+
+} // namespace
+} // namespace workloads
+} // namespace poat
