@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_base_predictor.dir/ablation_base_predictor.cc.o"
+  "CMakeFiles/ablation_base_predictor.dir/ablation_base_predictor.cc.o.d"
+  "ablation_base_predictor"
+  "ablation_base_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_base_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_polb_hit.dir/ablation_polb_hit.cc.o"
+  "CMakeFiles/ablation_polb_hit.dir/ablation_polb_hit.cc.o.d"
+  "ablation_polb_hit"
+  "ablation_polb_hit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_polb_hit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

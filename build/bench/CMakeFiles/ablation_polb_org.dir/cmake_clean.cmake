@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_polb_org.dir/ablation_polb_org.cc.o"
+  "CMakeFiles/ablation_polb_org.dir/ablation_polb_org.cc.o.d"
+  "ablation_polb_org"
+  "ablation_polb_org.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_polb_org.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

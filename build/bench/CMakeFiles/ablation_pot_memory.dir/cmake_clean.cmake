@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pot_memory.dir/ablation_pot_memory.cc.o"
+  "CMakeFiles/ablation_pot_memory.dir/ablation_pot_memory.cc.o.d"
+  "ablation_pot_memory"
+  "ablation_pot_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pot_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

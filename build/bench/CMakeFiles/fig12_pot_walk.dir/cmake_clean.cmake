@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_pot_walk.dir/fig12_pot_walk.cc.o"
+  "CMakeFiles/fig12_pot_walk.dir/fig12_pot_walk.cc.o.d"
+  "fig12_pot_walk"
+  "fig12_pot_walk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_pot_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

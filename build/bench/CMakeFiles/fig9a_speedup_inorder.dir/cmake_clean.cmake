@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9a_speedup_inorder.dir/fig9a_speedup_inorder.cc.o"
+  "CMakeFiles/fig9a_speedup_inorder.dir/fig9a_speedup_inorder.cc.o.d"
+  "fig9a_speedup_inorder"
+  "fig9a_speedup_inorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9a_speedup_inorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9b_speedup_ooo.dir/fig9b_speedup_ooo.cc.o"
+  "CMakeFiles/fig9b_speedup_ooo.dir/fig9b_speedup_ooo.cc.o.d"
+  "fig9b_speedup_ooo"
+  "fig9b_speedup_ooo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9b_speedup_ooo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

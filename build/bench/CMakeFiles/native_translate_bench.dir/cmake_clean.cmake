@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_translate_bench.dir/native_translate_bench.cc.o"
+  "CMakeFiles/native_translate_bench.dir/native_translate_bench.cc.o.d"
+  "native_translate_bench"
+  "native_translate_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_translate_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_polb_missrate.dir/table8_polb_missrate.cc.o"
+  "CMakeFiles/table8_polb_missrate.dir/table8_polb_missrate.cc.o.d"
+  "table8_polb_missrate"
+  "table8_polb_missrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_polb_missrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

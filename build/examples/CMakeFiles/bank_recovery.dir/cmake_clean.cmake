@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_recovery.dir/bank_recovery.cpp.o"
+  "CMakeFiles/bank_recovery.dir/bank_recovery.cpp.o.d"
+  "bank_recovery"
+  "bank_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poat_common.dir/stats.cc.o"
+  "CMakeFiles/poat_common.dir/stats.cc.o.d"
+  "libpoat_common.a"
+  "libpoat_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poat_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poat_driver.dir/experiment.cc.o"
+  "CMakeFiles/poat_driver.dir/experiment.cc.o.d"
+  "libpoat_driver.a"
+  "libpoat_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poat_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

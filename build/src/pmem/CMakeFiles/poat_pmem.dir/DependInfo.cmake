@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmem/alloc.cc" "src/pmem/CMakeFiles/poat_pmem.dir/alloc.cc.o" "gcc" "src/pmem/CMakeFiles/poat_pmem.dir/alloc.cc.o.d"
+  "/root/repo/src/pmem/pool.cc" "src/pmem/CMakeFiles/poat_pmem.dir/pool.cc.o" "gcc" "src/pmem/CMakeFiles/poat_pmem.dir/pool.cc.o.d"
+  "/root/repo/src/pmem/registry.cc" "src/pmem/CMakeFiles/poat_pmem.dir/registry.cc.o" "gcc" "src/pmem/CMakeFiles/poat_pmem.dir/registry.cc.o.d"
+  "/root/repo/src/pmem/runtime.cc" "src/pmem/CMakeFiles/poat_pmem.dir/runtime.cc.o" "gcc" "src/pmem/CMakeFiles/poat_pmem.dir/runtime.cc.o.d"
+  "/root/repo/src/pmem/translate.cc" "src/pmem/CMakeFiles/poat_pmem.dir/translate.cc.o" "gcc" "src/pmem/CMakeFiles/poat_pmem.dir/translate.cc.o.d"
+  "/root/repo/src/pmem/tx.cc" "src/pmem/CMakeFiles/poat_pmem.dir/tx.cc.o" "gcc" "src/pmem/CMakeFiles/poat_pmem.dir/tx.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/poat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

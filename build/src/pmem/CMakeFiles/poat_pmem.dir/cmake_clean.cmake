@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poat_pmem.dir/alloc.cc.o"
+  "CMakeFiles/poat_pmem.dir/alloc.cc.o.d"
+  "CMakeFiles/poat_pmem.dir/pool.cc.o"
+  "CMakeFiles/poat_pmem.dir/pool.cc.o.d"
+  "CMakeFiles/poat_pmem.dir/registry.cc.o"
+  "CMakeFiles/poat_pmem.dir/registry.cc.o.d"
+  "CMakeFiles/poat_pmem.dir/runtime.cc.o"
+  "CMakeFiles/poat_pmem.dir/runtime.cc.o.d"
+  "CMakeFiles/poat_pmem.dir/translate.cc.o"
+  "CMakeFiles/poat_pmem.dir/translate.cc.o.d"
+  "CMakeFiles/poat_pmem.dir/tx.cc.o"
+  "CMakeFiles/poat_pmem.dir/tx.cc.o.d"
+  "libpoat_pmem.a"
+  "libpoat_pmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poat_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poat_sim.dir/cache.cc.o"
+  "CMakeFiles/poat_sim.dir/cache.cc.o.d"
+  "CMakeFiles/poat_sim.dir/machine.cc.o"
+  "CMakeFiles/poat_sim.dir/machine.cc.o.d"
+  "libpoat_sim.a"
+  "libpoat_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poat_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

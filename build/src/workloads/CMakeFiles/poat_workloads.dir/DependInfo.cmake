@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bplus.cc" "src/workloads/CMakeFiles/poat_workloads.dir/bplus.cc.o" "gcc" "src/workloads/CMakeFiles/poat_workloads.dir/bplus.cc.o.d"
+  "/root/repo/src/workloads/bplustree.cc" "src/workloads/CMakeFiles/poat_workloads.dir/bplustree.cc.o" "gcc" "src/workloads/CMakeFiles/poat_workloads.dir/bplustree.cc.o.d"
+  "/root/repo/src/workloads/bst.cc" "src/workloads/CMakeFiles/poat_workloads.dir/bst.cc.o" "gcc" "src/workloads/CMakeFiles/poat_workloads.dir/bst.cc.o.d"
+  "/root/repo/src/workloads/btree.cc" "src/workloads/CMakeFiles/poat_workloads.dir/btree.cc.o" "gcc" "src/workloads/CMakeFiles/poat_workloads.dir/btree.cc.o.d"
+  "/root/repo/src/workloads/harness.cc" "src/workloads/CMakeFiles/poat_workloads.dir/harness.cc.o" "gcc" "src/workloads/CMakeFiles/poat_workloads.dir/harness.cc.o.d"
+  "/root/repo/src/workloads/list.cc" "src/workloads/CMakeFiles/poat_workloads.dir/list.cc.o" "gcc" "src/workloads/CMakeFiles/poat_workloads.dir/list.cc.o.d"
+  "/root/repo/src/workloads/rbtree.cc" "src/workloads/CMakeFiles/poat_workloads.dir/rbtree.cc.o" "gcc" "src/workloads/CMakeFiles/poat_workloads.dir/rbtree.cc.o.d"
+  "/root/repo/src/workloads/sps.cc" "src/workloads/CMakeFiles/poat_workloads.dir/sps.cc.o" "gcc" "src/workloads/CMakeFiles/poat_workloads.dir/sps.cc.o.d"
+  "/root/repo/src/workloads/tpcc/tpcc.cc" "src/workloads/CMakeFiles/poat_workloads.dir/tpcc/tpcc.cc.o" "gcc" "src/workloads/CMakeFiles/poat_workloads.dir/tpcc/tpcc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pmem/CMakeFiles/poat_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/poat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poat_workloads.dir/bplus.cc.o"
+  "CMakeFiles/poat_workloads.dir/bplus.cc.o.d"
+  "CMakeFiles/poat_workloads.dir/bplustree.cc.o"
+  "CMakeFiles/poat_workloads.dir/bplustree.cc.o.d"
+  "CMakeFiles/poat_workloads.dir/bst.cc.o"
+  "CMakeFiles/poat_workloads.dir/bst.cc.o.d"
+  "CMakeFiles/poat_workloads.dir/btree.cc.o"
+  "CMakeFiles/poat_workloads.dir/btree.cc.o.d"
+  "CMakeFiles/poat_workloads.dir/harness.cc.o"
+  "CMakeFiles/poat_workloads.dir/harness.cc.o.d"
+  "CMakeFiles/poat_workloads.dir/list.cc.o"
+  "CMakeFiles/poat_workloads.dir/list.cc.o.d"
+  "CMakeFiles/poat_workloads.dir/rbtree.cc.o"
+  "CMakeFiles/poat_workloads.dir/rbtree.cc.o.d"
+  "CMakeFiles/poat_workloads.dir/sps.cc.o"
+  "CMakeFiles/poat_workloads.dir/sps.cc.o.d"
+  "CMakeFiles/poat_workloads.dir/tpcc/tpcc.cc.o"
+  "CMakeFiles/poat_workloads.dir/tpcc/tpcc.cc.o.d"
+  "libpoat_workloads.a"
+  "libpoat_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poat_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bplustree_test.dir/workloads/bplustree_test.cc.o"
+  "CMakeFiles/bplustree_test.dir/workloads/bplustree_test.cc.o.d"
+  "bplustree_test"
+  "bplustree_test.pdb"
+  "bplustree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bplustree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_property_test.dir/workloads/crash_property_test.cc.o"
+  "CMakeFiles/crash_property_test.dir/workloads/crash_property_test.cc.o.d"
+  "crash_property_test"
+  "crash_property_test.pdb"
+  "crash_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

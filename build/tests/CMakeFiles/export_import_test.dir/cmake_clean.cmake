@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_import_test.dir/pmem/export_import_test.cc.o"
+  "CMakeFiles/export_import_test.dir/pmem/export_import_test.cc.o.d"
+  "export_import_test"
+  "export_import_test.pdb"
+  "export_import_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_import_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

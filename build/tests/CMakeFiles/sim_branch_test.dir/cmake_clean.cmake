@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_branch_test.dir/sim/branch_test.cc.o"
+  "CMakeFiles/sim_branch_test.dir/sim/branch_test.cc.o.d"
+  "sim_branch_test"
+  "sim_branch_test.pdb"
+  "sim_branch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_branch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_polb_test.dir/sim/polb_test.cc.o"
+  "CMakeFiles/sim_polb_test.dir/sim/polb_test.cc.o.d"
+  "sim_polb_test"
+  "sim_polb_test.pdb"
+  "sim_polb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_polb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_pot_test.dir/sim/pot_test.cc.o"
+  "CMakeFiles/sim_pot_test.dir/sim/pot_test.cc.o.d"
+  "sim_pot_test"
+  "sim_pot_test.pdb"
+  "sim_pot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_pot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/oid_test[1]_include.cmake")
+include("/root/repo/build/tests/pool_test[1]_include.cmake")
+include("/root/repo/build/tests/alloc_test[1]_include.cmake")
+include("/root/repo/build/tests/tx_test[1]_include.cmake")
+include("/root/repo/build/tests/translate_test[1]_include.cmake")
+include("/root/repo/build/tests/registry_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_vm_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_polb_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_pot_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_branch_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_core_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_machine_test[1]_include.cmake")
+include("/root/repo/build/tests/bplustree_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/tpcc_test[1]_include.cmake")
+include("/root/repo/build/tests/experiment_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/addrspace_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/export_import_test[1]_include.cmake")
+include("/root/repo/build/tests/crash_property_test[1]_include.cmake")
+include("/root/repo/build/tests/contract_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pool_inspect.dir/pool_inspect.cc.o"
+  "CMakeFiles/pool_inspect.dir/pool_inspect.cc.o.d"
+  "pool_inspect"
+  "pool_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pool_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
