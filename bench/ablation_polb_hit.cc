@@ -22,6 +22,7 @@ int
 main(int argc, char **argv)
 {
     const BenchArgs args = BenchArgs::parse(argc, argv);
+    JsonReport report("ablation_polb_hit", args);
 
     for (const auto &[pattern, pname] :
          {std::pair{workloads::PoolPattern::Random, "RANDOM"},
@@ -32,6 +33,7 @@ main(int argc, char **argv)
         std::printf("%-5s %9s %8s %8s %8s %10s\n", "Bench", "charge=0",
                     "1", "2", "3", "Parallel");
         hr(80);
+        std::vector<double> by_charge[4], par_v;
         for (const auto &wl : workloads::microbenchNames()) {
             const auto base =
                 runExperiment(microBase(args, wl, pattern));
@@ -42,13 +44,24 @@ main(int argc, char **argv)
                 const auto opt = runExperiment(cfg);
                 std::printf(" %7.2fx", speedup(base, opt));
                 std::fflush(stdout);
+                by_charge[charge].push_back(speedup(base, opt));
             }
             const auto par = runExperiment(asOpt(
                 microBase(args, wl, pattern), sim::PolbDesign::Parallel));
             std::printf("  %8.2fx\n", speedup(base, par));
+            par_v.push_back(speedup(base, par));
         }
         hr(80);
         std::printf("\n");
+        for (uint32_t charge = 0; charge <= 3; ++charge) {
+            report.metric("speedup_geomean_" + std::string(pname) +
+                              "_charge" + std::to_string(charge),
+                          driver::geomean(by_charge[charge]));
+        }
+        report.metric("speedup_geomean_" + std::string(pname) +
+                          "_parallel",
+                      driver::geomean(par_v));
     }
+    report.write();
     return 0;
 }

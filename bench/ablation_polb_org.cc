@@ -18,6 +18,7 @@ int
 main(int argc, char **argv)
 {
     const BenchArgs args = BenchArgs::parse(argc, argv);
+    JsonReport report("ablation_polb_org", args);
 
     std::printf("Ablation: POLB associativity "
                 "(32 entries, EACH pattern, in-order, Pipelined)\n");
@@ -25,11 +26,13 @@ main(int argc, char **argv)
     std::printf("%-5s %8s %8s %8s %8s %8s   (speedup | miss rate)\n",
                 "Bench", "1-way", "2-way", "4-way", "8-way", "full");
     hr(86);
+    std::vector<double> by_assoc[5];
     for (const auto &wl : workloads::microbenchNames()) {
         const auto base = runExperiment(
             microBase(args, wl, workloads::PoolPattern::Each));
         std::printf("%-5s", wl.c_str());
         std::string miss_row = "     ";
+        int ai = 0;
         for (const uint32_t assoc : {1u, 2u, 4u, 8u, 0u}) {
             auto cfg = asOpt(
                 microBase(args, wl, workloads::PoolPattern::Each));
@@ -41,10 +44,17 @@ main(int argc, char **argv)
                           100.0 * opt.metrics.polbMissRate());
             miss_row += buf;
             std::fflush(stdout);
+            by_assoc[ai++].push_back(speedup(base, opt));
         }
         std::printf("\n%s\n", miss_row.c_str());
     }
     hr(86);
+    const char *assoc_names[5] = {"1way", "2way", "4way", "8way", "full"};
+    for (int ai = 0; ai < 5; ++ai) {
+        report.metric("speedup_geomean_assoc_" +
+                          std::string(assoc_names[ai]),
+                      driver::geomean(by_assoc[ai]));
+    }
 
     std::printf("\nAblation: POLB replacement policy "
                 "(full associativity, EACH)\n");
@@ -52,10 +62,12 @@ main(int argc, char **argv)
     std::printf("%-5s %10s %10s %10s\n", "Bench", "LRU", "FIFO",
                 "Random");
     hr(60);
+    std::vector<double> by_repl[3];
     for (const auto &wl : workloads::microbenchNames()) {
         const auto base = runExperiment(
             microBase(args, wl, workloads::PoolPattern::Each));
         std::printf("%-5s", wl.c_str());
+        int ri = 0;
         for (const auto repl :
              {sim::PolbReplacement::Lru, sim::PolbReplacement::Fifo,
               sim::PolbReplacement::Random}) {
@@ -65,12 +77,20 @@ main(int argc, char **argv)
             const auto opt = runExperiment(cfg);
             std::printf(" %9.2fx", speedup(base, opt));
             std::fflush(stdout);
+            by_repl[ri++].push_back(speedup(base, opt));
         }
         std::printf("\n");
     }
     hr(60);
+    const char *repl_names[3] = {"lru", "fifo", "random"};
+    for (int ri = 0; ri < 3; ++ri) {
+        report.metric("speedup_geomean_repl_" +
+                          std::string(repl_names[ri]),
+                      driver::geomean(by_repl[ri]));
+    }
     std::printf("takeaway: at 32 entries the POLB tolerates modest "
                 "associativity, so a CAM is a convenience rather than a "
                 "requirement; replacement policy is second-order\n");
+    report.write();
     return 0;
 }

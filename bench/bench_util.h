@@ -1,29 +1,54 @@
 /**
  * @file
  * Shared plumbing for the paper-reproduction bench binaries: argument
- * parsing (--quick / --scale=N / --txns=N), configuration builders, and
- * fixed-width table printing that mirrors the paper's rows.
+ * parsing (--quick / --scale=N / --txns=N / --stats-json=F / --trace=F),
+ * configuration builders, fixed-width table printing that mirrors the
+ * paper's rows, and the machine-readable JSON report every binary can
+ * emit (docs/OBSERVABILITY.md documents the schema).
  */
 #ifndef POAT_BENCH_BENCH_UTIL_H
 #define POAT_BENCH_BENCH_UTIL_H
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/logging.h"
+#include "common/trace_event.h"
 #include "driver/experiment.h"
 
 namespace poat {
 namespace bench {
 
-/** Run sizing shared by all bench binaries. */
+/** Run sizing and output options shared by all bench binaries. */
 struct BenchArgs
 {
     uint32_t scale_pct = 100;     ///< microbenchmark op-count scale
     uint32_t tpcc_scale_pct = 10; ///< TPC-C cardinality scale
     uint64_t tpcc_txns = 1000;
     bool include_tpcc = true;
+    bool quick = false;
+    std::string stats_json; ///< write a JSON report here (empty = off)
+    std::string trace;      ///< write a poat-trace v1 file here
+
+    static void
+    usage()
+    {
+        std::printf("options:\n"
+                    "  --quick           CI-sized runs (~10x faster)\n"
+                    "  --scale=N         microbenchmark op-count %%\n"
+                    "  --tpcc-scale=N    TPC-C cardinality %%\n"
+                    "  --txns=N          TPC-C transaction count\n"
+                    "  --no-tpcc         skip TPC-C rows\n"
+                    "  --stats-json=FILE write a JSON stats report\n"
+                    "  --trace=FILE      write a poat-trace v1 event "
+                    "trace\n"
+                    "                    (convert: tools/trace_convert)\n");
+    }
 
     static BenchArgs
     parse(int argc, char **argv)
@@ -33,6 +58,7 @@ struct BenchArgs
             const std::string s = argv[i];
             if (s == "--quick") {
                 // CI-sized runs: same shapes, ~10x faster.
+                a.quick = true;
                 a.scale_pct = 20;
                 a.tpcc_scale_pct = 2;
                 a.tpcc_txns = 150;
@@ -44,14 +70,221 @@ struct BenchArgs
                 a.tpcc_txns = std::stoull(s.substr(7));
             } else if (s == "--no-tpcc") {
                 a.include_tpcc = false;
+            } else if (s.rfind("--stats-json=", 0) == 0) {
+                a.stats_json = s.substr(13);
+            } else if (s.rfind("--trace=", 0) == 0) {
+                a.trace = s.substr(8);
             } else if (s == "--help") {
-                std::printf("options: --quick --scale=N "
-                            "--tpcc-scale=N --txns=N --no-tpcc\n");
+                usage();
                 std::exit(0);
+            } else {
+                std::fprintf(stderr, "unknown argument: %s\n",
+                             s.c_str());
+                usage();
+                POAT_FATAL("unrecognized bench argument");
             }
         }
         return a;
     }
+};
+
+/** Minimal JSON string escaping for labels and file names. */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20)
+            out += ' ';
+        else
+            out += c;
+    }
+    return out;
+}
+
+/**
+ * Machine-readable results for one bench binary.
+ *
+ * Construction installs a driver-level observer (when --stats-json is
+ * given) that records every runExperiment() call — label, config
+ * summary, headline numbers, and the run's full hierarchical stats —
+ * and a process-wide EventTracer (when --trace is given). write()
+ * emits the report and the serialized trace; benches add their
+ * headline metrics (speedup geomeans etc.) via metric() first.
+ */
+class JsonReport
+{
+  public:
+    JsonReport(std::string bench_name, const BenchArgs &args)
+        : name_(std::move(bench_name)), args_(args)
+    {
+        if (!args_.stats_json.empty()) {
+            driver::setExperimentObserver(
+                [this](const driver::ExperimentConfig &cfg,
+                       const driver::ExperimentResult &res) {
+                    record(cfg, res);
+                });
+        }
+        if (!args_.trace.empty()) {
+            tracer_ = std::make_unique<EventTracer>();
+            driver::setDefaultTracer(tracer_.get());
+        }
+    }
+
+    ~JsonReport()
+    {
+        write();
+        if (!args_.stats_json.empty())
+            driver::setExperimentObserver(nullptr);
+        if (tracer_)
+            driver::setDefaultTracer(nullptr);
+    }
+
+    JsonReport(const JsonReport &) = delete;
+    JsonReport &operator=(const JsonReport &) = delete;
+
+    /** Add one named headline metric to the report's summary block. */
+    void
+    metric(const std::string &name, double value)
+    {
+        metrics_.emplace_back(name, value);
+    }
+
+    /** The tracer runs record into (null unless --trace was given). */
+    EventTracer *tracer() { return tracer_.get(); }
+
+    /** Emit the JSON report and the trace file (once; idempotent). */
+    void
+    write()
+    {
+        if (written_)
+            return;
+        written_ = true;
+        if (!args_.stats_json.empty())
+            writeStats();
+        if (tracer_)
+            writeTrace();
+    }
+
+  private:
+    struct Run
+    {
+        std::string label;
+        std::string config; ///< pre-rendered JSON object
+        uint64_t cycles;
+        uint64_t instructions;
+        double ipc;
+        StatsRegistry stats;
+    };
+
+    void
+    record(const driver::ExperimentConfig &cfg,
+           const driver::ExperimentResult &res)
+    {
+        Run r;
+        r.label = driver::configLabel(cfg);
+        r.config = configJson(cfg);
+        r.cycles = res.metrics.cycles;
+        r.instructions = res.metrics.instructions;
+        r.ipc = res.metrics.ipc();
+        r.stats = res.stats;
+        runs_.push_back(std::move(r));
+    }
+
+    static std::string
+    configJson(const driver::ExperimentConfig &cfg)
+    {
+        std::string s = "{";
+        s += "\"workload\": \"" + jsonEscape(cfg.workload) + "\"";
+        s += ", \"mode\": \"";
+        s += cfg.mode == TranslationMode::Software ? "software"
+                                                   : "hardware";
+        s += "\", \"core\": \"";
+        s += cfg.machine.core == sim::CoreType::InOrder ? "inorder"
+                                                        : "ooo";
+        s += "\", \"polb_design\": \"";
+        s += cfg.machine.polb_design == sim::PolbDesign::Pipelined
+            ? "pipelined"
+            : "parallel";
+        s += "\", \"polb_entries\": " +
+            std::to_string(cfg.machine.polb_entries);
+        s += ", \"ideal_translation\": ";
+        s += cfg.machine.ideal_translation ? "true" : "false";
+        s += ", \"transactions\": ";
+        s += cfg.transactions ? "true" : "false";
+        s += ", \"scale_pct\": " + std::to_string(cfg.scale_pct);
+        s += ", \"seed\": " + std::to_string(cfg.seed);
+        s += "}";
+        return s;
+    }
+
+    void
+    writeStats()
+    {
+        std::ofstream os(args_.stats_json);
+        if (!os) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         args_.stats_json.c_str());
+            POAT_FATAL("cannot open --stats-json output file");
+        }
+        os << "{\n  \"bench\": \"" << jsonEscape(name_) << "\",\n";
+        os << "  \"quick\": " << (args_.quick ? "true" : "false")
+           << ",\n";
+        os << "  \"scale_pct\": " << args_.scale_pct << ",\n";
+        os << "  \"tpcc_scale_pct\": " << args_.tpcc_scale_pct << ",\n";
+        os << "  \"tpcc_txns\": " << args_.tpcc_txns << ",\n";
+        os << "  \"runs\": [";
+        for (size_t i = 0; i < runs_.size(); ++i) {
+            const Run &r = runs_[i];
+            os << (i ? ",\n" : "\n") << "    {\n";
+            os << "      \"label\": \"" << jsonEscape(r.label)
+               << "\",\n";
+            os << "      \"config\": " << r.config << ",\n";
+            os << "      \"cycles\": " << r.cycles << ",\n";
+            os << "      \"instructions\": " << r.instructions << ",\n";
+            char ipc[32];
+            std::snprintf(ipc, sizeof(ipc), "%.6g", r.ipc);
+            os << "      \"ipc\": " << ipc << ",\n";
+            os << "      \"stats\": ";
+            r.stats.dumpJson(os, 6);
+            os << "\n    }";
+        }
+        os << "\n  ],\n  \"summary\": {";
+        for (size_t i = 0; i < metrics_.size(); ++i) {
+            char v[32];
+            std::snprintf(v, sizeof(v), "%.6g", metrics_[i].second);
+            os << (i ? ",\n" : "\n") << "    \""
+               << jsonEscape(metrics_[i].first) << "\": " << v;
+        }
+        os << (metrics_.empty() ? "" : "\n  ") << "}\n}\n";
+        std::printf("stats-json: wrote %zu runs to %s\n", runs_.size(),
+                    args_.stats_json.c_str());
+    }
+
+    void
+    writeTrace()
+    {
+        std::ofstream os(args_.trace);
+        if (!os) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         args_.trace.c_str());
+            POAT_FATAL("cannot open --trace output file");
+        }
+        tracer_->serialize(os);
+        std::printf("trace: wrote %zu events to %s (convert with "
+                    "tools/trace_convert)\n",
+                    tracer_->recorded(), args_.trace.c_str());
+    }
+
+    std::string name_;
+    BenchArgs args_;
+    std::vector<Run> runs_;
+    std::vector<std::pair<std::string, double>> metrics_;
+    std::unique_ptr<EventTracer> tracer_;
+    bool written_ = false;
 };
 
 /** Baseline (BASE) experiment for a microbenchmark. */

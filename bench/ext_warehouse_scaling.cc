@@ -30,6 +30,7 @@ int
 main(int argc, char **argv)
 {
     const BenchArgs args = BenchArgs::parse(argc, argv);
+    JsonReport report("ext_warehouse_scaling", args);
     // Multi-warehouse runs multiply population cost; use a smaller
     // per-warehouse cardinality so the sweep stays laptop-sized.
     const uint32_t scale =
@@ -75,6 +76,11 @@ main(int argc, char **argv)
                 static_cast<double>(par.cycles),
             100.0 * pipe.polbMissRate(), 100.0 * par.polbMissRate());
         std::fflush(stdout);
+        report.metric("speedup_pipelined_w" + std::to_string(w),
+                      static_cast<double>(base.cycles) /
+                          static_cast<double>(pipe.cycles));
+        report.metric("missrate_pipelined_w" + std::to_string(w),
+                      pipe.polbMissRate());
     }
     hr(96);
     std::printf("takeaway: pool count alone does not stress a 32-entry "
@@ -83,5 +89,6 @@ main(int argc, char **argv)
                 "POLB pressure needs a large pool set reused round-"
                 "robin (the EACH microbenchmarks), not merely many "
                 "pools; the scaling limit here is POT capacity\n");
+    report.write();
     return 0;
 }

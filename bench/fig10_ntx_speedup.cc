@@ -17,6 +17,7 @@ int
 main(int argc, char **argv)
 {
     const BenchArgs args = BenchArgs::parse(argc, argv);
+    JsonReport report("fig10_ntx_speedup", args);
 
     std::printf("Figure 10: OPT_NTX speedup over BASE_NTX, in-order\n");
     hr();
@@ -55,10 +56,17 @@ main(int argc, char **argv)
         std::printf("GeoMean %-7s %22s %9.2fx %9.2fx\n", pnames[pi], "",
                     driver::geomean(pipe_v[pi]),
                     driver::geomean(par_v[pi]));
+        report.metric(std::string("speedup_geomean_pipelined_ntx_") +
+                          pnames[pi],
+                      driver::geomean(pipe_v[pi]));
+        report.metric(std::string("speedup_geomean_parallel_ntx_") +
+                          pnames[pi],
+                      driver::geomean(par_v[pi]));
     }
     std::printf("\npaper reference: NTX speedups exceed the Figure 9 TX "
                 "numbers because logging (which itself translates and "
                 "flushes) is absent; on RANDOM, Pipelined stays ahead of "
                 "Parallel\n");
+    report.write();
     return 0;
 }

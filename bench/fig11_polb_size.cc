@@ -25,6 +25,7 @@ int
 main(int argc, char **argv)
 {
     const BenchArgs args = BenchArgs::parse(argc, argv);
+    JsonReport report("fig11_polb_size", args);
 
     std::printf("Figure 11: speedup vs POLB size "
                 "(RANDOM pattern, in-order)\n");
@@ -33,15 +34,18 @@ main(int argc, char **argv)
                 "none", "1", "4", "32", "128");
     hr(92);
 
+    std::vector<double> by_size[2][5];
     for (const auto &wl : workloads::microbenchNames()) {
         const auto base = runExperiment(
             microBase(args, wl, workloads::PoolPattern::Random));
+        int di = 0;
         for (const auto design :
              {sim::PolbDesign::Pipelined, sim::PolbDesign::Parallel}) {
             std::printf("%-5s %-10s", wl.c_str(),
                         design == sim::PolbDesign::Pipelined
                             ? "Pipelined"
                             : "Parallel");
+            int si = 0;
             for (const uint32_t size : kSizes) {
                 auto cfg = asOpt(
                     microBase(args, wl, workloads::PoolPattern::Random),
@@ -50,11 +54,21 @@ main(int argc, char **argv)
                 const auto opt = runExperiment(cfg);
                 std::printf(" %7.2fx", speedup(base, opt));
                 std::fflush(stdout);
+                by_size[di][si++].push_back(speedup(base, opt));
             }
             std::printf("\n");
+            ++di;
         }
     }
     hr(92);
+    for (int di = 0; di < 2; ++di) {
+        const char *dname = di == 0 ? "pipelined" : "parallel";
+        for (int si = 0; si < 5; ++si) {
+            report.metric("speedup_geomean_" + std::string(dname) +
+                              "_polb" + std::to_string(kSizes[si]),
+                          driver::geomean(by_size[di][si]));
+        }
+    }
     std::printf("paper reference: most workloads slow down without a "
                 "POLB; speedup saturates once the POLB covers the 32 "
                 "pools; Parallel needs more entries than Pipelined\n\n");
@@ -90,5 +104,6 @@ main(int argc, char **argv)
     std::printf("paper reference (size 1 -> 128): Pipelined misses fall "
                 "from 8.7-40.8%% to 0.0%%; Parallel from 18.7-58.7%% to "
                 "0.0%%, with Parallel above Pipelined at every size\n");
+    report.write();
     return 0;
 }

@@ -23,6 +23,7 @@ int
 main(int argc, char **argv)
 {
     const BenchArgs args = BenchArgs::parse(argc, argv);
+    JsonReport report("fig12_pot_walk", args);
 
     std::printf("Figure 12: speedup vs POT-walk penalty "
                 "(EACH pattern, in-order, Pipelined)\n");
@@ -31,10 +32,12 @@ main(int argc, char **argv)
                 "30", "100", "300", "500");
     hr(92);
 
+    std::vector<double> by_penalty[6];
     for (const auto &wl : workloads::microbenchNames()) {
         const auto base = runExperiment(
             microBase(args, wl, workloads::PoolPattern::Each));
         std::printf("%-5s", wl.c_str());
+        int pi = 0;
         for (const uint32_t penalty : kPenalties) {
             auto cfg = asOpt(
                 microBase(args, wl, workloads::PoolPattern::Each));
@@ -46,12 +49,19 @@ main(int argc, char **argv)
             const auto opt = runExperiment(cfg);
             std::printf(" %7.2fx", speedup(base, opt));
             std::fflush(stdout);
+            by_penalty[pi++].push_back(speedup(base, opt));
         }
         std::printf("\n");
     }
     hr(92);
+    for (int pi = 0; pi < 6; ++pi) {
+        report.metric("speedup_geomean_walk" +
+                          std::to_string(kPenalties[pi]),
+                      driver::geomean(by_penalty[pi]));
+    }
     std::printf("paper reference: a ~30-cycle walk costs little; longer "
                 "walks hurt workloads with high POLB miss rates (LL "
                 "most, then BST), and barely move the others\n");
+    report.write();
     return 0;
 }

@@ -17,6 +17,7 @@ int
 main(int argc, char **argv)
 {
     const BenchArgs args = BenchArgs::parse(argc, argv);
+    JsonReport report("fig9a_speedup_inorder", args);
 
     std::printf("Figure 9(a): OPT/BASE speedup, in-order core\n");
     hr(86);
@@ -60,6 +61,12 @@ main(int argc, char **argv)
         std::printf("GeoMean %-7s %20s %9.2fx %9.2fx\n", pnames[pi], "",
                     driver::geomean(pipe_by_pattern[pi]),
                     driver::geomean(par_by_pattern[pi]));
+        report.metric(std::string("speedup_geomean_pipelined_") +
+                          pnames[pi],
+                      driver::geomean(pipe_by_pattern[pi]));
+        report.metric(std::string("speedup_geomean_parallel_") +
+                          pnames[pi],
+                      driver::geomean(par_by_pattern[pi]));
     }
     double mean_reduct = 0;
     for (double r : insn_reduction)
@@ -68,6 +75,7 @@ main(int argc, char **argv)
     std::printf("Avg dynamic-instruction reduction: %.1f%% "
                 "(paper: 43.9%%)\n",
                 100.0 * mean_reduct);
+    report.metric("avg_dynamic_insn_reduction", mean_reduct);
 
     if (args.include_tpcc) {
         hr(86);
@@ -91,11 +99,14 @@ main(int argc, char **argv)
                         speedup(base, pipe), speedup(base, par),
                         speedup(base, ideal));
             std::fflush(stdout);
+            report.metric(std::string("speedup_pipelined_") + pname,
+                          speedup(base, pipe));
         }
         std::printf("paper reference: TPCC_ALL 1.10x, TPCC_EACH 1.17x "
                     "(in-order, Pipelined)\n");
     }
     std::printf("\npaper reference: RANDOM avg 1.96x (Pipelined), "
                 "1.92x (Parallel)\n");
+    report.write();
     return 0;
 }

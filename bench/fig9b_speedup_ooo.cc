@@ -16,6 +16,7 @@ int
 main(int argc, char **argv)
 {
     const BenchArgs args = BenchArgs::parse(argc, argv);
+    JsonReport report("fig9b_speedup_ooo", args);
 
     std::printf("Figure 9(b): OPT/BASE speedup, out-of-order core "
                 "(Pipelined)\n");
@@ -48,6 +49,9 @@ main(int argc, char **argv)
     for (int pi = 0; pi < 3; ++pi) {
         std::printf("GeoMean %-7s %20s %9.2fx\n", pnames[pi], "",
                     driver::geomean(by_pattern[pi]));
+        report.metric(std::string("speedup_geomean_pipelined_") +
+                          pnames[pi],
+                      driver::geomean(by_pattern[pi]));
     }
 
     if (args.include_tpcc) {
@@ -71,5 +75,6 @@ main(int argc, char **argv)
     std::printf("\npaper reference: RANDOM avg 1.58x; OoO speedups are "
                 "lower than in-order because ILP hides part of the "
                 "software-translation cost\n");
+    report.write();
     return 0;
 }

@@ -54,6 +54,7 @@ int
 main(int argc, char **argv)
 {
     const BenchArgs args = BenchArgs::parse(argc, argv);
+    JsonReport report("table2_translation_cost", args);
 
     std::printf("Table 2: dynamic instructions in oid_direct "
                 "(BASE, software translation)\n");
@@ -69,12 +70,19 @@ main(int argc, char **argv)
                     r.insns_all, r.insns_each, 100.0 * r.miss_each);
         all_v.push_back(r.insns_all);
         each_v.push_back(r.insns_each);
+        report.metric("insns_per_call_ALL_" + r.bench, r.insns_all);
+        report.metric("insns_per_call_EACH_" + r.bench, r.insns_each);
+        report.metric("predictor_miss_EACH_" + r.bench, r.miss_each);
         std::fflush(stdout);
     }
     hr();
     std::printf("%-8s %14.1f %14.1f\n", "GeoMean",
                 driver::geomean(all_v), driver::geomean(each_v));
+    report.metric("insns_per_call_geomean_ALL", driver::geomean(all_v));
+    report.metric("insns_per_call_geomean_EACH",
+                  driver::geomean(each_v));
     std::printf("\npaper reference: ALL ~17.0, EACH ~77.8-107.3 "
                 "(GeoMean 97.3), miss 62.2-99.9%%\n");
+    report.write();
     return 0;
 }

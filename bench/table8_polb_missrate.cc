@@ -25,6 +25,7 @@ int
 main(int argc, char **argv)
 {
     const BenchArgs args = BenchArgs::parse(argc, argv);
+    JsonReport report("table8_polb_missrate", args);
 
     std::printf("Table 8: POLB miss rate of OPT (32-entry POLB)\n");
     hr(88);
@@ -62,6 +63,9 @@ main(int argc, char **argv)
                         pipe_all.metrics.polb_misses),
                     static_cast<unsigned long>(
                         pipe_rnd.metrics.polb_misses));
+        report.metric("missrate_parallel_EACH_" + wl, missRate(par_each));
+        report.metric("missrate_pipelined_EACH_" + wl,
+                      missRate(pipe_each));
         std::fflush(stdout);
     }
 
@@ -79,11 +83,13 @@ main(int argc, char **argv)
                     "%.1f%%)\n",
                     "TPCC", "-", "-", 100 * missRate(each_par),
                     100 * missRate(each), 100 * missRate(all));
+        report.metric("missrate_pipelined_TPCC_EACH", missRate(each));
     }
     hr(88);
     std::printf("paper reference: Parallel EACH: LL 32.4%%, BST 7.3%%, "
                 "RBT 3.1%%, BT 1.7%%, B+T 1.5%%, SPS 1.2%%;\n"
                 "Pipelined EACH: LL 32.5%%, BST 8.1%%; Pipelined "
                 "ALL/RANDOM: only 1/32 warm-up misses\n");
+    report.write();
     return 0;
 }

@@ -45,11 +45,11 @@ int
 main(int argc, char **argv)
 {
     const std::string workload = argc > 1 ? argv[1] : "B+T";
-    const bool dump_stats =
-        argc > 2 && std::string(argv[2]) == "--stats";
+    const std::string flag = argc > 2 ? argv[2] : "";
 
-    if (dump_stats) {
-        // Full Sniper-style counter dump of one OPT run.
+    if (flag == "--stats" || flag == "--stats-json") {
+        // Full Sniper-style counter dump of one OPT run — flat text, or
+        // the hierarchical JSON form described in docs/OBSERVABILITY.md.
         sim::MachineConfig mc;
         mc.core = sim::CoreType::InOrder;
         sim::Machine machine(mc);
@@ -60,7 +60,12 @@ main(int argc, char **argv)
         wc.pattern = workloads::PoolPattern::Random;
         wc.scale_pct = 50;
         workloads::makeWorkload(workload, wc)->run(rt);
-        machine.dumpStats(std::cout);
+        if (flag == "--stats-json") {
+            machine.dumpStatsJson(std::cout);
+            std::cout << "\n";
+        } else {
+            machine.dumpStats(std::cout);
+        }
         return 0;
     }
 
@@ -108,5 +113,10 @@ main(int argc, char **argv)
                 100.0 * (1.0 - static_cast<double>(o.metrics.instructions) /
                                    static_cast<double>(
                                        b.metrics.instructions)));
+
+    std::printf("\nfull telemetry of the Pipelined OPT run "
+                "(machine-readable; see docs/OBSERVABILITY.md):\n");
+    o.stats.dumpJson(std::cout);
+    std::cout << "\n";
     return 0;
 }

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Log2-bucketed latency/size histogram.
+ *
+ * Values land in power-of-two buckets (bucket 0 holds value 0; bucket k
+ * holds [2^(k-1), 2^k)), so recording is a handful of instructions and
+ * the footprint is fixed — cheap enough to sit on the simulator's
+ * translation path. Percentiles are estimated by linear interpolation
+ * inside the selected bucket, which keeps p50/p95/p99 honest for the
+ * latency distributions the paper's evaluation cares about (POT walk
+ * costs, nvld/nvst latencies) without storing samples.
+ */
+#ifndef POAT_COMMON_HISTOGRAM_H
+#define POAT_COMMON_HISTOGRAM_H
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace poat {
+
+/** Fixed-footprint log2 histogram over uint64 samples. */
+class Histogram
+{
+  public:
+    /** Bucket 0 is {0}; bucket k (k>=1) is [2^(k-1), 2^k). */
+    static constexpr uint32_t kBuckets = 65;
+
+    /** Bucket index of @p v. */
+    static constexpr uint32_t
+    bucketOf(uint64_t v)
+    {
+        return static_cast<uint32_t>(std::bit_width(v));
+    }
+
+    /** Inclusive lower bound of bucket @p b. */
+    static constexpr uint64_t
+    bucketLo(uint32_t b)
+    {
+        return b == 0 ? 0 : 1ull << (b - 1);
+    }
+
+    /** Inclusive upper bound of bucket @p b. */
+    static constexpr uint64_t
+    bucketHi(uint32_t b)
+    {
+        return b == 0 ? 0 : (1ull << (b - 1)) + ((1ull << (b - 1)) - 1);
+    }
+
+    /** Add one sample. */
+    void
+    record(uint64_t v)
+    {
+        if (count_ == 0) {
+            min_ = v;
+            max_ = v;
+        } else {
+            min_ = std::min(min_, v);
+            max_ = std::max(max_, v);
+        }
+        ++count_;
+        sum_ += v;
+        ++buckets_[bucketOf(v)];
+    }
+
+    /** Forget every sample. */
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = 0;
+        min_ = 0;
+        max_ = 0;
+        buckets_.fill(0);
+    }
+
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+    uint64_t min() const { return min_; }
+    uint64_t max() const { return max_; }
+    uint64_t bucketCount(uint32_t b) const { return buckets_[b]; }
+
+    double
+    mean() const
+    {
+        return count_ ? static_cast<double>(sum_) /
+                static_cast<double>(count_)
+                      : 0.0;
+    }
+
+    /**
+     * Estimated value at percentile @p p (0..100): the bucket holding
+     * the p-th sample, linearly interpolated across its value range and
+     * clamped to the observed [min, max].
+     */
+    double
+    percentile(double p) const
+    {
+        if (count_ == 0)
+            return 0.0;
+        p = std::clamp(p, 0.0, 100.0);
+        const double target = p / 100.0 * static_cast<double>(count_);
+        uint64_t cum = 0;
+        for (uint32_t b = 0; b < kBuckets; ++b) {
+            if (buckets_[b] == 0)
+                continue;
+            const uint64_t prev = cum;
+            cum += buckets_[b];
+            if (static_cast<double>(cum) < target)
+                continue;
+            const double frac = buckets_[b]
+                ? (target - static_cast<double>(prev)) /
+                    static_cast<double>(buckets_[b])
+                : 0.0;
+            const double lo = static_cast<double>(bucketLo(b));
+            const double hi = static_cast<double>(bucketHi(b));
+            const double v = lo + frac * (hi - lo);
+            return std::clamp(v, static_cast<double>(min_),
+                              static_cast<double>(max_));
+        }
+        return static_cast<double>(max_);
+    }
+
+  private:
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t min_ = 0;
+    uint64_t max_ = 0;
+    std::array<uint64_t, kBuckets> buckets_{};
+};
+
+} // namespace poat
+
+#endif // POAT_COMMON_HISTOGRAM_H

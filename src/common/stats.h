@@ -1,11 +1,21 @@
 /**
  * @file
- * Lightweight named-counter statistics registry.
+ * Hierarchical named-statistics registry.
  *
- * Simulator components register scalar counters by name; the registry can
- * dump them, reset them between experiment phases, and expose derived
- * ratios (e.g., miss rates) uniformly. Deliberately simple compared to
- * gem5's stats package: experiments in poat read counters directly.
+ * Components register stats under dotted paths ("machine.polb.hits");
+ * the registry dumps them flat ("name value" lines, Sniper sim.out
+ * style) or as nested JSON whose object tree follows the dots. Three
+ * stat kinds, in the spirit of gem5's stats package but deliberately
+ * smaller:
+ *
+ *  - scalar counters (64-bit, returned by reference so hot paths pay
+ *    one map lookup at registration and a plain increment after),
+ *  - histograms (log2-bucketed distributions; see histogram.h),
+ *  - formulas (named counter ratios, evaluated lazily at dump time so
+ *    they are always consistent with the counters they summarize).
+ *
+ * docs/OBSERVABILITY.md specifies the naming convention and the JSON
+ * schema the bench harness emits through this class.
  */
 #ifndef POAT_COMMON_STATS_H
 #define POAT_COMMON_STATS_H
@@ -15,9 +25,11 @@
 #include <ostream>
 #include <string>
 
+#include "common/histogram.h"
+
 namespace poat {
 
-/** A registry of named 64-bit counters. */
+/** A registry of named counters, histograms, and formula stats. */
 class StatsRegistry
 {
   public:
@@ -27,20 +39,63 @@ class StatsRegistry
     /** Read a counter; returns 0 if it was never created. */
     uint64_t get(const std::string &name) const;
 
-    /** Set every registered counter back to zero. */
+    /** Get (creating if absent) a histogram reference by name. */
+    Histogram &histogram(const std::string &name);
+
+    /** Read-only histogram lookup; nullptr if never created. */
+    const Histogram *findHistogram(const std::string &name) const;
+
+    /**
+     * Register a formula stat: @p name dumps as counter(@p num) /
+     * counter(@p den), evaluated when the registry is dumped.
+     */
+    void formula(const std::string &name, const std::string &num,
+                 const std::string &den);
+
+    /** Evaluate a registered formula (0 if absent or denominator 0). */
+    double eval(const std::string &name) const;
+
+    /** Zero every counter and clear every histogram (names survive). */
     void resetAll();
 
     /** Ratio of two counters; returns 0 when the denominator is zero. */
     double ratio(const std::string &num, const std::string &den) const;
 
-    /** Print all counters, one "name value" line each, sorted by name. */
+    /**
+     * Print all stats as "name value" lines: counters first (sorted by
+     * name), then histogram summaries (name.count/min/max/mean/p50/
+     * p95/p99), then formulas.
+     */
     void dump(std::ostream &os) const;
 
-    /** Number of registered counters. */
-    size_t size() const { return counters_.size(); }
+    /**
+     * Emit the registry as a JSON object whose nesting follows the
+     * dotted paths. A name that is both a leaf and an interior node
+     * ("core.cycles" next to "core.cycles.alu") keeps its leaf value
+     * under the key "self". Histograms serialize as objects with
+     * count/min/max/mean/p50/p95/p99 plus their non-empty buckets.
+     *
+     * @param indent Number of spaces prefixed to every emitted line
+     *        (for embedding in a larger document).
+     */
+    void dumpJson(std::ostream &os, int indent = 0) const;
+
+    /** Number of registered stats of all kinds. */
+    size_t size() const
+    {
+        return counters_.size() + histograms_.size() + formulas_.size();
+    }
 
   private:
+    struct Formula
+    {
+        std::string num;
+        std::string den;
+    };
+
     std::map<std::string, uint64_t> counters_;
+    std::map<std::string, Histogram> histograms_;
+    std::map<std::string, Formula> formulas_;
 };
 
 } // namespace poat

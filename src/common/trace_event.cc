@@ -1,0 +1,83 @@
+#include "common/trace_event.h"
+
+#include "common/logging.h"
+
+namespace poat {
+
+const char *
+traceComponentName(TraceComponent c)
+{
+    switch (c) {
+      case TraceComponent::Polb:
+        return "polb";
+      case TraceComponent::Pot:
+        return "pot";
+      case TraceComponent::Tlb:
+        return "tlb";
+      case TraceComponent::NvAccess:
+        return "nv";
+      case TraceComponent::SwTranslate:
+        return "sw_translate";
+    }
+    return "unknown";
+}
+
+const char *
+traceOutcomeName(TraceOutcome o)
+{
+    switch (o) {
+      case TraceOutcome::Hit:
+        return "hit";
+      case TraceOutcome::Miss:
+        return "miss";
+      case TraceOutcome::Walk:
+        return "walk";
+      case TraceOutcome::Load:
+        return "load";
+      case TraceOutcome::Store:
+        return "store";
+      case TraceOutcome::Flush:
+        return "flush";
+    }
+    return "unknown";
+}
+
+EventTracer::EventTracer(size_t capacity) : ring_(capacity ? capacity : 1)
+{
+    POAT_ASSERT(capacity != 0, "tracer capacity must be nonzero");
+}
+
+void
+EventTracer::marker(uint64_t cycle, const std::string &label)
+{
+    markers_.emplace_back(cycle, label);
+}
+
+void
+EventTracer::reset()
+{
+    total_ = 0;
+    markers_.clear();
+}
+
+void
+EventTracer::serialize(std::ostream &os) const
+{
+    os << "poat-trace v1\n";
+    os << "# M <cycle> <label> | E <cycle> <component> <outcome> "
+          "<oid-hex> <latency>\n";
+    os << "# dropped " << dropped() << "\n";
+    for (const auto &[cycle, label] : markers_)
+        os << "M " << cycle << " " << label << "\n";
+    const size_t n = recorded();
+    const size_t start = total_ - n; // oldest surviving event
+    for (size_t i = 0; i < n; ++i) {
+        const TraceEvent &e = ring_[(start + i) % ring_.size()];
+        os << "E " << e.cycle << " "
+           << traceComponentName(e.component) << " "
+           << traceOutcomeName(e.outcome) << " " << std::hex << "0x"
+           << e.oid << std::dec << " " << e.latency << "\n";
+    }
+}
+
+} // namespace poat

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Cycle-stamped event tracing of the translation machinery.
+ *
+ * An EventTracer is a fixed-capacity ring buffer of POD events (cycle,
+ * component, outcome, ObjectID, latency) plus a small list of named
+ * markers (run boundaries). Producers record through the POAT_TRACE
+ * macro, which compiles to nothing when POAT_TRACE_ENABLED is 0 (the
+ * -DPOAT_TRACING=OFF build) and to a single null-check when on, so the
+ * default build's bench wall-time is unaffected when no tracer is
+ * attached.
+ *
+ * serialize() writes the portable "poat-trace v1" text format, which
+ * tools/trace_convert turns into Chrome trace_event JSON loadable in
+ * chrome://tracing or Perfetto. See docs/OBSERVABILITY.md.
+ */
+#ifndef POAT_COMMON_TRACE_EVENT_H
+#define POAT_COMMON_TRACE_EVENT_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace poat {
+
+/** Which piece of machinery produced an event. */
+enum class TraceComponent : uint8_t
+{
+    Polb,        ///< POLB lookup
+    Pot,         ///< POT hardware walk
+    Tlb,         ///< D-TLB fill on the translated access
+    NvAccess,    ///< the nvld/nvst data access itself
+    SwTranslate, ///< software oid_direct call (BASE)
+};
+
+/** What happened. */
+enum class TraceOutcome : uint8_t
+{
+    Hit,
+    Miss,
+    Walk,
+    Load,
+    Store,
+    Flush,
+};
+
+/** Name tables (stable; part of the poat-trace v1 format). */
+const char *traceComponentName(TraceComponent c);
+const char *traceOutcomeName(TraceOutcome o);
+
+/** One recorded event. */
+struct TraceEvent
+{
+    uint64_t cycle;
+    uint64_t oid;
+    uint32_t latency;
+    TraceComponent component;
+    TraceOutcome outcome;
+};
+
+/** Ring buffer of translation events. */
+class EventTracer
+{
+  public:
+    /** @param capacity Events retained; older ones are overwritten. */
+    explicit EventTracer(size_t capacity = 1u << 20);
+
+    /** Append one event (overwrites the oldest beyond capacity). */
+    void
+    record(uint64_t cycle, TraceComponent component, TraceOutcome outcome,
+           uint64_t oid, uint32_t latency)
+    {
+        ring_[total_ % ring_.size()] =
+            TraceEvent{cycle, oid, latency, component, outcome};
+        ++total_;
+    }
+
+    /** Add a named marker (e.g. a run boundary) at @p cycle. */
+    void marker(uint64_t cycle, const std::string &label);
+
+    /** Events currently retained. */
+    size_t recorded() const
+    {
+        return total_ < ring_.size() ? total_ : ring_.size();
+    }
+
+    /** Events ever recorded (recorded() + overwritten). */
+    uint64_t total() const { return total_; }
+
+    /** Events lost to ring wrap-around. */
+    uint64_t dropped() const { return total_ - recorded(); }
+
+    size_t capacity() const { return ring_.size(); }
+
+    /** Drop all events and markers. */
+    void reset();
+
+    /** Write the poat-trace v1 text format (oldest event first). */
+    void serialize(std::ostream &os) const;
+
+  private:
+    std::vector<TraceEvent> ring_;
+    std::vector<std::pair<uint64_t, std::string>> markers_;
+    uint64_t total_ = 0;
+};
+
+} // namespace poat
+
+/**
+ * POAT_TRACE(tracer_ptr, cycle, component, outcome, oid, latency)
+ *
+ * Record an event iff tracing is compiled in AND @p tracer_ptr is
+ * non-null. With POAT_TRACE_ENABLED == 0 the macro expands to nothing
+ * and its arguments are never evaluated.
+ */
+#ifndef POAT_TRACE_ENABLED
+#define POAT_TRACE_ENABLED 1
+#endif
+
+#if POAT_TRACE_ENABLED
+#define POAT_TRACE(tracer, cycle, component, outcome, oid, latency)        \
+    do {                                                                   \
+        if (::poat::EventTracer *poat_tr_ = (tracer))                      \
+            poat_tr_->record((cycle), (component), (outcome), (oid),       \
+                             (latency));                                   \
+    } while (0)
+#else
+#define POAT_TRACE(tracer, cycle, component, outcome, oid, latency)        \
+    ((void)0)
+#endif
+
+#endif // POAT_COMMON_TRACE_EVENT_H

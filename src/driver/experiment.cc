@@ -7,10 +7,66 @@
 namespace poat {
 namespace driver {
 
+namespace {
+
+ExperimentObserver g_observer;
+EventTracer *g_default_tracer = nullptr;
+
+} // namespace
+
+void
+setExperimentObserver(ExperimentObserver obs)
+{
+    g_observer = std::move(obs);
+}
+
+void
+setDefaultTracer(EventTracer *tracer)
+{
+    g_default_tracer = tracer;
+}
+
+std::string
+configLabel(const ExperimentConfig &cfg)
+{
+    if (!cfg.label.empty())
+        return cfg.label;
+    std::string s = cfg.workload;
+    if (cfg.workload == "TPCC") {
+        s += cfg.placement == workloads::tpcc::Placement::All ? ".ALL"
+                                                              : ".EACH";
+    } else {
+        s += ".";
+        s += workloads::patternName(cfg.pattern);
+    }
+    if (cfg.mode == TranslationMode::Software) {
+        s += ".base";
+        if (!cfg.base_predictor)
+            s += "_nopred";
+    } else if (cfg.machine.ideal_translation) {
+        s += ".opt_ideal";
+    } else {
+        s += cfg.machine.polb_design == sim::PolbDesign::Pipelined
+            ? ".opt_pipelined"
+            : ".opt_parallel";
+    }
+    s += cfg.machine.core == sim::CoreType::InOrder ? ".inorder"
+                                                    : ".ooo";
+    if (!cfg.transactions)
+        s += ".ntx";
+    return s;
+}
+
 ExperimentResult
 runExperiment(const ExperimentConfig &cfg)
 {
     sim::Machine machine(cfg.machine);
+
+    EventTracer *tracer = cfg.tracer ? cfg.tracer : g_default_tracer;
+    machine.setTracer(tracer);
+    const std::string label = configLabel(cfg);
+    if (tracer)
+        tracer->marker(machine.cycles(), "begin " + label);
 
     RuntimeOptions ro;
     ro.mode = cfg.mode;
@@ -39,12 +95,26 @@ runExperiment(const ExperimentConfig &cfg)
         res.workload_operations = r.operations;
     }
 
+    if (tracer)
+        tracer->marker(machine.cycles(), "end " + label);
+    machine.setTracer(nullptr);
+
     res.metrics = machine.metrics();
     res.breakdown = machine.breakdown();
     res.translate_calls = rt.translator().calls();
     res.translate_misses = rt.translator().predictorMisses();
     res.translate_insns_per_call =
         rt.translator().avgInstructionsPerCall();
+
+    // The run's complete hierarchical telemetry: machine registry plus
+    // the software-translation profile and the workload outcome.
+    res.stats = machine.stats();
+    rt.translator().fillStats(res.stats);
+    res.stats.counter("workload.operations") = res.workload_operations;
+    res.stats.counter("workload.checksum") = res.workload_checksum;
+
+    if (g_observer)
+        g_observer(cfg, res);
     return res;
 }
 

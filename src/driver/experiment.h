@@ -12,8 +12,11 @@
 #ifndef POAT_DRIVER_EXPERIMENT_H
 #define POAT_DRIVER_EXPERIMENT_H
 
+#include <functional>
 #include <string>
 
+#include "common/stats.h"
+#include "common/trace_event.h"
 #include "sim/machine.h"
 #include "workloads/harness.h"
 #include "workloads/tpcc/tpcc.h"
@@ -52,6 +55,19 @@ struct ExperimentConfig
 
     sim::MachineConfig machine;
     uint64_t seed = 42;
+
+    /**
+     * Label used for telemetry (JSON run records, trace markers).
+     * Empty = derive one from the config via configLabel().
+     */
+    std::string label;
+
+    /**
+     * Cycle-stamped event tracer attached to the run's machine; falls
+     * back to the process-wide default tracer (setDefaultTracer) when
+     * null. Not owned.
+     */
+    EventTracer *tracer = nullptr;
 };
 
 /** Metrics of one finished run. */
@@ -66,10 +82,35 @@ struct ExperimentResult
     uint64_t translate_calls = 0;
     uint64_t translate_misses = 0;
     double translate_insns_per_call = 0.0;
+
+    /**
+     * The run's full hierarchical statistics: every machine counter,
+     * histogram, and formula ("polb.*", "pot.*", "cache.*", ...) plus
+     * the software-translation profile ("sw_translate.*") and the
+     * workload outcome ("workload.*"). See docs/OBSERVABILITY.md.
+     */
+    StatsRegistry stats;
 };
 
 /** Execute one experiment. */
 ExperimentResult runExperiment(const ExperimentConfig &cfg);
+
+/** Short human/machine label for a config: "LL.RANDOM.base.inorder". */
+std::string configLabel(const ExperimentConfig &cfg);
+
+/**
+ * Observer invoked with every finished runExperiment() call; the bench
+ * harness's --stats-json collector. Pass nullptr to uninstall.
+ */
+using ExperimentObserver =
+    std::function<void(const ExperimentConfig &, const ExperimentResult &)>;
+void setExperimentObserver(ExperimentObserver obs);
+
+/**
+ * Process-wide default EventTracer for runs whose config carries none
+ * (the bench harness's --trace flag). Pass nullptr to detach.
+ */
+void setDefaultTracer(EventTracer *tracer);
 
 /** Speedup of OPT over BASE: cycles(base) / cycles(opt). */
 inline double

@@ -80,6 +80,7 @@ SoftwareTranslator::translate(ObjectID oid, TraceSink &sink,
                               uint64_t *value_tag)
 {
     ++calls_;
+    const uint64_t insns_at_entry = insns_;
     if (value_tag)
         *value_tag = kNoDep;
 
@@ -125,6 +126,7 @@ SoftwareTranslator::translate(ObjectID oid, TraceSink &sink,
         brn(true, kPcReturn);
         if (value_tag)
             *value_tag = t_base;
+        insnHist_.record(insns_ - insns_at_entry);
         return recentBase_ + oid.offset();
     }
 
@@ -164,13 +166,30 @@ SoftwareTranslator::translate(ObjectID oid, TraceSink &sink,
     recentValid_ = predictorEnabled_;
     recentId_ = oid.poolId();
     recentBase_ = it->second.base;
+    insnHist_.record(insns_ - insns_at_entry);
     return it->second.base + oid.offset();
+}
+
+void
+SoftwareTranslator::fillStats(StatsRegistry &reg,
+                              const std::string &prefix) const
+{
+    reg.counter(prefix + ".calls") = calls_;
+    reg.counter(prefix + ".predictor_hits") = calls_ - misses_;
+    reg.counter(prefix + ".predictor_misses") = misses_;
+    reg.counter(prefix + ".instructions") = insns_;
+    reg.counter(prefix + ".hash_probes") = probes_;
+    reg.counter(prefix + ".pools") = pools_.size();
+    reg.histogram(prefix + ".insns_per_call") = insnHist_;
+    reg.formula(prefix + ".predictor_miss_rate",
+                prefix + ".predictor_misses", prefix + ".calls");
 }
 
 void
 SoftwareTranslator::resetStats()
 {
     calls_ = misses_ = insns_ = probes_ = 0;
+    insnHist_.reset();
 }
 
 } // namespace poat

@@ -22,6 +22,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/histogram.h"
+#include "common/stats.h"
 #include "pmem/addrspace.h"
 #include "pmem/oid.h"
 #include "pmem/trace.h"
@@ -82,6 +84,16 @@ class SoftwareTranslator
         return calls_ ? static_cast<double>(misses_) / calls_ : 0.0;
     }
 
+    /** Distribution of emitted instructions per translate() call. */
+    const Histogram &insnsPerCallHistogram() const { return insnHist_; }
+
+    /**
+     * Publish this translator's counters and histograms into @p reg
+     * under "@p prefix." (e.g. "sw_translate.calls").
+     */
+    void fillStats(StatsRegistry &reg,
+                   const std::string &prefix = "sw_translate") const;
+
     void resetStats();
     /// @}
 
@@ -124,6 +136,7 @@ class SoftwareTranslator
     uint64_t misses_ = 0;
     uint64_t insns_ = 0;
     uint64_t probes_ = 0;
+    Histogram insnHist_; ///< emitted instructions per call
 };
 
 } // namespace poat

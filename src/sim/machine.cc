@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "common/stats.h"
-
 #include "sim/core_inorder.h"
 #include "sim/core_ooo.h"
 
@@ -19,6 +17,24 @@ Machine::Machine(const MachineConfig &cfg)
         core_ = std::make_unique<InOrderCore>(cfg);
     else
         core_ = std::make_unique<OooCore>(cfg);
+
+    hXlatLat_ = &stats_.histogram("polb.lookup_latency");
+    hPotProbes_ = &stats_.histogram("pot.walk_probes");
+    hPotLat_ = &stats_.histogram("pot.walk_latency");
+    hNvLoadLat_ = &stats_.histogram("mem.nv_load_latency");
+    hNvStoreLat_ = &stats_.histogram("mem.nv_store_latency");
+
+    stats_.formula("polb.miss_rate", "polb.misses", "polb.accesses");
+    stats_.formula("tlb.miss_rate", "tlb.misses", "tlb.accesses");
+    stats_.formula("cache.l1d.miss_rate", "cache.l1d.misses",
+                   "cache.l1d.accesses");
+    stats_.formula("cache.l2.miss_rate", "cache.l2.misses",
+                   "cache.l2.accesses");
+    stats_.formula("cache.l3.miss_rate", "cache.l3.misses",
+                   "cache.l3.accesses");
+    stats_.formula("branch.mispredict_rate", "branch.mispredicts",
+                   "branch.lookups");
+    stats_.formula("core.ipc", "core.instructions", "core.cycles");
 }
 
 uint32_t
@@ -104,17 +120,30 @@ Machine::translateNv(ObjectID oid)
         uint64_t base;
         if (auto hit = polb_.lookup(oid.poolId())) {
             base = *hit;
+            POAT_TRACE(tracer_, core_->cycles(), TraceComponent::Polb,
+                       TraceOutcome::Hit, oid.raw, x.pre_stall);
         } else {
             const PotWalk w = pot_.walk(oid.poolId());
             if (!w.found)
                 POAT_PANIC("POT miss: nv access to an unmapped pool");
-            if (!ideal)
-                x.pre_stall += potWalkCharge(w, /*parallel=*/false);
+            const uint32_t walk_cycles =
+                ideal ? 0 : potWalkCharge(w, /*parallel=*/false);
+            x.pre_stall += walk_cycles;
+            hPotProbes_->record(w.probes);
+            hPotLat_->record(walk_cycles);
+            POAT_TRACE(tracer_, core_->cycles(), TraceComponent::Pot,
+                       TraceOutcome::Walk, oid.raw, walk_cycles);
             base = w.base;
             polb_.insert(oid.poolId(), base);
         }
+        hXlatLat_->record(x.pre_stall);
         const uint64_t vaddr = base + oid.offset();
-        x.pre_stall += tlbPenalty(vaddr);
+        const uint32_t tlb_pen = tlbPenalty(vaddr);
+        if (tlb_pen != 0) {
+            POAT_TRACE(tracer_, core_->cycles(), TraceComponent::Tlb,
+                       TraceOutcome::Miss, oid.raw, tlb_pen);
+        }
+        x.pre_stall += tlb_pen;
         x.paddr = pageTable_.translate(vaddr);
         return x;
     }
@@ -125,6 +154,9 @@ Machine::translateNv(ObjectID oid)
     const uint64_t key = oid.raw >> 12;
     if (auto hit = polb_.lookup(key)) {
         x.paddr = (*hit) * kPageSize + oid.offset() % kPageSize;
+        hXlatLat_->record(0);
+        POAT_TRACE(tracer_, core_->cycles(), TraceComponent::Polb,
+                   TraceOutcome::Hit, oid.raw, 0);
         return x;
     }
     const PotWalk w = pot_.walk(oid.poolId());
@@ -132,6 +164,11 @@ Machine::translateNv(ObjectID oid)
         POAT_PANIC("POT miss: nv access to an unmapped pool");
     if (!ideal)
         x.pre_stall = potWalkCharge(w, /*parallel=*/true);
+    hPotProbes_->record(w.probes);
+    hPotLat_->record(x.pre_stall);
+    hXlatLat_->record(x.pre_stall);
+    POAT_TRACE(tracer_, core_->cycles(), TraceComponent::Pot,
+               TraceOutcome::Walk, oid.raw, x.pre_stall);
     const uint64_t vaddr = w.base + oid.offset();
     const uint64_t pfn = pageTable_.frameOf(vaddr);
     polb_.insert(key, pfn);
@@ -146,6 +183,9 @@ Machine::nvLoad(ObjectID oid, uint64_t dep, uint64_t dep2)
     ++nvLoads_;
     const NvXlat x = translateNv(oid);
     const uint32_t lat = caches_.access(x.paddr, false);
+    hNvLoadLat_->record(x.pre_stall + lat);
+    POAT_TRACE(tracer_, core_->cycles(), TraceComponent::NvAccess,
+               TraceOutcome::Load, oid.raw, x.pre_stall + lat);
     return core_->load(x.pre_stall, lat, dep, dep2);
 }
 
@@ -156,6 +196,9 @@ Machine::nvStore(ObjectID oid, uint64_t dep)
     ++nvStores_;
     const NvXlat x = translateNv(oid);
     const uint32_t lat = caches_.access(x.paddr, true);
+    hNvStoreLat_->record(x.pre_stall + lat);
+    POAT_TRACE(tracer_, core_->cycles(), TraceComponent::NvAccess,
+               TraceOutcome::Store, oid.raw, x.pre_stall + lat);
     core_->store(x.pre_stall, lat, dep);
 }
 
@@ -177,6 +220,9 @@ Machine::nvClwb(ObjectID oid)
     ++clwbs_;
     const NvXlat x = translateNv(oid);
     caches_.flushLine(x.paddr);
+    POAT_TRACE(tracer_, core_->cycles(), TraceComponent::NvAccess,
+               TraceOutcome::Flush, oid.raw,
+               cfg_.clwb_latency + x.pre_stall);
     core_->clwb(cfg_.clwb_latency + x.pre_stall);
 }
 
@@ -209,45 +255,74 @@ Machine::poolUnmapped(uint32_t pool_id)
 }
 
 void
-Machine::dumpStats(std::ostream &os) const
+Machine::syncStats() const
 {
-    StatsRegistry reg;
-    const MachineMetrics m = metrics();
-    reg.counter("core.cycles") = m.cycles;
-    reg.counter("core.instructions") = m.instructions;
-    reg.counter("core.uops") = core_->uopCount();
+    StatsRegistry &reg = stats_;
     const CycleBreakdown b = core_->breakdown();
+    reg.counter("core.cycles") = core_->cycles();
+    reg.counter("core.instructions") = instructions_;
+    reg.counter("core.uops") = core_->uopCount();
     reg.counter("core.cycles.alu") = b.alu;
     reg.counter("core.cycles.branch") = b.branch;
     reg.counter("core.cycles.memory") = b.memory;
     reg.counter("core.cycles.translation") = b.translation;
     reg.counter("core.cycles.flush") = b.flush;
     reg.counter("core.cycles.fence") = b.fence;
-    reg.counter("mem.loads") = m.loads;
-    reg.counter("mem.stores") = m.stores;
-    reg.counter("mem.nv_loads") = m.nv_loads;
-    reg.counter("mem.nv_stores") = m.nv_stores;
-    reg.counter("mem.clwbs") = m.clwbs;
-    reg.counter("mem.fences") = m.fences;
+    reg.counter("mem.loads") = loads_;
+    reg.counter("mem.stores") = stores_;
+    reg.counter("mem.nv_loads") = nvLoads_;
+    reg.counter("mem.nv_stores") = nvStores_;
+    reg.counter("mem.clwbs") = clwbs_;
+    reg.counter("mem.fences") = fences_;
     reg.counter("cache.l1d.hits") = caches_.l1().hits();
     reg.counter("cache.l1d.misses") = caches_.l1().misses();
+    reg.counter("cache.l1d.accesses") =
+        caches_.l1().hits() + caches_.l1().misses();
     reg.counter("cache.l1d.writebacks") = caches_.l1().writebacks();
     reg.counter("cache.l2.hits") = caches_.l2().hits();
     reg.counter("cache.l2.misses") = caches_.l2().misses();
+    reg.counter("cache.l2.accesses") =
+        caches_.l2().hits() + caches_.l2().misses();
+    reg.counter("cache.l2.writebacks") = caches_.l2().writebacks();
     reg.counter("cache.l3.hits") = caches_.l3().hits();
     reg.counter("cache.l3.misses") = caches_.l3().misses();
+    reg.counter("cache.l3.accesses") =
+        caches_.l3().hits() + caches_.l3().misses();
+    reg.counter("cache.l3.writebacks") = caches_.l3().writebacks();
     reg.counter("cache.mem_accesses") = caches_.memAccesses();
     reg.counter("tlb.hits") = tlb_.hits();
-    reg.counter("tlb.misses") = m.tlb_misses;
-    reg.counter("polb.hits") = m.polb_hits;
-    reg.counter("polb.misses") = m.polb_misses;
+    reg.counter("tlb.misses") = tlb_.misses();
+    reg.counter("tlb.accesses") = tlb_.hits() + tlb_.misses();
+    reg.counter("polb.hits") = polb_.hits();
+    reg.counter("polb.misses") = polb_.misses();
+    reg.counter("polb.accesses") = polb_.accesses();
+    reg.counter("polb.evictions") = polb_.evictions();
     reg.counter("polb.capacity") = polb_.capacity();
-    reg.counter("pot.walks") = m.pot_walks;
+    reg.counter("pot.walks") = pot_.walks();
+    reg.counter("pot.probes") = pot_.probesTotal();
     reg.counter("pot.live_entries") = pot_.liveEntries();
     reg.counter("branch.lookups") = bp_.branches();
-    reg.counter("branch.mispredicts") = m.branch_mispredicts;
+    reg.counter("branch.mispredicts") = bp_.mispredicts();
     reg.counter("vm.mapped_pages") = pageTable_.mappedPages();
-    reg.dump(os);
+}
+
+const StatsRegistry &
+Machine::stats() const
+{
+    syncStats();
+    return stats_;
+}
+
+void
+Machine::dumpStats(std::ostream &os) const
+{
+    stats().dump(os);
+}
+
+void
+Machine::dumpStatsJson(std::ostream &os, int indent) const
+{
+    stats().dumpJson(os, indent);
 }
 
 MachineMetrics
@@ -264,10 +339,12 @@ Machine::metrics() const
     m.fences = fences_;
     m.polb_hits = polb_.hits();
     m.polb_misses = polb_.misses();
+    m.polb_evictions = polb_.evictions();
     m.tlb_misses = tlb_.misses();
     m.l1d_misses = caches_.l1().misses();
     m.branch_mispredicts = bp_.mispredicts();
     m.pot_walks = pot_.walks();
+    m.pot_walk_probes = pot_.probesTotal();
     return m;
 }
 

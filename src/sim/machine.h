@@ -8,6 +8,13 @@
  * addresses), and the cache hierarchy, then hands each instruction with
  * its latency components to the configured core timing model.
  *
+ * Observability: the machine owns the run's hierarchical StatsRegistry
+ * ("polb.hits", "pot.walk_latency", ...; see docs/OBSERVABILITY.md).
+ * Scalar counters live in the components and are synced into the
+ * registry on demand; latency histograms are recorded inline on the
+ * nv translation path. An optional EventTracer receives cycle-stamped
+ * POLB/POT/TLB/nv events through POAT_TRACE.
+ *
  * A POT miss on an nv access corresponds to the paper's trap to the
  * OS; since every pool a workload touches is mapped via poolMapped(),
  * hitting one here means a bug, so it panics.
@@ -19,6 +26,8 @@
 #include <memory>
 #include <ostream>
 
+#include "common/stats.h"
+#include "common/trace_event.h"
 #include "pmem/trace.h"
 #include "sim/branch.h"
 #include "sim/cache.h"
@@ -44,10 +53,12 @@ struct MachineMetrics
     uint64_t fences = 0;
     uint64_t polb_hits = 0;
     uint64_t polb_misses = 0;
+    uint64_t polb_evictions = 0;
     uint64_t tlb_misses = 0;
     uint64_t l1d_misses = 0;
     uint64_t branch_mispredicts = 0;
     uint64_t pot_walks = 0;
+    uint64_t pot_walk_probes = 0;
 
     double
     polbMissRate() const
@@ -98,10 +109,28 @@ class Machine : public TraceSink
     CycleBreakdown breakdown() const { return core_->breakdown(); }
 
     /**
+     * The machine's hierarchical statistics registry, with every scalar
+     * counter synced to the components' current values. Histograms
+     * (e.g. "pot.walk_latency") accumulate live during simulation.
+     */
+    const StatsRegistry &stats() const;
+
+    /**
      * Write every counter the machine tracks as "name value" lines
-     * (Sniper sim.out style), via a StatsRegistry.
+     * (Sniper sim.out style), histogram summaries and formula stats
+     * included.
      */
     void dumpStats(std::ostream &os) const;
+
+    /** Emit the full registry as hierarchical JSON. */
+    void dumpStatsJson(std::ostream &os, int indent = 0) const;
+
+    /**
+     * Attach (or detach, with nullptr) a cycle-stamped event tracer.
+     * The machine does not own it.
+     */
+    void setTracer(EventTracer *tracer) { tracer_ = tracer; }
+    EventTracer *tracer() const { return tracer_; }
 
     const MachineConfig &config() const { return cfg_; }
     Polb &polb() { return polb_; }
@@ -130,6 +159,9 @@ class Machine : public TraceSink
     /** Run @p oid through the configured POLB/POT design. */
     NvXlat translateNv(ObjectID oid);
 
+    /** Sync every component counter and formula into stats_. */
+    void syncStats() const;
+
     MachineConfig cfg_;
     std::unique_ptr<CoreModel> core_;
     CacheHierarchy caches_;
@@ -138,6 +170,15 @@ class Machine : public TraceSink
     Polb polb_;
     Pot pot_;
     BranchPredictor bp_;
+    EventTracer *tracer_ = nullptr;
+
+    mutable StatsRegistry stats_;
+    // Hot-path histogram handles (stable: std::map nodes don't move).
+    Histogram *hXlatLat_;    ///< polb.lookup_latency
+    Histogram *hPotProbes_;  ///< pot.walk_probes
+    Histogram *hPotLat_;     ///< pot.walk_latency
+    Histogram *hNvLoadLat_;  ///< mem.nv_load_latency
+    Histogram *hNvStoreLat_; ///< mem.nv_store_latency
 
     uint64_t instructions_ = 0;
     uint64_t loads_ = 0;

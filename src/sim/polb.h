@@ -120,6 +120,8 @@ class Polb
         }
         if (victim->valid && repl_ == PolbReplacement::Random)
             victim = &set[xorshift() % assoc_];
+        if (victim->valid)
+            ++evictions_;
         victim->valid = true;
         victim->key = key;
         victim->value = value;
@@ -163,6 +165,7 @@ class Polb
     uint64_t hits() const { return hits_; }
     uint64_t misses() const { return misses_; }
     uint64_t accesses() const { return hits_ + misses_; }
+    uint64_t evictions() const { return evictions_; }
 
     double
     missRate() const
@@ -213,6 +216,7 @@ class Polb
     uint64_t rngState_ = 0x2545f4914f6cdd1dull;
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
+    uint64_t evictions_ = 0;
 };
 
 } // namespace sim

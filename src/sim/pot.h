@@ -126,6 +126,7 @@ class Pot
 
     size_t liveEntries() const { return live_; }
     uint64_t walks() const { return walks_; }
+    uint64_t probesTotal() const { return probesTotal_; }
 
     double
     avgProbes() const

@@ -1,0 +1,124 @@
+/** @file Unit tests for the log2-bucketed histogram. */
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+
+namespace poat {
+namespace {
+
+TEST(Histogram, BucketBoundaries)
+{
+    // Bucket 0 is {0}; bucket k (k>=1) is [2^(k-1), 2^k).
+    EXPECT_EQ(Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(Histogram::bucketOf(1), 1u);
+    EXPECT_EQ(Histogram::bucketOf(2), 2u);
+    EXPECT_EQ(Histogram::bucketOf(3), 2u);
+    EXPECT_EQ(Histogram::bucketOf(4), 3u);
+    EXPECT_EQ(Histogram::bucketOf(7), 3u);
+    EXPECT_EQ(Histogram::bucketOf(8), 4u);
+    EXPECT_EQ(Histogram::bucketOf(~0ull), 64u);
+
+    EXPECT_EQ(Histogram::bucketLo(0), 0u);
+    EXPECT_EQ(Histogram::bucketHi(0), 0u);
+    EXPECT_EQ(Histogram::bucketLo(4), 8u);
+    EXPECT_EQ(Histogram::bucketHi(4), 15u);
+
+    // Every value lands inside its own bucket's [lo, hi] range.
+    for (uint64_t v : {0ull, 1ull, 2ull, 3ull, 100ull, 1ull << 40}) {
+        const uint32_t b = Histogram::bucketOf(v);
+        EXPECT_GE(v, Histogram::bucketLo(b));
+        EXPECT_LE(v, Histogram::bucketHi(b));
+    }
+}
+
+TEST(Histogram, EmptyHistogramIsAllZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99), 0.0);
+}
+
+TEST(Histogram, TracksCountSumMinMaxMean)
+{
+    Histogram h;
+    h.record(10);
+    h.record(2);
+    h.record(30);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 42u);
+    EXPECT_EQ(h.min(), 2u);
+    EXPECT_EQ(h.max(), 30u);
+    EXPECT_DOUBLE_EQ(h.mean(), 14.0);
+}
+
+TEST(Histogram, SingleValueMakesEveryPercentileThatValue)
+{
+    // Clamping to [min, max] pins all percentiles of a constant
+    // distribution to the constant, despite the bucket's width.
+    Histogram h;
+    for (int i = 0; i < 100; ++i)
+        h.record(8);
+    EXPECT_DOUBLE_EQ(h.percentile(1), 8.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 8.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99), 8.0);
+}
+
+TEST(Histogram, PercentilesOrderAndBracketBimodalDistribution)
+{
+    // 90% fast path (1 cycle), 10% slow path (~1000 cycles): p50 must
+    // report the fast mode, p99 the slow mode's bucket.
+    Histogram h;
+    for (int i = 0; i < 90; ++i)
+        h.record(1);
+    for (int i = 0; i < 10; ++i)
+        h.record(1000);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 1.0);
+    const double p99 = h.percentile(99);
+    EXPECT_GE(p99, 512.0); // inside 1000's bucket [512, 1023]
+    EXPECT_LE(p99, 1000.0);
+    EXPECT_LE(h.percentile(95), p99);
+    EXPECT_LE(p99, h.percentile(100));
+    EXPECT_DOUBLE_EQ(h.percentile(100), 1000.0);
+}
+
+TEST(Histogram, PercentileIsClampedToObservedRange)
+{
+    Histogram h;
+    h.record(5); // bucket [4, 7]
+    EXPECT_DOUBLE_EQ(h.percentile(0), 5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 5.0);
+}
+
+TEST(Histogram, BucketCountsMatchRecords)
+{
+    Histogram h;
+    h.record(0);
+    h.record(0);
+    h.record(5);
+    h.record(6);
+    h.record(7);
+    EXPECT_EQ(h.bucketCount(0), 2u); // {0}
+    EXPECT_EQ(h.bucketCount(3), 3u); // [4, 7]
+    EXPECT_EQ(h.bucketCount(1), 0u);
+}
+
+TEST(Histogram, ResetForgetsEverything)
+{
+    Histogram h;
+    h.record(100);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.bucketCount(Histogram::bucketOf(100)), 0u);
+    h.record(3); // usable after reset
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.min(), 3u);
+}
+
+} // namespace
+} // namespace poat

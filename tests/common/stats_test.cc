@@ -1,12 +1,145 @@
 /** @file Unit tests for the statistics registry. */
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
 #include <sstream>
+#include <string>
 
 #include "common/stats.h"
 
 namespace poat {
 namespace {
+
+/**
+ * Minimal recursive-descent JSON reader, strict enough to prove
+ * dumpJson() emits well-formed JSON: it accepts objects, arrays,
+ * strings, numbers, booleans and null, and flattens every number into
+ * a dotted-path -> value map ("polb.lookup_latency.p95" etc.).
+ */
+struct MiniJson
+{
+    std::map<std::string, double> numbers;
+    std::set<std::string> objects;
+    const char *p;
+    bool ok = true;
+
+    explicit MiniJson(const std::string &s) : p(s.c_str())
+    {
+        value("");
+        skip();
+        ok = ok && *p == '\0';
+    }
+
+    void
+    skip()
+    {
+        while (*p == ' ' || *p == '\n' || *p == '\t' || *p == '\r')
+            ++p;
+    }
+
+    bool
+    consume(char c)
+    {
+        skip();
+        if (*p != c)
+            return false;
+        ++p;
+        return true;
+    }
+
+    std::string
+    string_()
+    {
+        std::string out;
+        if (!consume('"')) {
+            ok = false;
+            return out;
+        }
+        while (*p && *p != '"') {
+            if (*p == '\\' && p[1])
+                ++p;
+            out += *p++;
+        }
+        if (*p != '"') {
+            ok = false;
+            return out;
+        }
+        ++p;
+        return out;
+    }
+
+    void
+    number(const std::string &path)
+    {
+        char *end = nullptr;
+        const double v = std::strtod(p, &end);
+        if (end == p) {
+            ok = false;
+            return;
+        }
+        p = end;
+        if (!path.empty())
+            numbers[path] = v;
+    }
+
+    void
+    object(const std::string &path)
+    {
+        consume('{');
+        objects.insert(path);
+        skip();
+        if (consume('}'))
+            return;
+        do {
+            const std::string key = string_();
+            if (!consume(':')) {
+                ok = false;
+                return;
+            }
+            value(path.empty() ? key : path + "." + key);
+        } while (consume(','));
+        if (!consume('}'))
+            ok = false;
+    }
+
+    void
+    array(const std::string &path)
+    {
+        consume('[');
+        skip();
+        if (consume(']'))
+            return;
+        size_t i = 0;
+        do {
+            value(path + "[" + std::to_string(i++) + "]");
+        } while (consume(','));
+        if (!consume(']'))
+            ok = false;
+    }
+
+    void
+    value(const std::string &path)
+    {
+        skip();
+        if (*p == '{')
+            object(path);
+        else if (*p == '[')
+            array(path);
+        else if (*p == '"')
+            string_();
+        else if (!std::strncmp(p, "true", 4))
+            p += 4;
+        else if (!std::strncmp(p, "false", 5))
+            p += 5;
+        else if (!std::strncmp(p, "null", 4))
+            p += 4;
+        else
+            number(path);
+    }
+};
 
 TEST(Stats, CounterStartsAtZeroAndIncrements)
 {
@@ -51,6 +184,147 @@ TEST(Stats, DumpIsSortedByName)
     std::ostringstream os;
     s.dump(os);
     EXPECT_EQ(os.str(), "alpha 2\nzeta 1\n");
+}
+
+TEST(Stats, HistogramRegistersAndAccumulates)
+{
+    StatsRegistry s;
+    EXPECT_EQ(s.findHistogram("lat"), nullptr);
+    s.histogram("lat").record(4);
+    s.histogram("lat").record(8);
+    const Histogram *h = s.findHistogram("lat");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count(), 2u);
+    EXPECT_EQ(h->sum(), 12u);
+    EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(Stats, FormulaEvaluatesAgainstLiveCounters)
+{
+    StatsRegistry s;
+    s.formula("miss_rate", "misses", "accesses");
+    EXPECT_DOUBLE_EQ(s.eval("miss_rate"), 0.0); // denominator absent
+    s.counter("misses") = 1;
+    s.counter("accesses") = 4;
+    EXPECT_DOUBLE_EQ(s.eval("miss_rate"), 0.25);
+    s.counter("misses") = 2; // formulas are lazy: no re-registration
+    EXPECT_DOUBLE_EQ(s.eval("miss_rate"), 0.5);
+    EXPECT_DOUBLE_EQ(s.eval("no_such_formula"), 0.0);
+}
+
+TEST(Stats, ResetAllClearsHistogramsToo)
+{
+    StatsRegistry s;
+    s.counter("c") = 9;
+    s.histogram("h").record(100);
+    s.resetAll();
+    EXPECT_EQ(s.get("c"), 0u);
+    const Histogram *h = s.findHistogram("h");
+    ASSERT_NE(h, nullptr); // name survives
+    EXPECT_EQ(h->count(), 0u);
+    EXPECT_EQ(h->max(), 0u);
+}
+
+TEST(Stats, DumpOrdersCountersThenHistogramsThenFormulas)
+{
+    // machine_test parses the text dump as "name uint64" pairs until
+    // the stream fails, so every counter must precede the first
+    // floating-point histogram/formula line regardless of name order.
+    StatsRegistry s;
+    s.counter("zz.counter") = 7;
+    s.histogram("aa.hist").record(3);
+    s.formula("ab.ratio", "zz.counter", "zz.counter");
+    std::ostringstream os;
+    s.dump(os);
+    const std::string text = os.str();
+    const size_t counter_pos = text.find("zz.counter 7");
+    const size_t hist_pos = text.find("aa.hist.count");
+    const size_t formula_pos = text.find("ab.ratio");
+    ASSERT_NE(counter_pos, std::string::npos);
+    ASSERT_NE(hist_pos, std::string::npos);
+    ASSERT_NE(formula_pos, std::string::npos);
+    EXPECT_LT(counter_pos, hist_pos);
+    EXPECT_LT(hist_pos, formula_pos);
+}
+
+TEST(StatsJson, NestsDottedPaths)
+{
+    StatsRegistry s;
+    s.counter("polb.hits") = 90;
+    s.counter("polb.misses") = 10;
+    s.counter("core.cycles") = 1000;
+    std::ostringstream os;
+    s.dumpJson(os);
+    MiniJson j(os.str());
+    ASSERT_TRUE(j.ok) << os.str();
+    EXPECT_DOUBLE_EQ(j.numbers.at("polb.hits"), 90.0);
+    EXPECT_DOUBLE_EQ(j.numbers.at("polb.misses"), 10.0);
+    EXPECT_DOUBLE_EQ(j.numbers.at("core.cycles"), 1000.0);
+    EXPECT_TRUE(j.objects.count("polb"));
+    EXPECT_TRUE(j.objects.count("core"));
+}
+
+TEST(StatsJson, LeafAndInteriorNodeKeepsLeafUnderSelf)
+{
+    StatsRegistry s;
+    s.counter("core.cycles") = 100;
+    s.counter("core.cycles.alu") = 60;
+    std::ostringstream os;
+    s.dumpJson(os);
+    MiniJson j(os.str());
+    ASSERT_TRUE(j.ok) << os.str();
+    EXPECT_DOUBLE_EQ(j.numbers.at("core.cycles.self"), 100.0);
+    EXPECT_DOUBLE_EQ(j.numbers.at("core.cycles.alu"), 60.0);
+}
+
+TEST(StatsJson, RoundTripsCountersHistogramsAndFormulas)
+{
+    StatsRegistry s;
+    s.counter("polb.hits") = 90;
+    s.counter("polb.misses") = 10;
+    s.counter("polb.accesses") = 100;
+    s.formula("polb.miss_rate", "polb.misses", "polb.accesses");
+    Histogram &h = s.histogram("polb.lookup_latency");
+    for (uint64_t v = 1; v <= 100; ++v)
+        h.record(v);
+    std::ostringstream os;
+    s.dumpJson(os);
+    MiniJson j(os.str());
+    ASSERT_TRUE(j.ok) << os.str();
+    EXPECT_DOUBLE_EQ(j.numbers.at("polb.hits"), 90.0);
+    EXPECT_DOUBLE_EQ(j.numbers.at("polb.miss_rate"), 0.1);
+    EXPECT_DOUBLE_EQ(j.numbers.at("polb.lookup_latency.count"), 100.0);
+    EXPECT_DOUBLE_EQ(j.numbers.at("polb.lookup_latency.min"), 1.0);
+    EXPECT_DOUBLE_EQ(j.numbers.at("polb.lookup_latency.max"), 100.0);
+    ASSERT_TRUE(j.numbers.count("polb.lookup_latency.p50"));
+    ASSERT_TRUE(j.numbers.count("polb.lookup_latency.p95"));
+    ASSERT_TRUE(j.numbers.count("polb.lookup_latency.p99"));
+    const double p50 = j.numbers.at("polb.lookup_latency.p50");
+    const double p95 = j.numbers.at("polb.lookup_latency.p95");
+    EXPECT_LE(p50, p95);
+    // Buckets serialize as [lo, hi, count] triples.
+    EXPECT_TRUE(j.numbers.count("polb.lookup_latency.buckets[0][0]"));
+}
+
+TEST(StatsJson, EmptyRegistryIsAnEmptyObject)
+{
+    StatsRegistry s;
+    std::ostringstream os;
+    s.dumpJson(os);
+    MiniJson j(os.str());
+    EXPECT_TRUE(j.ok) << os.str();
+}
+
+TEST(StatsJson, IndentParameterOnlyShiftsLines)
+{
+    StatsRegistry s;
+    s.counter("a.b") = 1;
+    std::ostringstream plain, shifted;
+    s.dumpJson(plain);
+    s.dumpJson(shifted, 4);
+    MiniJson j(shifted.str());
+    EXPECT_TRUE(j.ok) << shifted.str();
+    EXPECT_DOUBLE_EQ(j.numbers.at("a.b"), 1.0);
 }
 
 } // namespace

@@ -1,0 +1,147 @@
+/** @file Unit tests for the ring-buffered event tracer. */
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/trace_event.h"
+
+namespace poat {
+namespace {
+
+std::vector<std::string>
+lines(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::istringstream is(s);
+    std::string line;
+    while (std::getline(is, line))
+        out.push_back(line);
+    return out;
+}
+
+TEST(EventTracer, StartsEmpty)
+{
+    EventTracer t(16);
+    EXPECT_EQ(t.recorded(), 0u);
+    EXPECT_EQ(t.total(), 0u);
+    EXPECT_EQ(t.dropped(), 0u);
+    EXPECT_EQ(t.capacity(), 16u);
+}
+
+TEST(EventTracer, RecordsUpToCapacity)
+{
+    EventTracer t(8);
+    for (uint64_t i = 0; i < 5; ++i)
+        t.record(100 + i, TraceComponent::Polb, TraceOutcome::Hit, i, 3);
+    EXPECT_EQ(t.recorded(), 5u);
+    EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(EventTracer, RingOverwritesOldestAndCountsDropped)
+{
+    EventTracer t(4);
+    for (uint64_t i = 0; i < 6; ++i)
+        t.record(i, TraceComponent::Pot, TraceOutcome::Walk, i, 30);
+    EXPECT_EQ(t.recorded(), 4u);
+    EXPECT_EQ(t.total(), 6u);
+    EXPECT_EQ(t.dropped(), 2u);
+
+    // Serialization starts at the oldest survivor (cycle 2).
+    std::ostringstream os;
+    t.serialize(os);
+    const auto ls = lines(os.str());
+    std::vector<std::string> events;
+    for (const auto &l : ls)
+        if (l.rfind("E ", 0) == 0)
+            events.push_back(l);
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events.front().rfind("E 2 ", 0), 0u);
+    EXPECT_EQ(events.back().rfind("E 5 ", 0), 0u);
+}
+
+TEST(EventTracer, SerializeFormat)
+{
+    EventTracer t(16);
+    t.marker(0, "begin run");
+    t.record(7, TraceComponent::Polb, TraceOutcome::Miss, 0xabc, 60);
+    t.marker(9, "end run");
+    std::ostringstream os;
+    t.serialize(os);
+    const auto ls = lines(os.str());
+    ASSERT_GE(ls.size(), 5u);
+    EXPECT_EQ(ls[0], "poat-trace v1");
+    // Comment lines carry the dropped count for trace_convert.
+    bool saw_dropped = false;
+    for (const auto &l : ls)
+        if (l.rfind("# dropped 0", 0) == 0)
+            saw_dropped = true;
+    EXPECT_TRUE(saw_dropped);
+    bool saw_marker = false, saw_event = false;
+    for (const auto &l : ls) {
+        if (l == "M 0 begin run")
+            saw_marker = true;
+        if (l == "E 7 polb miss 0xabc 60")
+            saw_event = true;
+    }
+    EXPECT_TRUE(saw_marker) << os.str();
+    EXPECT_TRUE(saw_event) << os.str();
+}
+
+TEST(EventTracer, ResetDropsEventsAndMarkers)
+{
+    EventTracer t(4);
+    t.record(1, TraceComponent::Tlb, TraceOutcome::Miss, 1, 7);
+    t.marker(2, "m");
+    t.reset();
+    EXPECT_EQ(t.recorded(), 0u);
+    EXPECT_EQ(t.total(), 0u);
+    std::ostringstream os;
+    t.serialize(os);
+    for (const auto &l : lines(os.str())) {
+        EXPECT_NE(l.rfind("E ", 0), 0u) << l;
+        EXPECT_NE(l.rfind("M ", 0), 0u) << l;
+    }
+}
+
+TEST(EventTracer, ComponentAndOutcomeNamesAreStable)
+{
+    // These strings are part of the poat-trace v1 format; renaming them
+    // breaks tools/trace_convert and saved traces.
+    EXPECT_STREQ(traceComponentName(TraceComponent::Polb), "polb");
+    EXPECT_STREQ(traceComponentName(TraceComponent::Pot), "pot");
+    EXPECT_STREQ(traceComponentName(TraceComponent::Tlb), "tlb");
+    EXPECT_STREQ(traceComponentName(TraceComponent::NvAccess), "nv");
+    EXPECT_STREQ(traceComponentName(TraceComponent::SwTranslate),
+                 "sw_translate");
+    EXPECT_STREQ(traceOutcomeName(TraceOutcome::Hit), "hit");
+    EXPECT_STREQ(traceOutcomeName(TraceOutcome::Miss), "miss");
+    EXPECT_STREQ(traceOutcomeName(TraceOutcome::Walk), "walk");
+    EXPECT_STREQ(traceOutcomeName(TraceOutcome::Load), "load");
+    EXPECT_STREQ(traceOutcomeName(TraceOutcome::Store), "store");
+    EXPECT_STREQ(traceOutcomeName(TraceOutcome::Flush), "flush");
+}
+
+TEST(PoatTraceMacro, NullTracerIsSafe)
+{
+    EventTracer *none = nullptr;
+    POAT_TRACE(none, 1, TraceComponent::Polb, TraceOutcome::Hit, 2, 3);
+    SUCCEED();
+}
+
+TEST(PoatTraceMacro, RecordsThroughNonNullTracer)
+{
+    EventTracer t(4);
+    EventTracer *tp = &t;
+    POAT_TRACE(tp, 11, TraceComponent::NvAccess, TraceOutcome::Store,
+               0x5, 9);
+#if POAT_TRACE_ENABLED
+    EXPECT_EQ(t.recorded(), 1u);
+#else
+    EXPECT_EQ(t.recorded(), 0u);
+#endif
+}
+
+} // namespace
+} // namespace poat

@@ -7,6 +7,10 @@
  */
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "driver/experiment.h"
 
 namespace poat {
@@ -206,6 +210,87 @@ TEST(Geomean, MatchesHandComputation)
     EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
     EXPECT_DOUBLE_EQ(geomean({}), 0.0);
     EXPECT_NEAR(geomean({1.0, 2.0, 4.0}), 2.0, 1e-12);
+}
+
+TEST(Telemetry, ResultCarriesTheFullStatsRegistry)
+{
+    const auto r = runExperiment(opt(base("LL", PoolPattern::Random)));
+    EXPECT_EQ(r.stats.get("core.cycles"), r.metrics.cycles);
+    EXPECT_EQ(r.stats.get("core.instructions"), r.metrics.instructions);
+    EXPECT_GT(r.stats.get("polb.accesses"), 0u);
+    EXPECT_GT(r.stats.get("workload.operations"), 0u);
+    // The POLB lookup-latency histogram saw every translated access.
+    const Histogram *h = r.stats.findHistogram("polb.lookup_latency");
+    ASSERT_NE(h, nullptr);
+    EXPECT_GT(h->count(), 0u);
+}
+
+TEST(Telemetry, BaseRunsProfileTheSoftwareTranslator)
+{
+    const auto r = runExperiment(base("BST", PoolPattern::Each));
+    EXPECT_EQ(r.stats.get("sw_translate.calls"), r.translate_calls);
+    const Histogram *h =
+        r.stats.findHistogram("sw_translate.insns_per_call");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count(), r.translate_calls);
+    EXPECT_NEAR(h->mean(), r.translate_insns_per_call, 1e-9);
+}
+
+TEST(Telemetry, ObserverSeesEveryRunWithItsLabel)
+{
+    std::vector<std::string> labels;
+    setExperimentObserver(
+        [&](const ExperimentConfig &cfg, const ExperimentResult &res) {
+            labels.push_back(configLabel(cfg));
+            EXPECT_GT(res.metrics.cycles, 0u);
+        });
+    runExperiment(base("LL", PoolPattern::All));
+    runExperiment(opt(base("LL", PoolPattern::All)));
+    setExperimentObserver(nullptr);
+    ASSERT_EQ(labels.size(), 2u);
+    EXPECT_EQ(labels[0], "LL.ALL.base.inorder");
+    EXPECT_EQ(labels[1], "LL.ALL.opt_pipelined.inorder");
+}
+
+TEST(Telemetry, ConfigLabelCoversTheVariantAxes)
+{
+    auto c = base("BT", PoolPattern::Random, sim::CoreType::OutOfOrder,
+                  /*tx=*/false);
+    EXPECT_EQ(configLabel(c), "BT.RANDOM.base.ooo.ntx");
+    EXPECT_EQ(configLabel(opt(c, sim::PolbDesign::Parallel)),
+              "BT.RANDOM.opt_parallel.ooo.ntx");
+    EXPECT_EQ(configLabel(opt(c, sim::PolbDesign::Pipelined, true)),
+              "BT.RANDOM.opt_ideal.ooo.ntx");
+    c.label = "custom";
+    EXPECT_EQ(configLabel(c), "custom");
+}
+
+TEST(Telemetry, AttachedTracerRecordsTranslationEvents)
+{
+    EventTracer tracer(1u << 16);
+    auto cfg = opt(base("LL", PoolPattern::Random));
+    cfg.tracer = &tracer;
+    runExperiment(cfg);
+#if POAT_TRACE_ENABLED
+    EXPECT_GT(tracer.total(), 0u);
+#endif
+    // Run-boundary markers are always present.
+    std::ostringstream os;
+    tracer.serialize(os);
+    EXPECT_NE(os.str().find("M 0 begin LL.RANDOM.opt_pipelined.inorder"),
+              std::string::npos);
+}
+
+TEST(Telemetry, TracerDoesNotPerturbTiming)
+{
+    EventTracer tracer(1u << 16);
+    auto traced = opt(base("BST", PoolPattern::Each));
+    traced.tracer = &tracer;
+    const auto with = runExperiment(traced);
+    const auto without =
+        runExperiment(opt(base("BST", PoolPattern::Each)));
+    EXPECT_EQ(with.metrics.cycles, without.metrics.cycles);
+    EXPECT_EQ(with.workload_checksum, without.workload_checksum);
 }
 
 } // namespace

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Convert a poat-trace v1 file (written by the bench --trace=FILE flag
+ * / EventTracer::serialize) into Chrome trace_event JSON, loadable in
+ * chrome://tracing or https://ui.perfetto.dev.
+ *
+ * Mapping: every `E` record becomes a complete ("ph":"X") event whose
+ * timestamp is the simulated cycle and whose duration is the recorded
+ * latency (clamped to 1 so zero-latency hits stay visible); components
+ * become tracks (tid) and categories. `M` markers become global
+ * instant events. Cycles are reported as microseconds — the absolute
+ * unit does not matter for viewing, only for the labels.
+ *
+ * usage: trace_convert IN [OUT]       (OUT defaults to stdout)
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "common/logging.h"
+
+namespace {
+
+/** JSON string escape for marker labels. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+int
+convert(std::istream &in, std::ostream &out)
+{
+    std::string line;
+    if (!std::getline(in, line) || line.rfind("poat-trace v1", 0) != 0) {
+        std::fprintf(stderr,
+                     "trace_convert: input is not a poat-trace v1 file\n");
+        return 1;
+    }
+
+    // One tid per component, in order of first appearance.
+    std::map<std::string, int> tids;
+    auto tidOf = [&tids](const std::string &comp) {
+        auto [it, inserted] =
+            tids.emplace(comp, static_cast<int>(tids.size()) + 1);
+        (void)inserted;
+        return it->second;
+    };
+
+    out << "{\"traceEvents\": [\n";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            out << ",\n";
+        first = false;
+    };
+
+    uint64_t events = 0;
+    size_t lineno = 1;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string kind;
+        ls >> kind;
+        if (kind == "M") {
+            uint64_t cycle;
+            ls >> cycle;
+            std::string label;
+            std::getline(ls, label);
+            if (!label.empty() && label[0] == ' ')
+                label.erase(0, 1);
+            sep();
+            out << "  {\"name\": \"" << jsonEscape(label)
+                << "\", \"ph\": \"i\", \"s\": \"g\", \"ts\": " << cycle
+                << ", \"pid\": 1, \"tid\": 0}";
+        } else if (kind == "E") {
+            uint64_t cycle;
+            std::string comp, outcome, oid;
+            uint32_t latency;
+            if (!(ls >> cycle >> comp >> outcome >> oid >> latency)) {
+                std::fprintf(stderr,
+                             "trace_convert: malformed line %zu\n",
+                             lineno);
+                return 1;
+            }
+            sep();
+            out << "  {\"name\": \"" << comp << "." << outcome
+                << "\", \"cat\": \"" << comp
+                << "\", \"ph\": \"X\", \"ts\": " << cycle
+                << ", \"dur\": " << (latency == 0 ? 1 : latency)
+                << ", \"pid\": 1, \"tid\": " << tidOf(comp)
+                << ", \"args\": {\"oid\": \"" << oid
+                << "\", \"outcome\": \"" << outcome
+                << "\", \"latency_cycles\": " << latency << "}}";
+            ++events;
+        } else {
+            std::fprintf(stderr,
+                         "trace_convert: unknown record '%s' at line "
+                         "%zu\n",
+                         kind.c_str(), lineno);
+            return 1;
+        }
+    }
+
+    // Name the per-component tracks.
+    for (const auto &[comp, tid] : tids) {
+        sep();
+        out << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+               "\"tid\": "
+            << tid << ", \"args\": {\"name\": \"" << comp << "\"}}";
+    }
+
+    out << "\n], \"displayTimeUnit\": \"ms\", "
+        << "\"otherData\": {\"source\": \"poat\", \"time_unit\": "
+           "\"cycles\"}}\n";
+    std::fprintf(stderr, "trace_convert: wrote %llu events\n",
+                 static_cast<unsigned long long>(events));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2 || argc > 3 ||
+        std::strcmp(argv[1], "--help") == 0) {
+        std::fprintf(stderr, "usage: trace_convert IN [OUT]\n"
+                             "  IN:  poat-trace v1 file (bench "
+                             "--trace=FILE output)\n"
+                             "  OUT: Chrome trace_event JSON "
+                             "(default stdout)\n");
+        return argc < 2 ? 1 : 0;
+    }
+
+    std::ifstream in(argv[1]);
+    if (!in)
+        POAT_FATAL("trace_convert: cannot open input file");
+
+    if (argc == 3) {
+        std::ofstream out(argv[2]);
+        if (!out)
+            POAT_FATAL("trace_convert: cannot open output file");
+        return convert(in, out);
+    }
+    return convert(in, std::cout);
+}
