@@ -8,20 +8,42 @@
  *
  * Prints OPT speedup against (a) the paper's BASE and (b) a
  * predictor-less BASE, on ALL (where the predictor is nearly perfect)
- * and RANDOM (where it nearly always misses).
+ * and RANDOM (where it nearly always misses). Runs execute through one
+ * parallel sweep (--jobs).
  */
 #include "bench/bench_util.h"
 
 using namespace poat;
 using namespace poat::bench;
-using driver::runExperiment;
 using driver::speedup;
+
+namespace {
+
+const std::pair<workloads::PoolPattern, const char *> kPatterns[] = {
+    {workloads::PoolPattern::All, "ALL"},
+    {workloads::PoolPattern::Random, "RANDOM"},
+};
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     const BenchArgs args = BenchArgs::parse(argc, argv);
     JsonReport report("ablation_base_predictor", args);
+
+    std::vector<driver::ExperimentConfig> cfgs;
+    for (const auto &wl : workloads::microbenchNames()) {
+        for (const auto &[pattern, pname] : kPatterns) {
+            (void)pname;
+            cfgs.push_back(microBase(args, wl, pattern));
+            auto nopred_cfg = microBase(args, wl, pattern);
+            nopred_cfg.base_predictor = false;
+            cfgs.push_back(nopred_cfg);
+            cfgs.push_back(asOpt(microBase(args, wl, pattern)));
+        }
+    }
+    const auto res = runAll(args, report, std::move(cfgs));
 
     std::printf("Ablation: BASE's last-value translation predictor "
                 "(in-order, Pipelined OPT)\n");
@@ -31,23 +53,19 @@ main(int argc, char **argv)
     hr(86);
 
     std::vector<double> vs_base[2], vs_nopred[2];
+    size_t i = 0;
     for (const auto &wl : workloads::microbenchNames()) {
         int pi = 0;
-        for (const auto &[pattern, pname] :
-             {std::pair{workloads::PoolPattern::All, "ALL"},
-              std::pair{workloads::PoolPattern::Random, "RANDOM"}}) {
-            const auto base = runExperiment(microBase(args, wl, pattern));
-            auto nopred_cfg = microBase(args, wl, pattern);
-            nopred_cfg.base_predictor = false;
-            const auto nopred = runExperiment(nopred_cfg);
-            const auto opt = runExperiment(asOpt(microBase(args, wl,
-                                                           pattern)));
+        for (const auto &[pattern, pname] : kPatterns) {
+            (void)pattern;
+            const auto &base = res[i++];
+            const auto &nopred = res[i++];
+            const auto &opt = res[i++];
             std::printf("%-5s %-7s %15.2fx %17.2fx %13.2fx\n",
                         wl.c_str(), pname, speedup(base, opt),
                         speedup(nopred, opt),
                         static_cast<double>(nopred.metrics.cycles) /
                             static_cast<double>(base.metrics.cycles));
-            std::fflush(stdout);
             vs_base[pi].push_back(speedup(base, opt));
             vs_nopred[pi].push_back(speedup(nopred, opt));
             ++pi;

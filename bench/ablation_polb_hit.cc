@@ -9,14 +9,23 @@
  * the (unaffected) Parallel speedup. The paper's conclusion —
  * "Pipelined performs better than Parallel in all benchmarks" — holds
  * as long as the per-hit exposure stays below Parallel's per-access
- * expected miss cost (miss rate x 60 cycles).
+ * expected miss cost (miss rate x 60 cycles). Runs execute through one
+ * parallel sweep (--jobs).
  */
 #include "bench/bench_util.h"
 
 using namespace poat;
 using namespace poat::bench;
-using driver::runExperiment;
 using driver::speedup;
+
+namespace {
+
+const std::pair<workloads::PoolPattern, const char *> kPatterns[] = {
+    {workloads::PoolPattern::Random, "RANDOM"},
+    {workloads::PoolPattern::Each, "EACH"},
+};
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -24,9 +33,26 @@ main(int argc, char **argv)
     const BenchArgs args = BenchArgs::parse(argc, argv);
     JsonReport report("ablation_polb_hit", args);
 
-    for (const auto &[pattern, pname] :
-         {std::pair{workloads::PoolPattern::Random, "RANDOM"},
-          std::pair{workloads::PoolPattern::Each, "EACH"}}) {
+    // Per (pattern, workload): base, 4 hit charges, Parallel.
+    std::vector<driver::ExperimentConfig> cfgs;
+    for (const auto &[pattern, pname] : kPatterns) {
+        (void)pname;
+        for (const auto &wl : workloads::microbenchNames()) {
+            cfgs.push_back(microBase(args, wl, pattern));
+            for (uint32_t charge = 0; charge <= 3; ++charge) {
+                auto cfg = asOpt(microBase(args, wl, pattern));
+                cfg.machine.polb_inorder_hit_charge = charge;
+                cfgs.push_back(cfg);
+            }
+            cfgs.push_back(asOpt(microBase(args, wl, pattern),
+                                 sim::PolbDesign::Parallel));
+        }
+    }
+    const auto res = runAll(args, report, std::move(cfgs));
+
+    size_t i = 0;
+    for (const auto &[pattern, pname] : kPatterns) {
+        (void)pattern;
         std::printf("Ablation: exposed POLB hit cycles (in-order, %s)\n",
                     pname);
         hr(80);
@@ -35,19 +61,14 @@ main(int argc, char **argv)
         hr(80);
         std::vector<double> by_charge[4], par_v;
         for (const auto &wl : workloads::microbenchNames()) {
-            const auto base =
-                runExperiment(microBase(args, wl, pattern));
+            const auto &base = res[i++];
             std::printf("%-5s", wl.c_str());
             for (uint32_t charge = 0; charge <= 3; ++charge) {
-                auto cfg = asOpt(microBase(args, wl, pattern));
-                cfg.machine.polb_inorder_hit_charge = charge;
-                const auto opt = runExperiment(cfg);
+                const auto &opt = res[i++];
                 std::printf(" %7.2fx", speedup(base, opt));
-                std::fflush(stdout);
                 by_charge[charge].push_back(speedup(base, opt));
             }
-            const auto par = runExperiment(asOpt(
-                microBase(args, wl, pattern), sim::PolbDesign::Parallel));
+            const auto &par = res[i++];
             std::printf("  %8.2fx\n", speedup(base, par));
             par_v.push_back(speedup(base, par));
         }

@@ -6,19 +6,49 @@
  * path. Sweeps associativity {1, 2, 4, 8, full} at the default 32
  * entries (Pipelined, EACH pattern — the contented case) and
  * replacement policies {LRU, FIFO, random} at full associativity.
+ * Runs execute through one parallel sweep (--jobs).
  */
 #include "bench/bench_util.h"
 
 using namespace poat;
 using namespace poat::bench;
-using driver::runExperiment;
 using driver::speedup;
+
+namespace {
+
+const uint32_t kAssocs[] = {1, 2, 4, 8, 0};
+const sim::PolbReplacement kRepls[] = {sim::PolbReplacement::Lru,
+                                       sim::PolbReplacement::Fifo,
+                                       sim::PolbReplacement::Random};
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     const BenchArgs args = BenchArgs::parse(argc, argv);
     JsonReport report("ablation_polb_org", args);
+
+    // Per workload: base, 5 associativities, 3 replacement policies.
+    std::vector<driver::ExperimentConfig> cfgs;
+    for (const auto &wl : workloads::microbenchNames()) {
+        cfgs.push_back(
+            microBase(args, wl, workloads::PoolPattern::Each));
+        for (const uint32_t assoc : kAssocs) {
+            auto cfg = asOpt(
+                microBase(args, wl, workloads::PoolPattern::Each));
+            cfg.machine.polb_assoc = assoc;
+            cfgs.push_back(cfg);
+        }
+        for (const auto repl : kRepls) {
+            auto cfg = asOpt(
+                microBase(args, wl, workloads::PoolPattern::Each));
+            cfg.machine.polb_replacement = repl;
+            cfgs.push_back(cfg);
+        }
+    }
+    const auto res = runAll(args, report, std::move(cfgs));
+    const size_t per_wl = 1 + 5 + 3;
 
     std::printf("Ablation: POLB associativity "
                 "(32 entries, EACH pattern, in-order, Pipelined)\n");
@@ -27,26 +57,23 @@ main(int argc, char **argv)
                 "Bench", "1-way", "2-way", "4-way", "8-way", "full");
     hr(86);
     std::vector<double> by_assoc[5];
+    size_t wl_at = 0;
     for (const auto &wl : workloads::microbenchNames()) {
-        const auto base = runExperiment(
-            microBase(args, wl, workloads::PoolPattern::Each));
+        const auto &base = res[wl_at];
+        size_t i = wl_at + 1;
         std::printf("%-5s", wl.c_str());
         std::string miss_row = "     ";
-        int ai = 0;
-        for (const uint32_t assoc : {1u, 2u, 4u, 8u, 0u}) {
-            auto cfg = asOpt(
-                microBase(args, wl, workloads::PoolPattern::Each));
-            cfg.machine.polb_assoc = assoc;
-            const auto opt = runExperiment(cfg);
+        for (int ai = 0; ai < 5; ++ai) {
+            const auto &opt = res[i++];
             std::printf(" %7.2fx", speedup(base, opt));
             char buf[16];
             std::snprintf(buf, sizeof(buf), " %7.1f%%",
                           100.0 * opt.metrics.polbMissRate());
             miss_row += buf;
-            std::fflush(stdout);
-            by_assoc[ai++].push_back(speedup(base, opt));
+            by_assoc[ai].push_back(speedup(base, opt));
         }
         std::printf("\n%s\n", miss_row.c_str());
+        wl_at += per_wl;
     }
     hr(86);
     const char *assoc_names[5] = {"1way", "2way", "4way", "8way", "full"};
@@ -63,23 +90,18 @@ main(int argc, char **argv)
                 "Random");
     hr(60);
     std::vector<double> by_repl[3];
+    wl_at = 0;
     for (const auto &wl : workloads::microbenchNames()) {
-        const auto base = runExperiment(
-            microBase(args, wl, workloads::PoolPattern::Each));
+        const auto &base = res[wl_at];
+        size_t i = wl_at + 1 + 5;
         std::printf("%-5s", wl.c_str());
-        int ri = 0;
-        for (const auto repl :
-             {sim::PolbReplacement::Lru, sim::PolbReplacement::Fifo,
-              sim::PolbReplacement::Random}) {
-            auto cfg = asOpt(
-                microBase(args, wl, workloads::PoolPattern::Each));
-            cfg.machine.polb_replacement = repl;
-            const auto opt = runExperiment(cfg);
+        for (int ri = 0; ri < 3; ++ri) {
+            const auto &opt = res[i++];
             std::printf(" %9.2fx", speedup(base, opt));
-            std::fflush(stdout);
-            by_repl[ri++].push_back(speedup(base, opt));
+            by_repl[ri].push_back(speedup(base, opt));
         }
         std::printf("\n");
+        wl_at += per_wl;
     }
     hr(60);
     const char *repl_names[3] = {"lru", "fifo", "random"};

@@ -6,12 +6,12 @@
  * accesses (each probe reads its POT slot through the cache hierarchy)
  * and compares against the fixed charges of Figure 12, on the
  * worst-case workload/pattern (EACH: the highest POLB miss rates).
+ * Runs execute through one parallel sweep (--jobs).
  */
 #include "bench/bench_util.h"
 
 using namespace poat;
 using namespace poat::bench;
-using driver::runExperiment;
 using driver::speedup;
 
 int
@@ -19,6 +19,24 @@ main(int argc, char **argv)
 {
     const BenchArgs args = BenchArgs::parse(argc, argv);
     JsonReport report("ablation_pot_memory", args);
+
+    // Per workload: base, fixed-10, fixed-30, in-memory walk.
+    std::vector<driver::ExperimentConfig> cfgs;
+    for (const auto &wl : workloads::microbenchNames()) {
+        cfgs.push_back(
+            microBase(args, wl, workloads::PoolPattern::Each));
+        auto fixed10 = asOpt(
+            microBase(args, wl, workloads::PoolPattern::Each));
+        fixed10.machine.pot_walk_pipelined = 10;
+        cfgs.push_back(fixed10);
+        cfgs.push_back(
+            asOpt(microBase(args, wl, workloads::PoolPattern::Each)));
+        auto mem = asOpt(
+            microBase(args, wl, workloads::PoolPattern::Each));
+        mem.machine.pot_walk_in_memory = true;
+        cfgs.push_back(mem);
+    }
+    const auto res = runAll(args, report, std::move(cfgs));
 
     std::printf("Ablation: fixed POT-walk charge vs in-memory walk "
                 "(EACH, in-order, Pipelined)\n");
@@ -28,28 +46,17 @@ main(int argc, char **argv)
     hr(80);
 
     std::vector<double> v10, v30, vmem;
+    size_t i = 0;
     for (const auto &wl : workloads::microbenchNames()) {
-        const auto base = runExperiment(
-            microBase(args, wl, workloads::PoolPattern::Each));
-
-        auto fixed10 = asOpt(
-            microBase(args, wl, workloads::PoolPattern::Each));
-        fixed10.machine.pot_walk_pipelined = 10;
-        const auto r10 = runExperiment(fixed10);
-
-        const auto r30 = runExperiment(
-            asOpt(microBase(args, wl, workloads::PoolPattern::Each)));
-
-        auto mem = asOpt(
-            microBase(args, wl, workloads::PoolPattern::Each));
-        mem.machine.pot_walk_in_memory = true;
-        const auto rmem = runExperiment(mem);
+        const auto &base = res[i++];
+        const auto &r10 = res[i++];
+        const auto &r30 = res[i++];
+        const auto &rmem = res[i++];
 
         std::printf("%-5s %9.2fx %9.2fx %9.2fx %11.1f%%\n", wl.c_str(),
                     speedup(base, r10), speedup(base, r30),
                     speedup(base, rmem),
                     100.0 * r30.metrics.polbMissRate());
-        std::fflush(stdout);
         v10.push_back(speedup(base, r10));
         v30.push_back(speedup(base, r30));
         vmem.push_back(speedup(base, rmem));

@@ -1,18 +1,23 @@
 /**
  * @file
  * Shared plumbing for the paper-reproduction bench binaries: argument
- * parsing (--quick / --scale=N / --txns=N / --stats-json=F / --trace=F),
- * configuration builders, fixed-width table printing that mirrors the
- * paper's rows, and the machine-readable JSON report every binary can
- * emit (docs/OBSERVABILITY.md documents the schema).
+ * parsing (--quick / --scale=N / --txns=N / --jobs=N / --stats-json=F /
+ * --trace=F), configuration builders, the parallel sweep entry point
+ * every binary funnels its runs through (runAll), fixed-width table
+ * printing that mirrors the paper's rows, and the machine-readable
+ * JSON report every binary can emit (docs/OBSERVABILITY.md documents
+ * the schema).
  */
 #ifndef POAT_BENCH_BENCH_UTIL_H
 #define POAT_BENCH_BENCH_UTIL_H
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -20,6 +25,7 @@
 #include "common/logging.h"
 #include "common/trace_event.h"
 #include "driver/experiment.h"
+#include "driver/sweep.h"
 
 namespace poat {
 namespace bench {
@@ -32,6 +38,7 @@ struct BenchArgs
     uint64_t tpcc_txns = 1000;
     bool include_tpcc = true;
     bool quick = false;
+    uint32_t jobs = 0;      ///< sweep threads; 0 = all cores, 1 = serial
     std::string stats_json; ///< write a JSON report here (empty = off)
     std::string trace;      ///< write a poat-trace v1 file here
 
@@ -44,10 +51,14 @@ struct BenchArgs
                     "  --tpcc-scale=N    TPC-C cardinality %%\n"
                     "  --txns=N          TPC-C transaction count\n"
                     "  --no-tpcc         skip TPC-C rows\n"
+                    "  --jobs=N          concurrent runs (default: all\n"
+                    "                    cores; 1 = serial; results are\n"
+                    "                    identical at any N)\n"
                     "  --stats-json=FILE write a JSON stats report\n"
                     "  --trace=FILE      write a poat-trace v1 event "
                     "trace\n"
-                    "                    (convert: tools/trace_convert)\n");
+                    "                    (convert: tools/trace_convert;\n"
+                    "                    forces --jobs=1)\n");
     }
 
     static BenchArgs
@@ -70,6 +81,8 @@ struct BenchArgs
                 a.tpcc_txns = std::stoull(s.substr(7));
             } else if (s == "--no-tpcc") {
                 a.include_tpcc = false;
+            } else if (s.rfind("--jobs=", 0) == 0) {
+                a.jobs = std::stoul(s.substr(7));
             } else if (s.rfind("--stats-json=", 0) == 0) {
                 a.stats_json = s.substr(13);
             } else if (s.rfind("--trace=", 0) == 0) {
@@ -83,6 +96,15 @@ struct BenchArgs
                 usage();
                 POAT_FATAL("unrecognized bench argument");
             }
+        }
+        if (!a.trace.empty() && a.jobs != 1) {
+            // One --trace sink, one producer at a time (trace_event.h):
+            // tracing serializes the sweep.
+            if (a.jobs > 1)
+                std::fprintf(stderr,
+                             "note: --trace shares one event sink "
+                             "across runs; forcing --jobs=1\n");
+            a.jobs = 1;
         }
         return a;
     }
@@ -106,14 +128,90 @@ jsonEscape(const std::string &s)
 }
 
 /**
+ * Thread-safe collector of finished runs for the JSON report.
+ *
+ * runSweep() notifies the experiment observer serially in submission
+ * order, but the recorder is also safe under direct multi-threaded
+ * runExperiment() use: record() takes a mutex, so the report's run
+ * list is always well-formed (and, through a sweep, deterministically
+ * ordered).
+ */
+class BenchRecorder
+{
+  public:
+    struct Run
+    {
+        std::string label;
+        std::string config; ///< pre-rendered JSON object
+        uint64_t cycles;
+        uint64_t instructions;
+        double ipc;
+        StatsRegistry stats;
+    };
+
+    void
+    record(const driver::ExperimentConfig &cfg,
+           const driver::ExperimentResult &res)
+    {
+        Run r;
+        r.label = driver::configLabel(cfg);
+        r.config = configJson(cfg);
+        r.cycles = res.metrics.cycles;
+        r.instructions = res.metrics.instructions;
+        r.ipc = res.metrics.ipc();
+        r.stats = res.stats;
+        std::lock_guard<std::mutex> lock(mu_);
+        runs_.push_back(std::move(r));
+    }
+
+    /** Recorded runs, oldest first. Do not call during a sweep. */
+    const std::vector<Run> &runs() const { return runs_; }
+
+    static std::string
+    configJson(const driver::ExperimentConfig &cfg)
+    {
+        std::string s = "{";
+        s += "\"workload\": \"" + jsonEscape(cfg.workload) + "\"";
+        s += ", \"mode\": \"";
+        s += cfg.mode == TranslationMode::Software ? "software"
+                                                   : "hardware";
+        s += "\", \"core\": \"";
+        s += cfg.machine.core == sim::CoreType::InOrder ? "inorder"
+                                                        : "ooo";
+        s += "\", \"polb_design\": \"";
+        s += cfg.machine.polb_design == sim::PolbDesign::Pipelined
+            ? "pipelined"
+            : "parallel";
+        s += "\", \"polb_entries\": " +
+            std::to_string(cfg.machine.polb_entries);
+        s += ", \"ideal_translation\": ";
+        s += cfg.machine.ideal_translation ? "true" : "false";
+        s += ", \"transactions\": ";
+        s += cfg.transactions ? "true" : "false";
+        s += ", \"timing\": ";
+        s += cfg.timing ? "true" : "false";
+        s += ", \"scale_pct\": " + std::to_string(cfg.scale_pct);
+        s += ", \"seed\": " + std::to_string(cfg.seed);
+        s += "}";
+        return s;
+    }
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<Run> runs_;
+};
+
+/**
  * Machine-readable results for one bench binary.
  *
  * Construction installs a driver-level observer (when --stats-json is
  * given) that records every runExperiment() call — label, config
  * summary, headline numbers, and the run's full hierarchical stats —
- * and a process-wide EventTracer (when --trace is given). write()
- * emits the report and the serialized trace; benches add their
- * headline metrics (speedup geomeans etc.) via metric() first.
+ * into a mutex-guarded BenchRecorder, and owns the single EventTracer
+ * runs share when --trace is given (runAll() attaches it per-config;
+ * tracing forces a serial sweep because the sink is single-producer).
+ * write() emits the report and the serialized trace; benches add
+ * their headline metrics (speedup geomeans etc.) via metric() first.
  */
 class JsonReport
 {
@@ -125,13 +223,11 @@ class JsonReport
             driver::setExperimentObserver(
                 [this](const driver::ExperimentConfig &cfg,
                        const driver::ExperimentResult &res) {
-                    record(cfg, res);
+                    recorder_.record(cfg, res);
                 });
         }
-        if (!args_.trace.empty()) {
+        if (!args_.trace.empty())
             tracer_ = std::make_unique<EventTracer>();
-            driver::setDefaultTracer(tracer_.get());
-        }
     }
 
     ~JsonReport()
@@ -139,8 +235,6 @@ class JsonReport
         write();
         if (!args_.stats_json.empty())
             driver::setExperimentObserver(nullptr);
-        if (tracer_)
-            driver::setDefaultTracer(nullptr);
     }
 
     JsonReport(const JsonReport &) = delete;
@@ -170,57 +264,6 @@ class JsonReport
     }
 
   private:
-    struct Run
-    {
-        std::string label;
-        std::string config; ///< pre-rendered JSON object
-        uint64_t cycles;
-        uint64_t instructions;
-        double ipc;
-        StatsRegistry stats;
-    };
-
-    void
-    record(const driver::ExperimentConfig &cfg,
-           const driver::ExperimentResult &res)
-    {
-        Run r;
-        r.label = driver::configLabel(cfg);
-        r.config = configJson(cfg);
-        r.cycles = res.metrics.cycles;
-        r.instructions = res.metrics.instructions;
-        r.ipc = res.metrics.ipc();
-        r.stats = res.stats;
-        runs_.push_back(std::move(r));
-    }
-
-    static std::string
-    configJson(const driver::ExperimentConfig &cfg)
-    {
-        std::string s = "{";
-        s += "\"workload\": \"" + jsonEscape(cfg.workload) + "\"";
-        s += ", \"mode\": \"";
-        s += cfg.mode == TranslationMode::Software ? "software"
-                                                   : "hardware";
-        s += "\", \"core\": \"";
-        s += cfg.machine.core == sim::CoreType::InOrder ? "inorder"
-                                                        : "ooo";
-        s += "\", \"polb_design\": \"";
-        s += cfg.machine.polb_design == sim::PolbDesign::Pipelined
-            ? "pipelined"
-            : "parallel";
-        s += "\", \"polb_entries\": " +
-            std::to_string(cfg.machine.polb_entries);
-        s += ", \"ideal_translation\": ";
-        s += cfg.machine.ideal_translation ? "true" : "false";
-        s += ", \"transactions\": ";
-        s += cfg.transactions ? "true" : "false";
-        s += ", \"scale_pct\": " + std::to_string(cfg.scale_pct);
-        s += ", \"seed\": " + std::to_string(cfg.seed);
-        s += "}";
-        return s;
-    }
-
     void
     writeStats()
     {
@@ -230,6 +273,7 @@ class JsonReport
                          args_.stats_json.c_str());
             POAT_FATAL("cannot open --stats-json output file");
         }
+        const auto &runs = recorder_.runs();
         os << "{\n  \"bench\": \"" << jsonEscape(name_) << "\",\n";
         os << "  \"quick\": " << (args_.quick ? "true" : "false")
            << ",\n";
@@ -237,8 +281,8 @@ class JsonReport
         os << "  \"tpcc_scale_pct\": " << args_.tpcc_scale_pct << ",\n";
         os << "  \"tpcc_txns\": " << args_.tpcc_txns << ",\n";
         os << "  \"runs\": [";
-        for (size_t i = 0; i < runs_.size(); ++i) {
-            const Run &r = runs_[i];
+        for (size_t i = 0; i < runs.size(); ++i) {
+            const BenchRecorder::Run &r = runs[i];
             os << (i ? ",\n" : "\n") << "    {\n";
             os << "      \"label\": \"" << jsonEscape(r.label)
                << "\",\n";
@@ -260,7 +304,7 @@ class JsonReport
                << jsonEscape(metrics_[i].first) << "\": " << v;
         }
         os << (metrics_.empty() ? "" : "\n  ") << "}\n}\n";
-        std::printf("stats-json: wrote %zu runs to %s\n", runs_.size(),
+        std::printf("stats-json: wrote %zu runs to %s\n", runs.size(),
                     args_.stats_json.c_str());
     }
 
@@ -281,11 +325,43 @@ class JsonReport
 
     std::string name_;
     BenchArgs args_;
-    std::vector<Run> runs_;
+    BenchRecorder recorder_;
     std::vector<std::pair<std::string, double>> metrics_;
     std::unique_ptr<EventTracer> tracer_;
     bool written_ = false;
 };
+
+/**
+ * Execute a batch of experiment configs through driver::runSweep with
+ * the --jobs setting, returning results in submission order (identical
+ * to a serial runExperiment loop at any job count). When --trace is
+ * active the report's tracer is attached to every config and the sweep
+ * is serial (BenchArgs::parse already forced jobs=1). A live
+ * "sweep k/n" progress line goes to stderr so long regenerations still
+ * show a heartbeat while the result tables print all at once.
+ */
+inline std::vector<driver::ExperimentResult>
+runAll(const BenchArgs &args, JsonReport &report,
+       std::vector<driver::ExperimentConfig> configs)
+{
+    if (report.tracer())
+        for (auto &c : configs)
+            c.tracer = report.tracer();
+    driver::SweepOptions so;
+    so.jobs = args.jobs;
+    const bool tty = isatty(fileno(stderr));
+    so.progress = [tty](size_t i, size_t n,
+                        const driver::ExperimentConfig &,
+                        const driver::ExperimentResult &) {
+        if (!tty)
+            return;
+        std::fprintf(stderr, "\rsweep %zu/%zu", i + 1, n);
+        if (i + 1 == n)
+            std::fprintf(stderr, "\r          \r");
+        std::fflush(stderr);
+    };
+    return driver::runSweep(configs, so);
+}
 
 /** Baseline (BASE) experiment for a microbenchmark. */
 inline driver::ExperimentConfig

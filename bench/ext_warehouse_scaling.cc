@@ -7,7 +7,7 @@
  * Scales TPC-C from 1 to 8 warehouses under the PerWarehouse placement
  * (one pool per table per warehouse: 10, 20, 40, 80 pools) and reports
  * the OPT speedup and POLB miss rate for both designs with the default
- * 32-entry POLB.
+ * 32-entry POLB. Runs execute through one parallel sweep (--jobs).
  *
  * Finding: even at 80 live pools the Pipelined POLB barely misses,
  * because each transaction works within one warehouse — its hot pool
@@ -19,12 +19,35 @@
  * section 8 concern: POT capacity, not POLB reach, is the scaling
  * limit for workloads with transaction-local pool affinity.
  */
+#include <algorithm>
+
 #include "bench/bench_util.h"
 
 using namespace poat;
 using namespace poat::bench;
-using driver::runExperiment;
 using driver::speedup;
+
+namespace {
+
+const uint32_t kWarehouses[] = {1, 2, 4, 8};
+
+driver::ExperimentConfig
+warehouseCfg(const BenchArgs &args, uint32_t scale, uint32_t w,
+             TranslationMode mode, sim::PolbDesign design)
+{
+    driver::ExperimentConfig c;
+    c.workload = "TPCC";
+    c.placement = workloads::tpcc::Placement::PerWarehouse;
+    c.tpcc_scale_pct = scale;
+    c.tpcc_txns = args.tpcc_txns / 2;
+    c.tpcc_warehouses = w;
+    c.mode = mode;
+    c.machine.core = sim::CoreType::InOrder;
+    c.machine.polb_design = design;
+    return c;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -36,6 +59,20 @@ main(int argc, char **argv)
     const uint32_t scale =
         std::min<uint32_t>(args.tpcc_scale_pct, 4);
 
+    std::vector<driver::ExperimentConfig> cfgs;
+    for (const uint32_t w : kWarehouses) {
+        cfgs.push_back(warehouseCfg(args, scale, w,
+                                    TranslationMode::Software,
+                                    sim::PolbDesign::Pipelined));
+        cfgs.push_back(warehouseCfg(args, scale, w,
+                                    TranslationMode::Hardware,
+                                    sim::PolbDesign::Pipelined));
+        cfgs.push_back(warehouseCfg(args, scale, w,
+                                    TranslationMode::Hardware,
+                                    sim::PolbDesign::Parallel));
+    }
+    const auto res = runAll(args, report, std::move(cfgs));
+
     std::printf("Extension: pool-count scaling via TPC-C warehouses "
                 "(PerWarehouse placement, in-order)\n");
     hr(96);
@@ -43,44 +80,22 @@ main(int argc, char **argv)
                 "BASE cycles", "pipe", "par", "pipe miss%", "par miss%");
     hr(96);
 
-    for (const uint32_t w : {1u, 2u, 4u, 8u}) {
-        auto runW = [&](TranslationMode mode, sim::PolbDesign design) {
-            sim::MachineConfig mc;
-            mc.core = sim::CoreType::InOrder;
-            mc.polb_design = design;
-            sim::Machine machine(mc);
-            RuntimeOptions ro;
-            ro.mode = mode;
-            ro.aslr_seed = 99;
-            PmemRuntime rt(ro, &machine);
-            workloads::tpcc::TpccWorkload wl(
-                workloads::tpcc::Placement::PerWarehouse, scale, 42,
-                args.tpcc_txns / 2, true, w);
-            wl.run(rt);
-            return machine.metrics();
-        };
-
-        const auto base =
-            runW(TranslationMode::Software, sim::PolbDesign::Pipelined);
-        const auto pipe =
-            runW(TranslationMode::Hardware, sim::PolbDesign::Pipelined);
-        const auto par =
-            runW(TranslationMode::Hardware, sim::PolbDesign::Parallel);
+    size_t i = 0;
+    for (const uint32_t w : kWarehouses) {
+        const auto &base = res[i++];
+        const auto &pipe = res[i++];
+        const auto &par = res[i++];
         std::printf(
             "%3u %6u %12lu | %9.2fx %9.2fx | %11.2f%% %11.2f%%\n", w,
             w * static_cast<uint32_t>(workloads::tpcc::kTableCount),
-            static_cast<unsigned long>(base.cycles),
-            static_cast<double>(base.cycles) /
-                static_cast<double>(pipe.cycles),
-            static_cast<double>(base.cycles) /
-                static_cast<double>(par.cycles),
-            100.0 * pipe.polbMissRate(), 100.0 * par.polbMissRate());
-        std::fflush(stdout);
+            static_cast<unsigned long>(base.metrics.cycles),
+            speedup(base, pipe), speedup(base, par),
+            100.0 * pipe.metrics.polbMissRate(),
+            100.0 * par.metrics.polbMissRate());
         report.metric("speedup_pipelined_w" + std::to_string(w),
-                      static_cast<double>(base.cycles) /
-                          static_cast<double>(pipe.cycles));
+                      speedup(base, pipe));
         report.metric("missrate_pipelined_w" + std::to_string(w),
-                      pipe.polbMissRate());
+                      pipe.metrics.polbMissRate());
     }
     hr(96);
     std::printf("takeaway: pool count alone does not stress a 32-entry "

@@ -4,13 +4,13 @@
  * transaction support — OPT_NTX normalized to BASE_NTX on the in-order
  * core, both POLB designs, all patterns. Without logging, the pool
  * working sets shrink (an EACH pool fits in one page), so speedups run
- * well above the Figure 9 TX numbers.
+ * well above the Figure 9 TX numbers. Runs execute through one
+ * parallel sweep (--jobs).
  */
 #include "bench/bench_util.h"
 
 using namespace poat;
 using namespace poat::bench;
-using driver::runExperiment;
 using driver::speedup;
 
 int
@@ -19,6 +19,23 @@ main(int argc, char **argv)
     const BenchArgs args = BenchArgs::parse(argc, argv);
     JsonReport report("fig10_ntx_speedup", args);
 
+    std::vector<driver::ExperimentConfig> cfgs;
+    for (const auto &wl : workloads::microbenchNames()) {
+        for (const auto &[pattern, pname] : patterns()) {
+            (void)pname;
+            cfgs.push_back(microBase(args, wl, pattern,
+                                     sim::CoreType::InOrder,
+                                     /*transactions=*/false));
+            cfgs.push_back(asOpt(microBase(args, wl, pattern,
+                                           sim::CoreType::InOrder, false),
+                                 sim::PolbDesign::Pipelined));
+            cfgs.push_back(asOpt(microBase(args, wl, pattern,
+                                           sim::CoreType::InOrder, false),
+                                 sim::PolbDesign::Parallel));
+        }
+    }
+    const auto res = runAll(args, report, std::move(cfgs));
+
     std::printf("Figure 10: OPT_NTX speedup over BASE_NTX, in-order\n");
     hr();
     std::printf("%-5s %-7s %14s %10s %10s\n", "Bench", "Pattern",
@@ -26,25 +43,18 @@ main(int argc, char **argv)
     hr();
 
     std::vector<double> pipe_v[3], par_v[3];
+    size_t i = 0;
     for (const auto &wl : workloads::microbenchNames()) {
         int pi = 0;
         for (const auto &[pattern, pname] : patterns()) {
-            const auto base = runExperiment(
-                microBase(args, wl, pattern, sim::CoreType::InOrder,
-                          /*transactions=*/false));
-            const auto pipe = runExperiment(
-                asOpt(microBase(args, wl, pattern, sim::CoreType::InOrder,
-                                false),
-                      sim::PolbDesign::Pipelined));
-            const auto par = runExperiment(
-                asOpt(microBase(args, wl, pattern, sim::CoreType::InOrder,
-                                false),
-                      sim::PolbDesign::Parallel));
+            (void)pattern;
+            const auto &base = res[i++];
+            const auto &pipe = res[i++];
+            const auto &par = res[i++];
             std::printf("%-5s %-7s %14lu %9.2fx %9.2fx\n", wl.c_str(),
                         pname,
                         static_cast<unsigned long>(base.metrics.cycles),
                         speedup(base, pipe), speedup(base, par));
-            std::fflush(stdout);
             pipe_v[pi].push_back(speedup(base, pipe));
             par_v[pi].push_back(speedup(base, par));
             ++pi;

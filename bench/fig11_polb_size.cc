@@ -7,17 +7,21 @@
  *    {none, 1, 4, 32, 128}, both designs.
  *  - Table 9: POLB miss rates of OPT_NTX for sizes {1, 4, 32, 128},
  *    both designs.
+ *
+ * Both sections' runs execute through one parallel sweep (--jobs).
  */
 #include "bench/bench_util.h"
 
 using namespace poat;
 using namespace poat::bench;
-using driver::runExperiment;
 using driver::speedup;
 
 namespace {
 
 const uint32_t kSizes[] = {0, 1, 4, 32, 128};
+const uint32_t kNtxSizes[] = {1, 4, 32, 128};
+const sim::PolbDesign kDesigns[] = {sim::PolbDesign::Pipelined,
+                                    sim::PolbDesign::Parallel};
 
 } // namespace
 
@@ -27,6 +31,36 @@ main(int argc, char **argv)
     const BenchArgs args = BenchArgs::parse(argc, argv);
     JsonReport report("fig11_polb_size", args);
 
+    // Per workload: 1 base + 2 designs x 5 sizes (Figure 11), then
+    // 2 designs x 4 NTX sizes (Table 9).
+    std::vector<driver::ExperimentConfig> cfgs;
+    for (const auto &wl : workloads::microbenchNames()) {
+        cfgs.push_back(
+            microBase(args, wl, workloads::PoolPattern::Random));
+        for (const auto design : kDesigns) {
+            for (const uint32_t size : kSizes) {
+                auto cfg = asOpt(
+                    microBase(args, wl, workloads::PoolPattern::Random),
+                    design);
+                cfg.machine.polb_entries = size;
+                cfgs.push_back(cfg);
+            }
+        }
+        for (const auto design : kDesigns) {
+            for (const uint32_t size : kNtxSizes) {
+                auto cfg = asOpt(
+                    microBase(args, wl, workloads::PoolPattern::Random,
+                              sim::CoreType::InOrder,
+                              /*transactions=*/false),
+                    design);
+                cfg.machine.polb_entries = size;
+                cfgs.push_back(cfg);
+            }
+        }
+    }
+    const auto res = runAll(args, report, std::move(cfgs));
+    const size_t per_wl = 1 + 2 * 5 + 2 * 4;
+
     std::printf("Figure 11: speedup vs POLB size "
                 "(RANDOM pattern, in-order)\n");
     hr(92);
@@ -35,30 +69,25 @@ main(int argc, char **argv)
     hr(92);
 
     std::vector<double> by_size[2][5];
+    size_t wl_at = 0;
     for (const auto &wl : workloads::microbenchNames()) {
-        const auto base = runExperiment(
-            microBase(args, wl, workloads::PoolPattern::Random));
+        const auto &base = res[wl_at];
+        size_t i = wl_at + 1;
         int di = 0;
-        for (const auto design :
-             {sim::PolbDesign::Pipelined, sim::PolbDesign::Parallel}) {
+        for (const auto design : kDesigns) {
             std::printf("%-5s %-10s", wl.c_str(),
                         design == sim::PolbDesign::Pipelined
                             ? "Pipelined"
                             : "Parallel");
-            int si = 0;
-            for (const uint32_t size : kSizes) {
-                auto cfg = asOpt(
-                    microBase(args, wl, workloads::PoolPattern::Random),
-                    design);
-                cfg.machine.polb_entries = size;
-                const auto opt = runExperiment(cfg);
+            for (int si = 0; si < 5; ++si) {
+                const auto &opt = res[i++];
                 std::printf(" %7.2fx", speedup(base, opt));
-                std::fflush(stdout);
-                by_size[di][si++].push_back(speedup(base, opt));
+                by_size[di][si].push_back(speedup(base, opt));
             }
             std::printf("\n");
             ++di;
         }
+        wl_at += per_wl;
     }
     hr(92);
     for (int di = 0; di < 2; ++di) {
@@ -78,27 +107,22 @@ main(int argc, char **argv)
     std::printf("%-5s | %-9s %8s %8s %8s %8s\n", "Bench", "Design", "1",
                 "4", "32", "128");
     hr(92);
+    wl_at = 0;
     for (const auto &wl : workloads::microbenchNames()) {
-        for (const auto design :
-             {sim::PolbDesign::Pipelined, sim::PolbDesign::Parallel}) {
+        size_t i = wl_at + 1 + 2 * 5;
+        for (const auto design : kDesigns) {
             std::printf("%-5s | %-9s", wl.c_str(),
                         design == sim::PolbDesign::Pipelined
                             ? "Pipelined"
                             : "Parallel");
-            for (const uint32_t size : {1u, 4u, 32u, 128u}) {
-                auto cfg = asOpt(
-                    microBase(args, wl, workloads::PoolPattern::Random,
-                              sim::CoreType::InOrder,
-                              /*transactions=*/false),
-                    design);
-                cfg.machine.polb_entries = size;
-                const auto opt = runExperiment(cfg);
+            for (size_t si = 0; si < 4; ++si) {
+                const auto &opt = res[i++];
                 std::printf(" %7.1f%%",
                             100.0 * opt.metrics.polbMissRate());
-                std::fflush(stdout);
             }
             std::printf("\n");
         }
+        wl_at += per_wl;
     }
     hr(92);
     std::printf("paper reference (size 1 -> 128): Pipelined misses fall "

@@ -4,13 +4,13 @@
  * penalty — OPT/BASE speedup on the in-order Pipelined design for the
  * EACH pattern, with the POLB-miss penalty swept over {ideal(0), 10,
  * 30, 100, 300, 500} cycles. Workloads with high POLB miss rates (LL)
- * are the most sensitive.
+ * are the most sensitive. Runs execute through one parallel sweep
+ * (--jobs).
  */
 #include "bench/bench_util.h"
 
 using namespace poat;
 using namespace poat::bench;
-using driver::runExperiment;
 using driver::speedup;
 
 namespace {
@@ -25,19 +25,9 @@ main(int argc, char **argv)
     const BenchArgs args = BenchArgs::parse(argc, argv);
     JsonReport report("fig12_pot_walk", args);
 
-    std::printf("Figure 12: speedup vs POT-walk penalty "
-                "(EACH pattern, in-order, Pipelined)\n");
-    hr(92);
-    std::printf("%-5s %9s %8s %8s %8s %8s %8s\n", "Bench", "ideal", "10",
-                "30", "100", "300", "500");
-    hr(92);
-
-    std::vector<double> by_penalty[6];
+    std::vector<driver::ExperimentConfig> cfgs;
     for (const auto &wl : workloads::microbenchNames()) {
-        const auto base = runExperiment(
-            microBase(args, wl, workloads::PoolPattern::Each));
-        std::printf("%-5s", wl.c_str());
-        int pi = 0;
+        cfgs.push_back(microBase(args, wl, workloads::PoolPattern::Each));
         for (const uint32_t penalty : kPenalties) {
             auto cfg = asOpt(
                 microBase(args, wl, workloads::PoolPattern::Each));
@@ -46,10 +36,27 @@ main(int argc, char **argv)
                 // "Ideal" also removes the POLB access itself.
                 cfg.machine.ideal_translation = true;
             }
-            const auto opt = runExperiment(cfg);
+            cfgs.push_back(cfg);
+        }
+    }
+    const auto res = runAll(args, report, std::move(cfgs));
+
+    std::printf("Figure 12: speedup vs POT-walk penalty "
+                "(EACH pattern, in-order, Pipelined)\n");
+    hr(92);
+    std::printf("%-5s %9s %8s %8s %8s %8s %8s\n", "Bench", "ideal", "10",
+                "30", "100", "300", "500");
+    hr(92);
+
+    std::vector<double> by_penalty[6];
+    size_t i = 0;
+    for (const auto &wl : workloads::microbenchNames()) {
+        const auto &base = res[i++];
+        std::printf("%-5s", wl.c_str());
+        for (int pi = 0; pi < 6; ++pi) {
+            const auto &opt = res[i++];
             std::printf(" %7.2fx", speedup(base, opt));
-            std::fflush(stdout);
-            by_penalty[pi++].push_back(speedup(base, opt));
+            by_penalty[pi].push_back(speedup(base, opt));
         }
         std::printf("\n");
     }

@@ -5,12 +5,14 @@
  * POLB designs plus the ideal (free-translation) red dot, and the two
  * TPC-C placements. Also prints the headline dynamic-instruction
  * reduction (paper section 1: 43.9% on average).
+ *
+ * All runs execute through one parallel sweep (--jobs); the tables
+ * print from the in-order result vector afterwards.
  */
 #include "bench/bench_util.h"
 
 using namespace poat;
 using namespace poat::bench;
-using driver::runExperiment;
 using driver::speedup;
 
 int
@@ -18,6 +20,36 @@ main(int argc, char **argv)
 {
     const BenchArgs args = BenchArgs::parse(argc, argv);
     JsonReport report("fig9a_speedup_inorder", args);
+
+    // Submission order: 4 variants per (workload, pattern) cell, then
+    // 4 per TPC-C placement.
+    std::vector<driver::ExperimentConfig> cfgs;
+    for (const auto &wl : workloads::microbenchNames()) {
+        for (const auto &[pattern, pname] : patterns()) {
+            (void)pname;
+            cfgs.push_back(microBase(args, wl, pattern));
+            cfgs.push_back(asOpt(microBase(args, wl, pattern),
+                                 sim::PolbDesign::Pipelined));
+            cfgs.push_back(asOpt(microBase(args, wl, pattern),
+                                 sim::PolbDesign::Parallel));
+            cfgs.push_back(asOpt(microBase(args, wl, pattern),
+                                 sim::PolbDesign::Pipelined,
+                                 /*ideal=*/true));
+        }
+    }
+    const size_t tpcc_at = cfgs.size();
+    if (args.include_tpcc) {
+        for (const auto pl : {workloads::tpcc::Placement::All,
+                              workloads::tpcc::Placement::Each}) {
+            cfgs.push_back(tpccBase(args, pl));
+            cfgs.push_back(asOpt(tpccBase(args, pl)));
+            cfgs.push_back(
+                asOpt(tpccBase(args, pl), sim::PolbDesign::Parallel));
+            cfgs.push_back(asOpt(tpccBase(args, pl),
+                                 sim::PolbDesign::Pipelined, true));
+        }
+    }
+    const auto res = runAll(args, report, std::move(cfgs));
 
     std::printf("Figure 9(a): OPT/BASE speedup, in-order core\n");
     hr(86);
@@ -28,17 +60,15 @@ main(int argc, char **argv)
 
     std::vector<double> pipe_by_pattern[3], par_by_pattern[3];
     std::vector<double> insn_reduction;
+    size_t i = 0;
     for (const auto &wl : workloads::microbenchNames()) {
         int pi = 0;
         for (const auto &[pattern, pname] : patterns()) {
-            const auto base = runExperiment(microBase(args, wl, pattern));
-            const auto pipe = runExperiment(asOpt(
-                microBase(args, wl, pattern), sim::PolbDesign::Pipelined));
-            const auto par = runExperiment(asOpt(
-                microBase(args, wl, pattern), sim::PolbDesign::Parallel));
-            const auto ideal = runExperiment(
-                asOpt(microBase(args, wl, pattern),
-                      sim::PolbDesign::Pipelined, /*ideal=*/true));
+            (void)pattern;
+            const auto &base = res[i++];
+            const auto &pipe = res[i++];
+            const auto &par = res[i++];
+            const auto &ideal = res[i++];
 
             const double reduct = 1.0 -
                 static_cast<double>(pipe.metrics.instructions) /
@@ -48,7 +78,6 @@ main(int argc, char **argv)
                         static_cast<unsigned long>(base.metrics.cycles),
                         speedup(base, pipe), speedup(base, par),
                         speedup(base, ideal), 100.0 * reduct);
-            std::fflush(stdout);
             pipe_by_pattern[pi].push_back(speedup(base, pipe));
             par_by_pattern[pi].push_back(speedup(base, par));
             insn_reduction.push_back(reduct);
@@ -82,23 +111,20 @@ main(int argc, char **argv)
         std::printf("TPC-C (1 warehouse at %u%% cardinality, %lu txns)\n",
                     args.tpcc_scale_pct,
                     static_cast<unsigned long>(args.tpcc_txns));
+        i = tpcc_at;
         for (const auto pl : {workloads::tpcc::Placement::All,
                               workloads::tpcc::Placement::Each}) {
             const char *pname =
                 pl == workloads::tpcc::Placement::All ? "TPCC_ALL"
                                                       : "TPCC_EACH";
-            const auto base = runExperiment(tpccBase(args, pl));
-            const auto pipe =
-                runExperiment(asOpt(tpccBase(args, pl)));
-            const auto par = runExperiment(
-                asOpt(tpccBase(args, pl), sim::PolbDesign::Parallel));
-            const auto ideal = runExperiment(asOpt(
-                tpccBase(args, pl), sim::PolbDesign::Pipelined, true));
+            const auto &base = res[i++];
+            const auto &pipe = res[i++];
+            const auto &par = res[i++];
+            const auto &ideal = res[i++];
             std::printf("%-13s %12lu %9.2fx %9.2fx %7.2fx\n", pname,
                         static_cast<unsigned long>(base.metrics.cycles),
                         speedup(base, pipe), speedup(base, par),
                         speedup(base, ideal));
-            std::fflush(stdout);
             report.metric(std::string("speedup_pipelined_") + pname,
                           speedup(base, pipe));
         }

@@ -3,13 +3,13 @@
  * Reproduces paper Figure 9(b): speedup of OPT over BASE on the
  * out-of-order core (Pipelined design only — the paper drops Parallel
  * for OoO because a physical-address POLB breaks LSQ disambiguation,
- * section 4.3), with ideal dots, plus TPC-C.
+ * section 4.3), with ideal dots, plus TPC-C. Runs execute through one
+ * parallel sweep (--jobs).
  */
 #include "bench/bench_util.h"
 
 using namespace poat;
 using namespace poat::bench;
-using driver::runExperiment;
 using driver::speedup;
 
 int
@@ -17,6 +17,30 @@ main(int argc, char **argv)
 {
     const BenchArgs args = BenchArgs::parse(argc, argv);
     JsonReport report("fig9b_speedup_ooo", args);
+
+    std::vector<driver::ExperimentConfig> cfgs;
+    for (const auto &wl : workloads::microbenchNames()) {
+        for (const auto &[pattern, pname] : patterns()) {
+            (void)pname;
+            cfgs.push_back(
+                microBase(args, wl, pattern, sim::CoreType::OutOfOrder));
+            cfgs.push_back(asOpt(
+                microBase(args, wl, pattern, sim::CoreType::OutOfOrder)));
+            cfgs.push_back(asOpt(
+                microBase(args, wl, pattern, sim::CoreType::OutOfOrder),
+                sim::PolbDesign::Pipelined, /*ideal=*/true));
+        }
+    }
+    const size_t tpcc_at = cfgs.size();
+    if (args.include_tpcc) {
+        for (const auto pl : {workloads::tpcc::Placement::All,
+                              workloads::tpcc::Placement::Each}) {
+            cfgs.push_back(tpccBase(args, pl, sim::CoreType::OutOfOrder));
+            cfgs.push_back(
+                asOpt(tpccBase(args, pl, sim::CoreType::OutOfOrder)));
+        }
+    }
+    const auto res = runAll(args, report, std::move(cfgs));
 
     std::printf("Figure 9(b): OPT/BASE speedup, out-of-order core "
                 "(Pipelined)\n");
@@ -26,21 +50,18 @@ main(int argc, char **argv)
     hr();
 
     std::vector<double> by_pattern[3];
+    size_t i = 0;
     for (const auto &wl : workloads::microbenchNames()) {
         int pi = 0;
         for (const auto &[pattern, pname] : patterns()) {
-            const auto base = runExperiment(
-                microBase(args, wl, pattern, sim::CoreType::OutOfOrder));
-            const auto pipe = runExperiment(asOpt(
-                microBase(args, wl, pattern, sim::CoreType::OutOfOrder)));
-            const auto ideal = runExperiment(asOpt(
-                microBase(args, wl, pattern, sim::CoreType::OutOfOrder),
-                sim::PolbDesign::Pipelined, /*ideal=*/true));
+            (void)pattern;
+            const auto &base = res[i++];
+            const auto &pipe = res[i++];
+            const auto &ideal = res[i++];
             std::printf("%-5s %-7s %12lu %9.2fx %7.2fx\n", wl.c_str(),
                         pname,
                         static_cast<unsigned long>(base.metrics.cycles),
                         speedup(base, pipe), speedup(base, ideal));
-            std::fflush(stdout);
             by_pattern[pi++].push_back(speedup(base, pipe));
         }
     }
@@ -56,19 +77,17 @@ main(int argc, char **argv)
 
     if (args.include_tpcc) {
         hr();
+        i = tpcc_at;
         for (const auto pl : {workloads::tpcc::Placement::All,
                               workloads::tpcc::Placement::Each}) {
             const char *pname =
                 pl == workloads::tpcc::Placement::All ? "TPCC_ALL"
                                                       : "TPCC_EACH";
-            const auto base = runExperiment(
-                tpccBase(args, pl, sim::CoreType::OutOfOrder));
-            const auto pipe = runExperiment(
-                asOpt(tpccBase(args, pl, sim::CoreType::OutOfOrder)));
+            const auto &base = res[i++];
+            const auto &pipe = res[i++];
             std::printf("%-13s %12lu %9.2fx\n", pname,
                         static_cast<unsigned long>(base.metrics.cycles),
                         speedup(base, pipe));
-            std::fflush(stdout);
         }
         std::printf("paper reference: TPCC_EACH 1.12x (OoO)\n");
     }

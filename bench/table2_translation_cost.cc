@@ -5,47 +5,29 @@
  * most-recent-translation predictor miss rate on EACH.
  *
  * BASE (software translation) runs only; no timing model is needed —
- * the SoftwareTranslator keeps its own instruction accounting, emitted
- * into a counting sink.
+ * these are profiling-only experiments (ExperimentConfig::timing =
+ * false), which the driver runs against a counting sink. Both
+ * patterns' profiles for all workloads execute through one parallel
+ * sweep (--jobs).
  */
 #include "bench/bench_util.h"
-#include "pmem/runtime.h"
 
 using namespace poat;
 using namespace poat::bench;
 
 namespace {
 
-struct Row
+driver::ExperimentConfig
+profileCfg(const BenchArgs &args, const std::string &wl, bool each)
 {
-    std::string bench;
-    double insns_all;
-    double insns_each;
-    double miss_each;
-};
-
-Row
-profile(const BenchArgs &args, const std::string &wl)
-{
-    Row row{wl, 0, 0, 0};
-    for (const bool each : {false, true}) {
-        CountingTraceSink sink;
-        RuntimeOptions ro;
-        ro.mode = TranslationMode::Software;
-        PmemRuntime rt(ro, &sink);
-        workloads::WorkloadConfig wc;
-        wc.pattern = each ? workloads::PoolPattern::Each
-                          : workloads::PoolPattern::All;
-        wc.scale_pct = args.scale_pct;
-        workloads::makeWorkload(wl, wc)->run(rt);
-        if (each) {
-            row.insns_each = rt.translator().avgInstructionsPerCall();
-            row.miss_each = rt.translator().predictorMissRate();
-        } else {
-            row.insns_all = rt.translator().avgInstructionsPerCall();
-        }
-    }
-    return row;
+    driver::ExperimentConfig c;
+    c.workload = wl;
+    c.pattern = each ? workloads::PoolPattern::Each
+                     : workloads::PoolPattern::All;
+    c.scale_pct = args.scale_pct;
+    c.mode = TranslationMode::Software;
+    c.timing = false;
+    return c;
 }
 
 } // namespace
@@ -56,6 +38,13 @@ main(int argc, char **argv)
     const BenchArgs args = BenchArgs::parse(argc, argv);
     JsonReport report("table2_translation_cost", args);
 
+    std::vector<driver::ExperimentConfig> cfgs;
+    for (const auto &wl : workloads::microbenchNames()) {
+        cfgs.push_back(profileCfg(args, wl, /*each=*/false));
+        cfgs.push_back(profileCfg(args, wl, /*each=*/true));
+    }
+    const auto res = runAll(args, report, std::move(cfgs));
+
     std::printf("Table 2: dynamic instructions in oid_direct "
                 "(BASE, software translation)\n");
     hr();
@@ -64,16 +53,23 @@ main(int argc, char **argv)
     hr();
 
     std::vector<double> all_v, each_v;
+    size_t i = 0;
     for (const auto &wl : workloads::microbenchNames()) {
-        const Row r = profile(args, wl);
-        std::printf("%-8s %14.1f %14.1f %15.1f%%\n", r.bench.c_str(),
-                    r.insns_all, r.insns_each, 100.0 * r.miss_each);
-        all_v.push_back(r.insns_all);
-        each_v.push_back(r.insns_each);
-        report.metric("insns_per_call_ALL_" + r.bench, r.insns_all);
-        report.metric("insns_per_call_EACH_" + r.bench, r.insns_each);
-        report.metric("predictor_miss_EACH_" + r.bench, r.miss_each);
-        std::fflush(stdout);
+        const auto &all = res[i++];
+        const auto &each = res[i++];
+        const double insns_all = all.translate_insns_per_call;
+        const double insns_each = each.translate_insns_per_call;
+        const double miss_each = each.translate_calls
+            ? static_cast<double>(each.translate_misses) /
+                static_cast<double>(each.translate_calls)
+            : 0.0;
+        std::printf("%-8s %14.1f %14.1f %15.1f%%\n", wl.c_str(),
+                    insns_all, insns_each, 100.0 * miss_each);
+        all_v.push_back(insns_all);
+        each_v.push_back(insns_each);
+        report.metric("insns_per_call_ALL_" + wl, insns_all);
+        report.metric("insns_per_call_EACH_" + wl, insns_each);
+        report.metric("predictor_miss_EACH_" + wl, miss_each);
     }
     hr();
     std::printf("%-8s %14.1f %14.1f\n", "GeoMean",

@@ -3,13 +3,13 @@
  * Reproduces paper Table 8: POLB miss rates of the OPT configurations
  * (32-entry POLB) — Parallel on ALL/RANDOM/EACH, Pipelined on EACH
  * (Pipelined only misses during warm-up on ALL and RANDOM: 1 and 32
- * misses respectively, which is also checked here), plus TPC-C.
+ * misses respectively, which is also checked here), plus TPC-C. Runs
+ * execute through one parallel sweep (--jobs).
  */
 #include "bench/bench_util.h"
 
 using namespace poat;
 using namespace poat::bench;
-using driver::runExperiment;
 
 namespace {
 
@@ -27,6 +27,42 @@ main(int argc, char **argv)
     const BenchArgs args = BenchArgs::parse(argc, argv);
     JsonReport report("table8_polb_missrate", args);
 
+    // Per workload: Parallel ALL/RANDOM/EACH, Pipelined EACH/ALL/RANDOM.
+    std::vector<driver::ExperimentConfig> cfgs;
+    for (const auto &wl : workloads::microbenchNames()) {
+        cfgs.push_back(
+            asOpt(microBase(args, wl, workloads::PoolPattern::All),
+                  sim::PolbDesign::Parallel));
+        cfgs.push_back(
+            asOpt(microBase(args, wl, workloads::PoolPattern::Random),
+                  sim::PolbDesign::Parallel));
+        cfgs.push_back(
+            asOpt(microBase(args, wl, workloads::PoolPattern::Each),
+                  sim::PolbDesign::Parallel));
+        cfgs.push_back(
+            asOpt(microBase(args, wl, workloads::PoolPattern::Each),
+                  sim::PolbDesign::Pipelined));
+        cfgs.push_back(
+            asOpt(microBase(args, wl, workloads::PoolPattern::All),
+                  sim::PolbDesign::Pipelined));
+        cfgs.push_back(
+            asOpt(microBase(args, wl, workloads::PoolPattern::Random),
+                  sim::PolbDesign::Pipelined));
+    }
+    const size_t tpcc_at = cfgs.size();
+    if (args.include_tpcc) {
+        cfgs.push_back(
+            asOpt(tpccBase(args, workloads::tpcc::Placement::All),
+                  sim::PolbDesign::Pipelined));
+        cfgs.push_back(
+            asOpt(tpccBase(args, workloads::tpcc::Placement::Each),
+                  sim::PolbDesign::Pipelined));
+        cfgs.push_back(
+            asOpt(tpccBase(args, workloads::tpcc::Placement::Each),
+                  sim::PolbDesign::Parallel));
+    }
+    const auto res = runAll(args, report, std::move(cfgs));
+
     std::printf("Table 8: POLB miss rate of OPT (32-entry POLB)\n");
     hr(88);
     std::printf("%-6s | %28s | %10s | %22s\n", "",
@@ -35,25 +71,14 @@ main(int argc, char **argv)
                 "RANDOM", "EACH", "EACH", "ALL miss#", "RND miss#");
     hr(88);
 
+    size_t i = 0;
     for (const auto &wl : workloads::microbenchNames()) {
-        const auto par_all = runExperiment(
-            asOpt(microBase(args, wl, workloads::PoolPattern::All),
-                  sim::PolbDesign::Parallel));
-        const auto par_rnd = runExperiment(
-            asOpt(microBase(args, wl, workloads::PoolPattern::Random),
-                  sim::PolbDesign::Parallel));
-        const auto par_each = runExperiment(
-            asOpt(microBase(args, wl, workloads::PoolPattern::Each),
-                  sim::PolbDesign::Parallel));
-        const auto pipe_each = runExperiment(
-            asOpt(microBase(args, wl, workloads::PoolPattern::Each),
-                  sim::PolbDesign::Pipelined));
-        const auto pipe_all = runExperiment(
-            asOpt(microBase(args, wl, workloads::PoolPattern::All),
-                  sim::PolbDesign::Pipelined));
-        const auto pipe_rnd = runExperiment(
-            asOpt(microBase(args, wl, workloads::PoolPattern::Random),
-                  sim::PolbDesign::Pipelined));
+        const auto &par_all = res[i++];
+        const auto &par_rnd = res[i++];
+        const auto &par_each = res[i++];
+        const auto &pipe_each = res[i++];
+        const auto &pipe_all = res[i++];
+        const auto &pipe_rnd = res[i++];
 
         std::printf("%-6s %8.1f%% %8.1f%% %8.1f%% %9.1f%% %11lu %10lu\n",
                     wl.c_str(), 100 * missRate(par_all),
@@ -66,19 +91,13 @@ main(int argc, char **argv)
         report.metric("missrate_parallel_EACH_" + wl, missRate(par_each));
         report.metric("missrate_pipelined_EACH_" + wl,
                       missRate(pipe_each));
-        std::fflush(stdout);
     }
 
     if (args.include_tpcc) {
-        const auto all = runExperiment(
-            asOpt(tpccBase(args, workloads::tpcc::Placement::All),
-                  sim::PolbDesign::Pipelined));
-        const auto each = runExperiment(
-            asOpt(tpccBase(args, workloads::tpcc::Placement::Each),
-                  sim::PolbDesign::Pipelined));
-        const auto each_par = runExperiment(
-            asOpt(tpccBase(args, workloads::tpcc::Placement::Each),
-                  sim::PolbDesign::Parallel));
+        i = tpcc_at;
+        const auto &all = res[i++];
+        const auto &each = res[i++];
+        const auto &each_par = res[i++];
         std::printf("%-6s %9s %9s %8.1f%% %9.1f%%   (Pipelined ALL "
                     "%.1f%%)\n",
                     "TPCC", "-", "-", 100 * missRate(each_par),

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "driver/experiment.h"
+#include "driver/sweep.h"
 #include "pmem/runtime.h"
 
 using namespace poat;
@@ -75,11 +76,26 @@ main(int argc, char **argv)
     base.scale_pct = 50;
     base.machine.core = sim::CoreType::InOrder;
 
+    ExperimentConfig opt = base;
+    opt.mode = TranslationMode::Hardware;
+    ExperimentConfig par = opt;
+    par.machine.polb_design = sim::PolbDesign::Parallel;
+    ExperimentConfig ideal = opt;
+    ideal.machine.ideal_translation = true;
+
     std::printf("workload %s, RANDOM pattern (32 pools), in-order "
                 "core\n\n",
                 workload.c_str());
 
-    const auto b = runExperiment(base);
+    // All four configurations fan out across the machine's cores; the
+    // results come back in submission order, bit-identical to running
+    // them one at a time (see driver/sweep.h).
+    const auto res = runSweep({base, opt, par, ideal});
+    const auto &b = res[0];
+    const auto &o = res[1];
+    const auto &p = res[2];
+    const auto &i = res[3];
+
     report("BASE (oid_direct)", b);
     std::printf("  oid_direct called %lu times, %.1f insns/call, "
                 "predictor missed %.1f%%\n",
@@ -90,19 +106,8 @@ main(int argc, char **argv)
                           static_cast<double>(b.translate_calls)
                     : 0.0);
 
-    ExperimentConfig opt = base;
-    opt.mode = TranslationMode::Hardware;
-    const auto o = runExperiment(opt);
     report("OPT (POLB, Pipelined)", o);
-
-    ExperimentConfig par = opt;
-    par.machine.polb_design = sim::PolbDesign::Parallel;
-    const auto p = runExperiment(par);
     report("OPT (POLB, Parallel)", p);
-
-    ExperimentConfig ideal = opt;
-    ideal.machine.ideal_translation = true;
-    const auto i = runExperiment(ideal);
     report("OPT (ideal translation)", i);
 
     std::printf("\nspeedup over BASE: Pipelined %.2fx, Parallel %.2fx, "

@@ -54,6 +54,23 @@ EventTracer::marker(uint64_t cycle, const std::string &label)
 }
 
 void
+EventTracer::acquire()
+{
+    if (in_use_.exchange(true, std::memory_order_acq_rel))
+        POAT_PANIC("EventTracer shared by two concurrent producers; "
+                   "give each concurrent run its own tracer "
+                   "(ExperimentConfig::tracer)");
+}
+
+void
+EventTracer::release()
+{
+    POAT_ASSERT(in_use_.load(std::memory_order_acquire),
+                "EventTracer::release without acquire");
+    in_use_.store(false, std::memory_order_release);
+}
+
+void
 EventTracer::reset()
 {
     total_ = 0;

@@ -13,10 +13,22 @@
  * serialize() writes the portable "poat-trace v1" text format, which
  * tools/trace_convert turns into Chrome trace_event JSON loadable in
  * chrome://tracing or Perfetto. See docs/OBSERVABILITY.md.
+ *
+ * Concurrency contract: an EventTracer is single-producer. record()
+ * writes the ring unsynchronized (one store and an increment on the
+ * hot path — that is the point), so at most one machine/run may feed a
+ * tracer at a time. Producers enforce this through acquire()/release():
+ * sim::Machine::setTracer() acquires the tracer and panics if it is
+ * already attached elsewhere, which turns the otherwise silent data
+ * race of two concurrent runs sharing one tracer (e.g. a parallel
+ * sweep with a single --trace sink) into an immediate, attributable
+ * failure. Sequential reuse across runs is fine. See
+ * driver::ExperimentConfig::tracer for the per-run contract.
  */
 #ifndef POAT_COMMON_TRACE_EVENT_H
 #define POAT_COMMON_TRACE_EVENT_H
 
+#include <atomic>
 #include <cstdint>
 #include <ostream>
 #include <string>
@@ -100,10 +112,32 @@ class EventTracer
     /** Write the poat-trace v1 text format (oldest event first). */
     void serialize(std::ostream &os) const;
 
+    /// @name Single-producer enforcement
+    /// @{
+
+    /**
+     * Claim exclusive producer rights; panics if another producer
+     * (machine/run) already holds the tracer. Writing the ring is
+     * unsynchronized by design, so concurrent sharing is a data race —
+     * give each concurrent run its own tracer instead.
+     */
+    void acquire();
+
+    /** Release producer rights (acquire() must be held). */
+    void release();
+
+    /** Whether a producer currently holds the tracer. */
+    bool acquired() const
+    {
+        return in_use_.load(std::memory_order_acquire);
+    }
+    /// @}
+
   private:
     std::vector<TraceEvent> ring_;
     std::vector<std::pair<uint64_t, std::string>> markers_;
     uint64_t total_ = 0;
+    std::atomic<bool> in_use_{false};
 };
 
 } // namespace poat

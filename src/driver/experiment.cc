@@ -1,6 +1,8 @@
 #include "driver/experiment.h"
 
+#include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "pmem/runtime.h"
 
@@ -10,7 +12,6 @@ namespace driver {
 namespace {
 
 ExperimentObserver g_observer;
-EventTracer *g_default_tracer = nullptr;
 
 } // namespace
 
@@ -20,12 +21,6 @@ setExperimentObserver(ExperimentObserver obs)
     g_observer = std::move(obs);
 }
 
-void
-setDefaultTracer(EventTracer *tracer)
-{
-    g_default_tracer = tracer;
-}
-
 std::string
 configLabel(const ExperimentConfig &cfg)
 {
@@ -33,8 +28,17 @@ configLabel(const ExperimentConfig &cfg)
         return cfg.label;
     std::string s = cfg.workload;
     if (cfg.workload == "TPCC") {
-        s += cfg.placement == workloads::tpcc::Placement::All ? ".ALL"
-                                                              : ".EACH";
+        switch (cfg.placement) {
+        case workloads::tpcc::Placement::All:
+            s += ".ALL";
+            break;
+        case workloads::tpcc::Placement::Each:
+            s += ".EACH";
+            break;
+        case workloads::tpcc::Placement::PerWarehouse:
+            s += ".PERW" + std::to_string(cfg.tpcc_warehouses);
+            break;
+        }
     } else {
         s += ".";
         s += workloads::patternName(cfg.pattern);
@@ -50,41 +54,40 @@ configLabel(const ExperimentConfig &cfg)
             ? ".opt_pipelined"
             : ".opt_parallel";
     }
-    s += cfg.machine.core == sim::CoreType::InOrder ? ".inorder"
-                                                    : ".ooo";
+    if (cfg.timing) {
+        s += cfg.machine.core == sim::CoreType::InOrder ? ".inorder"
+                                                        : ".ooo";
+    } else {
+        s += ".profile";
+    }
     if (!cfg.transactions)
         s += ".ntx";
     return s;
 }
 
-ExperimentResult
-runExperiment(const ExperimentConfig &cfg)
+namespace {
+
+/** Run the workload against @p rt and record its outcome. */
+void
+executeWorkload(const ExperimentConfig &cfg, PmemRuntime &rt,
+                ExperimentResult &res)
 {
-    sim::Machine machine(cfg.machine);
-
-    EventTracer *tracer = cfg.tracer ? cfg.tracer : g_default_tracer;
-    machine.setTracer(tracer);
-    const std::string label = configLabel(cfg);
-    if (tracer)
-        tracer->marker(machine.cycles(), "begin " + label);
-
-    RuntimeOptions ro;
-    ro.mode = cfg.mode;
-    ro.durability = cfg.transactions;
-    ro.aslr_seed = cfg.seed ^ 0x517cc1b727220a95ull;
-    ro.base_predictor = cfg.base_predictor;
-    PmemRuntime rt(ro, &machine);
-
-    ExperimentResult res;
     if (cfg.workload == "TPCC") {
         workloads::tpcc::TpccWorkload w(cfg.placement,
                                         cfg.tpcc_scale_pct, cfg.seed,
-                                        cfg.tpcc_txns,
-                                        cfg.transactions);
+                                        cfg.tpcc_txns, cfg.transactions,
+                                        cfg.tpcc_warehouses);
         const auto r = w.run(rt);
         res.workload_checksum = r.checksum;
         res.workload_operations = r.transactions;
     } else {
+        // A config (not internal-invariant) error: throw rather than
+        // POAT_FATAL so a sweep can propagate it to its caller.
+        const auto &names = workloads::microbenchNames();
+        if (std::find(names.begin(), names.end(), cfg.workload) ==
+            names.end())
+            throw std::invalid_argument("unknown workload: " +
+                                        cfg.workload);
         workloads::WorkloadConfig wc;
         wc.pattern = cfg.pattern;
         wc.transactions = cfg.transactions;
@@ -94,6 +97,64 @@ runExperiment(const ExperimentConfig &cfg)
         res.workload_checksum = r.checksum;
         res.workload_operations = r.operations;
     }
+}
+
+RuntimeOptions
+runtimeOptions(const ExperimentConfig &cfg)
+{
+    RuntimeOptions ro;
+    ro.mode = cfg.mode;
+    ro.durability = cfg.transactions;
+    ro.aslr_seed = cfg.seed ^ 0x517cc1b727220a95ull;
+    ro.base_predictor = cfg.base_predictor;
+    return ro;
+}
+
+/** Snapshot the translator profile into the result. */
+void
+fillTranslatorProfile(const PmemRuntime &rt, ExperimentResult &res)
+{
+    res.translate_calls = rt.translator().calls();
+    res.translate_misses = rt.translator().predictorMisses();
+    res.translate_insns_per_call =
+        rt.translator().avgInstructionsPerCall();
+    rt.translator().fillStats(res.stats);
+    res.stats.counter("workload.operations") = res.workload_operations;
+    res.stats.counter("workload.checksum") = res.workload_checksum;
+}
+
+} // namespace
+
+namespace detail {
+
+ExperimentResult
+runExperimentUnobserved(const ExperimentConfig &cfg)
+{
+    ExperimentResult res;
+
+    if (!cfg.timing) {
+        // Profiling-only run: no machine, no cycles — just the library
+        // executing natively with its instruction accounting on.
+        CountingTraceSink sink;
+        PmemRuntime rt(runtimeOptions(cfg), &sink);
+        executeWorkload(cfg, rt, res);
+        fillTranslatorProfile(rt, res);
+        return res;
+    }
+
+    sim::Machine machine(cfg.machine);
+
+    // Per-run tracer: attached for the duration of this run only.
+    // Machine::setTracer() acquires exclusive use, so two concurrent
+    // runs sharing one tracer panic instead of racing.
+    EventTracer *tracer = cfg.tracer;
+    machine.setTracer(tracer);
+    const std::string label = configLabel(cfg);
+    if (tracer)
+        tracer->marker(machine.cycles(), "begin " + label);
+
+    PmemRuntime rt(runtimeOptions(cfg), &machine);
+    executeWorkload(cfg, rt, res);
 
     if (tracer)
         tracer->marker(machine.cycles(), "end " + label);
@@ -101,20 +162,29 @@ runExperiment(const ExperimentConfig &cfg)
 
     res.metrics = machine.metrics();
     res.breakdown = machine.breakdown();
-    res.translate_calls = rt.translator().calls();
-    res.translate_misses = rt.translator().predictorMisses();
-    res.translate_insns_per_call =
-        rt.translator().avgInstructionsPerCall();
 
     // The run's complete hierarchical telemetry: machine registry plus
     // the software-translation profile and the workload outcome.
     res.stats = machine.stats();
-    rt.translator().fillStats(res.stats);
-    res.stats.counter("workload.operations") = res.workload_operations;
-    res.stats.counter("workload.checksum") = res.workload_checksum;
+    fillTranslatorProfile(rt, res);
+    return res;
+}
 
+void
+notifyExperimentObserver(const ExperimentConfig &cfg,
+                         const ExperimentResult &res)
+{
     if (g_observer)
         g_observer(cfg, res);
+}
+
+} // namespace detail
+
+ExperimentResult
+runExperiment(const ExperimentConfig &cfg)
+{
+    ExperimentResult res = detail::runExperimentUnobserved(cfg);
+    detail::notifyExperimentObserver(cfg, res);
     return res;
 }
 

@@ -40,8 +40,9 @@ struct ExperimentConfig
     /// @{
     workloads::tpcc::Placement placement =
         workloads::tpcc::Placement::All;
-    uint32_t tpcc_scale_pct = 10; ///< table cardinality scale
-    uint64_t tpcc_txns = 1000;    ///< paper: 1000 transactions
+    uint32_t tpcc_scale_pct = 10;  ///< table cardinality scale
+    uint64_t tpcc_txns = 1000;     ///< paper: 1000 transactions
+    uint32_t tpcc_warehouses = 1;  ///< pool-count scaling studies
     /// @}
 
     /** Failure-safety + durability on (BASE/OPT) or off (*_NTX). */
@@ -57,15 +58,28 @@ struct ExperimentConfig
     uint64_t seed = 42;
 
     /**
+     * false = run against a CountingTraceSink instead of a simulated
+     * machine: the workload executes and the software-translation
+     * profile (Table 2) is collected, but cycles/metrics stay zero.
+     * ~100x faster; used by profiling-only experiments.
+     */
+    bool timing = true;
+
+    /**
      * Label used for telemetry (JSON run records, trace markers).
      * Empty = derive one from the config via configLabel().
      */
     std::string label;
 
     /**
-     * Cycle-stamped event tracer attached to the run's machine; falls
-     * back to the process-wide default tracer (setDefaultTracer) when
-     * null. Not owned.
+     * Cycle-stamped event tracer attached to the run's machine for the
+     * duration of the run; null = no tracing. Not owned.
+     *
+     * Per-run tracer contract: an EventTracer accepts events from at
+     * most one machine at a time (Machine::setTracer acquires it and
+     * panics on concurrent sharing), so every concurrently executing
+     * config needs its own tracer — there is deliberately no
+     * process-wide default. Reuse across *sequential* runs is fine.
      */
     EventTracer *tracer = nullptr;
 };
@@ -101,16 +115,32 @@ std::string configLabel(const ExperimentConfig &cfg);
 /**
  * Observer invoked with every finished runExperiment() call; the bench
  * harness's --stats-json collector. Pass nullptr to uninstall.
+ *
+ * Threading: runSweep() (driver/sweep.h) invokes the observer on the
+ * calling thread in submission order, so an observer installed around
+ * a sweep never runs concurrently with itself. Code that calls
+ * runExperiment() directly from several threads must install an
+ * observer that does its own locking. Do not install/uninstall while
+ * runs are in flight.
  */
 using ExperimentObserver =
     std::function<void(const ExperimentConfig &, const ExperimentResult &)>;
 void setExperimentObserver(ExperimentObserver obs);
 
+namespace detail {
+
 /**
- * Process-wide default EventTracer for runs whose config carries none
- * (the bench harness's --trace flag). Pass nullptr to detach.
+ * runExperiment() minus the observer notification — the sweep executor
+ * runs this on worker threads and replays the notifications serially,
+ * in submission order, on its calling thread.
  */
-void setDefaultTracer(EventTracer *tracer);
+ExperimentResult runExperimentUnobserved(const ExperimentConfig &cfg);
+
+/** Invoke the installed observer (if any) for a finished run. */
+void notifyExperimentObserver(const ExperimentConfig &cfg,
+                              const ExperimentResult &res);
+
+} // namespace detail
 
 /** Speedup of OPT over BASE: cycles(base) / cycles(opt). */
 inline double

@@ -1,0 +1,113 @@
+#include "driver/sweep.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace poat {
+namespace driver {
+
+unsigned
+defaultSweepJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+std::vector<ExperimentResult>
+runSweep(const std::vector<ExperimentConfig> &configs,
+         const SweepOptions &opts)
+{
+    const size_t n = configs.size();
+    std::vector<ExperimentResult> results;
+    results.reserve(n);
+
+    unsigned jobs = opts.jobs ? opts.jobs : defaultSweepJobs();
+    jobs = static_cast<unsigned>(
+        std::min<size_t>(jobs, std::max<size_t>(n, 1)));
+
+    if (jobs <= 1) {
+        // Inline serial path: byte-identical to a runExperiment loop.
+        for (size_t i = 0; i < n; ++i) {
+            results.push_back(runExperiment(configs[i]));
+            if (opts.progress)
+                opts.progress(i, n, configs[i], results.back());
+        }
+        return results;
+    }
+
+    // One slot per config; workers fill slots in any order, the calling
+    // thread consumes them strictly in submission order.
+    struct Slot
+    {
+        ExperimentResult result;
+        std::exception_ptr error;
+        bool done = false;
+    };
+    std::vector<Slot> slots(n);
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t next_index = 0; // next config a worker should claim
+
+    auto worker = [&] {
+        for (;;) {
+            size_t i;
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                if (next_index >= n)
+                    return;
+                i = next_index++;
+            }
+            Slot filled;
+            try {
+                // Observer + progress fire later, on the calling
+                // thread, in submission order.
+                filled.result = detail::runExperimentUnobserved(configs[i]);
+            } catch (...) {
+                filled.error = std::current_exception();
+            }
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                slots[i] = std::move(filled);
+                slots[i].done = true;
+            }
+            cv.notify_all();
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t)
+        pool.emplace_back(worker);
+
+    // Consume slots in submission order, firing the observer and the
+    // progress callback exactly as a serial loop would have.
+    std::exception_ptr first_error;
+    for (size_t i = 0; i < n && !first_error; ++i) {
+        Slot slot;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            cv.wait(lock, [&] { return slots[i].done; });
+            slot = std::move(slots[i]);
+        }
+        if (slot.error) {
+            first_error = slot.error;
+            break;
+        }
+        detail::notifyExperimentObserver(configs[i], slot.result);
+        results.push_back(std::move(slot.result));
+        if (opts.progress)
+            opts.progress(i, n, configs[i], results.back());
+    }
+
+    for (std::thread &t : pool)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+    return results;
+}
+
+} // namespace driver
+} // namespace poat

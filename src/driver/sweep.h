@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Parallel experiment sweeps.
+ *
+ * Every bench binary replays dozens of independent (workload, pattern,
+ * mode, machine) runs. Runs are hermetic by construction — each gets a
+ * fresh PmemRuntime and a fresh sim::Machine, and all randomness is
+ * seeded per run — so they can execute concurrently as long as the few
+ * process-wide touch points (the experiment observer, an attached
+ * EventTracer) are kept per-run or serialized. runSweep() is that
+ * fan-out: a fixed-size thread pool that preserves *serial semantics*:
+ *
+ *  - results come back in submission order, whatever the completion
+ *    order was;
+ *  - the process-wide experiment observer (setExperimentObserver) and
+ *    the per-sweep progress callback fire on the calling thread, in
+ *    submission order — never concurrently;
+ *  - the first exception (by submission index) is rethrown on the
+ *    calling thread after the pool has drained, exactly where a serial
+ *    loop would have thrown it;
+ *  - jobs = 1 runs inline on the calling thread with no pool at all,
+ *    byte-identical to a hand-written runExperiment() loop.
+ *
+ * Because each run's telemetry is self-contained (the result carries
+ * its own StatsRegistry; a tracer is attached per-config, see
+ * ExperimentConfig::tracer), a parallel sweep produces bit-identical
+ * ExperimentResults to a serial one — tests/driver/sweep_test.cc
+ * proves this property on randomized batches.
+ */
+#ifndef POAT_DRIVER_SWEEP_H
+#define POAT_DRIVER_SWEEP_H
+
+#include <functional>
+#include <vector>
+
+#include "driver/experiment.h"
+
+namespace poat {
+namespace driver {
+
+/** How a sweep executes its configs. */
+struct SweepOptions
+{
+    /**
+     * Worker threads; 0 = std::thread::hardware_concurrency(). 1 runs
+     * everything inline on the calling thread (serial semantics with no
+     * pool). The pool never exceeds the number of configs.
+     */
+    unsigned jobs = 0;
+
+    /**
+     * Invoked on the calling thread, in submission order, once per
+     * finished run: (submission index, total, config, result). Fires
+     * after the process-wide experiment observer saw the same run.
+     */
+    std::function<void(size_t, size_t, const ExperimentConfig &,
+                       const ExperimentResult &)>
+        progress;
+};
+
+/**
+ * Run every config and return the results in submission order.
+ *
+ * Exception behavior matches a serial loop: if run i throws, runs
+ * 0..i-1 are still observed (observer + progress) and the exception of
+ * the *lowest* submission index is rethrown; later runs may have
+ * executed but are never observed.
+ */
+std::vector<ExperimentResult>
+runSweep(const std::vector<ExperimentConfig> &configs,
+         const SweepOptions &opts = {});
+
+/** The jobs count `jobs = 0` resolves to (>= 1). */
+unsigned defaultSweepJobs();
+
+} // namespace driver
+} // namespace poat
+
+#endif // POAT_DRIVER_SWEEP_H

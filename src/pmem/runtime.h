@@ -199,6 +199,7 @@ class PmemRuntime
     /// @{
     PoolRegistry &registry() { return registry_; }
     SoftwareTranslator &translator() { return translator_; }
+    const SoftwareTranslator &translator() const { return translator_; }
     TraceSink &sink() { return *sink_; }
     void setSink(TraceSink *sink) { sink_ = sink ? sink : &nullSink_; }
     TranslationMode mode() const { return opts_.mode; }

@@ -79,6 +79,7 @@ class Machine : public TraceSink
 {
   public:
     explicit Machine(const MachineConfig &cfg);
+    ~Machine() override { setTracer(nullptr); }
 
     /// @name TraceSink interface
     /// @{
@@ -127,9 +128,23 @@ class Machine : public TraceSink
 
     /**
      * Attach (or detach, with nullptr) a cycle-stamped event tracer.
-     * The machine does not own it.
+     * The machine does not own it, but holds exclusive producer rights
+     * while attached: attaching a tracer that another machine already
+     * holds panics (its ring buffer is single-producer; see
+     * trace_event.h). Detach — or destroy the machine — to hand the
+     * tracer to the next run.
      */
-    void setTracer(EventTracer *tracer) { tracer_ = tracer; }
+    void
+    setTracer(EventTracer *tracer)
+    {
+        if (tracer_ == tracer)
+            return;
+        if (tracer_)
+            tracer_->release();
+        if (tracer)
+            tracer->acquire();
+        tracer_ = tracer;
+    }
     EventTracer *tracer() const { return tracer_; }
 
     const MachineConfig &config() const { return cfg_; }

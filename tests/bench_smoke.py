@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Bench smoke test: one bench binary through the parallel sweep.
+
+Runs fig9a at tiny scale with --jobs=2 --stats-json and validates the
+report: the JSON parses, there is exactly one run record per submitted
+config (6 microbenchmarks x 3 patterns x 4 variants = 72), labels are
+unique and in submission order (base before opt for every workload x
+pattern group), every record carries its config and hierarchical stats,
+and the summary block holds the headline geomeans.
+
+Usage: bench_smoke.py <path-to-fig9a_speedup_inorder>
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import os
+
+
+def fail(msg):
+    print("FAIL:", msg)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: bench_smoke.py <bench-binary>")
+    bench = sys.argv[1]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "fig9a.json")
+        cmd = [
+            bench,
+            "--scale=5",
+            "--no-tpcc",
+            "--jobs=2",
+            "--stats-json=" + out,
+        ]
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=1200
+        )
+        if proc.returncode != 0:
+            fail(
+                "bench exited %d\nstdout:\n%s\nstderr:\n%s"
+                % (proc.returncode, proc.stdout, proc.stderr)
+            )
+        with open(out) as f:
+            report = json.load(f)
+
+    if report.get("bench") != "fig9a_speedup_inorder":
+        fail("unexpected bench name: %r" % report.get("bench"))
+
+    runs = report.get("runs")
+    expected = 6 * 3 * 4  # workloads x patterns x (base,pipe,par,ideal)
+    if not isinstance(runs, list) or len(runs) != expected:
+        fail(
+            "expected %d run records, got %s"
+            % (expected, len(runs) if isinstance(runs, list) else runs)
+        )
+
+    labels = [r.get("label") for r in runs]
+    if len(set(labels)) != len(labels):
+        dupes = sorted({l for l in labels if labels.count(l) > 1})
+        fail("duplicate run labels: %s" % dupes)
+
+    # Submission order survives the parallel sweep: every group of four
+    # is base, opt_pipelined, opt_parallel, opt_ideal of one workload
+    # and pattern.
+    for i in range(0, expected, 4):
+        group = labels[i : i + 4]
+        prefix = group[0].rsplit(".base", 1)[0]
+        suffixes = [".base", ".opt_pipelined", ".opt_parallel", ".opt_ideal"]
+        for label, suffix in zip(group, suffixes):
+            want = prefix + suffix + ".inorder"
+            if label != want:
+                fail(
+                    "run %d out of submission order: got %r, want %r"
+                    % (i, label, want)
+                )
+
+    for r in runs:
+        for key in ("config", "cycles", "instructions", "ipc", "stats"):
+            if key not in r:
+                fail("run %r missing %r" % (r.get("label"), key))
+        if r["cycles"] <= 0:
+            fail("run %r has no cycles" % r["label"])
+        if not isinstance(r["stats"], dict) or not r["stats"]:
+            fail("run %r has empty stats" % r["label"])
+        if r["config"].get("workload") is None:
+            fail("run %r has malformed config" % r["label"])
+
+    summary = report.get("summary")
+    if not isinstance(summary, dict) or not summary:
+        fail("missing summary block")
+    for name, value in summary.items():
+        if not isinstance(value, (int, float)):
+            fail("summary metric %r is not numeric: %r" % (name, value))
+
+    print(
+        "OK: %d runs, %d summary metrics, labels unique and ordered"
+        % (len(runs), len(summary))
+    )
+
+
+if __name__ == "__main__":
+    main()

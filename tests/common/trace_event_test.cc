@@ -123,6 +123,41 @@ TEST(EventTracer, ComponentAndOutcomeNamesAreStable)
     EXPECT_STREQ(traceOutcomeName(TraceOutcome::Flush), "flush");
 }
 
+TEST(EventTracer, AcquireGrantsExclusiveProducerRights)
+{
+    EventTracer t(4);
+    EXPECT_FALSE(t.acquired());
+    t.acquire();
+    EXPECT_TRUE(t.acquired());
+    t.release();
+    EXPECT_FALSE(t.acquired());
+
+    // Sequential reuse is explicitly allowed.
+    t.acquire();
+    t.release();
+    t.acquire();
+    EXPECT_TRUE(t.acquired());
+    t.release();
+}
+
+TEST(EventTracerDeathTest, DoubleAcquirePanics)
+{
+    // "threadsafe" re-executes the death test in a fresh process, which
+    // keeps it valid under TSan and in multi-threaded test binaries.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EventTracer t(4);
+    t.acquire();
+    EXPECT_DEATH(t.acquire(), "shared by two concurrent producers");
+    t.release();
+}
+
+TEST(EventTracerDeathTest, ReleaseWithoutAcquirePanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EventTracer t(4);
+    EXPECT_DEATH(t.release(), "release without acquire");
+}
+
 TEST(PoatTraceMacro, NullTracerIsSafe)
 {
     EventTracer *none = nullptr;

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Golden-metrics regression suite: the exact simulator outputs for one
+ * small configuration of every workload, in both translation modes, are
+ * pinned here. The simulator is deterministic by construction (fixed
+ * seeds, no wall-clock, no address randomness outside the seeded ASLR),
+ * so any drift in these numbers is a *behavioral* change — intended or
+ * not — and must be reviewed, not absorbed.
+ *
+ * Updating after an intended model change:
+ *
+ *     POAT_GOLDEN_REGEN=1 ./build/tests/golden_test
+ *
+ * prints the replacement kGolden rows; paste them over the table below
+ * and say in the commit message why the numbers moved.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "driver/experiment.h"
+
+namespace poat {
+namespace driver {
+namespace {
+
+using workloads::PoolPattern;
+
+/**
+ * Pinned outputs for one workload: the Software (BASE) and Hardware
+ * (OPT, Pipelined POLB) runs of the same config. The checksum is the
+ * workload's logical outcome and must also agree across modes — BASE
+ * and OPT perform identical logical work.
+ */
+struct Golden
+{
+    const char *workload;
+    uint64_t checksum;
+    uint64_t sw_cycles;
+    uint64_t sw_instructions;
+    uint64_t sw_translate_calls;
+    uint64_t hw_cycles;
+    uint64_t hw_instructions;
+    uint64_t hw_polb_hits;
+    uint64_t hw_polb_misses;
+};
+
+// clang-format off
+const Golden kGolden[] = {
+    {"LL",  23333143709236722ull, 359044ull, 214696ull, 1733ull, 175752ull, 53015ull, 5463ull, 28ull},
+    {"BST",  4252757654091938430ull, 1930415ull, 926639ull, 7515ull, 1161297ull, 240056ull, 32051ull, 32ull},
+    {"SPS",  10778335876270138662ull, 3001468ull, 1032434ull, 6539ull, 2280921ull, 387559ull, 105545ull, 32ull},
+    {"RBT",  11209304121203803616ull, 2217055ull, 1005275ull, 9911ull, 1337719ull, 228342ull, 43320ull, 32ull},
+    {"BT",  15279847805131191221ull, 1325441ull, 614025ull, 5731ull, 803416ull, 160154ull, 44050ull, 29ull},
+    {"B+T",  17817965302752835562ull, 1778430ull, 756315ull, 7520ull, 1197124ull, 250919ull, 74207ull, 27ull},
+    {"TPCC", 257842388ull, 42163127ull, 10002900ull, 187953ull, 37845921ull, 6807611ull, 2280915ull, 1ull},
+};
+// clang-format on
+
+/** The one pinned configuration per workload: small and fast. */
+ExperimentConfig
+goldenConfig(const std::string &workload, TranslationMode mode)
+{
+    ExperimentConfig c;
+    c.workload = workload;
+    c.mode = mode;
+    c.machine.core = sim::CoreType::InOrder;
+    if (workload == "TPCC") {
+        c.tpcc_scale_pct = 2;
+        c.tpcc_txns = 120;
+    } else {
+        c.pattern = PoolPattern::Random;
+        c.scale_pct = 10;
+    }
+    return c;
+}
+
+TEST(GoldenMetrics, PinnedOutputsPerWorkload)
+{
+    const bool regen = std::getenv("POAT_GOLDEN_REGEN") != nullptr;
+    if (regen)
+        std::printf("const Golden kGolden[] = {\n");
+
+    for (const auto &g : kGolden) {
+        const auto sw =
+            runExperiment(goldenConfig(g.workload, TranslationMode::Software));
+        const auto hw =
+            runExperiment(goldenConfig(g.workload, TranslationMode::Hardware));
+
+        // Mode-independent invariant, golden or not: BASE and OPT do
+        // identical logical work.
+        EXPECT_EQ(sw.workload_checksum, hw.workload_checksum)
+            << g.workload;
+
+        if (regen) {
+            std::printf("    {\"%s\",%s %lluull, %lluull, %lluull, "
+                        "%lluull, %lluull, %lluull, %lluull, %lluull},\n",
+                        g.workload,
+                        std::string(g.workload).size() >= 4 ? "" : " ",
+                        static_cast<unsigned long long>(
+                            sw.workload_checksum),
+                        static_cast<unsigned long long>(sw.metrics.cycles),
+                        static_cast<unsigned long long>(
+                            sw.metrics.instructions),
+                        static_cast<unsigned long long>(sw.translate_calls),
+                        static_cast<unsigned long long>(hw.metrics.cycles),
+                        static_cast<unsigned long long>(
+                            hw.metrics.instructions),
+                        static_cast<unsigned long long>(
+                            hw.metrics.polb_hits),
+                        static_cast<unsigned long long>(
+                            hw.metrics.polb_misses));
+            continue;
+        }
+
+        EXPECT_EQ(sw.workload_checksum, g.checksum) << g.workload;
+        EXPECT_EQ(sw.metrics.cycles, g.sw_cycles) << g.workload;
+        EXPECT_EQ(sw.metrics.instructions, g.sw_instructions)
+            << g.workload;
+        EXPECT_EQ(sw.translate_calls, g.sw_translate_calls) << g.workload;
+        EXPECT_EQ(hw.metrics.cycles, g.hw_cycles) << g.workload;
+        EXPECT_EQ(hw.metrics.instructions, g.hw_instructions)
+            << g.workload;
+        EXPECT_EQ(hw.metrics.polb_hits, g.hw_polb_hits) << g.workload;
+        EXPECT_EQ(hw.metrics.polb_misses, g.hw_polb_misses) << g.workload;
+    }
+
+    if (regen) {
+        std::printf("};\n");
+        GTEST_SKIP() << "regeneration run; paste the rows above into "
+                        "tests/driver/golden_test.cc";
+    }
+}
+
+} // namespace
+} // namespace driver
+} // namespace poat

@@ -210,6 +210,39 @@ TEST(Machine, EndToEndWithRuntime)
     }
 }
 
+TEST(Machine, SetTracerAcquiresAndDestructorReleases)
+{
+    EventTracer t(64);
+    {
+        Machine m(inorder());
+        m.setTracer(&t);
+        EXPECT_TRUE(t.acquired());
+        // Re-attaching the same tracer to the same machine is a no-op.
+        m.setTracer(&t);
+        EXPECT_TRUE(t.acquired());
+    }
+    // ~Machine released the tracer: a later run may reuse it.
+    EXPECT_FALSE(t.acquired());
+
+    Machine m2(inorder());
+    m2.setTracer(&t);
+    EXPECT_TRUE(t.acquired());
+    m2.setTracer(nullptr);
+    EXPECT_FALSE(t.acquired());
+}
+
+TEST(MachineDeathTest, TwoMachinesSharingOneTracerPanic)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EventTracer t(64);
+    Machine a(inorder());
+    a.setTracer(&t);
+    Machine b(inorder());
+    // The ring buffer is single-producer; a second concurrent machine
+    // must panic instead of silently racing (see common/trace_event.h).
+    EXPECT_DEATH(b.setTracer(&t), "shared by two concurrent producers");
+}
+
 TEST(Machine, DumpStatsListsAllSubsystems)
 {
     Machine m(inorder());
