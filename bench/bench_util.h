@@ -39,8 +39,10 @@ struct BenchArgs
     bool include_tpcc = true;
     bool quick = false;
     uint32_t jobs = 0;      ///< sweep threads; 0 = all cores, 1 = serial
+    uint64_t seed = 42;     ///< workload RNG seed
     std::string stats_json; ///< write a JSON report here (empty = off)
     std::string trace;      ///< write a poat-trace v1 file here
+    std::string trace_cache; ///< instruction-trace cache dir (empty = off)
 
     static void
     usage()
@@ -51,6 +53,7 @@ struct BenchArgs
                     "  --tpcc-scale=N    TPC-C cardinality %%\n"
                     "  --txns=N          TPC-C transaction count\n"
                     "  --no-tpcc         skip TPC-C rows\n"
+                    "  --seed=N          workload RNG seed (default 42)\n"
                     "  --jobs=N          concurrent runs (default: all\n"
                     "                    cores; 1 = serial; results are\n"
                     "                    identical at any N)\n"
@@ -58,7 +61,13 @@ struct BenchArgs
                     "  --trace=FILE      write a poat-trace v1 event "
                     "trace\n"
                     "                    (convert: tools/trace_convert;\n"
-                    "                    forces --jobs=1)\n");
+                    "                    forces --jobs=1)\n"
+                    "  --trace-cache=DIR capture/replay instruction\n"
+                    "                    traces (poat-itrace v1): runs\n"
+                    "                    sharing a functional config\n"
+                    "                    execute the workload once and\n"
+                    "                    replay it for every machine\n"
+                    "                    variant; results identical\n");
     }
 
     static BenchArgs
@@ -81,12 +90,16 @@ struct BenchArgs
                 a.tpcc_txns = std::stoull(s.substr(7));
             } else if (s == "--no-tpcc") {
                 a.include_tpcc = false;
+            } else if (s.rfind("--seed=", 0) == 0) {
+                a.seed = std::stoull(s.substr(7));
             } else if (s.rfind("--jobs=", 0) == 0) {
                 a.jobs = std::stoul(s.substr(7));
             } else if (s.rfind("--stats-json=", 0) == 0) {
                 a.stats_json = s.substr(13);
             } else if (s.rfind("--trace=", 0) == 0) {
                 a.trace = s.substr(8);
+            } else if (s.rfind("--trace-cache=", 0) == 0) {
+                a.trace_cache = s.substr(14);
             } else if (s == "--help") {
                 usage();
                 std::exit(0);
@@ -347,6 +360,9 @@ runAll(const BenchArgs &args, JsonReport &report,
     if (report.tracer())
         for (auto &c : configs)
             c.tracer = report.tracer();
+    if (!args.trace_cache.empty())
+        for (auto &c : configs)
+            c.trace_cache = args.trace_cache;
     driver::SweepOptions so;
     so.jobs = args.jobs;
     const bool tty = isatty(fileno(stderr));
@@ -377,6 +393,7 @@ microBase(const BenchArgs &a, const std::string &wl,
     c.transactions = transactions;
     c.mode = TranslationMode::Software;
     c.machine.core = core;
+    c.seed = a.seed;
     return c;
 }
 
@@ -392,6 +409,7 @@ tpccBase(const BenchArgs &a, workloads::tpcc::Placement placement,
     c.tpcc_txns = a.tpcc_txns;
     c.mode = TranslationMode::Software;
     c.machine.core = core;
+    c.seed = a.seed;
     return c;
 }
 

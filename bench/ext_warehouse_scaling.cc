@@ -44,6 +44,7 @@ warehouseCfg(const BenchArgs &args, uint32_t scale, uint32_t w,
     c.mode = mode;
     c.machine.core = sim::CoreType::InOrder;
     c.machine.polb_design = design;
+    c.seed = args.seed;
     return c;
 }
 

@@ -27,6 +27,7 @@ profileCfg(const BenchArgs &args, const std::string &wl, bool each)
     c.scale_pct = args.scale_pct;
     c.mode = TranslationMode::Software;
     c.timing = false;
+    c.seed = args.seed;
     return c;
 }
 

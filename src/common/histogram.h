@@ -75,6 +75,22 @@ class Histogram
         buckets_.fill(0);
     }
 
+    /**
+     * Restore externally serialized state wholesale (the trace-replay
+     * functional profile; see docs/SIMULATOR.md). The caller vouches
+     * that the fields came from a real histogram.
+     */
+    void
+    restore(uint64_t count, uint64_t sum, uint64_t min, uint64_t max,
+            const std::array<uint64_t, kBuckets> &buckets)
+    {
+        count_ = count;
+        sum_ = sum;
+        min_ = min;
+        max_ = max;
+        buckets_ = buckets;
+    }
+
     uint64_t count() const { return count_; }
     uint64_t sum() const { return sum_; }
     uint64_t min() const { return min_; }

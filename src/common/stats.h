@@ -80,6 +80,27 @@ class StatsRegistry
      */
     void dumpJson(std::ostream &os, int indent = 0) const;
 
+    /** Read-only view of every counter, sorted by name. */
+    const std::map<std::string, uint64_t> &counters() const
+    {
+        return counters_;
+    }
+
+    /** Read-only view of every histogram, sorted by name. */
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
+    }
+
+    /** Visit every formula as (name, numerator, denominator). */
+    template <typename Fn>
+    void
+    forEachFormula(Fn &&fn) const
+    {
+        for (const auto &[name, f] : formulas_)
+            fn(name, f.num, f.den);
+    }
+
     /** Number of registered stats of all kinds. */
     size_t size() const
     {

@@ -1,10 +1,16 @@
 #include "driver/experiment.h"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
 #include <stdexcept>
 
 #include "pmem/runtime.h"
+#include "trace_io/itrace.h"
 
 namespace poat {
 namespace driver {
@@ -65,6 +71,68 @@ configLabel(const ExperimentConfig &cfg)
     return s;
 }
 
+std::string
+traceFingerprint(const ExperimentConfig &cfg)
+{
+    std::string s = "poat-fpr v1 workload=" + cfg.workload;
+    if (cfg.workload == "TPCC") {
+        s += " placement=";
+        switch (cfg.placement) {
+        case workloads::tpcc::Placement::All:
+            s += "ALL";
+            break;
+        case workloads::tpcc::Placement::Each:
+            s += "EACH";
+            break;
+        case workloads::tpcc::Placement::PerWarehouse:
+            s += "PERW";
+            break;
+        }
+        s += " tpcc_scale=" + std::to_string(cfg.tpcc_scale_pct);
+        s += " txns=" + std::to_string(cfg.tpcc_txns);
+        s += " warehouses=" + std::to_string(cfg.tpcc_warehouses);
+    } else {
+        s += " pattern=";
+        s += workloads::patternName(cfg.pattern);
+        s += " scale=" + std::to_string(cfg.scale_pct);
+    }
+    s += cfg.transactions ? " tx=1" : " tx=0";
+    s += cfg.mode == TranslationMode::Software ? " mode=sw" : " mode=hw";
+    s += cfg.base_predictor ? " pred=1" : " pred=0";
+    s += " seed=" + std::to_string(cfg.seed);
+    return s;
+}
+
+std::string
+traceCachePath(const ExperimentConfig &cfg)
+{
+    const std::string fpr = traceFingerprint(cfg);
+    uint64_t h = 14695981039346656037ull;
+    for (const char c : fpr) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 1099511628211ull;
+    }
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(h));
+
+    // Readable prefix: the functional half of the label, so a cache
+    // directory listing reads like the sweep that filled it.
+    std::string name = cfg.workload;
+    if (cfg.workload != "TPCC") {
+        name += ".";
+        name += workloads::patternName(cfg.pattern);
+    }
+    name += cfg.mode == TranslationMode::Software ? ".base" : ".opt";
+    if (!cfg.transactions)
+        name += ".ntx";
+    name += ".s" + std::to_string(cfg.seed);
+    for (char &c : name)
+        if (c == '/')
+            c = '_';
+    return cfg.trace_cache + "/" + name + "-" + hex + ".itrace";
+}
+
 namespace {
 
 /** Run the workload against @p rt and record its outcome. */
@@ -110,17 +178,147 @@ runtimeOptions(const ExperimentConfig &cfg)
     return ro;
 }
 
-/** Snapshot the translator profile into the result. */
+/**
+ * Snapshot the functional (machine-independent) outcome of a run: the
+ * translator profile and the workload result, as result fields plus a
+ * standalone registry. This is everything a replayed run cannot
+ * recompute — the trace capture serializes it as the file's profile
+ * sidecar.
+ */
 void
-fillTranslatorProfile(const PmemRuntime &rt, ExperimentResult &res)
+fillFunctionalProfile(const PmemRuntime &rt, ExperimentResult &res,
+                      StatsRegistry &prof)
 {
     res.translate_calls = rt.translator().calls();
     res.translate_misses = rt.translator().predictorMisses();
     res.translate_insns_per_call =
         rt.translator().avgInstructionsPerCall();
-    rt.translator().fillStats(res.stats);
-    res.stats.counter("workload.operations") = res.workload_operations;
-    res.stats.counter("workload.checksum") = res.workload_checksum;
+    rt.translator().fillStats(prof);
+    prof.counter("workload.operations") = res.workload_operations;
+    prof.counter("workload.checksum") = res.workload_checksum;
+}
+
+/** Copy every stat in @p from into @p into under the same names. */
+void
+mergeRegistry(const StatsRegistry &from, StatsRegistry &into)
+{
+    for (const auto &[name, v] : from.counters())
+        into.counter(name) = v;
+    for (const auto &[name, h] : from.histograms())
+        into.histogram(name) = h;
+    from.forEachFormula([&into](const std::string &name,
+                                const std::string &num,
+                                const std::string &den) {
+        into.formula(name, num, den);
+    });
+}
+
+/**
+ * Serialize the functional profile as the trace file's sidecar blob.
+ * Text lines; doubles travel as bit patterns so replayed results stay
+ * bit-identical to live ones.
+ */
+std::string
+serializeProfile(const ExperimentResult &res, const StatsRegistry &prof)
+{
+    std::ostringstream os;
+    os << "poat-profile v1\n";
+    os << "R checksum " << res.workload_checksum << "\n";
+    os << "R operations " << res.workload_operations << "\n";
+    os << "R translate_calls " << res.translate_calls << "\n";
+    os << "R translate_misses " << res.translate_misses << "\n";
+    os << "R translate_insns_bits "
+       << std::bit_cast<uint64_t>(res.translate_insns_per_call) << "\n";
+    for (const auto &[name, v] : prof.counters())
+        os << "C " << name << " " << v << "\n";
+    for (const auto &[name, h] : prof.histograms()) {
+        os << "H " << name << " " << h.count() << " " << h.sum() << " "
+           << h.min() << " " << h.max();
+        for (uint32_t b = 0; b < Histogram::kBuckets; ++b)
+            if (h.bucketCount(b) != 0)
+                os << " " << b << ":" << h.bucketCount(b);
+        os << "\n";
+    }
+    prof.forEachFormula([&os](const std::string &name,
+                              const std::string &num,
+                              const std::string &den) {
+        os << "F " << name << " " << num << " " << den << "\n";
+    });
+    return os.str();
+}
+
+/** Parse a profile sidecar back into @p res (fields and stats). */
+void
+applyProfile(const std::string &blob, const std::string &path,
+             ExperimentResult &res)
+{
+    const auto corrupt = [&path](const std::string &why) {
+        return std::runtime_error("poat-itrace: " + path +
+                                  ": corrupt functional profile (" +
+                                  why + ")");
+    };
+    std::istringstream is(blob);
+    std::string line;
+    if (!std::getline(is, line) || line != "poat-profile v1")
+        throw corrupt("missing version line");
+
+    StatsRegistry prof;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        std::string kind, name;
+        ls >> kind >> name;
+        if (kind == "R") {
+            uint64_t v;
+            if (!(ls >> v))
+                throw corrupt("bad result line");
+            if (name == "checksum")
+                res.workload_checksum = v;
+            else if (name == "operations")
+                res.workload_operations = v;
+            else if (name == "translate_calls")
+                res.translate_calls = v;
+            else if (name == "translate_misses")
+                res.translate_misses = v;
+            else if (name == "translate_insns_bits")
+                res.translate_insns_per_call = std::bit_cast<double>(v);
+            else
+                throw corrupt("unknown result field " + name);
+        } else if (kind == "C") {
+            uint64_t v;
+            if (!(ls >> v))
+                throw corrupt("bad counter line");
+            prof.counter(name) = v;
+        } else if (kind == "H") {
+            uint64_t count, sum, lo, hi;
+            if (!(ls >> count >> sum >> lo >> hi))
+                throw corrupt("bad histogram line");
+            std::array<uint64_t, Histogram::kBuckets> buckets{};
+            std::string pair;
+            while (ls >> pair) {
+                const size_t colon = pair.find(':');
+                if (colon == std::string::npos)
+                    throw corrupt("bad histogram bucket");
+                unsigned long b;
+                try {
+                    b = std::stoul(pair.substr(0, colon));
+                    buckets.at(b) = std::stoull(pair.substr(colon + 1));
+                } catch (const std::exception &) {
+                    throw corrupt("bad histogram bucket");
+                }
+            }
+            prof.histogram(name).restore(count, sum, lo, hi, buckets);
+        } else if (kind == "F") {
+            std::string num, den;
+            if (!(ls >> num >> den))
+                throw corrupt("bad formula line");
+            prof.formula(name, num, den);
+        } else {
+            throw corrupt("unknown line kind " + kind);
+        }
+    }
+    mergeRegistry(prof, res.stats);
 }
 
 } // namespace
@@ -128,7 +326,7 @@ fillTranslatorProfile(const PmemRuntime &rt, ExperimentResult &res)
 namespace detail {
 
 ExperimentResult
-runExperimentUnobserved(const ExperimentConfig &cfg)
+runExperimentLive(const ExperimentConfig &cfg)
 {
     ExperimentResult res;
 
@@ -138,7 +336,9 @@ runExperimentUnobserved(const ExperimentConfig &cfg)
         CountingTraceSink sink;
         PmemRuntime rt(runtimeOptions(cfg), &sink);
         executeWorkload(cfg, rt, res);
-        fillTranslatorProfile(rt, res);
+        StatsRegistry prof;
+        fillFunctionalProfile(rt, res, prof);
+        mergeRegistry(prof, res.stats);
         return res;
     }
 
@@ -166,8 +366,112 @@ runExperimentUnobserved(const ExperimentConfig &cfg)
     // The run's complete hierarchical telemetry: machine registry plus
     // the software-translation profile and the workload outcome.
     res.stats = machine.stats();
-    fillTranslatorProfile(rt, res);
+    StatsRegistry prof;
+    fillFunctionalProfile(rt, res, prof);
+    mergeRegistry(prof, res.stats);
     return res;
+}
+
+ExperimentResult
+runExperimentCaptured(const ExperimentConfig &cfg,
+                      const std::string &path)
+{
+    if (!cfg.timing)
+        throw std::invalid_argument(
+            "trace capture requires a timing run");
+
+    std::error_code ec;
+    std::filesystem::create_directories(
+        std::filesystem::path(path).parent_path(), ec);
+    // An unusable directory surfaces as the recorder's open error.
+
+    ExperimentResult res;
+    sim::Machine machine(cfg.machine);
+    EventTracer *tracer = cfg.tracer;
+    machine.setTracer(tracer);
+    const std::string label = configLabel(cfg);
+    if (tracer)
+        tracer->marker(machine.cycles(), "begin " + label);
+
+    // The recorder forwards every event to the machine with the exact
+    // dep tags a direct run would pass, so capture-run metrics equal
+    // live-run metrics.
+    trace_io::TraceRecorder rec(&machine, path, traceFingerprint(cfg));
+    PmemRuntime rt(runtimeOptions(cfg), &rec);
+    executeWorkload(cfg, rt, res);
+
+    if (tracer)
+        tracer->marker(machine.cycles(), "end " + label);
+    machine.setTracer(nullptr);
+
+    res.metrics = machine.metrics();
+    res.breakdown = machine.breakdown();
+    res.stats = machine.stats();
+    StatsRegistry prof;
+    fillFunctionalProfile(rt, res, prof);
+    mergeRegistry(prof, res.stats);
+
+    rec.setProfile(serializeProfile(res, prof));
+    rec.finish();
+    return res;
+}
+
+ExperimentResult
+runExperimentReplayed(const ExperimentConfig &cfg,
+                      const std::string &path)
+{
+    if (!cfg.timing)
+        throw std::invalid_argument(
+            "trace replay requires a timing run");
+
+    trace_io::TraceReplayer rep(path);
+    const std::string want = traceFingerprint(cfg);
+    if (rep.fingerprint() != want)
+        throw std::runtime_error(
+            "poat-itrace: " + path + ": fingerprint mismatch: file has "
+            "\"" + rep.fingerprint() + "\", config needs \"" + want +
+            "\"");
+
+    ExperimentResult res;
+    sim::Machine machine(cfg.machine);
+    EventTracer *tracer = cfg.tracer;
+    machine.setTracer(tracer);
+    const std::string label = configLabel(cfg);
+    if (tracer)
+        tracer->marker(machine.cycles(), "begin " + label);
+
+    rep.replayInto(machine);
+
+    if (tracer)
+        tracer->marker(machine.cycles(), "end " + label);
+    machine.setTracer(nullptr);
+
+    res.metrics = machine.metrics();
+    res.breakdown = machine.breakdown();
+    res.stats = machine.stats();
+    applyProfile(rep.profile(), path, res);
+    return res;
+}
+
+ExperimentResult
+runExperimentUnobserved(const ExperimentConfig &cfg)
+{
+    if (!cfg.timing || cfg.trace_cache.empty())
+        return runExperimentLive(cfg);
+
+    const std::string path = traceCachePath(cfg);
+    if (trace_io::TraceReplayer::matches(path, traceFingerprint(cfg))) {
+        try {
+            return runExperimentReplayed(cfg, path);
+        } catch (const std::runtime_error &e) {
+            // A cached trace that fails full validation (corruption,
+            // torn write from a crashed capture) is not an error —
+            // recapture it.
+            std::fprintf(stderr, "trace-cache: %s; recapturing\n",
+                         e.what());
+        }
+    }
+    return runExperimentCaptured(cfg, path);
 }
 
 void

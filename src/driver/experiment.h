@@ -72,6 +72,23 @@ struct ExperimentConfig
     std::string label;
 
     /**
+     * Directory of captured instruction traces (empty = no caching).
+     *
+     * When set (and timing is on), the run first looks for a cached
+     * poat-itrace file whose functional fingerprint — workload,
+     * pattern, scale, transactions, mode, base_predictor, seed, and
+     * the TPC-C knobs — matches this config (traceFingerprint). A hit
+     * replays the captured stream into a fresh machine, skipping
+     * native workload execution entirely; a miss runs live and
+     * captures the stream for the next run. Replayed results are
+     * bit-identical to live ones (MachineMetrics and serialized stats
+     * JSON alike; enforced by tests/trace_io/). runSweep() groups
+     * submissions by fingerprint so a machine-config sweep pays for
+     * functional execution once per group.
+     */
+    std::string trace_cache;
+
+    /**
      * Cycle-stamped event tracer attached to the run's machine for the
      * duration of the run; null = no tracing. Not owned.
      *
@@ -113,6 +130,24 @@ ExperimentResult runExperiment(const ExperimentConfig &cfg);
 std::string configLabel(const ExperimentConfig &cfg);
 
 /**
+ * Canonical functional fingerprint of a config: every knob that shapes
+ * the dynamic instruction stream (workload, pattern/placement, scale,
+ * transaction counts, transactions on/off, translation mode, BASE
+ * predictor, seed) and none that only shape timing (machine config).
+ * Two configs with equal fingerprints submit identical event streams,
+ * so one captured trace serves both; anything that changes the
+ * fingerprint invalidates the cached trace. Stored verbatim in the
+ * poat-itrace header and checked on every replay.
+ */
+std::string traceFingerprint(const ExperimentConfig &cfg);
+
+/**
+ * Path of the cached trace for @p cfg inside cfg.trace_cache:
+ * "<label>-<fingerprint hash>.itrace".
+ */
+std::string traceCachePath(const ExperimentConfig &cfg);
+
+/**
  * Observer invoked with every finished runExperiment() call; the bench
  * harness's --stats-json collector. Pass nullptr to uninstall.
  *
@@ -132,9 +167,32 @@ namespace detail {
 /**
  * runExperiment() minus the observer notification — the sweep executor
  * runs this on worker threads and replays the notifications serially,
- * in submission order, on its calling thread.
+ * in submission order, on its calling thread. Honors cfg.trace_cache:
+ * a matching cached trace is replayed, otherwise the run executes live
+ * and captures one (an unreadable cached file is recaptured with a
+ * note on stderr, never an error).
  */
 ExperimentResult runExperimentUnobserved(const ExperimentConfig &cfg);
+
+/** The live path: native execution, no trace cache involvement. */
+ExperimentResult runExperimentLive(const ExperimentConfig &cfg);
+
+/**
+ * Live run that also captures the instruction stream to @p path
+ * (atomically; readers never see a partial file). Timing must be on.
+ * @throws std::runtime_error on trace I/O failure.
+ */
+ExperimentResult runExperimentCaptured(const ExperimentConfig &cfg,
+                                       const std::string &path);
+
+/**
+ * Replay the captured stream at @p path into a fresh machine instead
+ * of executing the workload. Timing must be on.
+ * @throws std::runtime_error if the file is missing, corrupt,
+ *         truncated, or fingerprints a different functional config.
+ */
+ExperimentResult runExperimentReplayed(const ExperimentConfig &cfg,
+                                       const std::string &path);
 
 /** Invoke the installed observer (if any) for a finished run. */
 void notifyExperimentObserver(const ExperimentConfig &cfg,

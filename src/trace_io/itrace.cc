@@ -1,0 +1,532 @@
+#include "trace_io/itrace.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace poat {
+namespace trace_io {
+
+namespace {
+
+/** Soft cap on the recorder's in-memory buffer before an fwrite. */
+constexpr size_t kFlushThreshold = 1u << 20;
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t
+fnv1a(uint64_t hash, const uint8_t *data, size_t size)
+{
+    for (size_t i = 0; i < size; ++i) {
+        hash ^= data[i];
+        hash *= kFnvPrime;
+    }
+    return hash;
+}
+
+void
+putLe32(uint8_t *out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+void
+putLe64(uint8_t *out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint32_t
+getLe32(const uint8_t *in)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(in[i]) << (8 * i);
+    return v;
+}
+
+uint64_t
+getLe64(const uint8_t *in)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(in[i]) << (8 * i);
+    return v;
+}
+
+[[noreturn]] void
+badFile(const std::string &path, const std::string &why)
+{
+    throw std::runtime_error("poat-itrace: " + path + ": " + why);
+}
+
+} // namespace
+
+const char *
+eventKindName(uint8_t kind)
+{
+    switch (static_cast<EventKind>(kind)) {
+      case EventKind::Alu:
+        return "alu";
+      case EventKind::Branch:
+        return "branch";
+      case EventKind::Load:
+        return "load";
+      case EventKind::Store:
+        return "store";
+      case EventKind::NvLoad:
+        return "nvLoad";
+      case EventKind::NvStore:
+        return "nvStore";
+      case EventKind::Clwb:
+        return "clwb";
+      case EventKind::NvClwb:
+        return "nvClwb";
+      case EventKind::Fence:
+        return "fence";
+      case EventKind::PoolMapped:
+        return "poolMapped";
+      case EventKind::PoolUnmapped:
+        return "poolUnmapped";
+    }
+    return "?";
+}
+
+void
+appendVarint(std::vector<uint8_t> &buf, uint64_t v)
+{
+    while (v >= 0x80) {
+        buf.push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    buf.push_back(static_cast<uint8_t>(v));
+}
+
+uint64_t
+readVarint(const uint8_t *data, size_t size, size_t *pos)
+{
+    uint64_t v = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+        if (*pos >= size)
+            throw std::runtime_error(
+                "poat-itrace: truncated varint in record region");
+        const uint8_t byte = data[(*pos)++];
+        v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0)
+            return v;
+    }
+    throw std::runtime_error("poat-itrace: varint exceeds 64 bits");
+}
+
+// --------------------------------------------------------------------
+// TraceRecorder
+
+TraceRecorder::TraceRecorder(TraceSink *inner, std::string path,
+                             std::string fingerprint)
+    : inner_(inner), path_(std::move(path)),
+      fingerprint_(std::move(fingerprint)), hash_(kFnvOffset)
+{
+    // Unique temporary within the process and across processes sharing
+    // a cache directory; the atomic rename in finish() publishes it.
+    static std::atomic<uint64_t> counter{0};
+    tmpPath_ = path_ + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(counter.fetch_add(1));
+
+    f_ = std::fopen(tmpPath_.c_str(), "wb");
+    if (!f_)
+        badFile(tmpPath_, "cannot create temporary trace file");
+
+    uint8_t header[kHeaderSize] = {};
+    std::memcpy(header, kMagic, sizeof(kMagic));
+    putLe32(header + 8, kFormatVersion);
+    putLe32(header + 12, static_cast<uint32_t>(fingerprint_.size()));
+    // Event count, record bytes, and record hash are patched by
+    // finish(); leave zeros.
+    if (std::fwrite(header, 1, kHeaderSize, f_) != kHeaderSize ||
+        std::fwrite(fingerprint_.data(), 1, fingerprint_.size(), f_) !=
+            fingerprint_.size()) {
+        abandon();
+        badFile(tmpPath_, "cannot write trace header");
+    }
+
+    buf_.reserve(kFlushThreshold + 64);
+    seqToTag_.push_back(kNoDep); // sequence number 0 = "no producer"
+}
+
+TraceRecorder::~TraceRecorder()
+{
+    abandon();
+}
+
+void
+TraceRecorder::flushBuf()
+{
+    if (buf_.empty() || !f_)
+        return;
+    hash_ = fnv1a(hash_, buf_.data(), buf_.size());
+    recordBytes_ += buf_.size();
+    if (std::fwrite(buf_.data(), 1, buf_.size(), f_) != buf_.size()) {
+        abandon();
+        badFile(tmpPath_, "short write while recording");
+    }
+    buf_.clear();
+}
+
+void
+TraceRecorder::begin(EventKind kind)
+{
+    if (buf_.size() >= kFlushThreshold)
+        flushBuf();
+    buf_.push_back(static_cast<uint8_t>(kind));
+    ++events_;
+}
+
+void
+TraceRecorder::finish()
+{
+    if (finished_)
+        return;
+    if (!f_)
+        badFile(tmpPath_, "recorder already abandoned");
+    flushBuf();
+
+    uint8_t len[4];
+    putLe32(len, static_cast<uint32_t>(profile_.size()));
+    uint8_t patch[24];
+    putLe64(patch + 0, events_);
+    putLe64(patch + 8, recordBytes_);
+    putLe64(patch + 16, hash_);
+    const bool ok =
+        std::fwrite(len, 1, sizeof(len), f_) == sizeof(len) &&
+        std::fwrite(profile_.data(), 1, profile_.size(), f_) ==
+            profile_.size() &&
+        std::fseek(f_, 16, SEEK_SET) == 0 &&
+        std::fwrite(patch, 1, sizeof(patch), f_) == sizeof(patch) &&
+        std::fclose(f_) == 0;
+    f_ = nullptr;
+    if (!ok) {
+        abandon();
+        badFile(tmpPath_, "cannot finalize trace file");
+    }
+    if (std::rename(tmpPath_.c_str(), path_.c_str()) != 0) {
+        abandon();
+        badFile(path_, "cannot publish trace file");
+    }
+    finished_ = true;
+}
+
+void
+TraceRecorder::abandon() noexcept
+{
+    if (f_) {
+        std::fclose(f_);
+        f_ = nullptr;
+    }
+    if (!finished_ && !tmpPath_.empty())
+        std::remove(tmpPath_.c_str());
+}
+
+void
+TraceRecorder::alu(uint32_t count, uint64_t dep)
+{
+    dep = clampSeq(dep);
+    begin(EventKind::Alu);
+    put(count);
+    put(dep);
+    if (inner_)
+        inner_->alu(count, innerDep(dep));
+}
+
+void
+TraceRecorder::branch(bool taken, uint64_t pc, uint64_t dep)
+{
+    dep = clampSeq(dep);
+    begin(EventKind::Branch);
+    put(taken ? 1 : 0);
+    put(pc);
+    put(dep);
+    if (inner_)
+        inner_->branch(taken, pc, innerDep(dep));
+}
+
+uint64_t
+TraceRecorder::load(uint64_t vaddr, uint64_t dep, uint64_t dep2)
+{
+    dep = clampSeq(dep);
+    dep2 = clampSeq(dep2);
+    begin(EventKind::Load);
+    put(vaddr);
+    put(dep);
+    put(dep2);
+    const uint64_t tag =
+        inner_ ? inner_->load(vaddr, innerDep(dep), innerDep(dep2)) : 0;
+    seqToTag_.push_back(tag);
+    return seqToTag_.size() - 1;
+}
+
+void
+TraceRecorder::store(uint64_t vaddr, uint64_t dep)
+{
+    dep = clampSeq(dep);
+    begin(EventKind::Store);
+    put(vaddr);
+    put(dep);
+    if (inner_)
+        inner_->store(vaddr, innerDep(dep));
+}
+
+uint64_t
+TraceRecorder::nvLoad(ObjectID oid, uint64_t dep, uint64_t dep2)
+{
+    dep = clampSeq(dep);
+    dep2 = clampSeq(dep2);
+    begin(EventKind::NvLoad);
+    put(oid.raw);
+    put(dep);
+    put(dep2);
+    const uint64_t tag =
+        inner_ ? inner_->nvLoad(oid, innerDep(dep), innerDep(dep2)) : 0;
+    seqToTag_.push_back(tag);
+    return seqToTag_.size() - 1;
+}
+
+void
+TraceRecorder::nvStore(ObjectID oid, uint64_t dep)
+{
+    dep = clampSeq(dep);
+    begin(EventKind::NvStore);
+    put(oid.raw);
+    put(dep);
+    if (inner_)
+        inner_->nvStore(oid, innerDep(dep));
+}
+
+void
+TraceRecorder::clwb(uint64_t vaddr)
+{
+    begin(EventKind::Clwb);
+    put(vaddr);
+    if (inner_)
+        inner_->clwb(vaddr);
+}
+
+void
+TraceRecorder::nvClwb(ObjectID oid)
+{
+    begin(EventKind::NvClwb);
+    put(oid.raw);
+    if (inner_)
+        inner_->nvClwb(oid);
+}
+
+void
+TraceRecorder::fence()
+{
+    begin(EventKind::Fence);
+    if (inner_)
+        inner_->fence();
+}
+
+void
+TraceRecorder::poolMapped(uint32_t pool_id, uint64_t vbase, uint64_t size)
+{
+    begin(EventKind::PoolMapped);
+    put(pool_id);
+    put(vbase);
+    put(size);
+    if (inner_)
+        inner_->poolMapped(pool_id, vbase, size);
+}
+
+void
+TraceRecorder::poolUnmapped(uint32_t pool_id)
+{
+    begin(EventKind::PoolUnmapped);
+    put(pool_id);
+    if (inner_)
+        inner_->poolUnmapped(pool_id);
+}
+
+// --------------------------------------------------------------------
+// TraceReplayer
+
+TraceReplayer::TraceReplayer(const std::string &path) : path_(path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        badFile(path, "cannot open trace file");
+    std::fseek(f, 0, SEEK_END);
+    const long end = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<uint8_t> file(end > 0 ? static_cast<size_t>(end) : 0);
+    const size_t got = file.empty()
+        ? 0
+        : std::fread(file.data(), 1, file.size(), f);
+    std::fclose(f);
+    if (got != file.size())
+        badFile(path, "cannot read trace file");
+
+    if (file.size() < kHeaderSize)
+        badFile(path, "truncated header");
+    if (std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0)
+        badFile(path, "not a poat-itrace file (bad magic)");
+    const uint32_t version = getLe32(file.data() + 8);
+    if (version != kFormatVersion)
+        badFile(path,
+                "unsupported format version " + std::to_string(version) +
+                    " (this build reads version " +
+                    std::to_string(kFormatVersion) + ")");
+    const uint32_t fpr_len = getLe32(file.data() + 12);
+    eventCount_ = getLe64(file.data() + 16);
+    const uint64_t record_bytes = getLe64(file.data() + 24);
+    const uint64_t record_hash = getLe64(file.data() + 32);
+
+    const size_t records_at = kHeaderSize + fpr_len;
+    if (records_at > file.size() ||
+        record_bytes > file.size() - records_at)
+        badFile(path, "truncated record region");
+    fingerprint_.assign(
+        reinterpret_cast<const char *>(file.data() + kHeaderSize),
+        fpr_len);
+
+    const size_t trailer_at = records_at + static_cast<size_t>(record_bytes);
+    if (file.size() - trailer_at < 4)
+        badFile(path, "missing profile trailer");
+    const uint32_t prof_len = getLe32(file.data() + trailer_at);
+    if (file.size() - trailer_at - 4 != prof_len)
+        badFile(path, "trailing garbage after profile");
+    profile_.assign(
+        reinterpret_cast<const char *>(file.data() + trailer_at + 4),
+        prof_len);
+
+    records_.assign(file.begin() + records_at,
+                    file.begin() + trailer_at);
+    if (fnv1a(kFnvOffset, records_.data(), records_.size()) !=
+        record_hash)
+        badFile(path, "record region corrupt (hash mismatch)");
+}
+
+void
+TraceReplayer::replayInto(TraceSink &sink) const
+{
+    const uint8_t *d = records_.data();
+    const size_t n = records_.size();
+    size_t pos = 0;
+    uint64_t events = 0;
+
+    std::vector<uint64_t> tags;
+    tags.reserve(1024);
+    tags.push_back(kNoDep); // sequence number 0 = "no producer"
+    auto dep = [&](uint64_t seq) -> uint64_t {
+        if (seq >= tags.size())
+            badFile(path_, "dep references a load that never happened");
+        return tags[seq];
+    };
+
+    while (pos < n) {
+        const uint8_t kind = d[pos++];
+        switch (static_cast<EventKind>(kind)) {
+          case EventKind::Alu: {
+            const uint64_t count = readVarint(d, n, &pos);
+            const uint64_t dp = readVarint(d, n, &pos);
+            sink.alu(static_cast<uint32_t>(count), dep(dp));
+            break;
+          }
+          case EventKind::Branch: {
+            const uint64_t taken = readVarint(d, n, &pos);
+            const uint64_t pc = readVarint(d, n, &pos);
+            const uint64_t dp = readVarint(d, n, &pos);
+            sink.branch(taken != 0, pc, dep(dp));
+            break;
+          }
+          case EventKind::Load: {
+            const uint64_t vaddr = readVarint(d, n, &pos);
+            const uint64_t d1 = readVarint(d, n, &pos);
+            const uint64_t d2 = readVarint(d, n, &pos);
+            tags.push_back(sink.load(vaddr, dep(d1), dep(d2)));
+            break;
+          }
+          case EventKind::Store: {
+            const uint64_t vaddr = readVarint(d, n, &pos);
+            const uint64_t dp = readVarint(d, n, &pos);
+            sink.store(vaddr, dep(dp));
+            break;
+          }
+          case EventKind::NvLoad: {
+            const uint64_t oid = readVarint(d, n, &pos);
+            const uint64_t d1 = readVarint(d, n, &pos);
+            const uint64_t d2 = readVarint(d, n, &pos);
+            tags.push_back(
+                sink.nvLoad(ObjectID(oid), dep(d1), dep(d2)));
+            break;
+          }
+          case EventKind::NvStore: {
+            const uint64_t oid = readVarint(d, n, &pos);
+            const uint64_t dp = readVarint(d, n, &pos);
+            sink.nvStore(ObjectID(oid), dep(dp));
+            break;
+          }
+          case EventKind::Clwb:
+            sink.clwb(readVarint(d, n, &pos));
+            break;
+          case EventKind::NvClwb:
+            sink.nvClwb(ObjectID(readVarint(d, n, &pos)));
+            break;
+          case EventKind::Fence:
+            sink.fence();
+            break;
+          case EventKind::PoolMapped: {
+            const uint64_t pool = readVarint(d, n, &pos);
+            const uint64_t vbase = readVarint(d, n, &pos);
+            const uint64_t size = readVarint(d, n, &pos);
+            sink.poolMapped(static_cast<uint32_t>(pool), vbase, size);
+            break;
+          }
+          case EventKind::PoolUnmapped:
+            sink.poolUnmapped(
+                static_cast<uint32_t>(readVarint(d, n, &pos)));
+            break;
+          default:
+            badFile(path_,
+                    "unknown record kind " + std::to_string(kind) +
+                        " at offset " + std::to_string(pos - 1));
+        }
+        ++events;
+    }
+    if (events != eventCount_)
+        badFile(path_,
+                "event count mismatch: header says " +
+                    std::to_string(eventCount_) + ", decoded " +
+                    std::to_string(events));
+}
+
+bool
+TraceReplayer::matches(const std::string &path,
+                       const std::string &fingerprint) noexcept
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    uint8_t header[kHeaderSize];
+    bool ok = std::fread(header, 1, kHeaderSize, f) == kHeaderSize &&
+        std::memcmp(header, kMagic, sizeof(kMagic)) == 0 &&
+        getLe32(header + 8) == kFormatVersion &&
+        getLe32(header + 12) == fingerprint.size();
+    if (ok) {
+        std::string fpr(fingerprint.size(), '\0');
+        ok = std::fread(fpr.data(), 1, fpr.size(), f) == fpr.size() &&
+            fpr == fingerprint;
+    }
+    std::fclose(f);
+    return ok;
+}
+
+} // namespace trace_io
+} // namespace poat

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Bench smoke test: one bench binary through the parallel sweep.
+"""Bench smoke test: bench binaries through the parallel sweep.
 
 Runs fig9a at tiny scale with --jobs=2 --stats-json and validates the
 report: the JSON parses, there is exactly one run record per submitted
@@ -8,7 +8,13 @@ unique and in submission order (base before opt for every workload x
 pattern group), every record carries its config and hierarchical stats,
 and the summary block holds the headline geomeans.
 
-Usage: bench_smoke.py <path-to-fig9a_speedup_inorder>
+When a fig11 binary is also given, exercises --trace-cache end to end:
+a cached --quick run must emit a stats report byte-for-byte identical
+to the uncached one, populate the cache directory with .itrace files on
+the first (capturing) pass, and reuse them untouched on the second
+(replaying) pass.
+
+Usage: bench_smoke.py <fig9a_speedup_inorder> [<fig11_polb_size>]
 """
 
 import json
@@ -23,9 +29,71 @@ def fail(msg):
     sys.exit(1)
 
 
+def run_bench(cmd, timeout=1200):
+    proc = subprocess.run(
+        cmd, capture_output=True, text=True, timeout=timeout
+    )
+    if proc.returncode != 0:
+        fail(
+            "%s exited %d\nstdout:\n%s\nstderr:\n%s"
+            % (cmd[0], proc.returncode, proc.stdout, proc.stderr)
+        )
+    return proc
+
+
+def check_trace_cache(bench):
+    """fig11 --quick with --trace-cache: identical report, cache reused."""
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = os.path.join(tmp, "itrace-cache")
+        plain = os.path.join(tmp, "plain.json")
+        cold = os.path.join(tmp, "cold.json")
+        warm = os.path.join(tmp, "warm.json")
+        base = [bench, "--quick", "--jobs=2"]
+
+        run_bench(base + ["--stats-json=" + plain])
+        run_bench(base + ["--stats-json=" + cold, "--trace-cache=" + cache])
+
+        with open(plain, "rb") as f:
+            plain_bytes = f.read()
+        with open(cold, "rb") as f:
+            cold_bytes = f.read()
+        if plain_bytes != cold_bytes:
+            fail("cold --trace-cache stats report differs from uncached")
+
+        traces = sorted(
+            f for f in os.listdir(cache) if f.endswith(".itrace")
+        )
+        # fig11 --quick: 6 workloads x (base, opt, opt_ntx) fingerprints.
+        if len(traces) != 18:
+            fail("expected 18 cached traces, found %d: %s"
+                 % (len(traces), traces))
+        stamps = {
+            f: os.stat(os.path.join(cache, f)).st_mtime_ns
+            for f in traces
+        }
+
+        run_bench(base + ["--stats-json=" + warm, "--trace-cache=" + cache])
+        with open(warm, "rb") as f:
+            warm_bytes = f.read()
+        if plain_bytes != warm_bytes:
+            fail("warm --trace-cache stats report differs from uncached")
+        for f in traces:
+            if os.stat(os.path.join(cache, f)).st_mtime_ns != stamps[f]:
+                fail("cached trace %s was rewritten on the warm run" % f)
+        leftovers = sorted(
+            f for f in os.listdir(cache) if not f.endswith(".itrace")
+        )
+        if leftovers:
+            fail("stray files in cache dir: %s" % leftovers)
+        print(
+            "OK: trace cache byte-identical (cold+warm), %d traces reused"
+            % len(traces)
+        )
+
+
 def main():
-    if len(sys.argv) != 2:
-        fail("usage: bench_smoke.py <bench-binary>")
+    if len(sys.argv) not in (2, 3):
+        fail("usage: bench_smoke.py <fig9a-binary> [<fig11-binary>]")
     bench = sys.argv[1]
 
     with tempfile.TemporaryDirectory() as tmp:
@@ -37,14 +105,7 @@ def main():
             "--jobs=2",
             "--stats-json=" + out,
         ]
-        proc = subprocess.run(
-            cmd, capture_output=True, text=True, timeout=1200
-        )
-        if proc.returncode != 0:
-            fail(
-                "bench exited %d\nstdout:\n%s\nstderr:\n%s"
-                % (proc.returncode, proc.stdout, proc.stderr)
-            )
+        run_bench(cmd)
         with open(out) as f:
             report = json.load(f)
 
@@ -101,6 +162,9 @@ def main():
         "OK: %d runs, %d summary metrics, labels unique and ordered"
         % (len(runs), len(summary))
     )
+
+    if len(sys.argv) == 3:
+        check_trace_cache(sys.argv[2])
 
 
 if __name__ == "__main__":

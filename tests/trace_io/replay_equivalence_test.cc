@@ -1,0 +1,275 @@
+/**
+ * @file
+ * End-to-end replay fidelity: for every workload in both translation
+ * modes, a capture-then-replay run must be bit-identical to a live run
+ * — every MachineMetrics field, the CPI breakdown, the workload
+ * outcome, and the complete serialized stats JSON. This is the
+ * property that lets driver::runSweep substitute replays for repeated
+ * functional execution without changing any reported number.
+ */
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <tuple>
+
+#include "driver/experiment.h"
+#include "trace_io/itrace.h"
+
+namespace poat {
+namespace driver {
+namespace {
+
+std::string
+tmpDir()
+{
+    static const std::string dir = [] {
+        std::string d = testing::TempDir() + "replay_equiv." +
+            std::to_string(::getpid());
+        std::filesystem::create_directories(d);
+        return d;
+    }();
+    return dir;
+}
+
+ExperimentConfig
+tinyCfg(const std::string &wl, TranslationMode mode)
+{
+    ExperimentConfig c;
+    c.workload = wl;
+    c.pattern = workloads::PoolPattern::Random;
+    c.scale_pct = 5;
+    c.tpcc_scale_pct = 1;
+    c.tpcc_txns = 25;
+    c.mode = mode;
+    return c;
+}
+
+std::string
+statsJson(const ExperimentResult &res)
+{
+    std::ostringstream os;
+    res.stats.dumpJson(os);
+    return os.str();
+}
+
+void
+expectIdentical(const ExperimentResult &a, const ExperimentResult &b,
+                const std::string &what)
+{
+    const sim::MachineMetrics &ma = a.metrics, &mb = b.metrics;
+    EXPECT_EQ(ma.cycles, mb.cycles) << what;
+    EXPECT_EQ(ma.instructions, mb.instructions) << what;
+    EXPECT_EQ(ma.loads, mb.loads) << what;
+    EXPECT_EQ(ma.stores, mb.stores) << what;
+    EXPECT_EQ(ma.nv_loads, mb.nv_loads) << what;
+    EXPECT_EQ(ma.nv_stores, mb.nv_stores) << what;
+    EXPECT_EQ(ma.clwbs, mb.clwbs) << what;
+    EXPECT_EQ(ma.fences, mb.fences) << what;
+    EXPECT_EQ(ma.polb_hits, mb.polb_hits) << what;
+    EXPECT_EQ(ma.polb_misses, mb.polb_misses) << what;
+    EXPECT_EQ(ma.polb_evictions, mb.polb_evictions) << what;
+    EXPECT_EQ(ma.tlb_misses, mb.tlb_misses) << what;
+    EXPECT_EQ(ma.l1d_misses, mb.l1d_misses) << what;
+    EXPECT_EQ(ma.branch_mispredicts, mb.branch_mispredicts) << what;
+    EXPECT_EQ(ma.pot_walks, mb.pot_walks) << what;
+    EXPECT_EQ(ma.pot_walk_probes, mb.pot_walk_probes) << what;
+
+    EXPECT_EQ(a.breakdown.alu, b.breakdown.alu) << what;
+    EXPECT_EQ(a.breakdown.branch, b.breakdown.branch) << what;
+    EXPECT_EQ(a.breakdown.memory, b.breakdown.memory) << what;
+    EXPECT_EQ(a.breakdown.translation, b.breakdown.translation) << what;
+    EXPECT_EQ(a.breakdown.flush, b.breakdown.flush) << what;
+    EXPECT_EQ(a.breakdown.fence, b.breakdown.fence) << what;
+
+    EXPECT_EQ(a.workload_checksum, b.workload_checksum) << what;
+    EXPECT_EQ(a.workload_operations, b.workload_operations) << what;
+    EXPECT_EQ(a.translate_calls, b.translate_calls) << what;
+    EXPECT_EQ(a.translate_misses, b.translate_misses) << what;
+    EXPECT_EQ(a.translate_insns_per_call, b.translate_insns_per_call)
+        << what;
+
+    // The full hierarchical stats dump — every counter, histogram, and
+    // formula — must serialize byte-for-byte identically.
+    EXPECT_EQ(statsJson(a), statsJson(b)) << what;
+}
+
+class ReplayEquivalence
+    : public testing::TestWithParam<std::tuple<std::string, bool>>
+{
+};
+
+TEST_P(ReplayEquivalence, CaptureThenReplayIsBitIdentical)
+{
+    const std::string wl = std::get<0>(GetParam());
+    const TranslationMode mode = std::get<1>(GetParam())
+        ? TranslationMode::Hardware
+        : TranslationMode::Software;
+    const ExperimentConfig cfg = tinyCfg(wl, mode);
+    const std::string path = tmpDir() + "/" + wl + "." +
+        (std::get<1>(GetParam()) ? "hw" : "sw") + ".itrace";
+
+    const ExperimentResult live = detail::runExperimentLive(cfg);
+    const ExperimentResult captured =
+        detail::runExperimentCaptured(cfg, path);
+    const ExperimentResult replayed =
+        detail::runExperimentReplayed(cfg, path);
+
+    // Recording must be transparent to the machine...
+    expectIdentical(live, captured, wl + " live vs captured");
+    // ...and replaying must reproduce the run without executing it.
+    expectIdentical(live, replayed, wl + " live vs replayed");
+    std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, ReplayEquivalence,
+    testing::Combine(testing::Values("LL", "BST", "SPS", "RBT", "BT",
+                                     "B+T", "TPCC"),
+                     testing::Bool()),
+    [](const testing::TestParamInfo<ReplayEquivalence::ParamType> &info) {
+        std::string name = std::get<0>(info.param) +
+            (std::get<1>(info.param) ? "_Hardware" : "_Software");
+        for (char &c : name)
+            if (c == '+')
+                c = 'p';
+        return name;
+    });
+
+TEST(ReplayErrors, WrongFingerprintThrows)
+{
+    const ExperimentConfig cfg = tinyCfg("LL", TranslationMode::Hardware);
+    const std::string path = tmpDir() + "/fpr_mismatch.itrace";
+    detail::runExperimentCaptured(cfg, path);
+
+    // Same trace, different functional config: the replayer must
+    // refuse rather than report numbers for the wrong experiment.
+    ExperimentConfig other = cfg;
+    other.seed = cfg.seed + 1;
+    try {
+        detail::runExperimentReplayed(other, path);
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("fingerprint mismatch"),
+                  std::string::npos)
+            << e.what();
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ReplayErrors, TruncatedFileThrows)
+{
+    const ExperimentConfig cfg = tinyCfg("LL", TranslationMode::Hardware);
+    const std::string path = tmpDir() + "/truncated.itrace";
+    detail::runExperimentCaptured(cfg, path);
+
+    std::string bytes;
+    {
+        std::ifstream f(path, std::ios::binary);
+        std::ostringstream ss;
+        ss << f.rdbuf();
+        bytes = ss.str();
+    }
+    {
+        std::ofstream f(path, std::ios::binary | std::ios::trunc);
+        f.write(bytes.data(),
+                static_cast<std::streamsize>(bytes.size() * 3 / 4));
+    }
+    EXPECT_THROW(detail::runExperimentReplayed(cfg, path),
+                 std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(ReplayErrors, CorruptedRecordThrows)
+{
+    const ExperimentConfig cfg = tinyCfg("BST", TranslationMode::Software);
+    const std::string path = tmpDir() + "/corrupt.itrace";
+    detail::runExperimentCaptured(cfg, path);
+
+    // Flip one byte in the middle of the record region.
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(0, std::ios::end);
+    const std::streamoff mid = static_cast<std::streamoff>(f.tellg()) / 2;
+    f.seekg(mid);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x20);
+    f.seekp(mid);
+    f.write(&byte, 1);
+    f.close();
+
+    EXPECT_THROW(detail::runExperimentReplayed(cfg, path),
+                 std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(TraceCache, RunExperimentPopulatesAndReusesTheCache)
+{
+    // End-to-end through the public entry point: first run captures,
+    // second run replays, both match an uncached run exactly.
+    ExperimentConfig cfg = tinyCfg("SPS", TranslationMode::Hardware);
+    const ExperimentResult plain = runExperiment(cfg);
+
+    cfg.trace_cache = tmpDir() + "/cache";
+    const std::string path = traceCachePath(cfg);
+
+    const ExperimentResult first = runExperiment(cfg);
+    EXPECT_TRUE(
+        trace_io::TraceReplayer::matches(path, traceFingerprint(cfg)));
+    const ExperimentResult second = runExperiment(cfg);
+
+    expectIdentical(plain, first, "uncached vs capturing");
+    expectIdentical(plain, second, "uncached vs replaying");
+    std::filesystem::remove_all(cfg.trace_cache);
+}
+
+TEST(TraceCache, FingerprintSeparatesFunctionalKnobs)
+{
+    const ExperimentConfig base = tinyCfg("LL", TranslationMode::Software);
+
+    auto changed = [&](auto mutate) {
+        ExperimentConfig c = base;
+        mutate(c);
+        return traceFingerprint(c);
+    };
+
+    const std::string fpr = traceFingerprint(base);
+    EXPECT_NE(fpr, changed([](ExperimentConfig &c) { c.seed = 7; }));
+    EXPECT_NE(fpr, changed([](ExperimentConfig &c) { c.scale_pct = 6; }));
+    EXPECT_NE(fpr, changed([](ExperimentConfig &c) {
+                  c.mode = TranslationMode::Hardware;
+              }));
+    EXPECT_NE(fpr, changed([](ExperimentConfig &c) {
+                  c.transactions = false;
+              }));
+    EXPECT_NE(fpr, changed([](ExperimentConfig &c) {
+                  c.base_predictor = false;
+              }));
+    EXPECT_NE(fpr, changed([](ExperimentConfig &c) {
+                  c.pattern = workloads::PoolPattern::Each;
+              }));
+
+    // Timing-only knobs must NOT change the fingerprint: the whole
+    // point is sharing one trace across machine variants.
+    EXPECT_EQ(fpr, changed([](ExperimentConfig &c) {
+                  c.machine.polb_entries = 1;
+              }));
+    EXPECT_EQ(fpr, changed([](ExperimentConfig &c) {
+                  c.machine.core = sim::CoreType::OutOfOrder;
+              }));
+    EXPECT_EQ(fpr, changed([](ExperimentConfig &c) {
+                  c.machine.ideal_translation = true;
+              }));
+    EXPECT_EQ(fpr, changed([](ExperimentConfig &c) {
+                  c.label = "renamed";
+              }));
+}
+
+} // namespace
+} // namespace driver
+} // namespace poat
