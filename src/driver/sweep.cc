@@ -81,6 +81,55 @@ defaultSweepJobs()
     return hw ? hw : 1;
 }
 
+void
+runTasks(size_t count, unsigned jobs, const std::function<void(size_t)> &fn)
+{
+    jobs = jobs ? jobs : defaultSweepJobs();
+    jobs = static_cast<unsigned>(
+        std::min<size_t>(jobs, std::max<size_t>(count, 1)));
+
+    if (jobs <= 1) {
+        for (size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    std::mutex mu;
+    size_t next_index = 0;
+    size_t first_error_index = SIZE_MAX;
+    std::exception_ptr first_error;
+
+    auto worker = [&] {
+        for (;;) {
+            size_t i;
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                if (next_index >= count)
+                    return;
+                i = next_index++;
+            }
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mu);
+                if (i < first_error_index) {
+                    first_error_index = i;
+                    first_error = std::current_exception();
+                }
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
 std::vector<ExperimentResult>
 runSweep(const std::vector<ExperimentConfig> &configs,
          const SweepOptions &opts)

@@ -73,6 +73,17 @@ runSweep(const std::vector<ExperimentConfig> &configs,
 /** The jobs count `jobs = 0` resolves to (>= 1). */
 unsigned defaultSweepJobs();
 
+/**
+ * Generic fan-out over the sweep thread pool: invoke fn(i) for every
+ * i in [0, count), up to @p jobs at a time (0 = hardware concurrency;
+ * 1 = inline on the calling thread). Tasks must be hermetic, exactly
+ * like sweep configs. Exception behavior matches runSweep: after the
+ * pool drains, the exception from the lowest-index failing task is
+ * rethrown. The crash-point fault explorer fans its trials out here.
+ */
+void runTasks(size_t count, unsigned jobs,
+              const std::function<void(size_t)> &fn);
+
 } // namespace driver
 } // namespace poat
 

@@ -1,0 +1,391 @@
+#include "fault/explore.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "driver/sweep.h"
+#include "fault/injector.h"
+#include "pmem/runtime.h"
+#include "workloads/crash_support.h"
+
+namespace poat {
+namespace fault {
+
+namespace {
+
+/**
+ * Completed-step counts the recovered state may legally show. A crash
+ * that fired inside step s can recover to s (rolled back) or s + 1
+ * (commit point was already durable); a crash during the eviction pass
+ * after step i — or no crash at all — must recover to exactly the last
+ * completed count, because eviction only writes back lines of data the
+ * transactions already persisted.
+ */
+struct StepWindow
+{
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+};
+
+/** Counters one trial contributes; aggregated after the fan-out. */
+struct TrialStats
+{
+    uint64_t crashes_injected = 0;
+    uint64_t undo_entries_rolled_back = 0;
+    uint64_t frees_redone = 0;
+    uint64_t blocks_leaked = 0;
+    uint64_t recovery_events = 0; ///< M_k (outer trials only)
+    uint64_t trials = 0;
+    uint64_t recovery_trials = 0;
+    std::vector<Failure> failures;
+};
+
+uint64_t
+evictSeed(const ExploreOptions &opts)
+{
+    return opts.seed ^ 0x9e3779b97f4a7c15ull;
+}
+
+void
+maybeEvict(PmemRuntime &rt, Rng &rng, const ExploreOptions &opts)
+{
+    if (opts.evict_num == 0)
+        return;
+    for (uint32_t id : rt.registry().openIds()) {
+        rt.registry().get(id).pool.evictRandomLines(rng, opts.evict_num,
+                                                    opts.evict_den);
+    }
+}
+
+/**
+ * Run all workload steps with @p hook installed, attributing the first
+ * suppressed write-back to the step (or eviction pass) it fired in.
+ */
+StepWindow
+runSteps(PmemRuntime &rt, workloads::CrashDriver &driver,
+         const ExploreOptions &opts, const CrashAtEvent &hook)
+{
+    Rng evict_rng(evictSeed(opts));
+    StepWindow w{opts.steps, opts.steps};
+    bool attributed = false;
+    for (uint64_t i = 0; i < opts.steps; ++i) {
+        driver.step(rt, i);
+        if (!attributed && hook.fired()) {
+            w.lo = i;
+            w.hi = i + 1;
+            attributed = true;
+        }
+        maybeEvict(rt, evict_rng, opts);
+        if (!attributed && hook.fired()) {
+            w.lo = w.hi = i + 1;
+            attributed = true;
+        }
+    }
+    return w;
+}
+
+/**
+ * Post-recovery invariants: idle and legal undo logs, valid allocator
+ * metadata, a recovered state the workload model accepts, and no
+ * allocated-but-unreachable blocks. @p leaked accumulates leak counts
+ * (only meaningful when the check fails with a leak).
+ */
+bool
+checkRecovered(PmemRuntime &rt, workloads::CrashDriver &driver,
+               const StepWindow &w, uint64_t *leaked, std::string *why)
+{
+    for (uint32_t id : rt.registry().openIds()) {
+        OpenPool &op = rt.registry().get(id);
+        if (op.log.state() != LogHeader::kIdle) {
+            *why = "undo log of pool '" + op.pool.name() +
+                "' not idle after recovery";
+            return false;
+        }
+        if (!op.alloc.validate()) {
+            *why = "allocator metadata of pool '" + op.pool.name() +
+                "' invalid after recovery";
+            return false;
+        }
+    }
+    if (!driver.verifyRecovered(rt, w.lo, w.hi, why))
+        return false;
+    std::map<uint32_t, std::set<uint32_t>> reach;
+    if (driver.reachable(rt, &reach)) {
+        uint64_t n = 0;
+        for (uint32_t id : rt.registry().openIds()) {
+            const std::set<uint32_t> &set = reach[id];
+            for (uint32_t p :
+                 rt.registry().get(id).alloc.allocatedPayloads()) {
+                if (set.count(p) == 0)
+                    ++n;
+            }
+        }
+        if (n != 0) {
+            *leaked += n;
+            *why = std::to_string(n) +
+                " allocated block(s) unreachable after recovery (leak)";
+            return false;
+        }
+    }
+    return true;
+}
+
+/**
+ * One complete crash trial: run, freeze the durable image at event k
+ * (and, for in-recovery trials, freeze the recovery at event j), then
+ * recover and check every invariant — including that recovering a
+ * second time changes nothing. Returns the number of durability events
+ * the (first) recovery emitted, which is the in-recovery crash-point
+ * space for this k.
+ */
+uint64_t
+runTrial(const ExploreOptions &opts, uint64_t k, uint64_t j,
+         TrialStats &ts)
+{
+    PmemRuntime rt;
+    std::unique_ptr<workloads::CrashDriver> driver =
+        workloads::makeCrashDriver(opts.workload, opts.steps, opts.seed);
+    driver->setup(rt);
+
+    const bool inner = j != Failure::kNoInner;
+    ++(inner ? ts.recovery_trials : ts.trials);
+
+    auto fail = [&](const std::string &why) {
+        Failure f;
+        f.workload = opts.workload;
+        f.steps = opts.steps;
+        f.seed = opts.seed;
+        f.k = k;
+        f.j = j;
+        f.why = why;
+        ts.failures.push_back(std::move(f));
+    };
+
+    CrashAtEvent crash_hook(k);
+    rt.registry().setDurabilityHook(&crash_hook);
+    const StepWindow w = runSteps(rt, *driver, opts, crash_hook);
+    rt.registry().setDurabilityHook(nullptr);
+    if (crash_hook.fired())
+        ++ts.crashes_injected;
+
+    rt.registry().crashAll();
+
+    // Pre-recovery log inspection: the work recovery is about to do.
+    // An illegal on-media log here is itself an invariant violation —
+    // the commit protocol must never publish one.
+    try {
+        for (uint32_t id : rt.registry().openIds()) {
+            OpenPool &op = rt.registry().get(id);
+            op.log.validateLog();
+            const uint32_t st = op.log.state();
+            if (st == LogHeader::kActive) {
+                ts.undo_entries_rolled_back += op.log.records().size();
+            } else if (st == LogHeader::kCommitting) {
+                for (const UndoLog::Record &r : op.log.records()) {
+                    if (r.type == LogEntryHeader::kFree &&
+                        op.alloc.isAllocated(r.target_off))
+                        ++ts.frees_redone;
+                }
+            }
+        }
+    } catch (const std::runtime_error &e) {
+        fail(std::string("crashed image has an illegal undo log: ") +
+             e.what());
+        return 0;
+    }
+
+    EventCounter recovery_counter;
+    CrashAtEvent inner_hook(inner ? j : 0);
+    rt.registry().setDurabilityHook(
+        inner ? static_cast<DurabilityHook *>(&inner_hook)
+              : &recovery_counter);
+    try {
+        rt.registry().recoverAll();
+    } catch (const std::runtime_error &e) {
+        rt.registry().setDurabilityHook(nullptr);
+        fail(std::string("recovery threw: ") + e.what());
+        return 0;
+    }
+    rt.registry().setDurabilityHook(nullptr);
+
+    if (inner) {
+        if (inner_hook.fired())
+            ++ts.crashes_injected;
+        // Power fails again mid-recovery: revert to the frozen partial
+        // recovery image and recover from *that*.
+        rt.registry().crashAll();
+        try {
+            rt.registry().recoverAll();
+        } catch (const std::runtime_error &e) {
+            fail(std::string("re-recovery threw: ") + e.what());
+            return 0;
+        }
+    }
+
+    std::string why;
+    if (!checkRecovered(rt, *driver, w, &ts.blocks_leaked, &why)) {
+        fail(why);
+        return recovery_counter.total();
+    }
+
+    // Idempotence: a second recovery pass must find nothing to do and
+    // leave every invariant intact.
+    try {
+        rt.registry().recoverAll();
+    } catch (const std::runtime_error &e) {
+        fail(std::string("second recovery threw: ") + e.what());
+        return recovery_counter.total();
+    }
+    uint64_t dummy_leaked = 0;
+    if (!checkRecovered(rt, *driver, w, &dummy_leaked, &why))
+        fail("after second recovery: " + why);
+    return recovery_counter.total();
+}
+
+/** Event indices to crash at: all of [0, total) or a seeded sample. */
+std::vector<uint64_t>
+choosePoints(uint64_t total, uint64_t sample, uint64_t rng_seed)
+{
+    std::vector<uint64_t> ks;
+    if (sample == 0 || sample >= total) {
+        ks.resize(total);
+        std::iota(ks.begin(), ks.end(), 0ull);
+        return ks;
+    }
+    std::set<uint64_t> chosen;
+    Rng rng(rng_seed);
+    while (chosen.size() < sample)
+        chosen.insert(rng.below(total));
+    ks.assign(chosen.begin(), chosen.end());
+    return ks;
+}
+
+} // namespace
+
+std::string
+Failure::repro() const
+{
+    std::string s = workload + ":" + std::to_string(steps) + ":" +
+        std::to_string(seed) + ":" + std::to_string(k);
+    if (j != kNoInner)
+        s += ":" + std::to_string(j);
+    return s;
+}
+
+void
+ExploreReport::publish(StatsRegistry &stats) const
+{
+    stats.counter("fault.events") += total_events;
+    stats.counter("fault.trials") += trials;
+    stats.counter("fault.recovery_trials") += recovery_trials;
+    stats.counter("fault.crashes_injected") += crashes_injected;
+    stats.counter("fault.undo_entries_rolled_back") +=
+        undo_entries_rolled_back;
+    stats.counter("fault.frees_redone") += frees_redone;
+    stats.counter("fault.blocks_leaked") += blocks_leaked;
+    stats.counter("fault.failures") += failures.size();
+}
+
+ExploreReport
+explore(const ExploreOptions &opts)
+{
+    ExploreReport report;
+
+    // ---- profile pass: count the durability events ------------------
+    {
+        PmemRuntime rt;
+        std::unique_ptr<workloads::CrashDriver> driver =
+            workloads::makeCrashDriver(opts.workload, opts.steps,
+                                       opts.seed);
+        driver->setup(rt);
+        EventCounter counter;
+        rt.registry().setDurabilityHook(&counter);
+        Rng evict_rng(evictSeed(opts));
+        for (uint64_t i = 0; i < opts.steps; ++i) {
+            driver->step(rt, i);
+            maybeEvict(rt, evict_rng, opts);
+        }
+        rt.registry().setDurabilityHook(nullptr);
+        report.total_events = counter.total();
+        report.clwb_events = counter.count(WriteBackCause::Clwb);
+        report.fence_events = counter.count(WriteBackCause::Fence);
+        report.evict_events = counter.count(WriteBackCause::Evict);
+    }
+
+    // ---- outer fan-out ----------------------------------------------
+    const std::vector<uint64_t> ks = choosePoints(
+        report.total_events, opts.sample,
+        opts.seed + 0x517cc1b727220a95ull);
+    std::vector<TrialStats> slots(ks.size());
+    driver::runTasks(ks.size(), opts.jobs, [&](size_t idx) {
+        TrialStats &ts = slots[idx];
+        const uint64_t k = ks[idx];
+        const uint64_t recovery_events =
+            runTrial(opts, k, Failure::kNoInner, ts);
+        ts.recovery_events = recovery_events;
+        if (!opts.in_recovery)
+            return;
+        // In-recovery crash points for this k (one level deep).
+        const std::vector<uint64_t> js = choosePoints(
+            recovery_events, opts.inner_cap,
+            opts.seed ^ (k * 0x9e3779b97f4a7c15ull + 1));
+        for (uint64_t j : js)
+            runTrial(opts, k, j, ts);
+    });
+
+    for (const TrialStats &ts : slots) {
+        report.trials += ts.trials;
+        report.recovery_trials += ts.recovery_trials;
+        report.crashes_injected += ts.crashes_injected;
+        report.undo_entries_rolled_back += ts.undo_entries_rolled_back;
+        report.frees_redone += ts.frees_redone;
+        report.blocks_leaked += ts.blocks_leaked;
+        report.failures.insert(report.failures.end(),
+                               ts.failures.begin(), ts.failures.end());
+    }
+    return report;
+}
+
+std::vector<Failure>
+replayRepro(const std::string &repro, const ExploreOptions &base)
+{
+    std::vector<std::string> tok;
+    std::string cur;
+    for (char c : repro) {
+        if (c == ':') {
+            tok.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    tok.push_back(cur);
+    if (tok.size() != 4 && tok.size() != 5) {
+        throw std::invalid_argument(
+            "bad reproducer '" + repro +
+            "' (expected workload:steps:seed:k[:j])");
+    }
+    ExploreOptions opts = base;
+    opts.workload = tok[0];
+    uint64_t k, j = Failure::kNoInner;
+    try {
+        opts.steps = std::stoull(tok[1]);
+        opts.seed = std::stoull(tok[2]);
+        k = std::stoull(tok[3]);
+        if (tok.size() == 5)
+            j = std::stoull(tok[4]);
+    } catch (const std::exception &) {
+        throw std::invalid_argument(
+            "bad reproducer '" + repro +
+            "' (expected workload:steps:seed:k[:j])");
+    }
+    TrialStats ts;
+    runTrial(opts, k, j, ts);
+    return ts.failures;
+}
+
+} // namespace fault
+} // namespace poat

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Deterministic crash-point exploration.
+ *
+ * The explorer answers "does recovery work from EVERY possible crash
+ * point of this workload?" by construction instead of by luck:
+ *
+ *  1. Profile pass: run the workload once with an EventCounter hook and
+ *     count its durability events (64-byte line write-backs) — the
+ *     complete set of instants at which a power failure could leave a
+ *     distinct durable image.
+ *  2. Exploration: for each chosen event index k, re-run the workload
+ *     with a CrashAtEvent(k) hook (freeze semantics, see injector.h),
+ *     simulate the power failure, recover, and check every invariant:
+ *       - atomicity: the recovered state equals the volatile model
+ *         after exactly s or s+1 completed steps, where s is the step
+ *         the crash point landed in (per-workload verifiers, see
+ *         workloads/crash_support.h);
+ *       - undo-log legality: every log is structurally valid and idle
+ *         after recovery (UndoLog::recover validates on entry);
+ *       - allocator integrity: heap metadata validates, and no block
+ *         is allocated yet unreachable (leak) for workloads that can
+ *         enumerate reachability;
+ *       - idempotence: recovering a second time changes nothing.
+ *  3. In-recovery crashes (one level deep): every durability event of
+ *     the recovery itself is also a crash point; for each such j the
+ *     trial re-runs, crashes at k, crashes the recovery at j, then
+ *     recovers fully and re-checks all invariants.
+ *
+ * Small runs explore exhaustively; large runs sample crash points with
+ * a seeded generator. Every failure carries a reproducer string
+ * "workload:steps:seed:k[:j]" that replays the exact trial within one
+ * build (hash-container iteration makes event order build-local, so a
+ * reproducer is not portable across compilers or standard libraries).
+ */
+#ifndef POAT_FAULT_EXPLORE_H
+#define POAT_FAULT_EXPLORE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace poat {
+namespace fault {
+
+/** What to explore and how hard. */
+struct ExploreOptions
+{
+    /** Workload abbreviation (see workloads::crashWorkloadNames()). */
+    std::string workload = "B+T";
+
+    /** Steps (transactions) the workload runs. */
+    uint64_t steps = 50;
+
+    /** Workload seed; also seeds crash-point sampling. */
+    uint64_t seed = 1;
+
+    /**
+     * Number of crash points to try; 0 explores every event index
+     * exhaustively. Sampled points are drawn without replacement by a
+     * generator seeded from `seed`.
+     */
+    uint64_t sample = 0;
+
+    /** Worker threads for the trial fan-out; 0 = hardware concurrency. */
+    unsigned jobs = 0;
+
+    /** Also crash at every durability event during recovery. */
+    bool in_recovery = true;
+
+    /**
+     * Cap on in-recovery crash points per outer crash point; 0 = all.
+     * Sampled (seeded) when the cap is smaller than the event count.
+     */
+    uint64_t inner_cap = 0;
+
+    /**
+     * Run a random line eviction pass (cache pressure) over all pools
+     * after every step, with the given per-line probability num/den.
+     * num = 0 disables eviction.
+     */
+    uint64_t evict_num = 0;
+    uint64_t evict_den = 8;
+};
+
+/** One invariant violation, with enough context to replay it. */
+struct Failure
+{
+    static constexpr uint64_t kNoInner = UINT64_MAX;
+
+    std::string workload;
+    uint64_t steps = 0;
+    uint64_t seed = 0;
+    uint64_t k = 0;        ///< outer crash point (event index)
+    uint64_t j = kNoInner; ///< in-recovery crash point, if any
+    std::string why;
+
+    /** "workload:steps:seed:k[:j]" — feed to crash_explore --repro. */
+    std::string repro() const;
+};
+
+/** Outcome of an exploration. */
+struct ExploreReport
+{
+    uint64_t total_events = 0;    ///< durability events in the profile pass
+    uint64_t clwb_events = 0;     ///< ... caused by CLWB
+    uint64_t fence_events = 0;    ///< ... caused by fences (Strict)
+    uint64_t evict_events = 0;    ///< ... caused by forced eviction
+    uint64_t trials = 0;          ///< outer crash trials run
+    uint64_t recovery_trials = 0; ///< in-recovery crash trials run
+    uint64_t crashes_injected = 0;
+    uint64_t undo_entries_rolled_back = 0;
+    uint64_t frees_redone = 0;
+    uint64_t blocks_leaked = 0;
+    std::vector<Failure> failures;
+
+    bool ok() const { return failures.empty(); }
+
+    /** Publish the aggregate counters under "fault." in @p stats. */
+    void publish(StatsRegistry &stats) const;
+};
+
+/**
+ * Profile then explore per the options; deterministic for fixed
+ * options within one build. Workload or driver errors (as opposed to
+ * invariant violations) propagate as exceptions.
+ */
+ExploreReport explore(const ExploreOptions &opts);
+
+/**
+ * Re-run the single trial a Failure::repro() string describes. Fields
+ * encoded in the string (workload, steps, seed, crash points) override
+ * @p base; everything else — notably the eviction settings, which must
+ * match the run that produced the reproducer — is taken from @p base.
+ * @return the failure if it still reproduces, or an empty vector.
+ * @throws std::invalid_argument on a malformed reproducer string.
+ */
+std::vector<Failure> replayRepro(const std::string &repro,
+                                 const ExploreOptions &base = {});
+
+} // namespace fault
+} // namespace poat
+
+#endif // POAT_FAULT_EXPLORE_H

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Durability-path fault injection hooks.
+ *
+ * Both hooks plug into Pool's write-back path (see DurabilityHook in
+ * pmem/pool.h). The model is *freeze semantics*: a suppressed
+ * write-back drops only the durable copy of the line — every piece of
+ * volatile bookkeeping proceeds unchanged — so the program's execution
+ * after the crash point is bit-identical to an uninjected run. The
+ * explorer lets the workload run to completion, then simulates the
+ * power failure (crashAll) and recovers from the frozen durable image.
+ * That turns "crash at instruction X" into a deterministic, replayable
+ * experiment: the durable image equals what real hardware would hold
+ * had the power failed right before event k.
+ */
+#ifndef POAT_FAULT_INJECTOR_H
+#define POAT_FAULT_INJECTOR_H
+
+#include <array>
+#include <cstdint>
+
+#include "pmem/pool.h"
+
+namespace poat {
+namespace fault {
+
+/** Counts durability events (write-backs) without interfering. */
+class EventCounter final : public DurabilityHook
+{
+  public:
+    bool
+    onWriteBack(Pool &, uint32_t, WriteBackCause cause) override
+    {
+        ++total_;
+        ++byCause_[static_cast<size_t>(cause)];
+        return true;
+    }
+
+    uint64_t total() const { return total_; }
+
+    uint64_t
+    count(WriteBackCause cause) const
+    {
+        return byCause_[static_cast<size_t>(cause)];
+    }
+
+    void
+    reset()
+    {
+        total_ = 0;
+        byCause_ = {};
+    }
+
+  private:
+    uint64_t total_ = 0;
+    std::array<uint64_t, 3> byCause_{}; ///< indexed by WriteBackCause
+};
+
+/**
+ * Lets the first @p k write-backs through, then suppresses every later
+ * one: the durable image freezes exactly as if power failed right
+ * before event index k. k = 0 freezes immediately; a k at or past the
+ * run's event total never fires (equivalent to no crash).
+ */
+class CrashAtEvent final : public DurabilityHook
+{
+  public:
+    explicit CrashAtEvent(uint64_t k) : k_(k) {}
+
+    bool
+    onWriteBack(Pool &, uint32_t, WriteBackCause) override
+    {
+        if (seen_ < k_) {
+            ++seen_;
+            return true;
+        }
+        fired_ = true;
+        return false;
+    }
+
+    /** True once at least one write-back has been suppressed. */
+    bool fired() const { return fired_; }
+
+    /** Write-backs allowed through so far (<= k). */
+    uint64_t seen() const { return seen_; }
+
+  private:
+    uint64_t k_;
+    uint64_t seen_ = 0;
+    bool fired_ = false;
+};
+
+} // namespace fault
+} // namespace poat
+
+#endif // POAT_FAULT_INJECTOR_H

@@ -94,8 +94,15 @@ PoolAllocator::rebuildFreeList()
     POAT_ASSERT(off == heapEnd(), "corrupt heap: blocks overrun region");
 }
 
+void
+PoolAllocator::persistTouched()
+{
+    for (uint32_t t : touched_)
+        pool_.persist(t, sizeof(BlockHeader));
+}
+
 uint32_t
-PoolAllocator::alloc(uint32_t size)
+PoolAllocator::alloc(uint32_t size, bool persist_now)
 {
     touched_.clear();
     const uint32_t need = static_cast<uint32_t>(
@@ -136,8 +143,8 @@ PoolAllocator::alloc(uint32_t size)
         h.flags |= BlockHeader::kAllocated;
         writeHeader(block_off, h);
 
-        for (uint32_t t : touched_)
-            pool_.persist(t, sizeof(BlockHeader));
+        if (persist_now)
+            persistTouched();
         return block_off + sizeof(BlockHeader);
     }
     return 0; // exhausted
@@ -254,6 +261,20 @@ PoolAllocator::validate() const
         off += h.size;
     }
     return off == heapEnd();
+}
+
+std::vector<uint32_t>
+PoolAllocator::allocatedPayloads() const
+{
+    std::vector<uint32_t> out;
+    uint32_t off = heapOff_;
+    while (off < heapEnd()) {
+        const BlockHeader h = readHeader(off);
+        if (h.allocated())
+            out.push_back(off + static_cast<uint32_t>(sizeof(BlockHeader)));
+        off += h.size;
+    }
+    return out;
 }
 
 } // namespace poat

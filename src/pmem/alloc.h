@@ -53,9 +53,18 @@ class PoolAllocator
 
     /**
      * Allocate @p size payload bytes.
+     *
+     * With @p persist_now false the headers are written but NOT made
+     * durable; the caller must call persistTouched() once its undo
+     * record for the allocation is durable, or the ordering contract
+     * above (log entry before durable allocation) is broken.
+     *
      * @return payload offset within the pool, or 0 on exhaustion.
      */
-    uint32_t alloc(uint32_t size);
+    uint32_t alloc(uint32_t size, bool persist_now = true);
+
+    /** Persist every header the last alloc/free wrote. */
+    void persistTouched();
 
     /** Free the block whose payload begins at @p payload_off. */
     void free(uint32_t payload_off);
@@ -90,6 +99,13 @@ class PoolAllocator
      * @return true iff the heap is consistent.
      */
     bool validate() const;
+
+    /**
+     * Payload offsets of every allocated block, in heap order. The
+     * crash-point explorer compares this against the set of offsets a
+     * workload can still reach to account for leaks and double uses.
+     */
+    std::vector<uint32_t> allocatedPayloads() const;
     /// @}
 
   private:

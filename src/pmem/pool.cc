@@ -73,8 +73,13 @@ Pool::readRaw(uint32_t off, void *dst, size_t n) const
 }
 
 void
-Pool::writeBackLine(uint32_t line)
+Pool::writeBackLine(uint32_t line, WriteBackCause cause)
 {
+    // The hook sees (and may veto) every durable transition. Volatile
+    // bookkeeping in the callers proceeds either way so that execution
+    // after a suppressed write-back matches an uninjected run exactly.
+    if (hook_ != nullptr && !hook_->onWriteBack(*this, line, cause))
+        return;
     const uint64_t base = static_cast<uint64_t>(line) * kLineSize;
     const uint64_t n = std::min<uint64_t>(kLineSize, data_.size() - base);
     std::memcpy(durable_.data() + base, data_.data() + base, n);
@@ -87,7 +92,7 @@ Pool::clwb(uint32_t off)
     if (!dirty_.count(line))
         return; // clean line: CLWB is a no-op
     if (policy_ == DurabilityPolicy::Eager) {
-        writeBackLine(line);
+        writeBackLine(line, WriteBackCause::Clwb);
         dirty_.erase(line);
     } else {
         staged_.insert(line);
@@ -98,7 +103,7 @@ void
 Pool::fence()
 {
     for (uint32_t line : staged_) {
-        writeBackLine(line);
+        writeBackLine(line, WriteBackCause::Fence);
         dirty_.erase(line);
     }
     staged_.clear();
@@ -134,7 +139,7 @@ Pool::evictRandomLines(Rng &rng, uint64_t num, uint64_t den)
         if (staged_.count(line))
             continue;
         if (rng.chance(num, den)) {
-            writeBackLine(line);
+            writeBackLine(line, WriteBackCause::Evict);
             evicted.push_back(line);
         }
     }

@@ -58,6 +58,38 @@ enum class DurabilityPolicy : uint8_t
     Strict, ///< lines become durable only when a fence retires the CLWB
 };
 
+/** Why a dirty line is crossing into the durable image. */
+enum class WriteBackCause : uint8_t
+{
+    Clwb,  ///< CLWB under the Eager policy
+    Fence, ///< a fence retiring a staged CLWB (Strict policy)
+    Evict, ///< simulated cache pressure (evictRandomLines)
+};
+
+class Pool;
+
+/**
+ * Fault-injection hook on the durability path.
+ *
+ * Every 64-byte line write-back into the durable image — the only way
+ * data ever becomes persistent — first consults the installed hook.
+ * Returning true lets the write-back happen; returning false suppresses
+ * the durable copy while all volatile bookkeeping (dirty/staged sets)
+ * proceeds unchanged, so the program's execution after a suppressed
+ * write-back is bit-identical to an uninjected run. A crash-point
+ * explorer uses this to freeze the durable image after the first k
+ * events and then simulate power failure (see src/fault/).
+ */
+class DurabilityHook
+{
+  public:
+    virtual ~DurabilityHook() = default;
+
+    /** Called before line @p line of @p pool is made durable. */
+    virtual bool onWriteBack(Pool &pool, uint32_t line,
+                             WriteBackCause cause) = 0;
+};
+
 /**
  * A persistent memory pool.
  *
@@ -156,6 +188,22 @@ class Pool
     /** Copy of the durable image (for offline recovery testing). */
     std::vector<uint8_t> durableImage() const { return durable_; }
 
+    /**
+     * Zero-copy view of the durable image. Valid until the next
+     * durability-affecting call on this pool (write-back, crash,
+     * destruction); callers that need the bytes to outlive the pool
+     * must use durableImage().
+     */
+    const std::vector<uint8_t> &durableView() const { return durable_; }
+
+    /**
+     * Install (or with nullptr, remove) the fault-injection hook on
+     * this pool's durability path. Not owned; must outlive the pool or
+     * be removed first.
+     */
+    void setDurabilityHook(DurabilityHook *hook) { hook_ = hook; }
+    DurabilityHook *durabilityHook() const { return hook_; }
+
     void setDurabilityPolicy(DurabilityPolicy p) { policy_ = p; }
     DurabilityPolicy durabilityPolicy() const { return policy_; }
 
@@ -167,7 +215,7 @@ class Pool
     void refreshHeader();
 
   private:
-    void writeBackLine(uint32_t line);
+    void writeBackLine(uint32_t line, WriteBackCause cause);
 
     std::string name_;
     uint32_t id_;
@@ -177,6 +225,7 @@ class Pool
     std::unordered_set<uint32_t> dirty_;  ///< lines modified, not flushed
     std::unordered_set<uint32_t> staged_; ///< lines CLWB'd, fence pending
     DurabilityPolicy policy_ = DurabilityPolicy::Eager;
+    DurabilityHook *hook_ = nullptr; ///< not owned; may be null
     PoolHeader cachedHeader_{};
 };
 

@@ -15,6 +15,7 @@ PoolRegistry::create(const std::string &name, uint64_t size,
     const uint32_t id = nextId_++;
     auto op = std::make_unique<OpenPool>(name, id, size, log_size);
     op->pool.setVbase(space_.mapRandom(op->pool.size()));
+    op->pool.setDurabilityHook(hook_);
     idByName_[name] = id;
     auto &ref = *op;
     open_[id] = std::move(op);
@@ -35,6 +36,7 @@ PoolRegistry::open(const std::string &name)
 
     auto op = std::make_unique<OpenPool>(name, id, disk_it->second);
     op->pool.setVbase(space_.mapRandom(op->pool.size()));
+    op->pool.setDurabilityHook(hook_);
     op->log.recover();
     disk_.erase(disk_it);
     auto &ref = *op;
@@ -90,12 +92,12 @@ PoolRegistry::get(uint32_t pool_id)
 void
 PoolRegistry::exportPool(const std::string &name, const std::string &path)
 {
-    std::vector<uint8_t> image;
+    const std::vector<uint8_t> *image = nullptr;
     auto id_it = idByName_.find(name);
     if (id_it != idByName_.end() && open_.count(id_it->second)) {
-        image = open_.at(id_it->second)->pool.durableImage();
+        image = &open_.at(id_it->second)->pool.durableView();
     } else if (auto it = disk_.find(name); it != disk_.end()) {
-        image = it->second;
+        image = &it->second;
     } else {
         POAT_FATAL("exportPool: unknown pool name");
     }
@@ -103,9 +105,9 @@ PoolRegistry::exportPool(const std::string &name, const std::string &path)
     std::FILE *f = std::fopen(path.c_str(), "wb");
     if (!f)
         POAT_FATAL("exportPool: cannot open output file");
-    const size_t written = std::fwrite(image.data(), 1, image.size(), f);
+    const size_t written = std::fwrite(image->data(), 1, image->size(), f);
     std::fclose(f);
-    if (written != image.size())
+    if (written != image->size())
         POAT_FATAL("exportPool: short write");
 }
 
@@ -148,18 +150,30 @@ PoolRegistry::importPool(const std::string &name, const std::string &path)
 void
 PoolRegistry::crashAll()
 {
-    for (auto &kv : open_) {
-        kv.second->pool.crash();
-        kv.second->alloc.rescan();
-        kv.second->log.markCrashed();
+    // Pool-id order so machine-wide crash and recovery emit their
+    // durability events in a reproducible sequence (the crash-point
+    // explorer indexes events by position in this stream).
+    for (uint32_t id : openIds()) {
+        OpenPool &op = *open_.at(id);
+        op.pool.crash();
+        op.alloc.rescan();
+        op.log.markCrashed();
     }
 }
 
 void
 PoolRegistry::recoverAll()
 {
+    for (uint32_t id : openIds())
+        open_.at(id)->log.recover();
+}
+
+void
+PoolRegistry::setDurabilityHook(DurabilityHook *hook)
+{
+    hook_ = hook;
     for (auto &kv : open_)
-        kv.second->log.recover();
+        kv.second->pool.setDurabilityHook(hook);
 }
 
 std::vector<uint32_t>

@@ -97,6 +97,13 @@ class PoolRegistry
     /** Run recovery on every open pool (after crashAll). */
     void recoverAll();
 
+    /**
+     * Install @p hook (may be nullptr to remove) on the durability path
+     * of every open pool and of every pool created or opened later.
+     * Not owned; the hook must outlive the registry or be removed.
+     */
+    void setDurabilityHook(DurabilityHook *hook);
+
     size_t openCount() const { return open_.size(); }
     AddressSpace &addressSpace() { return space_; }
 
@@ -106,6 +113,7 @@ class PoolRegistry
   private:
     AddressSpace space_;
     uint32_t nextId_ = 1;
+    DurabilityHook *hook_ = nullptr; ///< installed on every pool
     std::unordered_map<uint32_t, std::unique_ptr<OpenPool>> open_;
     std::unordered_map<std::string, uint32_t> idByName_;
     std::unordered_map<std::string, std::vector<uint8_t>> disk_;

@@ -345,13 +345,27 @@ PmemRuntime::txPmalloc(uint32_t pool_id, uint32_t size)
     OpenPool &op = registry_.get(pool_id);
 
     sink_->alu(costs::kPmalloc);
-    const uint32_t off = op.alloc.alloc(size);
+
+    // The ALLOC undo record must be durable before the allocation is:
+    // a crash between a durably-allocated header and its log record
+    // would leak the block forever. So allocate with header persistence
+    // deferred, log, then persist the headers.
+    const uint32_t off = op.alloc.alloc(size, /*persist_now=*/false);
     if (off == 0)
         POAT_FATAL("tx_pmalloc: pool exhausted");
-    emitAllocatorTouches(op);
 
-    op.log.logAlloc(off);
+    try {
+        op.log.logAlloc(off, size);
+    } catch (...) {
+        // Exhausted log: give the block back before surfacing the
+        // error, otherwise the failed tx_pmalloc would leak it.
+        op.alloc.free(off);
+        throw;
+    }
     emitLogAppend(op);
+
+    op.alloc.persistTouched();
+    emitAllocatorTouches(op);
     return ObjectID(pool_id, off);
 }
 

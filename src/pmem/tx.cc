@@ -1,5 +1,7 @@
 #include "pmem/tx.h"
 
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/bits.h"
@@ -34,6 +36,21 @@ uint32_t
 UndoLog::entriesBase() const
 {
     return logOff_ + sizeof(LogHeader);
+}
+
+void
+UndoLog::throwExhausted(const char *api, uint32_t entry_bytes,
+                        const LogHeader &h) const
+{
+    // A full log is a caller-visible resource limit, not a library bug:
+    // report it as an exception the transaction can abort on, with
+    // enough context to size the pool's log region correctly.
+    throw std::runtime_error(
+        std::string("undo log exhausted in ") + api + ": pool '" +
+        pool_.name() + "' log_size=" + std::to_string(logSize_) +
+        " used=" + std::to_string(sizeof(LogHeader) + h.used) +
+        " requested=" + std::to_string(entry_bytes) +
+        " bytes; the transaction is too large for this log region");
 }
 
 LogEntryHeader
@@ -77,7 +94,7 @@ UndoLog::addRange(uint32_t off, uint32_t size)
         static_cast<uint32_t>(alignUp(size, 16));
     const uint32_t entry_off = entriesBase() + h.used;
     if (entry_off + entry_bytes > logOff_ + logSize_)
-        POAT_FATAL("undo log exhausted: transaction too large");
+        throwExhausted("tx_add_range", entry_bytes, h);
 
     // Write the snapshot entry and make it durable *before* publishing
     // it via the entry count; a torn entry is then never observed.
@@ -94,16 +111,17 @@ UndoLog::addRange(uint32_t off, uint32_t size)
 }
 
 void
-UndoLog::logAlloc(uint32_t payload_off)
+UndoLog::logAlloc(uint32_t payload_off, uint32_t payload_bytes)
 {
     POAT_ASSERT(active_, "tx_pmalloc outside a transaction");
     const LogHeader h = readHeader();
     const uint32_t entry_bytes = sizeof(LogEntryHeader);
     const uint32_t entry_off = entriesBase() + h.used;
     if (entry_off + entry_bytes > logOff_ + logSize_)
-        POAT_FATAL("undo log exhausted: transaction too large");
+        throwExhausted("tx_pmalloc", entry_bytes, h);
 
-    LogEntryHeader eh{LogEntryHeader::kAlloc, 0, payload_off, 0};
+    LogEntryHeader eh{LogEntryHeader::kAlloc, 0, payload_off,
+                      payload_bytes};
     pool_.writeRaw(entry_off, &eh, sizeof(eh));
     pool_.persist(entry_off, entry_bytes);
     lastEntryOff_ = entry_off;
@@ -119,7 +137,7 @@ UndoLog::logFree(uint32_t payload_off)
     const uint32_t entry_bytes = sizeof(LogEntryHeader);
     const uint32_t entry_off = entriesBase() + h.used;
     if (entry_off + entry_bytes > logOff_ + logSize_)
-        POAT_FATAL("undo log exhausted: transaction too large");
+        throwExhausted("tx_pfree", entry_bytes, h);
 
     LogEntryHeader eh{LogEntryHeader::kFree, 0, payload_off, 0};
     pool_.writeRaw(entry_off, &eh, sizeof(eh));
@@ -145,6 +163,8 @@ UndoLog::persistDataRanges()
     forEachEntry([this](uint32_t, const LogEntryHeader &eh) {
         if (eh.type == LogEntryHeader::kData)
             pool_.persist(eh.target_off, eh.payload_size);
+        else if (eh.type == LogEntryHeader::kAlloc && eh.alloc_size != 0)
+            pool_.persist(eh.target_off, eh.alloc_size);
     });
 }
 
@@ -220,10 +240,65 @@ UndoLog::abort()
     active_ = false;
 }
 
+void
+UndoLog::validateLog() const
+{
+    const LogHeader h = readHeader();
+    auto corrupt = [&](const std::string &what) {
+        throw std::runtime_error(
+            "corrupt undo log in pool '" + pool_.name() + "': " + what +
+            " (state=" + std::to_string(h.state) +
+            " num_entries=" + std::to_string(h.num_entries) +
+            " used=" + std::to_string(h.used) + ")");
+    };
+
+    if (h.state != LogHeader::kIdle && h.state != LogHeader::kActive &&
+        h.state != LogHeader::kCommitting) {
+        corrupt("unknown state machine value");
+    }
+    const uint32_t end = logOff_ + logSize_;
+    uint32_t off = entriesBase();
+    for (uint32_t i = 0; i < h.num_entries; ++i) {
+        if (off + sizeof(LogEntryHeader) > end)
+            corrupt("entry " + std::to_string(i) +
+                    " header truncated past the log region");
+        const LogEntryHeader eh = readEntryHeader(off);
+        if (eh.type != LogEntryHeader::kData &&
+            eh.type != LogEntryHeader::kAlloc &&
+            eh.type != LogEntryHeader::kFree) {
+            corrupt("entry " + std::to_string(i) + " has unknown type " +
+                    std::to_string(eh.type));
+        }
+        const uint64_t entry_bytes = sizeof(LogEntryHeader) +
+            alignUp(eh.payload_size, 16);
+        if (off + entry_bytes > end)
+            corrupt("entry " + std::to_string(i) +
+                    " payload truncated past the log region");
+        if (static_cast<uint64_t>(eh.target_off) + eh.payload_size >
+            pool_.size()) {
+            corrupt("entry " + std::to_string(i) +
+                    " targets past the end of the pool");
+        }
+        if (eh.type == LogEntryHeader::kAlloc &&
+            static_cast<uint64_t>(eh.target_off) + eh.alloc_size >
+                pool_.size()) {
+            corrupt("entry " + std::to_string(i) +
+                    " allocation extends past the end of the pool");
+        }
+        off += static_cast<uint32_t>(entry_bytes);
+    }
+    // num_entries and used are published together in one atomic header
+    // write, so a walk that disagrees with used means torn media.
+    if (off - entriesBase() != h.used)
+        corrupt("entry walk covers " + std::to_string(off - entriesBase()) +
+                " bytes but the header claims " + std::to_string(h.used));
+}
+
 bool
 UndoLog::recover()
 {
     POAT_ASSERT(!active_, "recover while a transaction is active");
+    validateLog();
     const LogHeader h = readHeader();
     switch (h.state) {
       case LogHeader::kIdle:
@@ -237,7 +312,7 @@ UndoLog::recover()
         writeState(LogHeader::kIdle, 0, 0);
         return true;
       default:
-        POAT_PANIC("corrupt undo log state");
+        POAT_PANIC("corrupt undo log state"); // validateLog threw already
     }
 }
 

@@ -54,7 +54,14 @@ struct LogEntryHeader
     uint32_t type;
     uint32_t payload_size;
     uint32_t target_off;
-    uint32_t pad;
+
+    /**
+     * kAlloc: payload bytes of the new block, persisted at commit so
+     * stores into a freshly tx-allocated object become durable with
+     * the transaction (they have no kData snapshot to persist through).
+     * Zero for other entry types.
+     */
+    uint32_t alloc_size;
 };
 
 /** Undo-log manager bound to one pool and its allocator. */
@@ -69,11 +76,21 @@ class UndoLog
     /**
      * Snapshot [off, off+size) into the log and persist the snapshot.
      * Must be called before the range is modified.
+     *
+     * @throws std::runtime_error if the log region cannot hold the
+     *         entry (transaction too large for the pool's log_size);
+     *         the log itself is left untouched, so the transaction can
+     *         still be aborted cleanly.
      */
     void addRange(uint32_t off, uint32_t size);
 
-    /** Record that @p payload_off was allocated inside this tx. */
-    void logAlloc(uint32_t payload_off);
+    /**
+     * Record that @p payload_off was allocated inside this tx.
+     * @p payload_bytes is persisted at commit (see
+     * LogEntryHeader::alloc_size); pass the object's size so stores
+     * into it survive a post-commit crash.
+     */
+    void logAlloc(uint32_t payload_off, uint32_t payload_bytes = 0);
 
     /**
      * Record a deferred free of @p payload_off; the block is actually
@@ -90,9 +107,21 @@ class UndoLog
     /**
      * Post-crash recovery; call once after reopening the pool. Applies
      * undo (active) or redo of deferred frees (committing) as needed.
+     * Validates the on-media log first and throws std::runtime_error
+     * (never UB) if the state machine or an entry is corrupt — e.g. a
+     * garbage state word, an unknown entry type, or a trailing entry
+     * truncated past the log region.
      * @return true if any recovery action was taken.
      */
     bool recover();
+
+    /**
+     * Check the on-media log for structural legality: a known state,
+     * every published entry in bounds with a known type, targets inside
+     * the pool, and the byte count consistent with the entry walk.
+     * @throws std::runtime_error describing the first violation.
+     */
+    void validateLog() const;
 
     /**
      * Reset the volatile notion of an in-flight transaction after a
@@ -102,6 +131,9 @@ class UndoLog
 
     bool active() const { return active_; }
     uint32_t entryCount() const;
+
+    /** Current on-media state (LogHeader::kIdle/kActive/kCommitting). */
+    uint32_t state() const { return readHeader().state; }
 
     /** Snapshot of one log entry for introspection. */
     struct Record
@@ -128,6 +160,10 @@ class UndoLog
   private:
     LogHeader readHeader() const;
     void writeState(uint32_t state, uint32_t num, uint32_t used);
+
+    /** Throw std::runtime_error: @p entry_bytes does not fit the log. */
+    [[noreturn]] void throwExhausted(const char *api, uint32_t entry_bytes,
+                                     const LogHeader &h) const;
     LogEntryHeader readEntryHeader(uint32_t entry_off) const;
     uint32_t entriesBase() const;
 

@@ -579,5 +579,21 @@ BPlusTree::validate()
     return true;
 }
 
+void
+BPlusTree::forEachNode(const std::function<void(ObjectID)> &fn)
+{
+    std::function<void(ObjectID)> walk = [&](ObjectID node) {
+        fn(node);
+        const NodeImage img = readNode(rt_, node);
+        if (img.leaf)
+            return;
+        for (uint32_t i = 0; i <= img.n; ++i)
+            walk(ObjectID(img.children[i]));
+    };
+    const ObjectID root = rootOid();
+    if (!root.isNull())
+        walk(root);
+}
+
 } // namespace workloads
 } // namespace poat

@@ -79,6 +79,12 @@ class BPlusTree
     /** Check all structural invariants (tests). */
     bool validate();
 
+    /**
+     * Visit every node ObjectID in the tree, parents before children
+     * (for reachability accounting; does not visit the anchor).
+     */
+    void forEachNode(const std::function<void(ObjectID)> &fn);
+
   private:
     struct PathEntry
     {

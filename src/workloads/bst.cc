@@ -9,6 +9,12 @@
  */
 #include "workloads/workloads.h"
 
+#include <algorithm>
+#include <optional>
+#include <set>
+
+#include "workloads/crash_support.h"
+
 namespace poat {
 namespace workloads {
 
@@ -182,6 +188,240 @@ BstWorkload::run(PmemRuntime &rt)
         }
     }
     return res;
+}
+
+namespace {
+
+/** BST rephrased for crash-point exploration (see crash_support.h). */
+class BstCrashDriver final : public CrashDriver
+{
+  public:
+    BstCrashDriver(uint64_t steps, uint64_t seed)
+        : steps_(steps), seed_(seed), rng_(seed)
+    {}
+
+    const char *name() const override { return "BST"; }
+    uint64_t steps() const override { return steps_; }
+
+    void
+    setup(PmemRuntime &rt) override
+    {
+        pools_.emplace(rt, PoolPattern::All, "bstc", kCrashPoolBytes);
+        anchor_ = rt.poolRoot(pools_->homePool(), 16);
+    }
+
+    void
+    step(PmemRuntime &rt, uint64_t) override
+    {
+        const int64_t key =
+            static_cast<int64_t>(rng_.below(std::max<uint64_t>(steps_, 1)));
+
+        auto set_link = [&](TxScope &tx, ObjectID parent, bool right,
+                            uint64_t value) {
+            if (parent.isNull()) {
+                tx.addRange(anchor_, 8);
+                rt.write<uint64_t>(rt.deref(anchor_), 0, value);
+            } else {
+                tx.addRange(parent.plus(childOff(right)), 8);
+                rt.write<uint64_t>(rt.deref(parent), childOff(right),
+                                   value);
+            }
+        };
+
+        ObjectID parent = OID_NULL;
+        bool parent_right = false;
+        ObjectID cur(rt.read<uint64_t>(rt.deref(anchor_), 0));
+        bool found = false;
+        while (!cur.isNull()) {
+            ObjectRef c = rt.deref(cur);
+            const int64_t k = rt.read<int64_t>(c, kOffKey);
+            found = (k == key);
+            if (found)
+                break;
+            const bool right = key > k;
+            parent = cur;
+            parent_right = right;
+            cur = ObjectID(rt.read<uint64_t>(c, childOff(right)));
+        }
+
+        if (!found) {
+            TxScope tx(rt, true);
+            const ObjectID n =
+                tx.pmalloc(pools_->poolForNew(key), kNodeSize);
+            tx.addRange(n, kNodeSize);
+            ObjectRef nr = rt.deref(n);
+            rt.write<int64_t>(nr, kOffKey, key);
+            rt.write<uint64_t>(nr, kOffLeft, 0);
+            rt.write<uint64_t>(nr, kOffRight, 0);
+            set_link(tx, parent, parent_right, n.raw);
+            return;
+        }
+
+        // Remove cur, paper-style (left-subtree maximum replaces it).
+        TxScope tx(rt, true);
+        ObjectRef c = rt.deref(cur);
+        const ObjectID left(rt.read<uint64_t>(c, kOffLeft));
+        const ObjectID right(rt.read<uint64_t>(c, kOffRight));
+        if (left.isNull()) {
+            set_link(tx, parent, parent_right, right.raw);
+        } else {
+            ObjectID mparent = cur;
+            bool mp_right = false;
+            ObjectID m = left;
+            while (true) {
+                const uint64_t r =
+                    rt.read<uint64_t>(rt.deref(m), kOffRight);
+                if (r == 0)
+                    break;
+                mparent = m;
+                mp_right = true;
+                m = ObjectID(r);
+            }
+            const uint64_t mleft =
+                rt.read<uint64_t>(rt.deref(m), kOffLeft);
+            if (mparent == cur)
+                set_link(tx, mparent, false, mleft);
+            else
+                set_link(tx, mparent, mp_right, mleft);
+            NodeLogger log(tx);
+            log.log(m, kNodeSize);
+            ObjectRef mr = rt.deref(m);
+            const uint64_t cur_left =
+                rt.read<uint64_t>(rt.deref(cur), kOffLeft);
+            const uint64_t cur_right =
+                rt.read<uint64_t>(rt.deref(cur), kOffRight);
+            rt.write<uint64_t>(mr, kOffLeft,
+                               cur_left == m.raw ? 0 : cur_left);
+            rt.write<uint64_t>(mr, kOffRight, cur_right);
+            set_link(tx, parent, parent_right, m.raw);
+        }
+        tx.pfree(cur);
+    }
+
+    bool
+    verifyRecovered(PmemRuntime &rt, uint64_t lo, uint64_t hi,
+                    std::string *why) override
+    {
+        std::vector<int64_t> got;
+        if (!walk(rt, &got, why))
+            return false;
+        for (uint64_t c = std::min(lo, steps_);
+             c <= std::min(hi, steps_); ++c) {
+            if (got == model(c))
+                return true;
+        }
+        if (why) {
+            *why = "in-order key sequence of " +
+                std::to_string(got.size()) +
+                " keys matches no model state in steps [" +
+                std::to_string(lo) + ", " + std::to_string(hi) + "]";
+        }
+        return false;
+    }
+
+    bool
+    reachable(PmemRuntime &rt,
+              std::map<uint32_t, std::set<uint32_t>> *out) override
+    {
+        (*out)[anchor_.poolId()].insert(anchor_.offset());
+        std::vector<ObjectID> stack;
+        const ObjectID troot(rt.read<uint64_t>(rt.deref(anchor_), 0));
+        if (!troot.isNull())
+            stack.push_back(troot);
+        uint64_t guard = 0;
+        while (!stack.empty() && ++guard <= steps_ + 1) {
+            const ObjectID n = stack.back();
+            stack.pop_back();
+            (*out)[n.poolId()].insert(n.offset());
+            ObjectRef r = rt.deref(n);
+            const ObjectID left(rt.read<uint64_t>(r, kOffLeft));
+            const ObjectID right(rt.read<uint64_t>(r, kOffRight));
+            if (!left.isNull())
+                stack.push_back(left);
+            if (!right.isNull())
+                stack.push_back(right);
+        }
+        return true;
+    }
+
+  private:
+    /** In-order key collection with bounds and cycle guards. */
+    bool
+    walk(PmemRuntime &rt, std::vector<int64_t> *out, std::string *why)
+    {
+        struct Frame
+        {
+            ObjectID node;
+            bool expanded;
+        };
+        std::vector<Frame> stack;
+        const ObjectID troot(rt.read<uint64_t>(rt.deref(anchor_), 0));
+        if (!troot.isNull())
+            stack.push_back({troot, false});
+        uint64_t visited = 0;
+        while (!stack.empty()) {
+            Frame f = stack.back();
+            stack.pop_back();
+            if (!oidPlausible(rt, f.node, kNodeSize)) {
+                if (why)
+                    *why = "dangling tree link";
+                return false;
+            }
+            if (!f.expanded && ++visited > steps_ + 1) {
+                if (why)
+                    *why = "tree larger than the operation count (cycle?)";
+                return false;
+            }
+            ObjectRef r = rt.deref(f.node);
+            if (!f.expanded) {
+                const ObjectID right(rt.read<uint64_t>(r, kOffRight));
+                if (!right.isNull())
+                    stack.push_back({right, false});
+                stack.push_back({f.node, true});
+                const ObjectID left(rt.read<uint64_t>(r, kOffLeft));
+                if (!left.isNull())
+                    stack.push_back({left, false});
+            } else {
+                const int64_t k = rt.read<int64_t>(r, kOffKey);
+                if (!out->empty() && k <= out->back()) {
+                    if (why)
+                        *why = "BST ordering violated in recovered tree";
+                    return false;
+                }
+                out->push_back(k);
+            }
+        }
+        return true;
+    }
+
+    /** Volatile replay: sorted key set after @p c operations. */
+    std::vector<int64_t>
+    model(uint64_t c) const
+    {
+        Rng rng(seed_);
+        std::set<int64_t> keys;
+        for (uint64_t i = 0; i < c; ++i) {
+            const int64_t key = static_cast<int64_t>(
+                rng.below(std::max<uint64_t>(steps_, 1)));
+            if (!keys.erase(key))
+                keys.insert(key);
+        }
+        return std::vector<int64_t>(keys.begin(), keys.end());
+    }
+
+    uint64_t steps_;
+    uint64_t seed_;
+    Rng rng_;
+    std::optional<PoolSet> pools_;
+    ObjectID anchor_;
+};
+
+} // namespace
+
+std::unique_ptr<CrashDriver>
+makeBstCrashDriver(uint64_t steps, uint64_t seed)
+{
+    return std::make_unique<BstCrashDriver>(steps, seed);
 }
 
 } // namespace workloads

@@ -9,7 +9,12 @@
  */
 #include "workloads/workloads.h"
 
+#include <algorithm>
 #include <functional>
+#include <optional>
+#include <set>
+
+#include "workloads/crash_support.h"
 
 namespace poat {
 namespace workloads {
@@ -267,6 +272,201 @@ BtreeWorkload::run(PmemRuntime &rt)
     if (!root.isNull())
         walk(root);
     return res;
+}
+
+namespace {
+
+/** BT rephrased for crash-point exploration (see crash_support.h). */
+class BtreeCrashDriver final : public CrashDriver
+{
+  public:
+    BtreeCrashDriver(uint64_t steps, uint64_t seed)
+        : steps_(steps), seed_(seed), rng_(seed)
+    {}
+
+    const char *name() const override { return "BT"; }
+    uint64_t steps() const override { return steps_; }
+
+    void
+    setup(PmemRuntime &rt) override
+    {
+        pools_.emplace(rt, PoolPattern::All, "btc", kCrashPoolBytes);
+        anchor_ = rt.poolRoot(pools_->homePool(), 16);
+    }
+
+    void
+    step(PmemRuntime &rt, uint64_t) override
+    {
+        const int64_t key =
+            static_cast<int64_t>(rng_.below(std::max<uint64_t>(steps_, 1)));
+
+        // Search; a hit is a read-only step (no durability events).
+        ObjectID cur(rt.read<uint64_t>(rt.deref(anchor_), 0));
+        bool found = false;
+        while (!cur.isNull() && !found) {
+            ObjectRef r = rt.deref(cur);
+            const uint32_t n =
+                static_cast<uint32_t>(rt.read<uint64_t>(r, kOffN));
+            const bool leaf = rt.read<uint64_t>(r, kOffLeaf) != 0;
+            uint32_t i = 0;
+            while (i < n) {
+                const int64_t k = rt.read<int64_t>(r, keyOff(i));
+                if (k == key) {
+                    found = true;
+                    break;
+                }
+                if (key < k)
+                    break;
+                ++i;
+            }
+            if (found || leaf)
+                break;
+            cur = ObjectID(rt.read<uint64_t>(r, childOff(i)));
+        }
+        if (found)
+            return;
+
+        TxScope tx(rt, true);
+        NodeLogger log(tx);
+        BtOps bt{rt, *pools_, tx, log};
+        ObjectID root(rt.read<uint64_t>(rt.deref(anchor_), 0));
+        if (root.isNull()) {
+            const ObjectID n = bt.allocNode(key, true);
+            ObjectRef r = rt.deref(n);
+            rt.write<int64_t>(r, keyOff(0), key);
+            rt.write<uint64_t>(r, kOffN, 1);
+            tx.addRange(anchor_, 8);
+            rt.write<uint64_t>(rt.deref(anchor_), 0, n.raw);
+        } else {
+            const uint32_t rn = static_cast<uint32_t>(
+                rt.read<uint64_t>(rt.deref(root), kOffN));
+            if (rn == kMaxKeys) {
+                const ObjectID nr = bt.allocNode(key, false);
+                rt.write<uint64_t>(rt.deref(nr), childOff(0), root.raw);
+                bt.splitChild(nr, 0, key);
+                tx.addRange(anchor_, 8);
+                rt.write<uint64_t>(rt.deref(anchor_), 0, nr.raw);
+                root = nr;
+            }
+            bt.insertNonFull(root, key);
+        }
+    }
+
+    bool
+    verifyRecovered(PmemRuntime &rt, uint64_t lo, uint64_t hi,
+                    std::string *why) override
+    {
+        std::vector<int64_t> got;
+        std::string reason;
+        uint64_t visited = 0;
+        std::function<bool(ObjectID)> walk = [&](ObjectID node) -> bool {
+            if (!oidPlausible(rt, node, kNodeSize)) {
+                reason = "dangling tree link";
+                return false;
+            }
+            if (++visited > steps_ + 1) {
+                reason = "tree larger than the operation count (cycle?)";
+                return false;
+            }
+            ObjectRef r = rt.deref(node);
+            const uint64_t n = rt.read<uint64_t>(r, kOffN);
+            const uint64_t leaf = rt.read<uint64_t>(r, kOffLeaf);
+            if (n > kMaxKeys || leaf > 1) {
+                reason = "node header out of range";
+                return false;
+            }
+            for (uint32_t i = 0; i <= n; ++i) {
+                if (leaf == 0) {
+                    const ObjectID c(rt.read<uint64_t>(
+                        rt.deref(node), childOff(i)));
+                    if (!walk(c))
+                        return false;
+                }
+                if (i == n)
+                    break;
+                const int64_t k =
+                    rt.read<int64_t>(rt.deref(node), keyOff(i));
+                if (!got.empty() && k <= got.back()) {
+                    reason = "B-tree ordering violated";
+                    return false;
+                }
+                got.push_back(k);
+            }
+            return true;
+        };
+        const ObjectID root(rt.read<uint64_t>(rt.deref(anchor_), 0));
+        if (!root.isNull() && !walk(root)) {
+            if (why)
+                *why = reason;
+            return false;
+        }
+        for (uint64_t c = std::min(lo, steps_);
+             c <= std::min(hi, steps_); ++c) {
+            if (got == model(c))
+                return true;
+        }
+        if (why) {
+            *why = "key sequence of " + std::to_string(got.size()) +
+                " keys matches no model state in steps [" +
+                std::to_string(lo) + ", " + std::to_string(hi) + "]";
+        }
+        return false;
+    }
+
+    bool
+    reachable(PmemRuntime &rt,
+              std::map<uint32_t, std::set<uint32_t>> *out) override
+    {
+        (*out)[anchor_.poolId()].insert(anchor_.offset());
+        std::vector<ObjectID> stack;
+        const ObjectID root(rt.read<uint64_t>(rt.deref(anchor_), 0));
+        if (!root.isNull())
+            stack.push_back(root);
+        uint64_t guard = 0;
+        while (!stack.empty() && ++guard <= steps_ + 1) {
+            const ObjectID node = stack.back();
+            stack.pop_back();
+            (*out)[node.poolId()].insert(node.offset());
+            ObjectRef r = rt.deref(node);
+            const uint64_t n = rt.read<uint64_t>(r, kOffN);
+            if (rt.read<uint64_t>(r, kOffLeaf) != 0 || n > kMaxKeys)
+                continue;
+            for (uint32_t i = 0; i <= n; ++i) {
+                const ObjectID c(rt.read<uint64_t>(r, childOff(i)));
+                if (!c.isNull())
+                    stack.push_back(c);
+            }
+        }
+        return true;
+    }
+
+  private:
+    /** Volatile replay: sorted inserted keys after @p c operations. */
+    std::vector<int64_t>
+    model(uint64_t c) const
+    {
+        Rng rng(seed_);
+        std::set<int64_t> keys;
+        for (uint64_t i = 0; i < c; ++i) {
+            keys.insert(static_cast<int64_t>(
+                rng.below(std::max<uint64_t>(steps_, 1))));
+        }
+        return std::vector<int64_t>(keys.begin(), keys.end());
+    }
+
+    uint64_t steps_;
+    uint64_t seed_;
+    Rng rng_;
+    std::optional<PoolSet> pools_;
+    ObjectID anchor_;
+};
+
+} // namespace
+
+std::unique_ptr<CrashDriver>
+makeBtreeCrashDriver(uint64_t steps, uint64_t seed)
+{
+    return std::make_unique<BtreeCrashDriver>(steps, seed);
 }
 
 } // namespace workloads

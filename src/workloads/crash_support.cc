@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Shared crash-driver support: the bounds check for verification walks,
+ * the TPC-C driver (which has no closed-form model and verifies via the
+ * database's own consistency conditions), and the name-based factory.
+ */
+#include "workloads/crash_support.h"
+
+#include <optional>
+#include <stdexcept>
+
+#include "workloads/tpcc/tpcc.h"
+
+namespace poat {
+namespace workloads {
+
+bool
+oidPlausible(PmemRuntime &rt, ObjectID oid, uint32_t size)
+{
+    if (oid.isNull())
+        return false;
+    const OpenPool *op = rt.registry().find(oid.poolId());
+    if (op == nullptr)
+        return false;
+    // A legitimate payload lives inside the heap region; anything else
+    // (header, log region, out of bounds) is a corrupt link.
+    const PoolHeader &h = op->pool.header();
+    const uint64_t off = oid.offset();
+    return off >= h.heap_off &&
+        off + size <= static_cast<uint64_t>(h.heap_off) + h.heap_size;
+}
+
+namespace {
+
+/**
+ * TPC-C rephrased for crash-point exploration. Unlike the
+ * microbenchmarks there is no cheap volatile model to replay, so
+ * verification runs the database's own consistency conditions
+ * (TpccDb::consistent() reads only persistent state): any atomic
+ * prefix of the transaction mix must leave them intact. Reachability
+ * enumeration is not implemented, so allocator leak accounting is
+ * skipped (reachable() returns false).
+ */
+class TpccCrashDriver final : public CrashDriver
+{
+  public:
+    TpccCrashDriver(uint64_t steps, uint64_t seed)
+        : steps_(steps), seed_(seed)
+    {}
+
+    const char *name() const override { return "TPCC"; }
+    uint64_t steps() const override { return steps_; }
+
+    void
+    setup(PmemRuntime &rt) override
+    {
+        db_.emplace(rt, tpcc::Placement::All, 2 /*scale pct*/, seed_);
+    }
+
+    void
+    step(PmemRuntime &, uint64_t) override
+    {
+        db_->run(1);
+    }
+
+    bool
+    verifyRecovered(PmemRuntime &, uint64_t, uint64_t,
+                    std::string *why) override
+    {
+        if (db_->consistent())
+            return true;
+        if (why)
+            *why = "TPC-C consistency conditions violated after recovery";
+        return false;
+    }
+
+    bool
+    reachable(PmemRuntime &,
+              std::map<uint32_t, std::set<uint32_t>> *) override
+    {
+        return false;
+    }
+
+  private:
+    uint64_t steps_;
+    uint64_t seed_;
+    std::optional<tpcc::TpccDb> db_;
+};
+
+} // namespace
+
+std::unique_ptr<CrashDriver>
+makeTpccCrashDriver(uint64_t steps, uint64_t seed)
+{
+    return std::make_unique<TpccCrashDriver>(steps, seed);
+}
+
+std::unique_ptr<CrashDriver>
+makeCrashDriver(const std::string &abbr, uint64_t steps, uint64_t seed)
+{
+    if (abbr == "LL")
+        return makeListCrashDriver(steps, seed);
+    if (abbr == "BST")
+        return makeBstCrashDriver(steps, seed);
+    if (abbr == "SPS")
+        return makeSpsCrashDriver(steps, seed);
+    if (abbr == "RBT")
+        return makeRbtCrashDriver(steps, seed);
+    if (abbr == "BT")
+        return makeBtreeCrashDriver(steps, seed);
+    if (abbr == "B+T")
+        return makeBplusCrashDriver(steps, seed);
+    if (abbr == "TPCC")
+        return makeTpccCrashDriver(steps, seed);
+    throw std::invalid_argument("unknown crash workload '" + abbr +
+                                "' (expected one of LL, BST, SPS, RBT, "
+                                "BT, B+T, TPCC)");
+}
+
+const std::vector<std::string> &
+crashWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "LL", "BST", "SPS", "RBT", "BT", "B+T", "TPCC"};
+    return names;
+}
+
+} // namespace workloads
+} // namespace poat

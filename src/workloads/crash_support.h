@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Per-workload harnesses for crash-point fault injection.
+ *
+ * A CrashDriver rephrases one workload as setup + a sequence of steps,
+ * where every step is exactly one transactional operation, and adds the
+ * two things the fault explorer (src/fault/) needs and the benchmark
+ * run() methods cannot provide:
+ *
+ *  - verifyRecovered(): a structural verifier that replays a volatile
+ *    model of the workload to a given step count and compares it with
+ *    the recovered persistent state. Per-pool transactions are atomic,
+ *    so a crash that fired during step s must recover to the state
+ *    after exactly s or s+1 completed steps — nothing in between.
+ *  - reachable(): every allocated payload the workload can still reach
+ *    (root objects included), for allocator leak/double-use accounting
+ *    against PoolAllocator::allocatedPayloads().
+ *
+ * Drivers are deterministic functions of (steps, seed): constructing a
+ * driver with the same arguments and replaying the same crash schedule
+ * reproduces a failure bit-for-bit within one build.
+ */
+#ifndef POAT_WORKLOADS_CRASH_SUPPORT_H
+#define POAT_WORKLOADS_CRASH_SUPPORT_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pmem/runtime.h"
+
+namespace poat {
+namespace workloads {
+
+/** One workload rephrased for crash-point exploration. */
+class CrashDriver
+{
+  public:
+    virtual ~CrashDriver() = default;
+
+    /** Abbreviation (LL, BST, SPS, RBT, BT, B+T, TPCC). */
+    virtual const char *name() const = 0;
+
+    /**
+     * Create pools and initial state. Setup is non-transactional (the
+     * same contract as the benchmarks' own setup phases), so the
+     * explorer arms crash points only after it returns.
+     */
+    virtual void setup(PmemRuntime &rt) = 0;
+
+    /** Number of steps this driver was configured to run. */
+    virtual uint64_t steps() const = 0;
+
+    /** Execute step @p i (one transaction); call in order from 0. */
+    virtual void step(PmemRuntime &rt, uint64_t i) = 0;
+
+    /**
+     * Check the recovered persistent state against the model at every
+     * completed-step count c in [lo, hi]; true if any c matches and
+     * all structural invariants hold. On failure fills *why (if given)
+     * with a diagnosis.
+     */
+    virtual bool verifyRecovered(PmemRuntime &rt, uint64_t lo, uint64_t hi,
+                                 std::string *why) = 0;
+
+    /**
+     * Collect every reachable allocated payload as pool id -> payload
+     * offsets (root objects included). Returns false when the workload
+     * cannot enumerate reachability (TPCC); the explorer then skips
+     * leak accounting for the trial.
+     */
+    virtual bool
+    reachable(PmemRuntime &rt,
+              std::map<uint32_t, std::set<uint32_t>> *out) = 0;
+};
+
+/** Total pool bytes the crash drivers use (small: trials are many). */
+inline constexpr uint64_t kCrashPoolBytes = 1ull << 20;
+
+/**
+ * True iff @p oid points at @p size bytes inside an open pool — the
+ * bounds check verification walks make before dereferencing a link in
+ * a possibly-corrupt recovered image (so a dangling pointer becomes a
+ * reported failure, not a fatal out-of-range access).
+ */
+bool oidPlausible(PmemRuntime &rt, ObjectID oid, uint32_t size);
+
+/** Instantiate a crash driver by abbreviation; throws on unknown. */
+std::unique_ptr<CrashDriver> makeCrashDriver(const std::string &abbr,
+                                             uint64_t steps, uint64_t seed);
+
+/** All crash-explorable workloads: the six microbenchmarks + TPCC. */
+const std::vector<std::string> &crashWorkloadNames();
+
+/// @name Per-workload factories (defined next to each workload)
+/// @{
+std::unique_ptr<CrashDriver> makeListCrashDriver(uint64_t steps,
+                                                 uint64_t seed);
+std::unique_ptr<CrashDriver> makeBstCrashDriver(uint64_t steps,
+                                                uint64_t seed);
+std::unique_ptr<CrashDriver> makeSpsCrashDriver(uint64_t steps,
+                                                uint64_t seed);
+std::unique_ptr<CrashDriver> makeRbtCrashDriver(uint64_t steps,
+                                                uint64_t seed);
+std::unique_ptr<CrashDriver> makeBtreeCrashDriver(uint64_t steps,
+                                                  uint64_t seed);
+std::unique_ptr<CrashDriver> makeBplusCrashDriver(uint64_t steps,
+                                                  uint64_t seed);
+std::unique_ptr<CrashDriver> makeTpccCrashDriver(uint64_t steps,
+                                                 uint64_t seed);
+/// @}
+
+} // namespace workloads
+} // namespace poat
+
+#endif // POAT_WORKLOADS_CRASH_SUPPORT_H

@@ -11,6 +11,7 @@
 #define POAT_WORKLOADS_HARNESS_H
 
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <string>
 #include <unordered_set>
@@ -97,14 +98,23 @@ class PoolSet
 class TxScope
 {
   public:
-    TxScope(PmemRuntime &rt, bool enabled) : rt_(rt), enabled_(enabled) {}
+    TxScope(PmemRuntime &rt, bool enabled)
+        : rt_(rt), enabled_(enabled), uncaught_(std::uncaught_exceptions())
+    {}
 
     TxScope(const TxScope &) = delete;
     TxScope &operator=(const TxScope &) = delete;
 
     ~TxScope()
     {
-        if (enabled_ && rt_.txActive())
+        if (!enabled_ || !rt_.txActive())
+            return;
+        // Unwinding through the scope (e.g. an exhausted undo log threw
+        // out of addRange) must roll the half-made operation back, not
+        // commit it.
+        if (std::uncaught_exceptions() > uncaught_)
+            rt_.txAbort();
+        else
             rt_.txEnd();
     }
 
@@ -171,6 +181,7 @@ class TxScope
 
     PmemRuntime &rt_;
     bool enabled_;
+    int uncaught_; ///< in-flight exceptions when the scope opened
 };
 
 /**

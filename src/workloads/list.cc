@@ -8,6 +8,11 @@
  */
 #include "workloads/workloads.h"
 
+#include <algorithm>
+#include <optional>
+
+#include "workloads/crash_support.h"
+
 namespace poat {
 namespace workloads {
 
@@ -106,6 +111,159 @@ LinkedListWorkload::run(PmemRuntime &rt)
         cur = ObjectID(rt.read<uint64_t>(c, kOffNext));
     }
     return res;
+}
+
+namespace {
+
+/** LL rephrased for crash-point exploration (see crash_support.h). */
+class ListCrashDriver final : public CrashDriver
+{
+  public:
+    ListCrashDriver(uint64_t steps, uint64_t seed)
+        : steps_(steps), seed_(seed), rng_(seed)
+    {}
+
+    const char *name() const override { return "LL"; }
+    uint64_t steps() const override { return steps_; }
+
+    void
+    setup(PmemRuntime &rt) override
+    {
+        pools_.emplace(rt, PoolPattern::All, "llc", kCrashPoolBytes);
+        root_ = rt.poolRoot(pools_->homePool(), kNodeSize);
+    }
+
+    void
+    step(PmemRuntime &rt, uint64_t) override
+    {
+        const int64_t key =
+            static_cast<int64_t>(rng_.below(std::max<uint64_t>(steps_, 1)));
+        ObjectID prev = OID_NULL;
+        ObjectID cur(rt.read<uint64_t>(rt.deref(root_), 0));
+        bool found = false;
+        while (!cur.isNull()) {
+            ObjectRef c = rt.deref(cur);
+            found = rt.read<int64_t>(c, kOffValue) == key;
+            if (found)
+                break;
+            prev = cur;
+            cur = ObjectID(rt.read<uint64_t>(c, kOffNext));
+        }
+
+        TxScope tx(rt, true);
+        if (found) {
+            const uint64_t next_raw =
+                rt.read<uint64_t>(rt.deref(cur), kOffNext);
+            if (prev.isNull()) {
+                tx.addRange(root_, 8);
+                rt.write<uint64_t>(rt.deref(root_), 0, next_raw);
+            } else {
+                tx.addRange(prev.plus(kOffNext), 8);
+                rt.write<uint64_t>(rt.deref(prev), kOffNext, next_raw);
+            }
+            tx.pfree(cur);
+        } else {
+            const ObjectID n =
+                tx.pmalloc(pools_->poolForNew(key), kNodeSize);
+            tx.addRange(n, kNodeSize);
+            ObjectRef nr = rt.deref(n);
+            const uint64_t head_raw = rt.read<uint64_t>(rt.deref(root_), 0);
+            rt.write<int64_t>(nr, kOffValue, key);
+            rt.write<uint64_t>(nr, kOffNext, head_raw);
+            tx.addRange(root_, 8);
+            rt.write<uint64_t>(rt.deref(root_), 0, n.raw);
+        }
+    }
+
+    bool
+    verifyRecovered(PmemRuntime &rt, uint64_t lo, uint64_t hi,
+                    std::string *why) override
+    {
+        std::vector<int64_t> got;
+        if (!walk(rt, &got, why))
+            return false;
+        for (uint64_t c = std::min(lo, steps_);
+             c <= std::min(hi, steps_); ++c) {
+            if (got == model(c))
+                return true;
+        }
+        if (why) {
+            *why = "list of " + std::to_string(got.size()) +
+                " values matches no model state in steps [" +
+                std::to_string(lo) + ", " + std::to_string(hi) + "]";
+        }
+        return false;
+    }
+
+    bool
+    reachable(PmemRuntime &rt,
+              std::map<uint32_t, std::set<uint32_t>> *out) override
+    {
+        (*out)[root_.poolId()].insert(root_.offset());
+        ObjectID cur(rt.read<uint64_t>(rt.deref(root_), 0));
+        uint64_t guard = 0;
+        while (!cur.isNull() && ++guard <= steps_ + 1) {
+            (*out)[cur.poolId()].insert(cur.offset());
+            cur = ObjectID(rt.read<uint64_t>(rt.deref(cur), kOffNext));
+        }
+        return true;
+    }
+
+  private:
+    /** Collect the persistent list, bounds-checking every link. */
+    bool
+    walk(PmemRuntime &rt, std::vector<int64_t> *out, std::string *why)
+    {
+        ObjectID cur(rt.read<uint64_t>(rt.deref(root_), 0));
+        while (!cur.isNull()) {
+            if (!oidPlausible(rt, cur, kNodeSize)) {
+                if (why)
+                    *why = "dangling list link";
+                return false;
+            }
+            if (out->size() > steps_) {
+                if (why)
+                    *why = "list longer than the operation count (cycle?)";
+                return false;
+            }
+            ObjectRef c = rt.deref(cur);
+            out->push_back(rt.read<int64_t>(c, kOffValue));
+            cur = ObjectID(rt.read<uint64_t>(c, kOffNext));
+        }
+        return true;
+    }
+
+    /** Volatile replay of the first @p c operations. */
+    std::vector<int64_t>
+    model(uint64_t c) const
+    {
+        Rng rng(seed_);
+        std::vector<int64_t> lst; // front() is the persistent head
+        for (uint64_t i = 0; i < c; ++i) {
+            const int64_t key = static_cast<int64_t>(
+                rng.below(std::max<uint64_t>(steps_, 1)));
+            auto it = std::find(lst.begin(), lst.end(), key);
+            if (it != lst.end())
+                lst.erase(it);
+            else
+                lst.insert(lst.begin(), key);
+        }
+        return lst;
+    }
+
+    uint64_t steps_;
+    uint64_t seed_;
+    Rng rng_;
+    std::optional<PoolSet> pools_;
+    ObjectID root_;
+};
+
+} // namespace
+
+std::unique_ptr<CrashDriver>
+makeListCrashDriver(uint64_t steps, uint64_t seed)
+{
+    return std::make_unique<ListCrashDriver>(steps, seed);
 }
 
 } // namespace workloads

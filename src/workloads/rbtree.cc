@@ -15,7 +15,12 @@
  */
 #include "workloads/workloads.h"
 
+#include <algorithm>
 #include <functional>
+#include <optional>
+#include <set>
+
+#include "workloads/crash_support.h"
 
 namespace poat {
 namespace workloads {
@@ -427,6 +432,218 @@ RbtWorkload::run(PmemRuntime &rt)
     }
     rt.setSink(&saved);
     return res;
+}
+
+namespace {
+
+/** RBT rephrased for crash-point exploration (see crash_support.h). */
+class RbtCrashDriver final : public CrashDriver
+{
+  public:
+    RbtCrashDriver(uint64_t steps, uint64_t seed)
+        : steps_(steps), seed_(seed), rng_(seed)
+    {}
+
+    const char *name() const override { return "RBT"; }
+    uint64_t steps() const override { return steps_; }
+
+    void
+    setup(PmemRuntime &rt) override
+    {
+        pools_.emplace(rt, PoolPattern::All, "rbtc", kCrashPoolBytes);
+        anchor_ = rt.poolRoot(pools_->homePool(), 16);
+    }
+
+    void
+    step(PmemRuntime &rt, uint64_t) override
+    {
+        const int64_t key =
+            static_cast<int64_t>(rng_.below(std::max<uint64_t>(steps_, 1)));
+
+        ObjectID cur(rt.read<uint64_t>(rt.deref(anchor_), 0));
+        ObjectID parent = OID_NULL;
+        bool went_right = false;
+        bool found = false;
+        while (!cur.isNull()) {
+            ObjectRef r = rt.deref(cur);
+            const int64_t k = rt.read<int64_t>(r, kOffKey);
+            found = (k == key);
+            if (found)
+                break;
+            went_right = key > k;
+            parent = cur;
+            cur = ObjectID(rt.read<uint64_t>(
+                r, went_right ? kOffRight : kOffLeft));
+        }
+
+        TxScope tx(rt, true);
+        NodeLogger log(tx);
+        Rb rb{rt, tx, log, anchor_};
+        if (found) {
+            rb.erase(cur);
+        } else {
+            const ObjectID n =
+                tx.pmalloc(pools_->poolForNew(key), kNodeSize);
+            tx.addRange(n, kNodeSize);
+            ObjectRef nr = rt.deref(n);
+            rt.write<int64_t>(nr, kOffKey, key);
+            rt.write<uint64_t>(nr, kOffColor, kRed);
+            rt.write<uint64_t>(nr, kOffLeft, 0);
+            rt.write<uint64_t>(nr, kOffRight, 0);
+            rt.write<uint64_t>(nr, kOffParent, parent.raw);
+            if (parent.isNull())
+                rb.setRoot(n);
+            else if (went_right)
+                rb.setRight(parent, n);
+            else
+                rb.setLeft(parent, n);
+            rb.insertFixup(n);
+        }
+    }
+
+    bool
+    verifyRecovered(PmemRuntime &rt, uint64_t lo, uint64_t hi,
+                    std::string *why) override
+    {
+        // Structural pass: sorted keys, red-red, equal black heights —
+        // reported as failures instead of fatal asserts, because the
+        // recovered image under inspection may be arbitrary garbage.
+        std::vector<int64_t> got;
+        std::string reason;
+        uint64_t visited = 0;
+        std::function<int(ObjectID, int64_t, int64_t)> check =
+            [&](ObjectID node, int64_t klo, int64_t khi) -> int {
+            if (node.isNull())
+                return 1; // nil is black
+            if (!reason.empty())
+                return -1;
+            if (!oidPlausible(rt, node, kNodeSize)) {
+                reason = "dangling tree link";
+                return -1;
+            }
+            if (++visited > steps_ + 1) {
+                reason = "tree larger than the operation count (cycle?)";
+                return -1;
+            }
+            ObjectRef r = rt.deref(node);
+            const int64_t k = rt.read<int64_t>(r, kOffKey);
+            if (k <= klo || k >= khi) {
+                reason = "RBT ordering violated";
+                return -1;
+            }
+            const uint64_t c = rt.read<uint64_t>(r, kOffColor);
+            const ObjectID l(rt.read<uint64_t>(r, kOffLeft));
+            const ObjectID rr(rt.read<uint64_t>(r, kOffRight));
+            if (c == kRed) {
+                const bool red_child =
+                    (!l.isNull() && oidPlausible(rt, l, kNodeSize) &&
+                     rt.read<uint64_t>(rt.deref(l), kOffColor) == kRed) ||
+                    (!rr.isNull() && oidPlausible(rt, rr, kNodeSize) &&
+                     rt.read<uint64_t>(rt.deref(rr), kOffColor) == kRed);
+                if (red_child) {
+                    reason = "RBT red-red violation";
+                    return -1;
+                }
+            }
+            const int bl = check(l, klo, k);
+            if (bl < 0)
+                return -1;
+            got.push_back(k);
+            const int br = check(rr, k, khi);
+            if (br < 0)
+                return -1;
+            if (bl != br) {
+                reason = "RBT black-height violation";
+                return -1;
+            }
+            return bl + (c == kBlack ? 1 : 0);
+        };
+        const ObjectID troot(rt.read<uint64_t>(rt.deref(anchor_), 0));
+        if (!troot.isNull()) {
+            if (!oidPlausible(rt, troot, kNodeSize)) {
+                if (why)
+                    *why = "dangling root link";
+                return false;
+            }
+            if (rt.read<uint64_t>(rt.deref(troot), kOffColor) != kBlack) {
+                if (why)
+                    *why = "RBT root is not black";
+                return false;
+            }
+            if (check(troot, INT64_MIN, INT64_MAX) < 0) {
+                if (why)
+                    *why = reason;
+                return false;
+            }
+        }
+        for (uint64_t c = std::min(lo, steps_);
+             c <= std::min(hi, steps_); ++c) {
+            if (got == model(c))
+                return true;
+        }
+        if (why) {
+            *why = "in-order key sequence of " +
+                std::to_string(got.size()) +
+                " keys matches no model state in steps [" +
+                std::to_string(lo) + ", " + std::to_string(hi) + "]";
+        }
+        return false;
+    }
+
+    bool
+    reachable(PmemRuntime &rt,
+              std::map<uint32_t, std::set<uint32_t>> *out) override
+    {
+        (*out)[anchor_.poolId()].insert(anchor_.offset());
+        std::vector<ObjectID> stack;
+        const ObjectID troot(rt.read<uint64_t>(rt.deref(anchor_), 0));
+        if (!troot.isNull())
+            stack.push_back(troot);
+        uint64_t guard = 0;
+        while (!stack.empty() && ++guard <= steps_ + 1) {
+            const ObjectID n = stack.back();
+            stack.pop_back();
+            (*out)[n.poolId()].insert(n.offset());
+            ObjectRef r = rt.deref(n);
+            const ObjectID l(rt.read<uint64_t>(r, kOffLeft));
+            const ObjectID rr(rt.read<uint64_t>(r, kOffRight));
+            if (!l.isNull())
+                stack.push_back(l);
+            if (!rr.isNull())
+                stack.push_back(rr);
+        }
+        return true;
+    }
+
+  private:
+    /** Volatile replay: sorted key set after @p c operations. */
+    std::vector<int64_t>
+    model(uint64_t c) const
+    {
+        Rng rng(seed_);
+        std::set<int64_t> keys;
+        for (uint64_t i = 0; i < c; ++i) {
+            const int64_t key = static_cast<int64_t>(
+                rng.below(std::max<uint64_t>(steps_, 1)));
+            if (!keys.erase(key))
+                keys.insert(key);
+        }
+        return std::vector<int64_t>(keys.begin(), keys.end());
+    }
+
+    uint64_t steps_;
+    uint64_t seed_;
+    Rng rng_;
+    std::optional<PoolSet> pools_;
+    ObjectID anchor_;
+};
+
+} // namespace
+
+std::unique_ptr<CrashDriver>
+makeRbtCrashDriver(uint64_t steps, uint64_t seed)
+{
+    return std::make_unique<RbtCrashDriver>(steps, seed);
 }
 
 } // namespace workloads

@@ -11,6 +11,14 @@
  */
 #include "workloads/workloads.h"
 
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <numeric>
+#include <optional>
+
+#include "workloads/crash_support.h"
+
 namespace poat {
 namespace workloads {
 
@@ -18,6 +26,18 @@ namespace {
 
 constexpr uint32_t kStringBytes = 64;
 constexpr uint32_t kStrings = 512; // 512 * 64 B = 32 KB
+
+// The crash driver uses a smaller array: each crash trial replays the
+// whole workload, so setup cost is multiplied by the trial count.
+constexpr uint32_t kCrashStrings = 64;
+
+/** The initial contents of string @p i. */
+void
+initialString(uint32_t i, uint8_t buf[kStringBytes])
+{
+    for (uint32_t b = 0; b < kStringBytes; ++b)
+        buf[b] = static_cast<uint8_t>('a' + (i + b) % 26);
+}
 
 } // namespace
 
@@ -88,6 +108,145 @@ SpsWorkload::run(PmemRuntime &rt)
     }
     res.found = swaps;
     return res;
+}
+
+namespace {
+
+/** SPS rephrased for crash-point exploration (see crash_support.h). */
+class SpsCrashDriver final : public CrashDriver
+{
+  public:
+    SpsCrashDriver(uint64_t steps, uint64_t seed)
+        : steps_(steps), seed_(seed), rng_(seed)
+    {}
+
+    const char *name() const override { return "SPS"; }
+    uint64_t steps() const override { return steps_; }
+
+    void
+    setup(PmemRuntime &rt) override
+    {
+        pools_.emplace(rt, PoolPattern::All, "spsc", kCrashPoolBytes);
+        index_ = rt.poolRoot(pools_->homePool(), kCrashStrings * 8);
+        ObjectRef idx = rt.deref(index_);
+        for (uint32_t i = 0; i < kCrashStrings; ++i) {
+            const ObjectID s =
+                rt.pmalloc(pools_->poolForNew(i), kStringBytes);
+            uint8_t buf[kStringBytes];
+            initialString(i, buf);
+            rt.writeBytes(rt.deref(s), 0, buf, kStringBytes);
+            rt.persist(s, kStringBytes);
+            rt.write<uint64_t>(idx, 8 * i, s.raw);
+        }
+        rt.persist(index_, kCrashStrings * 8);
+    }
+
+    void
+    step(PmemRuntime &rt, uint64_t) override
+    {
+        const uint32_t a = static_cast<uint32_t>(rng_.below(kCrashStrings));
+        uint32_t b = static_cast<uint32_t>(rng_.below(kCrashStrings));
+        if (b == a)
+            b = (b + 1) % kCrashStrings;
+
+        TxScope tx(rt, true);
+        ObjectRef idxr = rt.deref(index_);
+        const ObjectID sa(rt.read<uint64_t>(idxr, 8 * a));
+        const ObjectID sb(rt.read<uint64_t>(idxr, 8 * b));
+        tx.addRange(sa, kStringBytes);
+        tx.addRange(sb, kStringBytes);
+        uint8_t bufa[kStringBytes], bufb[kStringBytes];
+        ObjectRef ra = rt.deref(sa);
+        ObjectRef rb = rt.deref(sb);
+        rt.readBytes(ra, 0, bufa, kStringBytes);
+        rt.readBytes(rb, 0, bufb, kStringBytes);
+        rt.writeBytes(ra, 0, bufb, kStringBytes);
+        rt.writeBytes(rb, 0, bufa, kStringBytes);
+    }
+
+    bool
+    verifyRecovered(PmemRuntime &rt, uint64_t lo, uint64_t hi,
+                    std::string *why) override
+    {
+        // Read every slot's contents once, bounds-checking the index.
+        std::vector<std::array<uint8_t, kStringBytes>> got(kCrashStrings);
+        ObjectRef idx = rt.deref(index_);
+        for (uint32_t i = 0; i < kCrashStrings; ++i) {
+            const ObjectID s(rt.read<uint64_t>(idx, 8 * i));
+            if (!oidPlausible(rt, s, kStringBytes)) {
+                if (why)
+                    *why = "dangling index entry for slot " +
+                        std::to_string(i);
+                return false;
+            }
+            rt.readBytes(rt.deref(s), 0, got[i].data(), kStringBytes);
+        }
+        for (uint64_t c = std::min(lo, steps_);
+             c <= std::min(hi, steps_); ++c) {
+            const std::vector<uint32_t> perm = model(c);
+            bool match = true;
+            for (uint32_t i = 0; i < kCrashStrings && match; ++i) {
+                uint8_t expect[kStringBytes];
+                initialString(perm[i], expect);
+                match = std::memcmp(got[i].data(), expect,
+                                    kStringBytes) == 0;
+            }
+            if (match)
+                return true;
+        }
+        if (why) {
+            *why = "string array matches no model state in steps [" +
+                std::to_string(lo) + ", " + std::to_string(hi) + "]";
+        }
+        return false;
+    }
+
+    bool
+    reachable(PmemRuntime &rt,
+              std::map<uint32_t, std::set<uint32_t>> *out) override
+    {
+        (*out)[index_.poolId()].insert(index_.offset());
+        ObjectRef idx = rt.deref(index_);
+        for (uint32_t i = 0; i < kCrashStrings; ++i) {
+            const ObjectID s(rt.read<uint64_t>(idx, 8 * i));
+            if (!s.isNull())
+                (*out)[s.poolId()].insert(s.offset());
+        }
+        return true;
+    }
+
+  private:
+    /** Volatile replay: perm[slot] = original index after @p c swaps. */
+    std::vector<uint32_t>
+    model(uint64_t c) const
+    {
+        Rng rng(seed_);
+        std::vector<uint32_t> perm(kCrashStrings);
+        std::iota(perm.begin(), perm.end(), 0u);
+        for (uint64_t i = 0; i < c; ++i) {
+            const uint32_t a =
+                static_cast<uint32_t>(rng.below(kCrashStrings));
+            uint32_t b = static_cast<uint32_t>(rng.below(kCrashStrings));
+            if (b == a)
+                b = (b + 1) % kCrashStrings;
+            std::swap(perm[a], perm[b]);
+        }
+        return perm;
+    }
+
+    uint64_t steps_;
+    uint64_t seed_;
+    Rng rng_;
+    std::optional<PoolSet> pools_;
+    ObjectID index_;
+};
+
+} // namespace
+
+std::unique_ptr<CrashDriver>
+makeSpsCrashDriver(uint64_t steps, uint64_t seed)
+{
+    return std::make_unique<SpsCrashDriver>(steps, seed);
 }
 
 } // namespace workloads

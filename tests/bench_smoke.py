@@ -14,7 +14,13 @@ to the uncached one, populate the cache directory with .itrace files on
 the first (capturing) pass, and reuse them untouched on the second
 (replaying) pass.
 
-Usage: bench_smoke.py <fig9a_speedup_inorder> [<fig11_polb_size>]
+When a crash_explore binary is also given, runs a tiny exhaustive
+crash-point exploration (must pass and print coverage), replays a
+reproducer string, and checks the strict CLI: --help exits 0, an
+unknown flag is rejected with exit status 2.
+
+Usage: bench_smoke.py <fig9a_speedup_inorder> [<fig11_polb_size>
+       [<crash_explore>]]
 """
 
 import json
@@ -91,9 +97,38 @@ def check_trace_cache(bench):
         )
 
 
+def check_crash_explore(tool):
+    """crash_explore: tiny exploration passes; CLI parsing is strict."""
+    proc = run_bench([tool, "--workload=LL", "--steps=8", "--jobs=2"])
+    if "PASS" not in proc.stdout or "coverage:" not in proc.stdout:
+        fail("crash_explore output missing PASS/coverage:\n%s"
+             % proc.stdout)
+
+    run_bench([tool, "--repro=LL:8:1:5"])
+    run_bench([tool, "--help"])
+
+    proc = subprocess.run(
+        [tool, "--bogus-flag"], capture_output=True, text=True,
+        timeout=120
+    )
+    if proc.returncode != 2:
+        fail("unknown flag should exit 2, got %d" % proc.returncode)
+    if "unknown argument" not in proc.stderr:
+        fail("unknown flag not reported on stderr:\n%s" % proc.stderr)
+
+    proc = subprocess.run(
+        [tool, "--repro=not-a-repro"], capture_output=True, text=True,
+        timeout=120
+    )
+    if proc.returncode != 2:
+        fail("malformed --repro should exit 2, got %d" % proc.returncode)
+    print("OK: crash_explore smoke + strict CLI")
+
+
 def main():
-    if len(sys.argv) not in (2, 3):
-        fail("usage: bench_smoke.py <fig9a-binary> [<fig11-binary>]")
+    if len(sys.argv) not in (2, 3, 4):
+        fail("usage: bench_smoke.py <fig9a-binary> [<fig11-binary>"
+             " [<crash_explore-binary>]]")
     bench = sys.argv[1]
 
     with tempfile.TemporaryDirectory() as tmp:
@@ -163,8 +198,10 @@ def main():
         % (len(runs), len(summary))
     )
 
-    if len(sys.argv) == 3:
+    if len(sys.argv) >= 3:
         check_trace_cache(sys.argv[2])
+    if len(sys.argv) >= 4:
+        check_crash_explore(sys.argv[3])
 
 
 if __name__ == "__main__":

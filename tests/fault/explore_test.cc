@@ -1,0 +1,176 @@
+/** @file Unit tests for the crash-point exploration engine. */
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "common/stats.h"
+#include "fault/explore.h"
+#include "fault/injector.h"
+#include "pmem/runtime.h"
+#include "workloads/crash_support.h"
+
+namespace poat {
+namespace {
+
+using fault::ExploreOptions;
+using fault::ExploreReport;
+
+ExploreOptions
+smallRun(const std::string &workload)
+{
+    ExploreOptions o;
+    o.workload = workload;
+    o.steps = 6;
+    o.seed = 3;
+    o.jobs = 2;
+    return o;
+}
+
+std::string
+firstFailure(const ExploreReport &rep)
+{
+    if (rep.failures.empty())
+        return "";
+    return rep.failures[0].repro() + "  " + rep.failures[0].why;
+}
+
+TEST(Injector, EventCounterCountsByCause)
+{
+    fault::EventCounter counter;
+    Pool pool("p", 1, 1 << 20);
+    pool.setDurabilityHook(&counter);
+    pool.writeAs<uint64_t>(4096, 1);
+    pool.persist(4096, 8);
+    EXPECT_EQ(counter.total(), 1u);
+    EXPECT_EQ(counter.count(WriteBackCause::Clwb), 1u);
+    EXPECT_EQ(counter.count(WriteBackCause::Evict), 0u);
+    pool.setDurabilityHook(nullptr);
+}
+
+TEST(Injector, CrashAtEventFreezesDurableState)
+{
+    fault::CrashAtEvent crash(1);
+    Pool pool("p", 1, 1 << 20);
+    pool.writeAs<uint64_t>(4096, 1);
+    pool.persist(4096, 8); // durable before the hook
+    pool.setDurabilityHook(&crash);
+    pool.writeAs<uint64_t>(4160, 2);
+    pool.persist(4160, 8); // event 0: passes through
+    pool.writeAs<uint64_t>(4224, 3);
+    pool.persist(4224, 8); // event 1: frozen
+    pool.setDurabilityHook(nullptr);
+    EXPECT_TRUE(crash.fired());
+
+    // The volatile image still sees everything; after the simulated
+    // power failure only the first two stores survive.
+    EXPECT_EQ(pool.readAs<uint64_t>(4224), 3u);
+    pool.crash();
+    EXPECT_EQ(pool.readAs<uint64_t>(4096), 1u);
+    EXPECT_EQ(pool.readAs<uint64_t>(4160), 2u);
+    EXPECT_EQ(pool.readAs<uint64_t>(4224), 0u);
+}
+
+TEST(Explore, ExhaustiveLinkedListPassesAllInvariants)
+{
+    const ExploreReport rep = fault::explore(smallRun("LL"));
+    EXPECT_TRUE(rep.ok()) << firstFailure(rep);
+    EXPECT_GT(rep.total_events, 0u);
+    EXPECT_EQ(rep.trials, rep.total_events) << "exhaustive = one per event";
+    EXPECT_GT(rep.recovery_trials, 0u);
+    EXPECT_GT(rep.crashes_injected, 0u);
+    EXPECT_GT(rep.undo_entries_rolled_back, 0u);
+    EXPECT_EQ(rep.blocks_leaked, 0u);
+}
+
+TEST(Explore, ExhaustiveBtreeWithEvictionPressurePasses)
+{
+    ExploreOptions o = smallRun("BT");
+    o.evict_num = 1;
+    o.evict_den = 4;
+    const ExploreReport rep = fault::explore(o);
+    EXPECT_TRUE(rep.ok()) << firstFailure(rep);
+    // Eviction only write-backs lines still dirty between steps, and a
+    // committed transaction must leave none: every store goes through a
+    // logged range or a tx allocation, both persisted at commit. A
+    // nonzero count here means some workload store was never persisted
+    // — the eviction pass is the tripwire for forgotten persists.
+    EXPECT_EQ(rep.evict_events, 0u)
+        << "a committed transaction left dirty lines behind";
+}
+
+TEST(Explore, DeterministicAcrossRuns)
+{
+    const ExploreOptions o = smallRun("BST");
+    const ExploreReport a = fault::explore(o);
+    const ExploreReport b = fault::explore(o);
+    EXPECT_EQ(a.total_events, b.total_events);
+    EXPECT_EQ(a.trials, b.trials);
+    EXPECT_EQ(a.recovery_trials, b.recovery_trials);
+    EXPECT_EQ(a.crashes_injected, b.crashes_injected);
+    EXPECT_EQ(a.undo_entries_rolled_back, b.undo_entries_rolled_back);
+    EXPECT_EQ(a.frees_redone, b.frees_redone);
+    ASSERT_EQ(a.failures.size(), b.failures.size());
+    for (size_t i = 0; i < a.failures.size(); ++i)
+        EXPECT_EQ(a.failures[i].repro(), b.failures[i].repro());
+}
+
+TEST(Explore, SamplingBoundsTrialCount)
+{
+    ExploreOptions o = smallRun("SPS");
+    o.sample = 4;
+    o.inner_cap = 1;
+    const ExploreReport rep = fault::explore(o);
+    EXPECT_TRUE(rep.ok()) << firstFailure(rep);
+    EXPECT_EQ(rep.trials, 4u);
+    EXPECT_LE(rep.recovery_trials, 4u);
+}
+
+TEST(Explore, PublishExportsCounters)
+{
+    StatsRegistry stats;
+    fault::explore(smallRun("LL")).publish(stats);
+    EXPECT_GT(stats.counter("fault.events"), 0u);
+    EXPECT_GT(stats.counter("fault.trials"), 0u);
+    EXPECT_GT(stats.counter("fault.crashes_injected"), 0u);
+    EXPECT_EQ(stats.counter("fault.failures"), 0u);
+}
+
+TEST(Explore, ReproStringRoundTrips)
+{
+    fault::Failure f;
+    f.workload = "B+T";
+    f.steps = 50;
+    f.seed = 1;
+    f.k = 7;
+    EXPECT_EQ(f.repro(), "B+T:50:1:7");
+    f.j = 3;
+    EXPECT_EQ(f.repro(), "B+T:50:1:7:3");
+}
+
+TEST(Explore, ReplayOfHealthyTrialReportsNothing)
+{
+    EXPECT_TRUE(fault::replayRepro("LL:5:2:3").empty());
+    EXPECT_TRUE(fault::replayRepro("LL:5:2:3:0").empty());
+}
+
+TEST(Explore, MalformedReproThrows)
+{
+    EXPECT_THROW(fault::replayRepro("nope"), std::invalid_argument);
+    EXPECT_THROW(fault::replayRepro("LL:5:2"), std::invalid_argument);
+    EXPECT_THROW(fault::replayRepro("LL:x:2:3"), std::invalid_argument);
+    EXPECT_THROW(fault::replayRepro("LL:5:2:3:4:5"),
+                 std::invalid_argument);
+}
+
+TEST(Explore, UnknownWorkloadThrows)
+{
+    EXPECT_THROW(workloads::makeCrashDriver("XX", 5, 1),
+                 std::invalid_argument);
+    ExploreOptions o = smallRun("XX");
+    EXPECT_THROW(fault::explore(o), std::invalid_argument);
+    EXPECT_EQ(workloads::crashWorkloadNames().size(), 7u);
+}
+
+} // namespace
+} // namespace poat

@@ -200,5 +200,29 @@ TEST_P(AllocProperty, RandomOpsMatchShadowModel)
 INSTANTIATE_TEST_SUITE_P(Seeds, AllocProperty,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
 
+TEST(Alloc, DeferredPersistLeavesDurableHeapUntouched)
+{
+    // alloc(size, false) must not touch durable media: tx_pmalloc
+    // relies on this to order the undo record before the allocation.
+    Pool pool("p", 1, 1 << 20);
+    PoolAllocator alloc(pool);
+    const uint32_t a = alloc.alloc(64, /*persist_now=*/false);
+    ASSERT_NE(a, 0u);
+    EXPECT_TRUE(alloc.isAllocated(a)); // volatile view sees it
+
+    pool.crash();
+    alloc.rescan();
+    EXPECT_FALSE(alloc.isAllocated(a)) << "allocation leaked to media";
+    EXPECT_TRUE(alloc.validate());
+
+    // persistTouched() completes the allocation durably.
+    const uint32_t b = alloc.alloc(64, /*persist_now=*/false);
+    alloc.persistTouched();
+    pool.crash();
+    alloc.rescan();
+    EXPECT_TRUE(alloc.isAllocated(b));
+    EXPECT_TRUE(alloc.validate());
+}
+
 } // namespace
 } // namespace poat

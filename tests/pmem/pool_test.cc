@@ -196,5 +196,27 @@ TEST(Pool, CrashExposesOnlyOldOrNewValues)
     }
 }
 
+TEST(Pool, DurableViewIsZeroCopyAndMatchesImage)
+{
+    Pool p = makePool();
+    p.writeAs<uint64_t>(4096, 0xfeedfacecafebeefull);
+    p.persist(4096, 8);
+
+    const std::vector<uint8_t> &view = p.durableView();
+    EXPECT_EQ(&view, &p.durableView()) << "durableView must not copy";
+    EXPECT_EQ(p.durableImage(), view);
+
+    uint64_t v = 0;
+    std::memcpy(&v, view.data() + 4096, 8);
+    EXPECT_EQ(v, 0xfeedfacecafebeefull);
+
+    // The reference stays live and tracks later write-backs.
+    p.writeAs<uint64_t>(4096, 7);
+    p.persist(4096, 8);
+    std::memcpy(&v, view.data() + 4096, 8);
+    EXPECT_EQ(v, 7u);
+    EXPECT_EQ(p.durableImage(), view);
+}
+
 } // namespace
 } // namespace poat

@@ -1,6 +1,8 @@
 /** @file Unit and crash-matrix property tests for the undo log. */
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -156,6 +158,160 @@ TEST(Tx, RecordsExposeEntries)
     EXPECT_EQ(recs[1].target_off, b);
     EXPECT_EQ(recs[2].type, LogEntryHeader::kFree);
     f.log.commit();
+}
+
+TEST(Tx, ExhaustionThrowsDescriptiveError)
+{
+    // 1 KiB log region: one big range fits, the second cannot.
+    Pool pool("tiny", 1, 1 << 20, 1024);
+    PoolAllocator alloc(pool);
+    UndoLog log(pool, alloc);
+
+    const uint32_t off = alloc.alloc(2048);
+    log.begin();
+    log.addRange(off, 900);
+    try {
+        log.addRange(off + 1024, 900);
+        FAIL() << "second addRange should exhaust the log";
+    } catch (const std::runtime_error &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("undo log exhausted"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("'tiny'"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("log_size=1024"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("requested="), std::string::npos) << msg;
+    }
+    // The log is untouched by the failed append: abort still works.
+    log.abort();
+    EXPECT_EQ(log.entryCount(), 0u);
+}
+
+TEST(Tx, CommitPersistsTxAllocatedPayload)
+{
+    // Stores into a freshly tx-allocated object have no kData snapshot;
+    // commit must persist them through the kAlloc entry's alloc_size or
+    // a crash after commit silently loses the object's contents.
+    Fixture f;
+    f.log.begin();
+    const uint32_t off = f.alloc.alloc(64, /*persist_now=*/false);
+    f.log.logAlloc(off, 64);
+    f.alloc.persistTouched();
+    f.pool.writeAs<uint64_t>(off, 123); // note: no addRange, no persist
+    f.log.commit();
+
+    f.pool.crash();
+    f.alloc.rescan();
+    EXPECT_TRUE(f.alloc.isAllocated(off));
+    EXPECT_EQ(f.pool.readAs<uint64_t>(off), 123u);
+}
+
+TEST(Tx, RecoverTwiceIsIdempotent)
+{
+    Fixture f;
+    const uint32_t off = f.alloc.alloc(64);
+    f.pool.writeAs<uint64_t>(off, 7);
+    f.pool.persist(off, 8);
+    f.log.begin();
+    f.log.addRange(off, 8);
+    f.pool.writeAs<uint64_t>(off, 8);
+    f.pool.persist(off, 8);
+
+    f.pool.crash();
+    f.alloc.rescan();
+    f.log.markCrashed();
+    EXPECT_TRUE(f.log.recover());
+    EXPECT_EQ(f.pool.readAs<uint64_t>(off), 7u);
+
+    // A second recovery of the now-idle log must be a no-op.
+    EXPECT_FALSE(f.log.recover());
+    EXPECT_EQ(f.pool.readAs<uint64_t>(off), 7u);
+    EXPECT_EQ(f.log.entryCount(), 0u);
+    EXPECT_TRUE(f.alloc.validate());
+}
+
+/**
+ * A crashed image with a kCommitting (or kActive) log header whose
+ * trailing entries are garbage or truncated must fail recovery with a
+ * descriptive error — never walk the corrupt entries (UB).
+ */
+class TxCorruptLog : public ::testing::Test
+{
+  protected:
+    TxCorruptLog() : pool("p", 1, 1 << 20), alloc(pool), log(pool, alloc)
+    {
+        log_off = pool.header().log_off;
+    }
+
+    void writeLogHeader(uint32_t state, uint32_t entries, uint32_t used)
+    {
+        const LogHeader h{state, entries, used, 0};
+        pool.writeRaw(log_off, &h, sizeof(h));
+        pool.persist(log_off, sizeof(h));
+    }
+
+    void writeEntry(uint32_t at, const LogEntryHeader &eh)
+    {
+        pool.writeRaw(at, &eh, sizeof(eh));
+        pool.persist(at, sizeof(eh));
+    }
+
+    std::string recoverError()
+    {
+        pool.crash();
+        alloc.rescan();
+        log.markCrashed();
+        try {
+            log.recover();
+        } catch (const std::runtime_error &e) {
+            return e.what();
+        }
+        return "";
+    }
+
+    Pool pool;
+    PoolAllocator alloc;
+    UndoLog log;
+    uint32_t log_off = 0;
+};
+
+TEST_F(TxCorruptLog, CommittingWithGarbageEntryTypeFailsClearly)
+{
+    writeEntry(log_off + sizeof(LogHeader),
+               LogEntryHeader{77, 16, 4096, 0});
+    writeLogHeader(LogHeader::kCommitting, 1,
+                   sizeof(LogEntryHeader) + 16);
+    const std::string msg = recoverError();
+    EXPECT_NE(msg.find("corrupt undo log"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("unknown type"), std::string::npos) << msg;
+}
+
+TEST_F(TxCorruptLog, CommittingWithTruncatedEntryFailsClearly)
+{
+    // One entry whose claimed payload runs past the end of the log
+    // region: the walk must stop at the bounds check, not read off the
+    // end.
+    writeEntry(log_off + sizeof(LogHeader),
+               LogEntryHeader{LogEntryHeader::kData, 1u << 20, 4096, 0});
+    writeLogHeader(LogHeader::kCommitting, 1, 64);
+    const std::string msg = recoverError();
+    EXPECT_NE(msg.find("corrupt undo log"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("truncated"), std::string::npos) << msg;
+}
+
+TEST_F(TxCorruptLog, ActiveWithEntryWalkUsedMismatchFailsClearly)
+{
+    writeEntry(log_off + sizeof(LogHeader),
+               LogEntryHeader{LogEntryHeader::kFree, 0, 4096, 0});
+    writeLogHeader(LogHeader::kActive, 1, 999);
+    const std::string msg = recoverError();
+    EXPECT_NE(msg.find("corrupt undo log"), std::string::npos) << msg;
+}
+
+TEST_F(TxCorruptLog, UnknownStateMachineValueFailsClearly)
+{
+    writeLogHeader(9, 0, 0);
+    const std::string msg = recoverError();
+    EXPECT_NE(msg.find("unknown state machine value"), std::string::npos)
+        << msg;
 }
 
 /**

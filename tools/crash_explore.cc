@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Crash-point exploration driver (see src/fault/explore.h).
+ *
+ * Profiles a workload's durability events, then re-runs it crashing at
+ * every event index (or a seeded sample), recovering, and checking all
+ * recovery invariants — including crashes injected into the recovery
+ * itself. Prints coverage plus a deterministic reproducer for every
+ * failure; that reproducer replays with --repro=... within one build.
+ *
+ * Exit status: 0 all trials passed, 1 invariant violations found,
+ * 2 usage error.
+ */
+#include <cstdio>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "fault/explore.h"
+#include "workloads/crash_support.h"
+
+namespace {
+
+using poat::fault::ExploreOptions;
+
+struct Args
+{
+    std::string workload = "B+T"; ///< abbreviation or "all"
+    uint64_t steps = 50;
+    uint64_t seed = 1;
+    uint64_t sample = 0; ///< 0 = exhaustive
+    unsigned jobs = 0;
+    bool in_recovery = true;
+    uint64_t inner_cap = 0;
+    uint64_t evict_num = 0;
+    uint64_t evict_den = 8;
+    std::string repro; ///< replay one trial instead of exploring
+    bool dump_stats = false;
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: crash_explore [options]\n"
+        "  --workload=NAME   LL, BST, SPS, RBT, BT, B+T, TPCC, or\n"
+        "                    'all' (default B+T)\n"
+        "  --steps=N         transactions per trial (default 50)\n"
+        "  --seed=N          workload + sampling seed (default 1)\n"
+        "  --sample=N        crash points to try; 0 = every durability\n"
+        "                    event, exhaustively (default 0)\n"
+        "  --jobs=N          parallel trials (default: all cores)\n"
+        "  --no-in-recovery  skip crash points inside recovery\n"
+        "  --inner-cap=N     in-recovery points per outer point;\n"
+        "                    0 = all (default 0)\n"
+        "  --evict=NUM/DEN   per-line eviction probability applied to\n"
+        "                    all pools after every step (default off)\n"
+        "  --repro=R         replay one trial from a failure's\n"
+        "                    reproducer string workload:steps:seed:k[:j]\n"
+        "                    (build-local; pass the same --evict)\n"
+        "  --stats           dump fault.* counters after exploring\n"
+        "  --help            this text\n");
+}
+
+uint64_t
+parseU64(const std::string &arg, const std::string &value)
+{
+    size_t pos = 0;
+    uint64_t v = 0;
+    try {
+        v = std::stoull(value, &pos);
+    } catch (const std::exception &) {
+        pos = 0;
+    }
+    if (pos != value.size() || value.empty())
+        throw std::invalid_argument("bad value for " + arg + ": '" +
+                                    value + "'");
+    return v;
+}
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args a;
+    for (int i = 1; i < argc; ++i) {
+        const std::string s = argv[i];
+        auto value = [&](size_t prefix) { return s.substr(prefix); };
+        if (s.rfind("--workload=", 0) == 0) {
+            a.workload = value(11);
+        } else if (s.rfind("--steps=", 0) == 0) {
+            a.steps = parseU64("--steps", value(8));
+        } else if (s.rfind("--seed=", 0) == 0) {
+            a.seed = parseU64("--seed", value(7));
+        } else if (s.rfind("--sample=", 0) == 0) {
+            a.sample = parseU64("--sample", value(9));
+        } else if (s.rfind("--jobs=", 0) == 0) {
+            a.jobs = static_cast<unsigned>(parseU64("--jobs", value(7)));
+        } else if (s == "--no-in-recovery") {
+            a.in_recovery = false;
+        } else if (s.rfind("--inner-cap=", 0) == 0) {
+            a.inner_cap = parseU64("--inner-cap", value(12));
+        } else if (s.rfind("--evict=", 0) == 0) {
+            const std::string v = value(8);
+            const size_t slash = v.find('/');
+            if (slash == std::string::npos)
+                throw std::invalid_argument(
+                    "bad value for --evict: '" + v +
+                    "' (expected NUM/DEN)");
+            a.evict_num = parseU64("--evict", v.substr(0, slash));
+            a.evict_den = parseU64("--evict", v.substr(slash + 1));
+            if (a.evict_den == 0 || a.evict_num > a.evict_den)
+                throw std::invalid_argument(
+                    "bad value for --evict: '" + v +
+                    "' (need 0 <= NUM <= DEN, DEN > 0)");
+        } else if (s.rfind("--repro=", 0) == 0) {
+            a.repro = value(8);
+        } else if (s == "--stats") {
+            a.dump_stats = true;
+        } else if (s == "--help") {
+            usage();
+            std::exit(0);
+        } else {
+            throw std::invalid_argument("unknown argument: " + s);
+        }
+    }
+    return a;
+}
+
+ExploreOptions
+toOptions(const Args &a, const std::string &workload)
+{
+    ExploreOptions opts;
+    opts.workload = workload;
+    opts.steps = a.steps;
+    opts.seed = a.seed;
+    opts.sample = a.sample;
+    opts.jobs = a.jobs;
+    opts.in_recovery = a.in_recovery;
+    opts.inner_cap = a.inner_cap;
+    opts.evict_num = a.evict_num;
+    opts.evict_den = a.evict_den;
+    return opts;
+}
+
+/** Explore one workload; returns the number of failures. */
+size_t
+exploreOne(const Args &a, const std::string &workload,
+           poat::StatsRegistry &stats)
+{
+    const ExploreOptions opts = toOptions(a, workload);
+    const poat::fault::ExploreReport rep = poat::fault::explore(opts);
+    rep.publish(stats);
+
+    std::printf("%-5s steps=%llu seed=%llu events=%llu "
+                "(clwb=%llu fence=%llu evict=%llu)\n",
+                workload.c_str(),
+                static_cast<unsigned long long>(opts.steps),
+                static_cast<unsigned long long>(opts.seed),
+                static_cast<unsigned long long>(rep.total_events),
+                static_cast<unsigned long long>(rep.clwb_events),
+                static_cast<unsigned long long>(rep.fence_events),
+                static_cast<unsigned long long>(rep.evict_events));
+    std::printf("      coverage: %llu/%llu crash points%s, "
+                "%llu in-recovery trials%s\n",
+                static_cast<unsigned long long>(rep.trials),
+                static_cast<unsigned long long>(rep.total_events),
+                opts.sample == 0 ? " (exhaustive)" : " (sampled)",
+                static_cast<unsigned long long>(rep.recovery_trials),
+                opts.in_recovery ? "" : " (disabled)");
+    std::printf("      injected=%llu undo_rolled_back=%llu "
+                "frees_redone=%llu leaked=%llu\n",
+                static_cast<unsigned long long>(rep.crashes_injected),
+                static_cast<unsigned long long>(
+                    rep.undo_entries_rolled_back),
+                static_cast<unsigned long long>(rep.frees_redone),
+                static_cast<unsigned long long>(rep.blocks_leaked));
+    for (const poat::fault::Failure &f : rep.failures)
+        std::printf("      FAIL %s  %s\n", f.repro().c_str(),
+                    f.why.c_str());
+    std::printf("      %s\n", rep.ok() ? "PASS" : "FAIL");
+    return rep.failures.size();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args a;
+    try {
+        a = parseArgs(argc, argv);
+    } catch (const std::invalid_argument &e) {
+        std::fprintf(stderr, "crash_explore: %s\n", e.what());
+        usage();
+        return 2;
+    }
+
+    try {
+        if (!a.repro.empty()) {
+            const std::vector<poat::fault::Failure> fails =
+                poat::fault::replayRepro(a.repro,
+                                         toOptions(a, a.workload));
+            if (fails.empty()) {
+                std::printf("repro %s: PASS (does not reproduce)\n",
+                            a.repro.c_str());
+                return 0;
+            }
+            for (const poat::fault::Failure &f : fails)
+                std::printf("repro %s: FAIL  %s\n", f.repro().c_str(),
+                            f.why.c_str());
+            return 1;
+        }
+
+        std::vector<std::string> workloads;
+        if (a.workload == "all")
+            workloads = poat::workloads::crashWorkloadNames();
+        else
+            workloads.push_back(a.workload);
+
+        poat::StatsRegistry stats;
+        size_t failures = 0;
+        for (const std::string &w : workloads)
+            failures += exploreOne(a, w, stats);
+        if (a.dump_stats) {
+            std::printf("---- stats ----\n");
+            stats.dump(std::cout);
+        }
+        return failures == 0 ? 0 : 1;
+    } catch (const std::invalid_argument &e) {
+        // Unknown workload name or malformed reproducer.
+        std::fprintf(stderr, "crash_explore: %s\n", e.what());
+        usage();
+        return 2;
+    }
+}
