@@ -13,6 +13,8 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -22,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cpi.h"
 #include "common/logging.h"
 #include "common/trace_event.h"
 #include "driver/experiment.h"
@@ -40,6 +43,8 @@ struct BenchArgs
     bool quick = false;
     uint32_t jobs = 0;      ///< sweep threads; 0 = all cores, 1 = serial
     uint64_t seed = 42;     ///< workload RNG seed
+    std::vector<uint64_t> seeds; ///< extra seeds for error bars (incl. seed)
+    bool cpi_stack = false; ///< print per-run CPI component stacks
     std::string stats_json; ///< write a JSON report here (empty = off)
     std::string trace;      ///< write a poat-trace v1 file here
     std::string trace_cache; ///< instruction-trace cache dir (empty = off)
@@ -54,6 +59,11 @@ struct BenchArgs
                     "  --txns=N          TPC-C transaction count\n"
                     "  --no-tpcc         skip TPC-C rows\n"
                     "  --seed=N          workload RNG seed (default 42)\n"
+                    "  --seeds=A,B,...   run every config once per seed\n"
+                    "                    and report mean +/- stddev error\n"
+                    "                    bars (tables use the first seed)\n"
+                    "  --cpi-stack       print each run's CPI stack --\n"
+                    "                    cycles charged per component\n"
                     "  --jobs=N          concurrent runs (default: all\n"
                     "                    cores; 1 = serial; results are\n"
                     "                    identical at any N)\n"
@@ -63,7 +73,7 @@ struct BenchArgs
                     "                    (convert: tools/trace_convert;\n"
                     "                    forces --jobs=1)\n"
                     "  --trace-cache=DIR capture/replay instruction\n"
-                    "                    traces (poat-itrace v1): runs\n"
+                    "                    traces (poat-itrace): runs\n"
                     "                    sharing a functional config\n"
                     "                    execute the workload once and\n"
                     "                    replay it for every machine\n"
@@ -92,6 +102,28 @@ struct BenchArgs
                 a.include_tpcc = false;
             } else if (s.rfind("--seed=", 0) == 0) {
                 a.seed = std::stoull(s.substr(7));
+            } else if (s.rfind("--seeds=", 0) == 0) {
+                a.seeds.clear();
+                std::string list = s.substr(8);
+                size_t pos = 0;
+                while (pos <= list.size()) {
+                    const size_t comma = list.find(',', pos);
+                    const std::string tok = list.substr(
+                        pos, comma == std::string::npos ? comma
+                                                        : comma - pos);
+                    if (!tok.empty())
+                        a.seeds.push_back(std::stoull(tok));
+                    if (comma == std::string::npos)
+                        break;
+                    pos = comma + 1;
+                }
+                if (a.seeds.empty()) {
+                    std::fprintf(stderr, "--seeds needs a list\n");
+                    POAT_FATAL("empty --seeds list");
+                }
+                a.seed = a.seeds[0];
+            } else if (s == "--cpi-stack") {
+                a.cpi_stack = true;
             } else if (s.rfind("--jobs=", 0) == 0) {
                 a.jobs = std::stoul(s.substr(7));
             } else if (s.rfind("--stats-json=", 0) == 0) {
@@ -260,6 +292,19 @@ class JsonReport
         metrics_.emplace_back(name, value);
     }
 
+    /** Per-config multi-seed spread, emitted under "error_bars". */
+    struct ErrorBar
+    {
+        std::string label;
+        size_t samples;
+        double cycles_mean, cycles_stddev;
+        double instructions_mean, instructions_stddev;
+        double ipc_mean, ipc_stddev;
+    };
+
+    /** Record one config's multi-seed error bar (--seeds). */
+    void errorBar(ErrorBar bar) { bars_.push_back(std::move(bar)); }
+
     /** The tracer runs record into (null unless --trace was given). */
     EventTracer *tracer() { return tracer_.get(); }
 
@@ -309,7 +354,31 @@ class JsonReport
             r.stats.dumpJson(os, 6);
             os << "\n    }";
         }
-        os << "\n  ],\n  \"summary\": {";
+        os << "\n  ],\n";
+        if (!bars_.empty()) {
+            os << "  \"error_bars\": [";
+            for (size_t i = 0; i < bars_.size(); ++i) {
+                const ErrorBar &b = bars_[i];
+                os << (i ? ",\n" : "\n") << "    {\"label\": \""
+                   << jsonEscape(b.label) << "\", \"samples\": "
+                   << b.samples;
+                auto pair = [&os](const char *name, double mean,
+                                  double sd) {
+                    char m[32], s[32];
+                    std::snprintf(m, sizeof(m), "%.6g", mean);
+                    std::snprintf(s, sizeof(s), "%.6g", sd);
+                    os << ", \"" << name << "\": {\"mean\": " << m
+                       << ", \"stddev\": " << s << "}";
+                };
+                pair("cycles", b.cycles_mean, b.cycles_stddev);
+                pair("instructions", b.instructions_mean,
+                     b.instructions_stddev);
+                pair("ipc", b.ipc_mean, b.ipc_stddev);
+                os << "}";
+            }
+            os << "\n  ],\n";
+        }
+        os << "  \"summary\": {";
         for (size_t i = 0; i < metrics_.size(); ++i) {
             char v[32];
             std::snprintf(v, sizeof(v), "%.6g", metrics_[i].second);
@@ -340,9 +409,33 @@ class JsonReport
     BenchArgs args_;
     BenchRecorder recorder_;
     std::vector<std::pair<std::string, double>> metrics_;
+    std::vector<ErrorBar> bars_;
     std::unique_ptr<EventTracer> tracer_;
     bool written_ = false;
 };
+
+inline void hr(int width = 78);
+
+/** Print one run's CPI stack: cycles charged per component, with the
+ *  share of total cycles (--cpi-stack). */
+inline void
+printCpiStack(const std::string &label, const CpiStack &cpi)
+{
+    const uint64_t total = cpi.total();
+    std::printf("CPI stack: %s\n", label.c_str());
+    for (size_t i = 0; i < kCpiComponents; ++i) {
+        const auto comp = static_cast<CpiComponent>(i);
+        if (!cpi[comp])
+            continue;
+        std::printf("  %-13s %14llu  %5.1f%%\n", cpiComponentName(comp),
+                    static_cast<unsigned long long>(cpi[comp]),
+                    total ? 100.0 * static_cast<double>(cpi[comp]) /
+                            static_cast<double>(total)
+                          : 0.0);
+    }
+    std::printf("  %-13s %14llu\n", "total",
+                static_cast<unsigned long long>(total));
+}
 
 /**
  * Execute a batch of experiment configs through driver::runSweep with
@@ -376,7 +469,76 @@ runAll(const BenchArgs &args, JsonReport &report,
             std::fprintf(stderr, "\r          \r");
         std::fflush(stderr);
     };
-    return driver::runSweep(configs, so);
+    std::vector<driver::ExperimentResult> results =
+        driver::runSweep(configs, so);
+
+    if (args.cpi_stack) {
+        hr();
+        for (size_t i = 0; i < configs.size(); ++i)
+            printCpiStack(driver::configLabel(configs[i]),
+                          results[i].cpi);
+    }
+
+    if (args.seeds.size() > 1) {
+        // Re-run every config under each extra seed (the primary seed's
+        // results above stay the tables' source of truth) and report
+        // the per-config spread. Extra runs share the trace cache --
+        // the fingerprint includes the seed, so each seed gets its own
+        // cache entry -- but never the event tracer.
+        std::vector<driver::ExperimentConfig> extra;
+        for (size_t s = 1; s < args.seeds.size(); ++s)
+            for (driver::ExperimentConfig c : configs) {
+                c.seed = args.seeds[s];
+                c.tracer = nullptr;
+                extra.push_back(std::move(c));
+            }
+        const auto extra_res = driver::runSweep(extra, so);
+
+        hr();
+        std::printf("error bars over %zu seeds (mean +/- stddev):\n",
+                    args.seeds.size());
+        std::printf("  %-44s %16s %12s %10s %8s\n", "config", "cycles",
+                    "+/-", "ipc", "+/-");
+        const size_t n = configs.size();
+        for (size_t i = 0; i < n; ++i) {
+            auto stat = [&](auto get) {
+                double sum = 0, sumsq = 0;
+                const double first =
+                    static_cast<double>(get(results[i]));
+                sum += first;
+                sumsq += first * first;
+                for (size_t s = 1; s < args.seeds.size(); ++s) {
+                    const double v = static_cast<double>(
+                        get(extra_res[(s - 1) * n + i]));
+                    sum += v;
+                    sumsq += v * v;
+                }
+                const double cnt =
+                    static_cast<double>(args.seeds.size());
+                const double mean = sum / cnt;
+                const double var =
+                    std::max(0.0, sumsq / cnt - mean * mean);
+                return std::make_pair(mean, std::sqrt(var));
+            };
+            const auto cyc = stat([](const driver::ExperimentResult &r) {
+                return r.metrics.cycles;
+            });
+            const auto ins = stat([](const driver::ExperimentResult &r) {
+                return r.metrics.instructions;
+            });
+            const auto ipc = stat([](const driver::ExperimentResult &r) {
+                return r.metrics.ipc();
+            });
+            std::printf("  %-44s %16.0f %12.0f %10.3f %8.3f\n",
+                        driver::configLabel(configs[i]).c_str(),
+                        cyc.first, cyc.second, ipc.first, ipc.second);
+            report.errorBar({driver::configLabel(configs[i]),
+                             args.seeds.size(), cyc.first, cyc.second,
+                             ins.first, ins.second, ipc.first,
+                             ipc.second});
+        }
+    }
+    return results;
 }
 
 /** Baseline (BASE) experiment for a microbenchmark. */
@@ -439,7 +601,7 @@ patterns()
 }
 
 inline void
-hr(int width = 78)
+hr(int width)
 {
     for (int i = 0; i < width; ++i)
         std::putchar('-');

@@ -28,15 +28,23 @@ report(const char *label, const ExperimentResult &r)
                 static_cast<unsigned long>(r.metrics.instructions),
                 r.metrics.ipc(), 100.0 * r.metrics.polbMissRate(),
                 static_cast<unsigned long>(r.metrics.tlb_misses));
-    const auto &b = r.breakdown;
-    const double t = static_cast<double>(b.total());
+    const auto &c = r.cpi;
+    const double t = static_cast<double>(c.total());
     if (t > 0) {
-        std::printf("  cycles: alu %.0f%%  mem %.0f%%  translate "
+        // The CPI stack, folded to the headline groups of Figure 12.
+        const double mem = static_cast<double>(
+            c[CpiComponent::L1D] + c[CpiComponent::L2] +
+            c[CpiComponent::L3] + c[CpiComponent::Mem]);
+        const double xlat = static_cast<double>(
+            c[CpiComponent::SwTranslate] + c[CpiComponent::Polb] +
+            c[CpiComponent::PotWalk] + c[CpiComponent::Tlb]);
+        std::printf("  cycles: base %.0f%%  mem %.0f%%  translate "
                     "%.0f%%  flush %.0f%%  fence %.0f%%  branch "
                     "%.0f%%\n",
-                    100 * b.alu / t, 100 * b.memory / t,
-                    100 * b.translation / t, 100 * b.flush / t,
-                    100 * b.fence / t, 100 * b.branch / t);
+                    100 * c[CpiComponent::Base] / t, 100 * mem / t,
+                    100 * xlat / t, 100 * c[CpiComponent::Flush] / t,
+                    100 * c[CpiComponent::Fence] / t,
+                    100 * c[CpiComponent::Branch] / t);
     }
 }
 

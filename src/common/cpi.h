@@ -1,0 +1,115 @@
+/**
+ * @file
+ * CPI-stack cycle accounting (Sniper-style "where did the time go").
+ *
+ * Every stall/occupancy cycle a core model spends is charged to exactly
+ * one named component, so a run's components sum *exactly* to its total
+ * cycles — the invariant sim::Machine asserts on every stats sync and
+ * tests/sim/cpi_invariant_test.cc checks end to end. The taxonomy
+ * mirrors the paper's attribution story (Table 2, Figure 12): the
+ * software-translation component is the cost the POLB/POT hardware
+ * removes, and the polb/pot_walk components are what it adds back.
+ *
+ * Components:
+ *  - base:         issue/commit bandwidth of plain ALU work and the
+ *                  un-attributable occupancy of a busy pipeline
+ *  - branch:       mispredict redirect cycles
+ *  - iside:        instruction-side stalls (no I-cache is modeled yet;
+ *                  reserved so the stack's schema is stable)
+ *  - l1d/l2/l3/mem: data-access cycles, charged to the level that
+ *                  serviced the access
+ *  - tlb:          TLB-miss page-walk cycles
+ *  - sw_translate: every cycle of BASE's software ObjectID translation
+ *                  (the oid_direct instruction expansion, Table 2)
+ *  - polb:         POLB lookup latency (Pipelined AGEN path; the
+ *                  Parallel/VIPT path is free on hits by design)
+ *  - pot_walk:     hardware POT hash-walk cycles on POLB misses
+ *  - flush:        CLWB latencies
+ *  - fence:        SFENCE serialization / store-drain waits
+ */
+#ifndef POAT_COMMON_CPI_H
+#define POAT_COMMON_CPI_H
+
+#include <array>
+#include <cstdint>
+
+namespace poat {
+
+/** One named CPI-stack component. */
+enum class CpiComponent : uint8_t
+{
+    Base = 0,
+    Branch,
+    Iside,
+    L1D,
+    L2,
+    L3,
+    Mem,
+    Tlb,
+    SwTranslate,
+    Polb,
+    PotWalk,
+    Flush,
+    Fence,
+};
+
+inline constexpr size_t kCpiComponents = 13;
+
+/** Stable dump name of a component ("base", "sw_translate", ...). */
+constexpr const char *
+cpiComponentName(CpiComponent c)
+{
+    constexpr const char *names[kCpiComponents] = {
+        "base", "branch", "iside",        "l1d",  "l2",
+        "l3",   "mem",    "tlb",          "sw_translate",
+        "polb", "pot_walk", "flush",      "fence",
+    };
+    return names[static_cast<size_t>(c)];
+}
+
+/** Per-component cycle counts; components sum to the run's cycles. */
+struct CpiStack
+{
+    std::array<uint64_t, kCpiComponents> cycles{};
+
+    uint64_t &
+    operator[](CpiComponent c)
+    {
+        return cycles[static_cast<size_t>(c)];
+    }
+
+    uint64_t
+    operator[](CpiComponent c) const
+    {
+        return cycles[static_cast<size_t>(c)];
+    }
+
+    uint64_t
+    total() const
+    {
+        uint64_t t = 0;
+        for (uint64_t v : cycles)
+            t += v;
+        return t;
+    }
+
+    void
+    reset()
+    {
+        cycles.fill(0);
+    }
+
+    CpiStack &
+    operator+=(const CpiStack &o)
+    {
+        for (size_t i = 0; i < kCpiComponents; ++i)
+            cycles[i] += o.cycles[i];
+        return *this;
+    }
+
+    bool operator==(const CpiStack &) const = default;
+};
+
+} // namespace poat
+
+#endif // POAT_COMMON_CPI_H

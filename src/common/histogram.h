@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <array>
 #include <bit>
+#include <cmath>
 #include <cstdint>
 
 namespace poat {
@@ -61,6 +62,7 @@ class Histogram
         }
         ++count_;
         sum_ += v;
+        sumsq_ += v * v; // wraps for huge samples; latencies never do
         ++buckets_[bucketOf(v)];
     }
 
@@ -70,6 +72,7 @@ class Histogram
     {
         count_ = 0;
         sum_ = 0;
+        sumsq_ = 0;
         min_ = 0;
         max_ = 0;
         buckets_.fill(0);
@@ -81,11 +84,12 @@ class Histogram
      * that the fields came from a real histogram.
      */
     void
-    restore(uint64_t count, uint64_t sum, uint64_t min, uint64_t max,
-            const std::array<uint64_t, kBuckets> &buckets)
+    restore(uint64_t count, uint64_t sum, uint64_t sumsq, uint64_t min,
+            uint64_t max, const std::array<uint64_t, kBuckets> &buckets)
     {
         count_ = count;
         sum_ = sum;
+        sumsq_ = sumsq;
         min_ = min;
         max_ = max;
         buckets_ = buckets;
@@ -93,6 +97,7 @@ class Histogram
 
     uint64_t count() const { return count_; }
     uint64_t sum() const { return sum_; }
+    uint64_t sumsq() const { return sumsq_; }
     uint64_t min() const { return min_; }
     uint64_t max() const { return max_; }
     uint64_t bucketCount(uint32_t b) const { return buckets_[b]; }
@@ -103,6 +108,19 @@ class Histogram
         return count_ ? static_cast<double>(sum_) /
                 static_cast<double>(count_)
                       : 0.0;
+    }
+
+    /** Population standard deviation (exact, from the sum of squares). */
+    double
+    stddev() const
+    {
+        if (count_ == 0)
+            return 0.0;
+        const double m = mean();
+        const double var = static_cast<double>(sumsq_) /
+                static_cast<double>(count_) -
+            m * m;
+        return var > 0.0 ? std::sqrt(var) : 0.0;
     }
 
     /**
@@ -141,6 +159,7 @@ class Histogram
   private:
     uint64_t count_ = 0;
     uint64_t sum_ = 0;
+    uint64_t sumsq_ = 0;
     uint64_t min_ = 0;
     uint64_t max_ = 0;
     std::array<uint64_t, kBuckets> buckets_{};

@@ -77,6 +77,7 @@ histogramJson(const Histogram &h)
         s += ", \"min\": " + std::to_string(h.min());
         s += ", \"max\": " + std::to_string(h.max());
         s += ", \"mean\": " + fmtDouble(h.mean());
+        s += ", \"stddev\": " + fmtDouble(h.stddev());
         s += ", \"p50\": " + fmtDouble(h.percentile(50));
         s += ", \"p95\": " + fmtDouble(h.percentile(95));
         s += ", \"p99\": " + fmtDouble(h.percentile(99));
@@ -93,6 +94,20 @@ histogramJson(const Histogram &h)
                 std::to_string(h.bucketCount(b)) + "]";
         }
         s += "]";
+    }
+    s += "}";
+    return s;
+}
+
+std::string
+cpiStackJson(const CpiStack &c)
+{
+    std::string s = "{\"total\": " + std::to_string(c.total());
+    for (size_t i = 0; i < kCpiComponents; ++i) {
+        const auto comp = static_cast<CpiComponent>(i);
+        s += ", \"";
+        s += cpiComponentName(comp);
+        s += "\": " + std::to_string(c[comp]);
     }
     s += "}";
     return s;
@@ -126,6 +141,19 @@ StatsRegistry::findHistogram(const std::string &name) const
     return it == histograms_.end() ? nullptr : &it->second;
 }
 
+CpiStack &
+StatsRegistry::cpiStack(const std::string &name)
+{
+    return cpiStacks_[name];
+}
+
+const CpiStack *
+StatsRegistry::findCpiStack(const std::string &name) const
+{
+    auto it = cpiStacks_.find(name);
+    return it == cpiStacks_.end() ? nullptr : &it->second;
+}
+
 void
 StatsRegistry::formula(const std::string &name, const std::string &num,
                        const std::string &den)
@@ -148,6 +176,8 @@ StatsRegistry::resetAll()
     for (auto &kv : counters_)
         kv.second = 0;
     for (auto &kv : histograms_)
+        kv.second.reset();
+    for (auto &kv : cpiStacks_)
         kv.second.reset();
 }
 
@@ -172,9 +202,18 @@ StatsRegistry::dump(std::ostream &os) const
         os << name << ".min " << h.min() << "\n";
         os << name << ".max " << h.max() << "\n";
         os << name << ".mean " << fmtDouble(h.mean()) << "\n";
+        os << name << ".stddev " << fmtDouble(h.stddev()) << "\n";
         os << name << ".p50 " << fmtDouble(h.percentile(50)) << "\n";
         os << name << ".p95 " << fmtDouble(h.percentile(95)) << "\n";
         os << name << ".p99 " << fmtDouble(h.percentile(99)) << "\n";
+    }
+    for (const auto &[name, c] : cpiStacks_) {
+        os << name << ".total " << c.total() << "\n";
+        for (size_t i = 0; i < kCpiComponents; ++i) {
+            const auto comp = static_cast<CpiComponent>(i);
+            os << name << "." << cpiComponentName(comp) << " "
+               << c[comp] << "\n";
+        }
     }
     for (const auto &kv : formulas_)
         os << kv.first << " " << fmtDouble(eval(kv.first)) << "\n";
@@ -188,6 +227,8 @@ StatsRegistry::dumpJson(std::ostream &os, int indent) const
         insertPath(root, kv.first, std::to_string(kv.second));
     for (const auto &[name, h] : histograms_)
         insertPath(root, name, histogramJson(h));
+    for (const auto &[name, c] : cpiStacks_)
+        insertPath(root, name, cpiStackJson(c));
     for (const auto &kv : formulas_)
         insertPath(root, kv.first, fmtDouble(eval(kv.first)));
     renderNode(root, os, indent);

@@ -4,13 +4,15 @@
  *
  * Components register stats under dotted paths ("machine.polb.hits");
  * the registry dumps them flat ("name value" lines, Sniper sim.out
- * style) or as nested JSON whose object tree follows the dots. Three
+ * style) or as nested JSON whose object tree follows the dots. Four
  * stat kinds, in the spirit of gem5's stats package but deliberately
  * smaller:
  *
  *  - scalar counters (64-bit, returned by reference so hot paths pay
  *    one map lookup at registration and a plain increment after),
  *  - histograms (log2-bucketed distributions; see histogram.h),
+ *  - CPI stacks (per-component cycle accounting whose components sum
+ *    exactly to total cycles; see cpi.h),
  *  - formulas (named counter ratios, evaluated lazily at dump time so
  *    they are always consistent with the counters they summarize).
  *
@@ -25,6 +27,7 @@
 #include <ostream>
 #include <string>
 
+#include "common/cpi.h"
 #include "common/histogram.h"
 
 namespace poat {
@@ -45,6 +48,12 @@ class StatsRegistry
     /** Read-only histogram lookup; nullptr if never created. */
     const Histogram *findHistogram(const std::string &name) const;
 
+    /** Get (creating if absent) a CPI stack reference by name. */
+    CpiStack &cpiStack(const std::string &name);
+
+    /** Read-only CPI-stack lookup; nullptr if never created. */
+    const CpiStack *findCpiStack(const std::string &name) const;
+
     /**
      * Register a formula stat: @p name dumps as counter(@p num) /
      * counter(@p den), evaluated when the registry is dumped.
@@ -63,8 +72,9 @@ class StatsRegistry
 
     /**
      * Print all stats as "name value" lines: counters first (sorted by
-     * name), then histogram summaries (name.count/min/max/mean/p50/
-     * p95/p99), then formulas.
+     * name), then histogram summaries (name.count/min/max/mean/stddev/
+     * p50/p95/p99), then CPI stacks (name.total and one line per
+     * component), then formulas.
      */
     void dump(std::ostream &os) const;
 
@@ -73,7 +83,9 @@ class StatsRegistry
      * dotted paths. A name that is both a leaf and an interior node
      * ("core.cycles" next to "core.cycles.alu") keeps its leaf value
      * under the key "self". Histograms serialize as objects with
-     * count/min/max/mean/p50/p95/p99 plus their non-empty buckets.
+     * count/min/max/mean/stddev/p50/p95/p99 plus their non-empty
+     * buckets; CPI stacks as objects with "total" and every component
+     * (zeros included, so the schema is fixed).
      *
      * @param indent Number of spaces prefixed to every emitted line
      *        (for embedding in a larger document).
@@ -92,6 +104,12 @@ class StatsRegistry
         return histograms_;
     }
 
+    /** Read-only view of every CPI stack, sorted by name. */
+    const std::map<std::string, CpiStack> &cpiStacks() const
+    {
+        return cpiStacks_;
+    }
+
     /** Visit every formula as (name, numerator, denominator). */
     template <typename Fn>
     void
@@ -104,7 +122,8 @@ class StatsRegistry
     /** Number of registered stats of all kinds. */
     size_t size() const
     {
-        return counters_.size() + histograms_.size() + formulas_.size();
+        return counters_.size() + histograms_.size() +
+            cpiStacks_.size() + formulas_.size();
     }
 
   private:
@@ -116,6 +135,7 @@ class StatsRegistry
 
     std::map<std::string, uint64_t> counters_;
     std::map<std::string, Histogram> histograms_;
+    std::map<std::string, CpiStack> cpiStacks_;
     std::map<std::string, Formula> formulas_;
 };
 

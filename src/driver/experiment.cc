@@ -206,6 +206,8 @@ mergeRegistry(const StatsRegistry &from, StatsRegistry &into)
         into.counter(name) = v;
     for (const auto &[name, h] : from.histograms())
         into.histogram(name) = h;
+    for (const auto &[name, c] : from.cpiStacks())
+        into.cpiStack(name) = c;
     from.forEachFormula([&into](const std::string &name,
                                 const std::string &num,
                                 const std::string &den) {
@@ -222,7 +224,7 @@ std::string
 serializeProfile(const ExperimentResult &res, const StatsRegistry &prof)
 {
     std::ostringstream os;
-    os << "poat-profile v1\n";
+    os << "poat-profile v2\n";
     os << "R checksum " << res.workload_checksum << "\n";
     os << "R operations " << res.workload_operations << "\n";
     os << "R translate_calls " << res.translate_calls << "\n";
@@ -233,7 +235,7 @@ serializeProfile(const ExperimentResult &res, const StatsRegistry &prof)
         os << "C " << name << " " << v << "\n";
     for (const auto &[name, h] : prof.histograms()) {
         os << "H " << name << " " << h.count() << " " << h.sum() << " "
-           << h.min() << " " << h.max();
+           << h.sumsq() << " " << h.min() << " " << h.max();
         for (uint32_t b = 0; b < Histogram::kBuckets; ++b)
             if (h.bucketCount(b) != 0)
                 os << " " << b << ":" << h.bucketCount(b);
@@ -259,7 +261,7 @@ applyProfile(const std::string &blob, const std::string &path,
     };
     std::istringstream is(blob);
     std::string line;
-    if (!std::getline(is, line) || line != "poat-profile v1")
+    if (!std::getline(is, line) || line != "poat-profile v2")
         throw corrupt("missing version line");
 
     StatsRegistry prof;
@@ -291,8 +293,8 @@ applyProfile(const std::string &blob, const std::string &path,
                 throw corrupt("bad counter line");
             prof.counter(name) = v;
         } else if (kind == "H") {
-            uint64_t count, sum, lo, hi;
-            if (!(ls >> count >> sum >> lo >> hi))
+            uint64_t count, sum, sumsq, lo, hi;
+            if (!(ls >> count >> sum >> sumsq >> lo >> hi))
                 throw corrupt("bad histogram line");
             std::array<uint64_t, Histogram::kBuckets> buckets{};
             std::string pair;
@@ -308,7 +310,8 @@ applyProfile(const std::string &blob, const std::string &path,
                     throw corrupt("bad histogram bucket");
                 }
             }
-            prof.histogram(name).restore(count, sum, lo, hi, buckets);
+            prof.histogram(name).restore(count, sum, sumsq, lo, hi,
+                                         buckets);
         } else if (kind == "F") {
             std::string num, den;
             if (!(ls >> num >> den))
@@ -361,7 +364,7 @@ runExperimentLive(const ExperimentConfig &cfg)
     machine.setTracer(nullptr);
 
     res.metrics = machine.metrics();
-    res.breakdown = machine.breakdown();
+    res.cpi = machine.cpi();
 
     // The run's complete hierarchical telemetry: machine registry plus
     // the software-translation profile and the workload outcome.
@@ -405,7 +408,7 @@ runExperimentCaptured(const ExperimentConfig &cfg,
     machine.setTracer(nullptr);
 
     res.metrics = machine.metrics();
-    res.breakdown = machine.breakdown();
+    res.cpi = machine.cpi();
     res.stats = machine.stats();
     StatsRegistry prof;
     fillFunctionalProfile(rt, res, prof);
@@ -447,7 +450,7 @@ runExperimentReplayed(const ExperimentConfig &cfg,
     machine.setTracer(nullptr);
 
     res.metrics = machine.metrics();
-    res.breakdown = machine.breakdown();
+    res.cpi = machine.cpi();
     res.stats = machine.stats();
     applyProfile(rep.profile(), path, res);
     return res;

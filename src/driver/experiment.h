@@ -105,7 +105,13 @@ struct ExperimentConfig
 struct ExperimentResult
 {
     sim::MachineMetrics metrics;
-    sim::CycleBreakdown breakdown; ///< CPI stack (in-order core only)
+
+    /**
+     * The run's CPI stack: every cycle charged to a named component,
+     * components summing exactly to metrics.cycles (both core models;
+     * see common/cpi.h). Also in stats as "core.cpi".
+     */
+    CpiStack cpi;
     uint64_t workload_checksum = 0;
     uint64_t workload_operations = 0;
 

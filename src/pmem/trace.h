@@ -126,6 +126,20 @@ class TraceSink
     /** System event: pool @p pool_id was unmapped (pool_close). */
     virtual void poolUnmapped(uint32_t pool_id) { (void)pool_id; }
 
+    /**
+     * Region markers bracketing the software translator's emitted
+     * instructions (SoftwareTranslator::translate). Timing sinks use
+     * them to charge every cycle of the enclosed instructions to the
+     * sw_translate CPI component — the cost the paper's hardware
+     * removes (Table 2, Figure 12). Regions may nest; sinks that wrap
+     * another sink must forward both markers (the trace recorder
+     * persists them so replays attribute identically).
+     */
+    virtual void swTranslateBegin() {}
+
+    /** End of a software-translation region (see swTranslateBegin). */
+    virtual void swTranslateEnd() {}
+
   private:
     uint64_t fallbackTag_ = 0;
 };

@@ -84,6 +84,19 @@ SoftwareTranslator::translate(ObjectID oid, TraceSink &sink,
     if (value_tag)
         *value_tag = kNoDep;
 
+    // Bracket everything we emit so timing sinks can charge the whole
+    // expansion to the sw_translate CPI component (covers both the
+    // fast-path and slow-path returns).
+    struct SwRegion
+    {
+        TraceSink &s;
+        explicit SwRegion(TraceSink &sink) : s(sink)
+        {
+            s.swTranslateBegin();
+        }
+        ~SwRegion() { s.swTranslateEnd(); }
+    } region(sink);
+
     // Local emit helpers that also count for Table 2.
     auto alu = [&](uint32_t n, uint64_t dep = kNoDep) {
         sink.alu(n, dep);

@@ -1,0 +1,298 @@
+/** @file Implementation of the --stats-json tolerance diff. */
+#include "report/stats_diff.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace poat {
+namespace report {
+
+namespace {
+
+/** Recursive-descent parser over a complete JSON document, emitting
+ *  leaves into a FlatJson as it goes. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, FlatJson &out)
+        : begin_(text.data()), p_(text.data()),
+          end_(text.data() + text.size()), out_(out)
+    {
+    }
+
+    void
+    run()
+    {
+        ws();
+        value("");
+        ws();
+        if (p_ != end_)
+            fail("trailing content after document");
+    }
+
+  private:
+    void
+    ws()
+    {
+        while (p_ != end_ &&
+               (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r'))
+            ++p_;
+    }
+
+    [[noreturn]] void
+    fail(const std::string &what)
+    {
+        throw std::runtime_error(
+            "malformed JSON at byte " +
+            std::to_string(static_cast<size_t>(p_ - begin_)) + ": " +
+            what);
+    }
+
+    char
+    peek()
+    {
+        if (p_ == end_)
+            fail("unexpected end of input");
+        return *p_;
+    }
+
+    void
+    expect(char c)
+    {
+        if (p_ == end_ || *p_ != c)
+            fail(std::string("expected '") + c + "'");
+        ++p_;
+    }
+
+    bool
+    consume(const char *lit)
+    {
+        const char *q = p_;
+        for (const char *l = lit; *l; ++l, ++q)
+            if (q == end_ || *q != *l)
+                return false;
+        p_ = q;
+        return true;
+    }
+
+    void
+    value(const std::string &path)
+    {
+        switch (peek()) {
+        case '{':
+            object(path);
+            return;
+        case '[':
+            array(path);
+            return;
+        case '"':
+            out_.strings[path] = string();
+            return;
+        case 't':
+            if (!consume("true"))
+                fail("bad literal");
+            out_.numbers[path] = 1;
+            return;
+        case 'f':
+            if (!consume("false"))
+                fail("bad literal");
+            out_.numbers[path] = 0;
+            return;
+        case 'n':
+            if (!consume("null"))
+                fail("bad literal");
+            return; // nulls carry no value
+        default:
+            out_.numbers[path] = number();
+            return;
+        }
+    }
+
+    void
+    object(const std::string &path)
+    {
+        expect('{');
+        ws();
+        if (peek() == '}') {
+            ++p_;
+            return;
+        }
+        for (;;) {
+            ws();
+            const std::string key = string();
+            ws();
+            expect(':');
+            ws();
+            value(path.empty() ? key : path + "." + key);
+            ws();
+            if (peek() == ',') {
+                ++p_;
+                continue;
+            }
+            expect('}');
+            return;
+        }
+    }
+
+    void
+    array(const std::string &path)
+    {
+        expect('[');
+        ws();
+        if (peek() == ']') {
+            ++p_;
+            return;
+        }
+        for (size_t i = 0;; ++i) {
+            ws();
+            value(path + "[" + std::to_string(i) + "]");
+            ws();
+            if (peek() == ',') {
+                ++p_;
+                continue;
+            }
+            expect(']');
+            return;
+        }
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string s;
+        while (p_ != end_ && *p_ != '"') {
+            if (*p_ == '\\') {
+                ++p_;
+                if (p_ == end_)
+                    fail("unterminated escape");
+                switch (*p_) {
+                case '"': s += '"'; break;
+                case '\\': s += '\\'; break;
+                case '/': s += '/'; break;
+                case 'b': s += '\b'; break;
+                case 'f': s += '\f'; break;
+                case 'n': s += '\n'; break;
+                case 'r': s += '\r'; break;
+                case 't': s += '\t'; break;
+                case 'u':
+                    // Keep the raw sequence: the diff only needs
+                    // equality, not decoded code points.
+                    s += "\\u";
+                    for (int k = 0; k < 4; ++k) {
+                        if (++p_ == end_)
+                            fail("truncated \\u escape");
+                        s += *p_;
+                    }
+                    break;
+                default:
+                    fail("bad escape");
+                }
+                ++p_;
+            } else {
+                s += *p_++;
+            }
+        }
+        expect('"');
+        return s;
+    }
+
+    double
+    number()
+    {
+        char *after = nullptr;
+        const double v = std::strtod(p_, &after);
+        if (after == p_)
+            fail("expected a value");
+        p_ = after;
+        return v;
+    }
+
+    const char *begin_;
+    const char *p_;
+    const char *end_;
+    FlatJson &out_;
+};
+
+} // namespace
+
+FlatJson
+flattenJson(const std::string &text)
+{
+    FlatJson out;
+    Parser(text, out).run();
+    return out;
+}
+
+double
+relativeDeviation(double a, double b)
+{
+    if (a == b)
+        return 0;
+    const double scale = std::max(std::fabs(a), std::fabs(b));
+    return std::fabs(a - b) / scale;
+}
+
+double
+toleranceFor(const std::string &path, const DiffOptions &opt)
+{
+    double tol = opt.tolerance;
+    size_t best = 0;
+    for (const auto &[prefix, t] : opt.overrides) {
+        if (prefix.size() >= best &&
+            path.compare(0, prefix.size(), prefix) == 0) {
+            best = prefix.size();
+            tol = t;
+        }
+    }
+    return tol;
+}
+
+DiffResult
+diffStats(const FlatJson &baseline, const FlatJson &candidate,
+          const DiffOptions &opt)
+{
+    DiffResult res;
+
+    for (const auto &[path, a] : baseline.numbers) {
+        const auto it = candidate.numbers.find(path);
+        if (it == candidate.numbers.end()) {
+            res.only_baseline.push_back(path);
+            continue;
+        }
+        ++res.compared;
+        MetricDelta d;
+        d.path = path;
+        d.baseline = a;
+        d.candidate = it->second;
+        d.deviation = relativeDeviation(a, it->second);
+        d.tolerance = toleranceFor(path, opt);
+        d.regressed = d.deviation > d.tolerance;
+        if (d.regressed)
+            res.regressions.push_back(std::move(d));
+    }
+    for (const auto &[path, b] : candidate.numbers) {
+        (void)b;
+        if (!baseline.numbers.count(path))
+            res.only_candidate.push_back(path);
+    }
+
+    for (const auto &[path, a] : baseline.strings) {
+        const auto it = candidate.strings.find(path);
+        if (it == candidate.strings.end())
+            res.only_baseline.push_back(path);
+        else if (it->second != a)
+            res.mismatched_strings.push_back(path);
+    }
+    for (const auto &[path, b] : candidate.strings) {
+        (void)b;
+        if (!baseline.strings.count(path))
+            res.only_candidate.push_back(path);
+    }
+
+    return res;
+}
+
+} // namespace report
+} // namespace poat

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tolerance-band comparison of two --stats-json reports.
+ *
+ * Every bench binary can emit a machine-readable JSON report
+ * (bench/bench_util.h, documented in docs/OBSERVABILITY.md). This
+ * module flattens two such reports into metric paths
+ * ("runs[3].stats.core.cpi.pot_walk", "summary.geomean_random") and
+ * compares every numeric leaf under a symmetric relative tolerance:
+ *
+ *     deviation(a, b) = |a - b| / max(|a|, |b|)   (0 when both are 0)
+ *
+ * A metric regresses when its deviation exceeds its band — the default
+ * --tolerance, or the longest matching path-prefix override. String
+ * leaves (labels, config names) must match exactly and metrics present
+ * on only one side are structural mismatches, so diffing reports from
+ * different benches fails loudly instead of comparing nothing.
+ *
+ * tools/stats_diff wraps this as the CI perf-regression gate: exit 0
+ * when every metric is within band, 1 on any regression, 2 on bad
+ * input. The simulator is deterministic, so nightly BENCH_<date>.json
+ * snapshots diff against a golden with tolerance 0 for counters and a
+ * small band for derived rates.
+ */
+#ifndef POAT_REPORT_STATS_DIFF_H
+#define POAT_REPORT_STATS_DIFF_H
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace poat {
+namespace report {
+
+/** A JSON document flattened to its leaves: numbers (booleans as 0/1)
+ *  and strings, keyed by path. Nulls are dropped. */
+struct FlatJson
+{
+    std::map<std::string, double> numbers;
+    std::map<std::string, std::string> strings;
+};
+
+/**
+ * Flatten @p text (a complete JSON document) into leaf paths. Object
+ * members join with '.', array elements with "[i]".
+ * @throws std::runtime_error on malformed input, with byte offset.
+ */
+FlatJson flattenJson(const std::string &text);
+
+struct DiffOptions
+{
+    /** Default relative tolerance band for every numeric metric. */
+    double tolerance = 0.05;
+    /** Path-prefix overrides; the longest matching prefix wins.
+     *  ("runs", 0.0) pins every per-run counter exactly while the
+     *  default band still covers derived summary rates. */
+    std::vector<std::pair<std::string, double>> overrides;
+    /** Tolerate metrics present on only one side (default: fail). */
+    bool ignore_missing = false;
+};
+
+/** One compared numeric metric. */
+struct MetricDelta
+{
+    std::string path;
+    double baseline = 0;
+    double candidate = 0;
+    double deviation = 0; ///< symmetric relative deviation
+    double tolerance = 0; ///< band this metric was held to
+    bool regressed = false;
+};
+
+struct DiffResult
+{
+    std::vector<MetricDelta> regressions; ///< metrics out of band
+    std::vector<std::string> mismatched_strings;
+    std::vector<std::string> only_baseline;  ///< paths missing from candidate
+    std::vector<std::string> only_candidate; ///< paths missing from baseline
+    size_t compared = 0; ///< numeric metrics present on both sides
+
+    bool
+    ok(bool ignore_missing = false) const
+    {
+        return regressions.empty() && mismatched_strings.empty() &&
+            (ignore_missing ||
+             (only_baseline.empty() && only_candidate.empty()));
+    }
+};
+
+/** Symmetric relative deviation between two values. */
+double relativeDeviation(double a, double b);
+
+/** The band @p path is held to under @p opt. */
+double toleranceFor(const std::string &path, const DiffOptions &opt);
+
+/** Compare two flattened reports. */
+DiffResult diffStats(const FlatJson &baseline, const FlatJson &candidate,
+                     const DiffOptions &opt = {});
+
+} // namespace report
+} // namespace poat
+
+#endif // POAT_REPORT_STATS_DIFF_H

@@ -105,19 +105,19 @@ CacheHierarchy::CacheHierarchy(const MachineConfig &cfg)
 {
 }
 
-uint32_t
-CacheHierarchy::access(uint64_t paddr, bool is_write)
+CacheHierarchy::AccessResult
+CacheHierarchy::accessClassified(uint64_t paddr, bool is_write)
 {
     // Lower levels are filled (and LRU-touched) only when the upper
     // level misses, mimicking a mostly-inclusive hierarchy.
     if (l1_.access(paddr, is_write))
-        return l1_.latency();
+        return {l1_.latency(), Level::L1};
     if (l2_.access(paddr, false))
-        return l2_.latency();
+        return {l2_.latency(), Level::L2};
     if (l3_.access(paddr, false))
-        return l3_.latency();
+        return {l3_.latency(), Level::L3};
     ++memAccesses_;
-    return memLatency_;
+    return {memLatency_, Level::Memory};
 }
 
 void

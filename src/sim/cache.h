@@ -91,14 +91,31 @@ class Cache
 class CacheHierarchy
 {
   public:
+    /** The level that ultimately serviced an access. */
+    enum class Level : uint8_t { L1, L2, L3, Memory };
+
+    /** Latency of one access plus who serviced it (CPI attribution). */
+    struct AccessResult
+    {
+        uint32_t latency;
+        Level level;
+    };
+
     explicit CacheHierarchy(const MachineConfig &cfg);
 
     /**
      * Perform a data access.
-     * @return total latency in cycles: the hit latency of the first
-     *         level that hits, or memory latency on a full miss.
+     * @return the hit latency of the first level that hits (or memory
+     *         latency on a full miss), tagged with that level.
      */
-    uint32_t access(uint64_t paddr, bool is_write);
+    AccessResult accessClassified(uint64_t paddr, bool is_write);
+
+    /** accessClassified() for callers that only need the latency. */
+    uint32_t
+    access(uint64_t paddr, bool is_write)
+    {
+        return accessClassified(paddr, is_write).latency;
+    }
 
     /** CLWB the line in every level (clean, keep resident). */
     void flushLine(uint64_t paddr);

@@ -4,14 +4,17 @@
  *
  * The Machine (the TraceSink) resolves all address translation and
  * memory-system latencies, then presents each dynamic instruction to a
- * CoreModel in terms of two latency components:
+ * CoreModel as an AccessCosts record: the translation work that happens
+ * *before* the cache access can start (POLB lookup, POT walk, TLB-miss
+ * walk — the in-order pipeline stalls for these; the out-of-order core
+ * adds them to the instruction's address-generation latency, paper
+ * section 4.4), plus the end-to-end cache/memory access latency with
+ * the level that serviced it.
  *
- *  - @p pre_stall: cycles spent *before* the cache access can start
- *    (POLB lookup, POT walk, TLB-miss walk). The in-order pipeline
- *    stalls for these; the out-of-order core adds them to the
- *    instruction's address-generation latency (paper section 4.4: the
- *    POLB sits in AGEN, and the AGU stalls for a POT walk).
- *  - @p mem_latency: end-to-end latency of the cache/memory access.
+ * Keeping the components separate (instead of one pre_stall scalar) is
+ * what lets both cores maintain an exact CPI stack: every cycle of a
+ * run is charged to one named CpiComponent, and the components sum to
+ * cycles() — sim::Machine asserts this on every stats sync.
  *
  * Load-like operations return monotonically increasing value tags;
  * later operations name their producers by tag (see pmem/trace.h).
@@ -21,28 +24,29 @@
 
 #include <cstdint>
 
+#include "common/cpi.h"
+
 namespace poat {
 namespace sim {
 
 /**
- * Where the cycles went: a CPI-stack-style breakdown maintained by the
- * in-order core (the out-of-order core overlaps components, so only
- * the total is meaningful there and the breakdown stays zero).
+ * Latency components of one memory operation, as resolved by the
+ * Machine. polb/pot/tlb happen before the access starts; mem is the
+ * access itself, attributed to the servicing level via mem_comp.
  */
-struct CycleBreakdown
+struct AccessCosts
 {
-    uint64_t alu = 0;        ///< issue cycles of ALU ops and branches
-    uint64_t branch = 0;     ///< mispredict flush cycles
-    uint64_t memory = 0;     ///< cache/memory access cycles
-    uint64_t translation = 0; ///< POLB/POT/TLB walk stalls (pre-stall)
-    uint64_t flush = 0;      ///< CLWB latencies
-    uint64_t fence = 0;      ///< store-buffer drain waits
+    uint32_t polb = 0; ///< POLB lookup latency (AGEN path)
+    uint32_t pot = 0;  ///< POT hash-walk cycles on a POLB miss
+    uint32_t tlb = 0;  ///< TLB-miss page-walk cycles
+    uint32_t mem = 0;  ///< cache/memory access latency
+    CpiComponent mem_comp = CpiComponent::L1D; ///< who serviced mem
 
-    uint64_t
-    total() const
-    {
-        return alu + branch + memory + translation + flush + fence;
-    }
+    /** Cycles before the cache access can start. */
+    uint32_t preStall() const { return polb + pot + tlb; }
+
+    /** End-to-end latency of the operation. */
+    uint32_t total() const { return preStall() + mem; }
 };
 
 /** Abstract pipeline timing model. */
@@ -57,19 +61,19 @@ class CoreModel
     /** A conditional branch; @p mispredict charges the redirect. */
     virtual void branch(bool mispredict, uint64_t dep) = 0;
 
-    /**
-     * A load: @p pre_stall cycles of translation work, then a
-     * @p mem_latency -cycle access. @return the value tag.
-     */
-    virtual uint64_t load(uint32_t pre_stall, uint32_t mem_latency,
-                          uint64_t dep, uint64_t dep2) = 0;
+    /** A load with the given latency components. @return value tag. */
+    virtual uint64_t load(const AccessCosts &costs, uint64_t dep,
+                          uint64_t dep2) = 0;
 
     /** A store (retires through a store buffer / the SQ). */
-    virtual void store(uint32_t pre_stall, uint32_t mem_latency,
-                       uint64_t dep) = 0;
+    virtual void store(const AccessCosts &costs, uint64_t dep) = 0;
 
-    /** A CLWB with fixed @p latency (paper: 100 cycles). */
-    virtual void clwb(uint32_t latency) = 0;
+    /**
+     * A CLWB: @p costs carries the translation work (mem is unused),
+     * @p flush_latency the fixed flush cost (paper: 100 cycles).
+     */
+    virtual void clwb(const AccessCosts &costs,
+                      uint32_t flush_latency) = 0;
 
     /** SFENCE: later work waits for outstanding stores/flushes. */
     virtual void fence() = 0;
@@ -80,8 +84,34 @@ class CoreModel
     /** Dynamic uops processed. */
     virtual uint64_t uopCount() const = 0;
 
-    /** CPI-stack breakdown; all-zero for models that overlap work. */
-    virtual CycleBreakdown breakdown() const { return {}; }
+    /**
+     * The core's CPI stack. Invariant: cpi().total() == cycles() at
+     * every instruction boundary, for every model.
+     */
+    const CpiStack &cpi() const { return cpi_; }
+
+    /**
+     * Enter/leave a software-translation region (the Machine forwards
+     * TraceSink::swTranslateBegin/End here). While active, every cycle
+     * the core would charge anywhere is charged to sw_translate: the
+     * translator's loads, branches, and stalls are all overhead the
+     * paper's hardware removes (Table 2, Figure 12).
+     */
+    void setSwTranslate(bool active) { swRegion_ = active; }
+
+  protected:
+    /** Component @p c, redirected to SwTranslate inside a region. */
+    CpiComponent
+    chargeComp(CpiComponent c) const
+    {
+        return swRegion_ ? CpiComponent::SwTranslate : c;
+    }
+
+    /** Charge @p n cycles to component @p c (region-redirected). */
+    void charge(CpiComponent c, uint64_t n) { cpi_[chargeComp(c)] += n; }
+
+    CpiStack cpi_;
+    bool swRegion_ = false;
 };
 
 } // namespace sim

@@ -14,6 +14,10 @@
  *    memory access time; a full buffer stalls;
  *  - mispredicted branches flush (8-cycle penalty);
  *  - CLWB costs its fixed latency; SFENCE drains the store buffer.
+ *
+ * CPI accounting is trivially exact here: the pipeline is blocking, so
+ * every `cycle_ +=` below is paired with a charge() of the same amount
+ * to the component that caused it.
  */
 #ifndef POAT_SIM_CORE_INORDER_H
 #define POAT_SIM_CORE_INORDER_H
@@ -41,7 +45,7 @@ class InOrderCore : public CoreModel
     alu(uint32_t count, uint64_t) override
     {
         cycle_ += count;
-        breakdown_.alu += count;
+        charge(CpiComponent::Base, count);
         uops_ += count;
     }
 
@@ -49,45 +53,45 @@ class InOrderCore : public CoreModel
     branch(bool mispredict, uint64_t) override
     {
         cycle_ += 1 + (mispredict ? mispredictPenalty_ : 0);
-        breakdown_.alu += 1;
+        charge(CpiComponent::Base, 1);
         if (mispredict)
-            breakdown_.branch += mispredictPenalty_;
+            charge(CpiComponent::Branch, mispredictPenalty_);
         ++uops_;
     }
 
     uint64_t
-    load(uint32_t pre_stall, uint32_t mem_latency, uint64_t,
-         uint64_t) override
+    load(const AccessCosts &costs, uint64_t, uint64_t) override
     {
-        cycle_ += pre_stall + mem_latency;
-        breakdown_.translation += pre_stall;
-        breakdown_.memory += mem_latency;
+        cycle_ += costs.total();
+        chargePre(costs);
+        charge(costs.mem_comp, costs.mem);
         ++uops_;
         return ++tag_;
     }
 
     void
-    store(uint32_t pre_stall, uint32_t mem_latency, uint64_t) override
+    store(const AccessCosts &costs, uint64_t) override
     {
-        cycle_ += 1 + pre_stall;
-        breakdown_.memory += 1;
-        breakdown_.translation += pre_stall;
+        cycle_ += 1 + costs.preStall();
+        charge(CpiComponent::Base, 1);
+        chargePre(costs);
         ++uops_;
         // Claim the store-buffer slot that frees the earliest; if it is
         // still draining, stall until it is free.
         auto slot = std::min_element(storeBuf_.begin(), storeBuf_.end());
         if (*slot > cycle_) {
-            breakdown_.memory += *slot - cycle_;
+            charge(CpiComponent::Mem, *slot - cycle_);
             cycle_ = *slot;
         }
-        *slot = cycle_ + mem_latency;
+        *slot = cycle_ + costs.mem;
     }
 
     void
-    clwb(uint32_t latency) override
+    clwb(const AccessCosts &costs, uint32_t flush_latency) override
     {
-        cycle_ += latency;
-        breakdown_.flush += latency;
+        cycle_ += costs.preStall() + flush_latency;
+        chargePre(costs);
+        charge(CpiComponent::Flush, flush_latency);
         ++uops_;
     }
 
@@ -96,23 +100,30 @@ class InOrderCore : public CoreModel
     {
         for (uint64_t &slot : storeBuf_) {
             if (slot > cycle_) {
-                breakdown_.fence += slot - cycle_;
+                charge(CpiComponent::Fence, slot - cycle_);
                 cycle_ = slot;
             }
         }
         ++cycle_;
-        breakdown_.fence += 1;
+        charge(CpiComponent::Fence, 1);
         ++uops_;
     }
 
     uint64_t cycles() const override { return cycle_; }
     uint64_t uopCount() const override { return uops_; }
-    CycleBreakdown breakdown() const override { return breakdown_; }
 
   private:
+    /** Charge the pre-access translation components of @p costs. */
+    void
+    chargePre(const AccessCosts &costs)
+    {
+        charge(CpiComponent::Polb, costs.polb);
+        charge(CpiComponent::PotWalk, costs.pot);
+        charge(CpiComponent::Tlb, costs.tlb);
+    }
+
     uint32_t mispredictPenalty_;
     std::vector<uint64_t> storeBuf_; ///< per-slot drain-complete time
-    CycleBreakdown breakdown_;
     uint64_t cycle_ = 0;
     uint64_t uops_ = 0;
     uint64_t tag_ = 0;

@@ -13,9 +13,21 @@
  * rests on (OoO hides part of the software-translation cost, shrinking
  * but not eliminating OPT's advantage).
  *
- * nvld/nvst translation latency arrives here as part of the load's
- * @p pre_stall: the POLB sits in the AGEN stage, so its latency (and
+ * nvld/nvst translation latency arrives as the pre-access segments of
+ * AccessCosts: the POLB sits in the AGEN stage, so its latency (and
  * any POT walk) extends the time until the access can start.
+ *
+ * CPI accounting uses commit-gap attribution. Commit times are
+ * monotonically non-decreasing, so the gaps commit − prev_commit sum
+ * exactly to cycles(); each gap is attributed by walking the committing
+ * uop's own timeline backwards — commit-wait, then its execution
+ * segments (each tagged with the component that produced the latency),
+ * then the wait for its slowest producer (charged to that producer's
+ * dominant component), and any remainder to whatever held dispatch
+ * back (ROB/LQ/SQ pressure, a fence serialization, a mispredict
+ * redirect, or plain issue bandwidth). Overlapped work is thus charged
+ * to the component actually exposed on the commit-critical path,
+ * Sniper-style, and the stack still sums exactly to total cycles.
  */
 #ifndef POAT_SIM_CORE_OOO_H
 #define POAT_SIM_CORE_OOO_H
@@ -45,43 +57,54 @@ class OooCore : public CoreModel
     void
     alu(uint32_t count, uint64_t dep) override
     {
+        const Seg seg{CpiComponent::Base, 1};
         for (uint32_t i = 0; i < count; ++i)
-            processUop(1, i == 0 ? dep : kNone, kNone, Slot::None);
+            processUop(&seg, 1, i == 0 ? dep : kNone, kNone, Slot::None,
+                       CpiComponent::Base);
     }
 
     void
     branch(bool mispredict, uint64_t dep) override
     {
-        const uint64_t complete = processUop(1, dep, kNone, Slot::None);
-        if (mispredict) {
-            fetchAvail_ =
-                std::max(fetchAvail_, complete + mispredictPenalty_);
-        }
+        const Seg seg{CpiComponent::Base, 1};
+        const uint64_t complete =
+            processUop(&seg, 1, dep, kNone, Slot::None,
+                       CpiComponent::Base);
+        if (mispredict)
+            raiseFetchAvail(complete + mispredictPenalty_,
+                            CpiComponent::Branch);
     }
 
     uint64_t
-    load(uint32_t pre_stall, uint32_t mem_latency, uint64_t dep,
-         uint64_t dep2) override
+    load(const AccessCosts &costs, uint64_t dep, uint64_t dep2) override
     {
-        processUop(pre_stall + mem_latency, dep, dep2, Slot::Load);
+        Seg segs[4];
+        const uint32_t n = preSegs(costs, segs);
+        processUop(segs, n, dep, dep2, Slot::Load, CpiComponent::Mem);
         return seq_;
     }
 
     void
-    store(uint32_t pre_stall, uint32_t mem_latency, uint64_t dep) override
+    store(const AccessCosts &costs, uint64_t dep) override
     {
         // The store completes once its address (incl. translation) is
         // generated; the data drains to memory after commit, which the
         // SQ-occupancy constraint models. The cache access latency
         // itself is off the critical path.
-        (void)mem_latency;
-        processUop(1 + pre_stall, dep, kNone, Slot::Store);
+        Seg segs[4];
+        uint32_t n = preSegs(costs, segs) - 1; // drop the mem segment
+        segs[n++] = {CpiComponent::Base, 1};
+        processUop(segs, n, dep, kNone, Slot::Store, CpiComponent::Mem);
     }
 
     void
-    clwb(uint32_t latency) override
+    clwb(const AccessCosts &costs, uint32_t flush_latency) override
     {
-        processUop(latency, kNone, kNone, Slot::Store);
+        Seg segs[4];
+        uint32_t n = preSegs(costs, segs) - 1; // drop the mem segment
+        segs[n++] = {CpiComponent::Flush, flush_latency};
+        processUop(segs, n, kNone, kNone, Slot::Store,
+                   CpiComponent::Flush);
     }
 
     void
@@ -90,8 +113,11 @@ class OooCore : public CoreModel
         // SFENCE: dispatches only after every prior uop completed, and
         // later uops wait for it.
         serializePoint_ = maxComplete_;
-        const uint64_t complete = processUop(1, kNone, kNone, Slot::None);
-        fetchAvail_ = std::max(fetchAvail_, complete);
+        const Seg seg{CpiComponent::Fence, 1};
+        const uint64_t complete = processUop(&seg, 1, kNone, kNone,
+                                             Slot::None,
+                                             CpiComponent::Fence);
+        raiseFetchAvail(complete, CpiComponent::Fence);
         serializePoint_ = 0;
     }
 
@@ -104,11 +130,38 @@ class OooCore : public CoreModel
 
     enum class Slot : uint8_t { None, Load, Store };
 
+    /** One execution-latency segment and who it belongs to. */
+    struct Seg
+    {
+        CpiComponent comp;
+        uint32_t cycles;
+    };
+
     struct Completion
     {
         uint64_t tag = 0;
         uint64_t cycle = 0;
+        CpiComponent comp = CpiComponent::Base; ///< dominant cost
     };
+
+    /**
+     * Time-ordered pre-access + access segments of @p costs, written
+     * to @p out (skipping zero-length ones). @return segment count
+     * (>= 1: the mem segment is always emitted so callers can pop it).
+     */
+    static uint32_t
+    preSegs(const AccessCosts &costs, Seg out[4])
+    {
+        uint32_t n = 0;
+        if (costs.polb)
+            out[n++] = {CpiComponent::Polb, costs.polb};
+        if (costs.pot)
+            out[n++] = {CpiComponent::PotWalk, costs.pot};
+        if (costs.tlb)
+            out[n++] = {CpiComponent::Tlb, costs.tlb};
+        out[n++] = {costs.mem_comp, costs.mem};
+        return n;
+    }
 
     /** Completion time of producer @p tag; 0 if long since done. */
     uint64_t
@@ -118,6 +171,26 @@ class OooCore : public CoreModel
             return 0;
         const Completion &c = completions_[tag % kWindow];
         return c.tag == tag ? c.cycle : 0;
+    }
+
+    /** Dominant CPI component of producer @p tag (Base if retired). */
+    CpiComponent
+    depComp(uint64_t tag) const
+    {
+        if (tag == kNone || tag + kWindow <= seq_)
+            return CpiComponent::Base;
+        const Completion &c = completions_[tag % kWindow];
+        return c.tag == tag ? c.comp : CpiComponent::Base;
+    }
+
+    /** Raise the fetch redirect point and remember who caused it. */
+    void
+    raiseFetchAvail(uint64_t t, CpiComponent comp)
+    {
+        if (t > fetchAvail_) {
+            fetchAvail_ = t;
+            fetchAvailComp_ = chargeComp(comp);
+        }
     }
 
     uint64_t
@@ -150,37 +223,93 @@ class OooCore : public CoreModel
         return c;
     }
 
-    /** Run one uop through dispatch/ready/complete/commit. */
+    /**
+     * Run one uop through dispatch/ready/complete/commit and attribute
+     * the commit-time advance. @p segs (time-ordered, @p nsegs of
+     * them) make up the execution latency; @p stall_comp is charged
+     * when a structural resource (ROB/LQ/SQ) delays dispatch.
+     */
     uint64_t
-    processUop(uint32_t exec_latency, uint64_t dep, uint64_t dep2,
-               Slot slot)
+    processUop(const Seg *segs, uint32_t nsegs, uint64_t dep,
+               uint64_t dep2, Slot slot, CpiComponent stall_comp)
     {
         ++seq_;
+
+        const CpiComponent issue_comp = chargeComp(CpiComponent::Base);
+        CpiComponent pre_comp = issue_comp; ///< why dispatch waited
+        uint64_t pre_t = dispCycle_;
+        auto consider = [&](uint64_t t, CpiComponent c) {
+            if (t > pre_t) {
+                pre_t = t;
+                pre_comp = c;
+            }
+        };
 
         // Structural constraints: a ROB entry frees when the uop
         // robSize_ back commits; LQ/SQ likewise.
         uint64_t earliest = commitRing_[seq_ % robSize_];
+        consider(earliest, chargeComp(stall_comp));
         if (slot == Slot::Load) {
-            earliest = std::max(earliest, loadRing_[nLoads_ % lqSize_]);
+            const uint64_t t = loadRing_[nLoads_ % lqSize_];
+            earliest = std::max(earliest, t);
+            consider(t, chargeComp(stall_comp));
         } else if (slot == Slot::Store) {
-            earliest = std::max(earliest, storeRing_[nStores_ % sqSize_]);
+            const uint64_t t = storeRing_[nStores_ % sqSize_];
+            earliest = std::max(earliest, t);
+            consider(t, chargeComp(stall_comp));
         }
         earliest = std::max(earliest, serializePoint_);
+        consider(serializePoint_, CpiComponent::Fence);
+        consider(fetchAvail_, fetchAvailComp_);
+
+        uint32_t exec_latency = 0;
+        for (uint32_t i = 0; i < nsegs; ++i)
+            exec_latency += segs[i].cycles;
 
         const uint64_t dispatch = dispatchAt(earliest);
-        const uint64_t ready = std::max(
-            {dispatch, depComplete(dep), depComplete(dep2)});
+        const uint64_t c1 = depComplete(dep);
+        const uint64_t c2 = depComplete(dep2);
+        const uint64_t ready = std::max({dispatch, c1, c2});
         const uint64_t complete = ready + exec_latency;
         maxComplete_ = std::max(maxComplete_, complete);
 
         const uint64_t commit = commitAt(complete);
+
+        // ---- CPI attribution: the commit-time advance is this uop's
+        // exposed cost; walk its timeline backwards to name it.
+        uint64_t remaining = commit > lastCommit_ ? commit - lastCommit_
+                                                  : 0;
+        auto take = [&](uint64_t span, CpiComponent c) {
+            if (remaining == 0 || span == 0)
+                return;
+            const uint64_t t = std::min(span, remaining);
+            cpi_[c] += t;
+            remaining -= t;
+        };
+        take(commit - complete, issue_comp);
+        CpiComponent dominant = issue_comp;
+        uint32_t dominant_cycles = 0;
+        for (uint32_t i = nsegs; i-- > 0;) {
+            const CpiComponent c = chargeComp(segs[i].comp);
+            take(segs[i].cycles, c);
+            if (segs[i].cycles >= dominant_cycles) {
+                dominant_cycles = segs[i].cycles;
+                dominant = c;
+            }
+        }
+        if (ready > dispatch)
+            take(ready - dispatch, c1 >= c2 ? depComp(dep)
+                                            : depComp(dep2));
+        if (remaining)
+            cpi_[pre_comp] += remaining;
+
         lastCommit_ = std::max(lastCommit_, commit);
         commitRing_[seq_ % robSize_] = commit;
         if (slot == Slot::Load)
             loadRing_[nLoads_++ % lqSize_] = commit;
         else if (slot == Slot::Store)
             storeRing_[nStores_++ % sqSize_] = commit;
-        completions_[seq_ % kWindow] = {seq_, complete};
+        completions_[seq_ % kWindow] = {seq_, complete, dominant};
         return complete;
     }
 
@@ -199,6 +328,7 @@ class OooCore : public CoreModel
     uint64_t nLoads_ = 0;
     uint64_t nStores_ = 0;
     uint64_t fetchAvail_ = 0;
+    CpiComponent fetchAvailComp_ = CpiComponent::Base;
     uint64_t dispCycle_ = 0;
     uint32_t dispSlots_ = 0;
     uint64_t commitCycle_ = 0;

@@ -8,6 +8,27 @@
 namespace poat {
 namespace sim {
 
+namespace {
+
+/** CPI component of the cache level that serviced an access. */
+CpiComponent
+levelComp(CacheHierarchy::Level level)
+{
+    switch (level) {
+      case CacheHierarchy::Level::L1:
+        return CpiComponent::L1D;
+      case CacheHierarchy::Level::L2:
+        return CpiComponent::L2;
+      case CacheHierarchy::Level::L3:
+        return CpiComponent::L3;
+      case CacheHierarchy::Level::Memory:
+        break;
+    }
+    return CpiComponent::Mem;
+}
+
+} // namespace
+
 Machine::Machine(const MachineConfig &cfg)
     : cfg_(cfg), caches_(cfg), tlb_(cfg.dtlb_entries),
       polb_(cfg.polb_entries, cfg.polb_assoc, cfg.polb_replacement),
@@ -63,10 +84,13 @@ Machine::load(uint64_t vaddr, uint64_t dep, uint64_t dep2)
 {
     ++instructions_;
     ++loads_;
-    const uint32_t pre = tlbPenalty(vaddr);
+    AccessCosts costs;
+    costs.tlb = tlbPenalty(vaddr);
     const uint64_t pa = pageTable_.translate(vaddr);
-    const uint32_t lat = caches_.access(pa, false);
-    return core_->load(pre, lat, dep, dep2);
+    const auto acc = caches_.accessClassified(pa, false);
+    costs.mem = acc.latency;
+    costs.mem_comp = levelComp(acc.level);
+    return core_->load(costs, dep, dep2);
 }
 
 void
@@ -74,10 +98,13 @@ Machine::store(uint64_t vaddr, uint64_t dep)
 {
     ++instructions_;
     ++stores_;
-    const uint32_t pre = tlbPenalty(vaddr);
+    AccessCosts costs;
+    costs.tlb = tlbPenalty(vaddr);
     const uint64_t pa = pageTable_.translate(vaddr);
-    const uint32_t lat = caches_.access(pa, true);
-    core_->store(pre, lat, dep);
+    const auto acc = caches_.accessClassified(pa, true);
+    costs.mem = acc.latency;
+    costs.mem_comp = levelComp(acc.level);
+    core_->store(costs, dep);
 }
 
 uint32_t
@@ -106,44 +133,41 @@ Machine::NvXlat
 Machine::translateNv(ObjectID oid)
 {
     const bool ideal = cfg_.ideal_translation;
-    NvXlat x{0, 0};
+    NvXlat x;
 
     if (cfg_.polb_design == PolbDesign::Pipelined) {
         // POLB lookup happens in AGEN, before the TLB/L1 access. The
         // in-order pipeline sees only the residual bubble of this
         // extra (pipelined) stage; the OoO core adds the full latency
         // to address generation.
-        x.pre_stall = ideal ? 0
-                      : cfg_.core == CoreType::InOrder
-                          ? cfg_.polb_inorder_hit_charge
-                          : cfg_.polb_latency;
+        x.polb = ideal ? 0
+                 : cfg_.core == CoreType::InOrder
+                     ? cfg_.polb_inorder_hit_charge
+                     : cfg_.polb_latency;
         uint64_t base;
         if (auto hit = polb_.lookup(oid.poolId())) {
             base = *hit;
             POAT_TRACE(tracer_, core_->cycles(), TraceComponent::Polb,
-                       TraceOutcome::Hit, oid.raw, x.pre_stall);
+                       TraceOutcome::Hit, oid.raw, x.polb);
         } else {
             const PotWalk w = pot_.walk(oid.poolId());
             if (!w.found)
                 POAT_PANIC("POT miss: nv access to an unmapped pool");
-            const uint32_t walk_cycles =
-                ideal ? 0 : potWalkCharge(w, /*parallel=*/false);
-            x.pre_stall += walk_cycles;
+            x.pot = ideal ? 0 : potWalkCharge(w, /*parallel=*/false);
             hPotProbes_->record(w.probes);
-            hPotLat_->record(walk_cycles);
+            hPotLat_->record(x.pot);
             POAT_TRACE(tracer_, core_->cycles(), TraceComponent::Pot,
-                       TraceOutcome::Walk, oid.raw, walk_cycles);
+                       TraceOutcome::Walk, oid.raw, x.pot);
             base = w.base;
             polb_.insert(oid.poolId(), base);
         }
-        hXlatLat_->record(x.pre_stall);
+        hXlatLat_->record(x.polb + x.pot);
         const uint64_t vaddr = base + oid.offset();
-        const uint32_t tlb_pen = tlbPenalty(vaddr);
-        if (tlb_pen != 0) {
+        x.tlb = tlbPenalty(vaddr);
+        if (x.tlb != 0) {
             POAT_TRACE(tracer_, core_->cycles(), TraceComponent::Tlb,
-                       TraceOutcome::Miss, oid.raw, tlb_pen);
+                       TraceOutcome::Miss, oid.raw, x.tlb);
         }
-        x.pre_stall += tlb_pen;
         x.paddr = pageTable_.translate(vaddr);
         return x;
     }
@@ -163,12 +187,12 @@ Machine::translateNv(ObjectID oid)
     if (!w.found)
         POAT_PANIC("POT miss: nv access to an unmapped pool");
     if (!ideal)
-        x.pre_stall = potWalkCharge(w, /*parallel=*/true);
+        x.pot = potWalkCharge(w, /*parallel=*/true);
     hPotProbes_->record(w.probes);
-    hPotLat_->record(x.pre_stall);
-    hXlatLat_->record(x.pre_stall);
+    hPotLat_->record(x.pot);
+    hXlatLat_->record(x.pot);
     POAT_TRACE(tracer_, core_->cycles(), TraceComponent::Pot,
-               TraceOutcome::Walk, oid.raw, x.pre_stall);
+               TraceOutcome::Walk, oid.raw, x.pot);
     const uint64_t vaddr = w.base + oid.offset();
     const uint64_t pfn = pageTable_.frameOf(vaddr);
     polb_.insert(key, pfn);
@@ -182,11 +206,13 @@ Machine::nvLoad(ObjectID oid, uint64_t dep, uint64_t dep2)
     ++instructions_;
     ++nvLoads_;
     const NvXlat x = translateNv(oid);
-    const uint32_t lat = caches_.access(x.paddr, false);
-    hNvLoadLat_->record(x.pre_stall + lat);
+    const auto acc = caches_.accessClassified(x.paddr, false);
+    hNvLoadLat_->record(x.preStall() + acc.latency);
     POAT_TRACE(tracer_, core_->cycles(), TraceComponent::NvAccess,
-               TraceOutcome::Load, oid.raw, x.pre_stall + lat);
-    return core_->load(x.pre_stall, lat, dep, dep2);
+               TraceOutcome::Load, oid.raw, x.preStall() + acc.latency);
+    AccessCosts costs{x.polb, x.pot, x.tlb, acc.latency,
+                      levelComp(acc.level)};
+    return core_->load(costs, dep, dep2);
 }
 
 void
@@ -195,11 +221,13 @@ Machine::nvStore(ObjectID oid, uint64_t dep)
     ++instructions_;
     ++nvStores_;
     const NvXlat x = translateNv(oid);
-    const uint32_t lat = caches_.access(x.paddr, true);
-    hNvStoreLat_->record(x.pre_stall + lat);
+    const auto acc = caches_.accessClassified(x.paddr, true);
+    hNvStoreLat_->record(x.preStall() + acc.latency);
     POAT_TRACE(tracer_, core_->cycles(), TraceComponent::NvAccess,
-               TraceOutcome::Store, oid.raw, x.pre_stall + lat);
-    core_->store(x.pre_stall, lat, dep);
+               TraceOutcome::Store, oid.raw, x.preStall() + acc.latency);
+    AccessCosts costs{x.polb, x.pot, x.tlb, acc.latency,
+                      levelComp(acc.level)};
+    core_->store(costs, dep);
 }
 
 void
@@ -207,10 +235,11 @@ Machine::clwb(uint64_t vaddr)
 {
     ++instructions_;
     ++clwbs_;
-    const uint32_t pre = tlbPenalty(vaddr);
+    AccessCosts costs;
+    costs.tlb = tlbPenalty(vaddr);
     const uint64_t pa = pageTable_.translate(vaddr);
     caches_.flushLine(pa);
-    core_->clwb(cfg_.clwb_latency + pre);
+    core_->clwb(costs, cfg_.clwb_latency);
 }
 
 void
@@ -222,8 +251,9 @@ Machine::nvClwb(ObjectID oid)
     caches_.flushLine(x.paddr);
     POAT_TRACE(tracer_, core_->cycles(), TraceComponent::NvAccess,
                TraceOutcome::Flush, oid.raw,
-               cfg_.clwb_latency + x.pre_stall);
-    core_->clwb(cfg_.clwb_latency + x.pre_stall);
+               cfg_.clwb_latency + x.preStall());
+    AccessCosts costs{x.polb, x.pot, x.tlb, 0, CpiComponent::L1D};
+    core_->clwb(costs, cfg_.clwb_latency);
 }
 
 void
@@ -238,6 +268,21 @@ void
 Machine::poolMapped(uint32_t pool_id, uint64_t vbase, uint64_t)
 {
     pot_.insert(pool_id, vbase);
+}
+
+void
+Machine::swTranslateBegin()
+{
+    if (swDepth_++ == 0)
+        core_->setSwTranslate(true);
+}
+
+void
+Machine::swTranslateEnd()
+{
+    POAT_ASSERT(swDepth_ > 0, "unbalanced swTranslateEnd");
+    if (--swDepth_ == 0)
+        core_->setSwTranslate(false);
 }
 
 void
@@ -258,16 +303,13 @@ void
 Machine::syncStats() const
 {
     StatsRegistry &reg = stats_;
-    const CycleBreakdown b = core_->breakdown();
+    const CpiStack &cpi = core_->cpi();
+    POAT_ASSERT(cpi.total() == core_->cycles(),
+                "CPI stack does not sum to total cycles");
     reg.counter("core.cycles") = core_->cycles();
     reg.counter("core.instructions") = instructions_;
     reg.counter("core.uops") = core_->uopCount();
-    reg.counter("core.cycles.alu") = b.alu;
-    reg.counter("core.cycles.branch") = b.branch;
-    reg.counter("core.cycles.memory") = b.memory;
-    reg.counter("core.cycles.translation") = b.translation;
-    reg.counter("core.cycles.flush") = b.flush;
-    reg.counter("core.cycles.fence") = b.fence;
+    reg.cpiStack("core.cpi") = cpi;
     reg.counter("mem.loads") = loads_;
     reg.counter("mem.stores") = stores_;
     reg.counter("mem.nv_loads") = nvLoads_;

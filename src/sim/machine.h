@@ -95,6 +95,8 @@ class Machine : public TraceSink
     void poolMapped(uint32_t pool_id, uint64_t vbase,
                     uint64_t size) override;
     void poolUnmapped(uint32_t pool_id) override;
+    void swTranslateBegin() override;
+    void swTranslateEnd() override;
     /// @}
 
     /** Collected metrics for the run so far. */
@@ -106,8 +108,12 @@ class Machine : public TraceSink
     /** Dynamic instructions observed. */
     uint64_t instructions() const { return instructions_; }
 
-    /** CPI-stack breakdown (in-order core; zeros for OoO). */
-    CycleBreakdown breakdown() const { return core_->breakdown(); }
+    /**
+     * The core's CPI stack. Components sum exactly to cycles() — both
+     * cores maintain the invariant per instruction, and syncStats()
+     * asserts it on every stats access.
+     */
+    const CpiStack &cpi() const { return core_->cpi(); }
 
     /**
      * The machine's hierarchical statistics registry, with every scalar
@@ -155,11 +161,18 @@ class Machine : public TraceSink
     BranchPredictor &branchPredictor() { return bp_; }
 
   private:
-    /** Resolved translation of one nv access. */
+    /**
+     * Resolved translation of one nv access, with the pre-access
+     * cycles kept per source so the core can attribute them.
+     */
     struct NvXlat
     {
-        uint32_t pre_stall; ///< cycles before the cache access starts
-        uint64_t paddr;
+        uint32_t polb = 0; ///< POLB lookup latency
+        uint32_t pot = 0;  ///< POT walk cycles (on a POLB miss)
+        uint32_t tlb = 0;  ///< TLB-miss walk cycles
+        uint64_t paddr = 0;
+
+        uint32_t preStall() const { return polb + pot + tlb; }
     };
 
     /** Physical region where the in-memory POT walk reads its slots. */
@@ -196,6 +209,7 @@ class Machine : public TraceSink
     Histogram *hNvStoreLat_; ///< mem.nv_store_latency
 
     uint64_t instructions_ = 0;
+    uint32_t swDepth_ = 0; ///< software-translation region nesting
     uint64_t loads_ = 0;
     uint64_t stores_ = 0;
     uint64_t nvLoads_ = 0;

@@ -95,6 +95,10 @@ eventKindName(uint8_t kind)
         return "poolMapped";
       case EventKind::PoolUnmapped:
         return "poolUnmapped";
+      case EventKind::SwTranslateBegin:
+        return "swTranslateBegin";
+      case EventKind::SwTranslateEnd:
+        return "swTranslateEnd";
     }
     return "?";
 }
@@ -354,6 +358,22 @@ TraceRecorder::poolUnmapped(uint32_t pool_id)
         inner_->poolUnmapped(pool_id);
 }
 
+void
+TraceRecorder::swTranslateBegin()
+{
+    begin(EventKind::SwTranslateBegin);
+    if (inner_)
+        inner_->swTranslateBegin();
+}
+
+void
+TraceRecorder::swTranslateEnd()
+{
+    begin(EventKind::SwTranslateEnd);
+    if (inner_)
+        inner_->swTranslateEnd();
+}
+
 // --------------------------------------------------------------------
 // TraceReplayer
 
@@ -492,6 +512,12 @@ TraceReplayer::replayInto(TraceSink &sink) const
           case EventKind::PoolUnmapped:
             sink.poolUnmapped(
                 static_cast<uint32_t>(readVarint(d, n, &pos)));
+            break;
+          case EventKind::SwTranslateBegin:
+            sink.swTranslateBegin();
+            break;
+          case EventKind::SwTranslateEnd:
+            sink.swTranslateEnd();
             break;
           default:
             badFile(path_,

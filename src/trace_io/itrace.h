@@ -1,6 +1,6 @@
 /**
  * @file
- * Instruction-trace capture & replay: the "poat-itrace v1" format.
+ * Instruction-trace capture & replay: the "poat-itrace" format (v2).
  *
  * The simulator is execution-driven: workloads run natively and report
  * every dynamic instruction to a TraceSink (pmem/trace.h). A machine-
@@ -16,7 +16,7 @@
  * File layout (all integers little-endian):
  *
  *   offset 0   magic "poatitrc" (8 bytes)
- *          8   u32 format version (1)
+ *          8   u32 format version (2)
  *         12   u32 fingerprint length
  *         16   u64 event count      (patched by finish())
  *         24   u64 record bytes     (patched by finish())
@@ -54,8 +54,12 @@ namespace trace_io {
 /** File magic, first 8 bytes of every poat-itrace file. */
 inline constexpr char kMagic[8] = {'p', 'o', 'a', 't', 'i', 't', 'r', 'c'};
 
-/** Format version this build reads and writes. */
-inline constexpr uint32_t kFormatVersion = 1;
+/**
+ * Format version this build reads and writes. v2 added the
+ * SwTranslateBegin/SwTranslateEnd region markers (CPI-stack
+ * attribution); v1 files fail matches() and are silently recaptured.
+ */
+inline constexpr uint32_t kFormatVersion = 2;
 
 /** Bytes before the fingerprint (magic + version + 3 patched fields). */
 inline constexpr size_t kHeaderSize = 40;
@@ -74,10 +78,12 @@ enum class EventKind : uint8_t
     Fence,        ///< (no operands)
     PoolMapped,   ///< pool_id, vbase, size
     PoolUnmapped, ///< pool_id
+    SwTranslateBegin, ///< (no operands; v2)
+    SwTranslateEnd,   ///< (no operands; v2)
 };
 
 inline constexpr uint8_t kMinEventKind = 1;
-inline constexpr uint8_t kMaxEventKind = 11;
+inline constexpr uint8_t kMaxEventKind = 13;
 
 /** Human-readable name of a record kind ("?" if out of range). */
 const char *eventKindName(uint8_t kind);
@@ -93,7 +99,7 @@ uint64_t readVarint(const uint8_t *data, size_t size, size_t *pos);
 
 /**
  * TraceSink that forwards every event to an inner sink while appending
- * its record to a poat-itrace v1 file.
+ * its record to a poat-itrace file.
  *
  * The file is written to a unique temporary name next to @p path and
  * atomically renamed into place by finish(), so readers never observe
@@ -150,6 +156,8 @@ class TraceRecorder : public TraceSink
     void poolMapped(uint32_t pool_id, uint64_t vbase,
                     uint64_t size) override;
     void poolUnmapped(uint32_t pool_id) override;
+    void swTranslateBegin() override;
+    void swTranslateEnd() override;
     /// @}
 
   private:
@@ -180,7 +188,7 @@ class TraceRecorder : public TraceSink
     bool finished_ = false;
 };
 
-/** Reader of a poat-itrace v1 file. */
+/** Reader of a poat-itrace file. */
 class TraceReplayer
 {
   public:
@@ -209,8 +217,9 @@ class TraceReplayer
     void replayInto(TraceSink &sink) const;
 
     /**
-     * True iff @p path exists, is a structurally sound poat-itrace v1
-     * file, and carries exactly @p fingerprint. Never throws: any
+     * True iff @p path exists, is a structurally sound poat-itrace
+     * file of this build's format version, and carries exactly
+     * @p fingerprint. Never throws: any
      * defect reads as "no usable cached trace". (The record hash is
      * not checked here — construction does that.)
      */

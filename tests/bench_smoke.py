@@ -6,7 +6,12 @@ report: the JSON parses, there is exactly one run record per submitted
 config (6 microbenchmarks x 3 patterns x 4 variants = 72), labels are
 unique and in submission order (base before opt for every workload x
 pattern group), every record carries its config and hierarchical stats,
-and the summary block holds the headline geomeans.
+and the summary block holds the headline geomeans. A second pass with
+--cpi-stack --seeds=42,43 validates the CPI stacks (components sum
+exactly to each run's cycles, both in the printed tables and in every
+recorded run's core.cpi stats) and the multi-seed error bars (one
+error_bars record per config with mean/stddev for every headline
+metric).
 
 When a fig11 binary is also given, exercises --trace-cache end to end:
 a cached --quick run must emit a stats report byte-for-byte identical
@@ -45,6 +50,77 @@ def run_bench(cmd, timeout=1200):
             % (cmd[0], proc.returncode, proc.stdout, proc.stderr)
         )
     return proc
+
+
+CPI_COMPONENTS = [
+    "base", "branch", "iside", "l1d", "l2", "l3", "mem", "tlb",
+    "sw_translate", "polb", "pot_walk", "flush", "fence",
+]
+
+
+def check_cpi_and_seeds(bench):
+    """--cpi-stack prints per-run stacks; --seeds emits error bars."""
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "seeds.json")
+        proc = run_bench(
+            [
+                bench,
+                "--scale=5",
+                "--no-tpcc",
+                "--jobs=2",
+                "--cpi-stack",
+                "--seeds=42,43",
+                "--stats-json=" + out,
+            ]
+        )
+        with open(out) as f:
+            report = json.load(f)
+
+    if "CPI stack:" not in proc.stdout:
+        fail("--cpi-stack printed no stacks")
+    for needle in ("sw_translate", "total", "error bars over 2 seeds"):
+        if needle not in proc.stdout:
+            fail("--cpi-stack/--seeds output missing %r" % needle)
+
+    bars = report.get("error_bars")
+    n_configs = 6 * 3 * 4
+    if not isinstance(bars, list) or len(bars) != n_configs:
+        fail(
+            "expected %d error_bars, got %s"
+            % (n_configs, len(bars) if isinstance(bars, list) else bars)
+        )
+    for b in bars:
+        if b.get("samples") != 2:
+            fail("error bar %r has samples != 2" % b.get("label"))
+        for metric in ("cycles", "instructions", "ipc"):
+            m = b.get(metric)
+            if (
+                not isinstance(m, dict)
+                or not isinstance(m.get("mean"), (int, float))
+                or not isinstance(m.get("stddev"), (int, float))
+            ):
+                fail(
+                    "error bar %r metric %r malformed: %r"
+                    % (b.get("label"), metric, m)
+                )
+
+    # Every recorded run carries a CPI stack whose components sum
+    # exactly to the run's total cycles.
+    for r in report["runs"]:
+        cpi = r["stats"].get("core", {}).get("cpi")
+        if not isinstance(cpi, dict):
+            fail("run %r has no core.cpi stack" % r["label"])
+        total = cpi.get("total")
+        summed = sum(cpi.get(c, 0) for c in CPI_COMPONENTS)
+        if total != summed or total != r["cycles"]:
+            fail(
+                "run %r CPI stack does not sum: total=%r sum=%r "
+                "cycles=%r" % (r["label"], total, summed, r["cycles"])
+            )
+    print(
+        "OK: CPI stacks sum exactly on %d runs, %d error bars over 2 "
+        "seeds" % (len(report["runs"]), len(bars))
+    )
 
 
 def check_trace_cache(bench):
@@ -197,6 +273,8 @@ def main():
         "OK: %d runs, %d summary metrics, labels unique and ordered"
         % (len(runs), len(summary))
     )
+
+    check_cpi_and_seeds(bench)
 
     if len(sys.argv) >= 3:
         check_trace_cache(sys.argv[2])

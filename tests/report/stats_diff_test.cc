@@ -1,0 +1,146 @@
+/** @file Unit tests for the --stats-json tolerance diff
+ *  (report/stats_diff.h): flattening, tolerance math, regression
+ *  detection, structural mismatches, and malformed-input errors. */
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "report/stats_diff.h"
+
+namespace poat {
+namespace report {
+namespace {
+
+// ------------------------------------------------------------- flatten
+
+TEST(FlattenJson, LeavesGetDottedAndIndexedPaths)
+{
+    const FlatJson f = flattenJson(
+        R"({"a": 1, "b": {"c": 2.5, "d": [3, {"e": 4}]},
+            "s": "hello", "t": true, "f": false, "n": null})");
+    EXPECT_EQ(f.numbers.at("a"), 1);
+    EXPECT_EQ(f.numbers.at("b.c"), 2.5);
+    EXPECT_EQ(f.numbers.at("b.d[0]"), 3);
+    EXPECT_EQ(f.numbers.at("b.d[1].e"), 4);
+    EXPECT_EQ(f.strings.at("s"), "hello");
+    EXPECT_EQ(f.numbers.at("t"), 1);
+    EXPECT_EQ(f.numbers.at("f"), 0);
+    EXPECT_EQ(f.numbers.count("n"), 0u); // nulls are dropped
+}
+
+TEST(FlattenJson, EscapesAndNegativeExponents)
+{
+    const FlatJson f =
+        flattenJson(R"({"k\"ey": "a\nb", "x": -1.5e-3})");
+    EXPECT_EQ(f.strings.at("k\"ey"), "a\nb");
+    EXPECT_DOUBLE_EQ(f.numbers.at("x"), -1.5e-3);
+}
+
+TEST(FlattenJson, MalformedInputThrowsWithOffset)
+{
+    for (const char *bad :
+         {"{", "{\"a\": }", "[1, 2", "{\"a\" 1}", "tru", "{\"a\": 1} x",
+          "\"unterminated", "{\"a\": 01x}"}) {
+        try {
+            flattenJson(bad);
+            // "{\"a\": 01x}" parses 01 then fails on 'x'; every case
+            // must throw.
+            FAIL() << "expected throw for: " << bad;
+        } catch (const std::runtime_error &e) {
+            EXPECT_NE(std::string(e.what()).find("malformed JSON"),
+                      std::string::npos)
+                << bad;
+        }
+    }
+}
+
+// ------------------------------------------------------ tolerance math
+
+TEST(Tolerance, DeviationIsSymmetricAndZeroSafe)
+{
+    EXPECT_EQ(relativeDeviation(0, 0), 0);
+    EXPECT_EQ(relativeDeviation(5, 5), 0);
+    EXPECT_DOUBLE_EQ(relativeDeviation(100, 110),
+                     relativeDeviation(110, 100));
+    EXPECT_DOUBLE_EQ(relativeDeviation(100, 110), 10.0 / 110.0);
+    EXPECT_EQ(relativeDeviation(0, 7), 1); // from zero: 100%
+}
+
+TEST(Tolerance, LongestPrefixOverrideWins)
+{
+    DiffOptions opt;
+    opt.tolerance = 0.05;
+    opt.overrides = {{"runs", 0.0}, {"runs[2].stats", 0.5}};
+    EXPECT_EQ(toleranceFor("summary.geomean", opt), 0.05);
+    EXPECT_EQ(toleranceFor("runs[0].cycles", opt), 0.0);
+    EXPECT_EQ(toleranceFor("runs[2].stats.core.cycles", opt), 0.5);
+}
+
+// ------------------------------------------------- regression detection
+
+TEST(DiffStats, SelfDiffPasses)
+{
+    const FlatJson a = flattenJson(
+        R"({"bench": "fig9a", "runs": [{"cycles": 71782,
+            "ipc": 0.433}], "summary": {"geomean": 1.54}})");
+    const DiffResult res = diffStats(a, a);
+    EXPECT_TRUE(res.ok());
+    EXPECT_EQ(res.compared, 3u);
+    EXPECT_TRUE(res.regressions.empty());
+}
+
+TEST(DiffStats, InjectedCycleRegressionIsCaught)
+{
+    const FlatJson base =
+        flattenJson(R"({"runs": [{"cycles": 100000}]})");
+    // +6% cycles against a 5% band: must fail.
+    const FlatJson worse =
+        flattenJson(R"({"runs": [{"cycles": 106000}]})");
+    const DiffResult res = diffStats(base, worse);
+    EXPECT_FALSE(res.ok());
+    ASSERT_EQ(res.regressions.size(), 1u);
+    EXPECT_EQ(res.regressions[0].path, "runs[0].cycles");
+    EXPECT_GT(res.regressions[0].deviation, 0.05);
+
+    // +4% stays inside the default band.
+    const FlatJson okay =
+        flattenJson(R"({"runs": [{"cycles": 104000}]})");
+    EXPECT_TRUE(diffStats(base, okay).ok());
+
+    // ...but a zero-tolerance override pins it exactly.
+    DiffOptions strict;
+    strict.overrides = {{"runs", 0.0}};
+    EXPECT_FALSE(diffStats(base, okay, strict).ok());
+}
+
+TEST(DiffStats, ImprovementsAreAlsoOutOfBand)
+{
+    // The gate is two-sided: a 10% "improvement" is a changed result
+    // and must be re-goldened deliberately, not slip through.
+    const FlatJson base = flattenJson(R"({"cycles": 100000})");
+    const FlatJson faster = flattenJson(R"({"cycles": 90000})");
+    EXPECT_FALSE(diffStats(base, faster).ok());
+}
+
+TEST(DiffStats, StructuralMismatchesFailUnlessIgnored)
+{
+    const FlatJson a = flattenJson(R"({"x": 1, "label": "LL"})");
+    const FlatJson b = flattenJson(R"({"x": 1, "y": 2, "label": "BST"})");
+    const DiffResult res = diffStats(a, b);
+    EXPECT_FALSE(res.ok());
+    ASSERT_EQ(res.only_candidate.size(), 1u);
+    EXPECT_EQ(res.only_candidate[0], "y");
+    ASSERT_EQ(res.mismatched_strings.size(), 1u);
+    EXPECT_EQ(res.mismatched_strings[0], "label");
+
+    // ignore_missing forgives the one-sided metric, never the
+    // string mismatch.
+    EXPECT_FALSE(res.ok(/*ignore_missing=*/true));
+    const FlatJson c = flattenJson(R"({"x": 1, "y": 2, "label": "LL"})");
+    EXPECT_TRUE(diffStats(a, c).only_candidate.size() == 1 &&
+                diffStats(a, c).ok(/*ignore_missing=*/true));
+}
+
+} // namespace
+} // namespace report
+} // namespace poat

@@ -15,6 +15,18 @@ cfg()
     return MachineConfig{};
 }
 
+/** Access with @p pre translation pre-stall cycles and a @p mem -cycle
+ *  memory access (charged to L1D by default; the component does not
+ *  affect timing). */
+AccessCosts
+costs(uint32_t pre, uint32_t mem)
+{
+    AccessCosts c;
+    c.pot = pre;
+    c.mem = mem;
+    return c;
+}
+
 // ---------------------------------------------------------------- in-order
 
 TEST(InOrder, AluIsOneCyclePerInstruction)
@@ -28,21 +40,21 @@ TEST(InOrder, AluIsOneCyclePerInstruction)
 TEST(InOrder, LoadsAreBlocking)
 {
     InOrderCore c(cfg());
-    c.load(0, 3, 0, 0); // L1 hit: full 3-cycle blocking access
+    c.load(costs(0, 3), 0, 0); // L1 hit: full 3-cycle blocking access
     EXPECT_EQ(c.cycles(), 3u);
 }
 
 TEST(InOrder, MissLatencyStallsFully)
 {
     InOrderCore c(cfg());
-    c.load(0, 120, 0, 0); // memory access
+    c.load(costs(0, 120), 0, 0); // memory access
     EXPECT_EQ(c.cycles(), 120u);
 }
 
 TEST(InOrder, PreStallChargesFully)
 {
     InOrderCore c(cfg());
-    c.load(33, 3, 0, 0); // POLB residue + POT walk before an L1 hit
+    c.load(costs(33, 3), 0, 0); // POLB residue + POT walk before an L1 hit
     EXPECT_EQ(c.cycles(), 36u);
 }
 
@@ -59,18 +71,18 @@ TEST(InOrder, StoresAbsorbedByStoreBuffer)
 {
     InOrderCore c(cfg());
     for (int i = 0; i < 8; ++i)
-        c.store(0, 120, 0);
+        c.store(costs(0, 120), 0);
     // 8 entries absorb 8 stores at 1 cycle each.
     EXPECT_EQ(c.cycles(), 8u);
     // The 9th store stalls until the first slot drains.
-    c.store(0, 120, 0);
+    c.store(costs(0, 120), 0);
     EXPECT_GT(c.cycles(), 100u);
 }
 
 TEST(InOrder, FenceDrainsStoreBuffer)
 {
     InOrderCore c(cfg());
-    c.store(0, 120, 0); // drains at 1 + 120
+    c.store(costs(0, 120), 0); // drains at 1 + 120
     c.fence();
     EXPECT_GE(c.cycles(), 121u);
 }
@@ -78,7 +90,7 @@ TEST(InOrder, FenceDrainsStoreBuffer)
 TEST(InOrder, ClwbChargesItsLatency)
 {
     InOrderCore c(cfg());
-    c.clwb(100);
+    c.clwb({}, 100);
     EXPECT_EQ(c.cycles(), 100u);
 }
 
@@ -97,7 +109,7 @@ TEST(Ooo, IndependentLoadsOverlap)
 {
     OooCore c(cfg());
     for (int i = 0; i < 8; ++i)
-        c.load(0, 120, 0, 0);
+        c.load(costs(0, 120), 0, 0);
     // All eight miss to memory in parallel: ~120 cycles, not ~960.
     EXPECT_LT(c.cycles(), 160u);
 }
@@ -107,7 +119,7 @@ TEST(Ooo, DependentLoadsSerialize)
     OooCore c(cfg());
     uint64_t tag = 0;
     for (int i = 0; i < 8; ++i)
-        tag = c.load(0, 120, tag, 0);
+        tag = c.load(costs(0, 120), tag, 0);
     // A pointer chase: completion grows by ~120 per link.
     EXPECT_GE(c.cycles(), 8u * 120u);
 }
@@ -115,8 +127,8 @@ TEST(Ooo, DependentLoadsSerialize)
 TEST(Ooo, DepThroughSecondOperand)
 {
     OooCore c(cfg());
-    const uint64_t t = c.load(0, 120, 0, 0);
-    c.load(0, 3, 0, t); // address depends on the first load
+    const uint64_t t = c.load(costs(0, 120), 0, 0);
+    c.load(costs(0, 3), 0, t); // address depends on the first load
     EXPECT_GE(c.cycles(), 123u);
 }
 
@@ -126,7 +138,7 @@ TEST(Ooo, RobLimitsMemoryLevelParallelism)
     // longer all overlap.
     OooCore c(cfg());
     for (int i = 0; i < 256; ++i)
-        c.load(0, 120, 0, 0);
+        c.load(costs(0, 120), 0, 0);
     // 256 loads / min(ROB 128, LQ 48) -> several memory rounds, but far
     // fewer than fully serial execution (256 * 120).
     EXPECT_GE(c.cycles(), 2u * 120u);
@@ -139,7 +151,7 @@ TEST(Ooo, LqLimitsOutstandingLoads)
     small.lq_size = 2;
     OooCore c(small);
     for (int i = 0; i < 8; ++i)
-        c.load(0, 120, 0, 0);
+        c.load(costs(0, 120), 0, 0);
     // Two at a time: ~4 rounds of 120.
     EXPECT_GE(c.cycles(), 4u * 120u);
 }
@@ -159,7 +171,7 @@ TEST(Ooo, MispredictStallsFetch)
 TEST(Ooo, FenceSerializes)
 {
     OooCore c(cfg());
-    c.clwb(100);
+    c.clwb({}, 100);
     c.fence();
     c.alu(1, 0);
     // The ALU op dispatches only after the CLWB completed.
@@ -171,8 +183,8 @@ TEST(Ooo, PreStallExtendsLoadLatency)
     OooCore a(cfg()), b(cfg());
     uint64_t ta = 0, tb = 0;
     for (int i = 0; i < 10; ++i) {
-        ta = a.load(0, 3, ta, 0);
-        tb = b.load(33, 3, tb, 0); // POLB+POT in AGEN
+        ta = a.load(costs(0, 3), ta, 0);
+        tb = b.load(costs(33, 3), tb, 0); // POLB+POT in AGEN
     }
     EXPECT_GE(b.cycles(), a.cycles() + 10 * 33 - 5);
 }
@@ -183,7 +195,7 @@ TEST(Ooo, CyclesAreMonotonic)
     uint64_t prev = 0;
     for (int i = 0; i < 1000; ++i) {
         if (i % 3 == 0)
-            c.load(0, i % 2 ? 120 : 3, 0, 0);
+            c.load(costs(0, i % 2 ? 120 : 3), 0, 0);
         else if (i % 7 == 0)
             c.branch(i % 2, 0);
         else
@@ -204,8 +216,8 @@ TEST(Ooo, BoundedByInOrderAboveAndCriticalPathBelow)
     uint64_t chain_latency = 0;
     for (int i = 0; i < 500; ++i) {
         const uint32_t lat = (i % 5 == 0) ? 120 : 3;
-        tio = io.load(0, lat, tio, 0);
-        too = oo.load(0, lat, too, 0);
+        tio = io.load(costs(0, lat), tio, 0);
+        too = oo.load(costs(0, lat), too, 0);
         chain_latency += lat;
         io.alu(3, 0);
         oo.alu(3, 0);

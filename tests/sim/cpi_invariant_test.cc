@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The CPI-stack accounting invariant, end to end: for every workload,
+ * both translation modes, and both core models, the per-component
+ * cycle charges must sum *exactly* to the run's total cycles — no
+ * unattributed and no double-counted cycles. Software-translation runs
+ * must charge the sw_translate component (the paper's Table 2 software
+ * overhead) and never the hardware POLB/POT components; hardware runs
+ * the reverse.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "driver/experiment.h"
+
+namespace poat {
+namespace driver {
+namespace {
+
+class CpiInvariant
+    : public testing::TestWithParam<std::tuple<std::string, bool, bool>>
+{
+};
+
+TEST_P(CpiInvariant, ComponentsSumExactlyToTotalCycles)
+{
+    const auto &[wl, hw, ooo] = GetParam();
+
+    ExperimentConfig cfg;
+    cfg.workload = wl;
+    cfg.pattern = workloads::PoolPattern::Random;
+    cfg.scale_pct = 5;
+    cfg.tpcc_scale_pct = 1;
+    cfg.tpcc_txns = 25;
+    cfg.mode =
+        hw ? TranslationMode::Hardware : TranslationMode::Software;
+    cfg.machine.core =
+        ooo ? sim::CoreType::OutOfOrder : sim::CoreType::InOrder;
+
+    const ExperimentResult res = runExperiment(cfg);
+    ASSERT_GT(res.metrics.cycles, 0u);
+
+    // The invariant (also enforced by POAT_ASSERT in Machine): every
+    // cycle is charged to exactly one component.
+    uint64_t sum = 0;
+    for (size_t i = 0; i < kCpiComponents; ++i)
+        sum += res.cpi[static_cast<CpiComponent>(i)];
+    EXPECT_EQ(sum, res.metrics.cycles);
+    EXPECT_EQ(res.cpi.total(), res.metrics.cycles);
+
+    // Translation overhead lands on the mode's own components.
+    if (hw) {
+        EXPECT_EQ(res.cpi[CpiComponent::SwTranslate], 0u);
+        EXPECT_GT(res.cpi[CpiComponent::Polb] +
+                      res.cpi[CpiComponent::PotWalk],
+                  0u);
+    } else {
+        EXPECT_GT(res.cpi[CpiComponent::SwTranslate], 0u);
+        EXPECT_EQ(res.cpi[CpiComponent::Polb], 0u);
+        EXPECT_EQ(res.cpi[CpiComponent::PotWalk], 0u);
+    }
+    EXPECT_GT(res.cpi[CpiComponent::Base], 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloadsModesCores, CpiInvariant,
+    testing::Combine(testing::Values("LL", "BST", "SPS", "RBT", "BT",
+                                     "B+T", "TPCC"),
+                     testing::Bool(), testing::Bool()),
+    [](const testing::TestParamInfo<CpiInvariant::ParamType> &info) {
+        std::string name = std::get<0>(info.param);
+        for (char &c : name)
+            if (c == '+')
+                c = 'p';
+        name += std::get<1>(info.param) ? "_Hardware" : "_Software";
+        name += std::get<2>(info.param) ? "_Ooo" : "_InOrder";
+        return name;
+    });
+
+} // namespace
+} // namespace driver
+} // namespace poat

@@ -1,4 +1,4 @@
-/** @file Tests for the microarchitectural extensions: cycle breakdown,
+/** @file Tests for the microarchitectural extensions: CPI stack,
  *  set-associative POLB, replacement policies, memory-backed POT walk. */
 #include <gtest/gtest.h>
 
@@ -9,9 +9,17 @@ namespace poat {
 namespace sim {
 namespace {
 
-// ------------------------------------------------------------ breakdown
+// ------------------------------------------------------------ CPI stack
 
-TEST(Breakdown, ComponentsSumToTotalCycles)
+/** Hardware-translation cycles of the stack (no sw path involved). */
+uint64_t
+hwTranslateCycles(const CpiStack &c)
+{
+    return c[CpiComponent::Polb] + c[CpiComponent::PotWalk] +
+        c[CpiComponent::Tlb];
+}
+
+TEST(CpiStack, ComponentsSumToTotalCycles)
 {
     MachineConfig cfg;
     Machine m(cfg);
@@ -19,48 +27,50 @@ TEST(Breakdown, ComponentsSumToTotalCycles)
     m.alu(100, 0);
     for (int i = 0; i < 20; ++i) {
         m.load(0x1000 + 64 * i, 0, 0);
+        m.load(0x1000 + 64 * i, 0, 0); // warm re-access: L1 hit
         m.nvLoad(ObjectID(1, 64u * i), 0, 0);
         m.branch(i % 2, 0x99, 0);
     }
     m.store(0x2000, 0);
     m.clwb(0x2000);
     m.fence();
-    const CycleBreakdown b = m.breakdown();
-    EXPECT_EQ(b.total(), m.cycles());
-    EXPECT_GT(b.alu, 0u);
-    EXPECT_GT(b.memory, 0u);
-    EXPECT_GT(b.translation, 0u); // POT walk + TLB misses
-    EXPECT_GT(b.flush, 0u);
+    const CpiStack &c = m.cpi();
+    EXPECT_EQ(c.total(), m.cycles());
+    EXPECT_GT(c[CpiComponent::Base], 0u);
+    EXPECT_GT(c[CpiComponent::L1D], 0u);
+    EXPECT_GT(hwTranslateCycles(c), 0u); // POT walk + TLB misses
+    EXPECT_GT(c[CpiComponent::Flush], 0u);
 }
 
-TEST(Breakdown, TranslationShareShrinksUnderIdealHardware)
+TEST(CpiStack, TranslationShareShrinksUnderIdealHardware)
 {
-    auto run = [](bool ideal) {
-        MachineConfig cfg;
-        cfg.ideal_translation = ideal;
-        Machine m(cfg);
-        m.poolMapped(1, 0x100000, 1 << 20);
-        m.load(0x100000, 0, 0); // warm the TLB for the pool page
-        for (int i = 0; i < 100; ++i)
-            m.nvLoad(ObjectID(1u + i % 40, 0), 0, 0); // misses: 40 pools
-        return m.breakdown().translation;
-    };
-    MachineConfig cfg;
-    Machine warm(cfg);
-    for (uint32_t p = 1; p <= 40; ++p)
-        warm.poolMapped(p, 0x100000ull * p, 1 << 20);
-    // Direct comparison with the machine above is awkward; simpler:
-    // ideal translation yields zero translation cycles.
+    // Ideal translation yields zero translation cycles.
     MachineConfig ideal_cfg;
     ideal_cfg.ideal_translation = true;
     Machine ideal(ideal_cfg);
     ideal.poolMapped(1, 0x100000, 1 << 20);
     ideal.load(0x100000, 0, 0); // charges its own cold TLB miss
-    const uint64_t pre_nv = ideal.breakdown().translation;
+    const uint64_t pre_nv = hwTranslateCycles(ideal.cpi());
     ideal.nvLoad(ObjectID(1, 0), 0, 0);
     // Ideal hardware translation adds no translation cycles at all.
-    EXPECT_EQ(ideal.breakdown().translation, pre_nv);
-    (void)run;
+    EXPECT_EQ(hwTranslateCycles(ideal.cpi()), pre_nv);
+}
+
+TEST(CpiStack, MemoryAccessesChargeTheServicingLevel)
+{
+    MachineConfig cfg;
+    Machine m(cfg);
+    // A cold load misses every level: the full latency lands on mem.
+    m.load(0x1000, 0, 0);
+    const CpiStack &c = m.cpi();
+    EXPECT_GT(c[CpiComponent::Mem], 0u);
+    EXPECT_EQ(c[CpiComponent::L1D], 0u);
+    const uint64_t mem_before = c[CpiComponent::Mem];
+    // A re-access of the same line hits the (warm) L1.
+    m.load(0x1000, 0, 0);
+    EXPECT_GT(c[CpiComponent::L1D], 0u);
+    EXPECT_EQ(c[CpiComponent::Mem], mem_before);
+    EXPECT_EQ(c.total(), m.cycles());
 }
 
 // ------------------------------------------------- set-associative POLB

@@ -256,7 +256,7 @@ TEST(Machine, DumpStatsListsAllSubsystems)
     for (const char *key :
          {"core.cycles", "core.instructions", "cache.l1d.misses",
           "tlb.misses", "polb.hits", "pot.walks", "branch.lookups",
-          "vm.mapped_pages", "core.cycles.translation"}) {
+          "vm.mapped_pages", "core.cpi.total", "core.cpi.pot_walk"}) {
         EXPECT_NE(s.find(key), std::string::npos) << key;
     }
     // Values are consistent with the metrics accessors.

@@ -110,6 +110,9 @@ class JournalSink : public TraceSink
         add("poolUnmapped " + std::to_string(pool_id));
     }
 
+    void swTranslateBegin() override { add("swTranslateBegin"); }
+    void swTranslateEnd() override { add("swTranslateEnd"); }
+
   private:
     void add(std::string s) { lines.push_back(std::move(s)); }
 
@@ -159,11 +162,15 @@ runScenario(TraceSink &sink)
     sink.nvStore(ObjectID(1, 0x80), c);
     sink.clwb(0x3000);
     sink.nvClwb(ObjectID(1, 0x80));
+    sink.swTranslateBegin();
+    const uint64_t d = sink.load(0x4000, c, kNoDep);
+    sink.alu(2, d);
+    sink.swTranslateEnd();
     sink.fence();
     sink.poolUnmapped(1);
 }
 
-constexpr uint64_t kScenarioEvents = 13;
+constexpr uint64_t kScenarioEvents = 17;
 
 TEST(Varint, RoundtripsEdgeValues)
 {

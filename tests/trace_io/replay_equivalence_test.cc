@@ -2,7 +2,7 @@
  * @file
  * End-to-end replay fidelity: for every workload in both translation
  * modes, a capture-then-replay run must be bit-identical to a live run
- * — every MachineMetrics field, the CPI breakdown, the workload
+ * — every MachineMetrics field, the CPI stack, the workload
  * outcome, and the complete serialized stats JSON. This is the
  * property that lets driver::runSweep substitute replays for repeated
  * functional execution without changing any reported number.
@@ -80,12 +80,13 @@ expectIdentical(const ExperimentResult &a, const ExperimentResult &b,
     EXPECT_EQ(ma.pot_walks, mb.pot_walks) << what;
     EXPECT_EQ(ma.pot_walk_probes, mb.pot_walk_probes) << what;
 
-    EXPECT_EQ(a.breakdown.alu, b.breakdown.alu) << what;
-    EXPECT_EQ(a.breakdown.branch, b.breakdown.branch) << what;
-    EXPECT_EQ(a.breakdown.memory, b.breakdown.memory) << what;
-    EXPECT_EQ(a.breakdown.translation, b.breakdown.translation) << what;
-    EXPECT_EQ(a.breakdown.flush, b.breakdown.flush) << what;
-    EXPECT_EQ(a.breakdown.fence, b.breakdown.fence) << what;
+    // The whole CPI stack, component by component.
+    for (size_t i = 0; i < kCpiComponents; ++i) {
+        const auto comp = static_cast<CpiComponent>(i);
+        EXPECT_EQ(a.cpi[comp], b.cpi[comp])
+            << what << " cpi." << cpiComponentName(comp);
+    }
+    EXPECT_EQ(a.cpi.total(), a.metrics.cycles) << what;
 
     EXPECT_EQ(a.workload_checksum, b.workload_checksum) << what;
     EXPECT_EQ(a.workload_operations, b.workload_operations) << what;

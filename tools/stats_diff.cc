@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Perf-regression gate over two --stats-json bench reports.
+ *
+ *   stats_diff [options] BASELINE.json CANDIDATE.json
+ *
+ *   --tolerance=T     default relative band (default 0.05 = 5%)
+ *   --tol=PREFIX=T    band for metric paths starting with PREFIX
+ *                     (longest matching prefix wins; repeatable)
+ *   --ignore-missing  tolerate metrics present on only one side
+ *   --max-report=N    print at most N offending metrics (default 20)
+ *
+ * Every numeric leaf present in both reports is compared under a
+ * symmetric relative deviation |a-b| / max(|a|,|b|); strings must
+ * match exactly. Exit status: 0 all metrics within band, 1 any
+ * regression or structural mismatch, 2 bad usage or unreadable input.
+ * CI runs this against the committed golden (bench/golden/) and
+ * between nightly BENCH_<date>.json snapshots; see
+ * docs/OBSERVABILITY.md.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "report/stats_diff.h"
+
+using namespace poat;
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: stats_diff [options] BASELINE.json CANDIDATE.json\n"
+        "  --tolerance=T     default relative band (default 0.05)\n"
+        "  --tol=PREFIX=T    per-prefix band, longest prefix wins\n"
+        "  --ignore-missing  tolerate one-sided metrics\n"
+        "  --max-report=N    cap printed offenders (default 20)\n");
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        throw std::runtime_error("cannot open " + path);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    report::DiffOptions opt;
+    size_t max_report = 20;
+    std::string baseline, candidate;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string s = argv[i];
+        if (s.rfind("--tolerance=", 0) == 0) {
+            opt.tolerance = std::strtod(s.c_str() + 12, nullptr);
+        } else if (s.rfind("--tol=", 0) == 0) {
+            const std::string spec = s.substr(6);
+            const size_t eq = spec.rfind('=');
+            if (eq == std::string::npos || eq == 0) {
+                std::fprintf(stderr, "bad --tol spec: %s\n", s.c_str());
+                usage();
+                return 2;
+            }
+            opt.overrides.emplace_back(
+                spec.substr(0, eq),
+                std::strtod(spec.c_str() + eq + 1, nullptr));
+        } else if (s == "--ignore-missing") {
+            opt.ignore_missing = true;
+        } else if (s.rfind("--max-report=", 0) == 0) {
+            max_report = std::strtoull(s.c_str() + 13, nullptr, 10);
+        } else if (s == "--help") {
+            usage();
+            return 0;
+        } else if (!s.empty() && s[0] == '-') {
+            std::fprintf(stderr, "unknown argument: %s\n", s.c_str());
+            usage();
+            return 2;
+        } else if (baseline.empty()) {
+            baseline = s;
+        } else if (candidate.empty()) {
+            candidate = s;
+        } else {
+            usage();
+            return 2;
+        }
+    }
+    if (candidate.empty()) {
+        usage();
+        return 2;
+    }
+
+    report::FlatJson a, b;
+    try {
+        a = report::flattenJson(slurp(baseline));
+        b = report::flattenJson(slurp(candidate));
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "stats_diff: %s\n", e.what());
+        return 2;
+    }
+
+    const report::DiffResult res = report::diffStats(a, b, opt);
+
+    size_t printed = 0;
+    auto room = [&] { return printed++ < max_report; };
+    for (const auto &d : res.regressions)
+        if (room())
+            std::printf("REGRESSION  %-60s  %.6g -> %.6g  (%.2f%% > "
+                        "%.2f%% band)\n",
+                        d.path.c_str(), d.baseline, d.candidate,
+                        100 * d.deviation, 100 * d.tolerance);
+    for (const auto &p : res.mismatched_strings)
+        if (room())
+            std::printf("MISMATCH    %s (string differs)\n", p.c_str());
+    if (!opt.ignore_missing) {
+        for (const auto &p : res.only_baseline)
+            if (room())
+                std::printf("MISSING     %s (baseline only)\n",
+                            p.c_str());
+        for (const auto &p : res.only_candidate)
+            if (room())
+                std::printf("MISSING     %s (candidate only)\n",
+                            p.c_str());
+    }
+    if (printed > max_report)
+        std::printf("... and %zu more\n", printed - max_report);
+
+    const bool ok = res.ok(opt.ignore_missing);
+    std::printf("stats_diff: %zu metrics compared, %zu regressions%s\n",
+                res.compared, res.regressions.size(),
+                ok ? " -- OK" : " -- FAIL");
+    return ok ? 0 : 1;
+}

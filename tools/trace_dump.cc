@@ -1,6 +1,6 @@
 /**
  * @file
- * Inspect a captured poat-itrace v1 instruction trace.
+ * Inspect a captured poat-itrace instruction trace.
  *
  *   trace_dump [--head=N] FILE.itrace
  *
@@ -139,6 +139,22 @@ class DumpSink : public TraceSink
         row(trace_io::EventKind::PoolUnmapped);
         if (printing())
             std::printf(" pool=%" PRIu32 "\n", pool_id);
+    }
+
+    void
+    swTranslateBegin() override
+    {
+        row(trace_io::EventKind::SwTranslateBegin);
+        if (printing())
+            std::printf("\n");
+    }
+
+    void
+    swTranslateEnd() override
+    {
+        row(trace_io::EventKind::SwTranslateEnd);
+        if (printing())
+            std::printf("\n");
     }
 
   private:
