@@ -2,7 +2,7 @@
  * @file
  * Shared plumbing for the paper-reproduction bench binaries: argument
  * parsing (--quick / --scale=N / --txns=N / --jobs=N / --stats-json=F /
- * --trace=F), configuration builders, the parallel sweep entry point
+ * --trace=F / --timeline=N), configuration builders, the parallel sweep entry point
  * every binary funnels its runs through (runAll), fixed-width table
  * printing that mirrors the paper's rows, and the machine-readable
  * JSON report every binary can emit (docs/OBSERVABILITY.md documents
@@ -11,9 +11,11 @@
 #ifndef POAT_BENCH_BENCH_UTIL_H
 #define POAT_BENCH_BENCH_UTIL_H
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -48,6 +50,8 @@ struct BenchArgs
     std::string stats_json; ///< write a JSON report here (empty = off)
     std::string trace;      ///< write a poat-trace v1 file here
     std::string trace_cache; ///< instruction-trace cache dir (empty = off)
+    uint64_t timeline = 0;  ///< cycles per timeline sample (0 = off)
+    std::string timeline_dir = "timelines"; ///< --timeline output dir
 
     static void
     usage()
@@ -77,7 +81,15 @@ struct BenchArgs
                     "                    sharing a functional config\n"
                     "                    execute the workload once and\n"
                     "                    replay it for every machine\n"
-                    "                    variant; results identical\n");
+                    "                    variant; results identical\n"
+                    "  --timeline=N      sample an interval stats\n"
+                    "                    timeline every N cycles into\n"
+                    "                    one poat-timeline v1 file per\n"
+                    "                    run (convert: tools/\n"
+                    "                    timeline_dump); observer-only,\n"
+                    "                    results identical\n"
+                    "  --timeline-dir=D  timeline output directory\n"
+                    "                    (default: timelines)\n");
     }
 
     static BenchArgs
@@ -132,6 +144,16 @@ struct BenchArgs
                 a.trace = s.substr(8);
             } else if (s.rfind("--trace-cache=", 0) == 0) {
                 a.trace_cache = s.substr(14);
+            } else if (s.rfind("--timeline=", 0) == 0) {
+                a.timeline = std::stoull(s.substr(11));
+                if (a.timeline == 0) {
+                    std::fprintf(stderr,
+                                 "--timeline needs a nonzero "
+                                 "cycle interval\n");
+                    POAT_FATAL("zero --timeline interval");
+                }
+            } else if (s.rfind("--timeline-dir=", 0) == 0) {
+                a.timeline_dir = s.substr(15);
             } else if (s == "--help") {
                 usage();
                 std::exit(0);
@@ -456,6 +478,22 @@ runAll(const BenchArgs &args, JsonReport &report,
     if (!args.trace_cache.empty())
         for (auto &c : configs)
             c.trace_cache = args.trace_cache;
+    if (args.timeline) {
+        // One poat-timeline v1 stream per primary-seed run, named by
+        // the run's label. Extra --seeds runs share labels, so they
+        // never get a timeline (see below).
+        if (mkdir(args.timeline_dir.c_str(), 0755) != 0 &&
+            errno != EEXIST) {
+            std::fprintf(stderr, "cannot create %s\n",
+                         args.timeline_dir.c_str());
+            POAT_FATAL("cannot create --timeline-dir");
+        }
+        for (auto &c : configs) {
+            c.timeline_interval = args.timeline;
+            c.timeline_path = args.timeline_dir + "/" +
+                driver::configLabel(c) + ".poattl";
+        }
+    }
     driver::SweepOptions so;
     so.jobs = args.jobs;
     const bool tty = isatty(fileno(stderr));
@@ -490,6 +528,8 @@ runAll(const BenchArgs &args, JsonReport &report,
             for (driver::ExperimentConfig c : configs) {
                 c.seed = args.seeds[s];
                 c.tracer = nullptr;
+                c.timeline_interval = 0;
+                c.timeline_path.clear();
                 extra.push_back(std::move(c));
             }
         const auto extra_res = driver::runSweep(extra, so);

@@ -124,17 +124,18 @@ class Histogram
     }
 
     /**
-     * Estimated value at percentile @p p (0..100): the bucket holding
-     * the p-th sample, linearly interpolated across its value range and
-     * clamped to the observed [min, max].
+     * Estimated value at quantile @p q (0..1): the bucket holding the
+     * q-th sample, linearly interpolated across its value range and
+     * clamped to the observed [min, max]. quantile(0.5) is the median
+     * estimate; an empty histogram reports 0.
      */
     double
-    percentile(double p) const
+    quantile(double q) const
     {
         if (count_ == 0)
             return 0.0;
-        p = std::clamp(p, 0.0, 100.0);
-        const double target = p / 100.0 * static_cast<double>(count_);
+        q = std::clamp(q, 0.0, 1.0);
+        const double target = q * static_cast<double>(count_);
         uint64_t cum = 0;
         for (uint32_t b = 0; b < kBuckets; ++b) {
             if (buckets_[b] == 0)
@@ -154,6 +155,13 @@ class Histogram
                               static_cast<double>(max_));
         }
         return static_cast<double>(max_);
+    }
+
+    /** percentile(p) with @p p in 0..100; see quantile(). */
+    double
+    percentile(double p) const
+    {
+        return quantile(std::clamp(p, 0.0, 100.0) / 100.0);
     }
 
   private:

@@ -6,10 +6,12 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 
 #include "pmem/runtime.h"
+#include "telemetry/timeline.h"
 #include "trace_io/itrace.h"
 
 namespace poat {
@@ -324,6 +326,40 @@ applyProfile(const std::string &blob, const std::string &path,
     mergeRegistry(prof, res.stats);
 }
 
+/**
+ * Attach the configured interval sampler (if any) to @p machine: the
+ * machine binds its stats source and occupancy gauges, and when the
+ * run executes natively (@p rt nonnull) the runtime-side gauges ride
+ * along. Replayed runs have no live runtime, so their timelines carry
+ * the machine gauges only.
+ */
+std::unique_ptr<telemetry::TimelineSampler>
+makeTimeline(const ExperimentConfig &cfg, sim::Machine &machine,
+             PmemRuntime *rt)
+{
+    if (cfg.timeline_interval == 0 || cfg.timeline_path.empty())
+        return nullptr;
+    auto timeline = std::make_unique<telemetry::TimelineSampler>(
+        cfg.timeline_interval, cfg.timeline_path);
+    machine.attachTimeline(timeline.get());
+    if (rt) {
+        PoolRegistry *reg = &rt->registry();
+        timeline->addGauge("pmem.undo_log_bytes", [reg] {
+            uint64_t total = 0;
+            for (const uint32_t id : reg->openIds())
+                total += reg->find(id)->log.usedBytes();
+            return total;
+        });
+        timeline->addGauge("pmem.alloc_live_bytes", [reg] {
+            uint64_t total = 0;
+            for (const uint32_t id : reg->openIds())
+                total += reg->find(id)->alloc.usedBytes();
+            return total;
+        });
+    }
+    return timeline;
+}
+
 } // namespace
 
 namespace detail {
@@ -357,8 +393,11 @@ runExperimentLive(const ExperimentConfig &cfg)
         tracer->marker(machine.cycles(), "begin " + label);
 
     PmemRuntime rt(runtimeOptions(cfg), &machine);
+    const auto timeline = makeTimeline(cfg, machine, &rt);
     executeWorkload(cfg, rt, res);
 
+    if (timeline)
+        timeline->finish(machine.cycles());
     if (tracer)
         tracer->marker(machine.cycles(), "end " + label);
     machine.setTracer(nullptr);
@@ -401,8 +440,11 @@ runExperimentCaptured(const ExperimentConfig &cfg,
     // live-run metrics.
     trace_io::TraceRecorder rec(&machine, path, traceFingerprint(cfg));
     PmemRuntime rt(runtimeOptions(cfg), &rec);
+    const auto timeline = makeTimeline(cfg, machine, &rt);
     executeWorkload(cfg, rt, res);
 
+    if (timeline)
+        timeline->finish(machine.cycles());
     if (tracer)
         tracer->marker(machine.cycles(), "end " + label);
     machine.setTracer(nullptr);
@@ -443,8 +485,11 @@ runExperimentReplayed(const ExperimentConfig &cfg,
     if (tracer)
         tracer->marker(machine.cycles(), "begin " + label);
 
+    const auto timeline = makeTimeline(cfg, machine, nullptr);
     rep.replayInto(machine);
 
+    if (timeline)
+        timeline->finish(machine.cycles());
     if (tracer)
         tracer->marker(machine.cycles(), "end " + label);
     machine.setTracer(nullptr);

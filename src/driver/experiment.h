@@ -89,6 +89,22 @@ struct ExperimentConfig
     std::string trace_cache;
 
     /**
+     * Interval telemetry (src/telemetry/): cycles per timeline sample;
+     * 0 = no timeline. When nonzero (and timing is on), the run's
+     * machine gets a TimelineSampler writing timeline_path, sampling
+     * every counter/CPI delta plus the occupancy gauges. Timing-only:
+     * deliberately excluded from traceFingerprint(), so cached traces
+     * survive toggling it. Observer-only: sampling reads synced stats
+     * and nothing else, so metrics, aggregate stats, and checksums are
+     * bit-identical with the timeline on or off (equivalence tests
+     * assert this).
+     */
+    uint64_t timeline_interval = 0;
+
+    /** Output path of the poat-timeline v1 stream (see above). */
+    std::string timeline_path;
+
+    /**
      * Cycle-stamped event tracer attached to the run's machine for the
      * duration of the run; null = no tracing. Not owned.
      *

@@ -294,6 +294,7 @@ PmemRuntime::txBegin(uint32_t pool_id)
     op.log.begin();
     txPools_.insert(pool_id);
 
+    sink_->txBegin(pool_id, currentOp_);
     sink_->alu(costs::kTxBegin);
     const uint32_t hdr = op.log.headerOff();
     if (opts_.mode == TranslationMode::Hardware) {
@@ -449,6 +450,7 @@ PmemRuntime::txEnd()
         const auto records = op.log.records();
         op.log.commit();
         emitCommit(op, records);
+        sink_->txCommit(pool_id);
     }
     txPools_.clear();
 }
@@ -486,8 +488,19 @@ PmemRuntime::txAbort()
             }
         }
         sink_->fence();
+        sink_->txAbort(pool_id);
     }
     txPools_.clear();
+}
+
+void
+PmemRuntime::setOp(const char *name)
+{
+    auto [it, fresh] =
+        opIds_.emplace(name, static_cast<uint32_t>(opIds_.size()) + 1);
+    if (fresh)
+        sink_->opName(it->second, name);
+    currentOp_ = it->second;
 }
 
 // --------------------------------------------------------------------

@@ -20,6 +20,7 @@
 #define POAT_PMEM_RUNTIME_H
 
 #include <cstdint>
+#include <map>
 #include <set>
 #include <string>
 #include <type_traits>
@@ -168,6 +169,15 @@ class PmemRuntime
     void txPfree(ObjectID oid);
     void txEnd();
     void txAbort();
+
+    /**
+     * Tag subsequent transactions with the logical workload operation
+     * @p name ("insert", "new_order", ...). Interns the name to a small
+     * id (announced to the sink once via TraceSink::opName) and stamps
+     * it into every TraceSink::txBegin until the next setOp. Purely
+     * observational: emits no instructions.
+     */
+    void setOp(const char *name);
     bool txActive() const { return !txPools_.empty(); }
     bool txActiveOn(uint32_t pool_id) const
     {
@@ -238,6 +248,8 @@ class PmemRuntime
     SoftwareTranslator translator_;
     std::set<uint32_t> txPools_; ///< pools with an open transaction
     uint64_t lastLoadTag_ = kNoDep;
+    std::map<std::string, uint32_t> opIds_; ///< interned setOp names
+    uint32_t currentOp_ = 0; ///< id stamped into txBegin spans (0 = none)
 };
 
 } // namespace poat

@@ -140,6 +140,37 @@ class TraceSink
     /** End of a software-translation region (see swTranslateBegin). */
     virtual void swTranslateEnd() {}
 
+    /**
+     * Transaction-span markers (observability, not timing): a
+     * transaction opened on pool @p pool_id while the workload op
+     * interned as @p op (0 = untagged; see opName) was running. Spans
+     * carry no instructions and no cycles — sinks that do not profile
+     * transactions ignore them, and sinks that wrap another sink must
+     * forward all four so replays profile identically.
+     */
+    virtual void txBegin(uint32_t pool_id, uint32_t op)
+    {
+        (void)pool_id;
+        (void)op;
+    }
+
+    /** The transaction on pool @p pool_id committed. */
+    virtual void txCommit(uint32_t pool_id) { (void)pool_id; }
+
+    /** The transaction on pool @p pool_id rolled back. */
+    virtual void txAbort(uint32_t pool_id) { (void)pool_id; }
+
+    /**
+     * Interning announcement: workload-op id @p op means @p name from
+     * here on. Emitted once per distinct name, before the first txBegin
+     * that carries the id.
+     */
+    virtual void opName(uint32_t op, const char *name)
+    {
+        (void)op;
+        (void)name;
+    }
+
   private:
     uint64_t fallbackTag_ = 0;
 };

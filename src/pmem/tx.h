@@ -157,6 +157,9 @@ class UndoLog
     /** Bytes still available for log entries. */
     uint32_t remainingCapacity() const;
 
+    /** Bytes of entries currently in the log (a telemetry gauge). */
+    uint32_t usedBytes() const { return readHeader().used; }
+
   private:
     LogHeader readHeader() const;
     void writeState(uint32_t state, uint32_t num, uint32_t used);

@@ -4,6 +4,7 @@
 
 #include "sim/core_inorder.h"
 #include "sim/core_ooo.h"
+#include "telemetry/timeline.h"
 
 namespace poat {
 namespace sim {
@@ -44,6 +45,8 @@ Machine::Machine(const MachineConfig &cfg)
     hPotLat_ = &stats_.histogram("pot.walk_latency");
     hNvLoadLat_ = &stats_.histogram("mem.nv_load_latency");
     hNvStoreLat_ = &stats_.histogram("mem.nv_store_latency");
+    hTxLat_ = &stats_.histogram("tx.latency");
+    hTxDurab_ = &stats_.histogram("tx.durability_events");
 
     stats_.formula("polb.miss_rate", "polb.misses", "polb.accesses");
     stats_.formula("tlb.miss_rate", "tlb.misses", "tlb.accesses");
@@ -65,10 +68,18 @@ Machine::tlbPenalty(uint64_t vaddr)
 }
 
 void
+Machine::timelineTick()
+{
+    timeline_->tick(core_->cycles());
+}
+
+void
 Machine::alu(uint32_t count, uint64_t dep)
 {
     instructions_ += count;
     core_->alu(count, dep);
+    if (timeline_)
+        timelineTick();
 }
 
 void
@@ -77,6 +88,8 @@ Machine::branch(bool taken, uint64_t pc, uint64_t dep)
     ++instructions_;
     const bool mispredict = bp_.predictAndUpdate(pc, taken);
     core_->branch(mispredict, dep);
+    if (timeline_)
+        timelineTick();
 }
 
 uint64_t
@@ -90,7 +103,10 @@ Machine::load(uint64_t vaddr, uint64_t dep, uint64_t dep2)
     const auto acc = caches_.accessClassified(pa, false);
     costs.mem = acc.latency;
     costs.mem_comp = levelComp(acc.level);
-    return core_->load(costs, dep, dep2);
+    const uint64_t tag = core_->load(costs, dep, dep2);
+    if (timeline_)
+        timelineTick();
+    return tag;
 }
 
 void
@@ -105,6 +121,8 @@ Machine::store(uint64_t vaddr, uint64_t dep)
     costs.mem = acc.latency;
     costs.mem_comp = levelComp(acc.level);
     core_->store(costs, dep);
+    if (timeline_)
+        timelineTick();
 }
 
 uint32_t
@@ -153,7 +171,9 @@ Machine::translateNv(ObjectID oid)
             const PotWalk w = pot_.walk(oid.poolId());
             if (!w.found)
                 POAT_PANIC("POT miss: nv access to an unmapped pool");
+            ++potOutstanding_;
             x.pot = ideal ? 0 : potWalkCharge(w, /*parallel=*/false);
+            --potOutstanding_;
             hPotProbes_->record(w.probes);
             hPotLat_->record(x.pot);
             POAT_TRACE(tracer_, core_->cycles(), TraceComponent::Pot,
@@ -186,8 +206,10 @@ Machine::translateNv(ObjectID oid)
     const PotWalk w = pot_.walk(oid.poolId());
     if (!w.found)
         POAT_PANIC("POT miss: nv access to an unmapped pool");
+    ++potOutstanding_;
     if (!ideal)
         x.pot = potWalkCharge(w, /*parallel=*/true);
+    --potOutstanding_;
     hPotProbes_->record(w.probes);
     hPotLat_->record(x.pot);
     hXlatLat_->record(x.pot);
@@ -212,7 +234,10 @@ Machine::nvLoad(ObjectID oid, uint64_t dep, uint64_t dep2)
                TraceOutcome::Load, oid.raw, x.preStall() + acc.latency);
     AccessCosts costs{x.polb, x.pot, x.tlb, acc.latency,
                       levelComp(acc.level)};
-    return core_->load(costs, dep, dep2);
+    const uint64_t tag = core_->load(costs, dep, dep2);
+    if (timeline_)
+        timelineTick();
+    return tag;
 }
 
 void
@@ -228,6 +253,8 @@ Machine::nvStore(ObjectID oid, uint64_t dep)
     AccessCosts costs{x.polb, x.pot, x.tlb, acc.latency,
                       levelComp(acc.level)};
     core_->store(costs, dep);
+    if (timeline_)
+        timelineTick();
 }
 
 void
@@ -240,6 +267,8 @@ Machine::clwb(uint64_t vaddr)
     const uint64_t pa = pageTable_.translate(vaddr);
     caches_.flushLine(pa);
     core_->clwb(costs, cfg_.clwb_latency);
+    if (timeline_)
+        timelineTick();
 }
 
 void
@@ -254,6 +283,8 @@ Machine::nvClwb(ObjectID oid)
                cfg_.clwb_latency + x.preStall());
     AccessCosts costs{x.polb, x.pot, x.tlb, 0, CpiComponent::L1D};
     core_->clwb(costs, cfg_.clwb_latency);
+    if (timeline_)
+        timelineTick();
 }
 
 void
@@ -262,6 +293,8 @@ Machine::fence()
     ++instructions_;
     ++fences_;
     core_->fence();
+    if (timeline_)
+        timelineTick();
 }
 
 void
@@ -283,6 +316,59 @@ Machine::swTranslateEnd()
     POAT_ASSERT(swDepth_ > 0, "unbalanced swTranslateEnd");
     if (--swDepth_ == 0)
         core_->setSwTranslate(false);
+}
+
+void
+Machine::txBegin(uint32_t pool_id, uint32_t op)
+{
+    ++txBegins_;
+    openTx_[pool_id] = TxSpan{core_->cycles(), op, clwbs_ + fences_};
+}
+
+void
+Machine::txCommit(uint32_t pool_id)
+{
+    const auto it = openTx_.find(pool_id);
+    POAT_ASSERT(it != openTx_.end(), "txCommit without txBegin");
+    ++txCommits_;
+    const uint64_t latency = core_->cycles() - it->second.begin_cycle;
+    hTxLat_->record(latency);
+    hTxDurab_->record(clwbs_ + fences_ - it->second.durab_at_begin);
+    const auto op = opLat_.find(it->second.op);
+    if (op != opLat_.end())
+        op->second->record(latency);
+    openTx_.erase(it);
+}
+
+void
+Machine::txAbort(uint32_t pool_id)
+{
+    const auto it = openTx_.find(pool_id);
+    POAT_ASSERT(it != openTx_.end(), "txAbort without txBegin");
+    ++txAborts_;
+    openTx_.erase(it);
+}
+
+void
+Machine::opName(uint32_t op, const char *name)
+{
+    opLat_[op] =
+        &stats_.histogram("tx.op." + std::string(name) + ".latency");
+}
+
+void
+Machine::attachTimeline(telemetry::TimelineSampler *timeline)
+{
+    timeline_ = timeline;
+    if (!timeline_)
+        return;
+    timeline_->setStatsSource(
+        [this]() -> const StatsRegistry & { return stats(); });
+    timeline_->addGauge("polb.occupancy", [this] {
+        return static_cast<uint64_t>(polb_.occupancy());
+    });
+    timeline_->addGauge("pot.outstanding_walks",
+                        [this] { return potOutstanding_; });
 }
 
 void
@@ -346,6 +432,10 @@ Machine::syncStats() const
     reg.counter("branch.lookups") = bp_.branches();
     reg.counter("branch.mispredicts") = bp_.mispredicts();
     reg.counter("vm.mapped_pages") = pageTable_.mappedPages();
+    reg.counter("tx.begins") = txBegins_;
+    reg.counter("tx.commits") = txCommits_;
+    reg.counter("tx.aborts") = txAborts_;
+    reg.counter("tx.retries") = txRetries_;
 }
 
 const StatsRegistry &

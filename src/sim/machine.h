@@ -23,8 +23,10 @@
 #define POAT_SIM_MACHINE_H
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <ostream>
+#include <string>
 
 #include "common/stats.h"
 #include "common/trace_event.h"
@@ -38,6 +40,11 @@
 #include "sim/vm.h"
 
 namespace poat {
+
+namespace telemetry {
+class TimelineSampler;
+}
+
 namespace sim {
 
 /** Aggregate run metrics exported after simulation. */
@@ -97,6 +104,10 @@ class Machine : public TraceSink
     void poolUnmapped(uint32_t pool_id) override;
     void swTranslateBegin() override;
     void swTranslateEnd() override;
+    void txBegin(uint32_t pool_id, uint32_t op) override;
+    void txCommit(uint32_t pool_id) override;
+    void txAbort(uint32_t pool_id) override;
+    void opName(uint32_t op, const char *name) override;
     /// @}
 
     /** Collected metrics for the run so far. */
@@ -153,6 +164,18 @@ class Machine : public TraceSink
     }
     EventTracer *tracer() const { return tracer_; }
 
+    /**
+     * Attach (or detach, with nullptr) an interval timeline sampler.
+     * Binds the sampler's stats source to this machine's registry and
+     * registers the machine-side occupancy gauges ("polb.occupancy",
+     * "pot.outstanding_walks"); the caller adds any runtime-side
+     * gauges afterwards and calls finish() when the run ends. The
+     * sampler observes only — attaching one changes no simulated
+     * state, so metrics and stats stay bit-identical.
+     */
+    void attachTimeline(telemetry::TimelineSampler *timeline);
+    telemetry::TimelineSampler *timeline() const { return timeline_; }
+
     const MachineConfig &config() const { return cfg_; }
     Polb &polb() { return polb_; }
     Pot &pot() { return pot_; }
@@ -190,6 +213,17 @@ class Machine : public TraceSink
     /** Sync every component counter and formula into stats_. */
     void syncStats() const;
 
+    /** Give the timeline sampler the current cycle (if one is on). */
+    void timelineTick();
+
+    /** An in-flight transaction span (see TraceSink::txBegin). */
+    struct TxSpan
+    {
+        uint64_t begin_cycle = 0;
+        uint32_t op = 0;
+        uint64_t durab_at_begin = 0; ///< clwbs + fences when it opened
+    };
+
     MachineConfig cfg_;
     std::unique_ptr<CoreModel> core_;
     CacheHierarchy caches_;
@@ -199,6 +233,7 @@ class Machine : public TraceSink
     Pot pot_;
     BranchPredictor bp_;
     EventTracer *tracer_ = nullptr;
+    telemetry::TimelineSampler *timeline_ = nullptr;
 
     mutable StatsRegistry stats_;
     // Hot-path histogram handles (stable: std::map nodes don't move).
@@ -207,6 +242,8 @@ class Machine : public TraceSink
     Histogram *hPotLat_;     ///< pot.walk_latency
     Histogram *hNvLoadLat_;  ///< mem.nv_load_latency
     Histogram *hNvStoreLat_; ///< mem.nv_store_latency
+    Histogram *hTxLat_;      ///< tx.latency
+    Histogram *hTxDurab_;    ///< tx.durability_events
 
     uint64_t instructions_ = 0;
     uint32_t swDepth_ = 0; ///< software-translation region nesting
@@ -216,6 +253,22 @@ class Machine : public TraceSink
     uint64_t nvStores_ = 0;
     uint64_t clwbs_ = 0;
     uint64_t fences_ = 0;
+
+    // Transaction-span profiling (pure observation; no timing).
+    std::map<uint32_t, TxSpan> openTx_;     ///< pool id -> open span
+    std::map<uint32_t, Histogram *> opLat_; ///< op id -> tx.op.* hist
+    uint64_t txBegins_ = 0;
+    uint64_t txCommits_ = 0;
+    uint64_t txAborts_ = 0;
+    uint64_t txRetries_ = 0; ///< reserved for concurrent-tx retry loops
+
+    /**
+     * POT walks in flight, exposed as the "pot.outstanding_walks"
+     * timeline gauge. Today's walk model is atomic within a single
+     * event, so samples always read 0; the gauge is the hook for
+     * future overlapped/MSHR-style walk models.
+     */
+    uint64_t potOutstanding_ = 0;
 };
 
 } // namespace sim

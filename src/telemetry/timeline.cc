@@ -1,0 +1,458 @@
+#include "telemetry/timeline.h"
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace poat {
+namespace telemetry {
+
+namespace {
+
+void
+putLe32(uint8_t *out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+void
+putLe64(uint8_t *out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint32_t
+getLe32(const uint8_t *in)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(in[i]) << (8 * i);
+    return v;
+}
+
+uint64_t
+getLe64(const uint8_t *in)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(in[i]) << (8 * i);
+    return v;
+}
+
+void
+appendVarint(std::vector<uint8_t> &buf, uint64_t v)
+{
+    while (v >= 0x80) {
+        buf.push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    buf.push_back(static_cast<uint8_t>(v));
+}
+
+/** Zigzag: small magnitudes of either sign encode small. */
+uint64_t
+zigzag(int64_t v)
+{
+    return (static_cast<uint64_t>(v) << 1) ^
+        static_cast<uint64_t>(v >> 63);
+}
+
+int64_t
+unzigzag(uint64_t z)
+{
+    return static_cast<int64_t>(z >> 1) ^ -static_cast<int64_t>(z & 1);
+}
+
+[[noreturn]] void
+badFile(const std::string &path, const std::string &why)
+{
+    throw std::runtime_error("poat-timeline: " + path + ": " + why);
+}
+
+uint64_t
+readVarint(const std::string &path, const std::vector<uint8_t> &d,
+           size_t *pos)
+{
+    uint64_t v = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+        if (*pos >= d.size())
+            badFile(path, "truncated varint");
+        const uint8_t byte = d[(*pos)++];
+        v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0)
+            return v;
+    }
+    badFile(path, "varint exceeds 64 bits");
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// TimelineSampler
+
+TimelineSampler::TimelineSampler(uint64_t interval, std::string path)
+    : interval_(interval), next_(interval), path_(std::move(path))
+{
+    POAT_ASSERT(interval_ > 0, "timeline interval must be nonzero");
+    f_ = std::fopen(path_.c_str(), "wb");
+    if (!f_)
+        badFile(path_, "cannot create timeline file");
+}
+
+TimelineSampler::~TimelineSampler()
+{
+    if (f_) {
+        std::fclose(f_);
+        f_ = nullptr;
+    }
+}
+
+void
+TimelineSampler::addGauge(std::string name, std::function<uint64_t()> fn)
+{
+    POAT_ASSERT(!schemaWritten_,
+                "timeline gauges must be registered before sampling");
+    gaugeNames_.push_back(std::move(name));
+    gaugeFns_.push_back(std::move(fn));
+}
+
+void
+TimelineSampler::writeSchema()
+{
+    POAT_ASSERT(source_, "timeline sampler has no stats source");
+    const StatsRegistry &reg = source_();
+    for (const auto &[name, value] : reg.counters()) {
+        (void)value;
+        counterNames_.push_back(name);
+    }
+    for (const auto &[name, stack] : reg.cpiStacks()) {
+        (void)stack;
+        for (size_t c = 0; c < kCpiComponents; ++c)
+            counterNames_.push_back(
+                name + "." +
+                cpiComponentName(static_cast<CpiComponent>(c)));
+    }
+    prev_.assign(counterNames_.size(), 0);
+
+    uint8_t header[kTimelineHeaderSize] = {};
+    std::memcpy(header, kTimelineMagic, sizeof(kTimelineMagic));
+    putLe32(header + 8, kTimelineVersion);
+    putLe64(header + 12, interval_);
+    // Sample count at offset 20 is patched by finish(); leave zeros.
+    putLe32(header + 28, static_cast<uint32_t>(counterNames_.size()));
+    putLe32(header + 32, static_cast<uint32_t>(gaugeNames_.size()));
+
+    std::vector<uint8_t> buf(header, header + kTimelineHeaderSize);
+    for (const auto *names : {&counterNames_, &gaugeNames_}) {
+        for (const std::string &n : *names) {
+            appendVarint(buf, n.size());
+            buf.insert(buf.end(), n.begin(), n.end());
+        }
+    }
+    if (std::fwrite(buf.data(), 1, buf.size(), f_) != buf.size())
+        badFile(path_, "cannot write timeline header");
+    schemaWritten_ = true;
+}
+
+void
+TimelineSampler::appendRow(uint64_t end_cycle,
+                           const std::vector<uint64_t> &values,
+                           const std::vector<uint64_t> &gauges)
+{
+    std::vector<uint8_t> buf;
+    appendVarint(buf, end_cycle);
+    for (size_t i = 0; i < prev_.size(); ++i) {
+        const int64_t delta = values.empty()
+            ? 0
+            : static_cast<int64_t>(values[i]) -
+                static_cast<int64_t>(prev_[i]);
+        appendVarint(buf, zigzag(delta));
+    }
+    for (uint64_t g : gauges)
+        appendVarint(buf, g);
+    if (!values.empty())
+        prev_ = values;
+    if (std::fwrite(buf.data(), 1, buf.size(), f_) != buf.size())
+        badFile(path_, "short write while sampling");
+    ++samples_;
+}
+
+void
+TimelineSampler::sample(uint64_t end_cycle)
+{
+    if (!schemaWritten_)
+        writeSchema();
+    const StatsRegistry &reg = source_();
+    std::vector<uint64_t> values;
+    values.reserve(counterNames_.size());
+    for (const auto &[name, value] : reg.counters()) {
+        (void)name;
+        values.push_back(value);
+    }
+    for (const auto &[name, stack] : reg.cpiStacks()) {
+        (void)name;
+        for (uint64_t c : stack.cycles)
+            values.push_back(c);
+    }
+    // A registry is append-only, so a counter or stack registered after
+    // the schema froze can only push the flattened vector past the
+    // schema; drop the unannounced tail (documented in the header).
+    if (values.size() != prev_.size()) {
+        POAT_ASSERT(values.size() > prev_.size(),
+                    "stats registry lost counters mid-run");
+        values.resize(prev_.size());
+    }
+    std::vector<uint64_t> gauges;
+    gauges.reserve(gaugeFns_.size());
+    for (const auto &fn : gaugeFns_)
+        gauges.push_back(fn());
+    appendRow(end_cycle, values, gauges);
+}
+
+void
+TimelineSampler::emptySample(uint64_t end_cycle)
+{
+    std::vector<uint64_t> gauges;
+    gauges.reserve(gaugeFns_.size());
+    for (const auto &fn : gaugeFns_)
+        gauges.push_back(fn());
+    appendRow(end_cycle, {}, gauges);
+}
+
+void
+TimelineSampler::crossBoundaries(uint64_t now_cycles)
+{
+    // The event that crossed one or more interval boundaries carries
+    // the whole accumulated delta; further boundaries it jumped in the
+    // same step get zero-delta rows so rows map 1:1 to intervals.
+    sample(next_);
+    next_ += interval_;
+    while (now_cycles >= next_) {
+        emptySample(next_);
+        next_ += interval_;
+    }
+}
+
+void
+TimelineSampler::finish(uint64_t now_cycles)
+{
+    if (finished_)
+        return;
+    if (now_cycles >= next_)
+        crossBoundaries(now_cycles);
+    const uint64_t sampled = next_ - interval_; // last labelled boundary
+    if (now_cycles > sampled || samples_ == 0)
+        sample(now_cycles);
+
+    uint8_t patch[8];
+    putLe64(patch, samples_);
+    const bool ok = std::fseek(f_, 20, SEEK_SET) == 0 &&
+        std::fwrite(patch, 1, sizeof(patch), f_) == sizeof(patch) &&
+        std::fclose(f_) == 0;
+    f_ = nullptr;
+    finished_ = true;
+    if (!ok)
+        badFile(path_, "cannot finalize timeline file");
+}
+
+// --------------------------------------------------------------------
+// TimelineReader
+
+TimelineReader::TimelineReader(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        badFile(path, "cannot open timeline file");
+    std::fseek(f, 0, SEEK_END);
+    const long end = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<uint8_t> file(end > 0 ? static_cast<size_t>(end) : 0);
+    const size_t got = file.empty()
+        ? 0
+        : std::fread(file.data(), 1, file.size(), f);
+    std::fclose(f);
+    if (got != file.size())
+        badFile(path, "cannot read timeline file");
+
+    if (file.size() < kTimelineHeaderSize)
+        badFile(path, "truncated header");
+    if (std::memcmp(file.data(), kTimelineMagic,
+                    sizeof(kTimelineMagic)) != 0)
+        badFile(path, "not a poat-timeline file (bad magic)");
+    const uint32_t version = getLe32(file.data() + 8);
+    if (version != kTimelineVersion)
+        badFile(path,
+                "unsupported format version " + std::to_string(version));
+    interval_ = getLe64(file.data() + 12);
+    const uint64_t sample_count = getLe64(file.data() + 20);
+    const uint32_t n_counters = getLe32(file.data() + 28);
+    const uint32_t n_gauges = getLe32(file.data() + 32);
+
+    size_t pos = kTimelineHeaderSize;
+    auto read_name = [&]() {
+        const uint64_t len = readVarint(path, file, &pos);
+        if (len > file.size() - pos)
+            badFile(path, "truncated series name");
+        std::string name(
+            reinterpret_cast<const char *>(file.data() + pos),
+            static_cast<size_t>(len));
+        pos += static_cast<size_t>(len);
+        return name;
+    };
+    for (uint32_t i = 0; i < n_counters; ++i)
+        counterNames_.push_back(read_name());
+    for (uint32_t i = 0; i < n_gauges; ++i)
+        gaugeNames_.push_back(read_name());
+
+    samples_.reserve(static_cast<size_t>(sample_count));
+    for (uint64_t s = 0; s < sample_count; ++s) {
+        TimelineSample row;
+        row.end_cycle = readVarint(path, file, &pos);
+        row.deltas.reserve(n_counters);
+        for (uint32_t i = 0; i < n_counters; ++i)
+            row.deltas.push_back(
+                unzigzag(readVarint(path, file, &pos)));
+        row.gauges.reserve(n_gauges);
+        for (uint32_t i = 0; i < n_gauges; ++i)
+            row.gauges.push_back(readVarint(path, file, &pos));
+        samples_.push_back(std::move(row));
+    }
+    if (pos != file.size())
+        badFile(path, "trailing garbage after samples");
+}
+
+// --------------------------------------------------------------------
+// Converters
+
+namespace {
+
+void
+jsonEscape(std::ostream &os, const std::string &s)
+{
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            os << '\\' << c;
+        else
+            os << c;
+    }
+}
+
+} // namespace
+
+void
+dumpCsv(const TimelineReader &tl, std::ostream &os)
+{
+    os << "end_cycle";
+    for (const auto &n : tl.counterNames())
+        os << "," << n;
+    for (const auto &n : tl.gaugeNames())
+        os << "," << n;
+    os << "\n";
+    for (const auto &row : tl.samples()) {
+        os << row.end_cycle;
+        for (int64_t d : row.deltas)
+            os << "," << d;
+        for (uint64_t g : row.gauges)
+            os << "," << g;
+        os << "\n";
+    }
+}
+
+void
+dumpJson(const TimelineReader &tl, std::ostream &os)
+{
+    os << "{\n  \"format\": \"poat-timeline v1\",\n  \"interval\": "
+       << tl.interval() << ",\n  \"counters\": [";
+    for (size_t i = 0; i < tl.counterNames().size(); ++i) {
+        os << (i ? ", " : "") << '"';
+        jsonEscape(os, tl.counterNames()[i]);
+        os << '"';
+    }
+    os << "],\n  \"gauges\": [";
+    for (size_t i = 0; i < tl.gaugeNames().size(); ++i) {
+        os << (i ? ", " : "") << '"';
+        jsonEscape(os, tl.gaugeNames()[i]);
+        os << '"';
+    }
+    os << "],\n  \"samples\": [";
+    for (size_t s = 0; s < tl.samples().size(); ++s) {
+        const auto &row = tl.samples()[s];
+        os << (s ? ",\n    " : "\n    ")
+           << "{\"end_cycle\": " << row.end_cycle << ", \"deltas\": [";
+        for (size_t i = 0; i < row.deltas.size(); ++i)
+            os << (i ? ", " : "") << row.deltas[i];
+        os << "], \"gauges\": [";
+        for (size_t i = 0; i < row.gauges.size(); ++i)
+            os << (i ? ", " : "") << row.gauges[i];
+        os << "]}";
+    }
+    os << "\n  ]\n}\n";
+}
+
+void
+dumpChrome(const TimelineReader &tl, std::ostream &os)
+{
+    // One "ph":"C" counter event per series per sample, with the
+    // components of a CPI stack ("<stack>.<component>") merged into a
+    // single multi-value track named "<stack>" so viewers stack them.
+    os << "[";
+    bool first = true;
+    auto event = [&](const std::string &name, uint64_t ts,
+                     auto &&write_args) {
+        os << (first ? "\n" : ",\n") << " {\"name\": \"";
+        jsonEscape(os, name);
+        os << "\", \"ph\": \"C\", \"ts\": " << ts
+           << ", \"pid\": 0, \"tid\": 0, \"args\": {";
+        write_args();
+        os << "}}";
+        first = false;
+    };
+
+    const auto &counters = tl.counterNames();
+    for (const auto &row : tl.samples()) {
+        // CPI-stack components share one event keyed by stack name.
+        size_t i = 0;
+        while (i < counters.size()) {
+            const std::string &name = counters[i];
+            const size_t dot = name.rfind('.');
+            const std::string stack =
+                dot == std::string::npos ? "" : name.substr(0, dot);
+            const bool is_cpi = stack.size() >= 3 &&
+                stack.compare(stack.size() - 3, 3, "cpi") == 0;
+            if (!is_cpi) {
+                event(name, row.end_cycle, [&] {
+                    os << "\"value\": " << row.deltas[i];
+                });
+                ++i;
+                continue;
+            }
+            event(stack, row.end_cycle, [&] {
+                bool inner_first = true;
+                while (i < counters.size() &&
+                       counters[i].compare(0, stack.size() + 1,
+                                           stack + ".") == 0) {
+                    os << (inner_first ? "" : ", ") << '"';
+                    jsonEscape(os,
+                               counters[i].substr(stack.size() + 1));
+                    os << "\": " << row.deltas[i];
+                    inner_first = false;
+                    ++i;
+                }
+            });
+        }
+        for (size_t g = 0; g < tl.gaugeNames().size(); ++g) {
+            event(tl.gaugeNames()[g], row.end_cycle, [&] {
+                os << "\"value\": " << row.gauges[g];
+            });
+        }
+    }
+    os << "\n]\n";
+}
+
+} // namespace telemetry
+} // namespace poat

@@ -99,6 +99,14 @@ eventKindName(uint8_t kind)
         return "swTranslateBegin";
       case EventKind::SwTranslateEnd:
         return "swTranslateEnd";
+      case EventKind::TxBegin:
+        return "txBegin";
+      case EventKind::TxCommit:
+        return "txCommit";
+      case EventKind::TxAbort:
+        return "txAbort";
+      case EventKind::OpName:
+        return "opName";
     }
     return "?";
 }
@@ -374,6 +382,46 @@ TraceRecorder::swTranslateEnd()
         inner_->swTranslateEnd();
 }
 
+void
+TraceRecorder::txBegin(uint32_t pool_id, uint32_t op)
+{
+    begin(EventKind::TxBegin);
+    put(pool_id);
+    put(op);
+    if (inner_)
+        inner_->txBegin(pool_id, op);
+}
+
+void
+TraceRecorder::txCommit(uint32_t pool_id)
+{
+    begin(EventKind::TxCommit);
+    put(pool_id);
+    if (inner_)
+        inner_->txCommit(pool_id);
+}
+
+void
+TraceRecorder::txAbort(uint32_t pool_id)
+{
+    begin(EventKind::TxAbort);
+    put(pool_id);
+    if (inner_)
+        inner_->txAbort(pool_id);
+}
+
+void
+TraceRecorder::opName(uint32_t op, const char *name)
+{
+    const size_t len = std::strlen(name);
+    begin(EventKind::OpName);
+    put(op);
+    put(len);
+    buf_.insert(buf_.end(), name, name + len);
+    if (inner_)
+        inner_->opName(op, name);
+}
+
 // --------------------------------------------------------------------
 // TraceReplayer
 
@@ -519,6 +567,30 @@ TraceReplayer::replayInto(TraceSink &sink) const
           case EventKind::SwTranslateEnd:
             sink.swTranslateEnd();
             break;
+          case EventKind::TxBegin: {
+            const uint64_t pool = readVarint(d, n, &pos);
+            const uint64_t op = readVarint(d, n, &pos);
+            sink.txBegin(static_cast<uint32_t>(pool),
+                         static_cast<uint32_t>(op));
+            break;
+          }
+          case EventKind::TxCommit:
+            sink.txCommit(static_cast<uint32_t>(readVarint(d, n, &pos)));
+            break;
+          case EventKind::TxAbort:
+            sink.txAbort(static_cast<uint32_t>(readVarint(d, n, &pos)));
+            break;
+          case EventKind::OpName: {
+            const uint64_t op = readVarint(d, n, &pos);
+            const uint64_t len = readVarint(d, n, &pos);
+            if (len > n - pos)
+                badFile(path_, "truncated opName record");
+            std::string name(reinterpret_cast<const char *>(d + pos),
+                             static_cast<size_t>(len));
+            pos += static_cast<size_t>(len);
+            sink.opName(static_cast<uint32_t>(op), name.c_str());
+            break;
+          }
           default:
             badFile(path_,
                     "unknown record kind " + std::to_string(kind) +

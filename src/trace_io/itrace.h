@@ -1,6 +1,6 @@
 /**
  * @file
- * Instruction-trace capture & replay: the "poat-itrace" format (v2).
+ * Instruction-trace capture & replay: the "poat-itrace" format (v3).
  *
  * The simulator is execution-driven: workloads run natively and report
  * every dynamic instruction to a TraceSink (pmem/trace.h). A machine-
@@ -16,7 +16,7 @@
  * File layout (all integers little-endian):
  *
  *   offset 0   magic "poatitrc" (8 bytes)
- *          8   u32 format version (2)
+ *          8   u32 format version (3)
  *         12   u32 fingerprint length
  *         16   u64 event count      (patched by finish())
  *         24   u64 record bytes     (patched by finish())
@@ -57,9 +57,11 @@ inline constexpr char kMagic[8] = {'p', 'o', 'a', 't', 'i', 't', 'r', 'c'};
 /**
  * Format version this build reads and writes. v2 added the
  * SwTranslateBegin/SwTranslateEnd region markers (CPI-stack
- * attribution); v1 files fail matches() and are silently recaptured.
+ * attribution); v3 added the transaction-span records
+ * (TxBegin/TxCommit/TxAbort/OpName) feeding the tx.* stats subtree.
+ * Older files fail matches() and are silently recaptured.
  */
-inline constexpr uint32_t kFormatVersion = 2;
+inline constexpr uint32_t kFormatVersion = 3;
 
 /** Bytes before the fingerprint (magic + version + 3 patched fields). */
 inline constexpr size_t kHeaderSize = 40;
@@ -80,10 +82,14 @@ enum class EventKind : uint8_t
     PoolUnmapped, ///< pool_id
     SwTranslateBegin, ///< (no operands; v2)
     SwTranslateEnd,   ///< (no operands; v2)
+    TxBegin,          ///< pool_id, op (v3)
+    TxCommit,         ///< pool_id (v3)
+    TxAbort,          ///< pool_id (v3)
+    OpName,           ///< op, name length, raw name bytes (v3)
 };
 
 inline constexpr uint8_t kMinEventKind = 1;
-inline constexpr uint8_t kMaxEventKind = 13;
+inline constexpr uint8_t kMaxEventKind = 17;
 
 /** Human-readable name of a record kind ("?" if out of range). */
 const char *eventKindName(uint8_t kind);
@@ -158,6 +164,10 @@ class TraceRecorder : public TraceSink
     void poolUnmapped(uint32_t pool_id) override;
     void swTranslateBegin() override;
     void swTranslateEnd() override;
+    void txBegin(uint32_t pool_id, uint32_t op) override;
+    void txCommit(uint32_t pool_id) override;
+    void txAbort(uint32_t pool_id) override;
+    void opName(uint32_t op, const char *name) override;
     /// @}
 
   private:

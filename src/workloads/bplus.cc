@@ -39,6 +39,7 @@ BplusWorkload::run(PmemRuntime &rt)
 
         const auto hit = tree.find(key);
         rt.branchEvent(hit.has_value(), kPcFound);
+        rt.setOp(hit ? "erase" : "insert");
         TxScope tx(rt, cfg_.transactions);
         if (hit) {
             const bool erased = tree.erase(tx, key);

@@ -89,6 +89,7 @@ BstWorkload::run(PmemRuntime &rt)
 
         if (!found) {
             // ---- insert as the child we fell off of ---------------
+            rt.setOp("insert");
             TxScope tx(rt, cfg_.transactions);
             const ObjectID n =
                 tx.pmalloc(pools.poolForNew(key), kNodeSize);
@@ -104,6 +105,7 @@ BstWorkload::run(PmemRuntime &rt)
         }
 
         // ---- remove cur, paper-style ---------------------------------
+        rt.setOp("remove");
         TxScope tx(rt, cfg_.transactions);
         ObjectRef c = rt.deref(cur);
         const ObjectID left(rt.read<uint64_t>(c, kOffLeft));

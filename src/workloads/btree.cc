@@ -213,6 +213,7 @@ BtreeWorkload::run(PmemRuntime &rt)
         }
 
         // ---- insert ---------------------------------------------------
+        rt.setOp("insert");
         TxScope tx(rt, cfg_.transactions);
         NodeLogger log(tx);
         BtOps bt{rt, pools, tx, log};

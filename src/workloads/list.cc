@@ -68,6 +68,7 @@ LinkedListWorkload::run(PmemRuntime &rt)
 
         if (found) {
             // ---- remove cur: relink, then free --------------------
+            rt.setOp("remove");
             TxScope tx(rt, cfg_.transactions);
             ObjectRef c = rt.deref(cur);
             const uint64_t next_raw = rt.read<uint64_t>(c, kOffNext);
@@ -84,6 +85,7 @@ LinkedListWorkload::run(PmemRuntime &rt)
             ++res.found;
         } else {
             // ---- insert a new head node ----------------------------
+            rt.setOp("insert");
             TxScope tx(rt, cfg_.transactions);
             const uint32_t pool = pools.poolForNew(key);
             const ObjectID n = tx.pmalloc(pool, kNodeSize);

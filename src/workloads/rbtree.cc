@@ -362,6 +362,7 @@ RbtWorkload::run(PmemRuntime &rt)
             cur = ObjectID(next);
         }
 
+        rt.setOp(found ? "remove" : "insert");
         TxScope tx(rt, cfg_.transactions);
         NodeLogger log(tx);
         Rb rb{rt, tx, log, anchor};

@@ -76,6 +76,7 @@ SpsWorkload::run(PmemRuntime &rt)
             b = (b + 1) % kStrings;
         ++res.operations;
 
+        rt.setOp("swap");
         TxScope tx(rt, cfg_.transactions);
         ObjectRef idxr = rt.deref(index);
         const ObjectID sa(rt.read<uint64_t>(idxr, 8 * a));

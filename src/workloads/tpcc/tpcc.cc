@@ -249,6 +249,7 @@ TpccDb::TpccDb(PmemRuntime &rt, Placement placement, uint32_t scale_pct,
 
     // ---- population (TPC-C v5.11 section 4.3.3, scaled) -----------
     // Items are shared across warehouses.
+    rt_.setOp("populate");
     for (uint64_t i = 1; i <= cards_.items; ++i) {
         TxScope itx(rt_, transactions_);
         const ObjectID it = allocTuple(itx, kItem, 1, kItSize);
@@ -496,6 +497,7 @@ TpccDb::newOrder(TpccResult &res)
     }
 
     walAppend(1, (w << 32) | d, c);
+    rt_.setOp("new_order");
     TxScope tx(rt_, transactions_);
 
     // District: allocate the order id.
@@ -646,6 +648,7 @@ TpccDb::payment(TpccResult &res)
     const uint64_t amount = 100 + rng_.below(500000 - 100 + 1);
 
     walAppend(2, (w << 32) | d, (c << 32) | amount);
+    rt_.setOp("payment");
     TxScope tx(rt_, transactions_);
 
     const ObjectID wh(trees_[kWarehouse]->find(w).value());
@@ -728,6 +731,7 @@ TpccDb::delivery(TpccResult &res)
     const uint64_t carrier = 1 + rng_.below(10);
     walAppend(4, (w << 32) | carrier, 0);
 
+    rt_.setOp("delivery");
     for (uint64_t d = 1; d <= cards_.districts; ++d) {
         const auto oldest = trees_[kNewOrder]->findFirst(
             orderKey(w, d, 0), orderKey(w, d, ~0u));

@@ -24,8 +24,15 @@ crash-point exploration (must pass and print coverage), replays a
 reproducer string, and checks the strict CLI: --help exits 0, an
 unknown flag is rejected with exit status 2.
 
+When a timeline_dump binary is also given, exercises --timeline=N end
+to end: the stats report stays byte-identical to a timeline-off run,
+every run emits a parseable poat-timeline stream whose row count is
+exactly ceil(cycles / N), per-row CPI component deltas sum to the row's
+cycle delta, and the --chrome conversion yields loadable JSON of
+"ph":"C" counter events.
+
 Usage: bench_smoke.py <fig9a_speedup_inorder> [<fig11_polb_size>
-       [<crash_explore>]]
+       [<crash_explore> [<timeline_dump>]]]
 """
 
 import json
@@ -173,6 +180,104 @@ def check_trace_cache(bench):
         )
 
 
+def check_timeline(bench, dump_tool):
+    """--timeline=N: report unchanged, streams parse, rows counted."""
+    interval = 50000
+    with tempfile.TemporaryDirectory() as tmp:
+        off = os.path.join(tmp, "off.json")
+        on = os.path.join(tmp, "on.json")
+        tldir = os.path.join(tmp, "timelines")
+        base = [bench, "--scale=5", "--no-tpcc", "--jobs=2"]
+
+        run_bench(base + ["--stats-json=" + off])
+        run_bench(
+            base
+            + [
+                "--stats-json=" + on,
+                "--timeline=%d" % interval,
+                "--timeline-dir=" + tldir,
+            ]
+        )
+        with open(off, "rb") as f:
+            off_bytes = f.read()
+        with open(on, "rb") as f:
+            on_bytes = f.read()
+        if off_bytes != on_bytes:
+            fail("--timeline changed the stats report")
+        with open(on) as f:
+            report = json.load(f)
+
+        # One parseable stream per run, with exactly ceil(cycles/N)
+        # rows each (a zero-cycle run would still get one finish row).
+        for r in report["runs"]:
+            path = os.path.join(tldir, r["label"] + ".poattl")
+            if not os.path.exists(path):
+                fail("run %r emitted no timeline" % r["label"])
+            proc = run_bench([dump_tool, "--json", path])
+            tl = json.loads(proc.stdout)
+            want = max(1, -(-r["cycles"] // interval))
+            got = len(tl["samples"])
+            if got != want:
+                fail(
+                    "run %r: %d timeline rows, want ceil(%d/%d)=%d"
+                    % (r["label"], got, r["cycles"], interval, want)
+                )
+
+        # Deep-check one stream: CPI component deltas sum to the cycle
+        # delta row by row, and the rows tile the whole run.
+        label = report["runs"][0]["label"]
+        path = os.path.join(tldir, label + ".poattl")
+        proc = run_bench([dump_tool, "--json", path])
+        tl = json.loads(proc.stdout)
+        names = tl["counters"]
+        cyc_at = names.index("core.cycles")
+        cpi_at = [
+            i for i, n in enumerate(names) if n.startswith("core.cpi.")
+        ]
+        if len(cpi_at) != len(CPI_COMPONENTS):
+            fail("expected %d core.cpi.* series, got %d"
+                 % (len(CPI_COMPONENTS), len(cpi_at)))
+        total = 0
+        for row in tl["samples"]:
+            s = sum(row["deltas"][i] for i in cpi_at)
+            if s != row["deltas"][cyc_at]:
+                fail(
+                    "run %r row %d: CPI deltas sum to %d, cycle delta "
+                    "%d" % (label, row["end_cycle"], s,
+                            row["deltas"][cyc_at])
+                )
+            total += row["deltas"][cyc_at]
+        if total != report["runs"][0]["cycles"]:
+            fail(
+                "run %r: timeline cycle deltas sum to %d, run took %d"
+                % (label, total, report["runs"][0]["cycles"])
+            )
+
+        # The Chrome conversion is loadable JSON of counter events.
+        proc = run_bench([dump_tool, "--chrome", path])
+        events = json.loads(proc.stdout)
+        if not isinstance(events, list) or not events:
+            fail("--chrome emitted no events")
+        for e in events:
+            if e.get("ph") != "C" or "args" not in e:
+                fail("malformed Chrome counter event: %r" % e)
+
+        # Strict CLI: unknown flags exit 2 with a stderr note.
+        proc = subprocess.run(
+            [dump_tool, "--bogus", path], capture_output=True,
+            text=True, timeout=120
+        )
+        if proc.returncode != 2:
+            fail("unknown flag should exit 2, got %d" % proc.returncode)
+        if "unknown argument" not in proc.stderr:
+            fail("unknown flag not reported on stderr")
+        print(
+            "OK: --timeline report byte-identical, %d streams with "
+            "exact row counts, CPI deltas sum per row, Chrome JSON "
+            "loads" % len(report["runs"])
+        )
+
+
 def check_crash_explore(tool):
     """crash_explore: tiny exploration passes; CLI parsing is strict."""
     proc = run_bench([tool, "--workload=LL", "--steps=8", "--jobs=2"])
@@ -202,9 +307,9 @@ def check_crash_explore(tool):
 
 
 def main():
-    if len(sys.argv) not in (2, 3, 4):
+    if len(sys.argv) not in (2, 3, 4, 5):
         fail("usage: bench_smoke.py <fig9a-binary> [<fig11-binary>"
-             " [<crash_explore-binary>]]")
+             " [<crash_explore-binary> [<timeline_dump-binary>]]]")
     bench = sys.argv[1]
 
     with tempfile.TemporaryDirectory() as tmp:
@@ -280,6 +385,8 @@ def main():
         check_trace_cache(sys.argv[2])
     if len(sys.argv) >= 4:
         check_crash_explore(sys.argv[3])
+    if len(sys.argv) >= 5:
+        check_timeline(bench, sys.argv[4])
 
 
 if __name__ == "__main__":

@@ -92,6 +92,53 @@ TEST(Histogram, PercentileIsClampedToObservedRange)
     EXPECT_DOUBLE_EQ(h.percentile(100), 5.0);
 }
 
+TEST(Histogram, QuantileTakesFractionsAndMatchesPercentile)
+{
+    Histogram h;
+    for (int i = 0; i < 90; ++i)
+        h.record(1);
+    for (int i = 0; i < 10; ++i)
+        h.record(1000);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), h.percentile(50));
+    EXPECT_DOUBLE_EQ(h.quantile(0.95), h.percentile(95));
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), h.percentile(99));
+    // Out-of-range arguments clamp instead of misbehaving.
+    EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+    EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+TEST(Histogram, QuantileOfEmptyHistogramIsZero)
+{
+    Histogram h;
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Histogram, QuantileOfSingleSampleIsThatSample)
+{
+    Histogram h;
+    h.record(37); // bucket [32, 63]: clamping must still pin to 37
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 37.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 37.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 37.0);
+}
+
+TEST(Histogram, QuantileEdgeBuckets)
+{
+    // Values in bucket 0 ({0}) and the top bucket both survive the
+    // interpolation math.
+    Histogram h;
+    for (int i = 0; i < 50; ++i)
+        h.record(0);
+    for (int i = 0; i < 50; ++i)
+        h.record(~0ull);
+    EXPECT_DOUBLE_EQ(h.quantile(0.25), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0),
+                     static_cast<double>(~0ull));
+    EXPECT_LE(h.quantile(0.25), h.quantile(0.75));
+}
+
 TEST(Histogram, BucketCountsMatchRecords)
 {
     Histogram h;

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Generate the paper-figure data set in one shot.
+#
+#   make_figures.sh BENCH_DIR TOOLS_DIR OUT_DIR
+#
+# Runs every figure bench at --quick scale, writing per-figure
+# --stats-json reports, poat-timeline streams (one per run), and a CSV
+# conversion of each stream into OUT_DIR/<figure>/. Honors:
+#
+#   TRACE_CACHE=DIR  shared instruction-trace cache: the first
+#                    invocation captures, repeats replay (much faster)
+#   TIMELINE=N       timeline sampling interval in cycles
+#                    (default 100000; 0 disables timelines)
+#
+# Normally invoked as `make figures [TRACE_CACHE=DIR]` from the build
+# directory (see the top-level CMakeLists.txt).
+set -euo pipefail
+
+if [ $# -ne 3 ]; then
+    echo "usage: make_figures.sh BENCH_DIR TOOLS_DIR OUT_DIR" >&2
+    exit 2
+fi
+bench_dir=$1
+tools_dir=$2
+out_dir=$3
+trace_cache=${TRACE_CACHE:-}
+timeline=${TIMELINE:-100000}
+
+figures="fig9a_speedup_inorder fig9b_speedup_ooo fig10_ntx_speedup \
+fig11_polb_size fig12_pot_walk"
+
+mkdir -p "$out_dir"
+for fig in $figures; do
+    dir="$out_dir/$fig"
+    mkdir -p "$dir"
+    args=(--quick "--stats-json=$dir/$fig.json")
+    if [ -n "$trace_cache" ]; then
+        mkdir -p "$trace_cache"
+        args+=("--trace-cache=$trace_cache")
+    fi
+    if [ "$timeline" != 0 ]; then
+        args+=("--timeline=$timeline" "--timeline-dir=$dir/timelines")
+    fi
+    echo "== $fig ${args[*]}"
+    "$bench_dir/$fig" "${args[@]}"
+    if [ "$timeline" != 0 ]; then
+        for tl in "$dir"/timelines/*.poattl; do
+            [ -e "$tl" ] || continue
+            "$tools_dir/timeline_dump" --csv "$tl" \
+                -o "${tl%.poattl}.csv"
+        done
+    fi
+done
+
+echo "figures: wrote $(find "$out_dir" -name '*.json' | wc -l) reports,\
+ $(find "$out_dir" -name '*.csv' | wc -l) timeline CSVs under $out_dir"

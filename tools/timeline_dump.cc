@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Convert a captured poat-timeline interval stats stream.
+ *
+ *   timeline_dump [--csv|--json|--chrome] [-o FILE] FILE.poattl
+ *
+ * Default (no format flag) prints a human summary: header fields, the
+ * series schema, and the first/last sample cycles. --csv emits one row
+ * per sample (end_cycle plus every counter delta and gauge value),
+ * --json the full document, and --chrome a Chrome-trace counter-event
+ * array ("ph":"C") loadable in chrome://tracing or Perfetto — CPI-stack
+ * components merge into one stacked track per stack.
+ */
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+#include "telemetry/timeline.h"
+
+using namespace poat;
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: timeline_dump [--csv|--json|--chrome] "
+                 "[-o FILE] FILE.poattl\n"
+                 "  --csv     one row per sample: end_cycle, counter\n"
+                 "            deltas, gauge values\n"
+                 "  --json    the full document (schema + samples)\n"
+                 "  --chrome  Chrome-trace counter events (\"ph\":\"C\")\n"
+                 "  -o FILE   write there instead of stdout\n"
+                 "  (no format flag: print a summary)\n");
+}
+
+void
+summarize(const telemetry::TimelineReader &tl, const std::string &file)
+{
+    std::printf("file:      %s\n", file.c_str());
+    std::printf("format:    poat-timeline v%" PRIu32 "\n",
+                telemetry::kTimelineVersion);
+    std::printf("interval:  %" PRIu64 " cycles\n", tl.interval());
+    std::printf("samples:   %zu\n", tl.samples().size());
+    std::printf("counters:  %zu\n", tl.counterNames().size());
+    std::printf("gauges:    %zu\n", tl.gaugeNames().size());
+    if (!tl.samples().empty())
+        std::printf("cycles:    %" PRIu64 " .. %" PRIu64 "\n",
+                    tl.samples().front().end_cycle,
+                    tl.samples().back().end_cycle);
+    std::printf("\nseries:\n");
+    for (const std::string &n : tl.counterNames())
+        std::printf("  counter  %s\n", n.c_str());
+    for (const std::string &n : tl.gaugeNames())
+        std::printf("  gauge    %s\n", n.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    enum class Format { Summary, Csv, Json, Chrome };
+    Format fmt = Format::Summary;
+    std::string file, out;
+    for (int i = 1; i < argc; ++i) {
+        const std::string s = argv[i];
+        if (s == "--csv") {
+            fmt = Format::Csv;
+        } else if (s == "--json") {
+            fmt = Format::Json;
+        } else if (s == "--chrome") {
+            fmt = Format::Chrome;
+        } else if (s == "-o") {
+            if (++i == argc) {
+                usage();
+                return 2;
+            }
+            out = argv[i];
+        } else if (s == "--help") {
+            usage();
+            return 0;
+        } else if (!s.empty() && s[0] == '-') {
+            std::fprintf(stderr, "unknown argument: %s\n", s.c_str());
+            usage();
+            return 2;
+        } else if (file.empty()) {
+            file = s;
+        } else {
+            usage();
+            return 2;
+        }
+    }
+    if (file.empty()) {
+        usage();
+        return 2;
+    }
+
+    try {
+        const telemetry::TimelineReader tl(file);
+        if (fmt == Format::Summary) {
+            summarize(tl, file);
+            return 0;
+        }
+        std::ofstream of;
+        if (!out.empty()) {
+            of.open(out);
+            if (!of) {
+                std::fprintf(stderr, "timeline_dump: cannot open %s\n",
+                             out.c_str());
+                return 1;
+            }
+        }
+        std::ostream &os = out.empty() ? std::cout : of;
+        if (fmt == Format::Csv)
+            telemetry::dumpCsv(tl, os);
+        else if (fmt == Format::Json)
+            telemetry::dumpJson(tl, os);
+        else
+            telemetry::dumpChrome(tl, os);
+        os.flush();
+        if (!os) {
+            std::fprintf(stderr, "timeline_dump: write failed\n");
+            return 1;
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "timeline_dump: %s\n", e.what());
+        return 1;
+    }
+}

@@ -157,6 +157,39 @@ class DumpSink : public TraceSink
             std::printf("\n");
     }
 
+    void
+    txBegin(uint32_t pool_id, uint32_t op) override
+    {
+        row(trace_io::EventKind::TxBegin);
+        if (printing())
+            std::printf(" pool=%" PRIu32 " op=%" PRIu32 "\n", pool_id,
+                        op);
+    }
+
+    void
+    txCommit(uint32_t pool_id) override
+    {
+        row(trace_io::EventKind::TxCommit);
+        if (printing())
+            std::printf(" pool=%" PRIu32 "\n", pool_id);
+    }
+
+    void
+    txAbort(uint32_t pool_id) override
+    {
+        row(trace_io::EventKind::TxAbort);
+        if (printing())
+            std::printf(" pool=%" PRIu32 "\n", pool_id);
+    }
+
+    void
+    opName(uint32_t op, const char *name) override
+    {
+        row(trace_io::EventKind::OpName);
+        if (printing())
+            std::printf(" op=%" PRIu32 " name=%s\n", op, name);
+    }
+
   private:
     bool printing() const { return seen_ <= head_; }
 
