@@ -1,0 +1,71 @@
+/**
+ * @file
+ * CRC32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum real
+ * persistent-memory libraries use for media-fault detection (Pangolin;
+ * hardware-accelerated by SSE4.2 crc32q). This is the table-driven
+ * software form, byte-reflected like the hardware instruction.
+ *
+ * The primitive here is the *raw* rolling form: `crc32c(data, n, seed)`
+ * starts from @p seed and applies no final inversion, so checksums can
+ * be computed incrementally — crc32c(a+b) == crc32c(b, crc32c(a)) —
+ * and a structure can pick a nonzero seed to keep the all-zero image
+ * from checksumming to zero (or seed 0 where all-zero *should* be
+ * self-consistent, e.g. an idle undo-log header in a fresh pool).
+ *
+ * The conventional CRC-32C value (init 0xFFFFFFFF, final xor, e.g.
+ * "123456789" -> 0xE3069283) is `~crc32c(data, n, 0xFFFFFFFF)`;
+ * crc32cStd() wraps that for interoperability checks and the
+ * known-answer tests.
+ */
+#ifndef POAT_COMMON_CRC32C_H
+#define POAT_COMMON_CRC32C_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace poat {
+
+namespace detail {
+
+constexpr std::array<uint32_t, 256>
+makeCrc32cTable()
+{
+    // Reflected polynomial of 0x1EDC6F41.
+    constexpr uint32_t kPoly = 0x82F63B78u;
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int b = 0; b < 8; ++b)
+            c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+        table[i] = c;
+    }
+    return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kCrc32cTable =
+    makeCrc32cTable();
+
+} // namespace detail
+
+/** Raw rolling CRC32C: continue from @p seed, no final inversion. */
+inline uint32_t
+crc32c(const void *data, size_t n, uint32_t seed = 0)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    uint32_t c = seed;
+    for (size_t i = 0; i < n; ++i)
+        c = detail::kCrc32cTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    return c;
+}
+
+/** Conventional CRC-32C (init 0xFFFFFFFF, final inversion). */
+inline uint32_t
+crc32cStd(const void *data, size_t n)
+{
+    return ~crc32c(data, n, 0xFFFFFFFFu);
+}
+
+} // namespace poat
+
+#endif // POAT_COMMON_CRC32C_H

@@ -76,7 +76,9 @@ configLabel(const ExperimentConfig &cfg)
 std::string
 traceFingerprint(const ExperimentConfig &cfg)
 {
-    std::string s = "poat-fpr v1 workload=" + cfg.workload;
+    // v2: checksummed+mirrored pmem metadata changed every instruction
+    // stream, invalidating all v1 cached traces.
+    std::string s = "poat-fpr v2 workload=" + cfg.workload;
     if (cfg.workload == "TPCC") {
         s += " placement=";
         switch (cfg.placement) {
@@ -198,6 +200,19 @@ fillFunctionalProfile(const PmemRuntime &rt, ExperimentResult &res,
     rt.translator().fillStats(prof);
     prof.counter("workload.operations") = res.workload_operations;
     prof.counter("workload.checksum") = res.workload_checksum;
+
+    // Checksum-maintenance work (the functional mirror of the
+    // costs::kCrc* cycles charged in the trace).
+    const ChecksumCounters &cc = rt.registry().checksumCounters();
+    prof.counter("pmem.checksum.superblock_updates") =
+        cc.superblock_updates;
+    prof.counter("pmem.checksum.block_header_updates") =
+        cc.block_header_updates;
+    prof.counter("pmem.checksum.log_header_updates") =
+        cc.log_header_updates;
+    prof.counter("pmem.checksum.log_entry_updates") = cc.log_entry_updates;
+    prof.counter("pmem.checksum.bytes_summed") = cc.bytes_summed;
+    prof.counter("pmem.checksum.verifies") = cc.verifies;
 }
 
 /** Copy every stat in @p from into @p into under the same names. */

@@ -1,34 +1,20 @@
 #include "fault/explore.h"
 
-#include <algorithm>
-#include <numeric>
-#include <set>
 #include <stdexcept>
 
-#include "common/rng.h"
 #include "driver/sweep.h"
-#include "fault/injector.h"
-#include "pmem/runtime.h"
-#include "workloads/crash_support.h"
+#include "fault/media.h"
+#include "fault/trial.h"
 
 namespace poat {
 namespace fault {
 
-namespace {
+using detail::checkRecovered;
+using detail::choosePoints;
+using detail::runSteps;
+using detail::StepWindow;
 
-/**
- * Completed-step counts the recovered state may legally show. A crash
- * that fired inside step s can recover to s (rolled back) or s + 1
- * (commit point was already durable); a crash during the eviction pass
- * after step i — or no crash at all — must recover to exactly the last
- * completed count, because eviction only writes back lines of data the
- * transactions already persisted.
- */
-struct StepWindow
-{
-    uint64_t lo = 0;
-    uint64_t hi = 0;
-};
+namespace {
 
 /** Counters one trial contributes; aggregated after the fan-out. */
 struct TrialStats
@@ -42,96 +28,6 @@ struct TrialStats
     uint64_t recovery_trials = 0;
     std::vector<Failure> failures;
 };
-
-uint64_t
-evictSeed(const ExploreOptions &opts)
-{
-    return opts.seed ^ 0x9e3779b97f4a7c15ull;
-}
-
-void
-maybeEvict(PmemRuntime &rt, Rng &rng, const ExploreOptions &opts)
-{
-    if (opts.evict_num == 0)
-        return;
-    for (uint32_t id : rt.registry().openIds()) {
-        rt.registry().get(id).pool.evictRandomLines(rng, opts.evict_num,
-                                                    opts.evict_den);
-    }
-}
-
-/**
- * Run all workload steps with @p hook installed, attributing the first
- * suppressed write-back to the step (or eviction pass) it fired in.
- */
-StepWindow
-runSteps(PmemRuntime &rt, workloads::CrashDriver &driver,
-         const ExploreOptions &opts, const CrashAtEvent &hook)
-{
-    Rng evict_rng(evictSeed(opts));
-    StepWindow w{opts.steps, opts.steps};
-    bool attributed = false;
-    for (uint64_t i = 0; i < opts.steps; ++i) {
-        driver.step(rt, i);
-        if (!attributed && hook.fired()) {
-            w.lo = i;
-            w.hi = i + 1;
-            attributed = true;
-        }
-        maybeEvict(rt, evict_rng, opts);
-        if (!attributed && hook.fired()) {
-            w.lo = w.hi = i + 1;
-            attributed = true;
-        }
-    }
-    return w;
-}
-
-/**
- * Post-recovery invariants: idle and legal undo logs, valid allocator
- * metadata, a recovered state the workload model accepts, and no
- * allocated-but-unreachable blocks. @p leaked accumulates leak counts
- * (only meaningful when the check fails with a leak).
- */
-bool
-checkRecovered(PmemRuntime &rt, workloads::CrashDriver &driver,
-               const StepWindow &w, uint64_t *leaked, std::string *why)
-{
-    for (uint32_t id : rt.registry().openIds()) {
-        OpenPool &op = rt.registry().get(id);
-        if (op.log.state() != LogHeader::kIdle) {
-            *why = "undo log of pool '" + op.pool.name() +
-                "' not idle after recovery";
-            return false;
-        }
-        if (!op.alloc.validate()) {
-            *why = "allocator metadata of pool '" + op.pool.name() +
-                "' invalid after recovery";
-            return false;
-        }
-    }
-    if (!driver.verifyRecovered(rt, w.lo, w.hi, why))
-        return false;
-    std::map<uint32_t, std::set<uint32_t>> reach;
-    if (driver.reachable(rt, &reach)) {
-        uint64_t n = 0;
-        for (uint32_t id : rt.registry().openIds()) {
-            const std::set<uint32_t> &set = reach[id];
-            for (uint32_t p :
-                 rt.registry().get(id).alloc.allocatedPayloads()) {
-                if (set.count(p) == 0)
-                    ++n;
-            }
-        }
-        if (n != 0) {
-            *leaked += n;
-            *why = std::to_string(n) +
-                " allocated block(s) unreachable after recovery (leak)";
-            return false;
-        }
-    }
-    return true;
-}
 
 /**
  * One complete crash trial: run, freeze the durable image at event k
@@ -160,6 +56,8 @@ runTrial(const ExploreOptions &opts, uint64_t k, uint64_t j,
         f.seed = opts.seed;
         f.k = k;
         f.j = j;
+        f.evict_num = opts.evict_num;
+        f.evict_den = opts.evict_den;
         f.why = why;
         ts.failures.push_back(std::move(f));
     };
@@ -245,24 +143,6 @@ runTrial(const ExploreOptions &opts, uint64_t k, uint64_t j,
     return recovery_counter.total();
 }
 
-/** Event indices to crash at: all of [0, total) or a seeded sample. */
-std::vector<uint64_t>
-choosePoints(uint64_t total, uint64_t sample, uint64_t rng_seed)
-{
-    std::vector<uint64_t> ks;
-    if (sample == 0 || sample >= total) {
-        ks.resize(total);
-        std::iota(ks.begin(), ks.end(), 0ull);
-        return ks;
-    }
-    std::set<uint64_t> chosen;
-    Rng rng(rng_seed);
-    while (chosen.size() < sample)
-        chosen.insert(rng.below(total));
-    ks.assign(chosen.begin(), chosen.end());
-    return ks;
-}
-
 } // namespace
 
 std::string
@@ -272,6 +152,12 @@ Failure::repro() const
         std::to_string(seed) + ":" + std::to_string(k);
     if (j != kNoInner)
         s += ":" + std::to_string(j);
+    if (!media.empty())
+        s += ":m" + media;
+    if (evict_num != 0) {
+        s += ":e" + std::to_string(evict_num) + "/" +
+            std::to_string(evict_den);
+    }
     return s;
 }
 
@@ -303,10 +189,10 @@ explore(const ExploreOptions &opts)
         driver->setup(rt);
         EventCounter counter;
         rt.registry().setDurabilityHook(&counter);
-        Rng evict_rng(evictSeed(opts));
+        Rng evict_rng(detail::evictSeed(opts));
         for (uint64_t i = 0; i < opts.steps; ++i) {
             driver->step(rt, i);
-            maybeEvict(rt, evict_rng, opts);
+            detail::maybeEvict(rt, evict_rng, opts);
         }
         rt.registry().setDurabilityHook(nullptr);
         report.total_events = counter.total();
@@ -363,25 +249,64 @@ replayRepro(const std::string &repro, const ExploreOptions &base)
         }
     }
     tok.push_back(cur);
-    if (tok.size() != 4 && tok.size() != 5) {
-        throw std::invalid_argument(
+
+    auto bad = [&]() -> std::invalid_argument {
+        return std::invalid_argument(
             "bad reproducer '" + repro +
-            "' (expected workload:steps:seed:k[:j])");
-    }
+            "' (expected workload:steps:seed:k[:j][:mFAULT][:eNUM/DEN])");
+    };
+    if (tok.size() < 4)
+        throw bad();
+
     ExploreOptions opts = base;
     opts.workload = tok[0];
     uint64_t k, j = Failure::kNoInner;
+    std::string media;
     try {
         opts.steps = std::stoull(tok[1]);
         opts.seed = std::stoull(tok[2]);
         k = std::stoull(tok[3]);
-        if (tok.size() == 5)
-            j = std::stoull(tok[4]);
-    } catch (const std::exception &) {
-        throw std::invalid_argument(
-            "bad reproducer '" + repro +
-            "' (expected workload:steps:seed:k[:j])");
+
+        // Optional tokens, in order: a bare numeric j, then the
+        // prefixed media and eviction tokens. A bare numeric anywhere
+        // after position 4 is malformed.
+        size_t pos = 4;
+        if (pos < tok.size() && !tok[pos].empty() &&
+            tok[pos][0] != 'm' && tok[pos][0] != 'e') {
+            j = std::stoull(tok[pos]);
+            ++pos;
+        }
+        if (pos < tok.size() && !tok[pos].empty() && tok[pos][0] == 'm') {
+            media = tok[pos].substr(1);
+            if (media.empty())
+                throw bad();
+            ++pos;
+        }
+        if (pos < tok.size() && !tok[pos].empty() && tok[pos][0] == 'e') {
+            const std::string ev = tok[pos].substr(1);
+            const size_t slash = ev.find('/');
+            if (slash == std::string::npos)
+                throw bad();
+            opts.evict_num = std::stoull(ev.substr(0, slash));
+            opts.evict_den = std::stoull(ev.substr(slash + 1));
+            if (opts.evict_den == 0)
+                throw bad();
+            ++pos;
+        }
+        if (pos != tok.size())
+            throw bad();
+    } catch (const std::invalid_argument &) {
+        throw bad();
+    } catch (const std::out_of_range &) {
+        throw bad();
     }
+
+    if (!media.empty()) {
+        if (j != Failure::kNoInner)
+            throw bad(); // media trials have no in-recovery crash point
+        return replayMediaTrial(opts, k, media);
+    }
+
     TrialStats ts;
     runTrial(opts, k, j, ts);
     return ts.failures;

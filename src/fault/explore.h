@@ -28,10 +28,13 @@
  *     recovers fully and re-checks all invariants.
  *
  * Small runs explore exhaustively; large runs sample crash points with
- * a seeded generator. Every failure carries a reproducer string
- * "workload:steps:seed:k[:j]" that replays the exact trial within one
- * build (hash-container iteration makes event order build-local, so a
- * reproducer is not portable across compilers or standard libraries).
+ * a seeded generator. Every failure carries a self-contained reproducer
+ * string "workload:steps:seed:k[:j][:mFAULT][:eNUM/DEN]" that replays
+ * the exact trial within one build (hash-container iteration makes
+ * event order build-local, so a reproducer is not portable across
+ * compilers or standard libraries). The optional tokens carry the
+ * media-fault index (see fault/media.h) and the eviction schedule, so
+ * no out-of-band options are needed to replay a sampled run.
  */
 #ifndef POAT_FAULT_EXPLORE_H
 #define POAT_FAULT_EXPLORE_H
@@ -95,9 +98,29 @@ struct Failure
     uint64_t seed = 0;
     uint64_t k = 0;        ///< outer crash point (event index)
     uint64_t j = kNoInner; ///< in-recovery crash point, if any
+
+    /**
+     * Media-fault spec ("17" or "17+42" for a double fault), empty for
+     * pure crash trials. See fault/media.h for the index space.
+     */
+    std::string media;
+
+    /**
+     * Eviction schedule of the producing run; zero num means none. Part
+     * of the reproducer (":eNUM/DEN" token) so sampled-eviction
+     * failures replay without out-of-band options.
+     */
+    uint64_t evict_num = 0;
+    uint64_t evict_den = 0;
+
     std::string why;
 
-    /** "workload:steps:seed:k[:j]" — feed to crash_explore --repro. */
+    /**
+     * "workload:steps:seed:k[:j][:mFAULT][:eNUM/DEN]" — feed to
+     * crash_explore --repro. Self-contained: every input the trial
+     * consumed (including the eviction RNG schedule and the media-fault
+     * index) is encoded in the string.
+     */
     std::string repro() const;
 };
 
@@ -131,9 +154,10 @@ ExploreReport explore(const ExploreOptions &opts);
 
 /**
  * Re-run the single trial a Failure::repro() string describes. Fields
- * encoded in the string (workload, steps, seed, crash points) override
- * @p base; everything else — notably the eviction settings, which must
- * match the run that produced the reproducer — is taken from @p base.
+ * encoded in the string (workload, steps, seed, crash points, media
+ * fault, eviction schedule) override @p base; anything not encoded is
+ * taken from @p base. Media reproducers (":mFAULT" token) replay
+ * through the media explorer's trial path.
  * @return the failure if it still reproduces, or an empty vector.
  * @throws std::invalid_argument on a malformed reproducer string.
  */

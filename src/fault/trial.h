@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Shared trial machinery for the crash-point and media-fault explorers
+ * (internal to src/fault/): deterministic step running under a
+ * durability hook, the recovered-state invariant checks, and seeded
+ * point selection. Both explorers must agree on these bit-for-bit or a
+ * reproducer from one would replay differently in the other.
+ */
+#ifndef POAT_FAULT_TRIAL_H
+#define POAT_FAULT_TRIAL_H
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "fault/explore.h"
+#include "fault/injector.h"
+#include "pmem/runtime.h"
+#include "workloads/crash_support.h"
+
+namespace poat {
+namespace fault {
+namespace detail {
+
+/**
+ * Completed-step counts the recovered state may legally show. A crash
+ * that fired inside step s can recover to s (rolled back) or s + 1
+ * (commit point was already durable); a crash during the eviction pass
+ * after step i — or no crash at all — must recover to exactly the last
+ * completed count, because eviction only writes back lines of data the
+ * transactions already persisted.
+ */
+struct StepWindow
+{
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+};
+
+inline uint64_t
+evictSeed(const ExploreOptions &opts)
+{
+    return opts.seed ^ 0x9e3779b97f4a7c15ull;
+}
+
+inline void
+maybeEvict(PmemRuntime &rt, Rng &rng, const ExploreOptions &opts)
+{
+    if (opts.evict_num == 0)
+        return;
+    for (uint32_t id : rt.registry().openIds()) {
+        rt.registry().get(id).pool.evictRandomLines(rng, opts.evict_num,
+                                                    opts.evict_den);
+    }
+}
+
+/**
+ * Run all workload steps with @p hook installed, attributing the first
+ * suppressed write-back to the step (or eviction pass) it fired in.
+ */
+inline StepWindow
+runSteps(PmemRuntime &rt, workloads::CrashDriver &driver,
+         const ExploreOptions &opts, const CrashAtEvent &hook)
+{
+    Rng evict_rng(evictSeed(opts));
+    StepWindow w{opts.steps, opts.steps};
+    bool attributed = false;
+    for (uint64_t i = 0; i < opts.steps; ++i) {
+        driver.step(rt, i);
+        if (!attributed && hook.fired()) {
+            w.lo = i;
+            w.hi = i + 1;
+            attributed = true;
+        }
+        maybeEvict(rt, evict_rng, opts);
+        if (!attributed && hook.fired()) {
+            w.lo = w.hi = i + 1;
+            attributed = true;
+        }
+    }
+    return w;
+}
+
+/**
+ * Post-recovery invariants: idle and legal undo logs, valid allocator
+ * metadata, a recovered state the workload model accepts, and no
+ * allocated-but-unreachable blocks. @p leaked accumulates leak counts
+ * (only meaningful when the check fails with a leak).
+ */
+inline bool
+checkRecovered(PmemRuntime &rt, workloads::CrashDriver &driver,
+               const StepWindow &w, uint64_t *leaked, std::string *why)
+{
+    for (uint32_t id : rt.registry().openIds()) {
+        OpenPool &op = rt.registry().get(id);
+        if (op.log.state() != LogHeader::kIdle) {
+            *why = "undo log of pool '" + op.pool.name() +
+                "' not idle after recovery";
+            return false;
+        }
+        if (!op.alloc.validate()) {
+            *why = "allocator metadata of pool '" + op.pool.name() +
+                "' invalid after recovery";
+            return false;
+        }
+    }
+    if (!driver.verifyRecovered(rt, w.lo, w.hi, why))
+        return false;
+    std::map<uint32_t, std::set<uint32_t>> reach;
+    if (driver.reachable(rt, &reach)) {
+        uint64_t n = 0;
+        for (uint32_t id : rt.registry().openIds()) {
+            const std::set<uint32_t> &set = reach[id];
+            for (uint32_t p :
+                 rt.registry().get(id).alloc.allocatedPayloads()) {
+                if (set.count(p) == 0)
+                    ++n;
+            }
+        }
+        if (n != 0) {
+            *leaked += n;
+            *why = std::to_string(n) +
+                " allocated block(s) unreachable after recovery (leak)";
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Event indices to crash at: all of [0, total) or a seeded sample. */
+inline std::vector<uint64_t>
+choosePoints(uint64_t total, uint64_t sample, uint64_t rng_seed)
+{
+    std::vector<uint64_t> ks;
+    if (sample == 0 || sample >= total) {
+        ks.resize(total);
+        for (uint64_t i = 0; i < total; ++i)
+            ks[i] = i;
+        return ks;
+    }
+    std::set<uint64_t> chosen;
+    Rng rng(rng_seed);
+    while (chosen.size() < sample)
+        chosen.insert(rng.below(total));
+    ks.assign(chosen.begin(), chosen.end());
+    return ks;
+}
+
+} // namespace detail
+} // namespace fault
+} // namespace poat
+
+#endif // POAT_FAULT_TRIAL_H

@@ -11,13 +11,13 @@ PoolAllocator::PoolAllocator(Pool &pool)
 {
     BlockHeader first{};
     pool_.readRaw(heapOff_, &first, sizeof(first));
-    if (first.magic != BlockHeader::kMagic) {
+    if (first.size == 0 && first.prev_size == 0 && first.flags == 0 &&
+        first.crc == 0) {
         // Fresh heap: one giant free block spanning the whole region.
         BlockHeader h{};
         h.size = heapSize_;
         h.prev_size = 0;
         h.flags = 0;
-        h.magic = BlockHeader::kMagic;
         writeHeader(heapOff_, h);
         pool_.persist(heapOff_, sizeof(h));
     }
@@ -29,15 +29,24 @@ PoolAllocator::readHeader(uint32_t block_off) const
 {
     BlockHeader h{};
     pool_.readRaw(block_off, &h, sizeof(h));
-    POAT_ASSERT(h.magic == BlockHeader::kMagic,
-                "corrupt heap: bad block magic");
+    if (!h.crcValid()) {
+        // Checksum-detected corruption, never UB: recovery paths scrub
+        // before attaching, so reaching this means an unrepaired fault.
+        throw MediaError(pool_.name(), block_off,
+                         MediaStructure::BlockHeader,
+                         "block header checksum mismatch");
+    }
     return h;
 }
 
 void
 PoolAllocator::writeHeader(uint32_t block_off, const BlockHeader &h)
 {
-    pool_.writeRaw(block_off, &h, sizeof(h));
+    BlockHeader sealed = h;
+    sealed.seal();
+    pool_.checksumCounters().block_header_updates += 1;
+    pool_.checksumCounters().bytes_summed += offsetof(BlockHeader, crc);
+    pool_.writeRaw(block_off, &sealed, sizeof(sealed));
     touched_.push_back(block_off);
 }
 
@@ -63,10 +72,14 @@ PoolAllocator::rebuildFreeList()
     uint32_t prev_free_off = 0; // offset of previous block if free, else 0
     while (off < heapEnd()) {
         BlockHeader h = readHeader(off);
-        POAT_ASSERT(h.size >= kMinBlock && off + h.size <= heapEnd(),
-                    "corrupt heap: bad block extent");
+        if (h.size < kMinBlock || off + h.size > heapEnd()) {
+            throw MediaError(pool_.name(), off,
+                             MediaStructure::BlockHeader,
+                             "bad block extent");
+        }
         if (h.prev_size != prev_size) {
             h.prev_size = prev_size;
+            h.seal();
             pool_.writeRaw(off, &h, sizeof(h));
             pool_.persist(off, sizeof(h));
         }
@@ -76,6 +89,7 @@ PoolAllocator::rebuildFreeList()
                 // coalesce) and restart the scan position there.
                 BlockHeader prev = readHeader(prev_free_off);
                 prev.size += h.size;
+                prev.seal();
                 pool_.writeRaw(prev_free_off, &prev, sizeof(prev));
                 pool_.persist(prev_free_off, sizeof(prev));
                 freeList_[prev_free_off] = prev.size;
@@ -91,7 +105,10 @@ PoolAllocator::rebuildFreeList()
         prev_size = h.size;
         off += h.size;
     }
-    POAT_ASSERT(off == heapEnd(), "corrupt heap: blocks overrun region");
+    if (off != heapEnd()) {
+        throw MediaError(pool_.name(), off, MediaStructure::BlockHeader,
+                         "blocks overrun the heap region");
+    }
 }
 
 void
@@ -126,7 +143,6 @@ PoolAllocator::alloc(uint32_t size, bool persist_now)
             rem.size = remainder;
             rem.prev_size = need;
             rem.flags = 0;
-            rem.magic = BlockHeader::kMagic;
             writeHeader(rem_off, rem);
             freeList_.emplace(rem_off, remainder);
 
@@ -216,7 +232,7 @@ PoolAllocator::isAllocated(uint32_t payload_off) const
     }
     BlockHeader h{};
     pool_.readRaw(payload_off - sizeof(BlockHeader), &h, sizeof(h));
-    return h.magic == BlockHeader::kMagic && h.allocated();
+    return h.crcValid() && h.allocated();
 }
 
 uint64_t
@@ -243,7 +259,7 @@ PoolAllocator::validate() const
     while (off < heapEnd()) {
         BlockHeader h{};
         pool_.readRaw(off, &h, sizeof(h));
-        if (h.magic != BlockHeader::kMagic)
+        if (!h.crcValid())
             return false;
         if (h.prev_size != prev_size)
             return false;

@@ -25,18 +25,36 @@
 
 namespace poat {
 
-/** On-media header preceding every heap block. */
+/**
+ * On-media header preceding every heap block.
+ *
+ * The trailing word doubles as discriminator and integrity check: it is
+ * the crc32c of the first three fields seeded with kMagic, so a header
+ * that was never written (fresh heap: all zeros) and a header a media
+ * fault touched both fail validation — there is no way to forge a valid
+ * header by luck short of a 2^-32 collision. For an allocated block
+ * this is the paper-level "object header" checksum; for a free block it
+ * protects the allocator's own metadata.
+ */
 struct BlockHeader
 {
-    static constexpr uint32_t kMagic = 0xb10cb10c;
+    static constexpr uint32_t kMagic = 0xb10cb10c; ///< crc seed
     static constexpr uint32_t kAllocated = 1u << 0;
 
     uint32_t size;      ///< total block bytes including this header
     uint32_t prev_size; ///< total bytes of the physically previous block
     uint32_t flags;
-    uint32_t magic;
+    uint32_t crc;       ///< crc32c(size, prev_size, flags; seed kMagic)
 
     bool allocated() const { return flags & kAllocated; }
+
+    uint32_t
+    computeCrc() const
+    {
+        return crc32c(this, offsetof(BlockHeader, crc), kMagic);
+    }
+    bool crcValid() const { return crc == computeCrc(); }
+    void seal() { crc = computeCrc(); }
 };
 
 static_assert(sizeof(BlockHeader) == 16);
@@ -48,7 +66,13 @@ class PoolAllocator
     static constexpr uint32_t kAlign = 16;
     static constexpr uint32_t kMinBlock = sizeof(BlockHeader) + kAlign;
 
-    /** Attach to @p pool, scanning headers to rebuild the free list. */
+    /**
+     * Attach to @p pool, scanning headers to rebuild the free list. A
+     * fresh heap (first header all zeros) is formatted as one free
+     * block; a checksum-invalid header anywhere raises MediaError —
+     * recovery paths run the scrub pass first so this never fires on a
+     * repairable image.
+     */
     explicit PoolAllocator(Pool &pool);
 
     /**

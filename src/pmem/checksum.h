@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Media-fault vocabulary shared by the pmem layer: which on-media
+ * structures carry checksums, the error recovery raises when corruption
+ * cannot be repaired, and the host-side counters that feed the
+ * `pmem.checksum.*` stats subtree.
+ *
+ * Coverage map (see docs/ROBUSTNESS.md):
+ *
+ *   Superblock   PoolHeader, crc32c-sealed, mirrored at offset 128
+ *   LogHeader    undo-log header, crc32c-sealed, mirrored one line up
+ *   LogEntry     per-entry header crc + payload crc
+ *   BlockHeader  allocator block header (object header when allocated,
+ *                allocator metadata when free), crc replaces the magic
+ *
+ * Detection is mandatory everywhere ("never UB or silent wrong
+ * answers"); repair uses the mirror (superblock, log header), the undo
+ * log (heap block headers), or payload resealing (dead snapshots of a
+ * committing transaction). Anything else surfaces as a MediaError with
+ * pool, offset, and structure kind.
+ */
+#ifndef POAT_PMEM_CHECKSUM_H
+#define POAT_PMEM_CHECKSUM_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/crc32c.h"
+
+namespace poat {
+
+/** On-media structure kinds, for diagnostics and fault-site labels. */
+enum class MediaStructure : uint8_t
+{
+    Superblock,  ///< PoolHeader (primary or mirror)
+    LogHeader,   ///< undo-log header (primary or mirror)
+    LogEntry,    ///< one undo-log entry (header or payload)
+    BlockHeader, ///< heap block header (object header / alloc metadata)
+};
+
+inline const char *
+mediaStructureName(MediaStructure s)
+{
+    switch (s) {
+      case MediaStructure::Superblock:
+        return "superblock";
+      case MediaStructure::LogHeader:
+        return "log header";
+      case MediaStructure::LogEntry:
+        return "log entry";
+      case MediaStructure::BlockHeader:
+        return "block header";
+    }
+    return "?";
+}
+
+/**
+ * Unrepairable media corruption: detected by a checksum or replica
+ * mismatch, with no intact copy to repair from. Carries the precise
+ * location so an operator can map it back to the failing device range.
+ */
+class MediaError : public std::runtime_error
+{
+  public:
+    MediaError(std::string pool, uint32_t offset, MediaStructure kind,
+               const std::string &detail)
+        : std::runtime_error("media fault in pool '" + pool + "': " +
+                             mediaStructureName(kind) + " at offset " +
+                             std::to_string(offset) + ": " + detail),
+          pool_(std::move(pool)), offset_(offset), kind_(kind)
+    {}
+
+    const std::string &poolName() const { return pool_; }
+    uint32_t offset() const { return offset_; }
+    MediaStructure kind() const { return kind_; }
+
+  private:
+    std::string pool_;
+    uint32_t offset_;
+    MediaStructure kind_;
+};
+
+/**
+ * Host-side checksum work counters, aggregated per registry and
+ * published as `pmem.checksum.*`. Every count corresponds to cycle
+ * emission in PmemRuntime (costs::kCrc*), so the stats subtree is the
+ * functional mirror of the overhead the CPI stacks charge.
+ */
+struct ChecksumCounters
+{
+    uint64_t superblock_updates = 0;   ///< PoolHeader seals (both copies)
+    uint64_t block_header_updates = 0; ///< allocator header seals
+    uint64_t log_header_updates = 0;   ///< log-header seals (both copies)
+    uint64_t log_entry_updates = 0;    ///< log-entry seals
+    uint64_t bytes_summed = 0;         ///< payload bytes through crc32c
+    uint64_t verifies = 0;             ///< scrub/validate checksum checks
+
+    void
+    merge(const ChecksumCounters &o)
+    {
+        superblock_updates += o.superblock_updates;
+        block_header_updates += o.block_header_updates;
+        log_header_updates += o.log_header_updates;
+        log_entry_updates += o.log_entry_updates;
+        bytes_summed += o.bytes_summed;
+        verifies += o.verifies;
+    }
+};
+
+} // namespace poat
+
+#endif // POAT_PMEM_CHECKSUM_H

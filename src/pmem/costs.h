@@ -77,6 +77,24 @@ inline constexpr uint32_t kPoolRoot = 10;
 /** persist(): loop setup before the per-line CLWBs. */
 inline constexpr uint32_t kPersistSetup = 6;
 
+/// @name Checksums (crc32c sealing of on-media metadata)
+/// @{
+/** Fixed setup of one crc32c computation (seed load, loop entry). */
+inline constexpr uint32_t kCrcSetup = 5;
+/** ALU per 8-byte word through the hardware crc32 instruction. */
+inline constexpr uint32_t kCrcPerWord = 1;
+
+/** Dynamic instructions to checksum @p bytes (one crc32c call). */
+inline constexpr uint32_t
+crcCost(uint32_t bytes)
+{
+    return kCrcSetup + kCrcPerWord * ((bytes + 7) / 8);
+}
+
+/** Sealing one 16-byte structure header (block / log headers). */
+inline constexpr uint32_t kCrcHeader = crcCost(12);
+/// @}
+
 } // namespace costs
 } // namespace poat
 

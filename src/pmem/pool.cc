@@ -29,11 +29,11 @@ Pool::Pool(std::string name, uint32_t pool_id, uint64_t size,
     h.log_size = log_size;
     h.log_off = static_cast<uint32_t>(size - log_size);
     h.heap_size = h.log_off - h.heap_off;
-    std::memcpy(data_.data(), &h, sizeof(h));
-    cachedHeader_ = h;
+    storeHeader(h);
 
     // A fresh pool is fully durable from the start, like a newly created
     // and synced file.
+    dirty_.clear();
     durable_ = data_;
 }
 
@@ -42,12 +42,52 @@ Pool::Pool(std::string name, uint32_t pool_id,
     : name_(std::move(name)), id_(pool_id), data_(std::move(durable_image))
 {
     POAT_ASSERT(data_.size() >= kHeaderSize, "pool image too small");
-    std::memcpy(&cachedHeader_, data_.data(), sizeof(cachedHeader_));
-    POAT_ASSERT(cachedHeader_.magic == PoolHeader::kMagic,
-                "pool image has bad magic");
-    POAT_ASSERT(cachedHeader_.pool_size == data_.size(),
-                "pool image size mismatch");
+    PoolHeader primary{};
+    std::memcpy(&primary, data_.data(), sizeof(primary));
+    if (primary.valid(data_.size())) {
+        cachedHeader_ = primary;
+    } else {
+        // Corrupt primary superblock: repair from the mirror, or fail
+        // with a precise diagnostic if both copies are gone. The scrub
+        // pass re-checks (and re-syncs) both copies on recovery.
+        PoolHeader mirror{};
+        std::memcpy(&mirror, data_.data() + PoolHeader::kMirrorOff,
+                    sizeof(mirror));
+        checksumCounters().verifies += 2;
+        if (!mirror.valid(data_.size())) {
+            throw MediaError(name_, 0, MediaStructure::Superblock,
+                             "both superblock copies are corrupt");
+        }
+        std::memcpy(data_.data(), &mirror, sizeof(mirror));
+        cachedHeader_ = mirror;
+    }
     durable_ = data_;
+}
+
+void
+Pool::storeHeader(PoolHeader h)
+{
+    h.seal();
+    checksumCounters().superblock_updates += 1;
+    checksumCounters().bytes_summed += offsetof(PoolHeader, crc);
+    writeRaw(0, &h, sizeof(h));
+    writeRaw(PoolHeader::kMirrorOff, &h, sizeof(h));
+    cachedHeader_ = h;
+}
+
+void
+Pool::persistHeader()
+{
+    persist(0, sizeof(PoolHeader));
+    persist(PoolHeader::kMirrorOff, sizeof(PoolHeader));
+}
+
+void
+Pool::corruptDurable(uint32_t off, const void *src, size_t n)
+{
+    POAT_ASSERT(static_cast<uint64_t>(off) + n <= durable_.size(),
+                "media fault out of range");
+    std::memcpy(durable_.data() + off, src, n);
 }
 
 void

@@ -29,15 +29,25 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "pmem/addrspace.h"
+#include "pmem/checksum.h"
 #include "pmem/oid.h"
 
 namespace poat {
 
-/** On-media header at offset 0 of every pool. */
+/**
+ * On-media header at offset 0 of every pool, crc32c-sealed and
+ * replicated: a second copy lives at kMirrorOff (a different 64-byte
+ * line inside the reserved header region), so a media fault in either
+ * copy repairs from the other. Every header update writes and persists
+ * both copies, primary first; on conflict between two *valid* copies
+ * the primary wins (it is the commit point of a header update).
+ */
 struct PoolHeader
 {
     static constexpr uint64_t kMagic = 0x504f41545f504f4cull; // "POAT_POL"
-    static constexpr uint32_t kVersion = 1;
+    static constexpr uint32_t kVersion = 2; ///< v2: crc + mirror
+    /** Offset of the mirror copy (line 2 of the reserved header). */
+    static constexpr uint32_t kMirrorOff = 128;
 
     uint64_t magic;
     uint32_t version;
@@ -49,7 +59,28 @@ struct PoolHeader
     uint32_t heap_size;
     uint32_t log_off;   ///< undo-log region
     uint32_t log_size;
+    uint32_t crc;       ///< crc32c over all preceding fields
+    uint32_t pad;
+
+    /** CRC over every field before `crc`. */
+    uint32_t
+    computeCrc() const
+    {
+        return crc32c(this, offsetof(PoolHeader, crc));
+    }
+    bool crcValid() const { return crc == computeCrc(); }
+    void seal() { crc = computeCrc(); }
+    /** Full validity: sealed, magic, and sized for @p image_size. */
+    bool
+    valid(uint64_t image_size) const
+    {
+        return crcValid() && magic == kMagic && pool_size == image_size;
+    }
 };
+
+static_assert(sizeof(PoolHeader) == 56);
+static_assert(PoolHeader::kMirrorOff >= kLineSize &&
+              PoolHeader::kMirrorOff % kLineSize == 0);
 
 /** How CLWB interacts with the durable image (see file comment). */
 enum class DurabilityPolicy : uint8_t
@@ -119,7 +150,10 @@ class Pool
 
     /**
      * Reopen a pool from a durable image (recovery path). The image
-     * becomes both the durable and the working copy.
+     * becomes both the durable and the working copy. The superblock is
+     * checksum-verified: a corrupt primary repairs from the mirror
+     * (and vice versa, during the scrub pass that follows).
+     * @throws MediaError if both superblock copies are corrupt.
      */
     Pool(std::string name, uint32_t pool_id,
          std::vector<uint8_t> durable_image);
@@ -214,6 +248,50 @@ class Pool
     /** Re-read the cached header copy from the working image. */
     void refreshHeader();
 
+    /**
+     * Seal @p h and write both superblock copies (primary then mirror)
+     * into the working image; the caller persists them. Also updates
+     * the cached header.
+     */
+    void storeHeader(PoolHeader h);
+
+    /** Persist both superblock copies (after storeHeader). */
+    void persistHeader();
+
+    /**
+     * Media-fault injection: overwrite @p n bytes at @p off of the
+     * DURABLE image directly, bypassing the store/CLWB path — the model
+     * of NVM losing or corrupting bits at rest. Call crash() afterwards
+     * to expose the corruption to the working image, as a reboot would.
+     */
+    void corruptDurable(uint32_t off, const void *src, size_t n);
+
+    /**
+     * Host-side checksum work accounting. Each pool defaults to a
+     * private counter block; the registry points all of its pools at
+     * one shared block so `pmem.checksum.*` aggregates per process.
+     */
+    ChecksumCounters &checksumCounters()
+    {
+        return counters_ ? *counters_ : ownCounters_;
+    }
+
+    /**
+     * Point this pool at a shared counter block (nullptr reverts to the
+     * private one). Work already counted privately — e.g. header seals
+     * during construction, before the registry wires the shared block —
+     * is folded into @p c so nothing is lost.
+     */
+    void
+    setChecksumCounters(ChecksumCounters *c)
+    {
+        if (c && counters_ != c) {
+            c->merge(ownCounters_);
+            ownCounters_ = ChecksumCounters{};
+        }
+        counters_ = c;
+    }
+
   private:
     void writeBackLine(uint32_t line, WriteBackCause cause);
 
@@ -227,6 +305,8 @@ class Pool
     DurabilityPolicy policy_ = DurabilityPolicy::Eager;
     DurabilityHook *hook_ = nullptr; ///< not owned; may be null
     PoolHeader cachedHeader_{};
+    ChecksumCounters ownCounters_{};
+    ChecksumCounters *counters_ = nullptr; ///< shared block, if any
 };
 
 } // namespace poat

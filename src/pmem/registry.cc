@@ -16,6 +16,7 @@ PoolRegistry::create(const std::string &name, uint64_t size,
     auto op = std::make_unique<OpenPool>(name, id, size, log_size);
     op->pool.setVbase(space_.mapRandom(op->pool.size()));
     op->pool.setDurabilityHook(hook_);
+    op->pool.setChecksumCounters(&counters_);
     idByName_[name] = id;
     auto &ref = *op;
     open_[id] = std::move(op);
@@ -37,6 +38,8 @@ PoolRegistry::open(const std::string &name)
     auto op = std::make_unique<OpenPool>(name, id, disk_it->second);
     op->pool.setVbase(space_.mapRandom(op->pool.size()));
     op->pool.setDurabilityHook(hook_);
+    op->pool.setChecksumCounters(&counters_);
+    lastScrub_ = op->open_scrub;
     op->log.recover();
     disk_.erase(disk_it);
     auto &ref = *op;
@@ -156,7 +159,8 @@ PoolRegistry::crashAll()
     for (uint32_t id : openIds()) {
         OpenPool &op = *open_.at(id);
         op.pool.crash();
-        op.alloc.rescan();
+        // No allocator rescan here: the post-crash image may carry
+        // media faults, and only recoverAll's scrub pass may read it.
         op.log.markCrashed();
     }
 }
@@ -164,8 +168,16 @@ PoolRegistry::crashAll()
 void
 PoolRegistry::recoverAll()
 {
-    for (uint32_t id : openIds())
-        open_.at(id)->log.recover();
+    lastScrub_ = ScrubStats{};
+    for (uint32_t id : openIds()) {
+        OpenPool &op = *open_.at(id);
+        // Order matters: scrub repairs (or diagnoses) media faults
+        // first, the allocator rescan then trusts every block header,
+        // and undo replay finally trusts the log entries.
+        lastScrub_.merge(scrubPool(op.pool));
+        op.alloc.rescan();
+        op.log.recover();
+    }
 }
 
 void

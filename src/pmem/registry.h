@@ -22,6 +22,7 @@
 #include "pmem/addrspace.h"
 #include "pmem/alloc.h"
 #include "pmem/pool.h"
+#include "pmem/scrub.h"
 #include "pmem/tx.h"
 
 namespace poat {
@@ -35,15 +36,29 @@ struct OpenPool
           log(pool, alloc)
     {}
 
-    /** Reopen-from-image constructor (runs the allocator scan). */
+    /**
+     * Reopen-from-image constructor: scrubs the image for media faults
+     * (repairing or throwing MediaError), then runs the allocator scan.
+     */
     OpenPool(std::string name, uint32_t id, std::vector<uint8_t> image)
-        : pool(std::move(name), id, std::move(image)), alloc(pool),
-          log(pool, alloc)
+        : pool(std::move(name), id, std::move(image)),
+          alloc(scrubbed(pool, open_scrub)), log(pool, alloc)
     {}
 
     Pool pool;
+    /** Results of the reopen-time scrub (zeros for a created pool). */
+    ScrubStats open_scrub{};
     PoolAllocator alloc;
     UndoLog log;
+
+  private:
+    /** Scrub before the allocator ever reads a (possibly corrupt) heap. */
+    static Pool &
+    scrubbed(Pool &p, ScrubStats &st)
+    {
+        st = scrubPool(p);
+        return p;
+    }
 };
 
 /** Registry of pools for one simulated process. */
@@ -94,8 +109,18 @@ class PoolRegistry
     /** Simulate a machine-wide power failure across all open pools. */
     void crashAll();
 
-    /** Run recovery on every open pool (after crashAll). */
+    /**
+     * Run recovery on every open pool (after crashAll): scrub the
+     * durable image for media faults (repair or throw MediaError),
+     * rescan the allocator, then replay the undo log.
+     */
     void recoverAll();
+
+    /** Merged scrub results of the most recent recoverAll(). */
+    const ScrubStats &lastScrubStats() const { return lastScrub_; }
+
+    /** Process-wide checksum work counters (shared by all pools). */
+    const ChecksumCounters &checksumCounters() const { return counters_; }
 
     /**
      * Install @p hook (may be nullptr to remove) on the durability path
@@ -113,6 +138,8 @@ class PoolRegistry
   private:
     AddressSpace space_;
     uint32_t nextId_ = 1;
+    ScrubStats lastScrub_{};      ///< merged over the last recoverAll
+    ChecksumCounters counters_{}; ///< shared by every pool we open
     DurabilityHook *hook_ = nullptr; ///< installed on every pool
     std::unordered_map<uint32_t, std::unique_ptr<OpenPool>> open_;
     std::unordered_map<std::string, uint32_t> idByName_;

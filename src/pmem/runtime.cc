@@ -92,13 +92,16 @@ PmemRuntime::poolRoot(uint32_t pool_id, uint32_t size)
     h = op.pool.header();
     h.root_off = root.offset();
     h.root_size = size;
-    op.pool.writeRaw(0, &h, sizeof(h));
-    op.pool.persist(0, sizeof(h));
-    op.pool.refreshHeader();
+    op.pool.storeHeader(h); // seals + writes primary and mirror copies
+    op.pool.persistHeader();
+    sink_->alu(costs::crcCost(offsetof(PoolHeader, crc)));
     sink_->store(op.pool.vbase() + offsetof(PoolHeader, root_off));
+    sink_->store(op.pool.vbase() + PoolHeader::kMirrorOff +
+                 offsetof(PoolHeader, root_off));
     if (opts_.durability) {
         sink_->clwb(op.pool.vbase() + root.offset());
         sink_->clwb(op.pool.vbase());
+        sink_->clwb(op.pool.vbase() + PoolHeader::kMirrorOff);
         sink_->fence();
     }
     return root;
@@ -115,6 +118,11 @@ PmemRuntime::emitAllocatorTouches(OpenPool &op)
     // through its own mapping (Software mode) or through nv instructions
     // (Hardware mode, paper section 3.3).
     const bool hw = opts_.mode == TranslationMode::Hardware;
+    // Each header write reseals its crc (costs::kCrcHeader ALU apiece).
+    if (!op.alloc.lastTouched().empty()) {
+        sink_->alu(costs::kCrcHeader *
+                   static_cast<uint32_t>(op.alloc.lastTouched().size()));
+    }
     for (uint32_t t : op.alloc.lastTouched()) {
         if (hw) {
             sink_->nvLoad(ObjectID(op.pool.id(), t));
@@ -265,7 +273,11 @@ PmemRuntime::emitLogAppend(OpenPool &op)
     const uint32_t entry = op.log.lastEntryOff();
     const uint32_t entry_bytes = op.log.lastEntryBytes();
     const uint32_t hdr = op.log.headerOff();
+    const uint32_t mirror = hdr + LogHeader::kMirrorLineOff;
     const bool hw = opts_.mode == TranslationMode::Hardware;
+    // Sealing the entry checksums the payload + 28 header bytes; the
+    // header publish reseals the log header and stores both copies.
+    sink_->alu(costs::crcCost(entry_bytes) + costs::kCrcHeader);
     if (hw) {
         sink_->nvStore(ObjectID(pool_id, entry));
         for (uint32_t l = 0; l < Pool::lineSpan(entry, entry_bytes); ++l)
@@ -273,6 +285,8 @@ PmemRuntime::emitLogAppend(OpenPool &op)
         sink_->fence();
         sink_->nvStore(ObjectID(pool_id, hdr));
         sink_->nvClwb(ObjectID(pool_id, hdr));
+        sink_->nvStore(ObjectID(pool_id, mirror));
+        sink_->nvClwb(ObjectID(pool_id, mirror));
         sink_->fence();
     } else {
         sink_->store(op.pool.vbase() + entry);
@@ -281,6 +295,8 @@ PmemRuntime::emitLogAppend(OpenPool &op)
         sink_->fence();
         sink_->store(op.pool.vbase() + hdr);
         sink_->clwb(op.pool.vbase() + hdr);
+        sink_->store(op.pool.vbase() + mirror);
+        sink_->clwb(op.pool.vbase() + mirror);
         sink_->fence();
     }
 }
@@ -295,14 +311,19 @@ PmemRuntime::txBegin(uint32_t pool_id)
     txPools_.insert(pool_id);
 
     sink_->txBegin(pool_id, currentOp_);
-    sink_->alu(costs::kTxBegin);
+    sink_->alu(costs::kTxBegin + costs::kCrcHeader);
     const uint32_t hdr = op.log.headerOff();
+    const uint32_t mirror = hdr + LogHeader::kMirrorLineOff;
     if (opts_.mode == TranslationMode::Hardware) {
         sink_->nvStore(ObjectID(pool_id, hdr));
         sink_->nvClwb(ObjectID(pool_id, hdr));
+        sink_->nvStore(ObjectID(pool_id, mirror));
+        sink_->nvClwb(ObjectID(pool_id, mirror));
     } else {
         sink_->store(op.pool.vbase() + hdr);
         sink_->clwb(op.pool.vbase() + hdr);
+        sink_->store(op.pool.vbase() + mirror);
+        sink_->clwb(op.pool.vbase() + mirror);
     }
     sink_->fence();
 }
@@ -391,14 +412,20 @@ PmemRuntime::emitCommit(OpenPool &op,
     const bool hw = opts_.mode == TranslationMode::Hardware;
     const uint32_t pool_id = op.pool.id();
     const uint32_t hdr = op.log.headerOff();
+    const uint32_t mirror = hdr + LogHeader::kMirrorLineOff;
 
     auto flush_header = [&] {
+        sink_->alu(costs::kCrcHeader);
         if (hw) {
             sink_->nvStore(ObjectID(pool_id, hdr));
             sink_->nvClwb(ObjectID(pool_id, hdr));
+            sink_->nvStore(ObjectID(pool_id, mirror));
+            sink_->nvClwb(ObjectID(pool_id, mirror));
         } else {
             sink_->store(op.pool.vbase() + hdr);
             sink_->clwb(op.pool.vbase() + hdr);
+            sink_->store(op.pool.vbase() + mirror);
+            sink_->clwb(op.pool.vbase() + mirror);
         }
         sink_->fence();
     };

@@ -208,6 +208,7 @@ class PmemRuntime
     /// @name Substrate access (tests, experiments, recovery flows)
     /// @{
     PoolRegistry &registry() { return registry_; }
+    const PoolRegistry &registry() const { return registry_; }
     SoftwareTranslator &translator() { return translator_; }
     const SoftwareTranslator &translator() const { return translator_; }
     TraceSink &sink() { return *sink_; }

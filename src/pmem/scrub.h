@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Recovery-time scrub-and-repair pass (Pangolin-style, see PAPERS.md).
+ *
+ * Crash-point recovery (PR 4) assumes the durable image is *intact*;
+ * real NVM also suffers media faults — latent bit flips and torn
+ * 64-byte lines. The scrub pass walks every checksummed on-media
+ * structure of a pool before the allocator rescan and undo-log recovery
+ * touch it, and for each corruption found either
+ *
+ *   - repairs it from a replica (superblock and log-header mirrors),
+ *   - repairs it from the undo log (heap block headers whose liveness a
+ *     published ALLOC/FREE/DATA record proves, with the extent
+ *     recovered from the next block's back-link),
+ *   - retires it (a dead snapshot payload of an already-committed
+ *     transaction is resealed), or
+ *   - throws MediaError naming the pool, offset, and structure kind —
+ *     never undefined behavior, never a silent wrong answer.
+ *
+ * Scrub order matters: superblock first (it locates everything), then
+ * the log header (mirror repair), then the published log entries (the
+ * walk needs trusted sizes), then the heap chain (flag reconstruction
+ * needs trusted log records).
+ */
+#ifndef POAT_PMEM_SCRUB_H
+#define POAT_PMEM_SCRUB_H
+
+#include <cstdint>
+
+#include "pmem/tx.h"
+
+namespace poat {
+
+/** What one scrub pass checked and fixed. */
+struct ScrubStats
+{
+    uint64_t structures_checked = 0;
+    uint64_t corruptions_detected = 0;
+    uint64_t superblock_repairs = 0;   ///< incl. mirror resyncs
+    uint64_t log_header_repairs = 0;   ///< incl. mirror resyncs
+    uint64_t log_entry_repairs = 0;    ///< dead snapshots resealed
+    uint64_t block_header_repairs = 0; ///< rebuilt from log + back-link
+
+    uint64_t
+    repairs() const
+    {
+        return superblock_repairs + log_header_repairs +
+            log_entry_repairs + block_header_repairs;
+    }
+
+    void
+    merge(const ScrubStats &o)
+    {
+        structures_checked += o.structures_checked;
+        corruptions_detected += o.corruptions_detected;
+        superblock_repairs += o.superblock_repairs;
+        log_header_repairs += o.log_header_repairs;
+        log_entry_repairs += o.log_entry_repairs;
+        block_header_repairs += o.block_header_repairs;
+    }
+};
+
+/**
+ * Scrub @p pool's working image (call after Pool::crash() or on a
+ * freshly reopened image, before the allocator attaches/rescans and
+ * before UndoLog::recover). Repairs are persisted to the durable image.
+ * @throws MediaError on unrepairable corruption.
+ */
+ScrubStats scrubPool(Pool &pool);
+
+} // namespace poat
+
+#endif // POAT_PMEM_SCRUB_H

@@ -12,7 +12,8 @@ UndoLog::UndoLog(Pool &pool, PoolAllocator &alloc)
     : pool_(pool), alloc_(alloc),
       logOff_(pool.header().log_off), logSize_(pool.header().log_size)
 {
-    POAT_ASSERT(logSize_ >= sizeof(LogHeader) + sizeof(LogEntryHeader),
+    POAT_ASSERT(logSize_ >=
+                    LogHeader::kEntriesOff + sizeof(LogEntryHeader),
                 "log region too small");
 }
 
@@ -28,14 +29,21 @@ void
 UndoLog::writeState(uint32_t state, uint32_t num, uint32_t used)
 {
     LogHeader h{state, num, used, 0};
+    h.seal();
+    pool_.checksumCounters().log_header_updates += 1;
+    pool_.checksumCounters().bytes_summed += offsetof(LogHeader, crc);
+    // Primary first (the commit point), then the mirror, each on its
+    // own 64-byte line so one media fault cannot take out both.
     pool_.writeRaw(logOff_, &h, sizeof(h));
     pool_.persist(logOff_, sizeof(h));
+    pool_.writeRaw(logOff_ + LogHeader::kMirrorLineOff, &h, sizeof(h));
+    pool_.persist(logOff_ + LogHeader::kMirrorLineOff, sizeof(h));
 }
 
 uint32_t
 UndoLog::entriesBase() const
 {
-    return logOff_ + sizeof(LogHeader);
+    return logOff_ + LogHeader::kEntriesOff;
 }
 
 void
@@ -48,7 +56,7 @@ UndoLog::throwExhausted(const char *api, uint32_t entry_bytes,
     throw std::runtime_error(
         std::string("undo log exhausted in ") + api + ": pool '" +
         pool_.name() + "' log_size=" + std::to_string(logSize_) +
-        " used=" + std::to_string(sizeof(LogHeader) + h.used) +
+        " used=" + std::to_string(LogHeader::kEntriesOff + h.used) +
         " requested=" + std::to_string(entry_bytes) +
         " bytes; the transaction is too large for this log region");
 }
@@ -98,10 +106,18 @@ UndoLog::addRange(uint32_t off, uint32_t size)
 
     // Write the snapshot entry and make it durable *before* publishing
     // it via the entry count; a torn entry is then never observed.
-    LogEntryHeader eh{LogEntryHeader::kData, size, off, 0};
-    pool_.writeRaw(entry_off, &eh, sizeof(eh));
     std::vector<uint8_t> snap(size);
     pool_.readRaw(off, snap.data(), size);
+    LogEntryHeader eh{};
+    eh.type = LogEntryHeader::kData;
+    eh.payload_size = size;
+    eh.target_off = off;
+    eh.data_crc = crc32c(snap.data(), size, LogEntryHeader::kCrcSeed);
+    eh.seal();
+    pool_.checksumCounters().log_entry_updates += 1;
+    pool_.checksumCounters().bytes_summed +=
+        size + offsetof(LogEntryHeader, hdr_crc);
+    pool_.writeRaw(entry_off, &eh, sizeof(eh));
     pool_.writeRaw(entry_off + sizeof(eh), snap.data(), size);
     pool_.persist(entry_off, entry_bytes);
     lastEntryOff_ = entry_off;
@@ -120,8 +136,14 @@ UndoLog::logAlloc(uint32_t payload_off, uint32_t payload_bytes)
     if (entry_off + entry_bytes > logOff_ + logSize_)
         throwExhausted("tx_pmalloc", entry_bytes, h);
 
-    LogEntryHeader eh{LogEntryHeader::kAlloc, 0, payload_off,
-                      payload_bytes};
+    LogEntryHeader eh{};
+    eh.type = LogEntryHeader::kAlloc;
+    eh.target_off = payload_off;
+    eh.alloc_size = payload_bytes;
+    eh.seal();
+    pool_.checksumCounters().log_entry_updates += 1;
+    pool_.checksumCounters().bytes_summed += offsetof(LogEntryHeader,
+                                                      hdr_crc);
     pool_.writeRaw(entry_off, &eh, sizeof(eh));
     pool_.persist(entry_off, entry_bytes);
     lastEntryOff_ = entry_off;
@@ -139,7 +161,13 @@ UndoLog::logFree(uint32_t payload_off)
     if (entry_off + entry_bytes > logOff_ + logSize_)
         throwExhausted("tx_pfree", entry_bytes, h);
 
-    LogEntryHeader eh{LogEntryHeader::kFree, 0, payload_off, 0};
+    LogEntryHeader eh{};
+    eh.type = LogEntryHeader::kFree;
+    eh.target_off = payload_off;
+    eh.seal();
+    pool_.checksumCounters().log_entry_updates += 1;
+    pool_.checksumCounters().bytes_summed += offsetof(LogEntryHeader,
+                                                      hdr_crc);
     pool_.writeRaw(entry_off, &eh, sizeof(eh));
     pool_.persist(entry_off, entry_bytes);
     lastEntryOff_ = entry_off;
@@ -256,6 +284,9 @@ UndoLog::validateLog() const
         h.state != LogHeader::kCommitting) {
         corrupt("unknown state machine value");
     }
+    pool_.checksumCounters().verifies += 1;
+    if (!h.crcValid())
+        corrupt("header checksum mismatch");
     const uint32_t end = logOff_ + logSize_;
     uint32_t off = entriesBase();
     for (uint32_t i = 0; i < h.num_entries; ++i) {
@@ -263,6 +294,10 @@ UndoLog::validateLog() const
             corrupt("entry " + std::to_string(i) +
                     " header truncated past the log region");
         const LogEntryHeader eh = readEntryHeader(off);
+        pool_.checksumCounters().verifies += 1;
+        if (!eh.hdrCrcValid())
+            corrupt("entry " + std::to_string(i) +
+                    " header checksum mismatch");
         if (eh.type != LogEntryHeader::kData &&
             eh.type != LogEntryHeader::kAlloc &&
             eh.type != LogEntryHeader::kFree) {
@@ -274,6 +309,16 @@ UndoLog::validateLog() const
         if (off + entry_bytes > end)
             corrupt("entry " + std::to_string(i) +
                     " payload truncated past the log region");
+        if (eh.payload_size != 0) {
+            std::vector<uint8_t> payload(eh.payload_size);
+            pool_.readRaw(off + sizeof(LogEntryHeader), payload.data(),
+                          eh.payload_size);
+            if (eh.data_crc != crc32c(payload.data(), payload.size(),
+                                      LogEntryHeader::kCrcSeed)) {
+                corrupt("entry " + std::to_string(i) +
+                        " payload checksum mismatch");
+            }
+        }
         if (static_cast<uint64_t>(eh.target_off) + eh.payload_size >
             pool_.size()) {
             corrupt("entry " + std::to_string(i) +
@@ -326,7 +371,7 @@ uint32_t
 UndoLog::remainingCapacity() const
 {
     const LogHeader h = readHeader();
-    const uint32_t used_total = sizeof(LogHeader) + h.used;
+    const uint32_t used_total = LogHeader::kEntriesOff + h.used;
     return logSize_ > used_total ? logSize_ - used_total : 0;
 }
 

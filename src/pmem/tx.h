@@ -31,25 +31,59 @@
 
 namespace poat {
 
-/** On-media header at the start of a pool's log region. */
+/**
+ * On-media header at the start of a pool's log region, crc32c-sealed
+ * and replicated: the mirror copy lives one 64-byte line up
+ * (log_off + kMirrorLineOff) and entries start two lines in, so a
+ * media fault in either header line repairs from the other. Every
+ * state write stores both copies, primary first; between two *valid*
+ * copies the primary wins — it is the commit point of the state
+ * machine, the mirror is its backup.
+ *
+ * The crc seed is 0 so a freshly zeroed log region decodes as a validly
+ * sealed idle header (crc32c of zeros from seed 0 is 0), exactly the
+ * "nothing to recover" a fresh pool means.
+ */
 struct LogHeader
 {
     static constexpr uint32_t kIdle = 0;
     static constexpr uint32_t kActive = 1;
     static constexpr uint32_t kCommitting = 2;
+    /** Mirror copy offset relative to the log region start. */
+    static constexpr uint32_t kMirrorLineOff = 64;
+    /** Entries start this far into the log region (after both copies). */
+    static constexpr uint32_t kEntriesOff = 128;
 
     uint32_t state;
     uint32_t num_entries;
     uint32_t used; ///< bytes of entries written after this header
-    uint32_t pad;
+    uint32_t crc;  ///< crc32c over the preceding fields (seed 0)
+
+    uint32_t
+    computeCrc() const
+    {
+        return crc32c(this, offsetof(LogHeader, crc));
+    }
+    bool crcValid() const { return crc == computeCrc(); }
+    void seal() { crc = computeCrc(); }
 };
 
-/** On-media header of one log entry, followed by its payload. */
+/**
+ * On-media header of one log entry, followed by its payload.
+ *
+ * Two checksums: hdr_crc seals every preceding header field (so the
+ * entry walk can trust sizes and targets), data_crc seals the payload
+ * snapshot bytes (so recovery never copies corrupt old data back over
+ * a live object). Both are verified by validateLog and the recovery
+ * scrub.
+ */
 struct LogEntryHeader
 {
     static constexpr uint32_t kData = 1;  ///< payload = old bytes
     static constexpr uint32_t kAlloc = 2; ///< target = allocated payload
     static constexpr uint32_t kFree = 3;  ///< target = deferred free
+    /** Seed for both entry checksums; nonzero so zeroed media fails. */
+    static constexpr uint32_t kCrcSeed = 0x106e7221;
 
     uint32_t type;
     uint32_t payload_size;
@@ -62,7 +96,23 @@ struct LogEntryHeader
      * Zero for other entry types.
      */
     uint32_t alloc_size;
+
+    uint32_t data_crc; ///< crc32c of the payload bytes; 0 if no payload
+    uint32_t pad0;
+    uint32_t pad1;
+    uint32_t hdr_crc;  ///< crc32c over all preceding fields
+
+    uint32_t
+    computeHdrCrc() const
+    {
+        return crc32c(this, offsetof(LogEntryHeader, hdr_crc), kCrcSeed);
+    }
+    bool hdrCrcValid() const { return hdr_crc == computeHdrCrc(); }
+    void seal() { hdr_crc = computeHdrCrc(); }
 };
+
+static_assert(sizeof(LogHeader) == 16);
+static_assert(sizeof(LogEntryHeader) == 32);
 
 /** Undo-log manager bound to one pool and its allocator. */
 class UndoLog

@@ -146,6 +146,19 @@ TEST(Explore, ReproStringRoundTrips)
     EXPECT_EQ(f.repro(), "B+T:50:1:7");
     f.j = 3;
     EXPECT_EQ(f.repro(), "B+T:50:1:7:3");
+    // Sampled-eviction failures carry their schedule in the string, so
+    // no out-of-band --evict is needed to replay them.
+    f.evict_num = 1;
+    f.evict_den = 8;
+    EXPECT_EQ(f.repro(), "B+T:50:1:7:3:e1/8");
+}
+
+TEST(Explore, ReplayParsesEvictionToken)
+{
+    EXPECT_TRUE(fault::replayRepro("LL:5:2:3:e1/8").empty());
+    EXPECT_TRUE(fault::replayRepro("LL:5:2:3:0:e1/8").empty());
+    EXPECT_THROW(fault::replayRepro("LL:5:2:3:e1/8:0"),
+                 std::invalid_argument);
 }
 
 TEST(Explore, ReplayOfHealthyTrialReportsNothing)

@@ -162,22 +162,23 @@ TEST(Tx, RecordsExposeEntries)
 
 TEST(Tx, ExhaustionThrowsDescriptiveError)
 {
-    // 1 KiB log region: one big range fits, the second cannot.
-    Pool pool("tiny", 1, 1 << 20, 1024);
+    // 2 KiB log region (128 bytes of it are the mirrored header lines):
+    // one big range fits, the second cannot.
+    Pool pool("tiny", 1, 1 << 20, 2048);
     PoolAllocator alloc(pool);
     UndoLog log(pool, alloc);
 
     const uint32_t off = alloc.alloc(2048);
     log.begin();
-    log.addRange(off, 900);
+    log.addRange(off, 1000);
     try {
-        log.addRange(off + 1024, 900);
+        log.addRange(off + 1024, 1000);
         FAIL() << "second addRange should exhaust the log";
     } catch (const std::runtime_error &e) {
         const std::string msg = e.what();
         EXPECT_NE(msg.find("undo log exhausted"), std::string::npos) << msg;
         EXPECT_NE(msg.find("'tiny'"), std::string::npos) << msg;
-        EXPECT_NE(msg.find("log_size=1024"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("log_size=2048"), std::string::npos) << msg;
         EXPECT_NE(msg.find("requested="), std::string::npos) << msg;
     }
     // The log is untouched by the failed append: abort still works.
@@ -241,15 +242,23 @@ class TxCorruptLog : public ::testing::Test
         log_off = pool.header().log_off;
     }
 
+    /**
+     * Fixtures target the *structural* validation, so headers and
+     * entries are correctly crc-sealed — a stale checksum would trip
+     * the (earlier) checksum check instead of the message under test.
+     */
     void writeLogHeader(uint32_t state, uint32_t entries, uint32_t used)
     {
-        const LogHeader h{state, entries, used, 0};
+        LogHeader h{state, entries, used, 0};
+        h.seal();
         pool.writeRaw(log_off, &h, sizeof(h));
-        pool.persist(log_off, sizeof(h));
+        pool.writeRaw(log_off + LogHeader::kMirrorLineOff, &h, sizeof(h));
+        pool.persist(log_off, LogHeader::kEntriesOff);
     }
 
-    void writeEntry(uint32_t at, const LogEntryHeader &eh)
+    void writeEntry(uint32_t at, LogEntryHeader eh)
     {
+        eh.seal();
         pool.writeRaw(at, &eh, sizeof(eh));
         pool.persist(at, sizeof(eh));
     }
@@ -275,7 +284,7 @@ class TxCorruptLog : public ::testing::Test
 
 TEST_F(TxCorruptLog, CommittingWithGarbageEntryTypeFailsClearly)
 {
-    writeEntry(log_off + sizeof(LogHeader),
+    writeEntry(log_off + LogHeader::kEntriesOff,
                LogEntryHeader{77, 16, 4096, 0});
     writeLogHeader(LogHeader::kCommitting, 1,
                    sizeof(LogEntryHeader) + 16);
@@ -289,7 +298,7 @@ TEST_F(TxCorruptLog, CommittingWithTruncatedEntryFailsClearly)
     // One entry whose claimed payload runs past the end of the log
     // region: the walk must stop at the bounds check, not read off the
     // end.
-    writeEntry(log_off + sizeof(LogHeader),
+    writeEntry(log_off + LogHeader::kEntriesOff,
                LogEntryHeader{LogEntryHeader::kData, 1u << 20, 4096, 0});
     writeLogHeader(LogHeader::kCommitting, 1, 64);
     const std::string msg = recoverError();
@@ -299,7 +308,7 @@ TEST_F(TxCorruptLog, CommittingWithTruncatedEntryFailsClearly)
 
 TEST_F(TxCorruptLog, ActiveWithEntryWalkUsedMismatchFailsClearly)
 {
-    writeEntry(log_off + sizeof(LogHeader),
+    writeEntry(log_off + LogHeader::kEntriesOff,
                LogEntryHeader{LogEntryHeader::kFree, 0, 4096, 0});
     writeLogHeader(LogHeader::kActive, 1, 999);
     const std::string msg = recoverError();

@@ -1,12 +1,17 @@
 /**
  * @file
- * Crash-point exploration driver (see src/fault/explore.h).
+ * Crash-point and media-fault exploration driver (see src/fault/).
  *
- * Profiles a workload's durability events, then re-runs it crashing at
- * every event index (or a seeded sample), recovering, and checking all
- * recovery invariants — including crashes injected into the recovery
- * itself. Prints coverage plus a deterministic reproducer for every
- * failure; that reproducer replays with --repro=... within one build.
+ * Default mode profiles a workload's durability events, then re-runs it
+ * crashing at every event index (or a seeded sample), recovering, and
+ * checking all recovery invariants — including crashes injected into
+ * the recovery itself. --media mode instead corrupts checksummed
+ * on-media structures of crashed images (bit flips and torn lines,
+ * optionally two at a time with --doubles) and requires recovery to
+ * repair, stay benign, or fail stop with a MediaError diagnostic.
+ * Either mode prints coverage plus a deterministic reproducer for every
+ * failure; reproducers replay with --repro=... within one build (media
+ * reproducers carry an ":mF" token and route automatically).
  *
  * Exit status: 0 all trials passed, 1 invariant violations found,
  * 2 usage error.
@@ -19,11 +24,13 @@
 
 #include "common/stats.h"
 #include "fault/explore.h"
+#include "fault/media.h"
 #include "workloads/crash_support.h"
 
 namespace {
 
 using poat::fault::ExploreOptions;
+using poat::fault::MediaOptions;
 
 struct Args
 {
@@ -38,6 +45,13 @@ struct Args
     uint64_t evict_den = 8;
     std::string repro; ///< replay one trial instead of exploring
     bool dump_stats = false;
+
+    bool media = false; ///< media-fault mode (fault/media.h)
+    std::vector<uint64_t> media_points; ///< empty = default spread
+    uint64_t media_sample = 0;          ///< 0 = exhaustive
+    uint64_t doubles = 0;               ///< double-fault trials per point
+    std::string media_kinds;            ///< empty = all structure kinds
+    int block_filter = 0;               ///< 0 any, 1 alloc'd, 2 free
 };
 
 void
@@ -58,9 +72,23 @@ usage()
         "  --evict=NUM/DEN   per-line eviction probability applied to\n"
         "                    all pools after every step (default off)\n"
         "  --repro=R         replay one trial from a failure's\n"
-        "                    reproducer string workload:steps:seed:k[:j]\n"
-        "                    (build-local; pass the same --evict)\n"
+        "                    reproducer string\n"
+        "                    workload:steps:seed:k[:j][:mF][:eN/D]\n"
+        "                    (self-contained, but build-local)\n"
         "  --stats           dump fault.* counters after exploring\n"
+        "media-fault mode (see src/fault/media.h):\n"
+        "  --media           corrupt checksummed structures of crashed\n"
+        "                    images instead of exploring crash points\n"
+        "  --media-points=K1,K2,...\n"
+        "                    crash points to corrupt at (default: a\n"
+        "                    five-point spread over the event count)\n"
+        "  --media-sample=N  faults to inject per crash point;\n"
+        "                    0 = every site, flip and tear (default 0)\n"
+        "  --doubles=N       seeded double-fault trials per crash\n"
+        "                    point (default 0)\n"
+        "  --media-kinds=CSV restrict to structure kinds: superblock,\n"
+        "                    log-header, log-entry, block-header\n"
+        "  --media-blocks=F  block-header filter: any, allocated, free\n"
         "  --help            this text\n");
 }
 
@@ -116,6 +144,38 @@ parseArgs(int argc, char **argv)
                     "' (need 0 <= NUM <= DEN, DEN > 0)");
         } else if (s.rfind("--repro=", 0) == 0) {
             a.repro = value(8);
+        } else if (s == "--media") {
+            a.media = true;
+        } else if (s.rfind("--media-points=", 0) == 0) {
+            std::string cur;
+            for (char c : value(15) + ",") {
+                if (c == ',') {
+                    if (!cur.empty())
+                        a.media_points.push_back(
+                            parseU64("--media-points", cur));
+                    cur.clear();
+                } else {
+                    cur += c;
+                }
+            }
+        } else if (s.rfind("--media-sample=", 0) == 0) {
+            a.media_sample = parseU64("--media-sample", value(15));
+        } else if (s.rfind("--doubles=", 0) == 0) {
+            a.doubles = parseU64("--doubles", value(10));
+        } else if (s.rfind("--media-kinds=", 0) == 0) {
+            a.media_kinds = value(14);
+        } else if (s.rfind("--media-blocks=", 0) == 0) {
+            const std::string v = value(15);
+            if (v == "any")
+                a.block_filter = 0;
+            else if (v == "allocated")
+                a.block_filter = 1;
+            else if (v == "free")
+                a.block_filter = 2;
+            else
+                throw std::invalid_argument(
+                    "bad value for --media-blocks: '" + v +
+                    "' (expected any, allocated, or free)");
         } else if (s == "--stats") {
             a.dump_stats = true;
         } else if (s == "--help") {
@@ -142,6 +202,73 @@ toOptions(const Args &a, const std::string &workload)
     opts.evict_num = a.evict_num;
     opts.evict_den = a.evict_den;
     return opts;
+}
+
+MediaOptions
+toMediaOptions(const Args &a, const std::string &workload)
+{
+    MediaOptions m;
+    m.base = toOptions(a, workload);
+    m.points = a.media_points;
+    m.sample = a.media_sample;
+    m.doubles = a.doubles;
+    m.block_filter = a.block_filter;
+    std::string cur;
+    for (char c : a.media_kinds + ",") {
+        if (c != ',') {
+            cur += c;
+            continue;
+        }
+        if (cur.empty())
+            continue;
+        if (cur == "superblock")
+            m.kinds.push_back(poat::MediaStructure::Superblock);
+        else if (cur == "log-header")
+            m.kinds.push_back(poat::MediaStructure::LogHeader);
+        else if (cur == "log-entry")
+            m.kinds.push_back(poat::MediaStructure::LogEntry);
+        else if (cur == "block-header")
+            m.kinds.push_back(poat::MediaStructure::BlockHeader);
+        else
+            throw std::invalid_argument(
+                "bad value for --media-kinds: '" + cur +
+                "' (expected superblock, log-header, log-entry, or "
+                "block-header)");
+        cur.clear();
+    }
+    return m;
+}
+
+/** Media-fault explore one workload; returns the number of failures. */
+size_t
+exploreMediaOne(const Args &a, const std::string &workload,
+                poat::StatsRegistry &stats)
+{
+    const MediaOptions opts = toMediaOptions(a, workload);
+    const poat::fault::MediaReport rep = poat::fault::exploreMedia(opts);
+    rep.publish(stats);
+
+    std::printf("%-5s steps=%llu seed=%llu events=%llu points=%llu "
+                "sites=%llu\n",
+                workload.c_str(),
+                static_cast<unsigned long long>(opts.base.steps),
+                static_cast<unsigned long long>(opts.base.seed),
+                static_cast<unsigned long long>(rep.total_events),
+                static_cast<unsigned long long>(rep.points),
+                static_cast<unsigned long long>(rep.sites));
+    std::printf("      trials=%llu%s injected=%llu repaired=%llu "
+                "diagnosed=%llu benign=%llu\n",
+                static_cast<unsigned long long>(rep.trials),
+                opts.sample == 0 ? " (exhaustive)" : " (sampled)",
+                static_cast<unsigned long long>(rep.injected),
+                static_cast<unsigned long long>(rep.repaired),
+                static_cast<unsigned long long>(rep.diagnosed),
+                static_cast<unsigned long long>(rep.benign));
+    for (const poat::fault::Failure &f : rep.failures)
+        std::printf("      FAIL %s  %s\n", f.repro().c_str(),
+                    f.why.c_str());
+    std::printf("      %s\n", rep.ok() ? "PASS" : "FAIL");
+    return rep.failures.size();
 }
 
 /** Explore one workload; returns the number of failures. */
@@ -221,8 +348,10 @@ main(int argc, char **argv)
 
         poat::StatsRegistry stats;
         size_t failures = 0;
-        for (const std::string &w : workloads)
-            failures += exploreOne(a, w, stats);
+        for (const std::string &w : workloads) {
+            failures += a.media ? exploreMediaOne(a, w, stats)
+                                : exploreOne(a, w, stats);
+        }
         if (a.dump_stats) {
             std::printf("---- stats ----\n");
             stats.dump(std::cout);

@@ -85,6 +85,18 @@ main(int argc, char **argv)
 
     std::printf("pool image: %s (%zu bytes)\n", argv[1], image.size());
     std::printf("  version    %u\n", h.version);
+    std::printf("  superblock %s\n",
+                h.crcValid() ? "crc ok" : "CRC MISMATCH");
+    if (image.size() >= PoolHeader::kMirrorOff + sizeof(PoolHeader)) {
+        PoolHeader mirror{};
+        std::memcpy(&mirror, image.data() + PoolHeader::kMirrorOff,
+                    sizeof(mirror));
+        std::printf("  mirror     %s%s\n",
+                    mirror.valid(image.size()) ? "crc ok" : "CRC MISMATCH",
+                    std::memcmp(&mirror, &h, sizeof(h)) == 0
+                        ? ""
+                        : " (differs from primary)");
+    }
     std::printf("  pool id    %u (at creation)\n", h.pool_id);
     std::printf("  size       %lu\n",
                 static_cast<unsigned long>(h.pool_size));
@@ -96,7 +108,9 @@ main(int argc, char **argv)
                 h.log_off + h.log_size, h.log_size);
 
     // Attach the real allocator (its constructor runs the self-healing
-    // scan) over a reopened Pool: this *is* the recovery path.
+    // scan) over a reopened Pool: this *is* the recovery path. A
+    // MediaError here is itself the answer an operator wants.
+    try {
     Pool pool("inspect", h.pool_id ? h.pool_id : 1, image);
     PoolAllocator alloc(pool);
     std::printf("heap scan: %s\n",
@@ -112,8 +126,10 @@ main(int argc, char **argv)
         while (off < h.heap_off + h.heap_size) {
             BlockHeader bh{};
             pool.readRaw(off, &bh, sizeof(bh));
-            if (bh.magic != BlockHeader::kMagic)
+            if (!bh.crcValid()) {
+                std::printf("  block @%-8u CRC MISMATCH\n", off);
                 break;
+            }
             std::printf("  block @%-8u %8u bytes  %s\n", off, bh.size,
                         bh.allocated() ? "allocated" : "free");
             off += bh.size;
@@ -123,7 +139,8 @@ main(int argc, char **argv)
     UndoLog log(pool, alloc);
     LogHeader lh{};
     pool.readRaw(h.log_off, &lh, sizeof(lh));
-    std::printf("undo log: %s\n", logStateName(lh.state));
+    std::printf("undo log: %s%s\n", logStateName(lh.state),
+                lh.crcValid() ? "" : " [header CRC MISMATCH]");
     std::printf("  entries    %u (%u bytes used)\n", lh.num_entries,
                 lh.used);
     for (const auto &rec : log.records()) {
@@ -132,6 +149,10 @@ main(int argc, char **argv)
                                                                : "free";
         std::printf("    %-5s target=%u size=%u\n", kind, rec.target_off,
                     rec.size);
+    }
+    } catch (const MediaError &e) {
+        std::printf("MEDIA FAULT: %s\n", e.what());
+        return 1;
     }
     return 0;
 }
