@@ -13,6 +13,8 @@
 #include "pmem/runtime.h"
 #include "telemetry/timeline.h"
 #include "trace_io/itrace.h"
+#include "workloads/lhash.h"
+#include "workloads/tpcc/mtpcc.h"
 
 namespace poat {
 namespace driver {
@@ -20,6 +22,35 @@ namespace driver {
 namespace {
 
 ExperimentObserver g_observer;
+
+/** True for the workloads that run under the concurrent engine. */
+bool
+concurrentWorkload(const std::string &w)
+{
+    return w == "LHT" || w == "MTPCC";
+}
+
+/** Engine workers a config resolves to (0 = the default of 2). */
+uint32_t
+effectiveThreads(const ExperimentConfig &cfg)
+{
+    return cfg.threads != 0 ? cfg.threads : 2;
+}
+
+/**
+ * Machine config a run actually uses: concurrent workloads need one
+ * simulated core per engine worker, so the core count is raised to the
+ * thread count (replayed runs build the same machine, since thread
+ * count is part of the trace fingerprint).
+ */
+sim::MachineConfig
+machineConfigFor(const ExperimentConfig &cfg)
+{
+    sim::MachineConfig mc = cfg.machine;
+    if (concurrentWorkload(cfg.workload))
+        mc.cores = std::max(mc.cores, effectiveThreads(cfg));
+    return mc;
+}
 
 } // namespace
 
@@ -35,7 +66,7 @@ configLabel(const ExperimentConfig &cfg)
     if (!cfg.label.empty())
         return cfg.label;
     std::string s = cfg.workload;
-    if (cfg.workload == "TPCC") {
+    if (cfg.workload == "TPCC" || cfg.workload == "MTPCC") {
         switch (cfg.placement) {
         case workloads::tpcc::Placement::All:
             s += ".ALL";
@@ -47,9 +78,14 @@ configLabel(const ExperimentConfig &cfg)
             s += ".PERW" + std::to_string(cfg.tpcc_warehouses);
             break;
         }
-    } else {
+    } else if (cfg.workload != "LHT") { // LHT: one pool, no pattern
         s += ".";
         s += workloads::patternName(cfg.pattern);
+    }
+    if (concurrentWorkload(cfg.workload)) {
+        s += ".t" + std::to_string(effectiveThreads(cfg));
+        if (cfg.commit_window > 1)
+            s += ".w" + std::to_string(cfg.commit_window);
     }
     if (cfg.mode == TranslationMode::Software) {
         s += ".base";
@@ -79,7 +115,7 @@ traceFingerprint(const ExperimentConfig &cfg)
     // v2: checksummed+mirrored pmem metadata changed every instruction
     // stream, invalidating all v1 cached traces.
     std::string s = "poat-fpr v2 workload=" + cfg.workload;
-    if (cfg.workload == "TPCC") {
+    if (cfg.workload == "TPCC" || cfg.workload == "MTPCC") {
         s += " placement=";
         switch (cfg.placement) {
         case workloads::tpcc::Placement::All:
@@ -95,10 +131,19 @@ traceFingerprint(const ExperimentConfig &cfg)
         s += " tpcc_scale=" + std::to_string(cfg.tpcc_scale_pct);
         s += " txns=" + std::to_string(cfg.tpcc_txns);
         s += " warehouses=" + std::to_string(cfg.tpcc_warehouses);
+    } else if (cfg.workload == "LHT") {
+        s += " scale=" + std::to_string(cfg.scale_pct);
     } else {
         s += " pattern=";
         s += workloads::patternName(cfg.pattern);
         s += " scale=" + std::to_string(cfg.scale_pct);
+    }
+    if (concurrentWorkload(cfg.workload)) {
+        // The interleaving shapes the instruction stream, so every
+        // concurrency knob is functional.
+        s += " threads=" + std::to_string(effectiveThreads(cfg));
+        s += " tseed=" + std::to_string(cfg.sched_seed);
+        s += " window=" + std::to_string(cfg.commit_window);
     }
     s += cfg.transactions ? " tx=1" : " tx=0";
     s += cfg.mode == TranslationMode::Software ? " mode=sw" : " mode=hw";
@@ -123,10 +168,13 @@ traceCachePath(const ExperimentConfig &cfg)
     // Readable prefix: the functional half of the label, so a cache
     // directory listing reads like the sweep that filled it.
     std::string name = cfg.workload;
-    if (cfg.workload != "TPCC") {
+    if (cfg.workload != "TPCC" && cfg.workload != "MTPCC" &&
+        cfg.workload != "LHT") {
         name += ".";
         name += workloads::patternName(cfg.pattern);
     }
+    if (concurrentWorkload(cfg.workload))
+        name += ".t" + std::to_string(effectiveThreads(cfg));
     name += cfg.mode == TranslationMode::Software ? ".base" : ".opt";
     if (!cfg.transactions)
         name += ".ntx";
@@ -152,6 +200,27 @@ executeWorkload(const ExperimentConfig &cfg, PmemRuntime &rt,
         const auto r = w.run(rt);
         res.workload_checksum = r.checksum;
         res.workload_operations = r.transactions;
+    } else if (cfg.workload == "MTPCC") {
+        workloads::tpcc::MtpccWorkload w(
+            cfg.placement, cfg.tpcc_scale_pct, cfg.seed, cfg.tpcc_txns,
+            effectiveThreads(cfg), cfg.sched_seed, cfg.commit_window,
+            cfg.transactions, cfg.tpcc_warehouses);
+        const auto r = w.run(rt);
+        res.workload_checksum = r.checksum;
+        res.workload_operations = r.transactions;
+        res.engine = w.engineStats();
+    } else if (cfg.workload == "LHT") {
+        workloads::WorkloadConfig wc;
+        wc.pattern = cfg.pattern;
+        wc.transactions = cfg.transactions;
+        wc.seed = cfg.seed;
+        wc.scale_pct = cfg.scale_pct;
+        workloads::LhtWorkload w(wc, effectiveThreads(cfg),
+                                 cfg.sched_seed, cfg.commit_window);
+        const auto r = w.run(rt);
+        res.workload_checksum = r.checksum;
+        res.workload_operations = r.operations;
+        res.engine = w.engineStats();
     } else {
         // A config (not internal-invariant) error: throw rather than
         // POAT_FATAL so a sweep can propagate it to its caller.
@@ -179,6 +248,8 @@ runtimeOptions(const ExperimentConfig &cfg)
     ro.durability = cfg.transactions;
     ro.aslr_seed = cfg.seed ^ 0x517cc1b727220a95ull;
     ro.base_predictor = cfg.base_predictor;
+    if (concurrentWorkload(cfg.workload))
+        ro.log_slots = effectiveThreads(cfg); // one undo log per worker
     return ro;
 }
 
@@ -190,8 +261,8 @@ runtimeOptions(const ExperimentConfig &cfg)
  * sidecar.
  */
 void
-fillFunctionalProfile(const PmemRuntime &rt, ExperimentResult &res,
-                      StatsRegistry &prof)
+fillFunctionalProfile(const ExperimentConfig &cfg, const PmemRuntime &rt,
+                      ExperimentResult &res, StatsRegistry &prof)
 {
     res.translate_calls = rt.translator().calls();
     res.translate_misses = rt.translator().predictorMisses();
@@ -213,6 +284,22 @@ fillFunctionalProfile(const PmemRuntime &rt, ExperimentResult &res,
     prof.counter("pmem.checksum.log_entry_updates") = cc.log_entry_updates;
     prof.counter("pmem.checksum.bytes_summed") = cc.bytes_summed;
     prof.counter("pmem.checksum.verifies") = cc.verifies;
+
+    // Concurrency outcome (deterministic, hence functional): exported
+    // here so replayed runs restore it from the trace sidecar.
+    if (concurrentWorkload(cfg.workload)) {
+        const concurrent::EngineStats &e = res.engine;
+        prof.counter("engine.commits") = e.commits;
+        prof.counter("engine.aborts") = e.aborts;
+        prof.counter("engine.retries") = e.retries;
+        prof.counter("engine.lock.acquisitions") = e.lock_acquisitions;
+        prof.counter("engine.lock.waits") = e.lock_waits;
+        prof.counter("engine.lock.deadlocks") = e.deadlocks;
+        prof.counter("engine.gc.windows") = e.gc_windows;
+        prof.counter("engine.gc.members") = e.gc_members;
+        prof.counter("engine.gc.fences_elided") = e.fences_elided;
+        prof.counter("engine.switches") = e.switches;
+    }
 }
 
 /** Copy every stat in @p from into @p into under the same names. */
@@ -362,7 +449,9 @@ makeTimeline(const ExperimentConfig &cfg, sim::Machine &machine,
         timeline->addGauge("pmem.undo_log_bytes", [reg] {
             uint64_t total = 0;
             for (const uint32_t id : reg->openIds())
-                total += reg->find(id)->log.usedBytes();
+                reg->find(id)->forEachLog([&total](UndoLog &log) {
+                    total += log.usedBytes();
+                });
             return total;
         });
         timeline->addGauge("pmem.alloc_live_bytes", [reg] {
@@ -391,12 +480,12 @@ runExperimentLive(const ExperimentConfig &cfg)
         PmemRuntime rt(runtimeOptions(cfg), &sink);
         executeWorkload(cfg, rt, res);
         StatsRegistry prof;
-        fillFunctionalProfile(rt, res, prof);
+        fillFunctionalProfile(cfg, rt, res, prof);
         mergeRegistry(prof, res.stats);
         return res;
     }
 
-    sim::Machine machine(cfg.machine);
+    sim::Machine machine(machineConfigFor(cfg));
 
     // Per-run tracer: attached for the duration of this run only.
     // Machine::setTracer() acquires exclusive use, so two concurrent
@@ -424,7 +513,7 @@ runExperimentLive(const ExperimentConfig &cfg)
     // the software-translation profile and the workload outcome.
     res.stats = machine.stats();
     StatsRegistry prof;
-    fillFunctionalProfile(rt, res, prof);
+    fillFunctionalProfile(cfg, rt, res, prof);
     mergeRegistry(prof, res.stats);
     return res;
 }
@@ -443,7 +532,7 @@ runExperimentCaptured(const ExperimentConfig &cfg,
     // An unusable directory surfaces as the recorder's open error.
 
     ExperimentResult res;
-    sim::Machine machine(cfg.machine);
+    sim::Machine machine(machineConfigFor(cfg));
     EventTracer *tracer = cfg.tracer;
     machine.setTracer(tracer);
     const std::string label = configLabel(cfg);
@@ -468,7 +557,7 @@ runExperimentCaptured(const ExperimentConfig &cfg,
     res.cpi = machine.cpi();
     res.stats = machine.stats();
     StatsRegistry prof;
-    fillFunctionalProfile(rt, res, prof);
+    fillFunctionalProfile(cfg, rt, res, prof);
     mergeRegistry(prof, res.stats);
 
     rec.setProfile(serializeProfile(res, prof));
@@ -493,7 +582,7 @@ runExperimentReplayed(const ExperimentConfig &cfg,
             "\"");
 
     ExperimentResult res;
-    sim::Machine machine(cfg.machine);
+    sim::Machine machine(machineConfigFor(cfg));
     EventTracer *tracer = cfg.tracer;
     machine.setTracer(tracer);
     const std::string label = configLabel(cfg);

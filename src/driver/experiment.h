@@ -27,7 +27,7 @@ namespace driver {
 /** Everything one simulated run needs. */
 struct ExperimentConfig
 {
-    /** "LL", "BST", "SPS", "RBT", "BT", "B+T", or "TPCC". */
+    /** "LL", "BST", "SPS", "RBT", "BT", "B+T", "TPCC", "LHT", "MTPCC". */
     std::string workload = "LL";
 
     /// @name Microbenchmark knobs
@@ -43,6 +43,18 @@ struct ExperimentConfig
     uint32_t tpcc_scale_pct = 10;  ///< table cardinality scale
     uint64_t tpcc_txns = 1000;     ///< paper: 1000 transactions
     uint32_t tpcc_warehouses = 1;  ///< pool-count scaling studies
+    /// @}
+
+    /// @name Concurrency knobs (LHT / MTPCC only)
+    /// @{
+    /**
+     * Engine workers (= simulated cores; the machine config's core
+     * count is raised to this if lower). 0 = the workloads' default
+     * (2). Sequential workloads ignore all three knobs.
+     */
+    uint32_t threads = 0;
+    uint64_t sched_seed = 0;    ///< scheduler interleaving seed (tSEED)
+    uint32_t commit_window = 4; ///< group-commit window (<= 1 disables)
     /// @}
 
     /** Failure-safety + durability on (BASE/OPT) or off (*_NTX). */
@@ -130,6 +142,13 @@ struct ExperimentResult
     CpiStack cpi;
     uint64_t workload_checksum = 0;
     uint64_t workload_operations = 0;
+
+    /**
+     * Concurrency statistics (LHT/MTPCC live runs; zero otherwise).
+     * Also exported as "engine.*" counters in stats, which replayed
+     * runs restore from the trace sidecar.
+     */
+    concurrent::EngineStats engine{};
 
     /** Software-translation profile (BASE runs; Table 2). */
     uint64_t translate_calls = 0;

@@ -41,9 +41,10 @@ uint64_t
 runTrial(const ExploreOptions &opts, uint64_t k, uint64_t j,
          TrialStats &ts)
 {
-    PmemRuntime rt;
+    PmemRuntime rt(detail::trialRuntimeOptions(opts));
     std::unique_ptr<workloads::CrashDriver> driver =
-        workloads::makeCrashDriver(opts.workload, opts.steps, opts.seed);
+        workloads::makeCrashDriver(opts.workload, opts.steps, opts.seed,
+                                   opts.threads, opts.sched_seed);
     driver->setup(rt);
 
     const bool inner = j != Failure::kNoInner;
@@ -58,6 +59,8 @@ runTrial(const ExploreOptions &opts, uint64_t k, uint64_t j,
         f.j = j;
         f.evict_num = opts.evict_num;
         f.evict_den = opts.evict_den;
+        f.sched_seed = opts.sched_seed;
+        f.threads = opts.threads;
         f.why = why;
         ts.failures.push_back(std::move(f));
     };
@@ -77,17 +80,21 @@ runTrial(const ExploreOptions &opts, uint64_t k, uint64_t j,
     try {
         for (uint32_t id : rt.registry().openIds()) {
             OpenPool &op = rt.registry().get(id);
-            op.log.validateLog();
-            const uint32_t st = op.log.state();
-            if (st == LogHeader::kActive) {
-                ts.undo_entries_rolled_back += op.log.records().size();
-            } else if (st == LogHeader::kCommitting) {
-                for (const UndoLog::Record &r : op.log.records()) {
-                    if (r.type == LogEntryHeader::kFree &&
-                        op.alloc.isAllocated(r.target_off))
-                        ++ts.frees_redone;
+            // Every slot: a concurrent crash can leave several workers'
+            // logs in flight, and each must be on-media legal.
+            op.forEachLog([&op, &ts](UndoLog &log) {
+                log.validateLog();
+                const uint32_t st = log.state();
+                if (st == LogHeader::kActive) {
+                    ts.undo_entries_rolled_back += log.records().size();
+                } else if (st == LogHeader::kCommitting) {
+                    for (const UndoLog::Record &r : log.records()) {
+                        if (r.type == LogEntryHeader::kFree &&
+                            op.alloc.isAllocated(r.target_off))
+                            ++ts.frees_redone;
+                    }
                 }
-            }
+            });
         }
     } catch (const std::runtime_error &e) {
         fail(std::string("crashed image has an illegal undo log: ") +
@@ -152,6 +159,11 @@ Failure::repro() const
         std::to_string(seed) + ":" + std::to_string(k);
     if (j != kNoInner)
         s += ":" + std::to_string(j);
+    if (workloads::isConcurrentCrashWorkload(workload)) {
+        s += ":t" + std::to_string(sched_seed);
+        if (threads != 0)
+            s += ":n" + std::to_string(threads);
+    }
     if (!media.empty())
         s += ":m" + media;
     if (evict_num != 0) {
@@ -182,10 +194,11 @@ explore(const ExploreOptions &opts)
 
     // ---- profile pass: count the durability events ------------------
     {
-        PmemRuntime rt;
+        PmemRuntime rt(detail::trialRuntimeOptions(opts));
         std::unique_ptr<workloads::CrashDriver> driver =
             workloads::makeCrashDriver(opts.workload, opts.steps,
-                                       opts.seed);
+                                       opts.seed, opts.threads,
+                                       opts.sched_seed);
         driver->setup(rt);
         EventCounter counter;
         rt.registry().setDurabilityHook(&counter);
@@ -253,7 +266,8 @@ replayRepro(const std::string &repro, const ExploreOptions &base)
     auto bad = [&]() -> std::invalid_argument {
         return std::invalid_argument(
             "bad reproducer '" + repro +
-            "' (expected workload:steps:seed:k[:j][:mFAULT][:eNUM/DEN])");
+            "' (expected workload:steps:seed:k[:j][:tSEED][:nTHREADS]"
+            "[:mFAULT][:eNUM/DEN])");
     };
     if (tok.size() < 4)
         throw bad();
@@ -268,12 +282,28 @@ replayRepro(const std::string &repro, const ExploreOptions &base)
         k = std::stoull(tok[3]);
 
         // Optional tokens, in order: a bare numeric j, then the
-        // prefixed media and eviction tokens. A bare numeric anywhere
-        // after position 4 is malformed.
+        // prefixed scheduler-seed, thread-count, media, and eviction
+        // tokens. A bare numeric anywhere after position 4 is
+        // malformed.
         size_t pos = 4;
         if (pos < tok.size() && !tok[pos].empty() &&
+            tok[pos][0] != 't' && tok[pos][0] != 'n' &&
             tok[pos][0] != 'm' && tok[pos][0] != 'e') {
             j = std::stoull(tok[pos]);
+            ++pos;
+        }
+        if (pos < tok.size() && !tok[pos].empty() && tok[pos][0] == 't') {
+            const std::string ts = tok[pos].substr(1);
+            if (ts.empty())
+                throw bad();
+            opts.sched_seed = std::stoull(ts);
+            ++pos;
+        }
+        if (pos < tok.size() && !tok[pos].empty() && tok[pos][0] == 'n') {
+            const std::string nt = tok[pos].substr(1);
+            if (nt.empty())
+                throw bad();
+            opts.threads = static_cast<uint32_t>(std::stoul(nt));
             ++pos;
         }
         if (pos < tok.size() && !tok[pos].empty() && tok[pos][0] == 'm') {

@@ -29,7 +29,8 @@
  *
  * Small runs explore exhaustively; large runs sample crash points with
  * a seeded generator. Every failure carries a self-contained reproducer
- * string "workload:steps:seed:k[:j][:mFAULT][:eNUM/DEN]" that replays
+ * string "workload:steps:seed:k[:j][:tSEED][:nTHREADS][:mFAULT]
+ * [:eNUM/DEN]" that replays
  * the exact trial within one build (hash-container iteration makes
  * event order build-local, so a reproducer is not portable across
  * compilers or standard libraries). The optional tokens carry the
@@ -86,6 +87,21 @@ struct ExploreOptions
      */
     uint64_t evict_num = 0;
     uint64_t evict_den = 8;
+
+    /**
+     * Engine workers for the concurrent workloads (LHT, MTPCC), whose
+     * steps are rounds of one transaction per worker; 0 = the drivers'
+     * default (2). Sequential workloads ignore it. Distinct from
+     * `jobs`, which parallelizes trials on the host.
+     */
+    uint32_t threads = 0;
+
+    /**
+     * Deterministic-scheduler interleaving seed for the concurrent
+     * workloads (the ":tSEED" reproducer token). Different values
+     * explore different interleavings of the same transactions.
+     */
+    uint64_t sched_seed = 0;
 };
 
 /** One invariant violation, with enough context to replay it. */
@@ -113,13 +129,22 @@ struct Failure
     uint64_t evict_num = 0;
     uint64_t evict_den = 0;
 
+    /**
+     * Concurrency knobs of the producing run (":tSEED" and ":nTHREADS"
+     * tokens, emitted for the concurrent workloads only so sequential
+     * reproducers keep their historical shape).
+     */
+    uint64_t sched_seed = 0;
+    uint32_t threads = 0;
+
     std::string why;
 
     /**
-     * "workload:steps:seed:k[:j][:mFAULT][:eNUM/DEN]" — feed to
-     * crash_explore --repro. Self-contained: every input the trial
-     * consumed (including the eviction RNG schedule and the media-fault
-     * index) is encoded in the string.
+     * "workload:steps:seed:k[:j][:tSEED][:nTHREADS][:mFAULT][:eNUM/DEN]"
+     * — feed to crash_explore --repro. Self-contained: every input the
+     * trial consumed (including the eviction RNG schedule, the
+     * scheduler interleaving seed, and the media-fault index) is
+     * encoded in the string.
      */
     std::string repro() const;
 };

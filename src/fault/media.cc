@@ -145,9 +145,10 @@ void
 runMediaTrial(const ExploreOptions &opts, uint64_t k,
               const std::string &spec, MediaTrialStats &ts)
 {
-    PmemRuntime rt;
+    PmemRuntime rt(detail::trialRuntimeOptions(opts));
     std::unique_ptr<workloads::CrashDriver> driver =
-        workloads::makeCrashDriver(opts.workload, opts.steps, opts.seed);
+        workloads::makeCrashDriver(opts.workload, opts.steps, opts.seed,
+                                   opts.threads, opts.sched_seed);
     driver->setup(rt);
     ++ts.trials;
 
@@ -160,6 +161,8 @@ runMediaTrial(const ExploreOptions &opts, uint64_t k,
         f.media = spec;
         f.evict_num = opts.evict_num;
         f.evict_den = opts.evict_den;
+        f.sched_seed = opts.sched_seed;
+        f.threads = opts.threads;
         f.why = why;
         ts.failures.push_back(std::move(f));
     };
@@ -295,10 +298,11 @@ exploreMedia(const MediaOptions &opts)
 
     // ---- profile pass: count the durability events ------------------
     {
-        PmemRuntime rt;
+        PmemRuntime rt(detail::trialRuntimeOptions(opts.base));
         std::unique_ptr<workloads::CrashDriver> driver =
-            workloads::makeCrashDriver(opts.base.workload,
-                                       opts.base.steps, opts.base.seed);
+            workloads::makeCrashDriver(
+                opts.base.workload, opts.base.steps, opts.base.seed,
+                opts.base.threads, opts.base.sched_seed);
         driver->setup(rt);
         EventCounter counter;
         rt.registry().setDurabilityHook(&counter);
@@ -338,10 +342,11 @@ exploreMedia(const MediaOptions &opts)
     };
     std::vector<Trial> trials;
     for (uint64_t k : points) {
-        PmemRuntime rt;
+        PmemRuntime rt(detail::trialRuntimeOptions(opts.base));
         std::unique_ptr<workloads::CrashDriver> driver =
-            workloads::makeCrashDriver(opts.base.workload,
-                                       opts.base.steps, opts.base.seed);
+            workloads::makeCrashDriver(
+                opts.base.workload, opts.base.steps, opts.base.seed,
+                opts.base.threads, opts.base.sched_seed);
         driver->setup(rt);
         CrashAtEvent hook(k);
         rt.registry().setDurabilityHook(&hook);

@@ -44,6 +44,20 @@ evictSeed(const ExploreOptions &opts)
     return opts.seed ^ 0x9e3779b97f4a7c15ull;
 }
 
+/**
+ * Runtime options for one trial: concurrent workloads need one undo-log
+ * slot per engine worker (the drivers default to 2 when opts.threads is
+ * 0, so the slot count must match that default).
+ */
+inline RuntimeOptions
+trialRuntimeOptions(const ExploreOptions &opts)
+{
+    RuntimeOptions ro;
+    if (workloads::isConcurrentCrashWorkload(opts.workload))
+        ro.log_slots = opts.threads != 0 ? opts.threads : 2;
+    return ro;
+}
+
 inline void
 maybeEvict(PmemRuntime &rt, Rng &rng, const ExploreOptions &opts)
 {
@@ -94,7 +108,14 @@ checkRecovered(PmemRuntime &rt, workloads::CrashDriver &driver,
 {
     for (uint32_t id : rt.registry().openIds()) {
         OpenPool &op = rt.registry().get(id);
-        if (op.log.state() != LogHeader::kIdle) {
+        // Every slot: a concurrent crash image can hold several
+        // workers' undo logs in flight at once, and recovery must have
+        // settled all of them.
+        bool logs_idle = true;
+        op.forEachLog([&logs_idle](UndoLog &log) {
+            logs_idle = logs_idle && log.state() == LogHeader::kIdle;
+        });
+        if (!logs_idle) {
             *why = "undo log of pool '" + op.pool.name() +
                 "' not idle after recovery";
             return false;

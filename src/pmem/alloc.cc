@@ -230,9 +230,26 @@ PoolAllocator::isAllocated(uint32_t payload_off) const
         payload_off >= heapEnd()) {
         return false;
     }
+    const uint32_t block_off =
+        payload_off - static_cast<uint32_t>(sizeof(BlockHeader));
     BlockHeader h{};
-    pool_.readRaw(payload_off - sizeof(BlockHeader), &h, sizeof(h));
-    return h.crcValid() && h.allocated();
+    pool_.readRaw(block_off, &h, sizeof(h));
+    if (!h.crcValid() || !h.allocated())
+        return false;
+    // A header can read as valid-and-allocated yet be stale: freeing a
+    // block that coalesces into its *previous* neighbour rewrites only
+    // the surviving merged header, leaving the absorbed block's old
+    // bytes inside the free extent. The free list is the authority on
+    // free extents, so an offset one covers is not a live block —
+    // recovery depends on this when it asks whether a logged alloc or
+    // free already took effect before re-applying it.
+    auto it = freeList_.upper_bound(block_off);
+    if (it != freeList_.begin()) {
+        --it;
+        if (block_off < it->first + it->second)
+            return false;
+    }
+    return true;
 }
 
 uint64_t

@@ -96,7 +96,13 @@ class PoolAllocator
     /** Total payload capacity of the block at @p payload_off. */
     uint32_t blockPayloadSize(uint32_t payload_off) const;
 
-    /** True iff @p payload_off names a live allocated block. */
+    /**
+     * True iff @p payload_off names a live allocated block. Offsets
+     * inside a free-list extent return false even when stale absorbed-
+     * header bytes there still read as allocated — coalescing rewrites
+     * only the surviving header, and recovery's redo/rollback decisions
+     * must not trust the leftovers.
+     */
     bool isAllocated(uint32_t payload_off) const;
 
     /// @name Introspection for tests and the runtime cost model

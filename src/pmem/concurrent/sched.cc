@@ -1,0 +1,134 @@
+#include "pmem/concurrent/sched.h"
+
+#include <thread>
+
+#include "common/logging.h"
+
+namespace poat {
+namespace concurrent {
+
+DetScheduler::DetScheduler(uint64_t seed, uint32_t max_quantum)
+    : seed_(seed), maxQuantum_(max_quantum == 0 ? 1 : max_quantum)
+{
+}
+
+void
+DetScheduler::run(uint32_t nthreads,
+                  const std::function<void(uint32_t)> &body)
+{
+    POAT_ASSERT(nthreads >= 1, "scheduler needs at least one worker");
+    POAT_ASSERT(nthreads <= 4096, "worker count out of range");
+    POAT_ASSERT(!running_, "DetScheduler::run is not reentrant");
+
+    // Reseed per run: the interleaving is a function of the seed and
+    // the workers' yield sequences alone, never of previous runs.
+    rng_ = Rng(seed_);
+    nthreads_ = nthreads;
+    done_.assign(nthreads, 0);
+    current_ = 0;
+    quantum_ = nextQuantum();
+    running_ = true;
+
+    std::vector<std::thread> threads;
+    threads.reserve(nthreads);
+    for (uint32_t t = 0; t < nthreads; ++t)
+        threads.emplace_back([this, t, &body] { workerMain(t, body); });
+
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] { return !running_; });
+    }
+    for (auto &th : threads)
+        th.join();
+}
+
+void
+DetScheduler::workerMain(uint32_t t,
+                         const std::function<void(uint32_t)> &body)
+{
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] { return current_ == t; });
+    }
+    // First entry: announce the switch-in (the engine emits coreSwitch
+    // and selects the worker's runtime context here). Only the token
+    // holder runs, so the handler needs no lock; the condition-variable
+    // handoff orders it after the previous worker's last action.
+    if (handler_)
+        handler_(t);
+
+    body(t);
+
+    std::unique_lock<std::mutex> lk(mu_);
+    done_[t] = 1;
+    const uint32_t next = pickNext(t);
+    if (next == nthreads_) {
+        running_ = false;
+        cv_.notify_all();
+        return;
+    }
+    ++switches_;
+    current_ = next;
+    quantum_ = nextQuantum();
+    cv_.notify_all();
+}
+
+void
+DetScheduler::yield()
+{
+    uint32_t t;
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        POAT_ASSERT(running_, "yield outside a scheduler run");
+        t = current_;
+        ++yields_;
+        if (quantum_ > 1) {
+            --quantum_;
+            return;
+        }
+        const uint32_t next = pickNext(t);
+        quantum_ = nextQuantum();
+        if (next == nthreads_ || next == t)
+            return; // nobody else runnable: keep the token
+        ++switches_;
+        current_ = next;
+        cv_.notify_all();
+        cv_.wait(lk, [&] { return current_ == t; });
+    }
+    // Token came back: announce the switch-in for the resumed worker.
+    if (handler_)
+        handler_(t);
+}
+
+uint32_t
+DetScheduler::self() const
+{
+    // Only the token holder executes user code, so `current_` is the
+    // caller's id by construction.
+    return current_;
+}
+
+void
+DetScheduler::setSwitchHandler(std::function<void(uint32_t)> handler)
+{
+    handler_ = std::move(handler);
+}
+
+uint32_t
+DetScheduler::pickNext(uint32_t from)
+{
+    // Collect runnable peers in index order so the Rng draw maps to a
+    // stable candidate list.
+    uint32_t cands[4096];
+    uint32_t n = 0;
+    for (uint32_t t = 0; t < nthreads_; ++t) {
+        if (!done_[t] && t != from)
+            cands[n++] = t;
+    }
+    if (n == 0)
+        return done_[from] ? nthreads_ : from;
+    return cands[rng_.below(n)];
+}
+
+} // namespace concurrent
+} // namespace poat

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Cooperative scheduling for concurrent persistent transactions.
+ *
+ * The simulator is a sequential timing model: it consumes ONE dynamic
+ * instruction stream, with TraceSink::coreSwitch records selecting the
+ * core each instruction retires on. Concurrency therefore runs under a
+ * cooperative scheduler that serializes worker threads — exactly one
+ * worker executes at any instant, and control transfers only at
+ * explicit yield points (lock waits, transaction boundaries, workload
+ * checkpoints). The interleaving is a pure function of the scheduler
+ * seed and the workers' yield sequences, so multi-core runs replay
+ * bit-for-bit: same seed, same schedule, same trace, same stats.
+ *
+ * DetScheduler is the production implementation: real std::threads
+ * passing a run token through a condition variable, with pseudo-random
+ * quantum lengths drawn from a seeded Rng (the `tSEED` component of
+ * crash-trial reproducer strings). SerialScheduler runs each worker to
+ * completion in index order — the degenerate schedule, useful for
+ * tests that want concurrency plumbing without interleaving.
+ */
+#ifndef POAT_PMEM_CONCURRENT_SCHED_H
+#define POAT_PMEM_CONCURRENT_SCHED_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace poat {
+namespace concurrent {
+
+/**
+ * Abstract cooperative scheduler: runs N worker bodies one-at-a-time,
+ * switching between them at yield points.
+ */
+class CoopScheduler
+{
+  public:
+    virtual ~CoopScheduler() = default;
+
+    /**
+     * Run @p body(t) for every worker t in [0, nthreads) to
+     * completion, interleaved at yield points. The switch handler (if
+     * set) fires in the incoming worker's context on every control
+     * transfer, including each worker's first entry — that is where
+     * the engine emits TraceSink::coreSwitch and flips the runtime's
+     * worker context.
+     */
+    virtual void run(uint32_t nthreads,
+                     const std::function<void(uint32_t)> &body) = 0;
+
+    /**
+     * A yield point: the scheduler may transfer control to another
+     * runnable worker. Only call from inside a body passed to run().
+     */
+    virtual void yield() = 0;
+
+    /** Worker id of the currently running body. */
+    virtual uint32_t self() const = 0;
+
+    /** Install @p handler (may be empty) for switch notifications. */
+    virtual void setSwitchHandler(std::function<void(uint32_t)> handler) = 0;
+
+    /** Control transfers performed so far (worker-to-worker). */
+    virtual uint64_t switches() const = 0;
+};
+
+/**
+ * Deterministic preempting-at-yield scheduler over real threads.
+ *
+ * One token circulates; a worker runs until its quantum (a seeded
+ * pseudo-random number of yield points) expires, then hands the token
+ * to a pseudo-randomly chosen runnable peer. Host thread scheduling
+ * cannot perturb the interleaving: a worker off-token blocks on the
+ * condition variable, so the instruction stream the workers emit is a
+ * pure function of (seed, yield sequence).
+ */
+class DetScheduler final : public CoopScheduler
+{
+  public:
+    /**
+     * @param seed the interleaving seed (`tSEED` in reproducers).
+     * @param max_quantum most yield points a worker runs between
+     *        switches (quantum is drawn uniformly from [1, max]).
+     */
+    explicit DetScheduler(uint64_t seed, uint32_t max_quantum = 8);
+
+    void run(uint32_t nthreads,
+             const std::function<void(uint32_t)> &body) override;
+    void yield() override;
+    uint32_t self() const override;
+    void setSwitchHandler(std::function<void(uint32_t)> handler) override;
+    uint64_t switches() const override { return switches_; }
+
+    /** Yield points observed (whether or not they switched). */
+    uint64_t yields() const { return yields_; }
+
+    uint64_t seed() const { return seed_; }
+
+  private:
+    void workerMain(uint32_t t, const std::function<void(uint32_t)> &body);
+
+    /** Next runnable worker other than @p from; nthreads_ if none. */
+    uint32_t pickNext(uint32_t from);
+
+    uint32_t nextQuantum() { return 1 + static_cast<uint32_t>(
+                                      rng_.below(maxQuantum_)); }
+
+    const uint64_t seed_;
+    const uint32_t maxQuantum_;
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::function<void(uint32_t)> handler_;
+    Rng rng_{0};
+    uint32_t nthreads_ = 0;
+    uint32_t current_ = 0; ///< token holder (valid while running_)
+    uint32_t quantum_ = 0; ///< yield points left in the current slice
+    bool running_ = false;
+    std::vector<uint8_t> done_;
+    uint64_t switches_ = 0;
+    uint64_t yields_ = 0;
+};
+
+/**
+ * Degenerate schedule: worker 0 runs to completion, then worker 1, ...
+ * yield() is a no-op. Safe only for bodies whose locks are always
+ * released by completion (strict two-phase transactions qualify).
+ */
+class SerialScheduler final : public CoopScheduler
+{
+  public:
+    void
+    run(uint32_t nthreads,
+        const std::function<void(uint32_t)> &body) override
+    {
+        for (uint32_t t = 0; t < nthreads; ++t) {
+            current_ = t;
+            if (handler_)
+                handler_(t);
+            body(t);
+            if (t + 1 < nthreads)
+                ++switches_;
+        }
+    }
+
+    void yield() override {}
+    uint32_t self() const override { return current_; }
+
+    void
+    setSwitchHandler(std::function<void(uint32_t)> handler) override
+    {
+        handler_ = std::move(handler);
+    }
+
+    uint64_t switches() const override { return switches_; }
+
+  private:
+    std::function<void(uint32_t)> handler_;
+    uint32_t current_ = 0;
+    uint64_t switches_ = 0;
+};
+
+} // namespace concurrent
+} // namespace poat
+
+#endif // POAT_PMEM_CONCURRENT_SCHED_H

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Transaction table: one slot per worker thread, tracking the state
+ * and lifetime counters of that worker's transactions. The table is
+ * the concurrency subsystem's bookkeeping spine — the lock manager
+ * consults it for victim diagnostics, the engine drives status
+ * transitions, and the experiment driver exports its aggregates as
+ * `engine.*` statistics.
+ *
+ * All access happens under the cooperative scheduler (one worker runs
+ * at a time), so the table needs no internal locking.
+ */
+#ifndef POAT_PMEM_CONCURRENT_TXTABLE_H
+#define POAT_PMEM_CONCURRENT_TXTABLE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace poat {
+namespace concurrent {
+
+/** Where a worker's current transaction attempt stands. */
+enum class TxStatus : uint8_t
+{
+    Idle,      ///< no transaction open
+    Running,   ///< executing its body
+    Committed, ///< last attempt committed (until the next begin)
+    Aborted,   ///< last attempt deadlock-aborted (a retry follows)
+};
+
+/** One worker's slot in the transaction table. */
+struct TxSlot
+{
+    TxStatus status = TxStatus::Idle;
+    uint64_t tx_id = 0;  ///< id of the current/last attempt (global seq)
+    uint64_t begins = 0; ///< attempts started (retries included)
+    uint64_t commits = 0;
+    uint64_t aborts = 0;  ///< deadlock aborts
+    uint64_t retries = 0; ///< re-executions after an abort
+};
+
+/** The per-worker transaction table. */
+class TxTable
+{
+  public:
+    explicit TxTable(uint32_t nworkers) : slots_(nworkers) {}
+
+    uint32_t workers() const
+    {
+        return static_cast<uint32_t>(slots_.size());
+    }
+
+    TxSlot &
+    slot(uint32_t w)
+    {
+        POAT_ASSERT(w < slots_.size(), "worker id out of range");
+        return slots_[w];
+    }
+
+    const TxSlot &
+    slot(uint32_t w) const
+    {
+        POAT_ASSERT(w < slots_.size(), "worker id out of range");
+        return slots_[w];
+    }
+
+    /** A new attempt (first try or retry) starts on worker @p w. */
+    void
+    noteBegin(uint32_t w, bool is_retry)
+    {
+        TxSlot &s = slot(w);
+        s.status = TxStatus::Running;
+        s.tx_id = ++nextId_;
+        ++s.begins;
+        if (is_retry)
+            ++s.retries;
+    }
+
+    void
+    noteCommit(uint32_t w)
+    {
+        TxSlot &s = slot(w);
+        POAT_ASSERT(s.status == TxStatus::Running,
+                    "commit without a running transaction");
+        s.status = TxStatus::Committed;
+        ++s.commits;
+    }
+
+    void
+    noteAbort(uint32_t w)
+    {
+        TxSlot &s = slot(w);
+        POAT_ASSERT(s.status == TxStatus::Running,
+                    "abort without a running transaction");
+        s.status = TxStatus::Aborted;
+        ++s.aborts;
+    }
+
+    /// @name Aggregates (exported as engine.* statistics)
+    /// @{
+    uint64_t
+    totalCommits() const
+    {
+        uint64_t n = 0;
+        for (const TxSlot &s : slots_)
+            n += s.commits;
+        return n;
+    }
+
+    uint64_t
+    totalAborts() const
+    {
+        uint64_t n = 0;
+        for (const TxSlot &s : slots_)
+            n += s.aborts;
+        return n;
+    }
+
+    uint64_t
+    totalRetries() const
+    {
+        uint64_t n = 0;
+        for (const TxSlot &s : slots_)
+            n += s.retries;
+        return n;
+    }
+    /// @}
+
+  private:
+    std::vector<TxSlot> slots_;
+    uint64_t nextId_ = 0;
+};
+
+} // namespace concurrent
+} // namespace poat
+
+#endif // POAT_PMEM_CONCURRENT_TXTABLE_H

@@ -5,10 +5,12 @@
 namespace poat {
 
 Pool::Pool(std::string name, uint32_t pool_id, uint64_t size,
-           uint32_t log_size)
+           uint32_t log_size, uint32_t log_slots)
     : name_(std::move(name)), id_(pool_id)
 {
     POAT_ASSERT(pool_id != 0, "pool id 0 is reserved for OID_NULL");
+    POAT_ASSERT(log_slots >= 1 && log_slots <= PoolHeader::kMaxLogSlots,
+                "log slot count out of range");
     // Leave room for the header, at least a page of heap, and the log.
     size = std::max<uint64_t>(size, kHeaderSize + 4096 + log_size);
     size = std::min<uint64_t>(size, 1ull << 32);
@@ -29,6 +31,7 @@ Pool::Pool(std::string name, uint32_t pool_id, uint64_t size,
     h.log_size = log_size;
     h.log_off = static_cast<uint32_t>(size - log_size);
     h.heap_size = h.log_off - h.heap_off;
+    h.pad = PoolHeader::encodeLogSlots(log_slots);
     storeHeader(h);
 
     // A fresh pool is fully durable from the start, like a newly created

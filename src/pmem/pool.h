@@ -60,7 +60,45 @@ struct PoolHeader
     uint32_t log_off;   ///< undo-log region
     uint32_t log_size;
     uint32_t crc;       ///< crc32c over all preceding fields
+
+    /**
+     * Undo-log slot count, self-checked: the low half carries the
+     * count, the high half its complement (encodeLogSlots). 0 — the
+     * value every pool written before multi-slot logs existed carries —
+     * decodes as one slot, so old images open unchanged. The field
+     * sits after `crc` deliberately: it is outside the sealed region
+     * (its complement is its own integrity check), so single-slot
+     * pools stay byte- and checksum-identical to pre-slot ones.
+     */
     uint32_t pad;
+
+    /** Largest supported undo-log slot count (one per worker thread). */
+    static constexpr uint32_t kMaxLogSlots = 256;
+
+    /** Encode @p slots for `pad`; 1 slot encodes as legacy 0. */
+    static constexpr uint32_t
+    encodeLogSlots(uint32_t slots)
+    {
+        return slots <= 1 ? 0u
+                          : (slots | ((slots ^ 0xffffu) << 16));
+    }
+
+    /**
+     * Decode `pad` into a slot count. Anything that fails the
+     * complement self-check or the range [1, kMaxLogSlots] reads as
+     * one slot — the legacy layout — never as garbage geometry.
+     */
+    static constexpr uint32_t
+    decodeLogSlots(uint32_t pad_value)
+    {
+        const uint32_t lo = pad_value & 0xffffu;
+        const uint32_t hi = pad_value >> 16;
+        if (pad_value == 0 || (lo ^ 0xffffu) != hi || lo < 2 ||
+            lo > kMaxLogSlots) {
+            return 1;
+        }
+        return lo;
+    }
 
     /** CRC over every field before `crc`. */
     uint32_t
@@ -144,9 +182,12 @@ class Pool
      * @param pool_id System-wide id assigned by the registry; nonzero.
      * @param size Total pool bytes; clamped to [kMinSize, 4 GB].
      * @param log_size Bytes reserved for the undo-log region.
+     * @param log_slots Undo-log slots the region is carved into (one
+     *        per concurrent worker thread); 1 = the classic layout,
+     *        byte-identical to pools created before slots existed.
      */
     Pool(std::string name, uint32_t pool_id, uint64_t size,
-         uint32_t log_size = kDefaultLogSize);
+         uint32_t log_size = kDefaultLogSize, uint32_t log_slots = 1);
 
     /**
      * Reopen a pool from a durable image (recovery path). The image
@@ -162,6 +203,12 @@ class Pool
     uint32_t id() const { return id_; }
     uint64_t size() const { return data_.size(); }
     const PoolHeader &header() const { return cachedHeader_; }
+
+    /** Undo-log slots this pool's log region is carved into (>= 1). */
+    uint32_t logSlots() const
+    {
+        return PoolHeader::decodeLogSlots(cachedHeader_.pad);
+    }
 
     /** Virtual base address where this pool is currently mapped. */
     uint64_t vbase() const { return vbase_; }

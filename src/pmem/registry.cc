@@ -8,12 +8,13 @@ namespace poat {
 
 OpenPool &
 PoolRegistry::create(const std::string &name, uint64_t size,
-                     uint32_t log_size)
+                     uint32_t log_size, uint32_t log_slots)
 {
     if (idByName_.count(name))
         POAT_FATAL("pool_create: name already exists");
     const uint32_t id = nextId_++;
-    auto op = std::make_unique<OpenPool>(name, id, size, log_size);
+    auto op = std::make_unique<OpenPool>(name, id, size, log_size,
+                                         log_slots);
     op->pool.setVbase(space_.mapRandom(op->pool.size()));
     op->pool.setDurabilityHook(hook_);
     op->pool.setChecksumCounters(&counters_);
@@ -40,7 +41,7 @@ PoolRegistry::open(const std::string &name)
     op->pool.setDurabilityHook(hook_);
     op->pool.setChecksumCounters(&counters_);
     lastScrub_ = op->open_scrub;
-    op->log.recover();
+    op->forEachLog([](UndoLog &log) { log.recover(); });
     disk_.erase(disk_it);
     auto &ref = *op;
     open_[id] = std::move(op);
@@ -54,7 +55,7 @@ PoolRegistry::close(uint32_t pool_id)
     if (it == open_.end())
         POAT_FATAL("pool_close: pool is not open");
     OpenPool &op = *it->second;
-    POAT_ASSERT(!op.log.active(), "pool_close with a live transaction");
+    POAT_ASSERT(!op.anyLogActive(), "pool_close with a live transaction");
     // Close semantics mirror closing a file: dirty cache lines are
     // written back before the mapping goes away.
     disk_[op.pool.name()] = [&] {
@@ -161,7 +162,7 @@ PoolRegistry::crashAll()
         op.pool.crash();
         // No allocator rescan here: the post-crash image may carry
         // media faults, and only recoverAll's scrub pass may read it.
-        op.log.markCrashed();
+        op.forEachLog([](UndoLog &log) { log.markCrashed(); });
     }
 }
 
@@ -176,7 +177,10 @@ PoolRegistry::recoverAll()
         // and undo replay finally trusts the log entries.
         lastScrub_.merge(scrubPool(op.pool));
         op.alloc.rescan();
-        op.log.recover();
+        // Each slot recovers independently: a crash can freeze several
+        // concurrent transactions mid-flight, some active (undo), some
+        // committing (redo of deferred frees), in the same pool.
+        op.forEachLog([](UndoLog &log) { log.recover(); });
     }
 }
 

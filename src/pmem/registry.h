@@ -27,14 +27,25 @@
 
 namespace poat {
 
-/** An open pool bundled with its runtime helpers. */
+/**
+ * An open pool bundled with its runtime helpers.
+ *
+ * Concurrency: a pool created with log_slots > 1 gets one UndoLog per
+ * slot — `log` is slot 0 (so all single-threaded code keeps its exact
+ * shape) and extra_logs holds slots 1..n-1. Worker thread t drives
+ * slot t, giving each concurrent transaction a private write-ahead log
+ * carved from the shared region.
+ */
 struct OpenPool
 {
     /** Create-fresh constructor. */
-    OpenPool(std::string name, uint32_t id, uint64_t size, uint32_t log_size)
-        : pool(std::move(name), id, size, log_size), alloc(pool),
-          log(pool, alloc)
-    {}
+    OpenPool(std::string name, uint32_t id, uint64_t size,
+             uint32_t log_size, uint32_t log_slots = 1)
+        : pool(std::move(name), id, size, log_size, log_slots),
+          alloc(pool), log(pool, alloc)
+    {
+        makeExtraLogs();
+    }
 
     /**
      * Reopen-from-image constructor: scrubs the image for media faults
@@ -43,15 +54,62 @@ struct OpenPool
     OpenPool(std::string name, uint32_t id, std::vector<uint8_t> image)
         : pool(std::move(name), id, std::move(image)),
           alloc(scrubbed(pool, open_scrub)), log(pool, alloc)
-    {}
+    {
+        makeExtraLogs();
+    }
 
     Pool pool;
     /** Results of the reopen-time scrub (zeros for a created pool). */
     ScrubStats open_scrub{};
     PoolAllocator alloc;
-    UndoLog log;
+    UndoLog log; ///< slot 0; the only slot of a single-slot pool
+    /** Undo-log slots 1..n-1 of a multi-slot pool (stable addresses). */
+    std::vector<std::unique_ptr<UndoLog>> extra_logs;
+
+    /** Undo-log slots this pool carries (>= 1). */
+    uint32_t logSlotCount() const
+    {
+        return 1 + static_cast<uint32_t>(extra_logs.size());
+    }
+
+    /** The UndoLog bound to @p slot (0 = `log`). */
+    UndoLog &
+    logSlot(uint32_t slot)
+    {
+        POAT_ASSERT(slot < logSlotCount(), "log slot out of range");
+        return slot == 0 ? log : *extra_logs[slot - 1];
+    }
+
+    /** Invoke @p fn on every slot's UndoLog, slot order. */
+    template <typename Fn>
+    void
+    forEachLog(Fn &&fn)
+    {
+        fn(log);
+        for (auto &l : extra_logs)
+            fn(*l);
+    }
+
+    /** True if any slot has a live (uncommitted) transaction. */
+    bool
+    anyLogActive() const
+    {
+        if (log.active())
+            return true;
+        for (const auto &l : extra_logs)
+            if (l->active())
+                return true;
+        return false;
+    }
 
   private:
+    void
+    makeExtraLogs()
+    {
+        for (uint32_t s = 1; s < UndoLog::slotCount(pool.header()); ++s)
+            extra_logs.push_back(std::make_unique<UndoLog>(pool, alloc, s));
+    }
+
     /** Scrub before the allocator ever reads a (possibly corrupt) heap. */
     static Pool &
     scrubbed(Pool &p, ScrubStats &st)
@@ -70,9 +128,12 @@ class PoolRegistry
     /**
      * Create a pool named @p name of @p size total bytes, map it, and
      * return it. Fails fatally if the name already exists.
+     * @param log_slots Undo-log slots (one per worker thread; 1 = the
+     *        classic single-log layout).
      */
     OpenPool &create(const std::string &name, uint64_t size,
-                     uint32_t log_size = Pool::kDefaultLogSize);
+                     uint32_t log_size = Pool::kDefaultLogSize,
+                     uint32_t log_slots = 1);
 
     /**
      * Reopen a previously created (and closed) pool by name, running

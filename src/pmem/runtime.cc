@@ -38,7 +38,8 @@ uint32_t
 PmemRuntime::poolCreate(const std::string &name, uint64_t size,
                         uint32_t log_size)
 {
-    OpenPool &op = registry_.create(name, size, log_size);
+    OpenPool &op = registry_.create(name, size, log_size,
+                                    opts_.log_slots);
     translator_.addPool(op.pool.id(), op.pool.vbase());
     sink_->alu(costs::kPoolOpen);
     sink_->poolMapped(op.pool.id(), op.pool.vbase(), op.pool.size());
@@ -193,11 +194,11 @@ PmemRuntime::emitRead(const ObjectRef &ref, uint32_t off, size_t size)
     const uint32_t words = static_cast<uint32_t>((size + 7) / 8);
     for (uint32_t w = 0; w < words; ++w) {
         if (opts_.mode == TranslationMode::Software) {
-            lastLoadTag_ = sink_->load(ref.vaddr + off + 8ull * w,
-                                       ref.dep_a, ref.dep_b);
+            cur().lastLoadTag = sink_->load(ref.vaddr + off + 8ull * w,
+                                            ref.dep_a, ref.dep_b);
         } else {
-            lastLoadTag_ = sink_->nvLoad(ref.oid.plus(off + 8 * w),
-                                         ref.dep_a, ref.dep_b);
+            cur().lastLoadTag = sink_->nvLoad(ref.oid.plus(off + 8 * w),
+                                              ref.dep_a, ref.dep_b);
         }
     }
 }
@@ -267,12 +268,12 @@ PmemRuntime::persist(ObjectID oid, uint32_t size)
 // --------------------------------------------------------------------
 
 void
-PmemRuntime::emitLogAppend(OpenPool &op)
+PmemRuntime::emitLogAppend(OpenPool &op, UndoLog &log)
 {
     const uint32_t pool_id = op.pool.id();
-    const uint32_t entry = op.log.lastEntryOff();
-    const uint32_t entry_bytes = op.log.lastEntryBytes();
-    const uint32_t hdr = op.log.headerOff();
+    const uint32_t entry = log.lastEntryOff();
+    const uint32_t entry_bytes = log.lastEntryBytes();
+    const uint32_t hdr = log.headerOff();
     const uint32_t mirror = hdr + LogHeader::kMirrorLineOff;
     const bool hw = opts_.mode == TranslationMode::Hardware;
     // Sealing the entry checksums the payload + 28 header bytes; the
@@ -304,15 +305,16 @@ PmemRuntime::emitLogAppend(OpenPool &op)
 void
 PmemRuntime::txBegin(uint32_t pool_id)
 {
-    POAT_ASSERT(!txPools_.count(pool_id),
+    POAT_ASSERT(!cur().txPools.count(pool_id),
                 "nested transaction on the same pool");
     OpenPool &op = registry_.get(pool_id);
-    op.log.begin();
-    txPools_.insert(pool_id);
+    UndoLog &log = logFor(op);
+    log.begin();
+    cur().txPools.insert(pool_id);
 
-    sink_->txBegin(pool_id, currentOp_);
+    sink_->txBegin(pool_id, cur().currentOp);
     sink_->alu(costs::kTxBegin + costs::kCrcHeader);
-    const uint32_t hdr = op.log.headerOff();
+    const uint32_t hdr = log.headerOff();
     const uint32_t mirror = hdr + LogHeader::kMirrorLineOff;
     if (opts_.mode == TranslationMode::Hardware) {
         sink_->nvStore(ObjectID(pool_id, hdr));
@@ -331,14 +333,15 @@ PmemRuntime::txBegin(uint32_t pool_id)
 void
 PmemRuntime::txAddRange(ObjectID oid, uint32_t size)
 {
-    POAT_ASSERT(txPools_.count(oid.poolId()),
+    POAT_ASSERT(cur().txPools.count(oid.poolId()),
                 "tx_add_range on a pool without an open transaction");
     OpenPool &op = registry_.get(oid.poolId());
-    op.log.addRange(oid.offset(), size);
+    UndoLog &log = logFor(op);
+    log.addRange(oid.offset(), size);
 
     sink_->alu(costs::kTxAddRange);
     const bool hw = opts_.mode == TranslationMode::Hardware;
-    const uint32_t payload = op.log.lastEntryOff() +
+    const uint32_t payload = log.lastEntryOff() +
         static_cast<uint32_t>(sizeof(LogEntryHeader));
 
     uint64_t src_va = 0;
@@ -356,15 +359,16 @@ PmemRuntime::txAddRange(ObjectID oid, uint32_t size)
         }
         sink_->branch(8u * (w + 1) < size, kPcLibLoop);
     }
-    emitLogAppend(op);
+    emitLogAppend(op, log);
 }
 
 ObjectID
 PmemRuntime::txPmalloc(uint32_t pool_id, uint32_t size)
 {
-    POAT_ASSERT(txPools_.count(pool_id),
+    POAT_ASSERT(cur().txPools.count(pool_id),
                 "tx_pmalloc on a pool without an open transaction");
     OpenPool &op = registry_.get(pool_id);
+    UndoLog &log = logFor(op);
 
     sink_->alu(costs::kPmalloc);
 
@@ -377,14 +381,14 @@ PmemRuntime::txPmalloc(uint32_t pool_id, uint32_t size)
         POAT_FATAL("tx_pmalloc: pool exhausted");
 
     try {
-        op.log.logAlloc(off, size);
+        log.logAlloc(off, size);
     } catch (...) {
         // Exhausted log: give the block back before surfacing the
         // error, otherwise the failed tx_pmalloc would leak it.
         op.alloc.free(off);
         throw;
     }
-    emitLogAppend(op);
+    emitLogAppend(op, log);
 
     op.alloc.persistTouched();
     emitAllocatorTouches(op);
@@ -394,24 +398,57 @@ PmemRuntime::txPmalloc(uint32_t pool_id, uint32_t size)
 void
 PmemRuntime::txPfree(ObjectID oid)
 {
-    POAT_ASSERT(txPools_.count(oid.poolId()),
+    POAT_ASSERT(cur().txPools.count(oid.poolId()),
                 "tx_pfree on a pool without an open transaction");
     OpenPool &op = registry_.get(oid.poolId());
+    UndoLog &log = logFor(op);
     if (opts_.mode == TranslationMode::Software)
         translator_.translate(oid, *sink_);
-    op.log.logFree(oid.offset());
+    log.logFree(oid.offset());
 
     sink_->alu(costs::kPfree / 2); // deferred: only the log append now
-    emitLogAppend(op);
+    emitLogAppend(op, log);
 }
 
 void
-PmemRuntime::emitCommit(OpenPool &op,
+PmemRuntime::commitFence()
+{
+    // A group-commit window withholds commit-path fences; the window
+    // close (flushCommitFences) emits one fence standing for all of
+    // them. Timing-side only — see setCommitFenceBatching().
+    if (fenceBatch_)
+        ++pendingFences_;
+    else
+        sink_->fence();
+}
+
+uint64_t
+PmemRuntime::flushCommitFences()
+{
+    if (pendingFences_ == 0)
+        return 0;
+    const uint64_t elided = pendingFences_ - 1;
+    pendingFences_ = 0;
+    sink_->fence();
+    return elided;
+}
+
+void
+PmemRuntime::setWorker(uint32_t worker)
+{
+    POAT_ASSERT(worker < 4096, "worker id out of range");
+    if (worker >= workers_.size())
+        workers_.resize(worker + 1);
+    worker_ = worker;
+}
+
+void
+PmemRuntime::emitCommit(OpenPool &op, UndoLog &log,
                         const std::vector<UndoLog::Record> &records)
 {
     const bool hw = opts_.mode == TranslationMode::Hardware;
     const uint32_t pool_id = op.pool.id();
-    const uint32_t hdr = op.log.headerOff();
+    const uint32_t hdr = log.headerOff();
     const uint32_t mirror = hdr + LogHeader::kMirrorLineOff;
 
     auto flush_header = [&] {
@@ -427,7 +464,7 @@ PmemRuntime::emitCommit(OpenPool &op,
             sink_->store(op.pool.vbase() + mirror);
             sink_->clwb(op.pool.vbase() + mirror);
         }
-        sink_->fence();
+        commitFence();
     };
 
     // Phase 1: flush every modified data range.
@@ -442,7 +479,7 @@ PmemRuntime::emitCommit(OpenPool &op,
                 sink_->clwb(op.pool.vbase() + first + kLineSize * l);
         }
     }
-    sink_->fence();
+    commitFence();
 
     // Commit point, deferred frees, then log reset.
     flush_header();
@@ -462,7 +499,7 @@ PmemRuntime::emitCommit(OpenPool &op,
             sink_->store(va);
             sink_->clwb(va);
         }
-        sink_->fence();
+        commitFence();
     }
     flush_header();
 }
@@ -470,28 +507,30 @@ PmemRuntime::emitCommit(OpenPool &op,
 void
 PmemRuntime::txEnd()
 {
-    POAT_ASSERT(!txPools_.empty(), "tx_end outside a transaction");
+    POAT_ASSERT(!cur().txPools.empty(), "tx_end outside a transaction");
     sink_->alu(costs::kTxEnd);
-    for (const uint32_t pool_id : txPools_) {
+    for (const uint32_t pool_id : cur().txPools) {
         OpenPool &op = registry_.get(pool_id);
-        const auto records = op.log.records();
-        op.log.commit();
-        emitCommit(op, records);
+        UndoLog &log = logFor(op);
+        const auto records = log.records();
+        log.commit();
+        emitCommit(op, log, records);
         sink_->txCommit(pool_id);
     }
-    txPools_.clear();
+    cur().txPools.clear();
 }
 
 void
 PmemRuntime::txAbort()
 {
-    POAT_ASSERT(!txPools_.empty(), "tx_abort outside a transaction");
+    POAT_ASSERT(!cur().txPools.empty(), "tx_abort outside a transaction");
     sink_->alu(costs::kTxEnd);
     const bool hw = opts_.mode == TranslationMode::Hardware;
-    for (const uint32_t pool_id : txPools_) {
+    for (const uint32_t pool_id : cur().txPools) {
         OpenPool &op = registry_.get(pool_id);
-        const auto records = op.log.records();
-        op.log.abort();
+        UndoLog &log = logFor(op);
+        const auto records = log.records();
+        log.abort();
 
         // Undo copy-back loops, newest entry first.
         for (auto it = records.rbegin(); it != records.rend(); ++it) {
@@ -517,7 +556,7 @@ PmemRuntime::txAbort()
         sink_->fence();
         sink_->txAbort(pool_id);
     }
-    txPools_.clear();
+    cur().txPools.clear();
 }
 
 void
@@ -527,7 +566,7 @@ PmemRuntime::setOp(const char *name)
         opIds_.emplace(name, static_cast<uint32_t>(opIds_.size()) + 1);
     if (fresh)
         sink_->opName(it->second, name);
-    currentOp_ = it->second;
+    cur().currentOp = it->second;
 }
 
 // --------------------------------------------------------------------
@@ -546,7 +585,9 @@ PmemRuntime::crashAndRecover()
     registry_.crashAll();
     registry_.recoverAll();
     translator_.invalidatePredictor();
-    txPools_.clear();
+    for (WorkerCtx &w : workers_)
+        w.txPools.clear();
+    pendingFences_ = 0;
 }
 
 } // namespace poat

@@ -53,6 +53,13 @@ struct RuntimeOptions
      * predictor so every software translation pays the full lookup.
      */
     bool base_predictor = true;
+
+    /**
+     * Undo-log slots carved into every pool this runtime creates: one
+     * per concurrent worker thread. 1 (the default) keeps the classic
+     * single-log layout and a byte-identical pool image.
+     */
+    uint32_t log_slots = 1;
 };
 
 /**
@@ -146,7 +153,7 @@ class PmemRuntime
                     size_t n);
 
     /** Value tag of the most recent data load (for chase chains). */
-    uint64_t lastLoadTag() const { return lastLoadTag_; }
+    uint64_t lastLoadTag() const { return cur().lastLoadTag; }
     /// @}
 
     /// @name Durability
@@ -178,11 +185,57 @@ class PmemRuntime
      * observational: emits no instructions.
      */
     void setOp(const char *name);
-    bool txActive() const { return !txPools_.empty(); }
+    bool txActive() const { return !cur().txPools.empty(); }
     bool txActiveOn(uint32_t pool_id) const
     {
-        return txPools_.count(pool_id) != 0;
+        return cur().txPools.count(pool_id) != 0;
     }
+    /// @}
+
+    /// @name Concurrency (worker threads and group commit)
+    ///
+    /// Worker model: the deterministic scheduler serializes worker
+    /// threads (one runs at a time), and setWorker() selects whose
+    /// context — open transactions, load-tag chain, operation tag —
+    /// subsequent calls run under. Worker t of a multi-slot pool
+    /// drives undo-log slot t % slots, so concurrent transactions
+    /// never share a write-ahead log. Single-threaded code never calls
+    /// setWorker and runs entirely as worker 0, bit-identical to the
+    /// pre-concurrency runtime.
+    /// @{
+    /** Switch the active worker context (grown on first use). */
+    void setWorker(uint32_t worker);
+
+    /** The active worker id. */
+    uint32_t worker() const { return worker_; }
+
+    /** Worker contexts materialized so far (>= 1). */
+    uint32_t workerCount() const
+    {
+        return static_cast<uint32_t>(workers_.size());
+    }
+
+    /**
+     * Group-commit fence batching. While on, the fences the commit
+     * emission path (txEnd) would issue are withheld and counted; the
+     * group-commit coordinator ends a window by calling
+     * flushCommitFences(), which emits ONE fence covering every
+     * withheld one. Emission-side only: the host-side undo logs
+     * persist with real per-transaction fences regardless, so crash
+     * consistency is unaffected — batching models the *timing* win of
+     * amortizing SFENCE stalls across a commit window.
+     */
+    void setCommitFenceBatching(bool on) { fenceBatch_ = on; }
+
+    /**
+     * Close a group-commit window: emit one fence standing for every
+     * withheld commit fence. @return fences elided (withheld - 1, or 0
+     * if the window was empty) — the group-commit win.
+     */
+    uint64_t flushCommitFences();
+
+    /** Commit fences withheld in the current window. */
+    uint64_t pendingCommitFences() const { return pendingFences_; }
     /// @}
 
     /// @name Workload support
@@ -221,6 +274,24 @@ class PmemRuntime
     /// @}
 
   private:
+    /** Per-worker runtime context (see setWorker). */
+    struct WorkerCtx
+    {
+        std::set<uint32_t> txPools; ///< pools with an open transaction
+        uint64_t lastLoadTag = kNoDep;
+        uint32_t currentOp = 0; ///< id stamped into txBegin (0 = none)
+    };
+
+    WorkerCtx &cur() { return workers_[worker_]; }
+    const WorkerCtx &cur() const { return workers_[worker_]; }
+
+    /** The undo-log slot the active worker drives in @p op. */
+    UndoLog &
+    logFor(OpenPool &op)
+    {
+        return op.logSlot(worker_ % op.logSlotCount());
+    }
+
     OpenPool &poolOf(const ObjectRef &ref);
     OpenPool &poolOf(ObjectID oid);
 
@@ -236,21 +307,25 @@ class PmemRuntime
     void emitAllocatorTouches(OpenPool &op);
 
     /** Emit the store+flush pair publishing a log append. */
-    void emitLogAppend(OpenPool &op);
+    void emitLogAppend(OpenPool &op, UndoLog &log);
 
     /** Commit one pool's transaction (host already committed). */
-    void emitCommit(OpenPool &op,
+    void emitCommit(OpenPool &op, UndoLog &log,
                     const std::vector<UndoLog::Record> &records);
+
+    /** A commit-path fence: withheld when a group window is open. */
+    void commitFence();
 
     RuntimeOptions opts_;
     NullTraceSink nullSink_;
     TraceSink *sink_;
     PoolRegistry registry_;
     SoftwareTranslator translator_;
-    std::set<uint32_t> txPools_; ///< pools with an open transaction
-    uint64_t lastLoadTag_ = kNoDep;
+    std::vector<WorkerCtx> workers_{1}; ///< index = worker id
+    uint32_t worker_ = 0;               ///< active worker context
+    bool fenceBatch_ = false;    ///< group-commit window open
+    uint64_t pendingFences_ = 0; ///< commit fences withheld so far
     std::map<std::string, uint32_t> opIds_; ///< interned setOp names
-    uint32_t currentOp_ = 0; ///< id stamped into txBegin spans (0 = none)
 };
 
 } // namespace poat

@@ -64,22 +64,27 @@ scrubSuperblock(Pool &pool, ScrubStats &st)
 }
 
 void
-scrubLogHeader(Pool &pool, ScrubStats &st)
+scrubLogHeaders(Pool &pool, ScrubStats &st)
 {
-    const uint32_t log_off = pool.header().log_off;
-    const bool repaired = repairPair<LogHeader>(
-        pool, log_off, log_off + LogHeader::kMirrorLineOff,
-        [](const LogHeader &h) {
-            return h.crcValid() && h.state <= LogHeader::kCommitting;
-        },
-        [&]() -> void {
-            throw MediaError(pool.name(), log_off,
-                             MediaStructure::LogHeader,
-                             "both log header copies are corrupt");
-        },
-        st);
-    if (repaired)
-        st.log_header_repairs += 1;
+    // One independent header state machine per undo-log slot (one slot
+    // per worker thread; single-slot pools have exactly one).
+    const PoolHeader &ph = pool.header();
+    for (uint32_t s = 0; s < UndoLog::slotCount(ph); ++s) {
+        const uint32_t log_off = UndoLog::slotOffset(ph, s);
+        const bool repaired = repairPair<LogHeader>(
+            pool, log_off, log_off + LogHeader::kMirrorLineOff,
+            [](const LogHeader &h) {
+                return h.crcValid() && h.state <= LogHeader::kCommitting;
+            },
+            [&]() -> void {
+                throw MediaError(pool.name(), log_off,
+                                 MediaStructure::LogHeader,
+                                 "both log header copies are corrupt");
+            },
+            st);
+        if (repaired)
+            st.log_header_repairs += 1;
+    }
 }
 
 /** A trusted view of one published log record (post log scrub). */
@@ -97,18 +102,17 @@ struct LogRecord
  * (the snapshot bytes have no replica to repair from).
  * @return the trusted records, for heap-header reconstruction.
  */
-std::vector<LogRecord>
-scrubLogEntries(Pool &pool, ScrubStats &st)
+void
+scrubSlotEntries(Pool &pool, uint32_t log_off, uint32_t log_size,
+                 std::vector<LogRecord> &records, ScrubStats &st)
 {
-    std::vector<LogRecord> records;
-    const PoolHeader &ph = pool.header();
     LogHeader lh{};
-    pool.readRaw(ph.log_off, &lh, sizeof(lh));
+    pool.readRaw(log_off, &lh, sizeof(lh));
     if (lh.num_entries == 0)
-        return records;
+        return;
 
-    const uint32_t end = ph.log_off + ph.log_size;
-    uint32_t off = ph.log_off + LogHeader::kEntriesOff;
+    const uint32_t end = log_off + log_size;
+    uint32_t off = log_off + LogHeader::kEntriesOff;
     for (uint32_t i = 0; i < lh.num_entries; ++i) {
         if (off + sizeof(LogEntryHeader) > end) {
             st.corruptions_detected += 1;
@@ -168,6 +172,23 @@ scrubLogEntries(Pool &pool, ScrubStats &st)
         records.push_back(
             {eh.type, eh.target_off, eh.payload_size, eh.alloc_size});
         off += entry_bytes;
+    }
+}
+
+/**
+ * Walk every log slot's published entries and merge their trusted
+ * records: a multi-slot pool crashed mid-flight can hold several
+ * independent transactions' records, all of which prove liveness for
+ * heap-header reconstruction.
+ */
+std::vector<LogRecord>
+scrubLogEntries(Pool &pool, ScrubStats &st)
+{
+    std::vector<LogRecord> records;
+    const PoolHeader &ph = pool.header();
+    for (uint32_t s = 0; s < UndoLog::slotCount(ph); ++s) {
+        scrubSlotEntries(pool, UndoLog::slotOffset(ph, s),
+                         UndoLog::slotSize(ph), records, st);
     }
     return records;
 }
@@ -292,7 +313,7 @@ scrubPool(Pool &pool)
 {
     ScrubStats st;
     scrubSuperblock(pool, st);
-    scrubLogHeader(pool, st);
+    scrubLogHeaders(pool, st);
     const std::vector<LogRecord> records = scrubLogEntries(pool, st);
     scrubHeap(pool, records, st);
     return st;

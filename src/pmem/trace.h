@@ -127,6 +127,16 @@ class TraceSink
     virtual void poolUnmapped(uint32_t pool_id) { (void)pool_id; }
 
     /**
+     * Scheduling event: subsequent instructions execute on simulated
+     * core @p core (deterministic multi-core interleaving). Sinks that
+     * model one core ignore it; sinks that wrap another sink must
+     * forward it so replays interleave identically. Never emitted by
+     * single-threaded runs, which keeps their traces and stats
+     * byte-identical to the pre-multi-core format.
+     */
+    virtual void coreSwitch(uint32_t core) { (void)core; }
+
+    /**
      * Region markers bracketing the software translator's emitted
      * instructions (SoftwareTranslator::translate). Timing sinks use
      * them to charge every cycle of the enclosed instructions to the

@@ -8,10 +8,13 @@
 
 namespace poat {
 
-UndoLog::UndoLog(Pool &pool, PoolAllocator &alloc)
-    : pool_(pool), alloc_(alloc),
-      logOff_(pool.header().log_off), logSize_(pool.header().log_size)
+UndoLog::UndoLog(Pool &pool, PoolAllocator &alloc, uint32_t slot)
+    : pool_(pool), alloc_(alloc), slot_(slot),
+      logOff_(slotOffset(pool.header(), slot)),
+      logSize_(slotSize(pool.header()))
 {
+    POAT_ASSERT(slot < slotCount(pool.header()),
+                "undo-log slot out of range for this pool");
     POAT_ASSERT(logSize_ >=
                     LogHeader::kEntriesOff + sizeof(LogEntryHeader),
                 "log region too small");
@@ -240,9 +243,10 @@ UndoLog::applyUndo()
 }
 
 void
-UndoLog::commit()
+UndoLog::commitPhase1()
 {
-    POAT_ASSERT(active_, "tx_end outside a transaction");
+    POAT_ASSERT(active_ && !committing_,
+                "commitPhase1 outside a transaction");
     const LogHeader h = readHeader();
 
     // Phase 1: make every modified range durable while the undo log is
@@ -251,18 +255,35 @@ UndoLog::commit()
 
     // Commit point: after this is durable the transaction has happened.
     writeState(LogHeader::kCommitting, h.num_entries, h.used);
+    committing_ = true;
+}
+
+void
+UndoLog::commitPhase2()
+{
+    POAT_ASSERT(active_ && committing_,
+                "commitPhase2 before commitPhase1");
 
     // Phase 2: deferred frees; idempotent, so recovery can redo them.
     applyDeferredFrees();
 
     writeState(LogHeader::kIdle, 0, 0);
     active_ = false;
+    committing_ = false;
+}
+
+void
+UndoLog::commit()
+{
+    POAT_ASSERT(active_, "tx_end outside a transaction");
+    commitPhase1();
+    commitPhase2();
 }
 
 void
 UndoLog::abort()
 {
-    POAT_ASSERT(active_, "abort outside a transaction");
+    POAT_ASSERT(active_ && !committing_, "abort outside a transaction");
     applyUndo();
     writeState(LogHeader::kIdle, 0, 0);
     active_ = false;

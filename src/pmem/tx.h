@@ -114,11 +114,40 @@ struct LogEntryHeader
 static_assert(sizeof(LogHeader) == 16);
 static_assert(sizeof(LogEntryHeader) == 32);
 
-/** Undo-log manager bound to one pool and its allocator. */
+/**
+ * Undo-log manager bound to one pool and its allocator.
+ *
+ * Concurrency: a pool created with log_slots > 1 carves its log region
+ * into equal line-aligned slots, one per worker thread, each with its
+ * own independent LogHeader state machine at slotOffset(). Every slot
+ * recovers independently, so a crash with several transactions frozen
+ * mid-flight (some active, some committing) replays each to its own
+ * consistent end state. Slot 0 of a single-slot pool is byte-identical
+ * to the classic whole-region log.
+ */
 class UndoLog
 {
   public:
-    UndoLog(Pool &pool, PoolAllocator &alloc);
+    /** Bind to @p slot of the pool's log region (see slotCount). */
+    UndoLog(Pool &pool, PoolAllocator &alloc, uint32_t slot = 0);
+
+    /** Slots the pool's log region is carved into (header `pad`). */
+    static uint32_t slotCount(const PoolHeader &h)
+    {
+        return PoolHeader::decodeLogSlots(h.pad);
+    }
+
+    /** Bytes of one slot: the region divided evenly, line-aligned. */
+    static uint32_t slotSize(const PoolHeader &h)
+    {
+        return alignDown(h.log_size / slotCount(h), kLineSize);
+    }
+
+    /** Pool offset where @p slot's LogHeader lives. */
+    static uint32_t slotOffset(const PoolHeader &h, uint32_t slot)
+    {
+        return h.log_off + slot * slotSize(h);
+    }
 
     /** Begin a transaction; nesting is not supported. */
     void begin();
@@ -151,6 +180,19 @@ class UndoLog
     /** Commit: persist modified ranges, run deferred frees, clear log. */
     void commit();
 
+    /**
+     * Commit phase 1: persist every modified range, then make the
+     * commit point (kCommitting) durable. After this returns the
+     * transaction has logically happened — a crash before phase 2
+     * redoes only the deferred frees. Split out for the group-commit
+     * coordinator, which batches several transactions' phase-2 work
+     * (and their emitted fences) into one window.
+     */
+    void commitPhase1();
+
+    /** Commit phase 2: deferred frees + log reset (after phase 1). */
+    void commitPhase2();
+
     /** Abort: roll every logged change back, then clear the log. */
     void abort();
 
@@ -177,9 +219,16 @@ class UndoLog
      * Reset the volatile notion of an in-flight transaction after a
      * simulated crash; the on-media state drives recovery from here.
      */
-    void markCrashed() { active_ = false; }
+    void markCrashed() { active_ = false; committing_ = false; }
 
     bool active() const { return active_; }
+
+    /** True between commitPhase1() and commitPhase2(). */
+    bool committing() const { return committing_; }
+
+    /** The log-region slot this manager is bound to. */
+    uint32_t slot() const { return slot_; }
+
     uint32_t entryCount() const;
 
     /** Current on-media state (LogHeader::kIdle/kActive/kCommitting). */
@@ -234,9 +283,11 @@ class UndoLog
 
     Pool &pool_;
     PoolAllocator &alloc_;
+    uint32_t slot_;
     uint32_t logOff_;
     uint32_t logSize_;
     bool active_ = false;
+    bool committing_ = false; ///< between commitPhase1 and commitPhase2
     uint32_t lastEntryOff_ = 0;
     uint32_t lastEntryBytes_ = 0;
 };

@@ -100,20 +100,27 @@ Cache::reset()
 }
 
 CacheHierarchy::CacheHierarchy(const MachineConfig &cfg)
-    : l1_("L1D", cfg.l1d), l2_("L2", cfg.l2), l3_("L3", cfg.l3),
-      memLatency_(cfg.mem_latency)
+    : l3_("L3", cfg.l3), memLatency_(cfg.mem_latency)
 {
+    const uint32_t n = cfg.cores ? cfg.cores : 1;
+    l1s_.reserve(n);
+    l2s_.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        l1s_.emplace_back("L1D", cfg.l1d);
+        l2s_.emplace_back("L2", cfg.l2);
+    }
 }
 
 CacheHierarchy::AccessResult
-CacheHierarchy::accessClassified(uint64_t paddr, bool is_write)
+CacheHierarchy::accessClassified(uint32_t core, uint64_t paddr,
+                                 bool is_write)
 {
     // Lower levels are filled (and LRU-touched) only when the upper
     // level misses, mimicking a mostly-inclusive hierarchy.
-    if (l1_.access(paddr, is_write))
-        return {l1_.latency(), Level::L1};
-    if (l2_.access(paddr, false))
-        return {l2_.latency(), Level::L2};
+    if (l1s_[core].access(paddr, is_write))
+        return {l1s_[core].latency(), Level::L1};
+    if (l2s_[core].access(paddr, false))
+        return {l2s_[core].latency(), Level::L2};
     if (l3_.access(paddr, false))
         return {l3_.latency(), Level::L3};
     ++memAccesses_;
@@ -123,16 +130,20 @@ CacheHierarchy::accessClassified(uint64_t paddr, bool is_write)
 void
 CacheHierarchy::flushLine(uint64_t paddr)
 {
-    l1_.flushLine(paddr);
-    l2_.flushLine(paddr);
+    for (Cache &c : l1s_)
+        c.flushLine(paddr);
+    for (Cache &c : l2s_)
+        c.flushLine(paddr);
     l3_.flushLine(paddr);
 }
 
 void
 CacheHierarchy::reset()
 {
-    l1_.reset();
-    l2_.reset();
+    for (Cache &c : l1s_)
+        c.reset();
+    for (Cache &c : l2s_)
+        c.reset();
     l3_.reset();
 }
 

@@ -87,7 +87,15 @@ class Cache
     uint64_t writebacks_ = 0;
 };
 
-/** The L1D/L2/L3 + memory stack; returns end-to-end access latency. */
+/**
+ * The L1D/L2/L3 + memory stack; returns end-to-end access latency.
+ *
+ * With cfg.cores > 1 the hierarchy holds one private L1/L2 pair per
+ * core in front of the shared L3. The model is tag-only and the
+ * multi-core scheduler interleaves cores one at a time, so no coherence
+ * protocol is modeled: a line can be resident in several private
+ * caches, and CLWB cleans it everywhere (a real CLWB is coherent).
+ */
 class CacheHierarchy
 {
   public:
@@ -104,36 +112,53 @@ class CacheHierarchy
     explicit CacheHierarchy(const MachineConfig &cfg);
 
     /**
-     * Perform a data access.
+     * Perform a data access through core @p core's private L1/L2.
      * @return the hit latency of the first level that hits (or memory
      *         latency on a full miss), tagged with that level.
      */
-    AccessResult accessClassified(uint64_t paddr, bool is_write);
+    AccessResult accessClassified(uint32_t core, uint64_t paddr,
+                                  bool is_write);
+
+    /** Single-core convenience (core 0). */
+    AccessResult
+    accessClassified(uint64_t paddr, bool is_write)
+    {
+        return accessClassified(0, paddr, is_write);
+    }
 
     /** accessClassified() for callers that only need the latency. */
     uint32_t
     access(uint64_t paddr, bool is_write)
     {
-        return accessClassified(paddr, is_write).latency;
+        return accessClassified(0, paddr, is_write).latency;
     }
 
-    /** CLWB the line in every level (clean, keep resident). */
+    /** Per-core access() for callers that only need the latency. */
+    uint32_t
+    access(uint32_t core, uint64_t paddr, bool is_write)
+    {
+        return accessClassified(core, paddr, is_write).latency;
+    }
+
+    /** CLWB the line in every level of every core (clean, resident). */
     void flushLine(uint64_t paddr);
 
     void reset();
 
-    Cache &l1() { return l1_; }
-    Cache &l2() { return l2_; }
+    uint32_t cores() const { return static_cast<uint32_t>(l1s_.size()); }
+
+    Cache &l1(uint32_t core = 0) { return l1s_[core]; }
+    Cache &l2(uint32_t core = 0) { return l2s_[core]; }
     Cache &l3() { return l3_; }
-    const Cache &l1() const { return l1_; }
-    const Cache &l2() const { return l2_; }
+    const Cache &l1(uint32_t core = 0) const { return l1s_[core]; }
+    const Cache &l2(uint32_t core = 0) const { return l2s_[core]; }
     const Cache &l3() const { return l3_; }
     uint64_t memAccesses() const { return memAccesses_; }
 
   private:
-    Cache l1_;
-    Cache l2_;
-    Cache l3_;
+    std::vector<Cache> l1s_; ///< one private L1D per core
+    std::vector<Cache> l2s_; ///< one private L2 per core
+    Cache l3_;               ///< shared
     uint32_t memLatency_;
     uint64_t memAccesses_ = 0;
 };

@@ -51,6 +51,14 @@ struct MachineConfig
 {
     CoreType core = CoreType::InOrder;
 
+    /**
+     * Simulated cores. Each core has a private L1/L2, TLB, branch
+     * state, and POLB; L3, memory, the page table, and the POT are
+     * shared. 1 reproduces the paper's single-core machine (and the
+     * original flat stats naming, see Machine::syncStats).
+     */
+    uint32_t cores = 1;
+
     /// @name Out-of-order core (paper Table 4)
     /// @{
     uint32_t issue_width = 4;

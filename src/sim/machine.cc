@@ -30,15 +30,23 @@ levelComp(CacheHierarchy::Level level)
 
 } // namespace
 
-Machine::Machine(const MachineConfig &cfg)
-    : cfg_(cfg), caches_(cfg), tlb_(cfg.dtlb_entries),
-      polb_(cfg.polb_entries, cfg.polb_assoc, cfg.polb_replacement),
-      pot_(cfg.pot_entries)
+Machine::CoreState::CoreState(const MachineConfig &cfg)
+    : tlb(cfg.dtlb_entries),
+      polb(cfg.polb_entries, cfg.polb_assoc, cfg.polb_replacement)
 {
     if (cfg.core == CoreType::InOrder)
-        core_ = std::make_unique<InOrderCore>(cfg);
+        model = std::make_unique<InOrderCore>(cfg);
     else
-        core_ = std::make_unique<OooCore>(cfg);
+        model = std::make_unique<OooCore>(cfg);
+}
+
+Machine::Machine(const MachineConfig &cfg)
+    : cfg_(cfg), caches_(cfg), pot_(cfg.pot_entries)
+{
+    const uint32_t n = cfg.cores ? cfg.cores : 1;
+    cores_.reserve(n);
+    for (uint32_t i = 0; i < n; ++i)
+        cores_.push_back(std::make_unique<CoreState>(cfg));
 
     hXlatLat_ = &stats_.histogram("polb.lookup_latency");
     hPotProbes_ = &stats_.histogram("pot.walk_probes");
@@ -61,23 +69,49 @@ Machine::Machine(const MachineConfig &cfg)
     stats_.formula("core.ipc", "core.instructions", "core.cycles");
 }
 
+uint64_t
+Machine::cycles() const
+{
+    uint64_t makespan = 0;
+    for (const auto &c : cores_)
+        makespan = std::max(makespan, c->model->cycles());
+    return makespan;
+}
+
+uint64_t
+Machine::instructions() const
+{
+    uint64_t n = 0;
+    for (const auto &c : cores_)
+        n += c->instructions;
+    return n;
+}
+
 uint32_t
 Machine::tlbPenalty(uint64_t vaddr)
 {
-    return tlb_.access(vaddr) ? 0 : cfg_.tlb_miss_penalty;
+    return cur().tlb.access(vaddr) ? 0 : cfg_.tlb_miss_penalty;
 }
 
 void
 Machine::timelineTick()
 {
-    timeline_->tick(core_->cycles());
+    timeline_->tick(cur().model->cycles());
+}
+
+void
+Machine::coreSwitch(uint32_t core)
+{
+    POAT_ASSERT(core < cores_.size(), "coreSwitch to a core beyond N");
+    active_ = core;
 }
 
 void
 Machine::alu(uint32_t count, uint64_t dep)
 {
-    instructions_ += count;
-    core_->alu(count, dep);
+    CoreState &c = cur();
+    c.instructions += count;
+    c.model->alu(count, dep);
     if (timeline_)
         timelineTick();
 }
@@ -85,9 +119,10 @@ Machine::alu(uint32_t count, uint64_t dep)
 void
 Machine::branch(bool taken, uint64_t pc, uint64_t dep)
 {
-    ++instructions_;
-    const bool mispredict = bp_.predictAndUpdate(pc, taken);
-    core_->branch(mispredict, dep);
+    CoreState &c = cur();
+    ++c.instructions;
+    const bool mispredict = c.bp.predictAndUpdate(pc, taken);
+    c.model->branch(mispredict, dep);
     if (timeline_)
         timelineTick();
 }
@@ -95,15 +130,16 @@ Machine::branch(bool taken, uint64_t pc, uint64_t dep)
 uint64_t
 Machine::load(uint64_t vaddr, uint64_t dep, uint64_t dep2)
 {
-    ++instructions_;
-    ++loads_;
+    CoreState &c = cur();
+    ++c.instructions;
+    ++c.loads;
     AccessCosts costs;
     costs.tlb = tlbPenalty(vaddr);
     const uint64_t pa = pageTable_.translate(vaddr);
-    const auto acc = caches_.accessClassified(pa, false);
+    const auto acc = caches_.accessClassified(active_, pa, false);
     costs.mem = acc.latency;
     costs.mem_comp = levelComp(acc.level);
-    const uint64_t tag = core_->load(costs, dep, dep2);
+    const uint64_t tag = c.model->load(costs, dep, dep2);
     if (timeline_)
         timelineTick();
     return tag;
@@ -112,15 +148,16 @@ Machine::load(uint64_t vaddr, uint64_t dep, uint64_t dep2)
 void
 Machine::store(uint64_t vaddr, uint64_t dep)
 {
-    ++instructions_;
-    ++stores_;
+    CoreState &c = cur();
+    ++c.instructions;
+    ++c.stores;
     AccessCosts costs;
     costs.tlb = tlbPenalty(vaddr);
     const uint64_t pa = pageTable_.translate(vaddr);
-    const auto acc = caches_.accessClassified(pa, true);
+    const auto acc = caches_.accessClassified(active_, pa, true);
     costs.mem = acc.latency;
     costs.mem_comp = levelComp(acc.level);
-    core_->store(costs, dep);
+    c.model->store(costs, dep);
     if (timeline_)
         timelineTick();
 }
@@ -139,7 +176,7 @@ Machine::potWalkCharge(const PotWalk &walk, bool parallel)
         std::min(walk.probes, PotWalk::kMaxRecorded);
     for (uint32_t i = 0; i < recorded; ++i) {
         const uint64_t pa = kPotPhysBase + 16ull * walk.slots[i];
-        cycles += caches_.access(pa, false) +
+        cycles += caches_.access(active_, pa, false) +
             cfg_.pot_probe_logic_cycles;
     }
     if (parallel)
@@ -151,6 +188,7 @@ Machine::NvXlat
 Machine::translateNv(ObjectID oid)
 {
     const bool ideal = cfg_.ideal_translation;
+    CoreState &c = cur();
     NvXlat x;
 
     if (cfg_.polb_design == PolbDesign::Pipelined) {
@@ -163,9 +201,9 @@ Machine::translateNv(ObjectID oid)
                      ? cfg_.polb_inorder_hit_charge
                      : cfg_.polb_latency;
         uint64_t base;
-        if (auto hit = polb_.lookup(oid.poolId())) {
+        if (auto hit = c.polb.lookup(oid.poolId())) {
             base = *hit;
-            POAT_TRACE(tracer_, core_->cycles(), TraceComponent::Polb,
+            POAT_TRACE(tracer_, c.model->cycles(), TraceComponent::Polb,
                        TraceOutcome::Hit, oid.raw, x.polb);
         } else {
             const PotWalk w = pot_.walk(oid.poolId());
@@ -176,16 +214,16 @@ Machine::translateNv(ObjectID oid)
             --potOutstanding_;
             hPotProbes_->record(w.probes);
             hPotLat_->record(x.pot);
-            POAT_TRACE(tracer_, core_->cycles(), TraceComponent::Pot,
+            POAT_TRACE(tracer_, c.model->cycles(), TraceComponent::Pot,
                        TraceOutcome::Walk, oid.raw, x.pot);
             base = w.base;
-            polb_.insert(oid.poolId(), base);
+            c.polb.insert(oid.poolId(), base);
         }
         hXlatLat_->record(x.polb + x.pot);
         const uint64_t vaddr = base + oid.offset();
         x.tlb = tlbPenalty(vaddr);
         if (x.tlb != 0) {
-            POAT_TRACE(tracer_, core_->cycles(), TraceComponent::Tlb,
+            POAT_TRACE(tracer_, c.model->cycles(), TraceComponent::Tlb,
                        TraceOutcome::Miss, oid.raw, x.tlb);
         }
         x.paddr = pageTable_.translate(vaddr);
@@ -196,10 +234,10 @@ Machine::translateNv(ObjectID oid)
     // physical frame; the low 12 bits index the VIPT L1 in parallel, so
     // a hit costs nothing extra and the TLB is not consulted.
     const uint64_t key = oid.raw >> 12;
-    if (auto hit = polb_.lookup(key)) {
+    if (auto hit = c.polb.lookup(key)) {
         x.paddr = (*hit) * kPageSize + oid.offset() % kPageSize;
         hXlatLat_->record(0);
-        POAT_TRACE(tracer_, core_->cycles(), TraceComponent::Polb,
+        POAT_TRACE(tracer_, c.model->cycles(), TraceComponent::Polb,
                    TraceOutcome::Hit, oid.raw, 0);
         return x;
     }
@@ -213,11 +251,11 @@ Machine::translateNv(ObjectID oid)
     hPotProbes_->record(w.probes);
     hPotLat_->record(x.pot);
     hXlatLat_->record(x.pot);
-    POAT_TRACE(tracer_, core_->cycles(), TraceComponent::Pot,
+    POAT_TRACE(tracer_, c.model->cycles(), TraceComponent::Pot,
                TraceOutcome::Walk, oid.raw, x.pot);
     const uint64_t vaddr = w.base + oid.offset();
     const uint64_t pfn = pageTable_.frameOf(vaddr);
-    polb_.insert(key, pfn);
+    c.polb.insert(key, pfn);
     x.paddr = pfn * kPageSize + oid.offset() % kPageSize;
     return x;
 }
@@ -225,16 +263,17 @@ Machine::translateNv(ObjectID oid)
 uint64_t
 Machine::nvLoad(ObjectID oid, uint64_t dep, uint64_t dep2)
 {
-    ++instructions_;
-    ++nvLoads_;
+    CoreState &c = cur();
+    ++c.instructions;
+    ++c.nvLoads;
     const NvXlat x = translateNv(oid);
-    const auto acc = caches_.accessClassified(x.paddr, false);
+    const auto acc = caches_.accessClassified(active_, x.paddr, false);
     hNvLoadLat_->record(x.preStall() + acc.latency);
-    POAT_TRACE(tracer_, core_->cycles(), TraceComponent::NvAccess,
+    POAT_TRACE(tracer_, c.model->cycles(), TraceComponent::NvAccess,
                TraceOutcome::Load, oid.raw, x.preStall() + acc.latency);
     AccessCosts costs{x.polb, x.pot, x.tlb, acc.latency,
                       levelComp(acc.level)};
-    const uint64_t tag = core_->load(costs, dep, dep2);
+    const uint64_t tag = c.model->load(costs, dep, dep2);
     if (timeline_)
         timelineTick();
     return tag;
@@ -243,16 +282,17 @@ Machine::nvLoad(ObjectID oid, uint64_t dep, uint64_t dep2)
 void
 Machine::nvStore(ObjectID oid, uint64_t dep)
 {
-    ++instructions_;
-    ++nvStores_;
+    CoreState &c = cur();
+    ++c.instructions;
+    ++c.nvStores;
     const NvXlat x = translateNv(oid);
-    const auto acc = caches_.accessClassified(x.paddr, true);
+    const auto acc = caches_.accessClassified(active_, x.paddr, true);
     hNvStoreLat_->record(x.preStall() + acc.latency);
-    POAT_TRACE(tracer_, core_->cycles(), TraceComponent::NvAccess,
+    POAT_TRACE(tracer_, c.model->cycles(), TraceComponent::NvAccess,
                TraceOutcome::Store, oid.raw, x.preStall() + acc.latency);
     AccessCosts costs{x.polb, x.pot, x.tlb, acc.latency,
                       levelComp(acc.level)};
-    core_->store(costs, dep);
+    c.model->store(costs, dep);
     if (timeline_)
         timelineTick();
 }
@@ -260,13 +300,14 @@ Machine::nvStore(ObjectID oid, uint64_t dep)
 void
 Machine::clwb(uint64_t vaddr)
 {
-    ++instructions_;
-    ++clwbs_;
+    CoreState &c = cur();
+    ++c.instructions;
+    ++c.clwbs;
     AccessCosts costs;
     costs.tlb = tlbPenalty(vaddr);
     const uint64_t pa = pageTable_.translate(vaddr);
     caches_.flushLine(pa);
-    core_->clwb(costs, cfg_.clwb_latency);
+    c.model->clwb(costs, cfg_.clwb_latency);
     if (timeline_)
         timelineTick();
 }
@@ -274,15 +315,16 @@ Machine::clwb(uint64_t vaddr)
 void
 Machine::nvClwb(ObjectID oid)
 {
-    ++instructions_;
-    ++clwbs_;
+    CoreState &c = cur();
+    ++c.instructions;
+    ++c.clwbs;
     const NvXlat x = translateNv(oid);
     caches_.flushLine(x.paddr);
-    POAT_TRACE(tracer_, core_->cycles(), TraceComponent::NvAccess,
+    POAT_TRACE(tracer_, c.model->cycles(), TraceComponent::NvAccess,
                TraceOutcome::Flush, oid.raw,
                cfg_.clwb_latency + x.preStall());
     AccessCosts costs{x.polb, x.pot, x.tlb, 0, CpiComponent::L1D};
-    core_->clwb(costs, cfg_.clwb_latency);
+    c.model->clwb(costs, cfg_.clwb_latency);
     if (timeline_)
         timelineTick();
 }
@@ -290,9 +332,10 @@ Machine::nvClwb(ObjectID oid)
 void
 Machine::fence()
 {
-    ++instructions_;
-    ++fences_;
-    core_->fence();
+    CoreState &c = cur();
+    ++c.instructions;
+    ++c.fences;
+    c.model->fence();
     if (timeline_)
         timelineTick();
 }
@@ -306,47 +349,53 @@ Machine::poolMapped(uint32_t pool_id, uint64_t vbase, uint64_t)
 void
 Machine::swTranslateBegin()
 {
-    if (swDepth_++ == 0)
-        core_->setSwTranslate(true);
+    CoreState &c = cur();
+    if (c.swDepth++ == 0)
+        c.model->setSwTranslate(true);
 }
 
 void
 Machine::swTranslateEnd()
 {
-    POAT_ASSERT(swDepth_ > 0, "unbalanced swTranslateEnd");
-    if (--swDepth_ == 0)
-        core_->setSwTranslate(false);
+    CoreState &c = cur();
+    POAT_ASSERT(c.swDepth > 0, "unbalanced swTranslateEnd");
+    if (--c.swDepth == 0)
+        c.model->setSwTranslate(false);
 }
 
 void
 Machine::txBegin(uint32_t pool_id, uint32_t op)
 {
-    ++txBegins_;
-    openTx_[pool_id] = TxSpan{core_->cycles(), op, clwbs_ + fences_};
+    CoreState &c = cur();
+    ++c.txBegins;
+    c.openTx[pool_id] =
+        TxSpan{c.model->cycles(), op, c.clwbs + c.fences};
 }
 
 void
 Machine::txCommit(uint32_t pool_id)
 {
-    const auto it = openTx_.find(pool_id);
-    POAT_ASSERT(it != openTx_.end(), "txCommit without txBegin");
-    ++txCommits_;
-    const uint64_t latency = core_->cycles() - it->second.begin_cycle;
+    CoreState &c = cur();
+    const auto it = c.openTx.find(pool_id);
+    POAT_ASSERT(it != c.openTx.end(), "txCommit without txBegin");
+    ++c.txCommits;
+    const uint64_t latency = c.model->cycles() - it->second.begin_cycle;
     hTxLat_->record(latency);
-    hTxDurab_->record(clwbs_ + fences_ - it->second.durab_at_begin);
+    hTxDurab_->record(c.clwbs + c.fences - it->second.durab_at_begin);
     const auto op = opLat_.find(it->second.op);
     if (op != opLat_.end())
         op->second->record(latency);
-    openTx_.erase(it);
+    c.openTx.erase(it);
 }
 
 void
 Machine::txAbort(uint32_t pool_id)
 {
-    const auto it = openTx_.find(pool_id);
-    POAT_ASSERT(it != openTx_.end(), "txAbort without txBegin");
-    ++txAborts_;
-    openTx_.erase(it);
+    CoreState &c = cur();
+    const auto it = c.openTx.find(pool_id);
+    POAT_ASSERT(it != c.openTx.end(), "txAbort without txBegin");
+    ++c.txAborts;
+    c.openTx.erase(it);
 }
 
 void
@@ -365,7 +414,10 @@ Machine::attachTimeline(telemetry::TimelineSampler *timeline)
     timeline_->setStatsSource(
         [this]() -> const StatsRegistry & { return stats(); });
     timeline_->addGauge("polb.occupancy", [this] {
-        return static_cast<uint64_t>(polb_.occupancy());
+        uint64_t occ = 0;
+        for (const auto &c : cores_)
+            occ += static_cast<uint64_t>(c->polb.occupancy());
+        return occ;
     });
     timeline_->addGauge("pot.outstanding_walks",
                         [this] { return potOutstanding_; });
@@ -375,66 +427,135 @@ void
 Machine::poolUnmapped(uint32_t pool_id)
 {
     pot_.remove(pool_id);
-    if (cfg_.polb_design == PolbDesign::Pipelined) {
-        polb_.invalidateIf(
-            [pool_id](uint64_t key) { return key == pool_id; });
-    } else {
-        polb_.invalidateIf([pool_id](uint64_t key) {
-            return (key >> 20) == pool_id;
-        });
+    // POLB shootdown: every core's POLB drops its entries for the
+    // pool, the hardware analogue of a TLB shootdown IPI. The
+    // initiating core's invalidation is local; remote cores count as
+    // broadcast shootdowns.
+    for (auto &c : cores_) {
+        if (cfg_.polb_design == PolbDesign::Pipelined) {
+            c->polb.invalidateIf(
+                [pool_id](uint64_t key) { return key == pool_id; });
+        } else {
+            c->polb.invalidateIf([pool_id](uint64_t key) {
+                return (key >> 20) == pool_id;
+            });
+        }
     }
+    polbShootdowns_ += cores_.size() - 1;
 }
 
 void
 Machine::syncStats() const
 {
     StatsRegistry &reg = stats_;
-    const CpiStack &cpi = core_->cpi();
-    POAT_ASSERT(cpi.total() == core_->cycles(),
-                "CPI stack does not sum to total cycles");
-    reg.counter("core.cycles") = core_->cycles();
-    reg.counter("core.instructions") = instructions_;
-    reg.counter("core.uops") = core_->uopCount();
-    reg.cpiStack("core.cpi") = cpi;
-    reg.counter("mem.loads") = loads_;
-    reg.counter("mem.stores") = stores_;
-    reg.counter("mem.nv_loads") = nvLoads_;
-    reg.counter("mem.nv_stores") = nvStores_;
-    reg.counter("mem.clwbs") = clwbs_;
-    reg.counter("mem.fences") = fences_;
-    reg.counter("cache.l1d.hits") = caches_.l1().hits();
-    reg.counter("cache.l1d.misses") = caches_.l1().misses();
-    reg.counter("cache.l1d.accesses") =
-        caches_.l1().hits() + caches_.l1().misses();
-    reg.counter("cache.l1d.writebacks") = caches_.l1().writebacks();
-    reg.counter("cache.l2.hits") = caches_.l2().hits();
-    reg.counter("cache.l2.misses") = caches_.l2().misses();
-    reg.counter("cache.l2.accesses") =
-        caches_.l2().hits() + caches_.l2().misses();
-    reg.counter("cache.l2.writebacks") = caches_.l2().writebacks();
+    const bool multi = cores_.size() > 1;
+
+    uint64_t cyc_max = 0, ins = 0, uops = 0;
+    uint64_t loads = 0, stores = 0, nv_loads = 0, nv_stores = 0;
+    uint64_t clwbs = 0, fences = 0;
+    uint64_t tlb_hits = 0, tlb_misses = 0;
+    uint64_t polb_hits = 0, polb_misses = 0, polb_accesses = 0;
+    uint64_t polb_evictions = 0, polb_capacity = 0;
+    uint64_t br_lookups = 0, br_mispredicts = 0;
+    uint64_t l1_hits = 0, l1_misses = 0, l1_wbs = 0;
+    uint64_t l2_hits = 0, l2_misses = 0, l2_wbs = 0;
+    uint64_t tx_begins = 0, tx_commits = 0, tx_aborts = 0;
+
+    for (size_t i = 0; i < cores_.size(); ++i) {
+        const CoreState &c = *cores_[i];
+        const CpiStack &cpi = c.model->cpi();
+        POAT_ASSERT(cpi.total() == c.model->cycles(),
+                    "CPI stack does not sum to total cycles");
+        if (multi) {
+            const std::string p = "core." + std::to_string(i) + ".";
+            reg.counter(p + "cycles") = c.model->cycles();
+            reg.counter(p + "instructions") = c.instructions;
+            reg.counter(p + "uops") = c.model->uopCount();
+            reg.cpiStack(p + "cpi") = cpi;
+        }
+        cyc_max = std::max(cyc_max, c.model->cycles());
+        ins += c.instructions;
+        uops += c.model->uopCount();
+        loads += c.loads;
+        stores += c.stores;
+        nv_loads += c.nvLoads;
+        nv_stores += c.nvStores;
+        clwbs += c.clwbs;
+        fences += c.fences;
+        tlb_hits += c.tlb.hits();
+        tlb_misses += c.tlb.misses();
+        polb_hits += c.polb.hits();
+        polb_misses += c.polb.misses();
+        polb_accesses += c.polb.accesses();
+        polb_evictions += c.polb.evictions();
+        polb_capacity += c.polb.capacity();
+        br_lookups += c.bp.branches();
+        br_mispredicts += c.bp.mispredicts();
+        const uint32_t ci = static_cast<uint32_t>(i);
+        l1_hits += caches_.l1(ci).hits();
+        l1_misses += caches_.l1(ci).misses();
+        l1_wbs += caches_.l1(ci).writebacks();
+        l2_hits += caches_.l2(ci).hits();
+        l2_misses += caches_.l2(ci).misses();
+        l2_wbs += caches_.l2(ci).writebacks();
+        tx_begins += c.txBegins;
+        tx_commits += c.txCommits;
+        tx_aborts += c.txAborts;
+    }
+
+    // Flat machine-wide keys: identical to the single-core naming when
+    // N == 1 (the aggregates degenerate to core 0's counters), so
+    // golden baselines and stats_diff gates survive unchanged.
+    reg.counter("core.cycles") = cyc_max;
+    reg.counter("core.instructions") = ins;
+    reg.counter("core.uops") = uops;
+    if (!multi) {
+        reg.cpiStack("core.cpi") = cores_[0]->model->cpi();
+    } else {
+        // An aggregate stack would sum to total core-cycles, not the
+        // makespan "core.cycles" reports; per-core stacks above are
+        // the truth, and a machine-wide one would break the
+        // sum == cycles contract, so none is emitted.
+        reg.counter("core.count") = cores_.size();
+        reg.counter("polb.shootdowns") = polbShootdowns_;
+    }
+    reg.counter("mem.loads") = loads;
+    reg.counter("mem.stores") = stores;
+    reg.counter("mem.nv_loads") = nv_loads;
+    reg.counter("mem.nv_stores") = nv_stores;
+    reg.counter("mem.clwbs") = clwbs;
+    reg.counter("mem.fences") = fences;
+    reg.counter("cache.l1d.hits") = l1_hits;
+    reg.counter("cache.l1d.misses") = l1_misses;
+    reg.counter("cache.l1d.accesses") = l1_hits + l1_misses;
+    reg.counter("cache.l1d.writebacks") = l1_wbs;
+    reg.counter("cache.l2.hits") = l2_hits;
+    reg.counter("cache.l2.misses") = l2_misses;
+    reg.counter("cache.l2.accesses") = l2_hits + l2_misses;
+    reg.counter("cache.l2.writebacks") = l2_wbs;
     reg.counter("cache.l3.hits") = caches_.l3().hits();
     reg.counter("cache.l3.misses") = caches_.l3().misses();
     reg.counter("cache.l3.accesses") =
         caches_.l3().hits() + caches_.l3().misses();
     reg.counter("cache.l3.writebacks") = caches_.l3().writebacks();
     reg.counter("cache.mem_accesses") = caches_.memAccesses();
-    reg.counter("tlb.hits") = tlb_.hits();
-    reg.counter("tlb.misses") = tlb_.misses();
-    reg.counter("tlb.accesses") = tlb_.hits() + tlb_.misses();
-    reg.counter("polb.hits") = polb_.hits();
-    reg.counter("polb.misses") = polb_.misses();
-    reg.counter("polb.accesses") = polb_.accesses();
-    reg.counter("polb.evictions") = polb_.evictions();
-    reg.counter("polb.capacity") = polb_.capacity();
+    reg.counter("tlb.hits") = tlb_hits;
+    reg.counter("tlb.misses") = tlb_misses;
+    reg.counter("tlb.accesses") = tlb_hits + tlb_misses;
+    reg.counter("polb.hits") = polb_hits;
+    reg.counter("polb.misses") = polb_misses;
+    reg.counter("polb.accesses") = polb_accesses;
+    reg.counter("polb.evictions") = polb_evictions;
+    reg.counter("polb.capacity") = polb_capacity;
     reg.counter("pot.walks") = pot_.walks();
     reg.counter("pot.probes") = pot_.probesTotal();
     reg.counter("pot.live_entries") = pot_.liveEntries();
-    reg.counter("branch.lookups") = bp_.branches();
-    reg.counter("branch.mispredicts") = bp_.mispredicts();
+    reg.counter("branch.lookups") = br_lookups;
+    reg.counter("branch.mispredicts") = br_mispredicts;
     reg.counter("vm.mapped_pages") = pageTable_.mappedPages();
-    reg.counter("tx.begins") = txBegins_;
-    reg.counter("tx.commits") = txCommits_;
-    reg.counter("tx.aborts") = txAborts_;
+    reg.counter("tx.begins") = tx_begins;
+    reg.counter("tx.commits") = tx_commits;
+    reg.counter("tx.aborts") = tx_aborts;
     reg.counter("tx.retries") = txRetries_;
 }
 
@@ -461,20 +582,25 @@ MachineMetrics
 Machine::metrics() const
 {
     MachineMetrics m;
-    m.cycles = core_->cycles();
-    m.instructions = instructions_;
-    m.loads = loads_;
-    m.stores = stores_;
-    m.nv_loads = nvLoads_;
-    m.nv_stores = nvStores_;
-    m.clwbs = clwbs_;
-    m.fences = fences_;
-    m.polb_hits = polb_.hits();
-    m.polb_misses = polb_.misses();
-    m.polb_evictions = polb_.evictions();
-    m.tlb_misses = tlb_.misses();
-    m.l1d_misses = caches_.l1().misses();
-    m.branch_mispredicts = bp_.mispredicts();
+    m.cycles = cycles();
+    for (const auto &cp : cores_) {
+        const CoreState &c = *cp;
+        m.instructions += c.instructions;
+        m.loads += c.loads;
+        m.stores += c.stores;
+        m.nv_loads += c.nvLoads;
+        m.nv_stores += c.nvStores;
+        m.clwbs += c.clwbs;
+        m.fences += c.fences;
+        m.polb_hits += c.polb.hits();
+        m.polb_misses += c.polb.misses();
+        m.polb_evictions += c.polb.evictions();
+        m.tlb_misses += c.tlb.misses();
+        m.branch_mispredicts += c.bp.mispredicts();
+    }
+    for (uint32_t i = 0; i < caches_.cores(); ++i)
+        m.l1d_misses += caches_.l1(i).misses();
+    m.polb_shootdowns = polbShootdowns_;
     m.pot_walks = pot_.walks();
     m.pot_walk_probes = pot_.probesTotal();
     return m;

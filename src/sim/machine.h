@@ -1,6 +1,7 @@
 /**
  * @file
- * Machine: the full simulated system (paper Figure 5).
+ * Machine: the full simulated system (paper Figure 5), generalized to
+ * N cores.
  *
  * Machine implements TraceSink and simulates the dynamic instruction
  * stream online as the workload executes: it resolves every address
@@ -8,12 +9,25 @@
  * addresses), and the cache hierarchy, then hands each instruction with
  * its latency components to the configured core timing model.
  *
+ * Multi-core: each core owns a private timing model, L1/L2, TLB,
+ * branch predictor, and POLB; L3, memory, the page table, and the POT
+ * are shared (paper section 3.3: the POT is a per-process OS
+ * structure). The TraceSink::coreSwitch event selects which core the
+ * following instructions retire on — the deterministic scheduler in
+ * pmem/concurrent/sched.h interleaves software threads one at a time, so the
+ * stream stays sequential and runs are bit-identical. Closing or
+ * remapping a pool broadcasts a POLB shootdown to every core, the
+ * hardware analogue of a TLB shootdown IPI.
+ *
  * Observability: the machine owns the run's hierarchical StatsRegistry
  * ("polb.hits", "pot.walk_latency", ...; see docs/OBSERVABILITY.md).
- * Scalar counters live in the components and are synced into the
- * registry on demand; latency histograms are recorded inline on the
- * nv translation path. An optional EventTracer receives cycle-stamped
- * POLB/POT/TLB/nv events through POAT_TRACE.
+ * Single-core machines emit exactly the original flat naming
+ * ("core.cycles", "core.cpi", "cache.l1d.*") so existing golden
+ * baselines survive; multi-core machines add per-core groups
+ * ("core.<i>.cycles", "core.<i>.cpi") next to machine-wide aggregates
+ * (cycles = makespan across cores, instruction and cache counters
+ * summed). The per-core CPI invariant — components sum exactly to that
+ * core's cycles — is asserted for every core on every stats sync.
  *
  * A POT miss on an nv access corresponds to the paper's trap to the
  * OS; since every pool a workload touches is mapped via poolMapped(),
@@ -27,6 +41,7 @@
 #include <memory>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "common/stats.h"
 #include "common/trace_event.h"
@@ -50,7 +65,7 @@ namespace sim {
 /** Aggregate run metrics exported after simulation. */
 struct MachineMetrics
 {
-    uint64_t cycles = 0;
+    uint64_t cycles = 0; ///< makespan: max over cores
     uint64_t instructions = 0;
     uint64_t loads = 0;
     uint64_t stores = 0;
@@ -61,6 +76,7 @@ struct MachineMetrics
     uint64_t polb_hits = 0;
     uint64_t polb_misses = 0;
     uint64_t polb_evictions = 0;
+    uint64_t polb_shootdowns = 0;
     uint64_t tlb_misses = 0;
     uint64_t l1d_misses = 0;
     uint64_t branch_mispredicts = 0;
@@ -81,7 +97,7 @@ struct MachineMetrics
     }
 };
 
-/** One simulated core plus its memory system and translation hardware. */
+/** N simulated cores plus their memory system and translation hardware. */
 class Machine : public TraceSink
 {
   public:
@@ -102,6 +118,7 @@ class Machine : public TraceSink
     void poolMapped(uint32_t pool_id, uint64_t vbase,
                     uint64_t size) override;
     void poolUnmapped(uint32_t pool_id) override;
+    void coreSwitch(uint32_t core) override;
     void swTranslateBegin() override;
     void swTranslateEnd() override;
     void txBegin(uint32_t pool_id, uint32_t op) override;
@@ -113,18 +130,36 @@ class Machine : public TraceSink
     /** Collected metrics for the run so far. */
     MachineMetrics metrics() const;
 
-    /** Cycles elapsed on the core. */
-    uint64_t cycles() const { return core_->cycles(); }
+    /** Makespan: cycles elapsed on the furthest-ahead core. */
+    uint64_t cycles() const;
 
-    /** Dynamic instructions observed. */
-    uint64_t instructions() const { return instructions_; }
+    /** Dynamic instructions observed, summed over cores. */
+    uint64_t instructions() const;
+
+    /** Number of simulated cores. */
+    uint32_t numCores() const
+    {
+        return static_cast<uint32_t>(cores_.size());
+    }
+
+    /** Core the next instruction retires on (see coreSwitch). */
+    uint32_t activeCore() const { return active_; }
 
     /**
-     * The core's CPI stack. Components sum exactly to cycles() — both
-     * cores maintain the invariant per instruction, and syncStats()
-     * asserts it on every stats access.
+     * Core @p core's CPI stack. Components sum exactly to that core's
+     * cycles — both core models maintain the invariant per instruction,
+     * and syncStats() asserts it for every core on every stats access.
      */
-    const CpiStack &cpi() const { return core_->cpi(); }
+    const CpiStack &cpi(uint32_t core = 0) const
+    {
+        return cores_[core]->model->cpi();
+    }
+
+    /** Cycles elapsed on one specific core. */
+    uint64_t coreCycles(uint32_t core) const
+    {
+        return cores_[core]->model->cycles();
+    }
 
     /**
      * The machine's hierarchical statistics registry, with every scalar
@@ -177,11 +212,14 @@ class Machine : public TraceSink
     telemetry::TimelineSampler *timeline() const { return timeline_; }
 
     const MachineConfig &config() const { return cfg_; }
-    Polb &polb() { return polb_; }
+    Polb &polb(uint32_t core = 0) { return cores_[core]->polb; }
     Pot &pot() { return pot_; }
-    Tlb &tlb() { return tlb_; }
+    Tlb &tlb(uint32_t core = 0) { return cores_[core]->tlb; }
     CacheHierarchy &caches() { return caches_; }
-    BranchPredictor &branchPredictor() { return bp_; }
+    BranchPredictor &branchPredictor(uint32_t core = 0)
+    {
+        return cores_[core]->bp;
+    }
 
   private:
     /**
@@ -198,10 +236,47 @@ class Machine : public TraceSink
         uint32_t preStall() const { return polb + pot + tlb; }
     };
 
+    /** An in-flight transaction span (see TraceSink::txBegin). */
+    struct TxSpan
+    {
+        uint64_t begin_cycle = 0;
+        uint32_t op = 0;
+        uint64_t durab_at_begin = 0; ///< clwbs + fences when it opened
+    };
+
+    /** Everything private to one simulated core. */
+    struct CoreState
+    {
+        explicit CoreState(const MachineConfig &cfg);
+
+        std::unique_ptr<CoreModel> model;
+        Tlb tlb;
+        Polb polb;
+        BranchPredictor bp;
+
+        uint64_t instructions = 0;
+        uint32_t swDepth = 0; ///< software-translation region nesting
+        uint64_t loads = 0;
+        uint64_t stores = 0;
+        uint64_t nvLoads = 0;
+        uint64_t nvStores = 0;
+        uint64_t clwbs = 0;
+        uint64_t fences = 0;
+
+        // Transaction-span profiling (pure observation; no timing).
+        std::map<uint32_t, TxSpan> openTx; ///< pool id -> open span
+        uint64_t txBegins = 0;
+        uint64_t txCommits = 0;
+        uint64_t txAborts = 0;
+    };
+
     /** Physical region where the in-memory POT walk reads its slots. */
     static constexpr uint64_t kPotPhysBase = 1ull << 46;
 
-    /** TLB charge for a virtual access (0 on hit). */
+    CoreState &cur() { return *cores_[active_]; }
+    const CoreState &cur() const { return *cores_[active_]; }
+
+    /** TLB charge for a virtual access on the active core (0 on hit). */
     uint32_t tlbPenalty(uint64_t vaddr);
 
     /** Cycles a resolved POT walk costs under the configured model. */
@@ -216,22 +291,12 @@ class Machine : public TraceSink
     /** Give the timeline sampler the current cycle (if one is on). */
     void timelineTick();
 
-    /** An in-flight transaction span (see TraceSink::txBegin). */
-    struct TxSpan
-    {
-        uint64_t begin_cycle = 0;
-        uint32_t op = 0;
-        uint64_t durab_at_begin = 0; ///< clwbs + fences when it opened
-    };
-
     MachineConfig cfg_;
-    std::unique_ptr<CoreModel> core_;
+    std::vector<std::unique_ptr<CoreState>> cores_;
+    uint32_t active_ = 0; ///< core the next instruction retires on
     CacheHierarchy caches_;
     PageTable pageTable_;
-    Tlb tlb_;
-    Polb polb_;
     Pot pot_;
-    BranchPredictor bp_;
     EventTracer *tracer_ = nullptr;
     telemetry::TimelineSampler *timeline_ = nullptr;
 
@@ -245,22 +310,9 @@ class Machine : public TraceSink
     Histogram *hTxLat_;      ///< tx.latency
     Histogram *hTxDurab_;    ///< tx.durability_events
 
-    uint64_t instructions_ = 0;
-    uint32_t swDepth_ = 0; ///< software-translation region nesting
-    uint64_t loads_ = 0;
-    uint64_t stores_ = 0;
-    uint64_t nvLoads_ = 0;
-    uint64_t nvStores_ = 0;
-    uint64_t clwbs_ = 0;
-    uint64_t fences_ = 0;
-
-    // Transaction-span profiling (pure observation; no timing).
-    std::map<uint32_t, TxSpan> openTx_;     ///< pool id -> open span
     std::map<uint32_t, Histogram *> opLat_; ///< op id -> tx.op.* hist
-    uint64_t txBegins_ = 0;
-    uint64_t txCommits_ = 0;
-    uint64_t txAborts_ = 0;
-    uint64_t txRetries_ = 0; ///< reserved for concurrent-tx retry loops
+    uint64_t txRetries_ = 0; ///< concurrent-tx retry loops (see engine)
+    uint64_t polbShootdowns_ = 0; ///< remote invalidations broadcast
 
     /**
      * POT walks in flight, exposed as the "pot.outstanding_walks"
@@ -269,6 +321,13 @@ class Machine : public TraceSink
      * future overlapped/MSHR-style walk models.
      */
     uint64_t potOutstanding_ = 0;
+
+  public:
+    /**
+     * Count an abort-retry loop iteration of the concurrent engine
+     * ("tx.retries"). Pure bookkeeping: no instructions, no cycles.
+     */
+    void noteTxRetry() { ++txRetries_; }
 };
 
 } // namespace sim

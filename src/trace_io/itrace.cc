@@ -107,6 +107,8 @@ eventKindName(uint8_t kind)
         return "txAbort";
       case EventKind::OpName:
         return "opName";
+      case EventKind::CoreSwitch:
+        return "coreSwitch";
     }
     return "?";
 }
@@ -411,6 +413,15 @@ TraceRecorder::txAbort(uint32_t pool_id)
 }
 
 void
+TraceRecorder::coreSwitch(uint32_t core)
+{
+    begin(EventKind::CoreSwitch);
+    put(core);
+    if (inner_)
+        inner_->coreSwitch(core);
+}
+
+void
 TraceRecorder::opName(uint32_t op, const char *name)
 {
     const size_t len = std::strlen(name);
@@ -579,6 +590,10 @@ TraceReplayer::replayInto(TraceSink &sink) const
             break;
           case EventKind::TxAbort:
             sink.txAbort(static_cast<uint32_t>(readVarint(d, n, &pos)));
+            break;
+          case EventKind::CoreSwitch:
+            sink.coreSwitch(
+                static_cast<uint32_t>(readVarint(d, n, &pos)));
             break;
           case EventKind::OpName: {
             const uint64_t op = readVarint(d, n, &pos);

@@ -58,10 +58,12 @@ inline constexpr char kMagic[8] = {'p', 'o', 'a', 't', 'i', 't', 'r', 'c'};
  * Format version this build reads and writes. v2 added the
  * SwTranslateBegin/SwTranslateEnd region markers (CPI-stack
  * attribution); v3 added the transaction-span records
- * (TxBegin/TxCommit/TxAbort/OpName) feeding the tx.* stats subtree.
- * Older files fail matches() and are silently recaptured.
+ * (TxBegin/TxCommit/TxAbort/OpName) feeding the tx.* stats subtree;
+ * v4 added the CoreSwitch scheduling record (deterministic multi-core
+ * interleaving). Older files fail matches() and are silently
+ * recaptured.
  */
-inline constexpr uint32_t kFormatVersion = 3;
+inline constexpr uint32_t kFormatVersion = 4;
 
 /** Bytes before the fingerprint (magic + version + 3 patched fields). */
 inline constexpr size_t kHeaderSize = 40;
@@ -86,10 +88,11 @@ enum class EventKind : uint8_t
     TxCommit,         ///< pool_id (v3)
     TxAbort,          ///< pool_id (v3)
     OpName,           ///< op, name length, raw name bytes (v3)
+    CoreSwitch,       ///< core (v4)
 };
 
 inline constexpr uint8_t kMinEventKind = 1;
-inline constexpr uint8_t kMaxEventKind = 17;
+inline constexpr uint8_t kMaxEventKind = 18;
 
 /** Human-readable name of a record kind ("?" if out of range). */
 const char *eventKindName(uint8_t kind);
@@ -168,6 +171,7 @@ class TraceRecorder : public TraceSink
     void txCommit(uint32_t pool_id) override;
     void txAbort(uint32_t pool_id) override;
     void opName(uint32_t op, const char *name) override;
+    void coreSwitch(uint32_t core) override;
     /// @}
 
   private:

@@ -96,7 +96,8 @@ makeTpccCrashDriver(uint64_t steps, uint64_t seed)
 }
 
 std::unique_ptr<CrashDriver>
-makeCrashDriver(const std::string &abbr, uint64_t steps, uint64_t seed)
+makeCrashDriver(const std::string &abbr, uint64_t steps, uint64_t seed,
+                uint32_t threads, uint64_t sched_seed)
 {
     if (abbr == "LL")
         return makeListCrashDriver(steps, seed);
@@ -112,17 +113,27 @@ makeCrashDriver(const std::string &abbr, uint64_t steps, uint64_t seed)
         return makeBplusCrashDriver(steps, seed);
     if (abbr == "TPCC")
         return makeTpccCrashDriver(steps, seed);
+    if (abbr == "LHT")
+        return makeLhtCrashDriver(steps, seed, threads, sched_seed);
+    if (abbr == "MTPCC")
+        return makeMtpccCrashDriver(steps, seed, threads, sched_seed);
     throw std::invalid_argument("unknown crash workload '" + abbr +
                                 "' (expected one of LL, BST, SPS, RBT, "
-                                "BT, B+T, TPCC)");
+                                "BT, B+T, TPCC, LHT, MTPCC)");
 }
 
 const std::vector<std::string> &
 crashWorkloadNames()
 {
     static const std::vector<std::string> names = {
-        "LL", "BST", "SPS", "RBT", "BT", "B+T", "TPCC"};
+        "LL", "BST", "SPS", "RBT", "BT", "B+T", "TPCC", "LHT", "MTPCC"};
     return names;
+}
+
+bool
+isConcurrentCrashWorkload(const std::string &abbr)
+{
+    return abbr == "LHT" || abbr == "MTPCC";
 }
 
 } // namespace workloads

@@ -88,12 +88,24 @@ inline constexpr uint64_t kCrashPoolBytes = 1ull << 20;
  */
 bool oidPlausible(PmemRuntime &rt, ObjectID oid, uint32_t size);
 
-/** Instantiate a crash driver by abbreviation; throws on unknown. */
+/**
+ * Instantiate a crash driver by abbreviation; throws on unknown.
+ * @param threads worker threads for the concurrent drivers (LHT,
+ *        MTPCC); 0 picks their default. Sequential drivers ignore it.
+ * @param sched_seed deterministic-scheduler interleaving seed (the
+ *        `tSEED` reproducer token); sequential drivers ignore it.
+ */
 std::unique_ptr<CrashDriver> makeCrashDriver(const std::string &abbr,
-                                             uint64_t steps, uint64_t seed);
+                                             uint64_t steps, uint64_t seed,
+                                             uint32_t threads = 0,
+                                             uint64_t sched_seed = 0);
 
-/** All crash-explorable workloads: the six microbenchmarks + TPCC. */
+/** All crash-explorable workloads: microbenchmarks + TPCC + the
+ *  concurrent pair (LHT, MTPCC). */
 const std::vector<std::string> &crashWorkloadNames();
+
+/** True if @p abbr runs concurrent transactions (threads/tSEED apply). */
+bool isConcurrentCrashWorkload(const std::string &abbr);
 
 /// @name Per-workload factories (defined next to each workload)
 /// @{
@@ -111,6 +123,14 @@ std::unique_ptr<CrashDriver> makeBplusCrashDriver(uint64_t steps,
                                                   uint64_t seed);
 std::unique_ptr<CrashDriver> makeTpccCrashDriver(uint64_t steps,
                                                  uint64_t seed);
+std::unique_ptr<CrashDriver> makeLhtCrashDriver(uint64_t steps,
+                                                uint64_t seed,
+                                                uint32_t threads,
+                                                uint64_t sched_seed);
+std::unique_ptr<CrashDriver> makeMtpccCrashDriver(uint64_t steps,
+                                                  uint64_t seed,
+                                                  uint32_t threads,
+                                                  uint64_t sched_seed);
 /// @}
 
 } // namespace workloads

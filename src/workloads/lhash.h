@@ -1,0 +1,163 @@
+/**
+ * @file
+ * LHT: a persistent linear hash table driven by concurrent workers.
+ *
+ * The table is classic linear hashing (Litwin '80): a directory of
+ * bucket-head ObjectIDs, a split pointer, and a level; buckets split
+ * one at a time as load grows, doubling the table incrementally. Keys
+ * live in chained nodes { key, value, next }.
+ *
+ * Concurrency model (the reason this workload exists): workers run
+ * under the ConcurrentEngine with two-phase locks from the stripe map
+ * — stripe(key) = hash(key) mod N0 (the INITIAL bucket count) is
+ * stable across splits, and bucket b only ever holds keys of stripe
+ * b mod N0, so one exclusive stripe lock covers an operation's whole
+ * footprint, splits of that stripe included. Splits additionally take
+ * the metadata lock (split pointer, level), giving real multi-lock
+ * transactions: an insert holding its key's stripe lock that then
+ * needs the metadata lock plus the split bucket's stripe lock can
+ * close a waits-for cycle with a peer, which exercises deadlock
+ * detection and abort-retry. Per-stripe element counts live in the
+ * root at disjoint offsets, so concurrent undo logs never snapshot
+ * overlapping ranges.
+ *
+ * Single-threaded use passes a null engine: locks and yields become
+ * no-ops and the table behaves like the other microbenchmarks.
+ */
+#ifndef POAT_WORKLOADS_LHASH_H
+#define POAT_WORKLOADS_LHASH_H
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "pmem/concurrent/engine.h"
+#include "workloads/harness.h"
+
+namespace poat {
+namespace workloads {
+
+/** Persistent linear hash table (see file header). */
+class LinearHashTable
+{
+  public:
+    /// @name Geometry
+    /// @{
+    static constexpr uint32_t kStripes = 8;      ///< N0: initial buckets
+    static constexpr uint32_t kDirEntries = 256; ///< directory capacity
+    static constexpr uint32_t kNodeSize = 24;
+    /// @}
+
+    /** Lock key of the metadata (split pointer / level) lock. */
+    static constexpr uint64_t kMetaLockKey = 1ull << 32;
+
+    /**
+     * @param eng engine whose locks/yields serialize workers; null for
+     *        single-threaded use (every lock/yield is then a no-op).
+     * @param transactions failure safety on/off (the *_NTX configs).
+     */
+    LinearHashTable(PmemRuntime &rt, concurrent::ConcurrentEngine *eng,
+                    uint32_t pool_id, bool transactions = true);
+
+    /** Allocate and publish the root + directory (non-transactional). */
+    void create();
+
+    /** Bind to a table create() already published in this pool. */
+    void attach();
+
+    /** Stripe of @p key: the lock an operation on it must hold. */
+    static uint64_t stripeOf(uint64_t key) { return mix(key) % kStripes; }
+
+    /// @name Operations (each is one transaction body; call inside
+    /// ConcurrentEngine::txRun when running concurrently)
+    /// @{
+    /** Insert or update; true if the key was new. May split a bucket. */
+    bool insert(uint64_t key, uint64_t value);
+
+    /** Remove; true if the key was present. */
+    bool erase(uint64_t key);
+
+    /** Look up; true on hit (and *value filled if non-null). */
+    bool lookup(uint64_t key, uint64_t *value);
+    /// @}
+
+    /// @name Verification and accounting (host-speed, no emission)
+    /// @{
+    /**
+     * Structural consistency of the (possibly recovered) table: every
+     * node sits in the bucket its key hashes to under the current
+     * metadata, chains are acyclic and in-bounds, keys are unique, and
+     * the per-stripe counts match the chains. Any prefix of committed
+     * transactions satisfies this.
+     */
+    bool verify(std::string *why);
+
+    /** All reachable payloads (root, directory, nodes). */
+    void collectReachable(std::map<uint32_t, std::set<uint32_t>> *out);
+
+    /** Order-sensitive fold over buckets and chains. */
+    uint64_t checksum();
+
+    /** Elements in the table (sum of stripe counts). */
+    uint64_t size();
+
+    /** Buckets currently active. */
+    uint32_t buckets();
+    /// @}
+
+  private:
+    static uint64_t mix(uint64_t x);
+
+    static uint64_t bucketOf(uint64_t h, uint32_t level,
+                             uint32_t split_next);
+
+    void lockX(uint64_t key);
+    void lockS(uint64_t key);
+    void maybeYield();
+
+    /** Split the bucket at the split pointer (metadata lock held). */
+    void splitOne(TxScope &tx);
+
+    PmemRuntime &rt_;
+    concurrent::ConcurrentEngine *eng_;
+    uint32_t pool_;
+    bool transactions_;
+    ObjectID root_;
+    ObjectID dir_;
+};
+
+/**
+ * The LHT workload: N engine workers hammer one shared table with a
+ * deterministic per-worker mix of inserts, erases, and lookups.
+ */
+class LhtWorkload : public Workload
+{
+  public:
+    /**
+     * @param threads engine workers (1 = degenerate single-worker run,
+     *        still through the engine).
+     * @param sched_seed DetScheduler interleaving seed (tSEED).
+     * @param commit_window group-commit window (<= 1 disables).
+     */
+    LhtWorkload(const WorkloadConfig &cfg, uint32_t threads,
+                uint64_t sched_seed, uint32_t commit_window);
+
+    const char *name() const override { return "LHT"; }
+    WorkloadResult run(PmemRuntime &rt) override;
+
+    /** Engine statistics of the last run(). */
+    const concurrent::EngineStats &engineStats() const { return stats_; }
+
+  private:
+    WorkloadConfig cfg_;
+    uint32_t threads_;
+    uint64_t schedSeed_;
+    uint32_t commitWindow_;
+    concurrent::EngineStats stats_{};
+};
+
+} // namespace workloads
+} // namespace poat
+
+#endif // POAT_WORKLOADS_LHASH_H

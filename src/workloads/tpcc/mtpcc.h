@@ -1,0 +1,71 @@
+/**
+ * @file
+ * MTPCC: the TPC-C mix driven by N concurrent engine workers.
+ *
+ * One shared TpccDb, N workers: each worker loops runOne() inside
+ * ConcurrentEngine::txRun, so every transaction runs under two-phase
+ * district/stock/warehouse locks with deadlock abort-retry, commits
+ * batch through the group-commit window, and the deterministic
+ * scheduler interleaves workers at lock-acquisition and yield points.
+ * A 1-thread MTPCC run degenerates to TPCC through the engine (same
+ * mix, same database), which is what the scaling benchmark compares
+ * against.
+ *
+ * Per-worker results are merged after each txRun (the merge runs
+ * between yield points, so it is atomic); on an abort-retry the
+ * worker's temporary result is reset, so only the committed execution
+ * counts.
+ */
+#ifndef POAT_WORKLOADS_TPCC_MTPCC_H
+#define POAT_WORKLOADS_TPCC_MTPCC_H
+
+#include "workloads/tpcc/tpcc.h"
+
+namespace poat {
+namespace workloads {
+namespace tpcc {
+
+/** The multi-threaded TPCC workload wrapper for the driver. */
+class MtpccWorkload
+{
+  public:
+    /**
+     * @param threads engine workers (also simulated cores).
+     * @param sched_seed DetScheduler interleaving seed (tSEED).
+     * @param commit_window group-commit window (<= 1 disables).
+     * @param txn_count total transactions, split across workers.
+     */
+    MtpccWorkload(Placement placement, uint32_t scale_pct, uint64_t seed,
+                  uint64_t txn_count, uint32_t threads,
+                  uint64_t sched_seed, uint32_t commit_window,
+                  bool transactions = true, uint32_t warehouses = 1)
+        : placement_(placement), scalePct_(scale_pct), seed_(seed),
+          txnCount_(txn_count), threads_(threads), schedSeed_(sched_seed),
+          commitWindow_(commit_window), transactions_(transactions),
+          warehouses_(warehouses)
+    {
+    }
+
+    TpccResult run(PmemRuntime &rt);
+
+    /** Engine statistics of the last run(). */
+    const concurrent::EngineStats &engineStats() const { return stats_; }
+
+  private:
+    Placement placement_;
+    uint32_t scalePct_;
+    uint64_t seed_;
+    uint64_t txnCount_;
+    uint32_t threads_;
+    uint64_t schedSeed_;
+    uint32_t commitWindow_;
+    bool transactions_;
+    uint32_t warehouses_;
+    concurrent::EngineStats stats_{};
+};
+
+} // namespace tpcc
+} // namespace workloads
+} // namespace poat
+
+#endif // POAT_WORKLOADS_TPCC_MTPCC_H

@@ -458,7 +458,43 @@ TpccDb::nuRand(uint64_t a, uint64_t x, uint64_t y)
 }
 
 // ---------------------------------------------------------------------
+// Concurrency hooks (no-ops without an engine; see tpcc.h)
+// ---------------------------------------------------------------------
+
+void
+TpccDb::lockX(uint64_t key)
+{
+    if (eng_)
+        eng_->lockExclusive(key);
+}
+
+void
+TpccDb::lockS(uint64_t key)
+{
+    if (eng_)
+        eng_->lockShared(key);
+}
+
+void
+TpccDb::maybeYield()
+{
+    if (eng_)
+        eng_->yield();
+}
+
+// ---------------------------------------------------------------------
 // Transactions (TPC-C v5.11 sections 2.4 - 2.8)
+//
+// Concurrent structure: every transaction is draw -> lock -> mutate.
+// Inputs are drawn first (no yields, so the per-transaction RNG slice
+// is atomic), then every lock is acquired — the only phase that can
+// yield or throw DeadlockAbort — and only then does the yield-free
+// mutation phase open its TxScope. Locks are logical: X(district w,d)
+// covers that district's tuple, its customers, and its orders/order
+// lines; X(stock w,i) one stock row; X(warehouse w) the warehouse YTD.
+// The shared B+ trees are safe because tree reads and updates only
+// happen inside yield-free phases, so no two workers ever interleave
+// within a tree operation or hold overlapping node snapshots.
 // ---------------------------------------------------------------------
 
 bool
@@ -495,6 +531,15 @@ TpccDb::newOrder(TpccResult &res)
         ++res.rollbacks;
         return false;
     }
+
+    // Lock phase: the district allocating the order id, then every
+    // stock row in drawn order. Two new orders locking stock in
+    // different orders can close a waits-for cycle — the deadlock
+    // detector aborts the requester and txRun retries.
+    lockX(kLockDistrict | districtKey(w, d));
+    for (uint64_t i = 0; i < ol_cnt; ++i)
+        lockX(kLockStock | stockKey(supply[i], items[i]));
+    maybeYield();
 
     walAppend(1, (w << 32) | d, c);
     rt_.setOp("new_order");
@@ -647,6 +692,14 @@ TpccDb::payment(TpccResult &res)
     }
     const uint64_t amount = 100 + rng_.below(500000 - 100 + 1);
 
+    // Lock phase: warehouse YTD, the home district, and (15% of the
+    // time) the remote customer's district.
+    lockX(kLockWarehouse | w);
+    lockX(kLockDistrict | districtKey(w, d));
+    if (cw != w || cd != d)
+        lockX(kLockDistrict | districtKey(cw, cd));
+    maybeYield();
+
     walAppend(2, (w << 32) | d, (c << 32) | amount);
     rt_.setOp("payment");
     TxScope tx(rt_, transactions_);
@@ -696,6 +749,11 @@ TpccDb::orderStatus(TpccResult &res)
     const uint64_t d = 1 + rng_.below(cards_.districts);
     const uint64_t c = nuRand(1023, 1, cards_.customers_per_district);
 
+    // Read-only: a shared district lock holds off writers to this
+    // district's customer and order rows for the duration.
+    lockS(kLockDistrict | districtKey(w, d));
+    maybeYield();
+
     const ObjectID cu(
         trees_[kCustomer]->find(customerKey(w, d, c)).value());
     ObjectRef cref = rt_.deref(cu);
@@ -729,10 +787,21 @@ TpccDb::delivery(TpccResult &res)
 {
     const uint64_t w = 1 + rng_.below(cards_.warehouses);
     const uint64_t carrier = 1 + rng_.below(10);
+
+    // Lock phase: every district of the warehouse, in ascending order
+    // (no delivery-delivery cycles; cycles against payments holding a
+    // high district while waiting on a low one are real and aborted).
+    for (uint64_t d = 1; d <= cards_.districts; ++d)
+        lockX(kLockDistrict | districtKey(w, d));
+    maybeYield();
+
     walAppend(4, (w << 32) | carrier, 0);
 
     rt_.setOp("delivery");
     for (uint64_t d = 1; d <= cards_.districts; ++d) {
+        // Safe yield: the previous district's TxScope committed, and
+        // peers can only mutate other warehouses' rows here.
+        maybeYield();
         const auto oldest = trees_[kNewOrder]->findFirst(
             orderKey(w, d, 0), orderKey(w, d, ~0u));
         if (!oldest)
@@ -781,6 +850,13 @@ TpccDb::stockLevel(TpccResult &res)
     const uint64_t d = 1 + rng_.below(cards_.districts);
     const uint64_t threshold = 10 + rng_.below(11);
 
+    // Read-only: block writers to this district's order lines. Stock
+    // rows are read without per-row locks (spec section 3.4.1 runs
+    // Stock-Level at relaxed isolation); reads stay untorn because
+    // writers only yield between complete transactions.
+    lockS(kLockDistrict | districtKey(w, d));
+    maybeYield();
+
     const ObjectID di(
         trees_[kDistrict]->find(districtKey(w, d)).value());
     const uint64_t next_o =
@@ -809,26 +885,31 @@ TpccDb::stockLevel(TpccResult &res)
     ++res.stock_levels;
 }
 
+void
+TpccDb::runOne(TpccResult &res)
+{
+    ++res.transactions;
+    // Standard mix (TPC-C section 5.2.3 minimums): 45% NewOrder,
+    // 43% Payment, 4% each of the rest.
+    const uint64_t dice = rng_.below(100);
+    if (dice < 45)
+        newOrder(res);
+    else if (dice < 88)
+        payment(res);
+    else if (dice < 92)
+        orderStatus(res);
+    else if (dice < 96)
+        delivery(res);
+    else
+        stockLevel(res);
+}
+
 TpccResult
 TpccDb::run(uint64_t count)
 {
     TpccResult res;
-    for (uint64_t t = 0; t < count; ++t) {
-        ++res.transactions;
-        // Standard mix (TPC-C section 5.2.3 minimums): 45% NewOrder,
-        // 43% Payment, 4% each of the rest.
-        const uint64_t dice = rng_.below(100);
-        if (dice < 45)
-            newOrder(res);
-        else if (dice < 88)
-            payment(res);
-        else if (dice < 92)
-            orderStatus(res);
-        else if (dice < 96)
-            delivery(res);
-        else
-            stockLevel(res);
-    }
+    for (uint64_t t = 0; t < count; ++t)
+        runOne(res);
     return res;
 }
 

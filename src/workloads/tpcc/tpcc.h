@@ -32,6 +32,7 @@
 #include <memory>
 #include <string>
 
+#include "pmem/concurrent/engine.h"
 #include "workloads/bplustree.h"
 #include "workloads/harness.h"
 
@@ -118,6 +119,22 @@ class TpccDb
     /** Run @p count transactions of the standard mix. */
     TpccResult run(uint64_t count);
 
+    /**
+     * Run ONE transaction of the standard mix. Exactly the body of
+     * run()'s loop, so a single-threaded run(n) and n runOne() calls
+     * produce identical RNG streams and results. Under a concurrent
+     * engine this is the unit of work a worker wraps in txRun().
+     */
+    void runOne(TpccResult &res);
+
+    /**
+     * Attach (or detach, with nullptr) the concurrent engine whose
+     * two-phase locks and yields serialize workers. Null (the default)
+     * makes every lock/yield a no-op — the single-threaded behavior,
+     * bit-identical to the pre-concurrency database.
+     */
+    void setEngine(concurrent::ConcurrentEngine *eng) { eng_ = eng; }
+
     /// @name Individual transactions (exposed for tests)
     /// @{
     bool newOrder(TpccResult &res);
@@ -134,6 +151,23 @@ class TpccDb
     bool consistent();
 
   private:
+    /// @name Lock-key namespace (private to this database's engine)
+    /// Each transaction acquires all its locks BEFORE its first
+    /// persistent write and yields only while holding no open undo
+    /// transaction with snapshotted ranges, so a deadlock abort never
+    /// unwinds a mutation and two in-flight undo logs never snapshot
+    /// overlapping ranges (the shared B+ trees make per-row range
+    /// disjointness impossible to guarantee otherwise).
+    /// @{
+    static constexpr uint64_t kLockWarehouse = 1ull << 56;
+    static constexpr uint64_t kLockDistrict = 2ull << 56;
+    static constexpr uint64_t kLockStock = 3ull << 56;
+    /// @}
+
+    void lockX(uint64_t key);
+    void lockS(uint64_t key);
+    void maybeYield();
+
     uint32_t poolOf(Table t, uint64_t w) const;
     ObjectID allocTuple(TxScope &tx, Table t, uint64_t w, uint32_t size);
 
@@ -157,6 +191,7 @@ class TpccDb
     Cardinalities cards_;
     Rng rng_;
     bool transactions_;
+    concurrent::ConcurrentEngine *eng_ = nullptr;
 
     std::array<uint32_t, kTableCount> pools_{};
     /** PerWarehouse placement: pools_[t] is unused; this is indexed

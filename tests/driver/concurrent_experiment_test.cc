@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Driver-level tests for the concurrent workloads: BASE/OPT functional
+ * equivalence, per-core statistics (and the per-core CPI invariant),
+ * single-core stats-key compatibility, engine.* counter export, and
+ * sweep equivalence across --jobs values.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/cpi.h"
+#include "driver/experiment.h"
+#include "driver/sweep.h"
+
+namespace poat {
+namespace driver {
+namespace {
+
+ExperimentConfig
+lhtConfig(TranslationMode mode, uint32_t threads)
+{
+    ExperimentConfig c;
+    c.workload = "LHT";
+    c.scale_pct = 10;
+    c.threads = threads;
+    c.sched_seed = 7;
+    c.mode = mode;
+    c.seed = 1;
+    return c;
+}
+
+ExperimentConfig
+mtpccConfig(TranslationMode mode, uint32_t threads)
+{
+    ExperimentConfig c;
+    c.workload = "MTPCC";
+    c.placement = workloads::tpcc::Placement::All;
+    c.tpcc_scale_pct = 2;
+    c.tpcc_txns = 30;
+    c.threads = threads;
+    c.sched_seed = 7;
+    c.mode = mode;
+    c.seed = 1;
+    return c;
+}
+
+TEST(ConcurrentExperiment, BaseAndOptAgreeFunctionally)
+{
+    // Translation mode is a timing choice; the committed state — and
+    // so the workload checksum — must be bit-identical across it.
+    const auto lht_base =
+        runExperiment(lhtConfig(TranslationMode::Software, 4));
+    const auto lht_opt =
+        runExperiment(lhtConfig(TranslationMode::Hardware, 4));
+    EXPECT_EQ(lht_base.workload_checksum, lht_opt.workload_checksum);
+    EXPECT_NE(lht_base.workload_checksum, 0u);
+
+    const auto mt_base =
+        runExperiment(mtpccConfig(TranslationMode::Software, 2));
+    const auto mt_opt =
+        runExperiment(mtpccConfig(TranslationMode::Hardware, 2));
+    EXPECT_EQ(mt_base.workload_checksum, mt_opt.workload_checksum);
+}
+
+TEST(ConcurrentExperiment, ExportsPerCoreStatsAndCpiInvariant)
+{
+    const auto res =
+        runExperiment(lhtConfig(TranslationMode::Hardware, 4));
+    const auto &counters = res.stats.counters();
+    ASSERT_TRUE(counters.count("core.count"));
+    EXPECT_EQ(counters.at("core.count"), 4u);
+
+    uint64_t makespan = 0;
+    for (uint32_t i = 0; i < 4; ++i) {
+        const std::string p = "core." + std::to_string(i) + ".";
+        ASSERT_TRUE(counters.count(p + "cycles")) << p;
+        const uint64_t cycles = counters.at(p + "cycles");
+        EXPECT_GT(cycles, 0u) << "core " << i << " never ran";
+        makespan = std::max(makespan, cycles);
+
+        // Per-core CPI invariant: the stack's components sum exactly
+        // to that core's cycles.
+        ASSERT_TRUE(res.stats.cpiStacks().count(p + "cpi"));
+        EXPECT_EQ(res.stats.cpiStacks().at(p + "cpi").total(), cycles);
+    }
+    // Machine-wide cycles is the makespan across cores.
+    EXPECT_EQ(counters.at("core.cycles"), makespan);
+    EXPECT_EQ(res.metrics.cycles, makespan);
+
+    // Engine aggregates ride along as engine.* counters.
+    ASSERT_TRUE(counters.count("engine.commits"));
+    EXPECT_EQ(counters.at("engine.commits"), res.engine.commits);
+    EXPECT_GT(res.engine.commits, 0u);
+    EXPECT_GT(res.engine.switches, 0u);
+}
+
+TEST(ConcurrentExperiment, SingleCoreKeepsFlatStatsKeys)
+{
+    // Sequential workloads must emit exactly the historical flat names
+    // — golden baselines and stats_diff gates depend on the shape.
+    ExperimentConfig c;
+    c.workload = "SPS";
+    c.scale_pct = 5;
+    c.mode = TranslationMode::Hardware;
+    const auto res = runExperiment(c);
+    const auto &counters = res.stats.counters();
+    EXPECT_TRUE(counters.count("core.cycles"));
+    EXPECT_FALSE(counters.count("core.count"));
+    EXPECT_FALSE(counters.count("core.0.cycles"));
+    ASSERT_TRUE(res.stats.cpiStacks().count("core.cpi"));
+    EXPECT_EQ(res.stats.cpiStacks().at("core.cpi").total(),
+              res.metrics.cycles);
+}
+
+TEST(ConcurrentExperiment, SweepIsJobCountInvariant)
+{
+    std::vector<ExperimentConfig> cfgs = {
+        lhtConfig(TranslationMode::Software, 2),
+        lhtConfig(TranslationMode::Hardware, 2),
+        mtpccConfig(TranslationMode::Hardware, 2),
+    };
+    SweepOptions serial;
+    serial.jobs = 1;
+    SweepOptions wide;
+    wide.jobs = 4;
+    const auto a = runSweep(cfgs, serial);
+    const auto b = runSweep(cfgs, wide);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].metrics.cycles, b[i].metrics.cycles) << i;
+        EXPECT_EQ(a[i].workload_checksum, b[i].workload_checksum) << i;
+        EXPECT_EQ(a[i].engine.commits, b[i].engine.commits) << i;
+        EXPECT_EQ(a[i].engine.switches, b[i].engine.switches) << i;
+    }
+}
+
+TEST(ConcurrentExperiment, SchedSeedChangesInterleavingNotSafety)
+{
+    // A different interleaving seed reorders commits (different
+    // checksum is expected and fine) but every run still completes
+    // all transactions.
+    const auto a =
+        runExperiment(mtpccConfig(TranslationMode::Hardware, 4));
+    auto cfg = mtpccConfig(TranslationMode::Hardware, 4);
+    cfg.sched_seed = 99;
+    const auto b = runExperiment(cfg);
+    EXPECT_EQ(a.engine.commits, b.engine.commits);
+    EXPECT_EQ(a.workload_operations, b.workload_operations);
+}
+
+} // namespace
+} // namespace driver
+} // namespace poat

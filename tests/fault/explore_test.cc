@@ -182,7 +182,90 @@ TEST(Explore, UnknownWorkloadThrows)
                  std::invalid_argument);
     ExploreOptions o = smallRun("XX");
     EXPECT_THROW(fault::explore(o), std::invalid_argument);
-    EXPECT_EQ(workloads::crashWorkloadNames().size(), 7u);
+    EXPECT_EQ(workloads::crashWorkloadNames().size(), 9u);
+}
+
+TEST(Explore, ConcurrentReproCarriesSchedulerTokens)
+{
+    fault::Failure f;
+    f.workload = "LHT";
+    f.steps = 12;
+    f.seed = 4;
+    f.k = 9;
+    f.sched_seed = 5;
+    // tSEED always rides along for concurrent workloads; nTHREADS only
+    // when the producing run overrode the default.
+    EXPECT_EQ(f.repro(), "LHT:12:4:9:t5");
+    f.threads = 3;
+    EXPECT_EQ(f.repro(), "LHT:12:4:9:t5:n3");
+    f.j = 2;
+    f.evict_num = 1;
+    f.evict_den = 8;
+    EXPECT_EQ(f.repro(), "LHT:12:4:9:2:t5:n3:e1/8");
+
+    // Sequential workloads keep their historical shape: no t/n tokens
+    // even when the options carried concurrency knobs.
+    fault::Failure seq;
+    seq.workload = "B+T";
+    seq.steps = 12;
+    seq.seed = 4;
+    seq.k = 9;
+    seq.sched_seed = 5;
+    seq.threads = 3;
+    EXPECT_EQ(seq.repro(), "B+T:12:4:9");
+}
+
+TEST(Explore, ConcurrentReproReplaysThroughTheParser)
+{
+    // A healthy LHT trial replays clean with scheduler seed and thread
+    // count parsed from the string, in every token combination.
+    EXPECT_TRUE(fault::replayRepro("LHT:3:1:2:t5").empty());
+    EXPECT_TRUE(fault::replayRepro("LHT:3:1:2:t5:n3").empty());
+    EXPECT_TRUE(fault::replayRepro("LHT:3:1:2:0:t5:n2").empty());
+    EXPECT_THROW(fault::replayRepro("LHT:3:1:2:t"),
+                 std::invalid_argument);
+    EXPECT_THROW(fault::replayRepro("LHT:3:1:2:n2:t5"),
+                 std::invalid_argument); // tokens are ordered: t then n
+}
+
+TEST(Explore, ConcurrentWorkloadsPassSmallExploration)
+{
+    for (const char *wl : {"LHT", "MTPCC"}) {
+        ExploreOptions o;
+        o.workload = wl;
+        o.steps = 3;
+        o.seed = 3;
+        o.jobs = 2;
+        o.sched_seed = 1;
+        o.sample = 40;
+        o.inner_cap = 2;
+        const ExploreReport rep = fault::explore(o);
+        EXPECT_TRUE(rep.ok()) << wl << ": " << firstFailure(rep);
+        EXPECT_GT(rep.trials, 0u) << wl;
+    }
+}
+
+TEST(Explore, ConcurrentExplorationIsJobCountInvariant)
+{
+    ExploreOptions o;
+    o.workload = "LHT";
+    o.steps = 4;
+    o.seed = 7;
+    o.sched_seed = 2;
+    o.sample = 25;
+    o.inner_cap = 1;
+    o.jobs = 1;
+    const ExploreReport serial = fault::explore(o);
+    o.jobs = 4;
+    const ExploreReport wide = fault::explore(o);
+    EXPECT_EQ(serial.total_events, wide.total_events);
+    EXPECT_EQ(serial.trials, wide.trials);
+    EXPECT_EQ(serial.recovery_trials, wide.recovery_trials);
+    EXPECT_EQ(serial.crashes_injected, wide.crashes_injected);
+    EXPECT_EQ(serial.undo_entries_rolled_back,
+              wide.undo_entries_rolled_back);
+    EXPECT_EQ(serial.failures.size(), wide.failures.size());
+    EXPECT_TRUE(serial.ok()) << firstFailure(serial);
 }
 
 } // namespace

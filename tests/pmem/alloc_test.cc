@@ -224,5 +224,35 @@ TEST(Alloc, DeferredPersistLeavesDurableHeapUntouched)
     EXPECT_TRUE(alloc.validate());
 }
 
+TEST(Alloc, StaleAbsorbedHeaderIsNotAllocated)
+{
+    // Freeing a block that coalesces into its previous neighbour
+    // rewrites only the surviving merged header; the absorbed block's
+    // old header bytes stay behind inside the free extent and still
+    // carry a valid checksum with the allocated bit set. isAllocated
+    // must not believe them — recovery uses it to decide whether a
+    // logged alloc/free already took effect, and a stale yes triggers a
+    // double free that swallows a live neighbour.
+    Pool pool("p", 1, 1 << 20);
+    PoolAllocator alloc(pool);
+    const uint32_t a = alloc.alloc(32);
+    const uint32_t b = alloc.alloc(32);
+    const uint32_t c = alloc.alloc(32); // guard: keeps b's region bounded
+    ASSERT_NE(c, 0u);
+
+    alloc.free(a);
+    alloc.free(b); // merges into a's free block, leaving b's header stale
+    BlockHeader stale{};
+    pool.readRaw(b - static_cast<uint32_t>(sizeof(BlockHeader)), &stale,
+                 sizeof(stale));
+    ASSERT_TRUE(stale.crcValid() && stale.allocated())
+        << "precondition: the absorbed header must still read as "
+           "allocated for this test to cover the hazard";
+
+    EXPECT_FALSE(alloc.isAllocated(b));
+    EXPECT_TRUE(alloc.isAllocated(c));
+    EXPECT_TRUE(alloc.validate());
+}
+
 } // namespace
 } // namespace poat

@@ -43,6 +43,8 @@ struct Args
     uint64_t inner_cap = 0;
     uint64_t evict_num = 0;
     uint64_t evict_den = 8;
+    uint32_t threads = 0;   ///< engine workers (LHT/MTPCC); 0 = default
+    uint64_t sched_seed = 0; ///< scheduler interleaving seed (tSEED)
     std::string repro; ///< replay one trial instead of exploring
     bool dump_stats = false;
 
@@ -59,8 +61,8 @@ usage()
 {
     std::printf(
         "usage: crash_explore [options]\n"
-        "  --workload=NAME   LL, BST, SPS, RBT, BT, B+T, TPCC, or\n"
-        "                    'all' (default B+T)\n"
+        "  --workload=NAME   LL, BST, SPS, RBT, BT, B+T, TPCC, LHT,\n"
+        "                    MTPCC, or 'all' (default B+T)\n"
         "  --steps=N         transactions per trial (default 50)\n"
         "  --seed=N          workload + sampling seed (default 1)\n"
         "  --sample=N        crash points to try; 0 = every durability\n"
@@ -71,10 +73,14 @@ usage()
         "                    0 = all (default 0)\n"
         "  --evict=NUM/DEN   per-line eviction probability applied to\n"
         "                    all pools after every step (default off)\n"
+        "  --threads=N       engine workers per step for the concurrent\n"
+        "                    workloads (LHT, MTPCC); 0 = their default\n"
+        "  --tseed=N         scheduler interleaving seed for the\n"
+        "                    concurrent workloads (default 0)\n"
         "  --repro=R         replay one trial from a failure's\n"
         "                    reproducer string\n"
-        "                    workload:steps:seed:k[:j][:mF][:eN/D]\n"
-        "                    (self-contained, but build-local)\n"
+        "                    workload:steps:seed:k[:j][:tS][:nT][:mF]\n"
+        "                    [:eN/D] (self-contained, but build-local)\n"
         "  --stats           dump fault.* counters after exploring\n"
         "media-fault mode (see src/fault/media.h):\n"
         "  --media           corrupt checksummed structures of crashed\n"
@@ -142,6 +148,11 @@ parseArgs(int argc, char **argv)
                 throw std::invalid_argument(
                     "bad value for --evict: '" + v +
                     "' (need 0 <= NUM <= DEN, DEN > 0)");
+        } else if (s.rfind("--threads=", 0) == 0) {
+            a.threads =
+                static_cast<uint32_t>(parseU64("--threads", value(10)));
+        } else if (s.rfind("--tseed=", 0) == 0) {
+            a.sched_seed = parseU64("--tseed", value(8));
         } else if (s.rfind("--repro=", 0) == 0) {
             a.repro = value(8);
         } else if (s == "--media") {
@@ -201,6 +212,8 @@ toOptions(const Args &a, const std::string &workload)
     opts.inner_cap = a.inner_cap;
     opts.evict_num = a.evict_num;
     opts.evict_den = a.evict_den;
+    opts.threads = a.threads;
+    opts.sched_seed = a.sched_seed;
     return opts;
 }
 

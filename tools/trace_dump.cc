@@ -190,6 +190,14 @@ class DumpSink : public TraceSink
             std::printf(" op=%" PRIu32 " name=%s\n", op, name);
     }
 
+    void
+    coreSwitch(uint32_t core) override
+    {
+        row(trace_io::EventKind::CoreSwitch);
+        if (printing())
+            std::printf(" core=%" PRIu32 "\n", core);
+    }
+
   private:
     bool printing() const { return seen_ <= head_; }
 
