@@ -1,16 +1,20 @@
 #include "fault/explore.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "driver/sweep.h"
 #include "fault/media.h"
+#include "fault/reorder.h"
 #include "fault/trial.h"
 
 namespace poat {
 namespace fault {
 
+using detail::checkEventContract;
 using detail::checkRecovered;
 using detail::choosePoints;
+using detail::kNoExpectedEvents;
 using detail::runSteps;
 using detail::StepWindow;
 
@@ -26,29 +30,72 @@ struct TrialStats
     uint64_t recovery_events = 0; ///< M_k (outer trials only)
     uint64_t trials = 0;
     uint64_t recovery_trials = 0;
+    uint64_t reorder_states = 0;
+    uint64_t torn_states = 0;
+    uint64_t max_depth = 0;
     std::vector<Failure> failures;
 };
 
 /**
- * One complete crash trial: run, freeze the durable image at event k
- * (and, for in-recovery trials, freeze the recovery at event j), then
- * recover and check every invariant — including that recovering a
- * second time changes nothing. Returns the number of durability events
- * the (first) recovery emitted, which is the in-recovery crash-point
- * space for this k.
+ * In-recovery crash-point sampling seed for the level after @p stack.
+ * The empty stack reproduces the historic one-level constant so old
+ * reproducers and determinism tests keep their exact trial sets; deeper
+ * levels fold the stack values in.
  */
 uint64_t
-runTrial(const ExploreOptions &opts, uint64_t k, uint64_t j,
+innerSeed(const ExploreOptions &opts, uint64_t k,
+          const std::vector<uint64_t> &stack)
+{
+    uint64_t s = opts.seed ^ (k * 0x9e3779b97f4a7c15ull + 1);
+    for (uint64_t j : stack)
+        s = (s ^ j) * 0xd1b54a32d192ed03ull + 1;
+    return s;
+}
+
+/**
+ * One complete crash trial: run the workload and freeze the durable
+ * image at event k — either the plain prefix freeze or, when @p drain
+ * is non-null, a CrashWithDrain over the batch starting at k (subset /
+ * torn-line reorder state). Then crash, recover, crash the recovery
+ * stack level by level per @p stack, recover fully, and check every
+ * invariant — including that recovering a second time changes nothing.
+ *
+ * @param expected_events Profile-pass event total; every trial must
+ *        observe exactly this many durability events (see
+ *        checkEventContract) or the whole exploration aborts. Pass
+ *        kNoExpectedEvents on the replay path, which has no profile.
+ * @return the number of durability events the final (fully completing)
+ *         recovery emitted — the crash-point space one level below
+ *         @p stack.
+ */
+uint64_t
+runTrial(const ExploreOptions &opts, uint64_t k,
+         const std::vector<uint64_t> &stack,
+         const std::vector<uint8_t> *drain, uint64_t expected_events,
          TrialStats &ts)
 {
     PmemRuntime rt(detail::trialRuntimeOptions(opts));
+    if (opts.strict)
+        rt.registry().setDurabilityPolicy(DurabilityPolicy::Strict);
     std::unique_ptr<workloads::CrashDriver> driver =
         workloads::makeCrashDriver(opts.workload, opts.steps, opts.seed,
                                    opts.threads, opts.sched_seed);
     driver->setup(rt);
 
-    const bool inner = j != Failure::kNoInner;
-    ++(inner ? ts.recovery_trials : ts.trials);
+    if (drain != nullptr) {
+        ++ts.reorder_states;
+        const bool torn =
+            std::any_of(drain->begin(), drain->end(), [](uint8_t m) {
+                return m != 0 && m != DurabilityHook::kFullLineMask;
+            });
+        if (torn)
+            ++ts.torn_states;
+    } else if (stack.empty()) {
+        ++ts.trials;
+    } else {
+        ++ts.recovery_trials;
+    }
+    ts.max_depth = std::max<uint64_t>(ts.max_depth, stack.size());
 
     auto fail = [&](const std::string &why) {
         Failure f;
@@ -56,7 +103,10 @@ runTrial(const ExploreOptions &opts, uint64_t k, uint64_t j,
         f.steps = opts.steps;
         f.seed = opts.seed;
         f.k = k;
-        f.j = j;
+        f.stack = stack;
+        if (drain != nullptr)
+            f.drain = encodeDrainMasks(*drain);
+        f.strict = opts.strict;
         f.evict_num = opts.evict_num;
         f.evict_den = opts.evict_den;
         f.sched_seed = opts.sched_seed;
@@ -65,18 +115,41 @@ runTrial(const ExploreOptions &opts, uint64_t k, uint64_t j,
         ts.failures.push_back(std::move(f));
     };
 
-    CrashAtEvent crash_hook(k);
+    CrashAtEvent prefix_hook(k);
+    CrashWithDrain drain_hook(k, drain != nullptr
+                                     ? *drain
+                                     : std::vector<uint8_t>{});
+    CrashHook &crash_hook =
+        drain != nullptr ? static_cast<CrashHook &>(drain_hook)
+                         : static_cast<CrashHook &>(prefix_hook);
     rt.registry().setDurabilityHook(&crash_hook);
     const StepWindow w = runSteps(rt, *driver, opts, crash_hook);
     rt.registry().setDurabilityHook(nullptr);
+    checkEventContract(crash_hook.observed(), expected_events);
     if (crash_hook.fired())
         ++ts.crashes_injected;
 
     rt.registry().crashAll();
 
+    // Recovery's own first step is the scrub pass (see recoverAll), so
+    // the legality walk below must inspect the image recovery will
+    // actually see: a torn-line drain state legitimately leaves a
+    // checksummed header line invalid, and the mirror-copy repair is
+    // exactly the mechanism that makes such a state recoverable. A
+    // crash state the scrub cannot make structurally legal IS the
+    // invariant violation.
+    try {
+        for (uint32_t id : rt.registry().openIds())
+            scrubPool(rt.registry().get(id).pool);
+    } catch (const std::runtime_error &e) {
+        fail(std::string("scrub of crashed image failed: ") + e.what());
+        return 0;
+    }
+
     // Pre-recovery log inspection: the work recovery is about to do.
     // An illegal on-media log here is itself an invariant violation —
-    // the commit protocol must never publish one.
+    // the commit protocol must never publish one at any reachable
+    // crash state, torn lines included.
     try {
         for (uint32_t id : rt.registry().openIds()) {
             OpenPool &op = rt.registry().get(id);
@@ -102,33 +175,37 @@ runTrial(const ExploreOptions &opts, uint64_t k, uint64_t j,
         return 0;
     }
 
+    // Power fails again at stack[l] during recovery level l + 1: freeze
+    // that recovery's durable progress and recover from *that* image.
+    for (size_t l = 0; l < stack.size(); ++l) {
+        CrashAtEvent inner_hook(stack[l]);
+        rt.registry().setDurabilityHook(&inner_hook);
+        try {
+            rt.registry().recoverAll();
+        } catch (const std::runtime_error &e) {
+            rt.registry().setDurabilityHook(nullptr);
+            fail("recovery (level " + std::to_string(l + 1) +
+                 ") threw: " + e.what());
+            return 0;
+        }
+        rt.registry().setDurabilityHook(nullptr);
+        if (inner_hook.fired())
+            ++ts.crashes_injected;
+        rt.registry().crashAll();
+    }
+
+    // The final recovery completes; its event count is the crash-point
+    // space for a stack one level deeper.
     EventCounter recovery_counter;
-    CrashAtEvent inner_hook(inner ? j : 0);
-    rt.registry().setDurabilityHook(
-        inner ? static_cast<DurabilityHook *>(&inner_hook)
-              : &recovery_counter);
+    rt.registry().setDurabilityHook(&recovery_counter);
     try {
         rt.registry().recoverAll();
     } catch (const std::runtime_error &e) {
         rt.registry().setDurabilityHook(nullptr);
-        fail(std::string("recovery threw: ") + e.what());
+        fail(std::string("final recovery threw: ") + e.what());
         return 0;
     }
     rt.registry().setDurabilityHook(nullptr);
-
-    if (inner) {
-        if (inner_hook.fired())
-            ++ts.crashes_injected;
-        // Power fails again mid-recovery: revert to the frozen partial
-        // recovery image and recover from *that*.
-        rt.registry().crashAll();
-        try {
-            rt.registry().recoverAll();
-        } catch (const std::runtime_error &e) {
-            fail(std::string("re-recovery threw: ") + e.what());
-            return 0;
-        }
-    }
 
     std::string why;
     if (!checkRecovered(rt, *driver, w, &ts.blocks_leaked, &why)) {
@@ -150,6 +227,29 @@ runTrial(const ExploreOptions &opts, uint64_t k, uint64_t j,
     return recovery_counter.total();
 }
 
+/**
+ * Depth-first expansion of the in-recovery crash stacks below @p stack,
+ * whose final recovery emitted @p events durability events. Level d + 1
+ * is explored only while d < depth.
+ */
+void
+expandRecoveryCrashes(const ExploreOptions &opts, uint64_t k,
+                      const std::vector<uint64_t> &stack, uint64_t events,
+                      uint64_t expected_events, TrialStats &ts)
+{
+    if (stack.size() >= opts.depth || events == 0)
+        return;
+    const std::vector<uint64_t> js =
+        choosePoints(events, opts.inner_cap, innerSeed(opts, k, stack));
+    for (uint64_t j : js) {
+        std::vector<uint64_t> next = stack;
+        next.push_back(j);
+        const uint64_t m =
+            runTrial(opts, k, next, nullptr, expected_events, ts);
+        expandRecoveryCrashes(opts, k, next, m, expected_events, ts);
+    }
+}
+
 } // namespace
 
 std::string
@@ -157,8 +257,17 @@ Failure::repro() const
 {
     std::string s = workload + ":" + std::to_string(steps) + ":" +
         std::to_string(seed) + ":" + std::to_string(k);
-    if (j != kNoInner)
-        s += ":" + std::to_string(j);
+    if (stack.size() == 1) {
+        s += ":" + std::to_string(stack[0]); // legacy one-level spelling
+    } else if (stack.size() > 1) {
+        s += ":d";
+        for (size_t i = 0; i < stack.size(); ++i)
+            s += (i ? "," : "") + std::to_string(stack[i]);
+    }
+    if (!drain.empty())
+        s += ":r" + drain;
+    if (strict)
+        s += ":S";
     if (workloads::isConcurrentCrashWorkload(workload)) {
         s += ":t" + std::to_string(sched_seed);
         if (threads != 0)
@@ -184,6 +293,9 @@ ExploreReport::publish(StatsRegistry &stats) const
         undo_entries_rolled_back;
     stats.counter("fault.frees_redone") += frees_redone;
     stats.counter("fault.blocks_leaked") += blocks_leaked;
+    stats.counter("fault.reorder.states") += reorder_states;
+    stats.counter("fault.reorder.torn_states") += torn_states;
+    stats.counter("fault.reorder.max_depth") += max_depth;
     stats.counter("fault.failures") += failures.size();
 }
 
@@ -195,6 +307,8 @@ explore(const ExploreOptions &opts)
     // ---- profile pass: count the durability events ------------------
     {
         PmemRuntime rt(detail::trialRuntimeOptions(opts));
+        if (opts.strict)
+            rt.registry().setDurabilityPolicy(DurabilityPolicy::Strict);
         std::unique_ptr<workloads::CrashDriver> driver =
             workloads::makeCrashDriver(opts.workload, opts.steps,
                                        opts.seed, opts.threads,
@@ -215,6 +329,9 @@ explore(const ExploreOptions &opts)
     }
 
     // ---- outer fan-out ----------------------------------------------
+    const uint64_t depth = opts.in_recovery ? opts.depth : 0;
+    ExploreOptions trial_opts = opts;
+    trial_opts.depth = depth;
     const std::vector<uint64_t> ks = choosePoints(
         report.total_events, opts.sample,
         opts.seed + 0x517cc1b727220a95ull);
@@ -222,29 +339,87 @@ explore(const ExploreOptions &opts)
     driver::runTasks(ks.size(), opts.jobs, [&](size_t idx) {
         TrialStats &ts = slots[idx];
         const uint64_t k = ks[idx];
-        const uint64_t recovery_events =
-            runTrial(opts, k, Failure::kNoInner, ts);
+        const uint64_t recovery_events = runTrial(
+            trial_opts, k, {}, nullptr, report.total_events, ts);
         ts.recovery_events = recovery_events;
-        if (!opts.in_recovery)
-            return;
-        // In-recovery crash points for this k (one level deep).
-        const std::vector<uint64_t> js = choosePoints(
-            recovery_events, opts.inner_cap,
-            opts.seed ^ (k * 0x9e3779b97f4a7c15ull + 1));
-        for (uint64_t j : js)
-            runTrial(opts, k, j, ts);
+        // In-recovery crash stacks below this k, up to `depth` levels.
+        expandRecoveryCrashes(trial_opts, k, {}, recovery_events,
+                              report.total_events, ts);
     });
 
-    for (const TrialStats &ts : slots) {
+    // ---- reorder fan-out (drain subsets and torn lines) -------------
+    std::vector<TrialStats> rslots;
+    if (opts.reorder) {
+        // Probe pass: group the identical event stream into batches.
+        DrainProbe probe;
+        {
+            PmemRuntime rt(detail::trialRuntimeOptions(opts));
+            if (opts.strict)
+                rt.registry().setDurabilityPolicy(
+                    DurabilityPolicy::Strict);
+            std::unique_ptr<workloads::CrashDriver> driver =
+                workloads::makeCrashDriver(opts.workload, opts.steps,
+                                           opts.seed, opts.threads,
+                                           opts.sched_seed);
+            driver->setup(rt);
+            rt.registry().setDurabilityHook(&probe);
+            Rng evict_rng(detail::evictSeed(opts));
+            for (uint64_t i = 0; i < opts.steps; ++i) {
+                driver->step(rt, i);
+                detail::maybeEvict(rt, evict_rng, opts);
+            }
+            rt.registry().setDurabilityHook(nullptr);
+        }
+        checkEventContract(probe.total(), report.total_events);
+
+        // When crash points are sampled, sample batches the same way.
+        const std::vector<DrainBatch> &batches = probe.batches();
+        const std::vector<uint64_t> bidx = choosePoints(
+            batches.size(), opts.sample,
+            opts.seed + 0x2545f4914f6cdd1dull);
+
+        struct ReorderTrial
+        {
+            uint64_t start;
+            std::vector<uint8_t> masks;
+        };
+        std::vector<ReorderTrial> plans;
+        for (uint64_t bi : bidx) {
+            const DrainBatch &b = batches[bi];
+            for (DrainPlan &p : planDrainStates(
+                     b, opts.drain_bound, opts.drain_sample,
+                     opts.seed ^ (b.start * 0x9e3779b97f4a7c15ull + 2)))
+                plans.push_back({p.start, std::move(p.masks)});
+        }
+
+        rslots.resize(plans.size());
+        driver::runTasks(plans.size(), opts.jobs, [&](size_t idx) {
+            // Reorder trials do not recurse into recovery: the subset
+            // space is already a per-batch multiplier, and the
+            // recovery-crash dimension is covered by the prefix trials.
+            runTrial(trial_opts, plans[idx].start, {},
+                     &plans[idx].masks, report.total_events,
+                     rslots[idx]);
+        });
+    }
+
+    auto merge = [&report](const TrialStats &ts) {
         report.trials += ts.trials;
         report.recovery_trials += ts.recovery_trials;
         report.crashes_injected += ts.crashes_injected;
         report.undo_entries_rolled_back += ts.undo_entries_rolled_back;
         report.frees_redone += ts.frees_redone;
         report.blocks_leaked += ts.blocks_leaked;
+        report.reorder_states += ts.reorder_states;
+        report.torn_states += ts.torn_states;
+        report.max_depth = std::max(report.max_depth, ts.max_depth);
         report.failures.insert(report.failures.end(),
                                ts.failures.begin(), ts.failures.end());
-    }
+    };
+    for (const TrialStats &ts : slots)
+        merge(ts);
+    for (const TrialStats &ts : rslots)
+        merge(ts);
     return report;
 }
 
@@ -266,30 +441,53 @@ replayRepro(const std::string &repro, const ExploreOptions &base)
     auto bad = [&]() -> std::invalid_argument {
         return std::invalid_argument(
             "bad reproducer '" + repro +
-            "' (expected workload:steps:seed:k[:j][:tSEED][:nTHREADS]"
-            "[:mFAULT][:eNUM/DEN])");
+            "' (expected workload:steps:seed:k[:j | :dJ1,J2,..]"
+            "[:rMASKS][:S][:tSEED][:nTHREADS][:mFAULT][:eNUM/DEN])");
     };
     if (tok.size() < 4)
         throw bad();
 
     ExploreOptions opts = base;
     opts.workload = tok[0];
-    uint64_t k, j = Failure::kNoInner;
+    uint64_t k;
+    std::vector<uint64_t> stack;
+    std::vector<uint8_t> drain;
     std::string media;
     try {
         opts.steps = std::stoull(tok[1]);
         opts.seed = std::stoull(tok[2]);
         k = std::stoull(tok[3]);
 
-        // Optional tokens, in order: a bare numeric j, then the
-        // prefixed scheduler-seed, thread-count, media, and eviction
-        // tokens. A bare numeric anywhere after position 4 is
-        // malformed.
+        // Optional tokens, in order: a bare numeric j or a ":dJ1,J2,.."
+        // stack, then the prefixed drain-mask, Strict, scheduler-seed,
+        // thread-count, media, and eviction tokens. A bare numeric
+        // anywhere after the stack position is malformed.
         size_t pos = 4;
         if (pos < tok.size() && !tok[pos].empty() &&
-            tok[pos][0] != 't' && tok[pos][0] != 'n' &&
-            tok[pos][0] != 'm' && tok[pos][0] != 'e') {
-            j = std::stoull(tok[pos]);
+            tok[pos][0] >= '0' && tok[pos][0] <= '9') {
+            stack.push_back(std::stoull(tok[pos]));
+            ++pos;
+        } else if (pos < tok.size() && tok[pos].size() > 1 &&
+                   tok[pos][0] == 'd') {
+            std::string item;
+            for (char c : tok[pos].substr(1) + ",") {
+                if (c == ',') {
+                    if (item.empty())
+                        throw bad();
+                    stack.push_back(std::stoull(item));
+                    item.clear();
+                } else {
+                    item += c;
+                }
+            }
+            ++pos;
+        }
+        if (pos < tok.size() && tok[pos].size() > 1 && tok[pos][0] == 'r') {
+            drain = decodeDrainMasks(tok[pos].substr(1));
+            ++pos;
+        }
+        if (pos < tok.size() && tok[pos] == "S") {
+            opts.strict = true;
             ++pos;
         }
         if (pos < tok.size() && !tok[pos].empty() && tok[pos][0] == 't') {
@@ -331,14 +529,21 @@ replayRepro(const std::string &repro, const ExploreOptions &base)
         throw bad();
     }
 
+    // A drain state is a crash *during* the outer run; recursing into
+    // recovery from it is not a state the explorer generates.
+    if (!drain.empty() && !stack.empty())
+        throw bad();
     if (!media.empty()) {
-        if (j != Failure::kNoInner)
-            throw bad(); // media trials have no in-recovery crash point
+        // Media trials have no in-recovery crash point and run under
+        // the Eager policy only.
+        if (!stack.empty() || !drain.empty() || opts.strict)
+            throw bad();
         return replayMediaTrial(opts, k, media);
     }
 
     TrialStats ts;
-    runTrial(opts, k, j, ts);
+    runTrial(opts, k, stack, drain.empty() ? nullptr : &drain,
+             kNoExpectedEvents, ts);
     return ts.failures;
 }
 

@@ -22,20 +22,33 @@
  *         is allocated yet unreachable (leak) for workloads that can
  *         enumerate reachability;
  *       - idempotence: recovering a second time changes nothing.
- *  3. In-recovery crashes (one level deep): every durability event of
- *     the recovery itself is also a crash point; for each such j the
- *     trial re-runs, crashes at k, crashes the recovery at j, then
- *     recovers fully and re-checks all invariants.
+ *  3. In-recovery crashes (recursive, budgeted by `depth`): every
+ *     durability event of a recovery is itself a crash point. A stack
+ *     [j1, .., jd] crashes the workload at k, the first recovery at j1,
+ *     the recovery of THAT crash at j2, and so on, then recovers fully
+ *     and re-checks all invariants. depth = 0 disables in-recovery
+ *     crashes; the historic one-level behaviour is depth = 1.
+ *  4. Reorder states (opt-in, see fault/reorder.h): a probe pass groups
+ *     the event stream into drain batches; each batch gets
+ *     CrashWithDrain trials persisting proper subsets of the batch
+ *     (exhaustive up to `drain_bound`, seeded-sampled beyond) plus
+ *     torn-line states that persist only a prefix/suffix of one line's
+ *     8-byte words. Under --strict the workload runs with the Strict
+ *     durability policy so fences produce multi-line batches.
  *
  * Small runs explore exhaustively; large runs sample crash points with
  * a seeded generator. Every failure carries a self-contained reproducer
- * string "workload:steps:seed:k[:j][:tSEED][:nTHREADS][:mFAULT]
- * [:eNUM/DEN]" that replays
- * the exact trial within one build (hash-container iteration makes
- * event order build-local, so a reproducer is not portable across
- * compilers or standard libraries). The optional tokens carry the
- * media-fault index (see fault/media.h) and the eviction schedule, so
- * no out-of-band options are needed to replay a sampled run.
+ * string
+ * "workload:steps:seed:k[:j | :dJ1,J2,..][:rMASKS][:S][:tSEED]
+ * [:nTHREADS][:mFAULT][:eNUM/DEN]" that replays the exact trial within
+ * one build (hash-container iteration makes event order build-local, so
+ * a reproducer is not portable across compilers or standard libraries).
+ * The optional tokens carry the in-recovery crash stack (":j" is the
+ * legacy one-level spelling of ":dJ"), the drain-subset word masks (hex,
+ * two digits per batch event), the Strict policy flag, the scheduler
+ * seed and engine workers, the media-fault index (see fault/media.h),
+ * and the eviction schedule, so no out-of-band options are needed to
+ * replay a sampled run.
  */
 #ifndef POAT_FAULT_EXPLORE_H
 #define POAT_FAULT_EXPLORE_H
@@ -81,6 +94,36 @@ struct ExploreOptions
     uint64_t inner_cap = 0;
 
     /**
+     * How many recovery levels may themselves crash (ignored when
+     * in_recovery is false). 1 = the historic single level; 2 crashes
+     * the recovery of the crashed recovery too. Each level multiplies
+     * trials by its (inner_cap-capped) event count.
+     */
+    uint64_t depth = 2;
+
+    /**
+     * Also explore drain-subset and torn-line reorder states (see
+     * fault/reorder.h). Reorder trials do not recurse into recovery —
+     * their crash-state space is already a multiplier per batch.
+     */
+    bool reorder = false;
+
+    /**
+     * Exhaustive subset enumeration for batches of at most this many
+     * events (2^n - 2 proper subsets); larger batches draw
+     * `drain_sample` distinct subsets from a seeded generator.
+     */
+    uint64_t drain_bound = 6;
+    uint64_t drain_sample = 32;
+
+    /**
+     * Run the workload under the Strict durability policy (CLWBs stage,
+     * fences retire). This is what makes fence-drain batches bigger
+     * than one line, so reorder exploration has real subsets to visit.
+     */
+    bool strict = false;
+
+    /**
      * Run a random line eviction pass (cache pressure) over all pools
      * after every step, with the given per-line probability num/den.
      * num = 0 disables eviction.
@@ -107,13 +150,29 @@ struct ExploreOptions
 /** One invariant violation, with enough context to replay it. */
 struct Failure
 {
-    static constexpr uint64_t kNoInner = UINT64_MAX;
-
     std::string workload;
     uint64_t steps = 0;
     uint64_t seed = 0;
-    uint64_t k = 0;        ///< outer crash point (event index)
-    uint64_t j = kNoInner; ///< in-recovery crash point, if any
+    uint64_t k = 0; ///< outer crash point (event index)
+
+    /**
+     * In-recovery crash stack: stack[l] crashes recovery level l + 1 at
+     * that event index. Empty for plain outer-crash trials. A
+     * single-element stack round-trips through the legacy ":j" token;
+     * deeper stacks use ":dJ1,J2,...".
+     */
+    std::vector<uint64_t> stack;
+
+    /**
+     * Drain-subset word masks (":rMASKS" token): lowercase hex, two
+     * digits per batch event starting at k. Empty for prefix-freeze
+     * trials. Mutually exclusive with a non-empty stack (reorder trials
+     * do not recurse into recovery).
+     */
+    std::string drain;
+
+    /** Producing run used the Strict durability policy (":S" token). */
+    bool strict = false;
 
     /**
      * Media-fault spec ("17" or "17+42" for a double fault), empty for
@@ -140,11 +199,13 @@ struct Failure
     std::string why;
 
     /**
-     * "workload:steps:seed:k[:j][:tSEED][:nTHREADS][:mFAULT][:eNUM/DEN]"
-     * — feed to crash_explore --repro. Self-contained: every input the
-     * trial consumed (including the eviction RNG schedule, the
-     * scheduler interleaving seed, and the media-fault index) is
-     * encoded in the string.
+     * "workload:steps:seed:k[:j | :dJ1,J2,..][:rMASKS][:S][:tSEED]
+     * [:nTHREADS][:mFAULT][:eNUM/DEN]" — feed to crash_explore
+     * --repro. Self-contained: every input the trial consumed
+     * (including the recovery-crash stack, the drain-subset masks, the
+     * durability policy, the eviction RNG schedule, the scheduler
+     * interleaving seed, and the media-fault index) is encoded in the
+     * string.
      */
     std::string repro() const;
 };
@@ -162,6 +223,9 @@ struct ExploreReport
     uint64_t undo_entries_rolled_back = 0;
     uint64_t frees_redone = 0;
     uint64_t blocks_leaked = 0;
+    uint64_t reorder_states = 0; ///< drain-subset + torn trials run
+    uint64_t torn_states = 0;    ///< ... of which tore a line mid-write
+    uint64_t max_depth = 0;      ///< deepest recovery-crash stack reached
     std::vector<Failure> failures;
 
     bool ok() const { return failures.empty(); }

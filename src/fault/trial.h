@@ -11,6 +11,7 @@
 
 #include <map>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -70,12 +71,37 @@ maybeEvict(PmemRuntime &rt, Rng &rng, const ExploreOptions &opts)
 }
 
 /**
+ * Sentinel for "no profiled event count to check against" (replay of a
+ * reproducer string runs without a profile pass).
+ */
+constexpr uint64_t kNoExpectedEvents = UINT64_MAX;
+
+/**
+ * Profile-pass contract: the profile and every trial must observe the
+ * same durability-event count, or crash-point indices silently mean
+ * different instants in different runs (a nondeterministic workload
+ * truncates or shifts the crash-point space). Fails fast, naming both
+ * counts.
+ */
+inline void
+checkEventContract(uint64_t observed, uint64_t expected)
+{
+    if (expected == kNoExpectedEvents || observed == expected)
+        return;
+    throw std::runtime_error(
+        "durability-event contract violated: profile pass counted " +
+        std::to_string(expected) + " events but the trial observed " +
+        std::to_string(observed) +
+        " — the workload is nondeterministic under the hook");
+}
+
+/**
  * Run all workload steps with @p hook installed, attributing the first
  * suppressed write-back to the step (or eviction pass) it fired in.
  */
 inline StepWindow
 runSteps(PmemRuntime &rt, workloads::CrashDriver &driver,
-         const ExploreOptions &opts, const CrashAtEvent &hook)
+         const ExploreOptions &opts, const CrashHook &hook)
 {
     Rng evict_rng(evictSeed(opts));
     StepWindow w{opts.steps, opts.steps};

@@ -45,8 +45,16 @@ PoolAllocator::writeHeader(uint32_t block_off, const BlockHeader &h)
     BlockHeader sealed = h;
     sealed.seal();
     pool_.checksumCounters().block_header_updates += 1;
-    pool_.checksumCounters().bytes_summed += offsetof(BlockHeader, crc);
+    pool_.checksumCounters().bytes_summed += offsetof(BlockHeader, prev_size);
     pool_.writeRaw(block_off, &sealed, sizeof(sealed));
+    touched_.push_back(block_off);
+}
+
+void
+PoolAllocator::poisonHeader(uint32_t block_off)
+{
+    const uint8_t zeros[sizeof(BlockHeader)] = {};
+    pool_.writeRaw(block_off, zeros, sizeof(zeros));
     touched_.push_back(block_off);
 }
 
@@ -92,6 +100,9 @@ PoolAllocator::rebuildFreeList()
                 prev.seal();
                 pool_.writeRaw(prev_free_off, &prev, sizeof(prev));
                 pool_.persist(prev_free_off, sizeof(prev));
+                const uint8_t zeros[sizeof(BlockHeader)] = {};
+                pool_.writeRaw(off, zeros, sizeof(zeros));
+                pool_.persist(off, sizeof(BlockHeader));
                 freeList_[prev_free_off] = prev.size;
                 prev_size = prev.size;
                 off = prev_free_off + prev.size;
@@ -108,6 +119,26 @@ PoolAllocator::rebuildFreeList()
     if (off != heapEnd()) {
         throw MediaError(pool_.name(), off, MediaStructure::BlockHeader,
                          "blocks overrun the heap region");
+    }
+
+    // Hygiene sweep: no crc-valid header may survive inside a free
+    // extent. free() poisons absorbed headers itself, but a crash
+    // between the merged-header fence and the poison fence leaves the
+    // stale bytes behind; scrub's extent reconstruction could later
+    // mistake them for a live block (see poisonHeader). Idempotent —
+    // a clean image has nothing to poison.
+    for (const auto &[free_off, free_size] : freeList_) {
+        for (uint32_t p = free_off + static_cast<uint32_t>(kAlign);
+             p + sizeof(BlockHeader) <= free_off + free_size;
+             p += static_cast<uint32_t>(kAlign)) {
+            BlockHeader stale{};
+            pool_.readRaw(p, &stale, sizeof(stale));
+            if (!stale.crcValid())
+                continue;
+            const uint8_t zeros[sizeof(BlockHeader)] = {};
+            pool_.writeRaw(p, zeros, sizeof(zeros));
+            pool_.persist(p, sizeof(BlockHeader));
+        }
     }
 }
 
@@ -181,16 +212,19 @@ PoolAllocator::free(uint32_t payload_off)
 
     // Coalesce with the physically next block if it is free.
     uint32_t next_off = block_off + h.size;
+    uint32_t absorbed_next = 0;
     if (next_off < heapEnd()) {
         BlockHeader next = readHeader(next_off);
         if (!next.allocated()) {
             freeList_.erase(next_off);
+            absorbed_next = next_off;
             h.size += next.size;
             next_off = block_off + h.size;
         }
     }
 
     // Coalesce with the physically previous block if it is free.
+    uint32_t absorbed_self = 0;
     if (h.prev_size != 0) {
         const uint32_t prev_off = block_off - h.prev_size;
         BlockHeader prev = readHeader(prev_off);
@@ -198,12 +232,19 @@ PoolAllocator::free(uint32_t payload_off)
             freeList_.erase(prev_off);
             prev.size += h.size;
             h = prev;
+            absorbed_self = block_off;
             block_off = prev_off;
         }
     }
 
     writeHeader(block_off, h);
     freeList_.emplace(block_off, h.size);
+    // Headers the merge absorbed die AFTER the merged header that
+    // covers them is queued (see poisonHeader on the ordering).
+    if (absorbed_next != 0)
+        poisonHeader(absorbed_next);
+    if (absorbed_self != 0)
+        poisonHeader(absorbed_self);
 
     // The block following the merged region must name it in prev_size.
     if (next_off < heapEnd()) {

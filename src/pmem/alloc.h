@@ -29,12 +29,33 @@ namespace poat {
  * On-media header preceding every heap block.
  *
  * The trailing word doubles as discriminator and integrity check: it is
- * the crc32c of the first three fields seeded with kMagic, so a header
- * that was never written (fresh heap: all zeros) and a header a media
- * fault touched both fail validation — there is no way to forge a valid
+ * the crc32c of the sealed fields seeded with kMagic, so a header that
+ * was never written (fresh heap: all zeros) and a header a media fault
+ * touched both fail validation — there is no way to forge a valid
  * header by luck short of a 2^-32 collision. For an allocated block
  * this is the paper-level "object header" checksum; for a free block it
  * protects the allocator's own metadata.
+ *
+ * Field order is load-bearing for torn-write recovery. Media persists
+ * whole 8-byte words even when a cache line tears, so the header's two
+ * words are each internally consistent with SOME version of the header:
+ *
+ *  - word 0 (size, flags) is the sealed semantic state — an atomic
+ *    (extent, liveness) pair from one version;
+ *  - word 1 (prev_size, crc) carries the checksum plus the back-link,
+ *    which is derivable redundancy: the forward chain walk can always
+ *    recompute prev_size, so it is deliberately OUTSIDE the checksum
+ *    and scrub/rescan repair a stale value silently.
+ *
+ * Consequence: a neighbour update that only rewrites prev_size (an
+ * alloc split or free coalesce touching the block after the changed
+ * region) never changes word 0 or the crc, so a torn write-back of that
+ * update cannot invalidate the header — the one crash state that used
+ * to be unrecoverable, because nothing else records a bystander block's
+ * liveness. When (size, flags) do change, a tear interleaves two
+ * versions and scrubHeap recovers one of them: the observed crc seals
+ * exactly one version's word 0, and the observed word 0 IS a version's
+ * truth whenever its size matches the reconstructed extent.
  */
 struct BlockHeader
 {
@@ -42,16 +63,17 @@ struct BlockHeader
     static constexpr uint32_t kAllocated = 1u << 0;
 
     uint32_t size;      ///< total block bytes including this header
-    uint32_t prev_size; ///< total bytes of the physically previous block
     uint32_t flags;
-    uint32_t crc;       ///< crc32c(size, prev_size, flags; seed kMagic)
+    uint32_t prev_size; ///< total bytes of the physically previous block
+    uint32_t crc;       ///< crc32c(size, flags; seed kMagic)
 
     bool allocated() const { return flags & kAllocated; }
 
     uint32_t
     computeCrc() const
     {
-        return crc32c(this, offsetof(BlockHeader, crc), kMagic);
+        // Word 0 only: prev_size is unsealed (see the class comment).
+        return crc32c(this, offsetof(BlockHeader, prev_size), kMagic);
     }
     bool crcValid() const { return crc == computeCrc(); }
     void seal() { crc = computeCrc(); }
@@ -141,6 +163,21 @@ class PoolAllocator
   private:
     BlockHeader readHeader(uint32_t block_off) const;
     void writeHeader(uint32_t block_off, const BlockHeader &h);
+
+    /**
+     * Zero a dead header absorbed by a coalesce. A crc-valid header
+     * left inside a free extent is a landmine: if the covering block's
+     * header is later torn by a partial fence drain, scrub's extent
+     * reconstruction can mistake the stale bytes for a live block and
+     * resurrect an allocation no log record covers — a permanent leak.
+     * Zeroed bytes instead read as never-written space, which the
+     * scrub proof ladder already classifies correctly. Must be queued
+     * on touched_ AFTER the merged header that covers the position, so
+     * a crash between the two fences only ever exposes the stale
+     * header under a still-valid covering extent (swept on the next
+     * pool open by rebuildFreeList).
+     */
+    void poisonHeader(uint32_t block_off);
     void rebuildFreeList();
     uint32_t heapEnd() const;
 

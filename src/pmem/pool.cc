@@ -118,14 +118,35 @@ Pool::readRaw(uint32_t off, void *dst, size_t n) const
 void
 Pool::writeBackLine(uint32_t line, WriteBackCause cause)
 {
-    // The hook sees (and may veto) every durable transition. Volatile
-    // bookkeeping in the callers proceeds either way so that execution
-    // after a suppressed write-back matches an uninjected run exactly.
-    if (hook_ != nullptr && !hook_->onWriteBack(*this, line, cause))
-        return;
+    // The hook sees (and may veto or tear) every durable transition.
+    // Volatile bookkeeping in the callers proceeds either way so that
+    // execution after a suppressed write-back matches an uninjected run
+    // exactly.
+    uint8_t mask = DurabilityHook::kFullLineMask;
+    if (hook_ != nullptr) {
+        mask = hook_->onWriteBackWords(*this, line, cause);
+        if (mask == 0)
+            return;
+    }
     const uint64_t base = static_cast<uint64_t>(line) * kLineSize;
     const uint64_t n = std::min<uint64_t>(kLineSize, data_.size() - base);
-    std::memcpy(durable_.data() + base, data_.data() + base, n);
+    if (mask == DurabilityHook::kFullLineMask) {
+        std::memcpy(durable_.data() + base, data_.data() + base, n);
+        return;
+    }
+    // Torn write-back: only the masked-in 8-byte words reach media; the
+    // rest of the durable line keeps its pre-crash contents.
+    static_assert(kLineSize == 8 * sizeof(uint64_t));
+    for (uint32_t w = 0; w < 8; ++w) {
+        if ((mask & (1u << w)) == 0)
+            continue;
+        const uint64_t off = base + w * sizeof(uint64_t);
+        if (off >= base + n)
+            break;
+        const uint64_t wn = std::min<uint64_t>(sizeof(uint64_t),
+                                               base + n - off);
+        std::memcpy(durable_.data() + off, data_.data() + off, wn);
+    }
 }
 
 void
@@ -145,11 +166,29 @@ Pool::clwb(uint32_t off)
 void
 Pool::fence()
 {
-    for (uint32_t line : staged_) {
+    if (staged_.empty())
+        return;
+    // Drain in sorted line order: the hash set's iteration order is
+    // build-local, and the crash-point explorer indexes drain events by
+    // position, so the order must be a deterministic function of the
+    // staged set. The hook sees the whole batch before the first
+    // write-back (a mid-drain power failure persists any subset).
+    const std::vector<uint32_t> lines = stagedLines();
+    if (hook_ != nullptr)
+        hook_->onFenceDrainBegin(*this, lines);
+    for (uint32_t line : lines) {
         writeBackLine(line, WriteBackCause::Fence);
         dirty_.erase(line);
     }
     staged_.clear();
+}
+
+std::vector<uint32_t>
+Pool::stagedLines() const
+{
+    std::vector<uint32_t> lines(staged_.begin(), staged_.end());
+    std::sort(lines.begin(), lines.end());
+    return lines;
 }
 
 void

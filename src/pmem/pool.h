@@ -148,15 +148,53 @@ class Pool;
  * write-back is bit-identical to an uninjected run. A crash-point
  * explorer uses this to freeze the durable image after the first k
  * events and then simulate power failure (see src/fault/).
+ *
+ * The word-granular entry point onWriteBackWords() refines the veto to
+ * a bitmask over the line's eight 8-byte words, modeling a write-back
+ * torn by the power failure itself: the masked-in words reach media,
+ * the rest keep their old durable contents. The default implementation
+ * delegates to onWriteBack(), so boolean hooks keep their exact
+ * semantics (all words or none).
  */
 class DurabilityHook
 {
   public:
+    /** All eight 8-byte words of a 64-byte line (an untorn write-back). */
+    static constexpr uint8_t kFullLineMask = 0xff;
+
     virtual ~DurabilityHook() = default;
 
     /** Called before line @p line of @p pool is made durable. */
     virtual bool onWriteBack(Pool &pool, uint32_t line,
                              WriteBackCause cause) = 0;
+
+    /**
+     * Word-granular veto: bit w of the returned mask persists bytes
+     * [8w, 8w+8) of the line. kFullLineMask is an ordinary write-back,
+     * 0 a full suppression, anything else a torn line. Pool calls only
+     * this entry point; the default routes to onWriteBack().
+     */
+    virtual uint8_t
+    onWriteBackWords(Pool &pool, uint32_t line, WriteBackCause cause)
+    {
+        return onWriteBack(pool, line, cause) ? kFullLineMask : 0;
+    }
+
+    /**
+     * Called by Pool::fence() under the Strict policy, before the first
+     * write-back of a drain, with the full staged-line set about to be
+     * retired (sorted ascending). The onWriteBackWords() calls that
+     * follow — one per listed line, in the listed order, all with cause
+     * Fence — are a single drain batch: hardware gives them no ordering
+     * until the fence retires, so a real power failure mid-drain
+     * persists an arbitrary subset. Not called for an empty staged set.
+     */
+    virtual void onFenceDrainBegin(Pool &pool,
+                                   const std::vector<uint32_t> &pending)
+    {
+        (void)pool;
+        (void)pending;
+    }
 };
 
 /**
@@ -290,6 +328,13 @@ class Pool
 
     /** Count of lines dirty in cache and not yet written back. */
     size_t dirtyLineCount() const { return dirty_.size(); }
+
+    /**
+     * Lines CLWB'd but not yet retired by a fence (Strict policy),
+     * sorted ascending — the set a fence would drain right now. Always
+     * empty under the Eager policy.
+     */
+    std::vector<uint32_t> stagedLines() const;
     /// @}
 
     /** Re-read the cached header copy from the working image. */

@@ -17,6 +17,7 @@ PoolRegistry::create(const std::string &name, uint64_t size,
                                          log_slots);
     op->pool.setVbase(space_.mapRandom(op->pool.size()));
     op->pool.setDurabilityHook(hook_);
+    op->pool.setDurabilityPolicy(policy_);
     op->pool.setChecksumCounters(&counters_);
     idByName_[name] = id;
     auto &ref = *op;
@@ -39,6 +40,7 @@ PoolRegistry::open(const std::string &name)
     auto op = std::make_unique<OpenPool>(name, id, disk_it->second);
     op->pool.setVbase(space_.mapRandom(op->pool.size()));
     op->pool.setDurabilityHook(hook_);
+    op->pool.setDurabilityPolicy(policy_);
     op->pool.setChecksumCounters(&counters_);
     lastScrub_ = op->open_scrub;
     op->forEachLog([](UndoLog &log) { log.recover(); });
@@ -190,6 +192,14 @@ PoolRegistry::setDurabilityHook(DurabilityHook *hook)
     hook_ = hook;
     for (auto &kv : open_)
         kv.second->pool.setDurabilityHook(hook);
+}
+
+void
+PoolRegistry::setDurabilityPolicy(DurabilityPolicy policy)
+{
+    policy_ = policy;
+    for (auto &kv : open_)
+        kv.second->pool.setDurabilityPolicy(policy);
 }
 
 std::vector<uint32_t>

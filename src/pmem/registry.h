@@ -190,6 +190,15 @@ class PoolRegistry
      */
     void setDurabilityHook(DurabilityHook *hook);
 
+    /**
+     * Switch the durability policy (Eager CLWB write-back vs Strict
+     * fence-retired staging) of every open pool and of every pool
+     * created or opened later. The crash-point explorer uses Strict to
+     * generate fence-drain batches; everything else defaults to Eager.
+     */
+    void setDurabilityPolicy(DurabilityPolicy policy);
+    DurabilityPolicy durabilityPolicy() const { return policy_; }
+
     size_t openCount() const { return open_.size(); }
     AddressSpace &addressSpace() { return space_; }
 
@@ -202,6 +211,7 @@ class PoolRegistry
     ScrubStats lastScrub_{};      ///< merged over the last recoverAll
     ChecksumCounters counters_{}; ///< shared by every pool we open
     DurabilityHook *hook_ = nullptr; ///< installed on every pool
+    DurabilityPolicy policy_ = DurabilityPolicy::Eager;
     std::unordered_map<uint32_t, std::unique_ptr<OpenPool>> open_;
     std::unordered_map<std::string, uint32_t> idByName_;
     std::unordered_map<std::string, std::vector<uint8_t>> disk_;

@@ -240,6 +240,7 @@ scrubHeap(Pool &pool, const std::vector<LogRecord> &records,
 
     uint32_t off = heap_off;
     uint32_t prev_size = 0;
+    bool prev_allocated = false;
     while (off < heap_end) {
         BlockHeader h{};
         pool.readRaw(off, &h, sizeof(h));
@@ -251,19 +252,32 @@ scrubHeap(Pool &pool, const std::vector<LogRecord> &records,
             st.corruptions_detected += 1;
             // Extent reconstruction: the next block's header back-links
             // to us via prev_size, so scan forward for a valid header
-            // whose back-link lands exactly here. No match means this
-            // was the last block in the heap.
+            // whose back-link lands exactly here. Failing that, accept
+            // a back-link that spans the corrupt block and lands on the
+            // PREVIOUS block's start: that successor last saw a single
+            // block covering both, i.e. the corrupt header is a
+            // remainder an alloc split freshly carved and the
+            // successor's prev_size update has not persisted yet. No
+            // match of either kind means this was the last block.
+            const uint32_t prev_off = off - prev_size;
             uint32_t size = 0;
-            for (uint32_t cand = off + PoolAllocator::kMinBlock;
-                 cand + sizeof(BlockHeader) <= heap_end;
-                 cand += PoolAllocator::kAlign) {
-                BlockHeader next{};
-                pool.readRaw(cand, &next, sizeof(next));
-                if (next.crcValid() &&
-                    cand + static_cast<uint64_t>(next.size) <= heap_end &&
-                    next.prev_size == cand - off) {
-                    size = cand - off;
-                    break;
+            bool stale_span = false;
+            for (int pass = 0; pass < 2 && size == 0; ++pass) {
+                for (uint32_t cand = off + PoolAllocator::kMinBlock;
+                     cand + sizeof(BlockHeader) <= heap_end;
+                     cand += PoolAllocator::kAlign) {
+                    BlockHeader next{};
+                    pool.readRaw(cand, &next, sizeof(next));
+                    const uint32_t want =
+                        pass == 0 ? cand - off : cand - prev_off;
+                    if (next.crcValid() &&
+                        cand + static_cast<uint64_t>(next.size) <=
+                            heap_end &&
+                        next.prev_size == want) {
+                        size = cand - off;
+                        stale_span = pass == 1;
+                        break;
+                    }
                 }
             }
             if (size == 0 && heap_end - off >= PoolAllocator::kMinBlock)
@@ -274,30 +288,91 @@ scrubHeap(Pool &pool, const std::vector<LogRecord> &records,
                                  "block header checksum mismatch and no "
                                  "reconstructible extent");
             }
-            // Liveness: only the undo log can prove it. A free block
-            // (or an allocated one no record names) has no second copy
-            // anywhere — diagnose instead of guessing, because a wrong
-            // guess is a silent leak or a silent data loss.
-            if (!provenAllocated(records, off, size)) {
+            // Liveness: three independent proofs, strongest first.
+            // (1) The crc is word-atomic and seals one version's
+            //     (size, flags): if it validates the reconstructed
+            //     extent under one flags candidate, that version's
+            //     whole sealed word is recovered.
+            // (2) The observed (size, flags) word is itself atomic —
+            //     a torn write interleaves versions, it does not
+            //     invent words — so if its size agrees with the
+            //     reconstructed extent, its flags are that version's
+            //     truth.
+            // (3) A published log record naming the payload proves a
+            //     live allocation.
+            // Anything else diagnoses instead of guessing, because a
+            // wrong guess is a silent leak or a silent data loss.
+            bool have_flags = false;
+            uint32_t flags = 0;
+            for (uint32_t cand : {BlockHeader::kAllocated, 0u}) {
+                BlockHeader t{};
+                t.size = size;
+                t.flags = cand;
+                pool.checksumCounters().verifies += 1;
+                if (h.crc == t.computeCrc()) {
+                    flags = cand;
+                    have_flags = true;
+                    break;
+                }
+            }
+            if (!have_flags && h.size == size) {
+                flags = h.flags & BlockHeader::kAllocated;
+                have_flags = true;
+            }
+            if (!have_flags && provenAllocated(records, off, size)) {
+                flags = BlockHeader::kAllocated;
+                have_flags = true;
+            }
+            // (4) Two signatures of an interrupted alloc split, whose
+            //     freshly carved remainder is the one header rules 1-3
+            //     cannot speak for (its old bytes never held a header):
+            //     a stale spanning back-link — the successor last saw a
+            //     single block covering predecessor + this one, and
+            //     blocks only shrink when a free block is carved into
+            //     an allocated head plus a free remainder — or an
+            //     all-zero sealed word, which is the old image of
+            //     never-written space (a torn write interleaves old and
+            //     new words; a live block's header word is never zero).
+            //     Either way the predecessor must be the freshly
+            //     allocated head, and the remainder is rebuilt free.
+            if (!have_flags &&
+                (stale_span || (h.size == 0 && h.flags == 0)) &&
+                off > heap_off && prev_allocated) {
+                flags = 0;
+                have_flags = true;
+            }
+            if (!have_flags) {
                 throw MediaError(
                     pool.name(), off, MediaStructure::BlockHeader,
                     "block header checksum mismatch (extent " +
                         std::to_string(size) +
-                        " bytes recovered, but no log record proves "
+                        " bytes recovered, but neither the torn "
+                        "header's words nor any log record proves "
                         "the block's liveness)");
             }
             BlockHeader rebuilt{};
             rebuilt.size = size;
             rebuilt.prev_size = prev_size;
-            rebuilt.flags = BlockHeader::kAllocated;
+            rebuilt.flags = flags;
             rebuilt.seal();
             pool.checksumCounters().block_header_updates += 1;
             pool.writeRaw(off, &rebuilt, sizeof(rebuilt));
             pool.persist(off, sizeof(rebuilt));
             st.block_header_repairs += 1;
             h = rebuilt;
+        } else if (h.prev_size != prev_size) {
+            // prev_size lives outside the sealed word on purpose: a
+            // torn neighbour update legitimately leaves it stale while
+            // the header stays valid. The walk knows the truth.
+            h.prev_size = prev_size;
+            h.seal();
+            pool.checksumCounters().block_header_updates += 1;
+            pool.writeRaw(off, &h, sizeof(h));
+            pool.persist(off, sizeof(h));
+            st.block_header_repairs += 1;
         }
         prev_size = h.size;
+        prev_allocated = h.allocated();
         off += h.size;
     }
     if (off != heap_end) {

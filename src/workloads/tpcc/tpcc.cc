@@ -1,6 +1,10 @@
 #include "workloads/tpcc/tpcc.h"
 
+#include <map>
 #include <unordered_set>
+#include <vector>
+
+#include "workloads/crash_support.h"
 
 namespace poat {
 namespace workloads {
@@ -798,7 +802,15 @@ TpccDb::delivery(TpccResult &res)
     walAppend(4, (w << 32) | carrier, 0);
 
     rt_.setOp("delivery");
+    uint64_t committed = 0;
     for (uint64_t d = 1; d <= cards_.districts; ++d) {
+        if (committed >= delivery_sub_limit_) {
+            // Sub-transaction cap (shadow-verifier replay of a
+            // crash-interrupted delivery): stop after the committed
+            // prefix of districts.
+            res.delivery_truncated = true;
+            break;
+        }
         // Safe yield: the previous district's TxScope committed, and
         // peers can only mutate other warehouses' rows here.
         maybeYield();
@@ -839,7 +851,9 @@ TpccDb::delivery(TpccResult &res)
         rt_.write<uint64_t>(cref, kCuDeliveryCnt,
                             rt_.read<uint64_t>(cref, kCuDeliveryCnt) + 1);
         res.checksum += total;
+        ++committed;
     }
+    res.delivery_subtxns += committed;
     ++res.deliveries;
 }
 
@@ -945,6 +959,101 @@ TpccDb::consistent()
         return ok;
     });
     return ok;
+}
+
+uint32_t
+tableTupleSize(Table t)
+{
+    switch (t) {
+    case kWarehouse:
+        return kWhSize;
+    case kDistrict:
+        return kDiSize;
+    case kCustomer:
+        return kCuSize;
+    case kCustomerName:
+        return 0; // value is the customer id itself
+    case kHistory:
+        return kHiSize;
+    case kNewOrder:
+        return kOrSize; // value is the Order tuple's ObjectID
+    case kOrder:
+        return kOrSize;
+    case kOrderLine:
+        return kOlSize;
+    case kItem:
+        return kItSize;
+    case kStock:
+        return kStSize;
+    default:
+        return 0;
+    }
+}
+
+bool
+tpccStateEquals(PmemRuntime &art, TpccDb &a, PmemRuntime &brt, TpccDb &b,
+                std::string *why)
+{
+    auto mismatch = [&](const std::string &what) {
+        if (why != nullptr)
+            *why = what;
+        return false;
+    };
+    for (uint32_t ti = 0; ti < kTableCount; ++ti) {
+        const Table t = static_cast<Table>(ti);
+        std::map<uint64_t, uint64_t> am, bm;
+        a.tree(t).scan(0, ~0ull, [&](uint64_t k, uint64_t v) {
+            am[k] = v;
+            return true;
+        });
+        b.tree(t).scan(0, ~0ull, [&](uint64_t k, uint64_t v) {
+            bm[k] = v;
+            return true;
+        });
+        if (am.size() != bm.size()) {
+            return mismatch(std::string(tableName(t)) + ": " +
+                            std::to_string(am.size()) + " rows vs " +
+                            std::to_string(bm.size()));
+        }
+        const uint32_t size = tableTupleSize(t);
+        auto bi = bm.begin();
+        for (auto ai = am.begin(); ai != am.end(); ++ai, ++bi) {
+            if (ai->first != bi->first) {
+                return mismatch(std::string(tableName(t)) +
+                                ": key sets differ at key " +
+                                std::to_string(ai->first) + " vs " +
+                                std::to_string(bi->first));
+            }
+            if (size == 0) {
+                // Plain value (secondary index): compare directly.
+                if (ai->second != bi->second) {
+                    return mismatch(
+                        std::string(tableName(t)) + " key " +
+                        std::to_string(ai->first) + ": value " +
+                        std::to_string(ai->second) + " vs " +
+                        std::to_string(bi->second));
+                }
+                continue;
+            }
+            const ObjectID ao(ai->second);
+            const ObjectID bo(bi->second);
+            if (!oidPlausible(art, ao, size) ||
+                !oidPlausible(brt, bo, size)) {
+                return mismatch(std::string(tableName(t)) + " key " +
+                                std::to_string(ai->first) +
+                                ": tuple ObjectID out of bounds");
+            }
+            std::vector<uint8_t> abuf(size), bbuf(size);
+            art.readBytes(art.deref(ao), 0, abuf.data(), size);
+            brt.readBytes(brt.deref(bo), 0, bbuf.data(), size);
+            if (abuf != bbuf) {
+                return mismatch(std::string(tableName(t)) + " key " +
+                                std::to_string(ai->first) +
+                                ": tuple bytes differ");
+            }
+        }
+    }
+    return true;
 }
 
 } // namespace tpcc

@@ -102,6 +102,11 @@ struct TpccResult
     uint64_t stock_levels = 0;
     uint64_t rollbacks = 0;
     uint64_t checksum = 0;
+    uint64_t delivery_subtxns = 0; ///< committed per-district TxScopes
+    /// A delivery sub-transaction limit cut the step short (see
+    /// TpccDb::setDeliverySubLimit); the database holds a prefix of
+    /// the step's district deliveries.
+    bool delivery_truncated = false;
 };
 
 /** The TPC-C database: pools, trees, WAL, population, transactions. */
@@ -126,6 +131,24 @@ class TpccDb
      * engine this is the unit of work a worker wraps in txRun().
      */
     void runOne(TpccResult &res);
+
+    /**
+     * Cap the number of per-district TxScopes the next delivery
+     * commits; the step stops after the cap and sets
+     * TpccResult::delivery_truncated. Delivery is the one transaction
+     * in the mix that commits more than one TxScope per step, so a
+     * crash mid-delivery durably keeps a *prefix* of its district
+     * deliveries — the crash shadow verifier replays those prefixes
+     * as candidate reference states. The limit persists until reset;
+     * kNoDeliverySubLimit (the default) restores full steps.
+     */
+    void
+    setDeliverySubLimit(uint64_t n)
+    {
+        delivery_sub_limit_ = n;
+    }
+
+    static constexpr uint64_t kNoDeliverySubLimit = ~0ull;
 
     /**
      * Attach (or detach, with nullptr) the concurrent engine whose
@@ -201,10 +224,34 @@ class TpccDb
 
     uint32_t homePool_ = 0;
     ObjectID walArea_;      ///< WAL region: header + ring of records
+    uint64_t delivery_sub_limit_ = kNoDeliverySubLimit;
     uint64_t historySeq_ = 0;
     uint64_t nuRandC_ = 0;     ///< the spec's C for customer ids
     uint64_t nuRandCLast_ = 0; ///< the spec's C for last names
 };
+
+/**
+ * Fixed on-media size of the tuples @p t's tree values point at, or 0
+ * when the tree stores a plain value instead of a tuple ObjectID (the
+ * kCustomerName secondary index stores the customer id directly). The
+ * kNewOrder tree's values are Order-tuple ObjectIDs.
+ */
+uint32_t tableTupleSize(Table t);
+
+/**
+ * Semantic equality of two databases: for every table, the key sets
+ * must match exactly and the tuples behind matching keys must be
+ * byte-identical (plain values compared directly). ObjectIDs themselves
+ * are NOT compared — a recovered heap can place the same tuple bytes at
+ * a different offset — and WAL contents and allocator internals are
+ * excluded on purpose: a rolled-back transaction legitimately leaves
+ * its redo record in the WAL, and recovery legitimately reorders the
+ * free lists. On mismatch fills *why (if given) with a diagnosis.
+ * The crash explorer's shadow verifier compares a recovered database
+ * against a reference replay with this.
+ */
+bool tpccStateEquals(PmemRuntime &art, TpccDb &a, PmemRuntime &brt,
+                     TpccDb &b, std::string *why);
 
 /** The TPCC workload wrapper for the experiment driver. */
 class TpccWorkload

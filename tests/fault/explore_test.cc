@@ -120,10 +120,35 @@ TEST(Explore, SamplingBoundsTrialCount)
     ExploreOptions o = smallRun("SPS");
     o.sample = 4;
     o.inner_cap = 1;
+    o.depth = 1; // the historic single recovery-crash level
     const ExploreReport rep = fault::explore(o);
     EXPECT_TRUE(rep.ok()) << firstFailure(rep);
     EXPECT_EQ(rep.trials, 4u);
     EXPECT_LE(rep.recovery_trials, 4u);
+    EXPECT_LE(rep.max_depth, 1u);
+}
+
+TEST(Explore, RecursiveRecoveryCrashesAreBudgetedByDepth)
+{
+    ExploreOptions o = smallRun("SPS");
+    o.sample = 4;
+    o.inner_cap = 1;
+    o.depth = 2;
+    const ExploreReport rep = fault::explore(o);
+    EXPECT_TRUE(rep.ok()) << firstFailure(rep);
+    // inner_cap = 1 gives at most one in-recovery crash per level:
+    // <= 4 single-level trials plus <= 4 two-level trials.
+    EXPECT_GT(rep.recovery_trials, 4u)
+        << "depth 2 must add second-level trials";
+    EXPECT_LE(rep.recovery_trials, 8u);
+    EXPECT_EQ(rep.max_depth, 2u);
+
+    // depth 0 disables in-recovery crashing entirely.
+    o.depth = 0;
+    const ExploreReport flat = fault::explore(o);
+    EXPECT_TRUE(flat.ok()) << firstFailure(flat);
+    EXPECT_EQ(flat.recovery_trials, 0u);
+    EXPECT_EQ(flat.max_depth, 0u);
 }
 
 TEST(Explore, PublishExportsCounters)
@@ -144,13 +169,30 @@ TEST(Explore, ReproStringRoundTrips)
     f.seed = 1;
     f.k = 7;
     EXPECT_EQ(f.repro(), "B+T:50:1:7");
-    f.j = 3;
+    // A single in-recovery crash keeps the historical bare-j shape.
+    f.stack = {3};
     EXPECT_EQ(f.repro(), "B+T:50:1:7:3");
     // Sampled-eviction failures carry their schedule in the string, so
     // no out-of-band --evict is needed to replay them.
     f.evict_num = 1;
     f.evict_den = 8;
     EXPECT_EQ(f.repro(), "B+T:50:1:7:3:e1/8");
+
+    // A deeper recovery-crash stack switches to the d-token.
+    f.stack = {3, 5};
+    EXPECT_EQ(f.repro(), "B+T:50:1:7:d3,5:e1/8");
+
+    // Drain-state failures carry their per-event word masks; strict
+    // failures their policy.
+    fault::Failure d;
+    d.workload = "LL";
+    d.steps = 6;
+    d.seed = 3;
+    d.k = 24;
+    d.drain = "03ff";
+    EXPECT_EQ(d.repro(), "LL:6:3:24:r03ff");
+    d.strict = true;
+    EXPECT_EQ(d.repro(), "LL:6:3:24:r03ff:S");
 }
 
 TEST(Explore, ReplayParsesEvictionToken)
@@ -198,7 +240,7 @@ TEST(Explore, ConcurrentReproCarriesSchedulerTokens)
     EXPECT_EQ(f.repro(), "LHT:12:4:9:t5");
     f.threads = 3;
     EXPECT_EQ(f.repro(), "LHT:12:4:9:t5:n3");
-    f.j = 2;
+    f.stack = {2};
     f.evict_num = 1;
     f.evict_den = 8;
     EXPECT_EQ(f.repro(), "LHT:12:4:9:2:t5:n3:e1/8");

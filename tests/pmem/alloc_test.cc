@@ -227,12 +227,14 @@ TEST(Alloc, DeferredPersistLeavesDurableHeapUntouched)
 TEST(Alloc, StaleAbsorbedHeaderIsNotAllocated)
 {
     // Freeing a block that coalesces into its previous neighbour
-    // rewrites only the surviving merged header; the absorbed block's
-    // old header bytes stay behind inside the free extent and still
-    // carry a valid checksum with the allocated bit set. isAllocated
-    // must not believe them — recovery uses it to decide whether a
-    // logged alloc/free already took effect, and a stale yes triggers a
-    // double free that swallows a live neighbour.
+    // rewrites the surviving merged header — and must POISON the
+    // absorbed block's old header bytes: a crc-valid allocated header
+    // surviving inside a free extent fools both isAllocated (recovery
+    // uses it to decide whether a logged alloc/free already took
+    // effect) and, worse, scrub's extent reconstruction after a torn
+    // fence drain, which can resurrect the stale bytes as a live
+    // allocation no log record covers (a permanent leak — found by the
+    // reorder explorer, LHT:8:1:139:r01:S:t1:n3).
     Pool pool("p", 1, 1 << 20);
     PoolAllocator alloc(pool);
     const uint32_t a = alloc.alloc(32);
@@ -241,14 +243,48 @@ TEST(Alloc, StaleAbsorbedHeaderIsNotAllocated)
     ASSERT_NE(c, 0u);
 
     alloc.free(a);
-    alloc.free(b); // merges into a's free block, leaving b's header stale
+    alloc.free(b); // merges into a's free block, absorbing b's header
     BlockHeader stale{};
     pool.readRaw(b - static_cast<uint32_t>(sizeof(BlockHeader)), &stale,
                  sizeof(stale));
-    ASSERT_TRUE(stale.crcValid() && stale.allocated())
-        << "precondition: the absorbed header must still read as "
-           "allocated for this test to cover the hazard";
+    EXPECT_FALSE(stale.crcValid())
+        << "the absorbed header must be poisoned, not left readable";
+    EXPECT_EQ(stale.size, 0u);
+    EXPECT_EQ(stale.flags, 0u);
 
+    EXPECT_FALSE(alloc.isAllocated(b));
+    EXPECT_TRUE(alloc.isAllocated(c));
+    EXPECT_TRUE(alloc.validate());
+}
+
+TEST(Alloc, RebuildSweepsStaleHeadersOutOfFreeExtents)
+{
+    // The poison fence can be lost in a crash between the merged
+    // header's persist and the poison's persist. The next pool open
+    // must sweep free-extent interiors and finish the job, so scrub's
+    // back-link scan never again meets the stale bytes.
+    Pool pool("p", 1, 1 << 20);
+    PoolAllocator alloc(pool);
+    const uint32_t a = alloc.alloc(32);
+    const uint32_t b = alloc.alloc(32);
+    const uint32_t c = alloc.alloc(32);
+    ASSERT_NE(c, 0u);
+    alloc.free(a);
+
+    // Forge the lost-poison state: re-plant b's pre-free header bytes
+    // inside what free(b) turns into a's merged free extent.
+    const uint32_t b_hdr = b - static_cast<uint32_t>(sizeof(BlockHeader));
+    BlockHeader old_b{};
+    pool.readRaw(b_hdr, &old_b, sizeof(old_b));
+    alloc.free(b);
+    pool.writeRaw(b_hdr, &old_b, sizeof(old_b));
+    pool.persist(b_hdr, sizeof(old_b));
+
+    alloc.rescan();
+    BlockHeader swept{};
+    pool.readRaw(b_hdr, &swept, sizeof(swept));
+    EXPECT_FALSE(swept.crcValid());
+    EXPECT_EQ(swept.size, 0u);
     EXPECT_FALSE(alloc.isAllocated(b));
     EXPECT_TRUE(alloc.isAllocated(c));
     EXPECT_TRUE(alloc.validate());

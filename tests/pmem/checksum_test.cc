@@ -137,16 +137,46 @@ TEST(HeaderChecksums, ZeroedLogEntryHeaderIsInvalid)
     EXPECT_FALSE(e.hdrCrcValid());
 }
 
-TEST(HeaderChecksums, BlockHeaderEveryFieldFlipDetected)
+TEST(HeaderChecksums, BlockHeaderSealedWordFlipDetected)
 {
     BlockHeader b{};
     b.size = 64;
     b.prev_size = 32;
     b.flags = BlockHeader::kAllocated;
     b.seal();
+    // The sealed word (size, flags) must reject every flip...
     expectEveryFlipDetected(
-        b, sizeof(BlockHeader),
+        b, offsetof(BlockHeader, prev_size),
         [](const BlockHeader &x) { return x.crcValid(); });
+    // ...and so must the crc itself.
+    for (size_t byte = offsetof(BlockHeader, crc);
+         byte < sizeof(BlockHeader); ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            BlockHeader copy = b;
+            reinterpret_cast<uint8_t *>(&copy)[byte] ^=
+                static_cast<uint8_t>(1u << bit);
+            EXPECT_FALSE(copy.crcValid())
+                << "undetected flip at byte " << byte << " bit " << bit;
+        }
+    }
+}
+
+TEST(HeaderChecksums, BlockHeaderPrevSizeIsUnsealed)
+{
+    // prev_size is derivable redundancy, deliberately outside the
+    // checksum: a torn neighbour update that only rewrote prev_size
+    // must leave the header valid (the chain walk repairs the stale
+    // value). This is what makes a bystander block's header
+    // tear-proof — see BlockHeader's class comment.
+    BlockHeader b{};
+    b.size = 64;
+    b.prev_size = 32;
+    b.flags = BlockHeader::kAllocated;
+    b.seal();
+    BlockHeader stale = b;
+    stale.prev_size = 4096;
+    EXPECT_TRUE(stale.crcValid());
+    EXPECT_EQ(stale.crc, b.crc);
 }
 
 TEST(HeaderChecksums, ZeroedBlockHeaderIsInvalid)

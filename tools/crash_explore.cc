@@ -41,6 +41,11 @@ struct Args
     unsigned jobs = 0;
     bool in_recovery = true;
     uint64_t inner_cap = 0;
+    uint64_t depth = 2;        ///< recovery levels that may crash
+    bool reorder = false;      ///< drain-subset + torn-line states
+    uint64_t drain_bound = 6;  ///< exhaustive-subset batch size cap
+    uint64_t drain_sample = 32; ///< sampled subsets per bigger batch
+    bool strict = false;       ///< run under the Strict policy
     uint64_t evict_num = 0;
     uint64_t evict_den = 8;
     uint32_t threads = 0;   ///< engine workers (LHT/MTPCC); 0 = default
@@ -71,6 +76,16 @@ usage()
         "  --no-in-recovery  skip crash points inside recovery\n"
         "  --inner-cap=N     in-recovery points per outer point;\n"
         "                    0 = all (default 0)\n"
+        "  --depth=N         recovery levels that may themselves crash\n"
+        "                    (recursive stack; default 2)\n"
+        "  --reorder         also explore fence-drain subset and\n"
+        "                    torn-line crash states (fault/reorder.h)\n"
+        "  --drain-bound=N   exhaustive subsets for batches up to N\n"
+        "                    events (default 6)\n"
+        "  --drain-sample=N  sampled subsets per larger batch\n"
+        "                    (default 32)\n"
+        "  --strict          run under the Strict durability policy\n"
+        "                    (CLWBs stage, fences drain in batches)\n"
         "  --evict=NUM/DEN   per-line eviction probability applied to\n"
         "                    all pools after every step (default off)\n"
         "  --threads=N       engine workers per step for the concurrent\n"
@@ -79,8 +94,9 @@ usage()
         "                    concurrent workloads (default 0)\n"
         "  --repro=R         replay one trial from a failure's\n"
         "                    reproducer string\n"
-        "                    workload:steps:seed:k[:j][:tS][:nT][:mF]\n"
-        "                    [:eN/D] (self-contained, but build-local)\n"
+        "                    workload:steps:seed:k[:j | :dJ1,J2,..]\n"
+        "                    [:rMASKS][:S][:tS][:nT][:mF][:eN/D]\n"
+        "                    (self-contained, but build-local)\n"
         "  --stats           dump fault.* counters after exploring\n"
         "media-fault mode (see src/fault/media.h):\n"
         "  --media           corrupt checksummed structures of crashed\n"
@@ -135,6 +151,16 @@ parseArgs(int argc, char **argv)
             a.in_recovery = false;
         } else if (s.rfind("--inner-cap=", 0) == 0) {
             a.inner_cap = parseU64("--inner-cap", value(12));
+        } else if (s.rfind("--depth=", 0) == 0) {
+            a.depth = parseU64("--depth", value(8));
+        } else if (s == "--reorder") {
+            a.reorder = true;
+        } else if (s.rfind("--drain-bound=", 0) == 0) {
+            a.drain_bound = parseU64("--drain-bound", value(14));
+        } else if (s.rfind("--drain-sample=", 0) == 0) {
+            a.drain_sample = parseU64("--drain-sample", value(15));
+        } else if (s == "--strict") {
+            a.strict = true;
         } else if (s.rfind("--evict=", 0) == 0) {
             const std::string v = value(8);
             const size_t slash = v.find('/');
@@ -196,6 +222,10 @@ parseArgs(int argc, char **argv)
             throw std::invalid_argument("unknown argument: " + s);
         }
     }
+    if (a.media && (a.reorder || a.strict))
+        throw std::invalid_argument(
+            "--media cannot combine with --reorder or --strict "
+            "(media trials run under the Eager policy)");
     return a;
 }
 
@@ -210,6 +240,11 @@ toOptions(const Args &a, const std::string &workload)
     opts.jobs = a.jobs;
     opts.in_recovery = a.in_recovery;
     opts.inner_cap = a.inner_cap;
+    opts.depth = a.depth;
+    opts.reorder = a.reorder;
+    opts.drain_bound = a.drain_bound;
+    opts.drain_sample = a.drain_sample;
+    opts.strict = a.strict;
     opts.evict_num = a.evict_num;
     opts.evict_den = a.evict_den;
     opts.threads = a.threads;
@@ -309,13 +344,23 @@ exploreOne(const Args &a, const std::string &workload,
                 opts.sample == 0 ? " (exhaustive)" : " (sampled)",
                 static_cast<unsigned long long>(rep.recovery_trials),
                 opts.in_recovery ? "" : " (disabled)");
+    if (opts.reorder) {
+        std::printf("      reorder: %llu drain states (%llu torn), "
+                    "bound=%llu sample=%llu%s\n",
+                    static_cast<unsigned long long>(rep.reorder_states),
+                    static_cast<unsigned long long>(rep.torn_states),
+                    static_cast<unsigned long long>(opts.drain_bound),
+                    static_cast<unsigned long long>(opts.drain_sample),
+                    opts.strict ? " (strict)" : "");
+    }
     std::printf("      injected=%llu undo_rolled_back=%llu "
-                "frees_redone=%llu leaked=%llu\n",
+                "frees_redone=%llu leaked=%llu max_depth=%llu\n",
                 static_cast<unsigned long long>(rep.crashes_injected),
                 static_cast<unsigned long long>(
                     rep.undo_entries_rolled_back),
                 static_cast<unsigned long long>(rep.frees_redone),
-                static_cast<unsigned long long>(rep.blocks_leaked));
+                static_cast<unsigned long long>(rep.blocks_leaked),
+                static_cast<unsigned long long>(rep.max_depth));
     for (const poat::fault::Failure &f : rep.failures)
         std::printf("      FAIL %s  %s\n", f.repro().c_str(),
                     f.why.c_str());
