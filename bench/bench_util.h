@@ -20,8 +20,10 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -31,6 +33,7 @@
 #include "common/trace_event.h"
 #include "driver/experiment.h"
 #include "driver/sweep.h"
+#include "report/contention.h"
 
 namespace poat {
 namespace bench {
@@ -52,6 +55,8 @@ struct BenchArgs
     std::string trace_cache; ///< instruction-trace cache dir (empty = off)
     uint64_t timeline = 0;  ///< cycles per timeline sample (0 = off)
     std::string timeline_dir = "timelines"; ///< --timeline output dir
+    bool timeline_cores = false; ///< per-core timeline lanes
+    bool contention = false;     ///< print per-run contention reports
 
     static void
     usage()
@@ -89,7 +94,17 @@ struct BenchArgs
                     "                    timeline_dump); observer-only,\n"
                     "                    results identical\n"
                     "  --timeline-dir=D  timeline output directory\n"
-                    "                    (default: timelines)\n");
+                    "                    (default: timelines)\n"
+                    "  --timeline-cores  add per-core blocked-reason\n"
+                    "                    gauges to multi-core runs'\n"
+                    "                    timelines (one Chrome lane per\n"
+                    "                    core); observer-only\n"
+                    "  --contention      print each multi-core run's\n"
+                    "                    contention report: top locks,\n"
+                    "                    aborts, blocked cycles, and\n"
+                    "                    the critical path (same data:\n"
+                    "                    tools/contention_report);\n"
+                    "                    reporting-only\n");
     }
 
     static BenchArgs
@@ -154,14 +169,20 @@ struct BenchArgs
                 }
             } else if (s.rfind("--timeline-dir=", 0) == 0) {
                 a.timeline_dir = s.substr(15);
+            } else if (s == "--timeline-cores") {
+                a.timeline_cores = true;
+            } else if (s == "--contention") {
+                a.contention = true;
             } else if (s == "--help") {
                 usage();
                 std::exit(0);
             } else {
+                // Strict CLI contract shared with the tools: unknown
+                // flags are a usage error, exit 2 (bench_smoke checks).
                 std::fprintf(stderr, "unknown argument: %s\n",
                              s.c_str());
                 usage();
-                POAT_FATAL("unrecognized bench argument");
+                std::exit(2);
             }
         }
         if (!a.trace.empty() && a.jobs != 1) {
@@ -492,6 +513,7 @@ runAll(const BenchArgs &args, JsonReport &report,
             c.timeline_interval = args.timeline;
             c.timeline_path = args.timeline_dir + "/" +
                 driver::configLabel(c) + ".poattl";
+            c.timeline_cores = args.timeline_cores;
         }
     }
     driver::SweepOptions so;
@@ -515,6 +537,29 @@ runAll(const BenchArgs &args, JsonReport &report,
         for (size_t i = 0; i < configs.size(); ++i)
             printCpiStack(driver::configLabel(configs[i]),
                           results[i].cpi);
+    }
+
+    if (args.contention) {
+        // Per-run contention reports, through the same flatten +
+        // extract path tools/contention_report uses on a saved
+        // --stats-json, so the printed numbers match the tool's.
+        hr();
+        size_t shown = 0;
+        for (size_t i = 0; i < configs.size(); ++i) {
+            std::ostringstream stats;
+            results[i].stats.dumpJson(stats);
+            report::ContentionRun run = report::extractContention(
+                report::flattenJson("{\"stats\": " + stats.str() + "}"),
+                "");
+            if (!run.present)
+                continue; // sequential run: nothing to report
+            run.label = driver::configLabel(configs[i]);
+            report::renderContentionText(run, std::cout);
+            ++shown;
+        }
+        if (shown == 0)
+            std::printf("--contention: no multi-core runs in this "
+                        "bench\n");
     }
 
     if (args.seeds.size() > 1) {

@@ -18,6 +18,8 @@ traceComponentName(TraceComponent c)
         return "nv";
       case TraceComponent::SwTranslate:
         return "sw_translate";
+      case TraceComponent::Core:
+        return "core";
     }
     return "unknown";
 }
@@ -38,6 +40,8 @@ traceOutcomeName(TraceOutcome o)
         return "store";
       case TraceOutcome::Flush:
         return "flush";
+      case TraceOutcome::Switch:
+        return "switch";
     }
     return "unknown";
 }

@@ -45,6 +45,7 @@ enum class TraceComponent : uint8_t
     Tlb,         ///< D-TLB fill on the translated access
     NvAccess,    ///< the nvld/nvst data access itself
     SwTranslate, ///< software oid_direct call (BASE)
+    Core,        ///< scheduling: the active simulated core changed
 };
 
 /** What happened. */
@@ -56,6 +57,7 @@ enum class TraceOutcome : uint8_t
     Load,
     Store,
     Flush,
+    Switch, ///< core switch-in (the "oid" field carries the core id)
 };
 
 /** Name tables (stable; part of the poat-trace v1 format). */

@@ -299,6 +299,7 @@ fillFunctionalProfile(const ExperimentConfig &cfg, const PmemRuntime &rt,
         prof.counter("engine.gc.members") = e.gc_members;
         prof.counter("engine.gc.fences_elided") = e.fences_elided;
         prof.counter("engine.switches") = e.switches;
+        prof.counter("tx.abort.undo_bytes") = rt.abortUndoBytes();
     }
 }
 
@@ -443,7 +444,7 @@ makeTimeline(const ExperimentConfig &cfg, sim::Machine &machine,
         return nullptr;
     auto timeline = std::make_unique<telemetry::TimelineSampler>(
         cfg.timeline_interval, cfg.timeline_path);
-    machine.attachTimeline(timeline.get());
+    machine.attachTimeline(timeline.get(), cfg.timeline_cores);
     if (rt) {
         PoolRegistry *reg = &rt->registry();
         timeline->addGauge("pmem.undo_log_bytes", [reg] {

@@ -113,8 +113,18 @@ struct ExperimentConfig
      */
     uint64_t timeline_interval = 0;
 
-    /** Output path of the poat-timeline v1 stream (see above). */
+    /** Output path of the poat-timeline v2 stream (see above). */
     std::string timeline_path;
+
+    /**
+     * Per-core timeline lanes: when the timeline is on and the run is
+     * multi-core, additionally register one blocked-reason gauge per
+     * core ("sched.core.<i>.blocked.<reason>.total") so viewers render
+     * a lane per core. Timing- and reporting-only, like the timeline
+     * itself: deliberately excluded from traceFingerprint(), and the
+     * stats report stays bit-identical with it on or off.
+     */
+    bool timeline_cores = false;
 
     /**
      * Cycle-stamped event tracer attached to the run's machine for the

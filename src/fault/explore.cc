@@ -112,6 +112,7 @@ runTrial(const ExploreOptions &opts, uint64_t k,
         f.sched_seed = opts.sched_seed;
         f.threads = opts.threads;
         f.why = why;
+        f.diag = driver->diagnostics();
         ts.failures.push_back(std::move(f));
     };
 

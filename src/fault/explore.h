@@ -199,6 +199,14 @@ struct Failure
     std::string why;
 
     /**
+     * Concurrency diagnostics captured from the driver when the trial
+     * failed (CrashDriver::diagnostics(): per-slot commit/abort and
+     * lock counters); empty for sequential workloads. Reporting-only —
+     * not part of the reproducer string.
+     */
+    std::string diag;
+
+    /**
      * "workload:steps:seed:k[:j | :dJ1,J2,..][:rMASKS][:S][:tSEED]
      * [:nTHREADS][:mFAULT][:eNUM/DEN]" — feed to crash_explore
      * --repro. Self-contained: every input the trial consumed

@@ -12,6 +12,9 @@ ConcurrentEngine::ConcurrentEngine(PmemRuntime &rt, CoopScheduler &sched,
       gc_(rt, opts.commit_window)
 {
     POAT_ASSERT(opts_.threads >= 1, "engine needs at least one worker");
+    // Observability only: the lock manager narrates waits/grants/
+    // deadlocks into the runtime's sink. Grant order is unaffected.
+    locks_.setSink(&rt_.sink());
 }
 
 void
@@ -26,7 +29,12 @@ ConcurrentEngine::run(const std::function<void(uint32_t)> &body)
         rt_.sink().coreSwitch(t);
     });
 
-    sched_.run(opts_.threads, body);
+    sched_.run(opts_.threads, [this, &body](uint32_t t) {
+        body(t);
+        // Observer: lets profilers distinguish "done" from "blocked"
+        // for the rest of the run. Carries no cycles.
+        rt_.sink().workerDone(t);
+    });
 
     gc_.close();
     rt_.setCommitFenceBatching(false);
@@ -44,6 +52,8 @@ ConcurrentEngine::txRun(const std::function<void()> &fn)
         table_.noteBegin(w, attempt > 0);
         try {
             fn();
+            if (opts_.commit_window > 1)
+                rt_.sink().commitJoin(w);
             gc_.commit();
             locks_.releaseAll(w);
             table_.noteCommit(w);

@@ -65,6 +65,14 @@ LockManager::waitTargets(uint32_t w, std::vector<uint32_t> *out) const
     }
 }
 
+uint32_t
+LockManager::waitEdges(uint32_t w) const
+{
+    std::vector<uint32_t> targets;
+    waitTargets(w, &targets);
+    return static_cast<uint32_t>(targets.size());
+}
+
 bool
 LockManager::wouldDeadlock(uint32_t w) const
 {
@@ -107,10 +115,14 @@ LockManager::acquire(uint32_t w, uint64_t key, LockMode mode,
         // holder. Going through the FIFO instead would deadlock two
         // upgraders against each other by construction.
         upgradeKey_[w] = key;
+        if (sink_ && ls.holders.size() > 1)
+            sink_->lockWait(w, key, 1, waitEdges(w));
         while (ls.holders.size() > 1) {
             if (wouldDeadlock(w)) {
                 upgradeKey_.erase(w);
                 ++deadlocks_;
+                if (sink_)
+                    sink_->lockDeadlock(w, key);
                 throw DeadlockAbort(w, key);
             }
             ++waits_;
@@ -119,17 +131,24 @@ LockManager::acquire(uint32_t w, uint64_t key, LockMode mode,
         upgradeKey_.erase(w);
         ls.mode = LockMode::Exclusive;
         ++acquisitions_;
+        if (sink_)
+            sink_->lockAcquired(w, key, 1);
         return;
     }
 
     LockState &ls = locks_[key];
     ls.queue.push_back({w, mode});
     waitKey_[w] = key;
+    if (sink_ && !grantable(ls, w, mode))
+        sink_->lockWait(w, key, mode == LockMode::Exclusive ? 1 : 0,
+                        waitEdges(w));
     while (!grantable(ls, w, mode)) {
         if (wouldDeadlock(w)) {
             waitKey_.erase(w);
             removeWaiter(key, w);
             ++deadlocks_;
+            if (sink_)
+                sink_->lockDeadlock(w, key);
             throw DeadlockAbort(w, key);
         }
         ++waits_;
@@ -139,6 +158,8 @@ LockManager::acquire(uint32_t w, uint64_t key, LockMode mode,
     POAT_ASSERT(ls.queue.front().worker == w, "grant out of FIFO order");
     ls.queue.pop_front();
     grant(ls, w, mode, key);
+    if (sink_)
+        sink_->lockAcquired(w, key, mode == LockMode::Exclusive ? 1 : 0);
 }
 
 bool
@@ -152,6 +173,8 @@ LockManager::tryAcquire(uint32_t w, uint64_t key, LockMode mode)
             return false;
         ls.mode = LockMode::Exclusive;
         ++acquisitions_;
+        if (sink_)
+            sink_->lockAcquired(w, key, 1);
         return true;
     }
     auto it = locks_.find(key);
@@ -161,6 +184,9 @@ LockManager::tryAcquire(uint32_t w, uint64_t key, LockMode mode)
                                  it->second.mode == LockMode::Shared)))) {
         LockState &ls = locks_[key];
         grant(ls, w, mode, key);
+        if (sink_)
+            sink_->lockAcquired(w, key,
+                                mode == LockMode::Exclusive ? 1 : 0);
         return true;
     }
     return false;
@@ -180,6 +206,8 @@ LockManager::release(uint32_t w, uint64_t key)
     ls.holders.erase(it);
     if (ls.holders.empty() && ls.queue.empty())
         locks_.erase(key);
+    if (sink_)
+        sink_->lockReleased(w, key);
     // Waiters poll on their next resume; no handoff needed here.
 }
 

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "pmem/concurrent/sched.h"
+#include "pmem/trace.h"
 
 namespace poat {
 namespace concurrent {
@@ -98,6 +99,14 @@ class LockManager
     uint64_t deadlocks() const { return deadlocks_; }
     /// @}
 
+    /**
+     * Sink receiving the observability events (lockWait/lockAcquired/
+     * lockReleased/lockDeadlock; see pmem/trace.h). Null (the default)
+     * emits nothing. The events are pure observers — granting order,
+     * victim choice, and counters are identical with or without one.
+     */
+    void setSink(TraceSink *sink) { sink_ = sink; }
+
   private:
     struct Waiter
     {
@@ -125,6 +134,9 @@ class LockManager
      */
     void waitTargets(uint32_t w, std::vector<uint32_t> *out) const;
 
+    /** Waits-for edges @p w currently has (lockWait operand). */
+    uint32_t waitEdges(uint32_t w) const;
+
     /** DFS over the waits-for graph: does a cycle pass through @p w? */
     bool wouldDeadlock(uint32_t w) const;
 
@@ -139,6 +151,8 @@ class LockManager
     uint64_t acquisitions_ = 0;
     uint64_t waits_ = 0;
     uint64_t deadlocks_ = 0;
+
+    TraceSink *sink_ = nullptr; ///< observability only; never affects grants
 };
 
 } // namespace concurrent

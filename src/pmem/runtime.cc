@@ -536,6 +536,7 @@ PmemRuntime::txAbort()
         for (auto it = records.rbegin(); it != records.rend(); ++it) {
             if (it->type != LogEntryHeader::kData)
                 continue;
+            abortUndoBytes_ += it->size;
             const uint32_t payload = it->entry_off +
                 static_cast<uint32_t>(sizeof(LogEntryHeader));
             for (uint32_t w = 0; w < (it->size + 7) / 8; ++w) {
@@ -567,6 +568,7 @@ PmemRuntime::setOp(const char *name)
     if (fresh)
         sink_->opName(it->second, name);
     cur().currentOp = it->second;
+    sink_->opSet(it->second);
 }
 
 // --------------------------------------------------------------------

@@ -236,6 +236,14 @@ class PmemRuntime
 
     /** Commit fences withheld in the current window. */
     uint64_t pendingCommitFences() const { return pendingFences_; }
+
+    /**
+     * Undo-log bytes copied back by txAbort() over the runtime's
+     * lifetime (across all workers and pools). Counted host-side from
+     * the log records, so live and replayed runs agree; feeds the
+     * tx.abort.undo_bytes functional-profile counter.
+     */
+    uint64_t abortUndoBytes() const { return abortUndoBytes_; }
     /// @}
 
     /// @name Workload support
@@ -325,6 +333,7 @@ class PmemRuntime
     uint32_t worker_ = 0;               ///< active worker context
     bool fenceBatch_ = false;    ///< group-commit window open
     uint64_t pendingFences_ = 0; ///< commit fences withheld so far
+    uint64_t abortUndoBytes_ = 0; ///< undo bytes rolled back (all time)
     std::map<std::string, uint32_t> opIds_; ///< interned setOp names
 };
 

@@ -181,6 +181,81 @@ class TraceSink
         (void)name;
     }
 
+    /**
+     * The current worker switched to the workload op interned as @p op
+     * (observability, not timing; see opName). Contention profilers use
+     * it to attribute lock waits to operations; every other sink may
+     * ignore it. Wrapping sinks must forward it.
+     */
+    virtual void opSet(uint32_t op) { (void)op; }
+
+    /// @name Concurrency observability events
+    ///
+    /// Emitted by the concurrent engine stack (lock manager, group
+    /// commit, worker lifecycle). Pure observers: they carry no
+    /// instructions and no cycles, so timing and stats are bit-identical
+    /// whether a sink models them or not. Never emitted by
+    /// single-threaded sequential runs. Wrapping sinks (the trace
+    /// recorder) must forward all of them so replays profile
+    /// identically.
+    /// @{
+
+    /**
+     * Worker @p worker started blocking on lock @p key in mode @p mode
+     * (0 = shared, 1 = exclusive). @p edges is the number of waits-for
+     * edges the deadlock detector saw for this wait.
+     */
+    virtual void lockWait(uint32_t worker, uint64_t key, uint8_t mode,
+                          uint32_t edges)
+    {
+        (void)worker;
+        (void)key;
+        (void)mode;
+        (void)edges;
+    }
+
+    /** Worker @p worker was granted lock @p key in mode @p mode. */
+    virtual void lockAcquired(uint32_t worker, uint64_t key, uint8_t mode)
+    {
+        (void)worker;
+        (void)key;
+        (void)mode;
+    }
+
+    /** Worker @p worker released lock @p key. */
+    virtual void lockReleased(uint32_t worker, uint64_t key)
+    {
+        (void)worker;
+        (void)key;
+    }
+
+    /**
+     * Worker @p worker was chosen as the deadlock victim while
+     * requesting lock @p key (a DeadlockAbort is about to unwind it).
+     */
+    virtual void lockDeadlock(uint32_t worker, uint64_t key)
+    {
+        (void)worker;
+        (void)key;
+    }
+
+    /** Worker @p worker finished its engine body (no more work). */
+    virtual void workerDone(uint32_t worker) { (void)worker; }
+
+    /** Worker @p worker's transaction joined the open commit window. */
+    virtual void commitJoin(uint32_t worker) { (void)worker; }
+
+    /**
+     * The commit window closed with @p members enrolled transactions,
+     * eliding @p elided commit fences into the one emitted.
+     */
+    virtual void commitBatch(uint32_t members, uint32_t elided)
+    {
+        (void)members;
+        (void)elided;
+    }
+    /// @}
+
   private:
     uint64_t fallbackTag_ = 0;
 };

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Contention-report extraction and rendering.
+ *
+ * Turns the concurrency-observability stats a multi-core run exports
+ * (src/telemetry/contention.h: "lock.*", "sched.*", "commit.batch.*",
+ * "tx.abort.*", "cp.*") back into a digestible report: the top
+ * contended locks, the abort/retry summary, the machine-wide blocked
+ * breakdown, and the critical path with its top contributors.
+ *
+ * The extractor consumes a flattened --stats-json document
+ * (report::flattenJson), so it works on any bench report regardless of
+ * which binary produced it: extractContention() reads one run given
+ * its path prefix ("runs[3]." inside a bench report, "" for a bare
+ * stats document) and extractAllContention() walks every
+ * "runs[i]" record, skipping runs without contention stats
+ * (sequential runs never export them). tools/contention_report wraps
+ * this as a CLI; bench --contention prints the same text per run.
+ */
+#ifndef POAT_REPORT_CONTENTION_H
+#define POAT_REPORT_CONTENTION_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "report/stats_diff.h"
+
+namespace poat {
+namespace report {
+
+/** One row of the top-contended-locks table ("lock.top.<r>.*"). */
+struct ContentionLock
+{
+    uint64_t key = 0;
+    uint64_t waits = 0;
+    uint64_t wait_cycles = 0;
+    uint64_t hold_cycles = 0;
+    uint64_t acquisitions = 0;
+};
+
+/** Contention stats of one run, extracted from a flattened report. */
+struct ContentionRun
+{
+    std::string label;    ///< runs[i].label ("" for bare documents)
+    bool present = false; ///< run exported contention stats at all
+
+    uint64_t makespan = 0; ///< core.cycles (max over core clocks)
+    uint64_t cores = 0;    ///< sched.core.<i>.* lanes found
+
+    /// @name lock.*
+    /// @{
+    uint64_t lock_waits = 0;
+    uint64_t lock_acquisitions = 0;
+    uint64_t waits_for_edges = 0;
+    uint64_t deadlock_victims = 0;
+    double wait_mean = 0, wait_p99 = 0, wait_max = 0;
+    double hold_mean = 0, hold_p99 = 0, hold_max = 0;
+    std::vector<ContentionLock> top; ///< by wait cycles, descending
+    /// @}
+
+    /// @name tx.abort.* / commit.batch.*
+    /// @{
+    uint64_t aborts = 0;
+    uint64_t wasted_cycles = 0;
+    uint64_t undo_bytes = 0;
+    uint64_t retries = 0; ///< engine.retries (functional twin)
+    uint64_t commits = 0; ///< engine.commits
+    uint64_t batch_windows = 0;
+    uint64_t fences_elided = 0;
+    double batch_occupancy_mean = 0;
+    /// @}
+
+    /// Machine-wide blocked cycles by reason ("sched.blocked.<r>"),
+    /// in blockReasonName order where present.
+    std::vector<std::pair<std::string, uint64_t>> blocked;
+
+    /// @name cp.* (critical path)
+    /// @{
+    uint64_t cp_length = 0;
+    double cp_pct = 0; ///< cp.length / makespan
+    uint64_t cp_segments = 0;
+    uint64_t cp_lock_edges = 0;
+    std::vector<std::pair<std::string, uint64_t>> cp_ops;
+    std::vector<std::pair<uint64_t, uint64_t>> cp_locks; ///< key, cycles
+    /// @}
+};
+
+/**
+ * Extract one run's contention stats from @p flat. @p prefix is the
+ * flattened path up to (and including) the dot before "stats", e.g.
+ * "runs[3]." for a bench report or "" for a document whose top level
+ * is the stats object itself. Returns present=false when the run
+ * carries no "stats.lock.acquisitions" leaf.
+ */
+ContentionRun extractContention(const FlatJson &flat,
+                                const std::string &prefix);
+
+/**
+ * Extract every "runs[i]" record of a bench report, in index order,
+ * keeping only runs with contention stats. Falls back to treating the
+ * whole document as one bare stats object when it has no runs[] array.
+ */
+std::vector<ContentionRun> extractAllContention(const FlatJson &flat);
+
+/** Render one run's report as human-readable text. */
+void renderContentionText(const ContentionRun &run, std::ostream &os);
+
+/** Render runs as a JSON array (machine-readable report). */
+void renderContentionJson(const std::vector<ContentionRun> &runs,
+                          std::ostream &os);
+
+} // namespace report
+} // namespace poat
+
+#endif // POAT_REPORT_CONTENTION_H

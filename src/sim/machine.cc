@@ -103,7 +103,11 @@ void
 Machine::coreSwitch(uint32_t core)
 {
     POAT_ASSERT(core < cores_.size(), "coreSwitch to a core beyond N");
+    const uint32_t prev = active_;
+    contention_.coreSwitchIn(core, prev, cycles());
     active_ = core;
+    POAT_TRACE(tracer_, cores_[core]->model->cycles(),
+               TraceComponent::Core, TraceOutcome::Switch, core, 0);
 }
 
 void
@@ -395,6 +399,7 @@ Machine::txAbort(uint32_t pool_id)
     const auto it = c.openTx.find(pool_id);
     POAT_ASSERT(it != c.openTx.end(), "txAbort without txBegin");
     ++c.txAborts;
+    contention_.txAborted(c.model->cycles() - it->second.begin_cycle);
     c.openTx.erase(it);
 }
 
@@ -403,10 +408,62 @@ Machine::opName(uint32_t op, const char *name)
 {
     opLat_[op] =
         &stats_.histogram("tx.op." + std::string(name) + ".latency");
+    contention_.opName(op, name);
 }
 
 void
-Machine::attachTimeline(telemetry::TimelineSampler *timeline)
+Machine::opSet(uint32_t op)
+{
+    contention_.opSet(active_, op, cycles());
+}
+
+void
+Machine::lockWait(uint32_t, uint64_t key, uint8_t mode, uint32_t edges)
+{
+    contention_.lockWait(active_, key, mode, edges, cycles());
+}
+
+void
+Machine::lockAcquired(uint32_t, uint64_t key, uint8_t)
+{
+    contention_.lockAcquired(active_, key, cur().model->cycles(),
+                             cycles());
+}
+
+void
+Machine::lockReleased(uint32_t, uint64_t key)
+{
+    contention_.lockReleased(active_, key, cur().model->cycles(),
+                             cycles());
+}
+
+void
+Machine::lockDeadlock(uint32_t, uint64_t key)
+{
+    contention_.lockDeadlock(active_, key, cycles());
+}
+
+void
+Machine::workerDone(uint32_t)
+{
+    contention_.workerDone(active_, cycles());
+}
+
+void
+Machine::commitJoin(uint32_t)
+{
+    contention_.commitJoin(active_, cycles());
+}
+
+void
+Machine::commitBatch(uint32_t members, uint32_t elided)
+{
+    contention_.commitBatch(members, elided, cycles());
+}
+
+void
+Machine::attachTimeline(telemetry::TimelineSampler *timeline,
+                        bool per_core_lanes)
 {
     timeline_ = timeline;
     if (!timeline_)
@@ -421,6 +478,23 @@ Machine::attachTimeline(telemetry::TimelineSampler *timeline)
     });
     timeline_->addGauge("pot.outstanding_walks",
                         [this] { return potOutstanding_; });
+    timeline_->setCores(static_cast<uint32_t>(cores_.size()));
+    if (!per_core_lanes || cores_.size() <= 1)
+        return;
+    // Per-core blocked-reason lanes: cumulative cycles charged so far
+    // (".total" suffix keeps the names distinct from the per-interval
+    // delta series the registry counters already contribute).
+    for (uint32_t i = 0; i < cores_.size(); ++i) {
+        for (uint32_t r = 0; r < telemetry::kBlockReasons; ++r) {
+            const auto reason = static_cast<telemetry::BlockReason>(r);
+            timeline_->addGauge(
+                "sched.core." + std::to_string(i) + ".blocked." +
+                    telemetry::blockReasonName(reason) + ".total",
+                [this, i, reason] {
+                    return contention_.blockedCycles(i, reason);
+                });
+        }
+    }
 }
 
 void
@@ -557,6 +631,13 @@ Machine::syncStats() const
     reg.counter("tx.commits") = tx_commits;
     reg.counter("tx.aborts") = tx_aborts;
     reg.counter("tx.retries") = txRetries_;
+
+    // Concurrency observability: exported for multi-core machines and
+    // for any machine that saw concurrency events, so single-threaded
+    // sequential runs keep their exact pre-existing schema (golden
+    // baselines, stats_diff gates).
+    if (multi || contention_.active())
+        contention_.exportInto(reg, cyc_max);
 }
 
 const StatsRegistry &

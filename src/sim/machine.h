@@ -46,6 +46,7 @@
 #include "common/stats.h"
 #include "common/trace_event.h"
 #include "pmem/trace.h"
+#include "telemetry/contention.h"
 #include "sim/branch.h"
 #include "sim/cache.h"
 #include "sim/config.h"
@@ -125,6 +126,15 @@ class Machine : public TraceSink
     void txCommit(uint32_t pool_id) override;
     void txAbort(uint32_t pool_id) override;
     void opName(uint32_t op, const char *name) override;
+    void opSet(uint32_t op) override;
+    void lockWait(uint32_t worker, uint64_t key, uint8_t mode,
+                  uint32_t edges) override;
+    void lockAcquired(uint32_t worker, uint64_t key, uint8_t mode) override;
+    void lockReleased(uint32_t worker, uint64_t key) override;
+    void lockDeadlock(uint32_t worker, uint64_t key) override;
+    void workerDone(uint32_t worker) override;
+    void commitJoin(uint32_t worker) override;
+    void commitBatch(uint32_t members, uint32_t elided) override;
     /// @}
 
     /** Collected metrics for the run so far. */
@@ -208,8 +218,23 @@ class Machine : public TraceSink
      * sampler observes only — attaching one changes no simulated
      * state, so metrics and stats stay bit-identical.
      */
-    void attachTimeline(telemetry::TimelineSampler *timeline);
+    /**
+     * Attach (or detach, with nullptr) an interval timeline sampler.
+     * With @p per_core_lanes set (and more than one core), also
+     * registers per-core blocked-reason gauges
+     * ("sched.core.<i>.blocked.<reason>.total", cumulative cycles) so
+     * multi-core timelines carry one lane per core. Reporting-only:
+     * simulated state and aggregate stats stay bit-identical.
+     */
+    void attachTimeline(telemetry::TimelineSampler *timeline,
+                        bool per_core_lanes = false);
     telemetry::TimelineSampler *timeline() const { return timeline_; }
+
+    /** The run's contention/blocking profiler (always-on observer). */
+    const telemetry::ContentionProfiler &contention() const
+    {
+        return contention_;
+    }
 
     const MachineConfig &config() const { return cfg_; }
     Polb &polb(uint32_t core = 0) { return cores_[core]->polb; }
@@ -311,6 +336,17 @@ class Machine : public TraceSink
     Histogram *hTxDurab_;    ///< tx.durability_events
 
     std::map<uint32_t, Histogram *> opLat_; ///< op id -> tx.op.* hist
+
+    /**
+     * Concurrency observability (lock.*, sched.*, commit.batch.*,
+     * tx.abort.*, cp.* stats). Always-on and purely observational;
+     * syncStats() exports it only for multi-core machines or once
+     * concurrency events were seen, so sequential runs keep their
+     * exact pre-existing stats schema. Mutable: exportInto settles
+     * attribution from const stats accessors.
+     */
+    mutable telemetry::ContentionProfiler contention_;
+
     uint64_t txRetries_ = 0; ///< concurrent-tx retry loops (see engine)
     uint64_t polbShootdowns_ = 0; ///< remote invalidations broadcast
 

@@ -130,6 +130,7 @@ TimelineSampler::writeSchema()
         (void)value;
         counterNames_.push_back(name);
     }
+    plainCounters_ = counterNames_.size();
     for (const auto &[name, stack] : reg.cpiStacks()) {
         (void)stack;
         for (size_t c = 0; c < kCpiComponents; ++c)
@@ -146,6 +147,7 @@ TimelineSampler::writeSchema()
     // Sample count at offset 20 is patched by finish(); leave zeros.
     putLe32(header + 28, static_cast<uint32_t>(counterNames_.size()));
     putLe32(header + 32, static_cast<uint32_t>(gaugeNames_.size()));
+    putLe32(header + 36, cores_);
 
     std::vector<uint8_t> buf(header, header + kTimelineHeaderSize);
     for (const auto *names : {&counterNames_, &gaugeNames_}) {
@@ -188,25 +190,33 @@ TimelineSampler::sample(uint64_t end_cycle)
     if (!schemaWritten_)
         writeSchema();
     const StatsRegistry &reg = source_();
-    std::vector<uint64_t> values;
-    values.reserve(counterNames_.size());
-    for (const auto &[name, value] : reg.counters()) {
-        (void)name;
-        values.push_back(value);
+    // Match the registry against the frozen schema BY NAME: the
+    // registry is append-only but sorted, so a counter registered
+    // after the schema froze (the contention tables grow mid-run)
+    // lands in the middle of the map — a positional copy would shift
+    // every later series. The frozen names are a sorted subsequence of
+    // the current map, so one linear merge recovers them.
+    std::vector<uint64_t> values(counterNames_.size(), 0);
+    size_t i = 0;
+    for (auto it = reg.counters().begin();
+         i < plainCounters_ && it != reg.counters().end(); ++it) {
+        if (it->first == counterNames_[i])
+            values[i++] = it->second;
     }
+    POAT_ASSERT(i == plainCounters_,
+                "stats registry lost counters mid-run");
     for (const auto &[name, stack] : reg.cpiStacks()) {
-        (void)name;
+        if (i >= counterNames_.size())
+            break;
+        // A stack is in the schema wholesale or (registered after the
+        // freeze) not at all; its first component name decides.
+        if (counterNames_[i].rfind(name + ".", 0) != 0)
+            continue;
         for (uint64_t c : stack.cycles)
-            values.push_back(c);
+            values[i++] = c;
     }
-    // A registry is append-only, so a counter or stack registered after
-    // the schema froze can only push the flattened vector past the
-    // schema; drop the unannounced tail (documented in the header).
-    if (values.size() != prev_.size()) {
-        POAT_ASSERT(values.size() > prev_.size(),
-                    "stats registry lost counters mid-run");
-        values.resize(prev_.size());
-    }
+    POAT_ASSERT(i == counterNames_.size(),
+                "stats registry lost CPI stacks mid-run");
     std::vector<uint64_t> gauges;
     gauges.reserve(gaugeFns_.size());
     for (const auto &fn : gaugeFns_)
@@ -292,6 +302,7 @@ TimelineReader::TimelineReader(const std::string &path)
     const uint64_t sample_count = getLe64(file.data() + 20);
     const uint32_t n_counters = getLe32(file.data() + 28);
     const uint32_t n_gauges = getLe32(file.data() + 32);
+    cores_ = getLe32(file.data() + 36);
 
     size_t pos = kTimelineHeaderSize;
     auto read_name = [&]() {
@@ -366,8 +377,9 @@ dumpCsv(const TimelineReader &tl, std::ostream &os)
 void
 dumpJson(const TimelineReader &tl, std::ostream &os)
 {
-    os << "{\n  \"format\": \"poat-timeline v1\",\n  \"interval\": "
-       << tl.interval() << ",\n  \"counters\": [";
+    os << "{\n  \"format\": \"poat-timeline v2\",\n  \"interval\": "
+       << tl.interval() << ",\n  \"cores\": " << tl.cores()
+       << ",\n  \"counters\": [";
     for (size_t i = 0; i < tl.counterNames().size(); ++i) {
         os << (i ? ", " : "") << '"';
         jsonEscape(os, tl.counterNames()[i]);
@@ -394,20 +406,61 @@ dumpJson(const TimelineReader &tl, std::ostream &os)
     os << "\n  ]\n}\n";
 }
 
+namespace {
+
+/**
+ * Core a series belongs to: "core.<i>.*" and "sched.core.<i>.*" map
+ * to core i, everything else to -1 (machine-wide).
+ */
+int
+seriesCore(const std::string &name)
+{
+    size_t pos = std::string::npos;
+    if (name.compare(0, 5, "core.") == 0)
+        pos = 5;
+    else if (name.compare(0, 11, "sched.core.") == 0)
+        pos = 11;
+    if (pos == std::string::npos || pos >= name.size() ||
+        name[pos] < '0' || name[pos] > '9')
+        return -1;
+    int core = 0;
+    size_t i = pos;
+    while (i < name.size() && name[i] >= '0' && name[i] <= '9')
+        core = core * 10 + (name[i++] - '0');
+    if (i >= name.size() || name[i] != '.')
+        return -1; // "core.cycles", "core.count", ... are machine-wide
+    return core;
+}
+
+} // namespace
+
 void
 dumpChrome(const TimelineReader &tl, std::ostream &os)
 {
     // One "ph":"C" counter event per series per sample, with the
     // components of a CPI stack ("<stack>.<component>") merged into a
     // single multi-value track named "<stack>" so viewers stack them.
+    // Per-core series ("core.<i>.*", "sched.core.<i>.*") live under
+    // their own Chrome process (pid 1 + i, named via process_name
+    // metadata) so each core renders as a separate lane; machine-wide
+    // series stay on pid 0.
     os << "[";
     bool first = true;
+    os << "\n {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, "
+          "\"args\": {\"name\": \"machine\"}}";
+    first = false;
+    for (uint32_t c = 0; c < tl.cores(); ++c)
+        os << ",\n {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": "
+           << 1 + c << ", \"args\": {\"name\": \"core " << c << "\"}}";
+
     auto event = [&](const std::string &name, uint64_t ts,
                      auto &&write_args) {
+        const int core = seriesCore(name);
         os << (first ? "\n" : ",\n") << " {\"name\": \"";
         jsonEscape(os, name);
         os << "\", \"ph\": \"C\", \"ts\": " << ts
-           << ", \"pid\": 0, \"tid\": 0, \"args\": {";
+           << ", \"pid\": " << (core < 0 ? 0 : 1 + core)
+           << ", \"tid\": 0, \"args\": {";
         write_args();
         os << "}}";
         first = false;

@@ -1,6 +1,6 @@
 /**
  * @file
- * Interval telemetry: the "poat-timeline v1" format.
+ * Interval telemetry: the "poat-timeline v2" format.
  *
  * A TimelineSampler turns the run's end-of-run aggregates into a time
  * series: every N cycles it snapshots the full StatsRegistry counter
@@ -14,17 +14,25 @@
  *
  * File layout (all fixed-width integers little-endian):
  *
- *   offset 0   magic "poattlv1" (8 bytes)
- *          8   u32 format version (1)
+ *   offset 0   magic "poattlv2" (8 bytes)
+ *          8   u32 format version (2)
  *         12   u64 sampling interval (cycles)
  *         20   u64 sample count      (patched by finish())
  *         28   u32 counter series count
  *         32   u32 gauge series count
- *         36   series names, counters then gauges, each varint length
+ *         36   u32 simulated core count (v2; 0 if never set)
+ *         40   series names, counters then gauges, each varint length
  *              + raw bytes
  *          .   samples, appended as they are taken: varint end_cycle,
  *              one zigzag varint delta per counter series, one varint
  *              absolute value per gauge series
+ *
+ * v2 added the core-count header field and per-core lanes: multi-core
+ * registries contribute "core.<i>.*" counter series (CPI deltas
+ * included) and the machine can register per-core blocked-reason
+ * gauges; dumpChrome() groups each core's series under its own Chrome
+ * trace process so viewers render one lane per core. v1 files are not
+ * read (timelines are transient run outputs, not cached artifacts).
  *
  * Sampling semantics: the sampler fires on the first event boundary at
  * or past each multiple of N. An event that jumps several multiples
@@ -37,6 +45,10 @@
  * The counter schema is frozen at the first sample (the registry's
  * fixed counter set plus "<stack>.<component>" for every CPI stack);
  * counters that first appear later in the run are not retrofitted.
+ * Later samples match the registry BY NAME against the frozen schema,
+ * so mid-run registrations (the contention profiler's lock.top.* /
+ * cp.* tables grow as the run contends) cannot shift the frozen
+ * series' positions.
  */
 #ifndef POAT_TELEMETRY_TIMELINE_H
 #define POAT_TELEMETRY_TIMELINE_H
@@ -48,6 +60,8 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
+
 namespace poat {
 
 class StatsRegistry;
@@ -56,15 +70,15 @@ namespace telemetry {
 
 /** File magic, first 8 bytes of every poat-timeline file. */
 inline constexpr char kTimelineMagic[8] = {'p', 'o', 'a', 't',
-                                           't', 'l', 'v', '1'};
+                                           't', 'l', 'v', '2'};
 
 /** Format version this build reads and writes. */
-inline constexpr uint32_t kTimelineVersion = 1;
+inline constexpr uint32_t kTimelineVersion = 2;
 
-/** Bytes before the series names (magic + version + 4 fixed fields). */
-inline constexpr size_t kTimelineHeaderSize = 36;
+/** Bytes before the series names (magic + version + 5 fixed fields). */
+inline constexpr size_t kTimelineHeaderSize = 40;
 
-/** Cycle-driven delta sampler writing a poat-timeline v1 file. */
+/** Cycle-driven delta sampler writing a poat-timeline v2 file. */
 class TimelineSampler
 {
   public:
@@ -95,6 +109,17 @@ class TimelineSampler
      * all gauges must be registered before the first sample fires.
      */
     void addGauge(std::string name, std::function<uint64_t()> fn);
+
+    /**
+     * Record the simulated core count in the header (v2 field; the
+     * machine sets it at attach). Must precede the first sample.
+     */
+    void setCores(uint32_t cores)
+    {
+        POAT_ASSERT(!schemaWritten_,
+                    "timeline core count must be set before sampling");
+        cores_ = cores;
+    }
 
     /**
      * Cycle notification from the machine's event handlers: samples
@@ -141,10 +166,13 @@ class TimelineSampler
     std::FILE *f_ = nullptr;
     std::function<const StatsRegistry &()> source_;
     std::vector<std::string> counterNames_;
+    size_t plainCounters_ = 0; ///< schema prefix from counters();
+                               ///< the rest are CPI components
     std::vector<std::string> gaugeNames_;
     std::vector<std::function<uint64_t()>> gaugeFns_;
     std::vector<uint64_t> prev_; ///< previous counter snapshot
     uint64_t samples_ = 0;
+    uint32_t cores_ = 0;
     bool schemaWritten_ = false;
     bool finished_ = false;
 };
@@ -157,7 +185,7 @@ struct TimelineSample
     std::vector<uint64_t> gauges; ///< one per gauge series
 };
 
-/** Reader of a poat-timeline v1 file. */
+/** Reader of a poat-timeline v2 file. */
 class TimelineReader
 {
   public:
@@ -168,6 +196,10 @@ class TimelineReader
     explicit TimelineReader(const std::string &path);
 
     uint64_t interval() const { return interval_; }
+
+    /** Simulated cores recorded in the header (0 if never set). */
+    uint32_t cores() const { return cores_; }
+
     const std::vector<std::string> &counterNames() const
     {
         return counterNames_;
@@ -180,6 +212,7 @@ class TimelineReader
 
   private:
     uint64_t interval_ = 0;
+    uint32_t cores_ = 0;
     std::vector<std::string> counterNames_;
     std::vector<std::string> gaugeNames_;
     std::vector<TimelineSample> samples_;

@@ -109,6 +109,22 @@ eventKindName(uint8_t kind)
         return "opName";
       case EventKind::CoreSwitch:
         return "coreSwitch";
+      case EventKind::LockWait:
+        return "lockWait";
+      case EventKind::LockAcquired:
+        return "lockAcquired";
+      case EventKind::LockReleased:
+        return "lockReleased";
+      case EventKind::LockDeadlock:
+        return "lockDeadlock";
+      case EventKind::OpSet:
+        return "opSet";
+      case EventKind::WorkerDone:
+        return "workerDone";
+      case EventKind::CommitJoin:
+        return "commitJoin";
+      case EventKind::CommitBatch:
+        return "commitBatch";
     }
     return "?";
 }
@@ -422,6 +438,87 @@ TraceRecorder::coreSwitch(uint32_t core)
 }
 
 void
+TraceRecorder::opSet(uint32_t op)
+{
+    begin(EventKind::OpSet);
+    put(op);
+    if (inner_)
+        inner_->opSet(op);
+}
+
+void
+TraceRecorder::lockWait(uint32_t worker, uint64_t key, uint8_t mode,
+                        uint32_t edges)
+{
+    begin(EventKind::LockWait);
+    put(worker);
+    put(key);
+    put(mode);
+    put(edges);
+    if (inner_)
+        inner_->lockWait(worker, key, mode, edges);
+}
+
+void
+TraceRecorder::lockAcquired(uint32_t worker, uint64_t key, uint8_t mode)
+{
+    begin(EventKind::LockAcquired);
+    put(worker);
+    put(key);
+    put(mode);
+    if (inner_)
+        inner_->lockAcquired(worker, key, mode);
+}
+
+void
+TraceRecorder::lockReleased(uint32_t worker, uint64_t key)
+{
+    begin(EventKind::LockReleased);
+    put(worker);
+    put(key);
+    if (inner_)
+        inner_->lockReleased(worker, key);
+}
+
+void
+TraceRecorder::lockDeadlock(uint32_t worker, uint64_t key)
+{
+    begin(EventKind::LockDeadlock);
+    put(worker);
+    put(key);
+    if (inner_)
+        inner_->lockDeadlock(worker, key);
+}
+
+void
+TraceRecorder::workerDone(uint32_t worker)
+{
+    begin(EventKind::WorkerDone);
+    put(worker);
+    if (inner_)
+        inner_->workerDone(worker);
+}
+
+void
+TraceRecorder::commitJoin(uint32_t worker)
+{
+    begin(EventKind::CommitJoin);
+    put(worker);
+    if (inner_)
+        inner_->commitJoin(worker);
+}
+
+void
+TraceRecorder::commitBatch(uint32_t members, uint32_t elided)
+{
+    begin(EventKind::CommitBatch);
+    put(members);
+    put(elided);
+    if (inner_)
+        inner_->commitBatch(members, elided);
+}
+
+void
 TraceRecorder::opName(uint32_t op, const char *name)
 {
     const size_t len = std::strlen(name);
@@ -595,6 +692,54 @@ TraceReplayer::replayInto(TraceSink &sink) const
             sink.coreSwitch(
                 static_cast<uint32_t>(readVarint(d, n, &pos)));
             break;
+          case EventKind::OpSet:
+            sink.opSet(static_cast<uint32_t>(readVarint(d, n, &pos)));
+            break;
+          case EventKind::LockWait: {
+            const uint64_t worker = readVarint(d, n, &pos);
+            const uint64_t key = readVarint(d, n, &pos);
+            const uint64_t mode = readVarint(d, n, &pos);
+            const uint64_t edges = readVarint(d, n, &pos);
+            sink.lockWait(static_cast<uint32_t>(worker), key,
+                          static_cast<uint8_t>(mode),
+                          static_cast<uint32_t>(edges));
+            break;
+          }
+          case EventKind::LockAcquired: {
+            const uint64_t worker = readVarint(d, n, &pos);
+            const uint64_t key = readVarint(d, n, &pos);
+            const uint64_t mode = readVarint(d, n, &pos);
+            sink.lockAcquired(static_cast<uint32_t>(worker), key,
+                              static_cast<uint8_t>(mode));
+            break;
+          }
+          case EventKind::LockReleased: {
+            const uint64_t worker = readVarint(d, n, &pos);
+            const uint64_t key = readVarint(d, n, &pos);
+            sink.lockReleased(static_cast<uint32_t>(worker), key);
+            break;
+          }
+          case EventKind::LockDeadlock: {
+            const uint64_t worker = readVarint(d, n, &pos);
+            const uint64_t key = readVarint(d, n, &pos);
+            sink.lockDeadlock(static_cast<uint32_t>(worker), key);
+            break;
+          }
+          case EventKind::WorkerDone:
+            sink.workerDone(
+                static_cast<uint32_t>(readVarint(d, n, &pos)));
+            break;
+          case EventKind::CommitJoin:
+            sink.commitJoin(
+                static_cast<uint32_t>(readVarint(d, n, &pos)));
+            break;
+          case EventKind::CommitBatch: {
+            const uint64_t members = readVarint(d, n, &pos);
+            const uint64_t elided = readVarint(d, n, &pos);
+            sink.commitBatch(static_cast<uint32_t>(members),
+                             static_cast<uint32_t>(elided));
+            break;
+          }
           case EventKind::OpName: {
             const uint64_t op = readVarint(d, n, &pos);
             const uint64_t len = readVarint(d, n, &pos);

@@ -1,6 +1,6 @@
 /**
  * @file
- * Instruction-trace capture & replay: the "poat-itrace" format (v3).
+ * Instruction-trace capture & replay: the "poat-itrace" format (v5).
  *
  * The simulator is execution-driven: workloads run natively and report
  * every dynamic instruction to a TraceSink (pmem/trace.h). A machine-
@@ -16,7 +16,7 @@
  * File layout (all integers little-endian):
  *
  *   offset 0   magic "poatitrc" (8 bytes)
- *          8   u32 format version (3)
+ *          8   u32 format version (5)
  *         12   u32 fingerprint length
  *         16   u64 event count      (patched by finish())
  *         24   u64 record bytes     (patched by finish())
@@ -60,10 +60,12 @@ inline constexpr char kMagic[8] = {'p', 'o', 'a', 't', 'i', 't', 'r', 'c'};
  * attribution); v3 added the transaction-span records
  * (TxBegin/TxCommit/TxAbort/OpName) feeding the tx.* stats subtree;
  * v4 added the CoreSwitch scheduling record (deterministic multi-core
- * interleaving). Older files fail matches() and are silently
- * recaptured.
+ * interleaving); v5 added the concurrency-observability records
+ * (lock waits/grants/releases/deadlocks, worker lifecycle, commit
+ * windows, op switches) feeding the lock.* / sched.* / cp.* stats.
+ * Older files fail matches() and are silently recaptured.
  */
-inline constexpr uint32_t kFormatVersion = 4;
+inline constexpr uint32_t kFormatVersion = 5;
 
 /** Bytes before the fingerprint (magic + version + 3 patched fields). */
 inline constexpr size_t kHeaderSize = 40;
@@ -89,10 +91,18 @@ enum class EventKind : uint8_t
     TxAbort,          ///< pool_id (v3)
     OpName,           ///< op, name length, raw name bytes (v3)
     CoreSwitch,       ///< core (v4)
+    LockWait,         ///< worker, key, mode, edges (v5)
+    LockAcquired,     ///< worker, key, mode (v5)
+    LockReleased,     ///< worker, key (v5)
+    LockDeadlock,     ///< worker, key (v5)
+    OpSet,            ///< op (v5)
+    WorkerDone,       ///< worker (v5)
+    CommitJoin,       ///< worker (v5)
+    CommitBatch,      ///< members, elided (v5)
 };
 
 inline constexpr uint8_t kMinEventKind = 1;
-inline constexpr uint8_t kMaxEventKind = 18;
+inline constexpr uint8_t kMaxEventKind = 26;
 
 /** Human-readable name of a record kind ("?" if out of range). */
 const char *eventKindName(uint8_t kind);
@@ -172,6 +182,15 @@ class TraceRecorder : public TraceSink
     void txAbort(uint32_t pool_id) override;
     void opName(uint32_t op, const char *name) override;
     void coreSwitch(uint32_t core) override;
+    void opSet(uint32_t op) override;
+    void lockWait(uint32_t worker, uint64_t key, uint8_t mode,
+                  uint32_t edges) override;
+    void lockAcquired(uint32_t worker, uint64_t key, uint8_t mode) override;
+    void lockReleased(uint32_t worker, uint64_t key) override;
+    void lockDeadlock(uint32_t worker, uint64_t key) override;
+    void workerDone(uint32_t worker) override;
+    void commitJoin(uint32_t worker) override;
+    void commitBatch(uint32_t members, uint32_t elided) override;
     /// @}
 
   private:

@@ -8,13 +8,61 @@
 #include "workloads/crash_support.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <optional>
 #include <stdexcept>
 
+#include "pmem/concurrent/engine.h"
 #include "workloads/tpcc/tpcc.h"
 
 namespace poat {
 namespace workloads {
+
+void
+ConcurrentDiag::absorb(concurrent::ConcurrentEngine &eng)
+{
+    const concurrent::TxTable &table = eng.table();
+    const concurrent::LockManager &locks = eng.locks();
+    if (slots.size() < table.workers())
+        slots.resize(table.workers());
+    for (uint32_t w = 0; w < table.workers(); ++w) {
+        const concurrent::TxSlot &s = table.slot(w);
+        slots[w].begins += s.begins;
+        slots[w].commits += s.commits;
+        slots[w].aborts += s.aborts;
+        slots[w].retries += s.retries;
+    }
+    lock_acquisitions += locks.acquisitions();
+    lock_waits += locks.waits();
+    deadlocks += locks.deadlocks();
+}
+
+std::string
+ConcurrentDiag::render() const
+{
+    if (slots.empty())
+        return {};
+    std::string out;
+    char buf[128];
+    for (size_t w = 0; w < slots.size(); ++w) {
+        std::snprintf(buf, sizeof(buf),
+                      "%sslot%zu: %llu begins %llu commits %llu aborts "
+                      "%llu retries",
+                      w == 0 ? "" : " | ", w,
+                      static_cast<unsigned long long>(slots[w].begins),
+                      static_cast<unsigned long long>(slots[w].commits),
+                      static_cast<unsigned long long>(slots[w].aborts),
+                      static_cast<unsigned long long>(slots[w].retries));
+        out += buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  " | locks: %llu acquisitions %llu waits %llu deadlocks",
+                  static_cast<unsigned long long>(lock_acquisitions),
+                  static_cast<unsigned long long>(lock_waits),
+                  static_cast<unsigned long long>(deadlocks));
+    out += buf;
+    return out;
+}
 
 bool
 oidPlausible(PmemRuntime &rt, ObjectID oid, uint32_t size)

@@ -33,6 +33,11 @@
 #include "pmem/runtime.h"
 
 namespace poat {
+
+namespace concurrent {
+class ConcurrentEngine;
+}
+
 namespace workloads {
 
 /** One workload rephrased for crash-point exploration. */
@@ -75,10 +80,47 @@ class CrashDriver
     virtual bool
     reachable(PmemRuntime &rt,
               std::map<uint32_t, std::set<uint32_t>> *out) = 0;
+
+    /**
+     * One-line concurrency diagnostics of the run so far, captured at
+     * the end of each concurrent step (per-worker-slot commit/abort and
+     * lock counters); empty for sequential drivers. The explorer
+     * attaches it to failures so a concurrent repro line arrives with
+     * the contention picture that produced it.
+     */
+    virtual std::string diagnostics() const { return {}; }
 };
 
 /** Total pool bytes the crash drivers use (small: trials are many). */
 inline constexpr uint64_t kCrashPoolBytes = 1ull << 20;
+
+/**
+ * Accumulated per-worker-slot concurrency counters backing the
+ * concurrent drivers' diagnostics(). Each step runs a fresh
+ * ConcurrentEngine, so the driver absorbs that engine's TxTable slots
+ * and LockManager totals after every step; render() formats the sums
+ * as one line per slot plus the lock totals.
+ */
+struct ConcurrentDiag
+{
+    struct Slot
+    {
+        uint64_t begins = 0;
+        uint64_t commits = 0;
+        uint64_t aborts = 0;
+        uint64_t retries = 0;
+    };
+    std::vector<Slot> slots;
+    uint64_t lock_acquisitions = 0;
+    uint64_t lock_waits = 0;
+    uint64_t deadlocks = 0;
+
+    /** Fold one finished step's engine counters in. */
+    void absorb(concurrent::ConcurrentEngine &eng);
+
+    /** "slot0: 5 commits ... | locks: ..." (empty when never run). */
+    std::string render() const;
+};
 
 /**
  * True iff @p oid points at @p size bytes inside an open pool — the

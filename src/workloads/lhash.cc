@@ -591,7 +591,10 @@ class LhtCrashDriver final : public CrashDriver
                     table.lookup(keys[t], nullptr);
             });
         });
+        diag_.absorb(eng);
     }
+
+    std::string diagnostics() const override { return diag_.render(); }
 
     bool
     verifyRecovered(PmemRuntime &, uint64_t, uint64_t,
@@ -616,6 +619,7 @@ class LhtCrashDriver final : public CrashDriver
     uint32_t pool_ = 0;
     std::optional<LinearHashTable> table_;
     std::vector<Rng> rngs_;
+    ConcurrentDiag diag_;
 };
 
 } // namespace

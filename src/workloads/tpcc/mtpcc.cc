@@ -116,7 +116,10 @@ class MtpccCrashDriver final : public CrashDriver
             });
         });
         db_->setEngine(nullptr);
+        diag_.absorb(eng);
     }
+
+    std::string diagnostics() const override { return diag_.render(); }
 
     bool
     verifyRecovered(PmemRuntime &, uint64_t, uint64_t,
@@ -143,6 +146,7 @@ class MtpccCrashDriver final : public CrashDriver
     uint32_t threads_;
     uint64_t schedSeed_;
     std::optional<tpcc::TpccDb> db_;
+    ConcurrentDiag diag_;
 };
 
 } // namespace

@@ -31,8 +31,20 @@ exactly ceil(cycles / N), per-row CPI component deltas sum to the row's
 cycle delta, and the --chrome conversion yields loadable JSON of
 "ph":"C" counter events.
 
+When fig_cores and contention_report binaries are also given, checks
+the concurrency-observability surface: --contention prints per-run
+lock/abort/critical-path reports, the lock.*/sched.*/cp.* subtrees in
+the saved stats satisfy their invariants (critical path bounded by the
+makespan; running + blocked cycles tile it per core), the
+contention_report tool renders text and JSON from the saved report
+(strict CLI: unknown flag exits 2, unreadable input exits 1), a
+sequential bench accepts --contention with a "no multi-core runs"
+note, and a --timeline-cores run leaves the stats report
+byte-identical.
+
 Usage: bench_smoke.py <fig9a_speedup_inorder> [<fig11_polb_size>
-       [<crash_explore> [<timeline_dump>]]]
+       [<crash_explore> [<timeline_dump> [<fig_cores>
+       [<contention_report>]]]]]
 """
 
 import json
@@ -253,14 +265,20 @@ def check_timeline(bench, dump_tool):
                 % (label, total, report["runs"][0]["cycles"])
             )
 
-        # The Chrome conversion is loadable JSON of counter events.
+        # The Chrome conversion is loadable JSON of counter events plus
+        # process_name metadata rows naming the per-core lanes (v2).
         proc = run_bench([dump_tool, "--chrome", path])
         events = json.loads(proc.stdout)
         if not isinstance(events, list) or not events:
             fail("--chrome emitted no events")
         for e in events:
-            if e.get("ph") != "C" or "args" not in e:
+            if e.get("ph") not in ("C", "M") or "args" not in e:
                 fail("malformed Chrome counter event: %r" % e)
+        if not any(
+            e.get("ph") == "M" and e.get("name") == "process_name"
+            for e in events
+        ):
+            fail("--chrome emitted no process_name metadata")
 
         # Strict CLI: unknown flags exit 2 with a stderr note.
         proc = subprocess.run(
@@ -276,6 +294,106 @@ def check_timeline(bench, dump_tool):
             "exact row counts, CPI deltas sum per row, Chrome JSON "
             "loads" % len(report["runs"])
         )
+
+
+BLOCK_REASONS = ["token_wait", "lock_wait", "commit_wait", "idle_done"]
+
+
+def check_contention(bench, fig9a, report_tool):
+    """fig_cores --contention: reports print, invariants hold, tool
+    round-trips the saved stats, CLIs are strict."""
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "fig_cores.json")
+        base = [bench, "--quick", "--no-tpcc", "--jobs=2"]
+        proc = run_bench(base + ["--contention", "--stats-json=" + out])
+        for needle in ("critical path:", "group commit:",
+                       "blocked cycles", "aborts:"):
+            if needle not in proc.stdout:
+                fail("--contention output missing %r" % needle)
+        with open(out, "rb") as f:
+            plain_bytes = f.read()
+        report = json.loads(plain_bytes)
+
+        # The observability subtrees hold their invariants in every
+        # multi-core run: cp.length positive and bounded by the
+        # makespan, and running + the four blocked reasons tile the
+        # makespan exactly on every core.
+        present = 0
+        checked = 0
+        for r in report["runs"]:
+            s = r["stats"]
+            if "length" not in s.get("cp", {}):
+                continue  # uninstrumented row: no contention subtrees
+            present += 1
+            makespan = s["core"]["cycles"]
+            cp = s["cp"]["length"]
+            if not 0 < cp <= makespan:
+                fail("run %r: cp.length %d outside (0, %d]"
+                     % (r["label"], cp, makespan))
+            # Blocked attribution tiles the makespan on every core of
+            # the multi-core rows (single-core rows have no lanes).
+            for c in range(s["core"].get("count", 0)):
+                lane = s["sched"]["core"][str(c)]
+                total = lane["running"] + sum(
+                    lane["blocked"][b] for b in BLOCK_REASONS)
+                if total != makespan:
+                    fail("run %r core %d: running+blocked=%d, "
+                         "makespan=%d" % (r["label"], c, total, makespan))
+                checked += 1
+        if present == 0 or checked == 0:
+            fail("no runs carried contention subtrees")
+
+        # contention_report renders text and JSON from the same file.
+        txt = os.path.join(tmp, "contention.txt")
+        run_bench([report_tool, out, "-o", txt])
+        with open(txt) as f:
+            text = f.read()
+        for needle in ("makespan", "critical path:", "locks:"):
+            if needle not in text:
+                fail("contention_report text missing %r" % needle)
+        proc = run_bench([report_tool, "--json", out])
+        rows = json.loads(proc.stdout)
+        if not isinstance(rows, list) or len(rows) != present:
+            fail("contention_report --json: %r rows, want %d"
+                 % (len(rows) if isinstance(rows, list) else rows,
+                    present))
+        for row in rows:
+            if row["critical_path"]["length"] > row["makespan"]:
+                fail("tool row %r: cp exceeds makespan" % row["label"])
+
+        # Strict CLIs: unknown flags exit 2, unreadable input exits 1,
+        # and a sequential bench accepts --contention with a note.
+        proc = subprocess.run([report_tool, "--bogus", out],
+                              capture_output=True, text=True, timeout=120)
+        if proc.returncode != 2:
+            fail("contention_report unknown flag: exit %d, want 2"
+                 % proc.returncode)
+        proc = subprocess.run([report_tool, os.path.join(tmp, "nope")],
+                              capture_output=True, text=True, timeout=120)
+        if proc.returncode != 1:
+            fail("contention_report missing input: exit %d, want 1"
+                 % proc.returncode)
+        proc = subprocess.run([bench, "--bogus"], capture_output=True,
+                              text=True, timeout=120)
+        if proc.returncode != 2 or "unknown argument" not in proc.stderr:
+            fail("bench unknown flag: exit %d, want 2" % proc.returncode)
+        proc = run_bench([fig9a, "--scale=5", "--no-tpcc", "--jobs=2",
+                          "--contention"])
+        if "no multi-core runs" not in proc.stdout:
+            fail("sequential --contention did not print its note")
+
+        # Per-core timeline lanes are observer-only: byte-identical
+        # stats report with the instrumentation on.
+        lanes = os.path.join(tmp, "lanes.json")
+        run_bench(base + [
+            "--stats-json=" + lanes, "--timeline=50000",
+            "--timeline-cores", "--timeline-dir=" + os.path.join(tmp, "tl"),
+        ])
+        with open(lanes, "rb") as f:
+            if f.read() != plain_bytes:
+                fail("--timeline-cores changed the stats report")
+        print("OK: contention reports on %d runs (%d core lanes tiled), "
+              "tool round-trips, lanes observer-only" % (present, checked))
 
 
 def check_crash_explore(tool):
@@ -307,9 +425,10 @@ def check_crash_explore(tool):
 
 
 def main():
-    if len(sys.argv) not in (2, 3, 4, 5):
+    if len(sys.argv) not in (2, 3, 4, 5, 6, 7):
         fail("usage: bench_smoke.py <fig9a-binary> [<fig11-binary>"
-             " [<crash_explore-binary> [<timeline_dump-binary>]]]")
+             " [<crash_explore-binary> [<timeline_dump-binary>"
+             " [<fig_cores-binary> [<contention_report-binary>]]]]]")
     bench = sys.argv[1]
 
     with tempfile.TemporaryDirectory() as tmp:
@@ -387,6 +506,8 @@ def main():
         check_crash_explore(sys.argv[3])
     if len(sys.argv) >= 5:
         check_timeline(bench, sys.argv[4])
+    if len(sys.argv) >= 7:
+        check_contention(sys.argv[5], bench, sys.argv[6])
 
 
 if __name__ == "__main__":

@@ -2,11 +2,17 @@
  * @file
  * Driver-level tests for the concurrent workloads: BASE/OPT functional
  * equivalence, per-core statistics (and the per-core CPI invariant),
- * single-core stats-key compatibility, engine.* counter export, and
- * sweep equivalence across --jobs values.
+ * single-core stats-key compatibility, engine.* counter export, sweep
+ * equivalence across --jobs values, and the concurrency-observability
+ * subtrees (lock.*, sched.*, cp.*, tx.abort.*, commit.batch.*) with
+ * their observer-only guarantees.
  */
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -148,6 +154,137 @@ TEST(ConcurrentExperiment, SchedSeedChangesInterleavingNotSafety)
     const auto b = runExperiment(cfg);
     EXPECT_EQ(a.engine.commits, b.engine.commits);
     EXPECT_EQ(a.workload_operations, b.workload_operations);
+}
+
+std::string
+statsJson(const ExperimentResult &res)
+{
+    std::ostringstream os;
+    res.stats.dumpJson(os);
+    return os.str();
+}
+
+std::string
+scratchDir()
+{
+    static const std::string dir = [] {
+        std::string d = testing::TempDir() + "concurrent_exp_test." +
+            std::to_string(::getpid());
+        std::filesystem::create_directories(d);
+        return d;
+    }();
+    return dir;
+}
+
+TEST(ConcurrentExperiment, ContentionStatsPopulatedAtFourCores)
+{
+    for (const auto &cfg : {lhtConfig(TranslationMode::Hardware, 4),
+                            mtpccConfig(TranslationMode::Hardware, 4)}) {
+        const auto res = runExperiment(cfg);
+        const auto &c = res.stats.counters();
+        SCOPED_TRACE(cfg.workload);
+
+        ASSERT_TRUE(c.count("lock.acquisitions"));
+        EXPECT_GT(c.at("lock.acquisitions"), 0u);
+        ASSERT_TRUE(c.count("lock.waits"));
+        ASSERT_TRUE(c.count("lock.waits_for_edges"));
+        ASSERT_TRUE(c.count("lock.deadlock_victims"));
+        if (c.at("lock.waits") > 0) {
+            // Any wait puts its key into the top-contended table.
+            ASSERT_TRUE(c.count("lock.top.count"));
+            EXPECT_GT(c.at("lock.top.count"), 0u);
+            EXPECT_TRUE(c.count("lock.top.0.key"));
+            EXPECT_TRUE(c.count("lock.top.0.wait_cycles"));
+        }
+
+        // Aborted/retried work attribution and group-commit occupancy.
+        ASSERT_TRUE(c.count("tx.abort.count"));
+        ASSERT_TRUE(c.count("tx.abort.wasted_total"));
+        ASSERT_TRUE(c.count("commit.batch.windows"));
+        EXPECT_GT(c.at("commit.batch.windows"), 0u);
+        EXPECT_NE(res.stats.findHistogram("commit.batch.occupancy"),
+                  nullptr);
+
+        // Critical path: positive, bounded by the makespan, and cut
+        // into at least one segment per core.
+        ASSERT_TRUE(c.count("cp.length"));
+        ASSERT_TRUE(c.count("core.cycles"));
+        EXPECT_GT(c.at("cp.length"), 0u);
+        EXPECT_LE(c.at("cp.length"), c.at("core.cycles"));
+        EXPECT_GE(c.at("cp.segments"), 4u);
+
+        // Blocked-cycle attribution: running + the four blocked
+        // reasons sum exactly to the makespan on every core.
+        const uint64_t mk = c.at("core.cycles");
+        for (uint32_t i = 0; i < 4; ++i) {
+            const std::string p =
+                "sched.core." + std::to_string(i) + ".";
+            ASSERT_TRUE(c.count(p + "running")) << p;
+            uint64_t sum = c.at(p + "running");
+            for (const char *r :
+                 {"token_wait", "lock_wait", "commit_wait", "idle_done"})
+                sum += c.at(p + "blocked." + std::string(r));
+            EXPECT_EQ(sum, mk) << "core " << i;
+        }
+    }
+}
+
+TEST(ConcurrentExperiment, TimelineCoreLanesAreObserverOnly)
+{
+    // The per-core timeline lanes (and the timeline itself) must not
+    // perturb the run: metrics, checksum, and the serialized stats
+    // report are bit-identical with instrumentation on or off.
+    const auto base = lhtConfig(TranslationMode::Hardware, 4);
+    const auto plain = runExperiment(base);
+
+    auto cfg = base;
+    cfg.timeline_interval = 2000;
+    cfg.timeline_path = scratchDir() + "/lanes.tl";
+    cfg.timeline_cores = true;
+    const auto instrumented = runExperiment(cfg);
+
+    EXPECT_EQ(plain.metrics.cycles, instrumented.metrics.cycles);
+    EXPECT_EQ(plain.workload_checksum, instrumented.workload_checksum);
+    EXPECT_EQ(statsJson(plain), statsJson(instrumented));
+}
+
+TEST(ConcurrentExperiment, TraceReplayKeepsContentionStats)
+{
+    // Concurrency observability must survive the trace cache: a replay
+    // hit reproduces the exact lock.*/sched.*/cp.* subtrees of the
+    // live run (the instrumentation itself is excluded from the
+    // functional fingerprint).
+    const std::string cache = scratchDir() + "/trace_cache";
+    std::filesystem::create_directories(cache);
+    auto cfg = lhtConfig(TranslationMode::Hardware, 4);
+    cfg.trace_cache = cache;
+    const auto live = runExperiment(cfg); // miss: runs live, captures
+    const auto replay = runExperiment(cfg); // hit: replays the capture
+    EXPECT_EQ(live.metrics.cycles, replay.metrics.cycles);
+    EXPECT_EQ(statsJson(live), statsJson(replay));
+
+    // And the replayed stats match the uncached run too.
+    auto nocache = lhtConfig(TranslationMode::Hardware, 4);
+    const auto fresh = runExperiment(nocache);
+    EXPECT_EQ(statsJson(fresh), statsJson(replay));
+}
+
+TEST(ConcurrentExperiment, SweepExportsContentionPerRun)
+{
+    std::vector<ExperimentConfig> cfgs = {
+        lhtConfig(TranslationMode::Software, 2),
+        lhtConfig(TranslationMode::Hardware, 2),
+    };
+    SweepOptions opt;
+    opt.jobs = 2;
+    const auto rs = runSweep(cfgs, opt);
+    ASSERT_EQ(rs.size(), 2u);
+    for (const auto &r : rs) {
+        const auto &c = r.stats.counters();
+        ASSERT_TRUE(c.count("lock.acquisitions"));
+        ASSERT_TRUE(c.count("cp.length"));
+        EXPECT_LE(c.at("cp.length"), c.at("core.cycles"));
+    }
 }
 
 } // namespace

@@ -11,11 +11,13 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <numeric>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/stats.h"
 #include "driver/experiment.h"
@@ -267,6 +269,96 @@ TEST(TimelineObserver, CapturedAndReplayedRunsMatchWithTimelineOn)
     EXPECT_EQ(ct.samples().size(), rt.samples().size());
     for (size_t i = 0; i < ct.samples().size(); ++i)
         EXPECT_EQ(ct.samples()[i].deltas, rt.samples()[i].deltas) << i;
+}
+
+TEST(TimelineSampler, V2HeaderRoundtripsCoreCount)
+{
+    FakeSource src;
+    const std::string p = tmpFile("v2cores");
+    TimelineSampler s(100, p);
+    s.setStatsSource(src.fn());
+    s.setCores(3);
+    s.tick(0);
+    s.finish(10);
+    const TimelineReader r(p);
+    EXPECT_EQ(r.cores(), 3u);
+
+    // A sampler that never learns a core count writes 0 (pre-v2
+    // producers' files decode the same way).
+    const std::string q = tmpFile("v2nocores");
+    TimelineSampler s0(100, q);
+    s0.setStatsSource(src.fn());
+    s0.tick(0);
+    s0.finish(10);
+    EXPECT_EQ(TimelineReader(q).cores(), 0u);
+}
+
+TEST(TimelineObserver, ConcurrentRunEmitsPerCoreLanes)
+{
+    // A multi-core run with timeline_cores on: the header carries the
+    // core count, every core contributes a blocked-reason gauge lane,
+    // and within every interval each core's CPI-component deltas sum
+    // exactly to that core's cycle delta.
+    driver::ExperimentConfig cfg;
+    cfg.workload = "LHT";
+    cfg.scale_pct = 10;
+    cfg.threads = 4;
+    cfg.sched_seed = 7;
+    cfg.mode = TranslationMode::Hardware;
+    cfg.seed = 1;
+    cfg.timeline_interval = 5000;
+    cfg.timeline_path = tmpFile("lanes.poattl");
+    cfg.timeline_cores = true;
+    const auto res = driver::runExperiment(cfg);
+
+    const TimelineReader r(cfg.timeline_path);
+    EXPECT_EQ(r.cores(), 4u);
+    for (uint32_t c = 0; c < 4; ++c) {
+        for (const char *reason :
+             {"token_wait", "lock_wait", "commit_wait", "idle_done"}) {
+            const std::string g = "sched.core." + std::to_string(c) +
+                ".blocked." + reason + ".total";
+            EXPECT_NE(std::find(r.gaugeNames().begin(),
+                                r.gaugeNames().end(), g),
+                      r.gaugeNames().end())
+                << g;
+        }
+    }
+
+    for (uint32_t c = 0; c < 4; ++c) {
+        const std::string pre = "core." + std::to_string(c) + ".";
+        int cycles_at = -1;
+        std::vector<size_t> cpi_at;
+        for (size_t i = 0; i < r.counterNames().size(); ++i) {
+            if (r.counterNames()[i] == pre + "cycles")
+                cycles_at = static_cast<int>(i);
+            if (r.counterNames()[i].rfind(pre + "cpi.", 0) == 0)
+                cpi_at.push_back(i);
+        }
+        ASSERT_GE(cycles_at, 0) << pre;
+        ASSERT_EQ(cpi_at.size(), kCpiComponents) << pre;
+        int64_t total = 0;
+        for (const TimelineSample &row : r.samples()) {
+            int64_t sum = 0;
+            for (const size_t i : cpi_at)
+                sum += row.deltas[i];
+            EXPECT_EQ(sum, row.deltas[static_cast<size_t>(cycles_at)])
+                << pre << "row ending " << row.end_cycle;
+            total += row.deltas[static_cast<size_t>(cycles_at)];
+        }
+        const uint64_t final_cycles = res.stats.counters().at(
+            pre + "cycles");
+        EXPECT_EQ(static_cast<uint64_t>(total), final_cycles) << pre;
+    }
+
+    // The lanes are observer-only: the identical run without them
+    // produces a bit-identical stats report.
+    auto off = cfg;
+    off.timeline_interval = 0;
+    off.timeline_path.clear();
+    off.timeline_cores = false;
+    const auto plain = driver::runExperiment(off);
+    EXPECT_EQ(statsJson(plain), statsJson(res));
 }
 
 TEST(TimelineObserver, PerIntervalCpiComponentsSumToCycleDelta)

@@ -312,9 +312,12 @@ exploreMediaOne(const Args &a, const std::string &workload,
                 static_cast<unsigned long long>(rep.repaired),
                 static_cast<unsigned long long>(rep.diagnosed),
                 static_cast<unsigned long long>(rep.benign));
-    for (const poat::fault::Failure &f : rep.failures)
+    for (const poat::fault::Failure &f : rep.failures) {
         std::printf("      FAIL %s  %s\n", f.repro().c_str(),
                     f.why.c_str());
+        if (!f.diag.empty())
+            std::printf("           diag: %s\n", f.diag.c_str());
+    }
     std::printf("      %s\n", rep.ok() ? "PASS" : "FAIL");
     return rep.failures.size();
 }
@@ -361,9 +364,12 @@ exploreOne(const Args &a, const std::string &workload,
                 static_cast<unsigned long long>(rep.frees_redone),
                 static_cast<unsigned long long>(rep.blocks_leaked),
                 static_cast<unsigned long long>(rep.max_depth));
-    for (const poat::fault::Failure &f : rep.failures)
+    for (const poat::fault::Failure &f : rep.failures) {
         std::printf("      FAIL %s  %s\n", f.repro().c_str(),
                     f.why.c_str());
+        if (!f.diag.empty())
+            std::printf("           diag: %s\n", f.diag.c_str());
+    }
     std::printf("      %s\n", rep.ok() ? "PASS" : "FAIL");
     return rep.failures.size();
 }
@@ -392,9 +398,12 @@ main(int argc, char **argv)
                             a.repro.c_str());
                 return 0;
             }
-            for (const poat::fault::Failure &f : fails)
+            for (const poat::fault::Failure &f : fails) {
                 std::printf("repro %s: FAIL  %s\n", f.repro().c_str(),
                             f.why.c_str());
+                if (!f.diag.empty())
+                    std::printf("  diag: %s\n", f.diag.c_str());
+            }
             return 1;
         }
 

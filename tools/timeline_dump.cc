@@ -46,6 +46,7 @@ summarize(const telemetry::TimelineReader &tl, const std::string &file)
     std::printf("format:    poat-timeline v%" PRIu32 "\n",
                 telemetry::kTimelineVersion);
     std::printf("interval:  %" PRIu64 " cycles\n", tl.interval());
+    std::printf("cores:     %" PRIu32 "\n", tl.cores());
     std::printf("samples:   %zu\n", tl.samples().size());
     std::printf("counters:  %zu\n", tl.counterNames().size());
     std::printf("gauges:    %zu\n", tl.gaugeNames().size());

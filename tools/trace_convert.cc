@@ -11,6 +11,14 @@
  * instant events. Cycles are reported as microseconds — the absolute
  * unit does not matter for viewing, only for the labels.
  *
+ * Multi-core traces: "core switch" records (the machine's scheduler
+ * handing the token to another simulated core; the oid field carries
+ * the core id) split every component into per-core tracks — after the
+ * first switch, events land on "c<N>.<component>" lanes for the core
+ * that was active when they fired, so interleaved runs read as one
+ * row group per core. Single-core traces have no switch records and
+ * keep the flat per-component lanes.
+ *
  * usage: trace_convert IN [OUT]       (OUT defaults to stdout)
  */
 #include <cstdio>
@@ -68,7 +76,10 @@ convert(std::istream &in, std::ostream &out)
         return 1;
     }
 
-    // One tid per component, in order of first appearance.
+    // One tid per lane (component, or "c<N>.<component>" once core
+    // switch records appear), in order of first appearance.
+    uint64_t curCore = 0;
+    bool haveCore = false;
     std::map<std::string, int> tids;
     auto tidOf = [&tids](const std::string &comp) {
         auto [it, inserted] =
@@ -115,12 +126,22 @@ convert(std::istream &in, std::ostream &out)
                              lineno);
                 return 1;
             }
+            if (comp == "core" && outcome == "switch") {
+                // Scheduler record: all later events belong to this
+                // core's lanes until the next switch.
+                curCore = std::stoull(oid, nullptr, 0);
+                haveCore = true;
+                continue;
+            }
+            const std::string lane = haveCore
+                ? "c" + std::to_string(curCore) + "." + comp
+                : comp;
             sep();
             out << "  {\"name\": \"" << comp << "." << outcome
                 << "\", \"cat\": \"" << comp
                 << "\", \"ph\": \"X\", \"ts\": " << cycle
                 << ", \"dur\": " << (latency == 0 ? 1 : latency)
-                << ", \"pid\": 1, \"tid\": " << tidOf(comp)
+                << ", \"pid\": 1, \"tid\": " << tidOf(lane)
                 << ", \"args\": {\"oid\": \"" << oid
                 << "\", \"outcome\": \"" << outcome
                 << "\", \"latency_cycles\": " << latency << "}}";
